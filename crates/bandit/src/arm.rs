@@ -1,0 +1,151 @@
+//! The arm abstraction pulled by the selection strategies.
+
+/// A non-stochastic bandit arm.
+///
+/// One *pull* consumes one unit of budget (for Snoopy: one training batch fed
+/// to the streamed 1NN evaluator plus the inference cost of embedding that
+/// batch) and returns the arm's current loss (the 1NN test error). Losses are
+/// assumed to (noisily) decrease and converge as more budget is spent.
+pub trait Arm {
+    /// A short identifier (the transformation name for Snoopy arms).
+    fn name(&self) -> &str;
+
+    /// Performs one pull and returns the loss after it.
+    ///
+    /// Pulling an exhausted arm must be a no-op returning the final loss.
+    fn pull(&mut self) -> f64;
+
+    /// Number of pulls performed so far.
+    fn pulls(&self) -> usize;
+
+    /// Whether the arm has consumed all of its underlying data.
+    fn exhausted(&self) -> bool;
+
+    /// The most recent loss (1.0 before the first pull by convention).
+    fn current_loss(&self) -> f64;
+
+    /// Cost of a single pull in simulated seconds (inference + 1NN update).
+    /// Used for the runtime accounting of Figure 12; defaults to 1.
+    fn cost_per_pull(&self) -> f64 {
+        1.0
+    }
+}
+
+impl<T: Arm + ?Sized> Arm for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn pull(&mut self) -> f64 {
+        (**self).pull()
+    }
+    fn pulls(&self) -> usize {
+        (**self).pulls()
+    }
+    fn exhausted(&self) -> bool {
+        (**self).exhausted()
+    }
+    fn current_loss(&self) -> f64 {
+        (**self).current_loss()
+    }
+    fn cost_per_pull(&self) -> f64 {
+        (**self).cost_per_pull()
+    }
+}
+
+/// An arm backed by a pre-recorded loss curve. Used in tests and to replay
+/// convergence curves inside the Criterion benchmarks without re-running kNN.
+#[derive(Debug, Clone)]
+pub struct PrerecordedArm {
+    name: String,
+    curve: Vec<f64>,
+    pulls: usize,
+    cost_per_pull: f64,
+}
+
+impl PrerecordedArm {
+    /// Creates an arm that replays `curve` (loss after pull 1, 2, ...).
+    ///
+    /// # Panics
+    /// Panics if the curve is empty.
+    pub fn new(name: &str, curve: Vec<f64>) -> Self {
+        assert!(!curve.is_empty(), "pre-recorded arm needs at least one loss value");
+        Self { name: name.to_string(), curve, pulls: 0, cost_per_pull: 1.0 }
+    }
+
+    /// Sets the per-pull cost used for runtime accounting.
+    pub fn with_cost(mut self, cost: f64) -> Self {
+        self.cost_per_pull = cost;
+        self
+    }
+
+    /// The full loss curve this arm replays.
+    pub fn curve(&self) -> &[f64] {
+        &self.curve
+    }
+}
+
+impl Arm for PrerecordedArm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pull(&mut self) -> f64 {
+        if self.pulls < self.curve.len() {
+            self.pulls += 1;
+        }
+        self.current_loss()
+    }
+
+    fn pulls(&self) -> usize {
+        self.pulls
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pulls >= self.curve.len()
+    }
+
+    fn current_loss(&self) -> f64 {
+        if self.pulls == 0 {
+            1.0
+        } else {
+            self.curve[self.pulls - 1]
+        }
+    }
+
+    fn cost_per_pull(&self) -> f64 {
+        self.cost_per_pull
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prerecorded_arm_replays_curve() {
+        let mut arm = PrerecordedArm::new("a", vec![0.5, 0.4, 0.3]);
+        assert_eq!(arm.current_loss(), 1.0);
+        assert!(!arm.exhausted());
+        assert_eq!(arm.pull(), 0.5);
+        assert_eq!(arm.pull(), 0.4);
+        assert_eq!(arm.pull(), 0.3);
+        assert!(arm.exhausted());
+        // Pulling past the end is a no-op.
+        assert_eq!(arm.pull(), 0.3);
+        assert_eq!(arm.pulls(), 3);
+    }
+
+    #[test]
+    fn cost_defaults_and_overrides() {
+        let arm = PrerecordedArm::new("a", vec![0.1]);
+        assert_eq!(arm.cost_per_pull(), 1.0);
+        let pricey = PrerecordedArm::new("b", vec![0.1]).with_cost(2.5);
+        assert_eq!(pricey.cost_per_pull(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one loss")]
+    fn rejects_empty_curve() {
+        let _ = PrerecordedArm::new("a", vec![]);
+    }
+}

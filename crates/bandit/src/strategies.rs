@@ -1,0 +1,386 @@
+//! Selection strategies: uniform allocation and successive halving with and
+//! without tangent-based early stopping (Algorithms 1 and 2 of the paper's
+//! appendix), plus the doubling trick.
+
+use crate::arm::Arm;
+
+/// Which scheduler to use when evaluating the transformation zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Spend the budget evenly across all arms.
+    Uniform,
+    /// Classic successive halving (Algorithm 1).
+    SuccessiveHalving,
+    /// Successive halving with tangent breaks (Algorithm 2, the paper's
+    /// improved variant).
+    SuccessiveHalvingTangent,
+    /// Exhaust every arm completely (the naive baseline; also used when the
+    /// caller wants full convergence curves for every transformation).
+    Exhaustive,
+}
+
+impl SelectionStrategy {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectionStrategy::Uniform => "uniform",
+            SelectionStrategy::SuccessiveHalving => "successive-halving",
+            SelectionStrategy::SuccessiveHalvingTangent => "successive-halving-tangent",
+            SelectionStrategy::Exhaustive => "exhaustive",
+        }
+    }
+}
+
+/// The result of running a selection strategy over a set of arms.
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// Index of the selected (best) arm.
+    pub best_arm: usize,
+    /// Final loss of the selected arm.
+    pub best_loss: f64,
+    /// Total number of pulls spent across all arms.
+    pub total_pulls: usize,
+    /// Total simulated cost (`Σ pulls_i · cost_per_pull_i`).
+    pub total_cost: f64,
+    /// Per-arm loss histories: `curves[i][j]` is arm `i`'s loss after its
+    /// `j+1`-th pull.
+    pub curves: Vec<Vec<f64>>,
+    /// Number of pulls spent on each arm.
+    pub pulls_per_arm: Vec<usize>,
+}
+
+impl SelectionOutcome {
+    fn from_state<A: Arm>(curves: Vec<Vec<f64>>, arms: &[A]) -> Self {
+        let pulls_per_arm: Vec<usize> = arms.iter().map(|a| a.pulls()).collect();
+        let total_pulls = pulls_per_arm.iter().sum();
+        let total_cost = arms.iter().map(|a| a.pulls() as f64 * a.cost_per_pull()).sum();
+        // The best arm is the one with the lowest recorded loss (ties resolve
+        // to the earliest index, matching `min` over estimators).
+        let mut best_arm = 0usize;
+        let mut best_loss = f64::INFINITY;
+        for (i, curve) in curves.iter().enumerate() {
+            let last = curve.last().copied().unwrap_or(f64::INFINITY);
+            if last < best_loss {
+                best_loss = last;
+                best_arm = i;
+            }
+        }
+        Self { best_arm, best_loss, total_pulls, total_cost, curves, pulls_per_arm }
+    }
+
+    /// The minimum loss observed across all arms (Snoopy's aggregate).
+    pub fn min_loss(&self) -> f64 {
+        self.curves.iter().filter_map(|c| c.last()).fold(f64::INFINITY, |a, &b| a.min(b))
+    }
+}
+
+/// Runs the given strategy with a total pull budget. For
+/// [`SelectionStrategy::Exhaustive`] the budget is ignored and every arm is
+/// pulled until exhaustion.
+pub fn run_strategy<A: Arm>(strategy: SelectionStrategy, arms: &mut [A], budget: usize) -> SelectionOutcome {
+    match strategy {
+        SelectionStrategy::Uniform => uniform_allocation(arms, budget),
+        SelectionStrategy::SuccessiveHalving => successive_halving(arms, budget, false),
+        SelectionStrategy::SuccessiveHalvingTangent => successive_halving(arms, budget, true),
+        SelectionStrategy::Exhaustive => exhaust_all(arms),
+    }
+}
+
+/// Pulls every arm until it is exhausted.
+pub fn exhaust_all<A: Arm>(arms: &mut [A]) -> SelectionOutcome {
+    let mut curves = vec![Vec::new(); arms.len()];
+    for (i, arm) in arms.iter_mut().enumerate() {
+        while !arm.exhausted() {
+            curves[i].push(arm.pull());
+        }
+    }
+    SelectionOutcome::from_state(curves, arms)
+}
+
+/// Uniform allocation baseline: round-robin single pulls until the budget is
+/// spent or every arm is exhausted.
+pub fn uniform_allocation<A: Arm>(arms: &mut [A], budget: usize) -> SelectionOutcome {
+    let mut curves = vec![Vec::new(); arms.len()];
+    let mut spent = 0usize;
+    'outer: loop {
+        let mut progressed = false;
+        for (i, arm) in arms.iter_mut().enumerate() {
+            if spent >= budget {
+                break 'outer;
+            }
+            if arm.exhausted() {
+                continue;
+            }
+            curves[i].push(arm.pull());
+            spent += 1;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    SelectionOutcome::from_state(curves, arms)
+}
+
+/// Successive halving (Algorithm 1), optionally with tangent breaks
+/// (Algorithm 2 via `use_tangent = true`).
+///
+/// The budget `B` is the total number of pulls the scheduler may spend. Arms
+/// eliminated in earlier rounds keep their recorded curves, so the caller can
+/// still aggregate by taking the minimum over everything observed.
+pub fn successive_halving<A: Arm>(arms: &mut [A], budget: usize, use_tangent: bool) -> SelectionOutcome {
+    let n = arms.len();
+    let mut curves = vec![Vec::new(); n];
+    if n == 0 {
+        return SelectionOutcome { best_arm: 0, best_loss: f64::INFINITY, total_pulls: 0, total_cost: 0.0, curves, pulls_per_arm: vec![] };
+    }
+    if n == 1 {
+        // Degenerate case: spend the whole budget on the single arm.
+        let arm = &mut arms[0];
+        for _ in 0..budget {
+            if arm.exhausted() {
+                break;
+            }
+            curves[0].push(arm.pull());
+        }
+        return SelectionOutcome::from_state(curves, arms);
+    }
+
+    let rounds = (n as f64).log2().ceil() as usize;
+    let mut survivors: Vec<usize> = (0..n).collect();
+    for _round in 0..rounds {
+        let l = survivors.len();
+        if l <= 1 {
+            break;
+        }
+        let rk = (budget / (l * rounds)).max(1);
+
+        // First half of the survivor list is always pulled in full; its worst
+        // loss defines the threshold for the tangent breaks (Algorithm 1).
+        let cutoff = (l / 2).max(1);
+        let mut threshold = f64::NEG_INFINITY;
+        for &idx in survivors.iter().take(cutoff) {
+            let arm = &mut arms[idx];
+            for _ in 0..rk {
+                if arm.exhausted() {
+                    break;
+                }
+                curves[idx].push(arm.pull());
+            }
+            threshold = threshold.max(arm.current_loss());
+        }
+
+        let mut eliminated_by_tangent: Vec<usize> = Vec::new();
+        for &idx in survivors.iter().skip(cutoff) {
+            let arm = &mut arms[idx];
+            if !use_tangent {
+                for _ in 0..rk {
+                    if arm.exhausted() {
+                        break;
+                    }
+                    curves[idx].push(arm.pull());
+                }
+                continue;
+            }
+            // Algorithm 2: after every pull, extrapolate the tangent (the
+            // line through the last two observed losses) to the end of the
+            // round; if even that optimistic value is worse than the first
+            // half's threshold, stop pulling this arm.
+            for step in 0..rk {
+                if arm.exhausted() {
+                    break;
+                }
+                curves[idx].push(arm.pull());
+                let curve = &curves[idx];
+                if curve.len() >= 2 {
+                    let last = curve[curve.len() - 1];
+                    let prev = curve[curve.len() - 2];
+                    let slope = last - prev; // per pull; negative for improving arms
+                    let remaining = (rk - step - 1) as f64;
+                    let predicted_end = last + slope.min(0.0) * remaining;
+                    if predicted_end > threshold {
+                        eliminated_by_tangent.push(idx);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Keep the better half by current loss (ties by index, deterministic).
+        survivors.retain(|idx| !eliminated_by_tangent.contains(idx));
+        survivors.sort_by(|&a, &b| {
+            arms[a]
+                .current_loss()
+                .total_cmp(&arms[b].current_loss())
+                .then_with(|| a.cmp(&b))
+        });
+        survivors.truncate((l / 2).max(1));
+    }
+
+    // Spend any leftover capacity on the single survivor so that its curve is
+    // as long as the budget allows (matches how Snoopy finishes the minimum
+    // transformation to full convergence).
+    if let Some(&winner) = survivors.first() {
+        let spent: usize = arms.iter().map(|a| a.pulls()).sum();
+        let remaining = budget.saturating_sub(spent);
+        let arm = &mut arms[winner];
+        for _ in 0..remaining {
+            if arm.exhausted() {
+                break;
+            }
+            curves[winner].push(arm.pull());
+        }
+    }
+
+    SelectionOutcome::from_state(curves, arms)
+}
+
+/// The doubling trick (Jamieson & Talwalkar, §3): run successive halving with
+/// budgets `B, 2B, 4B, …` on fresh arms produced by `make_arms` until the
+/// selected arm's underlying data is exhausted or `max_doublings` is reached.
+/// Returns the outcome of the final run together with the cumulative pull
+/// count across all runs.
+pub fn doubling_successive_halving<A: Arm>(
+    mut make_arms: impl FnMut() -> Vec<A>,
+    initial_budget: usize,
+    use_tangent: bool,
+    max_doublings: usize,
+) -> (SelectionOutcome, usize) {
+    let mut budget = initial_budget.max(1);
+    let mut cumulative_pulls = 0usize;
+    let mut last_outcome = None;
+    for _ in 0..=max_doublings {
+        let mut arms = make_arms();
+        let outcome = successive_halving(&mut arms, budget, use_tangent);
+        cumulative_pulls += outcome.total_pulls;
+        let winner_exhausted = arms[outcome.best_arm].exhausted();
+        last_outcome = Some(outcome);
+        if winner_exhausted {
+            break;
+        }
+        budget *= 2;
+    }
+    (last_outcome.expect("at least one successive-halving run"), cumulative_pulls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arm::PrerecordedArm;
+
+    /// Arms with geometric convergence to distinct asymptotes; lower
+    /// `asymptote` means a better arm.
+    fn synthetic_arms(asymptotes: &[f64], len: usize) -> Vec<Box<dyn Arm>> {
+        asymptotes
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let curve: Vec<f64> =
+                    (1..=len).map(|t| a + (0.9 - a) * (-(t as f64) / 6.0).exp()).collect();
+                Box::new(PrerecordedArm::new(&format!("arm{i}"), curve)) as Box<dyn Arm>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_finds_true_best_and_spends_everything() {
+        let mut arms = synthetic_arms(&[0.3, 0.1, 0.5, 0.2], 20);
+        let outcome = exhaust_all(&mut arms);
+        assert_eq!(outcome.best_arm, 1);
+        assert_eq!(outcome.total_pulls, 80);
+        assert!((outcome.min_loss() - outcome.best_loss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_allocation_respects_budget() {
+        let mut arms = synthetic_arms(&[0.3, 0.1, 0.5, 0.2], 20);
+        let outcome = uniform_allocation(&mut arms, 40);
+        assert_eq!(outcome.total_pulls, 40);
+        assert_eq!(outcome.pulls_per_arm, vec![10, 10, 10, 10]);
+        assert_eq!(outcome.best_arm, 1);
+    }
+
+    #[test]
+    fn successive_halving_finds_best_arm_with_fewer_pulls() {
+        let asymptotes = [0.45, 0.30, 0.10, 0.40, 0.35, 0.25, 0.50, 0.20];
+        let len = 40;
+        let budget = 8 * len; // enough to exhaust everything if spent naively
+        let mut sh_arms = synthetic_arms(&asymptotes, len);
+        let sh = successive_halving(&mut sh_arms, budget / 2, false);
+        assert_eq!(sh.best_arm, 2, "successive halving should identify the best arm");
+        let mut uniform_arms = synthetic_arms(&asymptotes, len);
+        let uniform = uniform_allocation(&mut uniform_arms, budget / 2);
+        assert!(sh.pulls_per_arm[2] >= uniform.pulls_per_arm[2], "SH concentrates pulls on the winner");
+        // SH spends strictly less than exhausting everything.
+        assert!(sh.total_pulls < 8 * len);
+    }
+
+    #[test]
+    fn tangent_variant_selects_the_same_arm_with_at_most_the_same_pulls() {
+        let asymptotes = [0.45, 0.30, 0.10, 0.40, 0.35, 0.25, 0.50, 0.20];
+        let len = 40;
+        let budget = 4 * len;
+        let mut plain_arms = synthetic_arms(&asymptotes, len);
+        let plain = successive_halving(&mut plain_arms, budget, false);
+        let mut tangent_arms = synthetic_arms(&asymptotes, len);
+        let tangent = successive_halving(&mut tangent_arms, budget, true);
+        assert_eq!(plain.best_arm, tangent.best_arm, "tangent breaks must not change the selection");
+        assert!(
+            tangent.total_pulls <= plain.total_pulls,
+            "tangent breaks should not spend more pulls ({} vs {})",
+            tangent.total_pulls,
+            plain.total_pulls
+        );
+    }
+
+    #[test]
+    fn single_arm_and_empty_inputs_are_handled() {
+        let mut single = synthetic_arms(&[0.2], 10);
+        let outcome = successive_halving(&mut single, 100, true);
+        assert_eq!(outcome.best_arm, 0);
+        assert_eq!(outcome.total_pulls, 10);
+        let mut empty: Vec<Box<dyn Arm>> = vec![];
+        let outcome = successive_halving(&mut empty, 10, false);
+        assert_eq!(outcome.total_pulls, 0);
+    }
+
+    #[test]
+    fn run_strategy_dispatches() {
+        for strategy in [
+            SelectionStrategy::Uniform,
+            SelectionStrategy::SuccessiveHalving,
+            SelectionStrategy::SuccessiveHalvingTangent,
+            SelectionStrategy::Exhaustive,
+        ] {
+            let mut arms = synthetic_arms(&[0.4, 0.1, 0.3], 15);
+            let outcome = run_strategy(strategy, &mut arms, 30);
+            assert_eq!(outcome.best_arm, 1, "{}", strategy.name());
+            assert!(!strategy.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn doubling_trick_eventually_exhausts_the_winner() {
+        let asymptotes = [0.4, 0.1, 0.3, 0.2];
+        let len = 16;
+        let (outcome, cumulative) = doubling_successive_halving(
+            || synthetic_arms(&asymptotes, len),
+            4,
+            true,
+            12,
+        );
+        assert_eq!(outcome.best_arm, 1);
+        assert!(outcome.pulls_per_arm[1] >= len, "winner should be fully exhausted");
+        assert!(cumulative >= outcome.total_pulls);
+    }
+
+    #[test]
+    fn cost_accounting_uses_per_pull_costs() {
+        let mut arms: Vec<Box<dyn Arm>> = vec![
+            Box::new(PrerecordedArm::new("cheap", vec![0.5, 0.4, 0.3]).with_cost(1.0)),
+            Box::new(PrerecordedArm::new("pricey", vec![0.6, 0.5, 0.45]).with_cost(10.0)),
+        ];
+        let outcome = exhaust_all(&mut arms);
+        assert!((outcome.total_cost - (3.0 + 30.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the successive-halving scheduler.
+
+use proptest::prelude::*;
+use snoopy_bandit::{
+    exhaust_all, run_strategy, successive_halving, uniform_allocation, Arm, PrerecordedArm, SelectionStrategy,
+};
+
+/// Builds arms with monotonically decreasing, convex-ish curves converging to
+/// the given asymptotes (the regime the tangent rule assumes).
+fn convergent_arms(asymptotes: &[f64], len: usize) -> Vec<PrerecordedArm> {
+    asymptotes
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let curve: Vec<f64> =
+                (1..=len).map(|t| a + (0.95 - a) * (-(t as f64) / 5.0).exp()).collect();
+            PrerecordedArm::new(&format!("arm{i}"), curve)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strategy respects the total pull budget (up to full exhaustion).
+    #[test]
+    fn budget_is_respected(
+        asymptotes in prop::collection::vec(0.02f64..0.6, 2..12),
+        len in 5usize..40,
+        budget in 1usize..400,
+    ) {
+        for strategy in [SelectionStrategy::Uniform, SelectionStrategy::SuccessiveHalving, SelectionStrategy::SuccessiveHalvingTangent] {
+            let mut arms = convergent_arms(&asymptotes, len);
+            let outcome = run_strategy(strategy, &mut arms, budget);
+            let max_possible = asymptotes.len() * len;
+            prop_assert!(outcome.total_pulls <= budget.max(asymptotes.len()) .max(1).min(max_possible) + len,
+                "{}: spent {} pulls with budget {budget}", strategy.name(), outcome.total_pulls);
+            // Curves and pull counters agree.
+            for (curve, pulls) in outcome.curves.iter().zip(&outcome.pulls_per_arm) {
+                prop_assert_eq!(curve.len(), *pulls);
+            }
+        }
+    }
+
+    /// With a generous budget, successive halving (with or without tangents)
+    /// selects the arm with the lowest asymptote, i.e. the same winner as
+    /// exhausting everything.
+    #[test]
+    fn generous_budget_finds_the_true_winner(
+        asymptotes in prop::collection::vec(0.02f64..0.6, 2..10),
+        len in 10usize..40,
+    ) {
+        // Make the winner unique by construction.
+        let mut asymptotes = asymptotes;
+        let winner = asymptotes.len() / 2;
+        asymptotes[winner] = 0.001;
+        let budget = asymptotes.len() * len * 2;
+
+        let mut reference = convergent_arms(&asymptotes, len);
+        let truth = exhaust_all(&mut reference);
+        prop_assert_eq!(truth.best_arm, winner);
+
+        for use_tangent in [false, true] {
+            let mut arms = convergent_arms(&asymptotes, len);
+            let outcome = successive_halving(&mut arms, budget, use_tangent);
+            prop_assert_eq!(outcome.best_arm, winner, "tangent={}", use_tangent);
+        }
+    }
+
+    /// The tangent variant never spends more pulls than plain successive
+    /// halving and never changes the selected arm on convergent curves.
+    #[test]
+    fn tangent_is_a_pure_saving(
+        asymptotes in prop::collection::vec(0.02f64..0.6, 2..12),
+        len in 8usize..30,
+        budget in 20usize..400,
+    ) {
+        let mut plain_arms = convergent_arms(&asymptotes, len);
+        let plain = successive_halving(&mut plain_arms, budget, false);
+        let mut tangent_arms = convergent_arms(&asymptotes, len);
+        let tangent = successive_halving(&mut tangent_arms, budget, true);
+        prop_assert!(tangent.total_pulls <= plain.total_pulls);
+        prop_assert_eq!(tangent.best_arm, plain.best_arm);
+    }
+
+    /// Uniform allocation distributes pulls evenly (within one pull) among
+    /// non-exhausted arms.
+    #[test]
+    fn uniform_allocation_is_even(
+        asymptotes in prop::collection::vec(0.02f64..0.6, 2..10),
+        budget in 1usize..200,
+    ) {
+        let len = 50usize;
+        let mut arms = convergent_arms(&asymptotes, len);
+        let outcome = uniform_allocation(&mut arms, budget);
+        let max = outcome.pulls_per_arm.iter().copied().max().unwrap_or(0);
+        let min = outcome.pulls_per_arm.iter().copied().min().unwrap_or(0);
+        prop_assert!(max - min <= 1, "pulls {:?}", outcome.pulls_per_arm);
+    }
+
+    /// The reported minimum loss never exceeds any arm's final recorded loss.
+    #[test]
+    fn min_loss_is_the_minimum(
+        asymptotes in prop::collection::vec(0.02f64..0.6, 2..10),
+        budget in 30usize..300,
+    ) {
+        let mut arms = convergent_arms(&asymptotes, 25);
+        let outcome = successive_halving(&mut arms, budget, true);
+        for curve in &outcome.curves {
+            if let Some(&last) = curve.last() {
+                prop_assert!(outcome.min_loss() <= last + 1e-12);
+            }
+        }
+        // The winner is consistent with the pulls: it received at least as
+        // many pulls as any surviving competitor would need to beat it.
+        prop_assert!(arms[outcome.best_arm].pulls() > 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion benchmark for Figure 12: scheduling overhead of the selection
+//! strategies over pre-recorded convergence curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snoopy_bandit::{run_strategy, PrerecordedArm, SelectionStrategy};
+
+fn make_arms(n_arms: usize, len: usize) -> Vec<PrerecordedArm> {
+    (0..n_arms)
+        .map(|i| {
+            let asymptote = 0.05 + 0.4 * (i as f64 / n_arms as f64);
+            let curve: Vec<f64> =
+                (1..=len).map(|t| asymptote + (0.9 - asymptote) * (-(t as f64) / 8.0).exp()).collect();
+            PrerecordedArm::new(&format!("arm{i}"), curve)
+        })
+        .collect()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_selection_strategies");
+    group.sample_size(20);
+    for strategy in [
+        SelectionStrategy::Uniform,
+        SelectionStrategy::SuccessiveHalving,
+        SelectionStrategy::SuccessiveHalvingTangent,
+        SelectionStrategy::Exhaustive,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(strategy.name()), &strategy, |b, &s| {
+            b.iter(|| {
+                let mut arms = make_arms(20, 100);
+                run_strategy(s, &mut arms, 600)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

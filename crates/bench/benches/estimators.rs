@@ -1,0 +1,34 @@
+//! Criterion benchmark: cost of the different Bayes-error estimator families
+//! on the same task (the efficiency half of the FeeBee comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snoopy_data::gaussian::{GaussianMixture, GaussianMixtureSpec};
+use snoopy_estimators::{default_estimators, LabeledView};
+use snoopy_linalg::rng;
+
+fn bench_estimators(c: &mut Criterion) {
+    let mixture = GaussianMixture::from_spec(&GaussianMixtureSpec {
+        num_classes: 5,
+        latent_dim: 16,
+        class_sep: 2.0,
+        within_std: 1.0,
+        seed: 1,
+    });
+    let mut r = rng::seeded(2);
+    let (train_x, train_y) = mixture.sample(1_000, &mut r);
+    let (test_x, test_y) = mixture.sample(300, &mut r);
+    let train = LabeledView::new(&train_x, &train_y);
+    let test = LabeledView::new(&test_x, &test_y);
+
+    let mut group = c.benchmark_group("ber_estimators");
+    group.sample_size(10);
+    for est in default_estimators() {
+        group.bench_with_input(BenchmarkId::from_parameter(est.name()), &est, |b, est| {
+            b.iter(|| est.estimate(&train, &test, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

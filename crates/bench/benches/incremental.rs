@@ -1,0 +1,44 @@
+//! Criterion benchmark for Figure 13: incremental re-execution after label
+//! cleaning versus recomputing the 1NN error from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snoopy_knn::{BruteForceIndex, IncrementalOneNn, Metric};
+use snoopy_linalg::{rng, Matrix};
+
+fn make_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<u32>) {
+    let mut r = rng::seeded(seed);
+    let x = Matrix::from_fn(n, d, |_, _| rng::normal(&mut r) as f32);
+    let y = (0..n).map(|i| (i % 10) as u32).collect();
+    (x, y)
+}
+
+fn bench_incremental_vs_scratch(c: &mut Criterion) {
+    let (train_x, train_y) = make_data(5_000, 32, 1);
+    let (test_x, test_y) = make_data(1_000, 32, 2);
+
+    let mut group = c.benchmark_group("fig13_incremental_execution");
+    group.sample_size(10);
+
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| {
+            BruteForceIndex::new(train_x.clone(), train_y.clone(), 10, Metric::SquaredEuclidean)
+                .one_nn_error(&test_x, &test_y)
+        })
+    });
+
+    let cache = IncrementalOneNn::build(&train_x, &train_y, &test_x, &test_y, 10, Metric::SquaredEuclidean);
+    group.bench_function("incremental_relabel", |b| {
+        b.iter(|| {
+            let mut c = cache.clone();
+            // Clean 1% of the training labels and re-read the error.
+            for i in 0..50 {
+                c.relabel_train(i * 100, (i % 10) as u32);
+            }
+            c.error()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_scratch);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark: exact brute-force 1NN scaling (the inner loop of
+//! every Snoopy estimator evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snoopy_knn::{BruteForceIndex, Metric};
+use snoopy_linalg::{rng, Matrix};
+
+fn make_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<u32>) {
+    let mut r = rng::seeded(seed);
+    let x = Matrix::from_fn(n, d, |_, _| rng::normal(&mut r) as f32);
+    let y = (0..n).map(|i| (i % 10) as u32).collect();
+    (x, y)
+}
+
+fn bench_one_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_nn_error");
+    group.sample_size(10);
+    let (test_x, test_y) = make_data(200, 32, 1);
+    for &n in &[500usize, 1_000, 2_000] {
+        let (train_x, train_y) = make_data(n, 32, 2);
+        let index = BruteForceIndex::new(train_x, train_y, 10, Metric::SquaredEuclidean);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| index.one_nn_error(&test_x, &test_y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_query_k10");
+    group.sample_size(10);
+    let (train_x, train_y) = make_data(2_000, 32, 3);
+    let index = BruteForceIndex::new(train_x, train_y, 10, Metric::SquaredEuclidean);
+    let (query_x, _) = make_data(1, 32, 4);
+    group.bench_function("single_query", |b| b.iter(|| index.query_knn(query_x.row(0), 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_nn, bench_knn_query);
+criterion_main!(benches);

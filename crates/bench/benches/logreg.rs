@@ -1,0 +1,43 @@
+//! Criterion benchmark: cost of the cheap LR-proxy baseline relative to a
+//! single 1NN evaluation (the trade-off behind Figure 4's baselines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snoopy_knn::{BruteForceIndex, Metric};
+use snoopy_linalg::{rng, Matrix};
+use snoopy_models::{LogRegConfig, LogisticRegression};
+
+fn make_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<u32>) {
+    let mut r = rng::seeded(seed);
+    let x = Matrix::from_fn(n, d, |_, _| rng::normal(&mut r) as f32);
+    let y = (0..n).map(|i| (i % 4) as u32).collect();
+    (x, y)
+}
+
+fn bench_logreg_vs_1nn(c: &mut Criterion) {
+    let (train_x, train_y) = make_data(1_000, 32, 1);
+    let (test_x, test_y) = make_data(300, 32, 2);
+
+    let mut group = c.benchmark_group("proxy_model_cost");
+    group.sample_size(10);
+    group.bench_function("logreg_single_config", |b| {
+        b.iter(|| {
+            let model = LogisticRegression::fit(
+                &train_x,
+                &train_y,
+                4,
+                LogRegConfig { epochs: 10, ..Default::default() },
+            );
+            model.error(&test_x, &test_y)
+        })
+    });
+    group.bench_function("one_nn_evaluation", |b| {
+        b.iter(|| {
+            BruteForceIndex::new(train_x.clone(), train_y.clone(), 4, Metric::SquaredEuclidean)
+                .one_nn_error(&test_x, &test_y)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_logreg_vs_1nn);
+criterion_main!(benches);

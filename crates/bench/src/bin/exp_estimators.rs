@@ -1,0 +1,73 @@
+//! FeeBee-style ablation (Section II-A): how well does each Bayes-error
+//! estimator family track the known BER evolution under uniform label noise,
+//! both in the low-dimensional latent space and on high-dimensional "raw"
+//! features where density estimation struggles?
+
+use snoopy_bench::{f4, ResultsTable};
+use snoopy_data::gaussian::{GaussianMixture, GaussianMixtureSpec};
+use snoopy_data::noise::{ber_after_uniform_noise, TransitionMatrix};
+use snoopy_estimators::{default_estimators, LabeledView};
+use snoopy_linalg::projection::random_orthonormal_map;
+use snoopy_linalg::{rng, Matrix};
+
+fn main() {
+    let num_classes = 5;
+    let mixture = GaussianMixture::from_spec(&GaussianMixtureSpec {
+        num_classes,
+        latent_dim: 12,
+        class_sep: 2.2,
+        within_std: 1.0,
+        seed: 17,
+    });
+    let mut sample_rng = rng::seeded(18);
+    let (train_lat, train_y) = mixture.sample(3_000, &mut sample_rng);
+    let (test_lat, test_y) = mixture.sample(800, &mut sample_rng);
+    let clean_ber = mixture.bayes_error_monte_carlo(50_000, 19);
+
+    // High-dimensional "raw" variant: embed the latent points into 200
+    // dimensions and add observation noise (the regime in which the paper —
+    // and FeeBee — find density/divergence estimators fall behind 1NN).
+    let mixing = random_orthonormal_map(200, 12, 21);
+    let lift = |latent: &Matrix, seed: u64| {
+        let mut r = rng::seeded(seed);
+        let mut raw = latent.matmul(&mixing.transpose());
+        for v in raw.data_mut() {
+            *v += (rng::normal(&mut r) * 0.6) as f32;
+        }
+        raw
+    };
+    let train_raw = lift(&train_lat, 22);
+    let test_raw = lift(&test_lat, 23);
+
+    let estimators = default_estimators();
+    let mut table = ResultsTable::new(
+        "estimator_ablation_feebee",
+        &["representation", "noise", "true_noisy_ber", "estimator", "estimate", "absolute_error"],
+    );
+    let noise_levels = [0.0f64, 0.2, 0.4, 0.6, 0.8];
+    let mut noise_rng = rng::seeded(20);
+
+    for (repr, train_x, test_x) in [("latent-d12", &train_lat, &test_lat), ("raw-d200", &train_raw, &test_raw)] {
+        let mut mae = vec![0.0f64; estimators.len()];
+        for &rho in &noise_levels {
+            let t = TransitionMatrix::uniform(num_classes, rho);
+            let noisy_train = t.apply(&train_y, &mut noise_rng);
+            let noisy_test = t.apply(&test_y, &mut noise_rng);
+            let truth = ber_after_uniform_noise(clean_ber, rho, num_classes);
+            for (i, est) in estimators.iter().enumerate() {
+                let value = est.estimate(
+                    &LabeledView::new(train_x, &noisy_train),
+                    &LabeledView::new(test_x, &noisy_test),
+                    num_classes,
+                );
+                mae[i] += (value - truth).abs() / noise_levels.len() as f64;
+                table.push(vec![repr.into(), f4(rho), f4(truth), est.name().into(), f4(value), f4((value - truth).abs())]);
+            }
+        }
+        println!("\n[{repr}] mean absolute error across noise levels:");
+        for (est, err) in estimators.iter().zip(&mae) {
+            println!("  {:<16} {:.4}", est.name(), err);
+        }
+    }
+    table.finish();
+}

@@ -1,0 +1,52 @@
+//! Figure 13: incremental re-execution after cleaning 1 % of the labels
+//! versus re-running the 1NN evaluation from scratch, on all six datasets.
+
+use snoopy_bench::{scale_from_args, ResultsTable};
+use snoopy_data::cleaning::clean_fraction;
+use snoopy_data::noise::NoiseModel;
+use snoopy_data::registry::{load_with_noise, table1_specs};
+use snoopy_embeddings::zoo_for_task;
+use snoopy_knn::{BruteForceIndex, IncrementalOneNn, Metric};
+use snoopy_linalg::rng;
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = ResultsTable::new(
+        "fig13_incremental_execution",
+        &["dataset", "train", "test", "from_scratch_ms", "incremental_ms", "speedup"],
+    );
+    for spec in table1_specs() {
+        let mut task = load_with_noise(spec.name, scale, &NoiseModel::Uniform(0.2), 33);
+        let zoo = zoo_for_task(&task, 33);
+        let best = zoo.iter().max_by(|a, b| a.cost_per_sample().total_cmp(&b.cost_per_sample())).unwrap();
+        let train_e = best.transform(&task.train.features);
+        let test_e = best.transform(&task.test.features);
+
+        let mut cache = IncrementalOneNn::build(&train_e, &task.train.labels, &test_e, &task.test.labels, task.num_classes, Metric::SquaredEuclidean);
+
+        // Clean 1% of the labels, then time both re-evaluation paths.
+        let mut r = rng::seeded(34);
+        clean_fraction(&mut task, 0.01, &mut r);
+
+        let start = Instant::now();
+        let scratch_error = BruteForceIndex::new(train_e.clone(), task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
+            .one_nn_error(&test_e, &task.test.labels);
+        let scratch_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let incremental_error = cache.set_labels(&task.train.labels, &task.test.labels);
+        let incremental_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!((scratch_error - incremental_error).abs() < 1e-12, "incremental must equal full recompute");
+
+        table.push(vec![
+            spec.name.into(),
+            task.train.len().to_string(),
+            task.test.len().to_string(),
+            format!("{scratch_ms:.3}"),
+            format!("{incremental_ms:.4}"),
+            format!("{:.0}x", scratch_ms / incremental_ms.max(1e-6)),
+        ]);
+    }
+    table.finish();
+}

@@ -1,0 +1,197 @@
+//! Bandit arms backed by a feature transformation and a streamed 1NN
+//! evaluator.
+//!
+//! Pulling a [`TransformationArm`] embeds one more batch of raw training
+//! samples through its transformation, feeds the embedded batch to the
+//! streamed 1NN evaluator, and returns the updated test error. The simulated
+//! cost of a pull is the inference cost of the batch (test-set inference is
+//! charged on the first pull), which is exactly the cost structure that makes
+//! successive halving worthwhile in the paper (Section V).
+
+use snoopy_bandit::Arm;
+use snoopy_data::TaskDataset;
+use snoopy_embeddings::Transformation;
+use snoopy_knn::{Metric, StreamedOneNn};
+use snoopy_linalg::Matrix;
+
+/// A bandit arm evaluating one transformation on one task.
+pub struct TransformationArm<'a> {
+    transformation: &'a dyn Transformation,
+    task: &'a TaskDataset,
+    metric: Metric,
+    batch_size: usize,
+    /// Lazily initialised on the first pull (embedding the test split).
+    stream: Option<StreamedOneNn>,
+    consumed: usize,
+    simulated_cost: f64,
+    /// Embedded training features are produced batch-by-batch; test features
+    /// once. Embeddings of already-consumed batches are kept so the full
+    /// training embedding can be reassembled for the incremental cache.
+    embedded_batches: Vec<Matrix>,
+}
+
+impl<'a> TransformationArm<'a> {
+    /// Creates an arm.
+    pub fn new(
+        transformation: &'a dyn Transformation,
+        task: &'a TaskDataset,
+        metric: Metric,
+        batch_size: usize,
+    ) -> Self {
+        Self {
+            transformation,
+            task,
+            metric,
+            batch_size: batch_size.max(1),
+            stream: None,
+            consumed: 0,
+            simulated_cost: 0.0,
+            embedded_batches: Vec::new(),
+        }
+    }
+
+    /// Simulated inference cost charged so far (seconds).
+    pub fn simulated_cost(&self) -> f64 {
+        self.simulated_cost
+    }
+
+    /// The convergence curve recorded so far: `(consumed samples, error)`.
+    pub fn curve(&self) -> Vec<(usize, f64)> {
+        self.stream.as_ref().map(|s| s.curve().to_vec()).unwrap_or_default()
+    }
+
+    /// Number of raw training samples consumed.
+    pub fn consumed_samples(&self) -> usize {
+        self.consumed
+    }
+
+    /// Access to the underlying streamed evaluator (once at least one pull
+    /// happened).
+    pub fn stream(&self) -> Option<&StreamedOneNn> {
+        self.stream.as_ref()
+    }
+
+    /// The embedded training features for all consumed batches, stacked in
+    /// consumption order. Used to build the incremental cache after a full
+    /// run.
+    pub fn embedded_training_features(&self) -> Option<Matrix> {
+        if self.embedded_batches.is_empty() {
+            return None;
+        }
+        let mut stacked = self.embedded_batches[0].clone();
+        for batch in &self.embedded_batches[1..] {
+            stacked = stacked.vstack(batch);
+        }
+        Some(stacked)
+    }
+
+    fn ensure_stream(&mut self) {
+        if self.stream.is_some() {
+            return;
+        }
+        let test_embedded = self.transformation.transform(&self.task.test.features);
+        self.simulated_cost += self.transformation.cost_for(self.task.test.len());
+        self.stream = Some(StreamedOneNn::new(test_embedded, self.task.test.labels.clone(), self.metric));
+    }
+}
+
+impl Arm for TransformationArm<'_> {
+    fn name(&self) -> &str {
+        self.transformation.name()
+    }
+
+    fn pull(&mut self) -> f64 {
+        if self.exhausted() {
+            return self.current_loss();
+        }
+        self.ensure_stream();
+        let start = self.consumed;
+        let end = (start + self.batch_size).min(self.task.train.len());
+        let raw_batch = self.task.train.features.slice_rows(start, end);
+        let embedded = self.transformation.transform(&raw_batch);
+        self.simulated_cost += self.transformation.cost_for(end - start);
+        let labels = &self.task.train.labels[start..end];
+        let err = self
+            .stream
+            .as_mut()
+            .expect("stream initialised by ensure_stream")
+            .add_train_batch(&embedded, labels);
+        self.embedded_batches.push(embedded);
+        self.consumed = end;
+        err
+    }
+
+    fn pulls(&self) -> usize {
+        self.stream.as_ref().map(|s| s.curve().len()).unwrap_or(0)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.consumed >= self.task.train.len()
+    }
+
+    fn current_loss(&self) -> f64 {
+        self.stream.as_ref().map(|s| s.current_error()).unwrap_or(1.0)
+    }
+
+    fn cost_per_pull(&self) -> f64 {
+        self.transformation.cost_for(self.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_data::registry::{load_clean, SizeScale};
+    use snoopy_embeddings::zoo_for_task;
+    use snoopy_knn::BruteForceIndex;
+
+    #[test]
+    fn pulling_to_exhaustion_matches_full_evaluation() {
+        let task = load_clean("mnist", SizeScale::Tiny, 1);
+        let zoo = zoo_for_task(&task, 2);
+        let best = zoo.iter().find(|t| t.name() == "efficientnet-b7").unwrap();
+        let batch = (task.train.len() / 4).max(1);
+        let mut arm = TransformationArm::new(best.as_ref(), &task, Metric::SquaredEuclidean, batch);
+        assert_eq!(arm.current_loss(), 1.0);
+        while !arm.exhausted() {
+            arm.pull();
+        }
+        let full_train = best.transform(&task.train.features);
+        let full_test = best.transform(&task.test.features);
+        let full_err = BruteForceIndex::new(full_train, task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
+            .one_nn_error(&full_test, &task.test.labels);
+        assert!((arm.current_loss() - full_err).abs() < 1e-12);
+        assert_eq!(arm.consumed_samples(), task.train.len());
+        assert!(arm.simulated_cost() > 0.0);
+        // The curve has one point per pull.
+        assert_eq!(arm.curve().len(), arm.pulls());
+        // The stacked embedded features cover the whole training split.
+        assert_eq!(arm.embedded_training_features().unwrap().rows(), task.train.len());
+    }
+
+    #[test]
+    fn cost_tracks_inference_volume() {
+        let task = load_clean("mnist", SizeScale::Tiny, 3);
+        let zoo = zoo_for_task(&task, 4);
+        let pricey = zoo.iter().find(|t| t.name() == "efficientnet-b7").unwrap();
+        let cheap = zoo.iter().find(|t| t.name() == "raw").unwrap();
+        let mut arm_pricey = TransformationArm::new(pricey.as_ref(), &task, Metric::SquaredEuclidean, 16);
+        let mut arm_cheap = TransformationArm::new(cheap.as_ref(), &task, Metric::SquaredEuclidean, 16);
+        arm_pricey.pull();
+        arm_cheap.pull();
+        assert!(arm_pricey.simulated_cost() > arm_cheap.simulated_cost());
+        assert!(arm_pricey.cost_per_pull() > 0.0);
+    }
+
+    #[test]
+    fn pulling_an_exhausted_arm_is_a_noop() {
+        let task = load_clean("sst2", SizeScale::Tiny, 5);
+        let zoo = zoo_for_task(&task, 6);
+        let mut arm = TransformationArm::new(zoo[0].as_ref(), &task, Metric::Cosine, task.train.len());
+        let first = arm.pull();
+        assert!(arm.exhausted());
+        let again = arm.pull();
+        assert_eq!(first, again);
+        assert_eq!(arm.pulls(), 1);
+    }
+}

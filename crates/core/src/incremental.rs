@@ -1,0 +1,196 @@
+//! Incremental re-execution of a feasibility study after label cleaning
+//! (Section V, "Efficient Incremental Execution").
+//!
+//! In the iterative cleaning loop the user alternates between cleaning a
+//! small portion of labels and re-consulting Snoopy. Features never change,
+//! so the nearest-neighbour structure of every transformation stays valid;
+//! only labels move. [`IncrementalStudy`] snapshots the nearest-neighbour
+//! index of the *winning* transformation after a full run and afterwards
+//! answers feasibility queries in a single `O(test)` pass — the paper
+//! reports 0.2 ms for 10 K test / 50 K training samples, orders of magnitude
+//! faster than re-running inference.
+
+use crate::config::SnoopyConfig;
+use crate::study::{FeasibilityDecision, FeasibilityStudy, StudyReport};
+use snoopy_data::TaskDataset;
+use snoopy_embeddings::Transformation;
+use snoopy_estimators::cover_hart_lower_bound;
+use snoopy_knn::IncrementalOneNn;
+
+/// A feasibility study that can be re-run in real time after label cleaning.
+pub struct IncrementalStudy {
+    config: SnoopyConfig,
+    num_classes: usize,
+    best_transformation: String,
+    cache: IncrementalOneNn,
+    /// The report of the initial full run.
+    initial_report: StudyReport,
+}
+
+impl IncrementalStudy {
+    /// Runs the full study once and snapshots the incremental state for the
+    /// winning transformation.
+    pub fn bootstrap(config: SnoopyConfig, task: &TaskDataset, zoo: &[Box<dyn Transformation>]) -> Self {
+        let study = FeasibilityStudy::new(config);
+        let report = study.run(task, zoo);
+        let best = zoo
+            .iter()
+            .find(|t| t.name() == report.best_transformation)
+            .expect("winning transformation must be in the zoo");
+        // Re-embed the winning transformation once to build the exact cache
+        // over the full training split (the scheduler may have stopped its arm
+        // early under aggressive budgets).
+        let train_embedded = best.transform(&task.train.features);
+        let test_embedded = best.transform(&task.test.features);
+        let cache = IncrementalOneNn::build(
+            &train_embedded,
+            &task.train.labels,
+            &test_embedded,
+            &task.test.labels,
+            task.num_classes,
+            config.metric,
+        );
+        Self {
+            config,
+            num_classes: task.num_classes,
+            best_transformation: report.best_transformation.clone(),
+            cache,
+            initial_report: report,
+        }
+    }
+
+    /// The report of the initial (full) run.
+    pub fn initial_report(&self) -> &StudyReport {
+        &self.initial_report
+    }
+
+    /// Name of the transformation the incremental state tracks.
+    pub fn best_transformation(&self) -> &str {
+        &self.best_transformation
+    }
+
+    /// Re-evaluates the feasibility signal after the task's labels changed
+    /// (e.g. a cleaning round was applied to `task`). Only labels are read;
+    /// features are assumed unchanged, matching the paper's assumption that
+    /// cleaning never moves a nearest neighbour.
+    pub fn refresh(&mut self, task: &TaskDataset) -> IncrementalAnswer {
+        let error = self.cache.set_labels(&task.train.labels, &task.test.labels);
+        self.answer_from_error(error)
+    }
+
+    /// Applies explicit label updates (train and test index/label pairs)
+    /// without needing the whole task.
+    pub fn apply_updates(&mut self, train: &[(usize, u32)], test: &[(usize, u32)]) -> IncrementalAnswer {
+        self.cache.relabel_train_batch(train);
+        self.cache.relabel_test_batch(test);
+        self.answer_from_error(self.cache.error())
+    }
+
+    fn answer_from_error(&self, one_nn_error: f64) -> IncrementalAnswer {
+        let ber_estimate = cover_hart_lower_bound(one_nn_error, self.num_classes);
+        let decision = if ber_estimate <= self.config.target_error() {
+            FeasibilityDecision::Realistic
+        } else {
+            FeasibilityDecision::Unrealistic
+        };
+        IncrementalAnswer {
+            one_nn_error,
+            ber_estimate,
+            projected_accuracy: 1.0 - ber_estimate,
+            decision,
+        }
+    }
+}
+
+/// The lightweight answer produced by incremental refreshes.
+#[derive(Debug, Clone, Copy)]
+pub struct IncrementalAnswer {
+    /// Current 1NN error of the tracked transformation.
+    pub one_nn_error: f64,
+    /// Cover–Hart BER estimate.
+    pub ber_estimate: f64,
+    /// Projected best-possible accuracy.
+    pub projected_accuracy: f64,
+    /// Updated binary signal.
+    pub decision: FeasibilityDecision,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_bandit::SelectionStrategy;
+    use snoopy_data::cleaning::clean_fraction;
+    use snoopy_data::noise::NoiseModel;
+    use snoopy_data::registry::{load_with_noise, SizeScale};
+    use snoopy_embeddings::zoo_for_task;
+    use snoopy_linalg::rng;
+
+    fn config(target: f64) -> SnoopyConfig {
+        SnoopyConfig::with_target(target)
+            .strategy(SelectionStrategy::Exhaustive)
+            .batch_fraction(0.25)
+    }
+
+    #[test]
+    fn cleaning_labels_flips_the_decision_eventually() {
+        // Heavy noise: unrealistic at first, realistic once cleaned.
+        let mut task = load_with_noise("sst2", SizeScale::Tiny, &NoiseModel::Uniform(0.7), 1);
+        let zoo = zoo_for_task(&task, 2);
+        let mut study = IncrementalStudy::bootstrap(config(0.85), &task, &zoo);
+        assert_eq!(study.initial_report().decision, FeasibilityDecision::Unrealistic);
+
+        let mut r = rng::seeded(3);
+        let mut flipped = false;
+        for _ in 0..25 {
+            clean_fraction(&mut task, 0.1, &mut r);
+            let answer = study.refresh(&task);
+            if answer.decision == FeasibilityDecision::Realistic {
+                flipped = true;
+                break;
+            }
+        }
+        assert!(flipped, "cleaning all labels should eventually make the target realistic");
+    }
+
+    #[test]
+    fn incremental_refresh_matches_a_fresh_full_study_on_the_best_embedding() {
+        let mut task = load_with_noise("mnist", SizeScale::Tiny, &NoiseModel::Uniform(0.4), 5);
+        let zoo = zoo_for_task(&task, 6);
+        let mut study = IncrementalStudy::bootstrap(config(0.7), &task, &zoo);
+        let mut r = rng::seeded(7);
+        clean_fraction(&mut task, 0.5, &mut r);
+        let incremental = study.refresh(&task);
+
+        // Recompute from scratch on the same (tracked) transformation.
+        let best = zoo.iter().find(|t| t.name() == study.best_transformation()).unwrap();
+        let train_embedded = best.transform(&task.train.features);
+        let test_embedded = best.transform(&task.test.features);
+        let full = snoopy_knn::BruteForceIndex::new(
+            train_embedded,
+            task.train.labels.clone(),
+            task.num_classes,
+            snoopy_knn::Metric::SquaredEuclidean,
+        )
+        .one_nn_error(&test_embedded, &task.test.labels);
+        assert!((incremental.one_nn_error - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_updates_are_equivalent_to_refresh() {
+        let mut task = load_with_noise("sst2", SizeScale::Tiny, &NoiseModel::Uniform(0.5), 9);
+        let zoo = zoo_for_task(&task, 10);
+        let mut by_refresh = IncrementalStudy::bootstrap(config(0.8), &task, &zoo);
+        let mut by_updates = IncrementalStudy::bootstrap(config(0.8), &task, &zoo);
+
+        // Clean the first 10 dirty training labels.
+        let dirty: Vec<usize> = task.train.dirty_indices().into_iter().take(10).collect();
+        let updates: Vec<(usize, u32)> = dirty.iter().map(|&i| (i, task.train.clean_labels[i])).collect();
+        for &i in &dirty {
+            task.train.clean_label(i);
+        }
+        let a = by_refresh.refresh(&task);
+        let b = by_updates.apply_updates(&updates, &[]);
+        assert!((a.one_nn_error - b.one_nn_error).abs() < 1e-12);
+        assert_eq!(a.decision, b.decision);
+    }
+}

@@ -1,0 +1,187 @@
+//! Label-cleaning simulator.
+//!
+//! In the paper's end-to-end use case (Section VI-D), a user iteratively
+//! cleans portions of a noisy dataset until the target accuracy becomes
+//! reachable. On the public benchmarks the authors simulate cleaning by
+//! restoring the original (pre-pollution) labels; our replicas carry the
+//! ground-truth labels alongside the observed ones, so cleaning is the same
+//! restoration operation here.
+
+use crate::dataset::TaskDataset;
+use rand::rngs::StdRng;
+use snoopy_linalg::rng;
+
+/// Where a cleaned sample lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    /// Training split.
+    Train,
+    /// Test split.
+    Test,
+}
+
+/// A single cleaning action: which split and which row had its label restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleanedLabel {
+    /// Split the sample belongs to.
+    pub split: SplitKind,
+    /// Row index within that split.
+    pub index: usize,
+    /// Whether the observed label actually changed (it may already have been
+    /// correct; the labelling effort is spent either way).
+    pub changed: bool,
+}
+
+/// Outcome of one cleaning round.
+#[derive(Debug, Clone)]
+pub struct CleaningReport {
+    /// Individual label inspections performed (paid for), in order.
+    pub inspected: Vec<CleanedLabel>,
+    /// Number of labels whose value actually changed.
+    pub changed: usize,
+}
+
+impl CleaningReport {
+    /// Number of labels inspected (the quantity the user pays for).
+    pub fn inspected_count(&self) -> usize {
+        self.inspected.len()
+    }
+}
+
+/// Inspects (and restores) the labels of `count` samples drawn uniformly at
+/// random across the train and test splits, mirroring the paper's
+/// "clean a fixed portion of the data" action. Samples are drawn without
+/// replacement from the pool of *not yet inspected this call* indices;
+/// already-clean samples still cost an inspection, as they would for a human
+/// annotator.
+pub fn clean_random_labels(task: &mut TaskDataset, count: usize, rng_: &mut StdRng) -> CleaningReport {
+    let total = task.total_len();
+    let count = count.min(total);
+    let picks = rng::sample_without_replacement(rng_, total, count);
+    let train_len = task.train.len();
+    let mut inspected = Vec::with_capacity(count);
+    let mut changed = 0usize;
+    for pick in picks {
+        let (split, index) = if pick < train_len {
+            (SplitKind::Train, pick)
+        } else {
+            (SplitKind::Test, pick - train_len)
+        };
+        let did_change = match split {
+            SplitKind::Train => task.train.clean_label(index),
+            SplitKind::Test => task.test.clean_label(index),
+        };
+        if did_change {
+            changed += 1;
+        }
+        inspected.push(CleanedLabel { split, index, changed: did_change });
+    }
+    CleaningReport { inspected, changed }
+}
+
+/// Cleans a *fraction* of the total dataset size (e.g. `0.01` for the paper's
+/// 1 % cleaning step). Returns the report of the round.
+pub fn clean_fraction(task: &mut TaskDataset, fraction: f64, rng_: &mut StdRng) -> CleaningReport {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let count = ((task.total_len() as f64) * fraction).round() as usize;
+    clean_random_labels(task, count, rng_)
+}
+
+/// Fraction of samples (train + test) whose observed label is still wrong —
+/// the quantity the end-to-end experiment tracks on the x-axis of Figs. 9/10.
+pub fn remaining_noise(task: &TaskDataset) -> f64 {
+    task.observed_noise_rate()
+}
+
+/// Cleans *targeted* indices (e.g. produced by an active-cleaning heuristic).
+/// Out-of-range indices are ignored.
+pub fn clean_specific(
+    task: &mut TaskDataset,
+    train_indices: &[usize],
+    test_indices: &[usize],
+) -> CleaningReport {
+    let mut inspected = Vec::new();
+    let mut changed = 0usize;
+    for &i in train_indices {
+        if i < task.train.len() {
+            let did = task.train.clean_label(i);
+            changed += usize::from(did);
+            inspected.push(CleanedLabel { split: SplitKind::Train, index: i, changed: did });
+        }
+    }
+    for &i in test_indices {
+        if i < task.test.len() {
+            let did = task.test.clean_label(i);
+            changed += usize::from(did);
+            inspected.push(CleanedLabel { split: SplitKind::Test, index: i, changed: did });
+        }
+    }
+    CleaningReport { inspected, changed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::registry::{load_with_noise, SizeScale};
+
+    fn noisy_task(seed: u64) -> TaskDataset {
+        load_with_noise("sst2", SizeScale::Tiny, &NoiseModel::Uniform(0.6), seed)
+    }
+
+    #[test]
+    fn cleaning_everything_removes_all_noise() {
+        let mut task = noisy_task(1);
+        assert!(task.observed_noise_rate() > 0.1);
+        let total = task.total_len();
+        let mut r = rng::seeded(2);
+        let report = clean_random_labels(&mut task, total, &mut r);
+        assert_eq!(report.inspected_count(), total);
+        assert_eq!(task.observed_noise_rate(), 0.0);
+        assert!(report.changed > 0);
+    }
+
+    #[test]
+    fn clean_fraction_monotonically_reduces_noise() {
+        let mut task = noisy_task(3);
+        let mut r = rng::seeded(4);
+        let before = remaining_noise(&task);
+        let mut last = before;
+        for _ in 0..5 {
+            clean_fraction(&mut task, 0.1, &mut r);
+            let now = remaining_noise(&task);
+            assert!(now <= last + 1e-12);
+            last = now;
+        }
+        assert!(last < before);
+    }
+
+    #[test]
+    fn cleaning_more_than_total_is_clamped() {
+        let mut task = noisy_task(5);
+        let mut r = rng::seeded(6);
+        let total = task.total_len();
+        let report = clean_random_labels(&mut task, 10 * total, &mut r);
+        assert_eq!(report.inspected_count(), total);
+    }
+
+    #[test]
+    fn targeted_cleaning_only_touches_requested_rows() {
+        let mut task = noisy_task(7);
+        let dirty_train = task.train.dirty_indices();
+        assert!(!dirty_train.is_empty());
+        let target = dirty_train[0];
+        let report = clean_specific(&mut task, &[target, 999_999], &[], );
+        assert_eq!(report.inspected_count(), 1);
+        assert_eq!(report.changed, 1);
+        assert_eq!(task.train.labels[target], task.train.clean_labels[target]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn fraction_out_of_range_panics() {
+        let mut task = noisy_task(8);
+        let mut r = rng::seeded(9);
+        let _ = clean_fraction(&mut task, 1.5, &mut r);
+    }
+}

@@ -1,0 +1,299 @@
+//! Core dataset types shared across the workspace.
+
+use snoopy_linalg::Matrix;
+
+/// The data modality of a task, mirroring the two groups of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modality {
+    /// Image-like tasks (MNIST, CIFAR10, CIFAR100 analogues).
+    Vision,
+    /// Text-like tasks (IMDB, SST2, YELP analogues).
+    Text,
+}
+
+impl Modality {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Modality::Vision => "vision",
+            Modality::Text => "text",
+        }
+    }
+}
+
+/// One labelled split (train or test) of a task.
+///
+/// `labels` holds the *current* (possibly noisy, possibly partially cleaned)
+/// labels the user observes, while `clean_labels` holds the ground truth used
+/// by the cleaning simulator and by evaluation code that needs an oracle.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `n × d` feature matrix, one sample per row.
+    pub features: Matrix,
+    /// Observed (possibly noisy) labels, one per row of `features`.
+    pub labels: Vec<u32>,
+    /// Ground-truth labels, aligned with `labels`.
+    pub clean_labels: Vec<u32>,
+}
+
+impl Dataset {
+    /// Creates a clean split where observed labels equal ground truth.
+    pub fn new_clean(features: Matrix, labels: Vec<u32>) -> Self {
+        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
+        Self { clean_labels: labels.clone(), features, labels }
+    }
+
+    /// Creates a split with distinct observed and clean labels.
+    pub fn new_noisy(features: Matrix, labels: Vec<u32>, clean_labels: Vec<u32>) -> Self {
+        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
+        assert_eq!(labels.len(), clean_labels.len(), "label vectors must be aligned");
+        Self { features, labels, clean_labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the split contains no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Fraction of samples whose observed label differs from the ground truth.
+    pub fn observed_noise_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        let wrong = self.labels.iter().zip(&self.clean_labels).filter(|(a, b)| a != b).count();
+        wrong as f64 / self.labels.len() as f64
+    }
+
+    /// Indices whose observed label is still wrong (candidates for cleaning).
+    pub fn dirty_indices(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .zip(&self.clean_labels)
+            .enumerate()
+            .filter_map(|(i, (a, b))| if a != b { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Restores the ground-truth label at `index`, returning `true` if the
+    /// label actually changed.
+    pub fn clean_label(&mut self, index: usize) -> bool {
+        let changed = self.labels[index] != self.clean_labels[index];
+        self.labels[index] = self.clean_labels[index];
+        changed
+    }
+
+    /// Returns a copy restricted to the first `n` samples (used for
+    /// convergence curves over growing training-set sizes).
+    pub fn take_prefix(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            features: self.features.slice_rows(0, n),
+            labels: self.labels[..n].to_vec(),
+            clean_labels: self.clean_labels[..n].to_vec(),
+        }
+    }
+
+    /// Returns a copy restricted to the given row indices.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            clean_labels: indices.iter().map(|&i| self.clean_labels[i]).collect(),
+        }
+    }
+
+    /// Empirical class priors of the *clean* labels.
+    pub fn class_priors(&self, num_classes: usize) -> Vec<f64> {
+        let mut counts = vec![0usize; num_classes];
+        for &y in &self.clean_labels {
+            counts[y as usize] += 1;
+        }
+        let n = self.len().max(1) as f64;
+        counts.into_iter().map(|c| c as f64 / n).collect()
+    }
+}
+
+/// Metadata describing a task, including the anchors the paper relies on.
+#[derive(Debug, Clone)]
+pub struct DatasetMeta {
+    /// State-of-the-art test error on the clean task (Table I column "SOTA %",
+    /// expressed as a fraction in `[0, 1]`). Used as the `s_{X,Y}` anchor of
+    /// Theorem 3.1's bounds and by the FineTune baseline.
+    pub sota_error: f64,
+    /// Ground-truth Bayes error of the clean synthetic task, when known by
+    /// construction (always `Some` for generated tasks).
+    pub true_ber: Option<f64>,
+    /// Data modality.
+    pub modality: Modality,
+    /// A `raw_dim × latent_dim` linear map that approximately recovers the
+    /// generative latent factors from raw features. Simulated "pre-trained"
+    /// embeddings blend this recovery signal with noise to model embedding
+    /// quality; it is never used by estimators or models directly.
+    pub latent_map: Option<Matrix>,
+    /// Dimensionality of the generative latent space.
+    pub latent_dim: usize,
+}
+
+/// A full task: train and test splits plus metadata.
+#[derive(Debug, Clone)]
+pub struct TaskDataset {
+    /// Dataset name (e.g. `"cifar100"`, `"cifar10-aggre"`).
+    pub name: String,
+    /// Number of classes `C = |Y|`.
+    pub num_classes: usize,
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split used to evaluate 1NN error and proxy models.
+    pub test: Dataset,
+    /// Task metadata.
+    pub meta: DatasetMeta,
+}
+
+impl TaskDataset {
+    /// Total number of samples across both splits.
+    pub fn total_len(&self) -> usize {
+        self.train.len() + self.test.len()
+    }
+
+    /// Raw feature dimensionality.
+    pub fn raw_dim(&self) -> usize {
+        self.train.dim()
+    }
+
+    /// Overall observed label-noise rate across train and test splits.
+    pub fn observed_noise_rate(&self) -> f64 {
+        let total = self.total_len();
+        if total == 0 {
+            return 0.0;
+        }
+        let train_wrong = self.train.observed_noise_rate() * self.train.len() as f64;
+        let test_wrong = self.test.observed_noise_rate() * self.test.len() as f64;
+        (train_wrong + test_wrong) / total as f64
+    }
+
+    /// Best possible accuracy on the *clean* task, `1 - BER`, when the BER is
+    /// known by construction.
+    pub fn best_possible_accuracy(&self) -> Option<f64> {
+        self.meta.true_ber.map(|b| 1.0 - b)
+    }
+
+    /// Applies a function to both splits' feature matrices, returning a new
+    /// task with transformed features but identical labels and metadata
+    /// (minus the latent map, which only refers to raw features).
+    pub fn map_features(&self, mut f: impl FnMut(&Matrix) -> Matrix) -> TaskDataset {
+        TaskDataset {
+            name: self.name.clone(),
+            num_classes: self.num_classes,
+            train: Dataset {
+                features: f(&self.train.features),
+                labels: self.train.labels.clone(),
+                clean_labels: self.train.clean_labels.clone(),
+            },
+            test: Dataset {
+                features: f(&self.test.features),
+                labels: self.test.labels.clone(),
+                clean_labels: self.test.clean_labels.clone(),
+            },
+            meta: DatasetMeta { latent_map: None, ..self.meta.clone() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let features = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        Dataset::new_noisy(features, vec![0, 1, 1, 0], vec![0, 1, 0, 0])
+    }
+
+    #[test]
+    fn clean_construction_mirrors_labels() {
+        let d = Dataset::new_clean(Matrix::zeros(3, 2), vec![0, 1, 2]);
+        assert_eq!(d.labels, d.clean_labels);
+        assert_eq!(d.observed_noise_rate(), 0.0);
+        assert!(d.dirty_indices().is_empty());
+    }
+
+    #[test]
+    fn noise_rate_and_dirty_indices() {
+        let d = toy_dataset();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert!((d.observed_noise_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(d.dirty_indices(), vec![2]);
+    }
+
+    #[test]
+    fn cleaning_restores_ground_truth() {
+        let mut d = toy_dataset();
+        assert!(d.clean_label(2));
+        assert!(!d.clean_label(2), "second clean of same index is a no-op");
+        assert_eq!(d.observed_noise_rate(), 0.0);
+    }
+
+    #[test]
+    fn prefix_and_select_preserve_alignment() {
+        let d = toy_dataset();
+        let p = d.take_prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.labels, vec![0, 1]);
+        let s = d.select(&[3, 0]);
+        assert_eq!(s.labels, vec![0, 0]);
+        assert_eq!(s.features.row(0), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn class_priors_sum_to_one() {
+        let d = toy_dataset();
+        let priors = d.class_priors(2);
+        assert!((priors.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((priors[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_accessors() {
+        let d = toy_dataset();
+        let task = TaskDataset {
+            name: "toy".into(),
+            num_classes: 2,
+            train: d.clone(),
+            test: d,
+            meta: DatasetMeta {
+                sota_error: 0.05,
+                true_ber: Some(0.02),
+                modality: Modality::Vision,
+                latent_map: None,
+                latent_dim: 2,
+            },
+        };
+        assert_eq!(task.total_len(), 8);
+        assert_eq!(task.raw_dim(), 2);
+        assert!((task.observed_noise_rate() - 0.25).abs() < 1e-12);
+        assert!((task.best_possible_accuracy().unwrap() - 0.98).abs() < 1e-12);
+        let doubled = task.map_features(|m| {
+            let mut c = m.clone();
+            c.scale(2.0);
+            c
+        });
+        assert_eq!(doubled.train.features.get(1, 1), 2.0);
+        assert!(doubled.meta.latent_map.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::new_clean(Matrix::zeros(3, 2), vec![0, 1]);
+    }
+}

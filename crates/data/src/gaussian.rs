@@ -1,0 +1,250 @@
+//! Class-conditional Gaussian mixture tasks with a known Bayes error rate.
+//!
+//! This is the work-horse generator of the reproduction: a `C`-class mixture
+//! of isotropic Gaussians in a latent space of dimension `latent_dim`. For
+//! such a distribution the posterior `p(y | z)` is available in closed form,
+//! so the Bayes error `E_Z[1 - max_y p(y|Z)]` can be computed to arbitrary
+//! precision by Monte-Carlo integration, and the class separation can be
+//! *calibrated* to hit a requested BER. The vision- and text-like generators
+//! in [`crate::vision`] and [`crate::text`] build on the same latent
+//! construction.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use snoopy_linalg::{rng, stats, Matrix};
+
+/// Specification of a class-conditional isotropic Gaussian mixture.
+#[derive(Debug, Clone)]
+pub struct GaussianMixtureSpec {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Latent dimensionality.
+    pub latent_dim: usize,
+    /// Distance scale of the class means (means are drawn from
+    /// `N(0, class_sep^2 I)`).
+    pub class_sep: f64,
+    /// Within-class standard deviation (isotropic).
+    pub within_std: f64,
+    /// Seed for drawing the class means.
+    pub seed: u64,
+}
+
+/// A sampled set of class prototypes plus the mixture parameters, from which
+/// labelled samples and exact posteriors can be produced.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    /// `C × latent_dim` matrix of class means.
+    pub means: Matrix,
+    /// Within-class standard deviation.
+    pub within_std: f64,
+    /// Equal class priors are assumed throughout (as in the paper's noise
+    /// lemmas).
+    pub num_classes: usize,
+}
+
+impl GaussianMixture {
+    /// Draws class means according to the spec.
+    pub fn from_spec(spec: &GaussianMixtureSpec) -> Self {
+        assert!(spec.num_classes >= 2, "need at least two classes");
+        assert!(spec.latent_dim >= 1, "latent dimension must be positive");
+        assert!(spec.within_std > 0.0, "within-class std must be positive");
+        let mut r = rng::seeded(spec.seed);
+        let means = Matrix::from_fn(spec.num_classes, spec.latent_dim, |_, _| {
+            (rng::normal(&mut r) * spec.class_sep) as f32
+        });
+        Self { means, within_std: spec.within_std, num_classes: spec.num_classes }
+    }
+
+    /// Samples `n` labelled latent points with equal class priors.
+    pub fn sample(&self, n: usize, rng_: &mut StdRng) -> (Matrix, Vec<u32>) {
+        let d = self.means.cols();
+        let mut x = Matrix::zeros(n, d);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = rng_.gen_range(0..self.num_classes);
+            y.push(c as u32);
+            let mean = self.means.row(c);
+            let row = x.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = mean[j] + (rng::normal(rng_) * self.within_std) as f32;
+            }
+        }
+        (x, y)
+    }
+
+    /// Exact posterior `p(y | z)` for a latent point under equal priors.
+    pub fn posterior(&self, z: &[f32]) -> Vec<f64> {
+        let inv_two_var = 1.0 / (2.0 * self.within_std * self.within_std);
+        let mut logits: Vec<f64> = (0..self.num_classes)
+            .map(|c| -(Matrix::row_sq_dist(z, self.means.row(c)) as f64) * inv_two_var)
+            .collect();
+        stats::softmax_inplace(&mut logits);
+        logits
+    }
+
+    /// Bayes-optimal prediction for a latent point.
+    pub fn bayes_prediction(&self, z: &[f32]) -> u32 {
+        stats::argmax(&self.posterior(z)) as u32
+    }
+
+    /// Monte-Carlo estimate of the Bayes error `E[1 - max_y p(y|Z)]`.
+    pub fn bayes_error_monte_carlo(&self, n_samples: usize, seed: u64) -> f64 {
+        let mut r = rng::seeded(seed);
+        let mut acc = 0.0f64;
+        for _ in 0..n_samples {
+            let c = r.gen_range(0..self.num_classes);
+            let mean = self.means.row(c);
+            let z: Vec<f32> = mean
+                .iter()
+                .map(|&m| m + (rng::normal(&mut r) * self.within_std) as f32)
+                .collect();
+            let post = self.posterior(&z);
+            acc += 1.0 - post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        }
+        acc / n_samples as f64
+    }
+
+    /// Closed-form Bayes error for the two-class case with equal priors:
+    /// `Φ(-‖μ₀ − μ₁‖ / (2σ))`.
+    pub fn bayes_error_two_class_analytic(&self) -> Option<f64> {
+        if self.num_classes != 2 {
+            return None;
+        }
+        let d = Matrix::row_sq_dist(self.means.row(0), self.means.row(1)).sqrt() as f64;
+        Some(stats::normal_cdf(-d / (2.0 * self.within_std)))
+    }
+}
+
+/// Calibrates the class-separation scale so that the mixture's Bayes error is
+/// close to `target_ber`, using bisection over the separation and Monte-Carlo
+/// BER evaluation. Returns the mixture together with its estimated BER.
+///
+/// The BER of an isotropic mixture is monotonically decreasing in the
+/// separation scale, which makes bisection sound.
+pub fn calibrate_to_ber(
+    num_classes: usize,
+    latent_dim: usize,
+    target_ber: f64,
+    seed: u64,
+    mc_samples: usize,
+) -> (GaussianMixture, f64) {
+    assert!((0.0..0.9).contains(&target_ber), "target BER must be in [0, 0.9)");
+    let make = |sep: f64| {
+        GaussianMixture::from_spec(&GaussianMixtureSpec {
+            num_classes,
+            latent_dim,
+            class_sep: sep,
+            within_std: 1.0,
+            seed,
+        })
+    };
+    // Bracket the target: small separation => BER near (C-1)/C, large => near 0.
+    let mut lo = 0.01f64;
+    let mut hi = 40.0f64;
+    let mut best = make(hi);
+    let mut best_ber = best.bayes_error_monte_carlo(mc_samples, seed ^ 0x5eed);
+    if target_ber <= 1e-4 {
+        return (best, best_ber);
+    }
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        let mix = make(mid);
+        let ber = mix.bayes_error_monte_carlo(mc_samples, seed ^ 0x5eed);
+        best = mix;
+        best_ber = ber;
+        if ber > target_ber {
+            // Too much overlap: increase separation.
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (ber - target_ber).abs() < 0.002 {
+            break;
+        }
+        // Bisection iterates on [lo, hi]; note ber decreases with separation,
+        // so when ber > target we must *raise* the lower end of the bracket.
+    }
+    (best, best_ber)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(c: usize, sep: f64, seed: u64) -> GaussianMixtureSpec {
+        GaussianMixtureSpec { num_classes: c, latent_dim: 8, class_sep: sep, within_std: 1.0, seed }
+    }
+
+    #[test]
+    fn posterior_is_a_distribution() {
+        let mix = GaussianMixture::from_spec(&spec(5, 3.0, 1));
+        let mut r = rng::seeded(2);
+        let (x, _) = mix.sample(20, &mut r);
+        for i in 0..x.rows() {
+            let p = mix.posterior(x.row(i));
+            assert_eq!(p.len(), 5);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn bayes_error_decreases_with_separation() {
+        let close = GaussianMixture::from_spec(&spec(4, 0.5, 3));
+        let far = GaussianMixture::from_spec(&spec(4, 6.0, 3));
+        let ber_close = close.bayes_error_monte_carlo(4000, 7);
+        let ber_far = far.bayes_error_monte_carlo(4000, 7);
+        assert!(ber_close > ber_far, "close {ber_close} vs far {ber_far}");
+        assert!(ber_far < 0.05);
+    }
+
+    #[test]
+    fn two_class_analytic_matches_monte_carlo() {
+        let mix = GaussianMixture::from_spec(&spec(2, 1.5, 11));
+        let analytic = mix.bayes_error_two_class_analytic().unwrap();
+        let mc = mix.bayes_error_monte_carlo(60_000, 13);
+        assert!((analytic - mc).abs() < 0.01, "analytic {analytic} vs mc {mc}");
+        assert!(GaussianMixture::from_spec(&spec(3, 1.5, 1)).bayes_error_two_class_analytic().is_none());
+    }
+
+    #[test]
+    fn samples_have_equalish_priors_and_right_shape() {
+        let mix = GaussianMixture::from_spec(&spec(3, 2.0, 5));
+        let mut r = rng::seeded(9);
+        let (x, y) = mix.sample(3000, &mut r);
+        assert_eq!(x.rows(), 3000);
+        assert_eq!(x.cols(), 8);
+        let mut counts = [0usize; 3];
+        for &l in &y {
+            counts[l as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 3000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.05, "class fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn bayes_prediction_beats_noise() {
+        let mix = GaussianMixture::from_spec(&spec(4, 4.0, 21));
+        let mut r = rng::seeded(22);
+        let (x, y) = mix.sample(2000, &mut r);
+        let correct = (0..x.rows()).filter(|&i| mix.bayes_prediction(x.row(i)) == y[i]).count();
+        let acc = correct as f64 / x.rows() as f64;
+        assert!(acc > 0.9, "bayes accuracy {acc}");
+    }
+
+    #[test]
+    fn calibration_hits_target_ber() {
+        for &target in &[0.02f64, 0.10, 0.25] {
+            let (_mix, ber) = calibrate_to_ber(10, 12, target, 31, 4000);
+            assert!((ber - target).abs() < 0.03, "target {target}, got {ber}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn rejects_single_class() {
+        let _ = GaussianMixture::from_spec(&spec(1, 1.0, 1));
+    }
+}

@@ -1,0 +1,546 @@
+//! Label-noise models and the paper's noise theory.
+//!
+//! Implements:
+//!
+//! * class-dependent label noise via row-stochastic transition matrices
+//!   (Section III-A of the paper, Eq. 4),
+//! * uniform noise as the special case of Lemma 2.1, pairwise flipping as the
+//!   second worked example of Appendix VIII,
+//! * the BER-evolution formula of Theorem 3.1 for generative tasks where the
+//!   posterior is known, its lower/upper bounds (Eq. 17–19) anchored at the
+//!   SOTA error `s_{X,Y}`, and the diagonal-average approximation (Eq. 20),
+//! * replicas of the CIFAR-N transition matrices with the statistics reported
+//!   in Table II.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use snoopy_linalg::rng;
+
+/// A row-stochastic label-transition matrix `t[y][y'] = P(Y_noisy = y' | Y = y)`.
+#[derive(Debug, Clone)]
+pub struct TransitionMatrix {
+    num_classes: usize,
+    /// Row-major `C × C` probabilities.
+    probs: Vec<f64>,
+}
+
+impl TransitionMatrix {
+    /// Builds a transition matrix from row-major probabilities.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `C × C`, contains negative entries, or has
+    /// rows that do not sum to 1 (tolerance `1e-6`).
+    pub fn new(num_classes: usize, probs: Vec<f64>) -> Self {
+        assert_eq!(probs.len(), num_classes * num_classes, "transition matrix must be C x C");
+        for y in 0..num_classes {
+            let row = &probs[y * num_classes..(y + 1) * num_classes];
+            assert!(row.iter().all(|&p| p >= -1e-12), "negative transition probability");
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {y} sums to {sum}, expected 1");
+        }
+        Self { num_classes, probs }
+    }
+
+    /// Identity matrix: no label noise.
+    pub fn identity(num_classes: usize) -> Self {
+        let mut probs = vec![0.0; num_classes * num_classes];
+        for y in 0..num_classes {
+            probs[y * num_classes + y] = 1.0;
+        }
+        Self { num_classes, probs }
+    }
+
+    /// Uniform flipping: with probability `rho` the label is replaced by a
+    /// uniform draw over all `C` classes (including the original one). This is
+    /// exactly the noise model of Lemma 2.1: the per-class flip fraction is
+    /// `rho * (1 - 1/C)` and every off-diagonal entry is `rho / C`.
+    pub fn uniform(num_classes: usize, rho: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+        let c = num_classes as f64;
+        let mut probs = vec![rho / c; num_classes * num_classes];
+        for y in 0..num_classes {
+            probs[y * num_classes + y] = 1.0 - rho + rho / c;
+        }
+        Self { num_classes, probs }
+    }
+
+    /// Pairwise flipping: class `y` flips to `(y + 1) mod C` with probability
+    /// `rho` (Appendix VIII, second example).
+    pub fn pairwise(num_classes: usize, rho: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1]");
+        let mut probs = vec![0.0; num_classes * num_classes];
+        for y in 0..num_classes {
+            probs[y * num_classes + y] = 1.0 - rho;
+            probs[y * num_classes + (y + 1) % num_classes] = rho;
+        }
+        Self { num_classes, probs }
+    }
+
+    /// Builds a confusion-structured class-dependent matrix whose per-class
+    /// flip rates are spread between `min_flip` and `max_flip` and whose
+    /// largest off-diagonal entry is capped at `max_offdiag`. Each class
+    /// confuses most strongly with one "partner" class (as human annotators
+    /// do for visually similar categories), with the remaining flip mass
+    /// spread uniformly.
+    pub fn confusion_structured(
+        num_classes: usize,
+        min_flip: f64,
+        max_flip: f64,
+        max_offdiag: f64,
+        seed: u64,
+    ) -> Self {
+        Self::confusion_structured_skewed(num_classes, min_flip, max_flip, max_offdiag, 1.0, seed)
+    }
+
+    /// Like [`Self::confusion_structured`], but the per-class flip rates are
+    /// interpolated as `min + (max - min) * t^skew`; `skew > 1` concentrates
+    /// most classes near the low end (as in CIFAR-100N, where one class has an
+    /// 85 % flip rate but the overall noise is only 40 %).
+    pub fn confusion_structured_skewed(
+        num_classes: usize,
+        min_flip: f64,
+        max_flip: f64,
+        max_offdiag: f64,
+        skew: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_classes >= 2);
+        assert!(min_flip >= 0.0 && max_flip <= 1.0 && min_flip <= max_flip);
+        assert!(max_offdiag > 0.0 && max_offdiag <= 1.0);
+        let mut r = rng::seeded(seed);
+        let mut probs = vec![0.0; num_classes * num_classes];
+        for y in 0..num_classes {
+            // Flip rate linearly interpolated (then shuffled by class identity).
+            let t = if num_classes == 1 { 0.0 } else { y as f64 / (num_classes - 1) as f64 };
+            let flip = min_flip + t.powf(skew) * (max_flip - min_flip);
+            let partner = loop {
+                let p = r.gen_range(0..num_classes);
+                if p != y {
+                    break p;
+                }
+            };
+            // Cap the partner mass so that the diagonal stays the row maximum
+            // (the assumption of Theorem 3.1, which Table II reports to hold
+            // for every CIFAR-N variant).
+            let partner_mass = flip.min(max_offdiag).min(1.0 - flip);
+            let rest = (flip - partner_mass).max(0.0);
+            let others = (num_classes - 2).max(1) as f64;
+            for y2 in 0..num_classes {
+                let p = if y2 == y {
+                    1.0 - flip
+                } else if y2 == partner {
+                    partner_mass + if num_classes == 2 { rest } else { 0.0 }
+                } else {
+                    rest / others
+                };
+                probs[y * num_classes + y2] = p;
+            }
+        }
+        Self::new(num_classes, probs)
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Entry `t[y][y']`.
+    pub fn get(&self, y: usize, y2: usize) -> f64 {
+        self.probs[y * self.num_classes + y2]
+    }
+
+    /// Per-class flip fraction `ρ(y) = 1 - t[y][y]`.
+    pub fn flip_rate(&self, y: usize) -> f64 {
+        1.0 - self.get(y, y)
+    }
+
+    /// Largest per-class flip fraction `max_y ρ(y)`.
+    pub fn max_flip(&self) -> f64 {
+        (0..self.num_classes).map(|y| self.flip_rate(y)).fold(0.0, f64::max)
+    }
+
+    /// Smallest per-class flip fraction `min_y ρ(y)`.
+    pub fn min_flip(&self) -> f64 {
+        (0..self.num_classes).map(|y| self.flip_rate(y)).fold(1.0, f64::min)
+    }
+
+    /// Average per-class flip fraction `E_y ρ(y)` under the given priors
+    /// (uniform priors if `None`).
+    pub fn mean_flip(&self, priors: Option<&[f64]>) -> f64 {
+        match priors {
+            Some(p) => (0..self.num_classes).map(|y| p[y] * self.flip_rate(y)).sum(),
+            None => {
+                (0..self.num_classes).map(|y| self.flip_rate(y)).sum::<f64>() / self.num_classes as f64
+            }
+        }
+    }
+
+    /// Largest off-diagonal entry `max_{y≠y'} t[y][y']`.
+    pub fn max_offdiag(&self) -> f64 {
+        let mut m: f64 = 0.0;
+        for y in 0..self.num_classes {
+            for y2 in 0..self.num_classes {
+                if y != y2 {
+                    m = m.max(self.get(y, y2));
+                }
+            }
+        }
+        m
+    }
+
+    /// Smallest off-diagonal entry `min_{y≠y'} t[y][y']`.
+    pub fn min_offdiag(&self) -> f64 {
+        let mut m = f64::INFINITY;
+        for y in 0..self.num_classes {
+            for y2 in 0..self.num_classes {
+                if y != y2 {
+                    m = m.min(self.get(y, y2));
+                }
+            }
+        }
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Overall expected noise rate under the given class priors (uniform if
+    /// `None`): the probability that a freshly drawn label gets corrupted.
+    pub fn overall_noise(&self, priors: Option<&[f64]>) -> f64 {
+        self.mean_flip(priors)
+    }
+
+    /// Whether every diagonal entry is the row maximum — the assumption of
+    /// Theorem 3.1 ("the maximal label per sample is preserved").
+    pub fn diagonal_dominant(&self) -> bool {
+        (0..self.num_classes).all(|y| {
+            let diag = self.get(y, y);
+            (0..self.num_classes).all(|y2| y2 == y || self.get(y, y2) <= diag + 1e-12)
+        })
+    }
+
+    /// Applies the noise model to a slice of labels, returning the corrupted
+    /// labels.
+    pub fn apply(&self, labels: &[u32], rng_: &mut StdRng) -> Vec<u32> {
+        labels
+            .iter()
+            .map(|&y| {
+                let row = &self.probs[(y as usize) * self.num_classes..(y as usize + 1) * self.num_classes];
+                rng::categorical(rng_, row) as u32
+            })
+            .collect()
+    }
+}
+
+/// High-level noise models exposed to the experiment harness.
+#[derive(Debug, Clone)]
+pub enum NoiseModel {
+    /// No corruption.
+    Clean,
+    /// Uniform flipping with probability `rho` (Lemma 2.1).
+    Uniform(f64),
+    /// Pairwise flipping with probability `rho`.
+    Pairwise(f64),
+    /// Arbitrary class-dependent transition matrix (Theorem 3.1).
+    ClassDependent(TransitionMatrix),
+}
+
+impl NoiseModel {
+    /// The transition matrix realising this model for `num_classes` classes.
+    pub fn transition_matrix(&self, num_classes: usize) -> TransitionMatrix {
+        match self {
+            NoiseModel::Clean => TransitionMatrix::identity(num_classes),
+            NoiseModel::Uniform(rho) => TransitionMatrix::uniform(num_classes, *rho),
+            NoiseModel::Pairwise(rho) => TransitionMatrix::pairwise(num_classes, *rho),
+            NoiseModel::ClassDependent(t) => {
+                assert_eq!(t.num_classes(), num_classes, "transition matrix class count mismatch");
+                t.clone()
+            }
+        }
+    }
+
+    /// Applies the model to labels.
+    pub fn apply(&self, labels: &[u32], num_classes: usize, rng_: &mut StdRng) -> Vec<u32> {
+        match self {
+            NoiseModel::Clean => labels.to_vec(),
+            _ => self.transition_matrix(num_classes).apply(labels, rng_),
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            NoiseModel::Clean => "clean".to_string(),
+            NoiseModel::Uniform(rho) => format!("uniform({rho:.2})"),
+            NoiseModel::Pairwise(rho) => format!("pairwise({rho:.2})"),
+            NoiseModel::ClassDependent(t) => {
+                format!("class-dependent(noise {:.2})", t.overall_noise(None))
+            }
+        }
+    }
+}
+
+/// Lemma 2.1: evolution of the BER under uniform label noise,
+/// `R*_{X,Y_ρ} = R*_{X,Y} + ρ (1 - 1/C - R*_{X,Y})`.
+pub fn ber_after_uniform_noise(clean_ber: f64, rho: f64, num_classes: usize) -> f64 {
+    let c = num_classes as f64;
+    clean_ber + rho * (1.0 - 1.0 / c - clean_ber)
+}
+
+/// Pairwise-flipping example of Appendix VIII:
+/// `R*_{X,Y_ρ} = R*_{X,Y} + ρ (1 - 2 R*_{X,Y})` (binary-style flip to one
+/// fixed partner class).
+pub fn ber_after_pairwise_noise(clean_ber: f64, rho: f64) -> f64 {
+    clean_ber + rho * (1.0 - 2.0 * clean_ber)
+}
+
+/// Valid lower/upper bounds on the noisy BER from Eq. 19 of the paper,
+/// anchored at the clean-task SOTA error `s_{X,Y}` (which upper-bounds the
+/// clean BER):
+///
+/// `R*_{X,Y_ρ} ∈ [ (1 - s) · min_y ρ(y) − s · max_{y≠y'} t_{y,y'},  s + max_y ρ(y) ]`.
+pub fn ber_bounds_class_dependent(sota_error: f64, t: &TransitionMatrix) -> (f64, f64) {
+    let lower = (1.0 - sota_error) * t.min_flip() - sota_error * t.max_offdiag();
+    let upper = sota_error + t.max_flip();
+    (lower.max(0.0), upper.min(1.0))
+}
+
+/// The approximation of Eq. 20: `R ≈ s + E_y[ρ(y)] (1 - s)`, i.e. the average
+/// diagonal distance from one instead of the min/max extremes.
+pub fn ber_approx_class_dependent(sota_error: f64, t: &TransitionMatrix, priors: Option<&[f64]>) -> f64 {
+    (sota_error + t.mean_flip(priors) * (1.0 - sota_error)).min(1.0)
+}
+
+/// Theorem 3.1 evaluated for a task whose posterior is known: given per-sample
+/// posterior vectors `p(·|x)` (each of length `C`), returns the exact noisy
+/// BER
+///
+/// `R*_{X,Y_ρ} = R*_{X,Y} + E_X[ρ(y_x) p(y_x|x)] − E_X[Σ_{y≠y_x} t_{y_x,y} p(y|x)]`.
+pub fn ber_after_class_dependent_noise_exact(posteriors: &[Vec<f64>], t: &TransitionMatrix) -> f64 {
+    assert!(!posteriors.is_empty());
+    let c = t.num_classes();
+    let mut clean = 0.0f64;
+    let mut gain = 0.0f64;
+    let mut loss = 0.0f64;
+    for p in posteriors {
+        assert_eq!(p.len(), c, "posterior dimension mismatch");
+        let yx = snoopy_linalg::stats::argmax(p);
+        clean += 1.0 - p[yx];
+        gain += t.flip_rate(yx) * p[yx];
+        loss += (0..c).filter(|&y| y != yx).map(|y| t.get(yx, y) * p[y]).sum::<f64>();
+    }
+    let n = posteriors.len() as f64;
+    ((clean + gain - loss) / n).clamp(0.0, 1.0)
+}
+
+/// One named CIFAR-N-style noisy variant (Table II replica).
+#[derive(Debug, Clone)]
+pub struct CifarNVariant {
+    /// Variant name, e.g. `"cifar10-aggre"`.
+    pub name: String,
+    /// Base dataset name in the registry (`"cifar10"` or `"cifar100"`).
+    pub base: &'static str,
+    /// The replica transition matrix.
+    pub matrix: TransitionMatrix,
+    /// Overall noise level reported in Table II.
+    pub reported_noise: f64,
+}
+
+/// Builds the five CIFAR-N replicas with the statistics of Table II:
+///
+/// | dataset            | noise | max ρ(y) | min ρ(y) | max off-diag |
+/// |---------------------|-------|----------|----------|--------------|
+/// | CIFAR10-Aggre       | 9 %   | 17 %     | 3 %      | 10 %         |
+/// | CIFAR10-Random1     | 17 %  | 26 %     | 10 %     | 23 %         |
+/// | CIFAR10-Random2     | 18 %  | 26 %     | 10 %     | 23 %         |
+/// | CIFAR10-Random3     | 18 %  | 26 %     | 10 %     | 23 %         |
+/// | CIFAR100-Noisy      | 40 %  | 85 %     | 8 %      | 31 %         |
+pub fn cifar_n_variants() -> Vec<CifarNVariant> {
+    vec![
+        CifarNVariant {
+            name: "cifar10-aggre".into(),
+            base: "cifar10",
+            matrix: TransitionMatrix::confusion_structured(10, 0.03, 0.17, 0.10, 101),
+            reported_noise: 0.09,
+        },
+        CifarNVariant {
+            name: "cifar10-random1".into(),
+            base: "cifar10",
+            matrix: TransitionMatrix::confusion_structured(10, 0.10, 0.26, 0.23, 102),
+            reported_noise: 0.17,
+        },
+        CifarNVariant {
+            name: "cifar10-random2".into(),
+            base: "cifar10",
+            matrix: TransitionMatrix::confusion_structured(10, 0.10, 0.26, 0.23, 103),
+            reported_noise: 0.18,
+        },
+        CifarNVariant {
+            name: "cifar10-random3".into(),
+            base: "cifar10",
+            matrix: TransitionMatrix::confusion_structured(10, 0.10, 0.26, 0.23, 104),
+            reported_noise: 0.18,
+        },
+        CifarNVariant {
+            name: "cifar100-noisy".into(),
+            base: "cifar100",
+            matrix: TransitionMatrix::confusion_structured_skewed(100, 0.08, 0.85, 0.31, 1.45, 105),
+            reported_noise: 0.40,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matrix_matches_lemma_parameters() {
+        let c = 10;
+        let rho = 0.4;
+        let t = TransitionMatrix::uniform(c, rho);
+        for y in 0..c {
+            assert!((t.flip_rate(y) - rho * (1.0 - 1.0 / c as f64)).abs() < 1e-12);
+            for y2 in 0..c {
+                if y != y2 {
+                    assert!((t.get(y, y2) - rho / c as f64).abs() < 1e-12);
+                }
+            }
+        }
+        assert!(t.diagonal_dominant());
+    }
+
+    #[test]
+    fn pairwise_matrix_shape() {
+        let t = TransitionMatrix::pairwise(4, 0.2);
+        assert!((t.get(0, 1) - 0.2).abs() < 1e-12);
+        assert!((t.get(3, 0) - 0.2).abs() < 1e-12);
+        assert!((t.get(2, 2) - 0.8).abs() < 1e-12);
+        assert_eq!(t.get(0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn rejects_non_stochastic_rows() {
+        let _ = TransitionMatrix::new(2, vec![0.9, 0.2, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_produces_expected_noise_rate() {
+        let c = 5;
+        let rho = 0.3;
+        let t = TransitionMatrix::uniform(c, rho);
+        let labels: Vec<u32> = (0..20_000).map(|i| (i % c) as u32).collect();
+        let mut r = rng::seeded(44);
+        let noisy = t.apply(&labels, &mut r);
+        let flipped = labels.iter().zip(&noisy).filter(|(a, b)| a != b).count() as f64 / labels.len() as f64;
+        let expected = rho * (1.0 - 1.0 / c as f64);
+        assert!((flipped - expected).abs() < 0.01, "flipped {flipped}, expected {expected}");
+    }
+
+    #[test]
+    fn lemma21_endpoints() {
+        // rho = 0 keeps the BER, rho = 1 drives it to 1 - 1/C.
+        assert!((ber_after_uniform_noise(0.05, 0.0, 10) - 0.05).abs() < 1e-12);
+        assert!((ber_after_uniform_noise(0.05, 1.0, 10) - 0.9).abs() < 1e-12);
+        // Monotone in rho.
+        let lo = ber_after_uniform_noise(0.1, 0.2, 5);
+        let hi = ber_after_uniform_noise(0.1, 0.6, 5);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn pairwise_formula_endpoints() {
+        assert!((ber_after_pairwise_noise(0.1, 0.0) - 0.1).abs() < 1e-12);
+        assert!((ber_after_pairwise_noise(0.0, 0.3) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem31_recovers_lemma21_for_uniform_noise() {
+        // Build synthetic posteriors with known clean BER, apply Theorem 3.1
+        // with the uniform matrix and compare against Lemma 2.1.
+        let c = 4;
+        let mut r = rng::seeded(7);
+        let mut posteriors = Vec::new();
+        for _ in 0..4000 {
+            let p = rng::simplex_point(&mut r, c, 0.5);
+            posteriors.push(p);
+        }
+        let clean_ber = posteriors
+            .iter()
+            .map(|p| 1.0 - p.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .sum::<f64>()
+            / posteriors.len() as f64;
+        for &rho in &[0.1, 0.3, 0.6] {
+            let t = TransitionMatrix::uniform(c, rho);
+            let exact = ber_after_class_dependent_noise_exact(&posteriors, &t);
+            let lemma = ber_after_uniform_noise(clean_ber, rho, c);
+            assert!((exact - lemma).abs() < 1e-9, "rho {rho}: exact {exact} vs lemma {lemma}");
+        }
+    }
+
+    #[test]
+    fn theorem31_bounds_contain_exact_value() {
+        let c = 6;
+        let mut r = rng::seeded(9);
+        let posteriors: Vec<Vec<f64>> = (0..3000).map(|_| rng::simplex_point(&mut r, c, 0.4)).collect();
+        let clean_ber = posteriors
+            .iter()
+            .map(|p| 1.0 - p.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .sum::<f64>()
+            / posteriors.len() as f64;
+        let t = TransitionMatrix::confusion_structured(c, 0.05, 0.3, 0.2, 3);
+        let exact = ber_after_class_dependent_noise_exact(&posteriors, &t);
+        // s_{X,Y} is any upper bound on the clean BER; use clean BER + margin.
+        let sota = clean_ber + 0.02;
+        let (lo, hi) = ber_bounds_class_dependent(sota, &t);
+        assert!(exact >= lo - 1e-9, "exact {exact} below lower bound {lo}");
+        assert!(exact <= hi + 1e-9, "exact {exact} above upper bound {hi}");
+        let approx = ber_approx_class_dependent(sota, &t, None);
+        assert!(approx >= lo && approx <= hi);
+    }
+
+    #[test]
+    fn confusion_structured_matches_requested_statistics() {
+        let t = TransitionMatrix::confusion_structured(10, 0.03, 0.17, 0.10, 101);
+        assert!((t.min_flip() - 0.03).abs() < 1e-9);
+        assert!((t.max_flip() - 0.17).abs() < 1e-9);
+        assert!(t.max_offdiag() <= 0.10 + 1e-9);
+        assert!(t.diagonal_dominant());
+        let noise = t.overall_noise(None);
+        assert!((noise - 0.10).abs() < 0.03, "overall noise {noise}");
+    }
+
+    #[test]
+    fn cifar_n_variants_reproduce_table2() {
+        let variants = cifar_n_variants();
+        assert_eq!(variants.len(), 5);
+        for v in &variants {
+            assert!(v.matrix.diagonal_dominant(), "{} must satisfy Theorem 3.1's assumption", v.name);
+            let noise = v.matrix.overall_noise(None);
+            assert!(
+                (noise - v.reported_noise).abs() < 0.06,
+                "{}: generated noise {noise}, reported {}",
+                v.name,
+                v.reported_noise
+            );
+        }
+        let c100 = &variants[4];
+        assert_eq!(c100.matrix.num_classes(), 100);
+        assert!((c100.matrix.max_flip() - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_model_dispatch() {
+        let mut r = rng::seeded(5);
+        let labels = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
+        assert_eq!(NoiseModel::Clean.apply(&labels, 4, &mut r), labels);
+        let noisy = NoiseModel::Uniform(1.0).apply(&labels, 4, &mut r);
+        assert_eq!(noisy.len(), labels.len());
+        assert!(NoiseModel::Uniform(0.2).describe().contains("uniform"));
+        assert!(NoiseModel::Clean.describe().contains("clean"));
+        let t = TransitionMatrix::pairwise(4, 0.5);
+        assert!(NoiseModel::ClassDependent(t).describe().contains("class-dependent"));
+    }
+}

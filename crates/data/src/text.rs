@@ -1,0 +1,327 @@
+//! Text-like synthetic task generator (topic-model documents).
+//!
+//! The paper's NLP datasets (IMDB, SST2, YELP) are replaced by a bag-of-words
+//! generative replica:
+//!
+//! 1. each class `c` owns a word distribution `θ_c` over a vocabulary of size
+//!    `vocab_size`, drawn from a symmetric Dirichlet and then *sharpened*
+//!    towards a small set of class-indicative words (so classes overlap on
+//!    common words and differ on discriminative ones, as sentiment corpora
+//!    do),
+//! 2. a document of class `c` samples its length from a Poisson distribution
+//!    and its words i.i.d. from `θ_c`,
+//! 3. the raw feature vector is the L2-normalised term-frequency vector.
+//!
+//! Because the generative model is known exactly, the posterior `p(c | doc)`
+//! — and therefore the true Bayes error — can be computed by Monte-Carlo, and
+//! the sharpening temperature is calibrated to hit the SOTA anchor from
+//! Table I. The matrix of per-class log-word-probabilities serves as the
+//! task's `latent_map`: projecting a term-frequency vector onto it yields
+//! (scaled) class log-likelihood scores, which is the sufficient statistic a
+//! perfect text embedding could recover.
+
+use crate::dataset::{Dataset, DatasetMeta, Modality, TaskDataset};
+use rand::rngs::StdRng;
+use rand::Rng;
+use snoopy_linalg::{rng, stats, Matrix};
+
+/// Parameters of a text-like synthetic task.
+#[derive(Debug, Clone)]
+pub struct TextTaskSpec {
+    /// Task name.
+    pub name: String,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Number of training documents.
+    pub train_size: usize,
+    /// Number of test documents.
+    pub test_size: usize,
+    /// Vocabulary size (raw feature dimensionality).
+    pub vocab_size: usize,
+    /// Expected document length (Poisson mean).
+    pub doc_length: f64,
+    /// Target Bayes error of the clean task.
+    pub target_ber: f64,
+    /// Published SOTA error of the mirrored paper dataset.
+    pub sota_error: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl TextTaskSpec {
+    /// Small task for tests.
+    pub fn small(name: &str, num_classes: usize, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            num_classes,
+            train_size: 400,
+            test_size: 200,
+            vocab_size: 200,
+            doc_length: 40.0,
+            target_ber: 0.05,
+            sota_error: 0.05,
+            seed,
+        }
+    }
+}
+
+/// The fitted generative model for a text task.
+#[derive(Debug, Clone)]
+pub struct TopicModel {
+    /// `C × V` matrix of per-class word probabilities.
+    pub theta: Vec<Vec<f64>>,
+    /// Expected document length.
+    pub doc_length: f64,
+    /// Pre-computed per-class cumulative samplers for fast word draws.
+    samplers: Vec<rng::CumulativeSampler>,
+}
+
+impl TopicModel {
+    /// Builds class word-distributions: a shared background distribution
+    /// blended with class-specific sparse "indicator" distributions. A larger
+    /// `signal` gives more separable classes.
+    pub fn new(num_classes: usize, vocab_size: usize, signal: f64, seed: u64, doc_length: f64) -> Self {
+        assert!(num_classes >= 2 && vocab_size >= num_classes * 2);
+        let mut r = rng::seeded(seed);
+        let background = rng::simplex_point(&mut r, vocab_size, 5.0);
+        let mut theta = Vec::with_capacity(num_classes);
+        for _ in 0..num_classes {
+            let indicative = rng::simplex_point(&mut r, vocab_size, 0.05);
+            let mut dist: Vec<f64> = background
+                .iter()
+                .zip(&indicative)
+                .map(|(&b, &i)| (1.0 - signal) * b + signal * i)
+                .collect();
+            let sum: f64 = dist.iter().sum();
+            for d in &mut dist {
+                *d /= sum;
+            }
+            theta.push(dist);
+        }
+        let samplers = theta.iter().map(|d| rng::CumulativeSampler::new(d)).collect();
+        Self { theta, doc_length, samplers }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.theta[0].len()
+    }
+
+    /// Samples a document of class `c`, returning raw word counts.
+    pub fn sample_counts(&self, c: usize, rng_: &mut StdRng) -> Vec<u32> {
+        let len = rng::poisson(rng_, self.doc_length).max(1);
+        let mut counts = vec![0u32; self.vocab_size()];
+        for _ in 0..len {
+            let w = self.samplers[c].sample(rng_);
+            counts[w] += 1;
+        }
+        counts
+    }
+
+    /// Posterior `p(c | counts)` under equal priors.
+    pub fn posterior(&self, counts: &[u32]) -> Vec<f64> {
+        let mut logits: Vec<f64> = self
+            .theta
+            .iter()
+            .map(|dist| {
+                counts
+                    .iter()
+                    .zip(dist)
+                    .filter(|(&cnt, _)| cnt > 0)
+                    .map(|(&cnt, &p)| cnt as f64 * p.max(1e-300).ln())
+                    .sum()
+            })
+            .collect();
+        stats::softmax_inplace(&mut logits);
+        logits
+    }
+
+    /// Monte-Carlo Bayes error of the document-classification task.
+    pub fn bayes_error_monte_carlo(&self, n_samples: usize, seed: u64) -> f64 {
+        let mut r = rng::seeded(seed);
+        let c = self.num_classes();
+        let mut acc = 0.0;
+        for _ in 0..n_samples {
+            let y = r.gen_range(0..c);
+            let counts = self.sample_counts(y, &mut r);
+            let post = self.posterior(&counts);
+            acc += 1.0 - post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        }
+        acc / n_samples as f64
+    }
+
+    /// The `V × C` matrix of per-class log-probabilities (the task's latent map).
+    pub fn log_theta_map(&self) -> Matrix {
+        let v = self.vocab_size();
+        let c = self.num_classes();
+        Matrix::from_fn(v, c, |w, cls| self.theta[cls][w].max(1e-300).ln() as f32)
+    }
+
+    /// Converts word counts to an L2-normalised term-frequency feature vector.
+    pub fn counts_to_features(counts: &[u32]) -> Vec<f32> {
+        let mut feat: Vec<f32> = counts.iter().map(|&c| c as f32).collect();
+        let norm = Matrix::row_norm(&feat);
+        if norm > 0.0 {
+            for f in &mut feat {
+                *f /= norm;
+            }
+        }
+        feat
+    }
+}
+
+/// Calibrates the class-signal strength so that the document task's Bayes
+/// error is close to the target.
+pub fn calibrate_topic_model(spec: &TextTaskSpec, mc_samples: usize) -> (TopicModel, f64) {
+    let mut lo = 0.005f64; // almost no class signal: BER near chance
+    let mut hi = 0.95f64; // strong signal: BER near zero
+    let mut model = TopicModel::new(spec.num_classes, spec.vocab_size, hi, spec.seed, spec.doc_length);
+    let mut ber = model.bayes_error_monte_carlo(mc_samples, spec.seed ^ 0xbe5);
+    if spec.target_ber <= 1e-4 {
+        return (model, ber);
+    }
+    for _ in 0..18 {
+        let mid = 0.5 * (lo + hi);
+        let cand = TopicModel::new(spec.num_classes, spec.vocab_size, mid, spec.seed, spec.doc_length);
+        let cand_ber = cand.bayes_error_monte_carlo(mc_samples, spec.seed ^ 0xbe5);
+        model = cand;
+        ber = cand_ber;
+        if cand_ber > spec.target_ber {
+            lo = mid; // need more signal
+        } else {
+            hi = mid;
+        }
+        if (cand_ber - spec.target_ber).abs() < 0.004 {
+            break;
+        }
+    }
+    (model, ber)
+}
+
+/// Generates the text task described by `spec`.
+pub fn generate_text_task(spec: &TextTaskSpec) -> TaskDataset {
+    let mc = 3_000.max(30 * spec.num_classes);
+    let (model, achieved_ber) = calibrate_topic_model(spec, mc);
+    let mut sample_rng = rng::seeded(spec.seed ^ 0x7e47);
+    let train = render_split(&model, spec.train_size, spec.num_classes, &mut sample_rng);
+    let test = render_split(&model, spec.test_size, spec.num_classes, &mut sample_rng);
+    TaskDataset {
+        name: spec.name.clone(),
+        num_classes: spec.num_classes,
+        train,
+        test,
+        meta: DatasetMeta {
+            sota_error: spec.sota_error,
+            true_ber: Some(achieved_ber),
+            modality: Modality::Text,
+            latent_map: Some(model.log_theta_map()),
+            latent_dim: spec.num_classes,
+        },
+    }
+}
+
+fn render_split(model: &TopicModel, n: usize, num_classes: usize, rng_: &mut StdRng) -> Dataset {
+    let v = model.vocab_size();
+    let mut features = Matrix::zeros(n, v);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let y = rng_.gen_range(0..num_classes);
+        labels.push(y as u32);
+        let counts = model.sample_counts(y, rng_);
+        features.row_mut(i).copy_from_slice(&TopicModel::counts_to_features(&counts));
+    }
+    Dataset::new_clean(features, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_model_distributions_are_valid() {
+        let m = TopicModel::new(3, 50, 0.4, 1, 30.0);
+        for dist in &m.theta {
+            assert_eq!(dist.len(), 50);
+            assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(dist.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn posterior_is_a_distribution_and_identifies_strong_signal() {
+        let m = TopicModel::new(2, 60, 0.8, 2, 60.0);
+        let mut r = rng::seeded(3);
+        let mut correct = 0;
+        for i in 0..200 {
+            let y = i % 2;
+            let counts = m.sample_counts(y, &mut r);
+            let post = m.posterior(&counts);
+            assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            if stats::argmax(&post) == y {
+                correct += 1;
+            }
+        }
+        assert!(correct > 180, "posterior argmax accuracy {correct}/200");
+    }
+
+    #[test]
+    fn more_signal_means_lower_bayes_error() {
+        let weak = TopicModel::new(4, 100, 0.05, 5, 40.0);
+        let strong = TopicModel::new(4, 100, 0.7, 5, 40.0);
+        let ber_weak = weak.bayes_error_monte_carlo(1500, 6);
+        let ber_strong = strong.bayes_error_monte_carlo(1500, 6);
+        assert!(ber_weak > ber_strong, "weak {ber_weak} vs strong {ber_strong}");
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let mut spec = TextTaskSpec::small("cal", 2, 17);
+        spec.target_ber = 0.12;
+        let (_m, ber) = calibrate_topic_model(&spec, 2000);
+        assert!((ber - 0.12).abs() < 0.04, "ber {ber}");
+    }
+
+    #[test]
+    fn generated_task_shape_and_normalisation() {
+        let spec = TextTaskSpec::small("toy-text", 3, 23);
+        let task = generate_text_task(&spec);
+        assert_eq!(task.train.len(), 400);
+        assert_eq!(task.test.len(), 200);
+        assert_eq!(task.raw_dim(), 200);
+        assert_eq!(task.meta.modality, Modality::Text);
+        assert_eq!(task.meta.latent_dim, 3);
+        // Feature rows are unit-norm (or zero).
+        for i in 0..20 {
+            let norm = Matrix::row_norm(task.train.features.row(i));
+            assert!((norm - 1.0).abs() < 1e-4 || norm == 0.0);
+        }
+    }
+
+    #[test]
+    fn latent_map_scores_discriminate() {
+        let spec = TextTaskSpec::small("latent-text", 2, 29);
+        let task = generate_text_task(&spec);
+        let map = task.meta.latent_map.as_ref().unwrap();
+        let scores = task.test.features.matmul(map);
+        let mut correct = 0;
+        for i in 0..scores.rows() {
+            let row: Vec<f64> = scores.row(i).iter().map(|&v| v as f64).collect();
+            if stats::argmax(&row) as u32 == task.test.clean_labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / scores.rows() as f64;
+        assert!(acc > 0.8, "latent-map score accuracy {acc}");
+    }
+
+    #[test]
+    fn counts_to_features_handles_empty_document() {
+        let feats = TopicModel::counts_to_features(&[0, 0, 0]);
+        assert_eq!(feats, vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the label-noise theory of Section III-A.
+
+use proptest::prelude::*;
+use snoopy_data::noise::{
+    ber_after_class_dependent_noise_exact, ber_after_uniform_noise, ber_approx_class_dependent,
+    ber_bounds_class_dependent, TransitionMatrix,
+};
+use snoopy_linalg::rng;
+
+fn random_posteriors(seed: u64, n: usize, c: usize) -> Vec<Vec<f64>> {
+    let mut r = rng::seeded(seed);
+    (0..n).map(|_| rng::simplex_point(&mut r, c, 0.6)).collect()
+}
+
+fn clean_ber(posteriors: &[Vec<f64>]) -> f64 {
+    posteriors
+        .iter()
+        .map(|p| 1.0 - p.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+        .sum::<f64>()
+        / posteriors.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Uniform and pairwise transition matrices are row-stochastic with the
+    /// expected flip rates.
+    #[test]
+    fn uniform_matrix_flip_rate_matches_lemma(c in 2usize..30, rho in 0.0f64..1.0) {
+        let t = TransitionMatrix::uniform(c, rho);
+        for y in 0..c {
+            let row_sum: f64 = (0..c).map(|y2| t.get(y, y2)).sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-9);
+            prop_assert!((t.flip_rate(y) - rho * (1.0 - 1.0 / c as f64)).abs() < 1e-9);
+        }
+        prop_assert!(t.diagonal_dominant() || rho > 1.0 - 1e-9);
+    }
+
+    /// Lemma 2.1 is monotone in both the clean BER and the noise level, and
+    /// never exceeds the chance level 1 - 1/C.
+    #[test]
+    fn lemma21_monotone_and_bounded(ber in 0.0f64..0.5, rho in 0.0f64..1.0, c in 2usize..100) {
+        let chance = 1.0 - 1.0 / c as f64;
+        let noisy = ber_after_uniform_noise(ber.min(chance), rho, c);
+        prop_assert!(noisy + 1e-12 >= ber.min(chance));
+        prop_assert!(noisy <= chance + 1e-12);
+        let noisier = ber_after_uniform_noise(ber.min(chance), (rho + 0.1).min(1.0), c);
+        prop_assert!(noisier + 1e-12 >= noisy);
+    }
+
+    /// Theorem 3.1 evaluated exactly on random posteriors always lies inside
+    /// the Eq. 19 bounds (anchored at any SOTA error above the clean BER) and
+    /// the Eq. 20 approximation lies between the bounds too.
+    #[test]
+    fn theorem31_bounds_contain_exact_value(
+        seed in 0u64..1000,
+        c in 2usize..8,
+        min_flip in 0.0f64..0.2,
+        extra_flip in 0.01f64..0.4,
+        offdiag_cap in 0.05f64..0.5,
+        sota_margin in 0.0f64..0.1,
+    ) {
+        let posteriors = random_posteriors(seed, 400, c);
+        let clean = clean_ber(&posteriors);
+        let t = TransitionMatrix::confusion_structured(c, min_flip, (min_flip + extra_flip).min(0.9), offdiag_cap, seed);
+        let exact = ber_after_class_dependent_noise_exact(&posteriors, &t);
+        let sota = (clean + sota_margin).min(1.0);
+        let (lo, hi) = ber_bounds_class_dependent(sota, &t);
+        prop_assert!(exact >= lo - 1e-9, "exact {exact} below lower bound {lo}");
+        prop_assert!(exact <= hi + 1e-9, "exact {exact} above upper bound {hi}");
+        let approx = ber_approx_class_dependent(sota, &t, None);
+        prop_assert!(approx >= lo - 1e-9 && approx <= hi + 1e-9);
+    }
+
+    /// Applying a transition matrix to labels only produces labels that are
+    /// reachable under that matrix (non-zero transition probability).
+    #[test]
+    fn apply_respects_support(seed in 0u64..1000, c in 2usize..10, rho in 0.0f64..0.9) {
+        let t = TransitionMatrix::pairwise(c, rho);
+        let labels: Vec<u32> = (0..200).map(|i| (i % c) as u32).collect();
+        let mut r = rng::seeded(seed);
+        let noisy = t.apply(&labels, &mut r);
+        for (&orig, &new) in labels.iter().zip(&noisy) {
+            prop_assert!(t.get(orig as usize, new as usize) > 0.0,
+                "label {orig} flipped to {new} which has zero transition probability");
+        }
+    }
+
+    /// The exact Theorem 3.1 value under the identity matrix equals the clean
+    /// BER, and under full uniform noise approaches the chance level.
+    #[test]
+    fn theorem31_endpoints(seed in 0u64..1000, c in 2usize..8) {
+        let posteriors = random_posteriors(seed, 300, c);
+        let clean = clean_ber(&posteriors);
+        let identity = TransitionMatrix::identity(c);
+        let same = ber_after_class_dependent_noise_exact(&posteriors, &identity);
+        prop_assert!((same - clean).abs() < 1e-9);
+        let full = TransitionMatrix::uniform(c, 1.0);
+        let noisy = ber_after_class_dependent_noise_exact(&posteriors, &full);
+        prop_assert!((noisy - (1.0 - 1.0 / c as f64)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! The end-to-end simulation loop (Figures 9, 10 and 21–27).
+
+use crate::strategy::UserStrategy;
+use snoopy_bandit::SelectionStrategy;
+use snoopy_core::{FeasibilityDecision, IncrementalStudy, SnoopyConfig};
+use snoopy_data::cleaning::clean_fraction;
+use snoopy_data::TaskDataset;
+use snoopy_embeddings::zoo_for_task;
+use snoopy_models::logreg::{grid_search_error, LOGREG_GRID_SIZE};
+use snoopy_models::{CostScenario, FineTuneBaseline};
+use snoopy_linalg::rng;
+
+/// Simulated seconds for one LR-proxy feasibility check: the paper trains the
+/// 9-configuration grid once the embeddings are cached (no extra inference on
+/// re-runs), so the per-check cost is `grid × per-sample training cost`.
+const LOGREG_SECONDS_PER_SAMPLE_PER_CONFIG: f64 = 0.004;
+
+/// Configuration of one end-to-end simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// Target accuracy the user wants to reach.
+    pub target_accuracy: f64,
+    /// Cost scenario (label + machine costs).
+    pub cost: CostScenario,
+    /// Safety cap on the number of cleaning rounds.
+    pub max_rounds: usize,
+    /// Seed for cleaning order and model training.
+    pub seed: u64,
+    /// Use fast (reduced-epoch) models — appropriate for the scaled-down
+    /// replicas; the *simulated* costs still reflect paper-scale training.
+    pub quick_models: bool,
+}
+
+impl SimulationConfig {
+    /// A reasonable default for the scaled-down tasks.
+    pub fn new(target_accuracy: f64, cost: CostScenario, seed: u64) -> Self {
+        Self { target_accuracy, cost, max_rounds: 200, seed, quick_models: true }
+    }
+}
+
+/// One recorded step of the simulation.
+#[derive(Debug, Clone)]
+pub struct TracePoint {
+    /// Index of the round that produced this point.
+    pub round: usize,
+    /// What happened ("finetune", "clean", "snoopy-check", "lr-check",
+    /// "snoopy-bootstrap").
+    pub action: String,
+    /// Cumulative number of labels inspected so far.
+    pub labels_inspected: usize,
+    /// Fraction of all labels inspected so far.
+    pub fraction_cleaned: f64,
+    /// Cumulative dollars spent so far.
+    pub dollars: f64,
+    /// Accuracy achieved or projected by this action, when applicable.
+    pub accuracy: Option<f64>,
+}
+
+/// The full trace of one simulated user.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Strategy that produced the trace.
+    pub strategy: String,
+    /// Recorded steps.
+    pub points: Vec<TracePoint>,
+    /// Total dollars spent.
+    pub total_dollars: f64,
+    /// Total labels inspected.
+    pub labels_inspected: usize,
+    /// Total simulated machine seconds spent (allows re-pricing the same
+    /// trace under a different cost scenario).
+    pub machine_seconds: f64,
+    /// Number of expensive (FineTune) runs performed.
+    pub expensive_runs: usize,
+    /// Whether the target accuracy was reached by the final expensive run.
+    pub reached_target: bool,
+    /// Accuracy of the final expensive run.
+    pub final_accuracy: f64,
+}
+
+struct Ledger {
+    cost: CostScenario,
+    labels_inspected: usize,
+    machine_seconds: f64,
+    points: Vec<TracePoint>,
+    total_labels: usize,
+}
+
+impl Ledger {
+    fn new(cost: CostScenario, total_labels: usize) -> Self {
+        Self { cost, labels_inspected: 0, machine_seconds: 0.0, points: Vec::new(), total_labels }
+    }
+
+    fn dollars(&self) -> f64 {
+        self.cost.total_dollars(self.labels_inspected, self.machine_seconds)
+    }
+
+    fn record(&mut self, round: usize, action: &str, accuracy: Option<f64>) {
+        self.points.push(TracePoint {
+            round,
+            action: action.to_string(),
+            labels_inspected: self.labels_inspected,
+            fraction_cleaned: self.labels_inspected as f64 / self.total_labels.max(1) as f64,
+            dollars: self.dollars(),
+            accuracy,
+        });
+    }
+}
+
+/// Runs the simulation for one strategy on a (noisy) task. The task is cloned
+/// internally so callers can reuse the same noisy dataset across strategies.
+pub fn simulate(task: &TaskDataset, strategy: UserStrategy, config: &SimulationConfig) -> Trace {
+    let mut task = task.clone();
+    let mut ledger = Ledger::new(config.cost, task.total_len());
+    let mut rng_ = rng::seeded(config.seed ^ 0xe2e);
+    let finetune = if config.quick_models {
+        FineTuneBaseline::quick(config.seed)
+    } else {
+        FineTuneBaseline { seed: config.seed, ..Default::default() }
+    };
+
+    let mut expensive_runs = 0usize;
+    let mut final_accuracy = 0.0f64;
+    let mut reached = false;
+
+    let run_expensive = |task: &TaskDataset, ledger: &mut Ledger, round: usize| -> f64 {
+        let outcome = finetune.run(task);
+        ledger.machine_seconds += outcome.simulated_seconds;
+        ledger.record(round, "finetune", Some(outcome.test_accuracy));
+        outcome.test_accuracy
+    };
+
+    match strategy {
+        UserStrategy::NoFeasibility { step_fraction } => {
+            for round in 0..config.max_rounds {
+                let accuracy = run_expensive(&task, &mut ledger, round);
+                expensive_runs += 1;
+                final_accuracy = accuracy;
+                if accuracy >= config.target_accuracy {
+                    reached = true;
+                    break;
+                }
+                if task.observed_noise_rate() == 0.0 {
+                    break;
+                }
+                let report = clean_fraction(&mut task, step_fraction, &mut rng_);
+                ledger.labels_inspected += report.inspected_count();
+                ledger.record(round, "clean", None);
+            }
+        }
+        UserStrategy::LrProxyFeasibility { clean_fraction: step } => {
+            // Embeddings are computed exactly once (Section VI-A): charge the
+            // inference of the best embedding up front, then each check only
+            // pays LR training time.
+            let zoo = zoo_for_task(&task, config.seed);
+            let best = zoo
+                .iter()
+                .max_by(|a, b| a.cost_per_sample().total_cmp(&b.cost_per_sample()))
+                .expect("zoo is not empty");
+            let train_embedded = best.transform(&task.train.features);
+            let test_embedded = best.transform(&task.test.features);
+            ledger.machine_seconds += best.cost_for(task.total_len());
+            let epochs = if config.quick_models { 5 } else { 20 };
+            let per_check_seconds =
+                LOGREG_SECONDS_PER_SAMPLE_PER_CONFIG * task.train.len() as f64 * LOGREG_GRID_SIZE as f64;
+
+            for round in 0..config.max_rounds {
+                let (err, _) = grid_search_error(
+                    &train_embedded,
+                    &task.train.labels,
+                    &test_embedded,
+                    &task.test.labels,
+                    task.num_classes,
+                    epochs,
+                    config.seed,
+                );
+                ledger.machine_seconds += per_check_seconds;
+                let proxy_accuracy = 1.0 - err;
+                ledger.record(round, "lr-check", Some(proxy_accuracy));
+                if proxy_accuracy >= config.target_accuracy || task.observed_noise_rate() == 0.0 {
+                    break;
+                }
+                let report = clean_fraction(&mut task, step, &mut rng_);
+                ledger.labels_inspected += report.inspected_count();
+                ledger.record(round, "clean", None);
+            }
+            let accuracy = run_expensive(&task, &mut ledger, config.max_rounds);
+            expensive_runs += 1;
+            final_accuracy = accuracy;
+            reached = accuracy >= config.target_accuracy;
+        }
+        UserStrategy::SnoopyFeasibility { clean_fraction: step } => {
+            let zoo = zoo_for_task(&task, config.seed);
+            let snoopy_config = SnoopyConfig::with_target(config.target_accuracy)
+                .strategy(SelectionStrategy::SuccessiveHalvingTangent)
+                .batch_fraction(0.2);
+            let mut study = IncrementalStudy::bootstrap(snoopy_config, &task, &zoo);
+            ledger.machine_seconds += study.initial_report().simulated_cost_seconds;
+            let mut decision = study.initial_report().decision;
+            ledger.record(0, "snoopy-bootstrap", Some(study.initial_report().projected_accuracy));
+
+            let mut round = 0usize;
+            while decision == FeasibilityDecision::Unrealistic
+                && task.observed_noise_rate() > 0.0
+                && round < config.max_rounds
+            {
+                let report = clean_fraction(&mut task, step, &mut rng_);
+                ledger.labels_inspected += report.inspected_count();
+                ledger.record(round, "clean", None);
+                // Incremental re-run: a single pass over the test set, whose
+                // simulated cost is negligible (the paper reports ~0.2 ms).
+                let answer = study.refresh(&task);
+                ledger.machine_seconds += 1e-3;
+                ledger.record(round, "snoopy-check", Some(answer.projected_accuracy));
+                decision = answer.decision;
+                round += 1;
+            }
+            let accuracy = run_expensive(&task, &mut ledger, round);
+            expensive_runs += 1;
+            final_accuracy = accuracy;
+            reached = accuracy >= config.target_accuracy;
+        }
+    }
+
+    Trace {
+        strategy: strategy.name(),
+        total_dollars: ledger.dollars(),
+        labels_inspected: ledger.labels_inspected,
+        machine_seconds: ledger.machine_seconds,
+        expensive_runs,
+        reached_target: reached,
+        final_accuracy,
+        points: ledger.points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_data::noise::NoiseModel;
+    use snoopy_data::registry::{load_with_noise, SizeScale};
+    use snoopy_models::{LabelCost, MachineCost};
+
+    fn noisy_task(seed: u64) -> TaskDataset {
+        load_with_noise("sst2", SizeScale::Tiny, &NoiseModel::Uniform(0.6), seed)
+    }
+
+    fn config(label: LabelCost) -> SimulationConfig {
+        SimulationConfig::new(
+            0.80,
+            CostScenario { label, machine: MachineCost::default() },
+            7,
+        )
+    }
+
+    #[test]
+    fn snoopy_strategy_runs_the_expensive_model_exactly_once() {
+        let task = noisy_task(1);
+        let trace = simulate(&task, UserStrategy::SnoopyFeasibility { clean_fraction: 0.05 }, &config(LabelCost::Cheap));
+        assert_eq!(trace.expensive_runs, 1);
+        assert!(trace.points.iter().any(|p| p.action == "snoopy-bootstrap"));
+        assert!(trace.total_dollars > 0.0);
+        assert!(trace.final_accuracy > 0.0);
+    }
+
+    #[test]
+    fn no_feasibility_small_steps_trigger_many_expensive_runs() {
+        let task = noisy_task(2);
+        let frequent = simulate(&task, UserStrategy::NoFeasibility { step_fraction: 0.05 }, &config(LabelCost::Free));
+        let coarse = simulate(&task, UserStrategy::NoFeasibility { step_fraction: 0.50 }, &config(LabelCost::Free));
+        let snoopy = simulate(&task, UserStrategy::SnoopyFeasibility { clean_fraction: 0.05 }, &config(LabelCost::Free));
+        assert!(
+            frequent.expensive_runs > coarse.expensive_runs,
+            "small steps should retrain more often ({} vs {})",
+            frequent.expensive_runs,
+            coarse.expensive_runs
+        );
+        assert!(snoopy.expensive_runs <= coarse.expensive_runs);
+    }
+
+    #[test]
+    fn feasibility_study_saves_money_when_machine_time_dominates() {
+        // Free labels: the only cost is machine time, which the feasibility
+        // study slashes by avoiding repeated expensive runs — claim (I) of
+        // Section VI-D.
+        let task = noisy_task(3);
+        let cfg = config(LabelCost::Free);
+        let naive = simulate(&task, UserStrategy::NoFeasibility { step_fraction: 0.05 }, &cfg);
+        let snoopy = simulate(&task, UserStrategy::SnoopyFeasibility { clean_fraction: 0.05 }, &cfg);
+        assert!(
+            snoopy.total_dollars < naive.total_dollars,
+            "snoopy {} should be cheaper than naive {}",
+            snoopy.total_dollars,
+            naive.total_dollars
+        );
+    }
+
+    #[test]
+    fn traces_are_monotone_in_cost_and_cleaning() {
+        let task = noisy_task(4);
+        let trace = simulate(&task, UserStrategy::LrProxyFeasibility { clean_fraction: 0.05 }, &config(LabelCost::Expensive));
+        for pair in trace.points.windows(2) {
+            assert!(pair[1].dollars + 1e-12 >= pair[0].dollars);
+            assert!(pair[1].labels_inspected >= pair[0].labels_inspected);
+        }
+        assert!(trace.points.iter().any(|p| p.action == "lr-check"));
+        assert_eq!(
+            trace.labels_inspected,
+            trace.points.last().unwrap().labels_inspected
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! User interaction strategies of the end-to-end experiment.
+
+/// How the user decides when to (re-)train the expensive model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UserStrategy {
+    /// No feasibility study: train the expensive model, and whenever it
+    /// misses the target clean `step_fraction` of the data and retrain
+    /// (the paper's "FineTune (step x %)" lines).
+    NoFeasibility {
+        /// Fraction of the dataset cleaned between expensive runs
+        /// (0.01, 0.05, 0.10 or 0.50 in the paper).
+        step_fraction: f64,
+    },
+    /// Feasibility study with the cheap LR proxy: alternate LR-proxy checks
+    /// and `clean_fraction` cleaning rounds until the proxy accuracy reaches
+    /// the target, then run the expensive model.
+    LrProxyFeasibility {
+        /// Fraction cleaned per round (1 % in the paper).
+        clean_fraction: f64,
+    },
+    /// Feasibility study with Snoopy: one full study up front, then
+    /// incremental re-runs after every `clean_fraction` cleaning round until
+    /// Snoopy reports REALISTIC, then run the expensive model.
+    SnoopyFeasibility {
+        /// Fraction cleaned per round (1 % in the paper).
+        clean_fraction: f64,
+    },
+}
+
+impl UserStrategy {
+    /// Name used in reports and figures.
+    pub fn name(&self) -> String {
+        match self {
+            UserStrategy::NoFeasibility { step_fraction } => {
+                format!("finetune-step-{:.0}%", step_fraction * 100.0)
+            }
+            UserStrategy::LrProxyFeasibility { .. } => "lr-proxy".to_string(),
+            UserStrategy::SnoopyFeasibility { .. } => "snoopy".to_string(),
+        }
+    }
+
+    /// The strategy line-up evaluated in Figures 9/10: four no-feasibility
+    /// step sizes plus the two feasibility-study variants.
+    pub fn paper_lineup() -> Vec<UserStrategy> {
+        vec![
+            UserStrategy::NoFeasibility { step_fraction: 0.01 },
+            UserStrategy::NoFeasibility { step_fraction: 0.05 },
+            UserStrategy::NoFeasibility { step_fraction: 0.10 },
+            UserStrategy::NoFeasibility { step_fraction: 0.50 },
+            UserStrategy::LrProxyFeasibility { clean_fraction: 0.01 },
+            UserStrategy::SnoopyFeasibility { clean_fraction: 0.01 },
+        ]
+    }
+
+    /// Whether this strategy consults a feasibility signal before paying for
+    /// expensive training.
+    pub fn uses_feasibility_study(&self) -> bool {
+        !matches!(self, UserStrategy::NoFeasibility { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_descriptive() {
+        let lineup = UserStrategy::paper_lineup();
+        assert_eq!(lineup.len(), 6);
+        let names: Vec<String> = lineup.iter().map(|s| s.name()).collect();
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+        assert!(names.contains(&"snoopy".to_string()));
+        assert!(names.iter().any(|n| n.contains("50%")));
+    }
+
+    #[test]
+    fn feasibility_flag() {
+        assert!(!UserStrategy::NoFeasibility { step_fraction: 0.1 }.uses_feasibility_study());
+        assert!(UserStrategy::SnoopyFeasibility { clean_fraction: 0.01 }.uses_feasibility_study());
+        assert!(UserStrategy::LrProxyFeasibility { clean_fraction: 0.01 }.uses_feasibility_study());
+    }
+}

@@ -1,0 +1,268 @@
+//! Classical zoo members: identity, standardisation, PCA, random projection,
+//! and an LDA/NCA-style supervised projection.
+
+use crate::transform::Transformation;
+use snoopy_linalg::eigen::symmetric_eigen;
+use snoopy_linalg::{Matrix, Pca, RandomProjection, Standardizer};
+
+/// The identity ("Raw") transformation of Table III.
+#[derive(Debug, Clone)]
+pub struct Identity {
+    dim: usize,
+}
+
+impl Identity {
+    /// Creates the identity transformation for `dim`-dimensional inputs.
+    pub fn new(dim: usize) -> Self {
+        Self { dim }
+    }
+}
+
+impl Transformation for Identity {
+    fn name(&self) -> &str {
+        "raw"
+    }
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+    fn cost_per_sample(&self) -> f64 {
+        0.0
+    }
+    fn transform(&self, x: &Matrix) -> Matrix {
+        x.clone()
+    }
+}
+
+/// Per-feature z-scoring fitted on the training split ("with normalization"
+/// variants of Table IV).
+pub struct StandardizeTransform {
+    name: String,
+    standardizer: Standardizer,
+    dim: usize,
+    cost: f64,
+}
+
+impl StandardizeTransform {
+    /// Fits the standardiser on `train`.
+    pub fn fit(train: &Matrix) -> Self {
+        Self {
+            name: "standardize".to_string(),
+            standardizer: Standardizer::fit(train),
+            dim: train.cols(),
+            cost: 1e-6,
+        }
+    }
+}
+
+impl Transformation for StandardizeTransform {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+    fn cost_per_sample(&self) -> f64 {
+        self.cost
+    }
+    fn transform(&self, x: &Matrix) -> Matrix {
+        self.standardizer.transform(x)
+    }
+}
+
+/// PCA projection fitted on the training split (PCA32/PCA64/PCA128 of
+/// Table III).
+pub struct PcaTransform {
+    name: String,
+    pca: Pca,
+    cost: f64,
+}
+
+impl PcaTransform {
+    /// Fits PCA with `k` components on `train`.
+    pub fn fit(train: &Matrix, k: usize) -> Self {
+        let pca = Pca::fit(train, k);
+        Self { name: format!("pca{}", pca.num_components()), pca, cost: 2e-6 }
+    }
+}
+
+impl Transformation for PcaTransform {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn output_dim(&self) -> usize {
+        self.pca.num_components()
+    }
+    fn cost_per_sample(&self) -> f64 {
+        self.cost
+    }
+    fn transform(&self, x: &Matrix) -> Matrix {
+        self.pca.transform(x)
+    }
+}
+
+/// Gaussian random projection (a deliberately mediocre zoo member used to
+/// stress the minimum aggregation).
+pub struct RandomProjectionTransform {
+    name: String,
+    projection: RandomProjection,
+}
+
+impl RandomProjectionTransform {
+    /// Creates a random projection to `k` dimensions.
+    pub fn new(input_dim: usize, k: usize, seed: u64) -> Self {
+        Self { name: format!("random-proj{k}"), projection: RandomProjection::new(input_dim, k, seed) }
+    }
+}
+
+impl Transformation for RandomProjectionTransform {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn output_dim(&self) -> usize {
+        self.projection.output_dim()
+    }
+    fn cost_per_sample(&self) -> f64 {
+        1e-6
+    }
+    fn transform(&self, x: &Matrix) -> Matrix {
+        self.projection.transform(x)
+    }
+}
+
+/// NCA/LDA-style supervised linear projection (the "NCA" entry of the paper's
+/// vision zoo): projects onto the top eigenvectors of the between-class
+/// scatter of standardised features.
+pub struct SupervisedProjection {
+    name: String,
+    standardizer: Standardizer,
+    /// `d × k` projection matrix.
+    projection: Matrix,
+}
+
+impl SupervisedProjection {
+    /// Fits the projection on labelled training data, keeping `k` directions
+    /// (clamped to `min(C − 1, d)`).
+    pub fn fit(train: &Matrix, labels: &[u32], num_classes: usize, k: usize) -> Self {
+        assert_eq!(train.rows(), labels.len(), "feature/label count mismatch");
+        let standardizer = Standardizer::fit(train);
+        let std_train = standardizer.transform(train);
+        let d = std_train.cols();
+        let k = k.min(num_classes.saturating_sub(1).max(1)).min(d);
+
+        // Between-class scatter of standardised data.
+        let global_mean = std_train.column_means();
+        let mut class_means = vec![vec![0.0f64; d]; num_classes];
+        let mut counts = vec![0usize; num_classes];
+        for (i, &y) in labels.iter().enumerate() {
+            counts[y as usize] += 1;
+            for (j, v) in std_train.row(i).iter().enumerate() {
+                class_means[y as usize][j] += *v as f64;
+            }
+        }
+        let mut scatter = Matrix::zeros(d, d);
+        for (c, mean) in class_means.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                continue;
+            }
+            for v in mean.iter_mut() {
+                *v /= counts[c] as f64;
+            }
+            let weight = counts[c] as f64 / labels.len().max(1) as f64;
+            for a in 0..d {
+                let da = mean[a] - global_mean[a];
+                for b in a..d {
+                    let db = mean[b] - global_mean[b];
+                    let add = (weight * da * db) as f32;
+                    scatter.set(a, b, scatter.get(a, b) + add);
+                    if a != b {
+                        scatter.set(b, a, scatter.get(b, a) + add);
+                    }
+                }
+            }
+        }
+        let eig = symmetric_eigen(&scatter, 60);
+        let mut projection = Matrix::zeros(d, k);
+        for col in 0..k {
+            for row in 0..d {
+                projection.set(row, col, eig.vectors.get(col, row));
+            }
+        }
+        Self { name: "nca".to_string(), standardizer, projection }
+    }
+}
+
+impl Transformation for SupervisedProjection {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn output_dim(&self) -> usize {
+        self.projection.cols()
+    }
+    fn cost_per_sample(&self) -> f64 {
+        3e-6
+    }
+    fn transform(&self, x: &Matrix) -> Matrix {
+        self.standardizer.transform(x).matmul(&self.projection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_data::registry::{load_clean, SizeScale};
+    use snoopy_knn::{BruteForceIndex, Metric};
+
+    #[test]
+    fn identity_is_a_noop_with_zero_cost() {
+        let task = load_clean("mnist", SizeScale::Tiny, 1);
+        let id = Identity::new(task.raw_dim());
+        let out = id.transform(&task.train.features);
+        assert_eq!(out.data(), task.train.features.data());
+        assert_eq!(id.cost_per_sample(), 0.0);
+        assert_eq!(id.output_dim(), task.raw_dim());
+    }
+
+    #[test]
+    fn pca_transform_reduces_dimension() {
+        let task = load_clean("mnist", SizeScale::Tiny, 2);
+        let pca = PcaTransform::fit(&task.train.features, 16);
+        assert_eq!(pca.output_dim(), 16);
+        assert_eq!(pca.name(), "pca16");
+        let out = pca.transform(&task.test.features);
+        assert_eq!(out.rows(), task.test.len());
+        assert_eq!(out.cols(), 16);
+    }
+
+    #[test]
+    fn standardize_and_random_projection_shapes() {
+        let task = load_clean("sst2", SizeScale::Tiny, 3);
+        let st = StandardizeTransform::fit(&task.train.features);
+        assert_eq!(st.output_dim(), task.raw_dim());
+        assert_eq!(st.transform(&task.test.features).cols(), task.raw_dim());
+        let rp = RandomProjectionTransform::new(task.raw_dim(), 24, 9);
+        assert_eq!(rp.output_dim(), 24);
+        assert_eq!(rp.name(), "random-proj24");
+        assert_eq!(rp.transform(&task.test.features).cols(), 24);
+    }
+
+    #[test]
+    fn supervised_projection_improves_1nn_over_random_projection() {
+        let task = load_clean("cifar10", SizeScale::Tiny, 4);
+        let k = 8;
+        let sup = SupervisedProjection::fit(&task.train.features, &task.train.labels, task.num_classes, k);
+        let rand_proj = RandomProjectionTransform::new(task.raw_dim(), k.min(task.num_classes - 1), 5);
+
+        let err = |train: &Matrix, test: &Matrix| {
+            BruteForceIndex::new(train.clone(), task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
+                .one_nn_error(test, &task.test.labels)
+        };
+        let sup_err = err(&sup.transform(&task.train.features), &sup.transform(&task.test.features));
+        let rand_err = err(&rand_proj.transform(&task.train.features), &rand_proj.transform(&task.test.features));
+        assert!(
+            sup_err <= rand_err + 0.05,
+            "supervised projection ({sup_err:.3}) should not be much worse than random ({rand_err:.3})"
+        );
+        assert_eq!(sup.name(), "nca");
+        assert!(sup.output_dim() < task.num_classes);
+    }
+}

@@ -1,0 +1,119 @@
+//! Thread-safe cache of transformed feature matrices.
+//!
+//! Running inference to obtain embeddings is the dominant cost of a
+//! feasibility study (Section V). Within one study the same transformed
+//! features are needed repeatedly — by the bandit scheduler, by the
+//! convergence plots, and by the incremental re-runs after label cleaning
+//! (cleaning never changes features, so cached embeddings stay valid). The
+//! cache also tracks how much *simulated* inference cost has been paid so the
+//! experiment harness can report Figure 4/5-style cost numbers.
+
+use crate::transform::{apply_to_task, TransformedTask, Transformation};
+use parking_lot::Mutex;
+use snoopy_data::TaskDataset;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache of per-transformation embeddings for one task.
+#[derive(Default)]
+pub struct EmbeddingCache {
+    entries: Mutex<HashMap<String, Arc<TransformedTask>>>,
+    simulated_cost: Mutex<f64>,
+}
+
+impl EmbeddingCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached embedding for `transformation`, computing (and
+    /// charging for) it on first use.
+    pub fn get_or_compute(&self, transformation: &dyn Transformation, task: &TaskDataset) -> Arc<TransformedTask> {
+        {
+            let entries = self.entries.lock();
+            if let Some(hit) = entries.get(transformation.name()) {
+                return Arc::clone(hit);
+            }
+        }
+        // Compute outside the lock: transformations can be expensive and
+        // different transformations may be requested concurrently.
+        let computed = Arc::new(apply_to_task(transformation, task));
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(transformation.name().to_string()).or_insert_with(|| {
+            *self.simulated_cost.lock() += computed.inference_cost;
+            Arc::clone(&computed)
+        });
+        Arc::clone(entry)
+    }
+
+    /// Whether an embedding is already cached.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.lock().contains_key(name)
+    }
+
+    /// Number of cached embeddings.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total simulated inference cost charged so far, in seconds.
+    pub fn simulated_cost(&self) -> f64 {
+        *self.simulated_cost.lock()
+    }
+
+    /// Drops all cached embeddings (the simulated cost already paid is kept —
+    /// recomputation would charge again, as it would in reality).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::Identity;
+    use crate::registry::vision_zoo;
+    use snoopy_data::registry::{load_clean, SizeScale};
+
+    #[test]
+    fn caching_avoids_double_charging() {
+        let task = load_clean("mnist", SizeScale::Tiny, 1);
+        let cache = EmbeddingCache::new();
+        let zoo = vision_zoo(&task, 2);
+        let expensive = zoo.iter().find(|t| t.name() == "efficientnet-b7").unwrap();
+        let first = cache.get_or_compute(expensive.as_ref(), &task);
+        let cost_after_first = cache.simulated_cost();
+        let second = cache.get_or_compute(expensive.as_ref(), &task);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.simulated_cost(), cost_after_first);
+        assert!(cost_after_first > 0.0);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains("efficientnet-b7"));
+    }
+
+    #[test]
+    fn identity_costs_nothing() {
+        let task = load_clean("mnist", SizeScale::Tiny, 3);
+        let cache = EmbeddingCache::new();
+        cache.get_or_compute(&Identity::new(task.raw_dim()), &task);
+        assert_eq!(cache.simulated_cost(), 0.0);
+    }
+
+    #[test]
+    fn clear_keeps_cost_but_drops_entries() {
+        let task = load_clean("mnist", SizeScale::Tiny, 4);
+        let cache = EmbeddingCache::new();
+        let zoo = vision_zoo(&task, 5);
+        cache.get_or_compute(zoo.last().unwrap().as_ref(), &task);
+        let cost = cache.simulated_cost();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.simulated_cost(), cost);
+    }
+}

@@ -1,0 +1,218 @@
+//! Simulated pre-trained embeddings.
+//!
+//! A real pre-trained encoder (ResNet, BERT, …) maps raw inputs to a
+//! representation in which the task's semantic structure is far more linearly
+//! separable than in pixel/bag-of-words space — but imperfectly so, and the
+//! degree of imperfection (the transformation bias `δ_f` of Section IV-B)
+//! varies across models in a way the user cannot know in advance. That is the
+//! only property Snoopy's estimator interacts with.
+//!
+//! [`SimulatedPretrained`] reproduces it with a deterministic map
+//!
+//! ```text
+//! f(x) = fidelity · tanh(gain · (x·L)·Q)  ⊕  (1 − fidelity) · tanh(x·B)
+//! ```
+//!
+//! where `L` is the task's latent-recovery map (from the generative model),
+//! `Q` an orthonormal expansion to the embedding's nominal width, and `B` a
+//! fixed random matrix producing structured distortion. A fidelity of 1
+//! recovers the latent space (tiny `δ_f`); a fidelity of 0 yields a random
+//! nonlinear feature map (large `δ_f`). The cost per sample models GPU
+//! inference and dominates the feasibility-study runtime exactly as in the
+//! paper (Section V, "Computational Bottleneck").
+
+use crate::transform::Transformation;
+use snoopy_linalg::projection::random_orthonormal_map;
+use snoopy_linalg::{rng, Matrix};
+
+/// A simulated pre-trained embedding.
+pub struct SimulatedPretrained {
+    name: String,
+    output_dim: usize,
+    fidelity: f64,
+    cost_per_sample: f64,
+    /// Raw → latent recovery map (`d_raw × d_latent`).
+    latent_map: Matrix,
+    /// Latent → embedding expansion (`d_latent × output_dim`).
+    expansion: Matrix,
+    /// Raw → embedding distortion map (`d_raw × output_dim`).
+    distortion: Matrix,
+    /// Gain applied before the signal nonlinearity.
+    gain: f32,
+}
+
+impl SimulatedPretrained {
+    /// Builds a simulated embedding.
+    ///
+    /// * `latent_map` — the task's generative latent-recovery map,
+    /// * `fidelity` — in `[0, 1]`, how much of the latent structure the
+    ///   embedding captures,
+    /// * `output_dim` — nominal width (e.g. 2048 for ResNet50-v2),
+    /// * `cost_per_sample` — simulated inference seconds per sample,
+    /// * `seed` — determines the expansion and distortion matrices.
+    pub fn new(
+        name: &str,
+        latent_map: &Matrix,
+        raw_dim: usize,
+        output_dim: usize,
+        fidelity: f64,
+        cost_per_sample: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fidelity), "fidelity must be in [0, 1]");
+        assert_eq!(latent_map.rows(), raw_dim, "latent map must start from the raw dimension");
+        let latent_dim = latent_map.cols();
+        let expansion = random_orthonormal_map(latent_dim, output_dim.min(latent_dim).max(1), seed ^ 0xe9);
+        // If the nominal width exceeds the latent dimension, pad the expansion
+        // with additional random orthonormal-ish directions so the embedding
+        // has the advertised width (extra coordinates carry no signal, as the
+        // trailing dimensions of real embeddings often do).
+        let expansion = if output_dim > expansion.cols() {
+            let extra = random_orthonormal_map(latent_dim, output_dim - expansion.cols(), seed ^ 0x77aa);
+            concat_columns(&expansion, &extra)
+        } else {
+            expansion
+        };
+        let mut r = rng::seeded(seed ^ 0xd157);
+        let scale = 1.0 / (raw_dim as f64).sqrt();
+        let distortion = Matrix::from_fn(raw_dim, output_dim, |_, _| (rng::normal(&mut r) * scale) as f32);
+        Self {
+            name: name.to_string(),
+            output_dim,
+            fidelity,
+            cost_per_sample,
+            latent_map: latent_map.clone(),
+            expansion,
+            distortion,
+            gain: 1.0,
+        }
+    }
+
+    /// The fidelity knob (useful for tests and the theory experiments).
+    pub fn fidelity(&self) -> f64 {
+        self.fidelity
+    }
+}
+
+fn concat_columns(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows());
+    Matrix::from_fn(a.rows(), a.cols() + b.cols(), |r, c| {
+        if c < a.cols() {
+            a.get(r, c)
+        } else {
+            b.get(r, c - a.cols())
+        }
+    })
+}
+
+impl Transformation for SimulatedPretrained {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    fn cost_per_sample(&self) -> f64 {
+        self.cost_per_sample
+    }
+
+    fn transform(&self, x: &Matrix) -> Matrix {
+        // Signal path: recover latent coordinates, expand to the nominal
+        // width, squash.
+        let latent = x.matmul(&self.latent_map);
+        let mut signal = latent.matmul(&self.expansion);
+        for v in signal.data_mut() {
+            *v = (self.gain * *v).tanh();
+        }
+        // Distortion path: random nonlinear features of the raw input.
+        let mut noise = x.matmul(&self.distortion);
+        for v in noise.data_mut() {
+            *v = v.tanh();
+        }
+        let alpha = self.fidelity as f32;
+        let mut out = signal;
+        out.scale(alpha);
+        noise.scale(1.0 - alpha);
+        out.axpy(1.0, &noise);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_data::registry::{load_clean, SizeScale};
+    use snoopy_knn::{BruteForceIndex, Metric};
+
+    fn one_nn_error_through(t: &dyn Transformation, task: &snoopy_data::TaskDataset) -> f64 {
+        let train = t.transform(&task.train.features);
+        let test = t.transform(&task.test.features);
+        BruteForceIndex::new(train, task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
+            .one_nn_error(&test, &task.test.labels)
+    }
+
+    #[test]
+    fn output_has_requested_width() {
+        let task = load_clean("cifar10", SizeScale::Tiny, 5);
+        let map = task.meta.latent_map.clone().unwrap();
+        let emb = SimulatedPretrained::new("resnet50-v2", &map, task.raw_dim(), 64, 0.8, 1e-3, 7);
+        let out = emb.transform(&task.test.features);
+        assert_eq!(out.cols(), 64);
+        assert_eq!(out.rows(), task.test.len());
+        assert_eq!(emb.output_dim(), 64);
+        assert!((emb.fidelity() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_fidelity_gives_lower_1nn_error() {
+        let task = load_clean("cifar10", SizeScale::Tiny, 6);
+        let map = task.meta.latent_map.clone().unwrap();
+        let good = SimulatedPretrained::new("good", &map, task.raw_dim(), 48, 0.95, 1e-3, 11);
+        let bad = SimulatedPretrained::new("bad", &map, task.raw_dim(), 48, 0.05, 1e-3, 11);
+        let err_good = one_nn_error_through(&good, &task);
+        let err_bad = one_nn_error_through(&bad, &task);
+        assert!(
+            err_good < err_bad,
+            "high-fidelity embedding should dominate: good {err_good:.3}, bad {err_bad:.3}"
+        );
+    }
+
+    #[test]
+    fn good_embedding_beats_raw_features() {
+        let task = load_clean("cifar10", SizeScale::Tiny, 8);
+        let map = task.meta.latent_map.clone().unwrap();
+        let good = SimulatedPretrained::new("good", &map, task.raw_dim(), 48, 0.92, 1e-3, 13);
+        let err_good = one_nn_error_through(&good, &task);
+        let raw_err = BruteForceIndex::new(
+            task.train.features.clone(),
+            task.train.labels.clone(),
+            task.num_classes,
+            Metric::SquaredEuclidean,
+        )
+        .one_nn_error(&task.test.features, &task.test.labels);
+        assert!(
+            err_good <= raw_err + 0.02,
+            "pre-trained embedding ({err_good:.3}) should be at least as good as raw features ({raw_err:.3})"
+        );
+    }
+
+    #[test]
+    fn transform_is_deterministic() {
+        let task = load_clean("sst2", SizeScale::Tiny, 9);
+        let map = task.meta.latent_map.clone().unwrap();
+        let emb = SimulatedPretrained::new("bert-base", &map, task.raw_dim(), 32, 0.7, 5e-3, 21);
+        let a = emb.transform(&task.test.features);
+        let b = emb.transform(&task.test.features);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "fidelity must be in")]
+    fn rejects_bad_fidelity() {
+        let task = load_clean("sst2", SizeScale::Tiny, 10);
+        let map = task.meta.latent_map.clone().unwrap();
+        let _ = SimulatedPretrained::new("x", &map, task.raw_dim(), 8, 1.5, 1e-3, 1);
+    }
+}

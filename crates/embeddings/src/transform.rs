@@ -1,0 +1,98 @@
+//! The [`Transformation`] trait and helpers for applying transformations to
+//! whole tasks.
+
+use snoopy_data::TaskDataset;
+use snoopy_linalg::Matrix;
+
+/// A (deterministic) feature transformation `f : R^d_raw → R^d_out`.
+///
+/// In the paper these are pre-trained embeddings, PCA/NCA projections, or the
+/// identity; Snoopy only relies on a transformation being a fixed function of
+/// the raw features with a known output dimension and a per-sample inference
+/// cost (the dominant term of the feasibility study's runtime, Section V).
+pub trait Transformation: Send + Sync {
+    /// Name of the transformation (matches Tables III/IV for zoo members).
+    fn name(&self) -> &str;
+
+    /// Output dimensionality.
+    fn output_dim(&self) -> usize;
+
+    /// Simulated inference cost in seconds per sample on the reference GPU.
+    fn cost_per_sample(&self) -> f64;
+
+    /// Applies the transformation to every row of `x`.
+    fn transform(&self, x: &Matrix) -> Matrix;
+
+    /// Simulated cost of embedding `n` samples, in seconds.
+    fn cost_for(&self, n: usize) -> f64 {
+        self.cost_per_sample() * n as f64
+    }
+}
+
+/// A task with both splits pushed through a transformation.
+#[derive(Debug, Clone)]
+pub struct TransformedTask {
+    /// Name of the transformation that produced the features.
+    pub transformation: String,
+    /// Transformed training features.
+    pub train_features: Matrix,
+    /// Transformed test features.
+    pub test_features: Matrix,
+    /// Simulated inference cost in seconds spent producing both splits.
+    pub inference_cost: f64,
+}
+
+/// Applies a transformation to both splits of a task.
+pub fn apply_to_task(t: &dyn Transformation, task: &TaskDataset) -> TransformedTask {
+    let train_features = t.transform(&task.train.features);
+    let test_features = t.transform(&task.test.features);
+    TransformedTask {
+        transformation: t.name().to_string(),
+        inference_cost: t.cost_for(task.train.len() + task.test.len()),
+        train_features,
+        test_features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_data::registry::{load_clean, SizeScale};
+
+    struct Doubler;
+    impl Transformation for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn output_dim(&self) -> usize {
+            3
+        }
+        fn cost_per_sample(&self) -> f64 {
+            0.5
+        }
+        fn transform(&self, x: &Matrix) -> Matrix {
+            let mut out = x.clone();
+            out.scale(2.0);
+            out
+        }
+    }
+
+    #[test]
+    fn cost_scales_linearly() {
+        let d = Doubler;
+        assert_eq!(d.cost_for(10), 5.0);
+        assert_eq!(d.cost_for(0), 0.0);
+    }
+
+    #[test]
+    fn apply_to_task_transforms_both_splits() {
+        let task = load_clean("sst2", SizeScale::Tiny, 3);
+        let d = Doubler;
+        let out = apply_to_task(&d, &task);
+        assert_eq!(out.transformation, "doubler");
+        assert_eq!(out.train_features.rows(), task.train.len());
+        assert_eq!(out.test_features.rows(), task.test.len());
+        assert!((out.inference_cost - 0.5 * task.total_len() as f64).abs() < 1e-9);
+        assert!((out.train_features.get(0, 0) - 2.0 * task.train.features.get(0, 0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,312 @@
+//! Finite-sample extrapolation of 1NN convergence curves.
+//!
+//! Section IV-C of the paper supports the binary REALISTIC/UNREALISTIC signal
+//! with two numeric aids derived from the convergence curve
+//! `(n, (R_X)_{n,1})`:
+//!
+//! * a log-linear fit `log((R_X)_{n,k}) ≈ −α log(n) + C` (Eq. 10), motivated
+//!   by neural scaling laws, used to (i) extrapolate the error a short way
+//!   beyond the available data and (ii) estimate how many *additional*
+//!   samples would be needed to reach the target accuracy,
+//! * a Snapp–Xu-style power-law fit `err(n) ≈ e_∞ + a·n^(−2/d)` whose
+//!   intercept estimates the asymptotic 1NN error (the quantity the
+//!   Cover–Hart correction should really be applied to).
+//!
+//! Both fits warn (via `reliable()` / documented caveats) when asked to
+//! extrapolate far beyond the observed range: the log-linear form converges
+//! to zero, so sufficiently large `n` makes *any* target look reachable
+//! (Fig. 7/8 discussion).
+
+use snoopy_linalg::stats;
+
+/// Log-linear fit of a convergence curve (Eq. 10).
+#[derive(Debug, Clone)]
+pub struct LogLinearFit {
+    /// Decay exponent `α` (non-negative for decreasing curves).
+    pub alpha: f64,
+    /// Intercept `C` of the fit in log-log space.
+    pub intercept: f64,
+    /// Goodness of fit (R²) in log-log space.
+    pub r_squared: f64,
+    /// Largest sample size observed during fitting.
+    pub max_observed_n: usize,
+}
+
+impl LogLinearFit {
+    /// Fits Eq. 10 on a curve of `(training samples, error)` points. Points
+    /// with non-positive error are clamped to a small floor so the log is
+    /// defined (a zero finite-sample error genuinely provides no decay
+    /// information).
+    ///
+    /// # Panics
+    /// Panics if fewer than two curve points are provided.
+    pub fn fit(curve: &[(usize, f64)]) -> Self {
+        assert!(curve.len() >= 2, "need at least two curve points to fit Eq. 10");
+        let xs: Vec<f64> = curve.iter().map(|&(n, _)| (n.max(1) as f64).ln()).collect();
+        let ys: Vec<f64> = curve.iter().map(|&(_, e)| e.max(1e-6).ln()).collect();
+        let (slope, intercept) = stats::linear_fit(&xs, &ys);
+        let r2 = stats::r_squared(&xs, &ys, slope, intercept);
+        let max_n = curve.iter().map(|&(n, _)| n).max().unwrap_or(1);
+        Self { alpha: -slope, intercept, r_squared: r2, max_observed_n: max_n }
+    }
+
+    /// Predicted error at training-set size `n`.
+    pub fn predict_error(&self, n: usize) -> f64 {
+        ((-self.alpha) * (n.max(1) as f64).ln() + self.intercept).exp().clamp(0.0, 1.0)
+    }
+
+    /// Number of training samples needed for the predicted error to drop to
+    /// `target_error`. Returns `None` when the fitted curve is flat or
+    /// increasing (`α ≤ 0`), or the target is already met at the observed
+    /// size.
+    pub fn samples_to_reach(&self, target_error: f64) -> Option<usize> {
+        if self.alpha <= 1e-9 {
+            return None;
+        }
+        let target = target_error.max(1e-6);
+        if self.predict_error(self.max_observed_n) <= target {
+            return Some(self.max_observed_n);
+        }
+        let ln_n = (self.intercept - target.ln()) / self.alpha;
+        // Beyond ~1e12 samples the answer is "not by adding data": the
+        // log-linear form converges to zero eventually, so huge extrapolations
+        // are artefacts rather than guidance (Fig. 7/8 discussion).
+        if !ln_n.is_finite() || ln_n > 27.6 {
+            return None;
+        }
+        Some(ln_n.exp().ceil() as usize)
+    }
+
+    /// Additional samples (beyond the observed maximum) needed to reach the
+    /// target error.
+    pub fn additional_samples_to_reach(&self, target_error: f64) -> Option<usize> {
+        self.samples_to_reach(target_error).map(|n| n.saturating_sub(self.max_observed_n))
+    }
+
+    /// Whether the extrapolation should be trusted: the fit explains the curve
+    /// well and the requested sample size is within `max_factor` of the
+    /// observed range (the paper's Fig. 8 shows extrapolations beyond a small
+    /// multiple of the data quickly become wishful thinking).
+    pub fn reliable(&self, n: usize, max_factor: f64) -> bool {
+        self.r_squared > 0.6 && (n as f64) <= max_factor * self.max_observed_n as f64
+    }
+}
+
+/// Snapp–Xu-style power-law fit `err(n) ≈ e_∞ + a · n^(−2/d)`.
+#[derive(Debug, Clone)]
+pub struct PowerLawFit {
+    /// Estimated asymptotic error `e_∞`.
+    pub asymptote: f64,
+    /// Coefficient of the decaying term.
+    pub coefficient: f64,
+    /// Exponent used (`2/d` by default).
+    pub exponent: f64,
+}
+
+impl PowerLawFit {
+    /// Fits the power law with exponent `2/d` by ordinary least squares in the
+    /// transformed variable `u = n^(−2/d)`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points are provided or `dim == 0`.
+    pub fn fit(curve: &[(usize, f64)], dim: usize) -> Self {
+        assert!(curve.len() >= 2, "need at least two curve points");
+        assert!(dim >= 1, "dimension must be positive");
+        let exponent = 2.0 / dim as f64;
+        let us: Vec<f64> = curve.iter().map(|&(n, _)| (n.max(1) as f64).powf(-exponent)).collect();
+        let ys: Vec<f64> = curve.iter().map(|&(_, e)| e).collect();
+        let (slope, intercept) = stats::linear_fit(&us, &ys);
+        Self { asymptote: intercept.clamp(0.0, 1.0), coefficient: slope, exponent }
+    }
+
+    /// Predicted error at size `n`.
+    pub fn predict_error(&self, n: usize) -> f64 {
+        (self.asymptote + self.coefficient * (n.max(1) as f64).powf(-self.exponent)).clamp(0.0, 1.0)
+    }
+
+    /// Estimated asymptotic (infinite-sample) 1NN error.
+    pub fn asymptotic_error(&self) -> f64 {
+        self.asymptote
+    }
+}
+
+/// The kNN-extrapolation estimator (Snapp & Xu): evaluate the 1NN error on a
+/// ladder of training-set prefixes, fit the `e_∞ + a·n^(−2/d)` power law, and
+/// apply the Cover–Hart correction to the extrapolated asymptote. This is the
+/// "kNN-Extrapolation" family of Section II; the paper (and FeeBee) note that
+/// the number of samples needed for a reliable fit grows exponentially with
+/// the dimension, which is why it is a baseline rather than Snoopy's choice.
+#[derive(Debug, Clone)]
+pub struct KnnExtrapolationEstimator {
+    /// Number of prefix sizes evaluated (log-spaced up to the full set).
+    pub ladder_steps: usize,
+}
+
+impl Default for KnnExtrapolationEstimator {
+    fn default() -> Self {
+        Self { ladder_steps: 5 }
+    }
+}
+
+impl crate::BerEstimator for KnnExtrapolationEstimator {
+    fn name(&self) -> &'static str {
+        "knn-extrapolation"
+    }
+
+    fn estimate(
+        &self,
+        train: &crate::LabeledView<'_>,
+        eval: &crate::LabeledView<'_>,
+        num_classes: usize,
+    ) -> f64 {
+        use crate::cover_hart::{cover_hart_lower_bound, OneNnEstimator};
+        if train.len() < 4 || eval.is_empty() {
+            return 1.0 - 1.0 / num_classes as f64;
+        }
+        let one_nn = OneNnEstimator::default();
+        let steps = self.ladder_steps.max(2);
+        let mut curve = Vec::with_capacity(steps);
+        for s in 1..=steps {
+            // Log-spaced prefix sizes between ~train/2^(steps-1) and train.
+            let n = ((train.len() as f64) / 2f64.powi((steps - s) as i32)).round() as usize;
+            let n = n.clamp(2, train.len());
+            let prefix_features = train.features.slice_rows(0, n);
+            let prefix_labels = &train.labels[..n];
+            let view = crate::LabeledView::new(&prefix_features, prefix_labels);
+            let err = one_nn.raw_one_nn_error(&view, eval, num_classes);
+            if curve.last().map(|&(last_n, _)| last_n != n).unwrap_or(true) {
+                curve.push((n, err));
+            }
+        }
+        if curve.len() < 2 {
+            let err = curve.first().map(|&(_, e)| e).unwrap_or(1.0);
+            return cover_hart_lower_bound(err, num_classes);
+        }
+        let fit = PowerLawFit::fit(&curve, eval.dim().max(1));
+        cover_hart_lower_bound(fit.asymptotic_error(), num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic curve following exactly err = exp(C) * n^(-alpha).
+    fn log_linear_curve(alpha: f64, c: f64, sizes: &[usize]) -> Vec<(usize, f64)> {
+        sizes.iter().map(|&n| (n, (c - alpha * (n as f64).ln()).exp())).collect()
+    }
+
+    #[test]
+    fn log_linear_fit_recovers_parameters() {
+        let curve = log_linear_curve(0.35, -0.4, &[100, 200, 400, 800, 1600, 3200]);
+        let fit = LogLinearFit::fit(&curve);
+        assert!((fit.alpha - 0.35).abs() < 1e-6, "alpha {}", fit.alpha);
+        assert!((fit.intercept + 0.4).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999);
+        assert_eq!(fit.max_observed_n, 3200);
+    }
+
+    #[test]
+    fn prediction_and_samples_to_reach_are_consistent() {
+        let curve = log_linear_curve(0.5, 0.0, &[100, 200, 400, 800]);
+        let fit = LogLinearFit::fit(&curve);
+        let target = 0.02;
+        let needed = fit.samples_to_reach(target).unwrap();
+        let predicted = fit.predict_error(needed);
+        assert!(predicted <= target * 1.05, "error at recommended n: {predicted}");
+        // A point just below should not reach the target.
+        let before = fit.predict_error((needed as f64 * 0.8) as usize);
+        assert!(before > target);
+        let extra = fit.additional_samples_to_reach(target).unwrap();
+        assert_eq!(extra, needed - 800);
+    }
+
+    #[test]
+    fn flat_curve_gives_no_extrapolation() {
+        let curve = vec![(100, 0.3), (200, 0.3), (400, 0.3)];
+        let fit = LogLinearFit::fit(&curve);
+        assert!(fit.alpha.abs() < 1e-9);
+        assert!(fit.samples_to_reach(0.1).is_none());
+    }
+
+    #[test]
+    fn already_reached_target_returns_observed_size() {
+        let curve = log_linear_curve(0.5, 0.0, &[100, 400, 1600]);
+        let fit = LogLinearFit::fit(&curve);
+        // Error at 1600 is exp(-0.5*ln 1600) = 1/40 = 0.025.
+        assert_eq!(fit.samples_to_reach(0.05), Some(1600));
+    }
+
+    #[test]
+    fn reliability_flags_large_extrapolations() {
+        let curve = log_linear_curve(0.4, 0.0, &[100, 200, 400]);
+        let fit = LogLinearFit::fit(&curve);
+        assert!(fit.reliable(800, 5.0));
+        assert!(!fit.reliable(400_000, 5.0));
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        let curve = log_linear_curve(0.05, 0.0, &[100, 200, 400]);
+        let fit = LogLinearFit::fit(&curve);
+        // With alpha = 0.05, reaching 1e-4 needs n ≈ e^{184}, far past the cap.
+        assert!(fit.samples_to_reach(1e-4).is_none());
+    }
+
+    #[test]
+    fn power_law_fit_recovers_asymptote() {
+        let dim = 4;
+        let exponent = 2.0 / dim as f64;
+        let curve: Vec<(usize, f64)> =
+            [50usize, 100, 200, 400, 800, 1600].iter().map(|&n| (n, 0.12 + 0.8 * (n as f64).powf(-exponent))).collect();
+        let fit = PowerLawFit::fit(&curve, dim);
+        assert!((fit.asymptotic_error() - 0.12).abs() < 1e-6, "asymptote {}", fit.asymptote);
+        assert!((fit.coefficient - 0.8).abs() < 1e-6);
+        assert!((fit.predict_error(1_000_000) - 0.12).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two curve points")]
+    fn fit_requires_two_points() {
+        let _ = LogLinearFit::fit(&[(100, 0.5)]);
+    }
+
+    #[test]
+    fn knn_extrapolation_estimator_tracks_a_known_task() {
+        use crate::{BerEstimator, LabeledView};
+        use rand::Rng;
+        use snoopy_linalg::{rng, Matrix};
+        // Two 1-D Gaussians with known BER = Phi(-mu/2).
+        let mu = 2.0;
+        let true_ber = snoopy_linalg::stats::normal_cdf(-mu / 2.0);
+        let mut r = rng::seeded(3);
+        let mut sample = |n: usize| {
+            let mut rows = Vec::with_capacity(n);
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                let c = r.gen_range(0..2u32);
+                let center = if c == 0 { -mu / 2.0 } else { mu / 2.0 };
+                rows.push(vec![rng::normal_with(&mut r, center, 1.0) as f32, rng::normal(&mut r) as f32 * 0.01]);
+                labels.push(c);
+            }
+            (Matrix::from_rows(&rows), labels)
+        };
+        let (train_x, train_y) = sample(1600);
+        let (test_x, test_y) = sample(400);
+        let est = KnnExtrapolationEstimator::default();
+        assert_eq!(est.name(), "knn-extrapolation");
+        let value = est.estimate(&LabeledView::new(&train_x, &train_y), &LabeledView::new(&test_x, &test_y), 2);
+        assert!((value - true_ber).abs() < 0.08, "estimate {value:.3} vs true {true_ber:.3}");
+    }
+
+    #[test]
+    fn knn_extrapolation_handles_tiny_inputs() {
+        use crate::{BerEstimator, LabeledView};
+        use snoopy_linalg::Matrix;
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let y = vec![0u32, 1];
+        let est = KnnExtrapolationEstimator::default();
+        let value = est.estimate(&LabeledView::new(&x, &y), &LabeledView::new(&x, &y), 2);
+        assert!((0.0..=1.0).contains(&value));
+    }
+}

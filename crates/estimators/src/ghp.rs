@@ -1,0 +1,222 @@
+//! Generalised Henze–Penrose (GHP) divergence estimator via the Euclidean
+//! minimum spanning tree.
+//!
+//! Friedman & Rafsky's multivariate run statistic counts the edges of the
+//! Euclidean MST over the pooled sample whose endpoints carry different
+//! labels. As `n → ∞` the normalised cross-count converges to
+//! `2 Σ_{i<j} ∫ p_i p_j f_i f_j / f` — the pairwise Henze–Penrose affinity —
+//! and since `min(a, b) ≥ ab/(a+b) ≥ min(a, b)/2` the statistic sandwiches the
+//! Bayes error:
+//!
+//! ```text
+//! R_cross / (2n)  ≤  BER-estimate  ≤  R_cross / n
+//! ```
+//!
+//! Following Sekeh, Oselio & Hero (2020) the multiclass case sums the
+//! pairwise contributions, which the global MST cross-count does implicitly.
+//! The estimator reports the lower end of the sandwich, making it directly
+//! comparable with the other lower-bound-style estimators in this crate.
+
+use crate::{BerEstimator, LabeledView};
+use snoopy_linalg::Matrix;
+
+/// GHP/MST-based BER estimator.
+#[derive(Debug, Clone)]
+pub struct GhpEstimator {
+    /// Maximum number of pooled points used to build the MST; larger samples
+    /// are subsampled deterministically (every `ceil(n/max)`‑th point) to keep
+    /// the `O(n²)` Prim construction tractable.
+    max_points: usize,
+}
+
+impl Default for GhpEstimator {
+    fn default() -> Self {
+        Self { max_points: 2_000 }
+    }
+}
+
+impl GhpEstimator {
+    /// Creates an estimator with a custom pooled-sample cap.
+    pub fn new(max_points: usize) -> Self {
+        Self { max_points: max_points.max(8) }
+    }
+
+    /// Counts cross-label edges in the Euclidean MST of the pooled sample and
+    /// returns `(cross_edges, total_points)`.
+    pub fn cross_edge_count(features: &Matrix, labels: &[u32]) -> (usize, usize) {
+        let n = labels.len();
+        if n < 2 {
+            return (0, n);
+        }
+        // Prim's algorithm over the dense (implicit) distance matrix.
+        let mut in_tree = vec![false; n];
+        let mut best_dist = vec![f32::INFINITY; n];
+        let mut best_parent = vec![0usize; n];
+        in_tree[0] = true;
+        for j in 1..n {
+            best_dist[j] = Matrix::row_sq_dist(features.row(0), features.row(j));
+            best_parent[j] = 0;
+        }
+        let mut cross = 0usize;
+        for _ in 1..n {
+            // Pick the closest out-of-tree vertex.
+            let mut next = usize::MAX;
+            let mut next_dist = f32::INFINITY;
+            for j in 0..n {
+                if !in_tree[j] && best_dist[j] < next_dist {
+                    next = j;
+                    next_dist = best_dist[j];
+                }
+            }
+            if next == usize::MAX {
+                break;
+            }
+            in_tree[next] = true;
+            if labels[next] != labels[best_parent[next]] {
+                cross += 1;
+            }
+            // Relax distances through the new vertex.
+            for j in 0..n {
+                if !in_tree[j] {
+                    let d = Matrix::row_sq_dist(features.row(next), features.row(j));
+                    if d < best_dist[j] {
+                        best_dist[j] = d;
+                        best_parent[j] = next;
+                    }
+                }
+            }
+        }
+        (cross, n)
+    }
+
+    fn pooled<'a>(&self, train: &LabeledView<'a>, eval: &LabeledView<'a>) -> (Matrix, Vec<u32>) {
+        let pooled_features = train.features.vstack(eval.features);
+        let mut pooled_labels = train.labels.to_vec();
+        pooled_labels.extend_from_slice(eval.labels);
+        let n = pooled_labels.len();
+        if n <= self.max_points {
+            return (pooled_features, pooled_labels);
+        }
+        let stride = n.div_ceil(self.max_points);
+        let keep: Vec<usize> = (0..n).step_by(stride).collect();
+        (pooled_features.select_rows(&keep), keep.iter().map(|&i| pooled_labels[i]).collect())
+    }
+}
+
+impl BerEstimator for GhpEstimator {
+    fn name(&self) -> &'static str {
+        "ghp-mst"
+    }
+
+    fn estimate(&self, train: &LabeledView<'_>, eval: &LabeledView<'_>, num_classes: usize) -> f64 {
+        let (features, labels) = self.pooled(train, eval);
+        if labels.len() < 2 {
+            return 1.0 - 1.0 / num_classes as f64;
+        }
+        let (cross, n) = Self::cross_edge_count(&features, &labels);
+        (cross as f64 / (2.0 * n as f64)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use snoopy_linalg::{rng, Matrix};
+
+    fn gaussian_pair(n: usize, mu: f64, seed: u64) -> (Matrix, Vec<u32>) {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = r.gen_range(0..2u32);
+            let center = if c == 0 { -mu / 2.0 } else { mu / 2.0 };
+            rows.push(vec![rng::normal_with(&mut r, center, 1.0) as f32, rng::normal(&mut r) as f32]);
+            labels.push(c);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn mst_cross_count_on_tiny_example() {
+        // Two tight clusters: the MST has exactly one cross edge.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.2, 0.0],
+            vec![10.0, 0.0],
+            vec![10.1, 0.0],
+        ]);
+        let y = vec![0, 0, 0, 1, 1];
+        let (cross, n) = GhpEstimator::cross_edge_count(&x, &y);
+        assert_eq!(n, 5);
+        assert_eq!(cross, 1);
+    }
+
+    #[test]
+    fn separable_clusters_give_near_zero_estimate() {
+        let (x0, _) = gaussian_pair(200, 0.0, 1);
+        // Shift class-1 points far away to make the task separable.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..x0.rows() {
+            let c = (i % 2) as u32;
+            let shift = if c == 0 { 0.0 } else { 50.0 };
+            rows.push(vec![x0.get(i, 0) + shift, x0.get(i, 1)]);
+            labels.push(c);
+        }
+        let x = Matrix::from_rows(&rows);
+        let est = GhpEstimator::default();
+        let half = x.rows() / 2;
+        let value = est.estimate(
+            &LabeledView::new(&x.slice_rows(0, half), &labels[..half]),
+            &LabeledView::new(&x.slice_rows(half, x.rows()), &labels[half..]),
+            2,
+        );
+        assert!(value < 0.02, "estimate {value}");
+    }
+
+    #[test]
+    fn estimate_grows_with_overlap_and_stays_below_half() {
+        let est = GhpEstimator::default();
+        let mut last = -1.0f64;
+        for (seed, mu) in [(10u64, 4.0f64), (11, 2.0), (12, 0.5)] {
+            let (tx, ty) = gaussian_pair(500, mu, seed);
+            let (qx, qy) = gaussian_pair(200, mu, seed + 100);
+            let v = est.estimate(&LabeledView::new(&tx, &ty), &LabeledView::new(&qx, &qy), 2);
+            assert!(v >= last - 0.03, "estimate should grow with overlap: {v} after {last}");
+            assert!(v <= 0.55);
+            last = v;
+        }
+        assert!(last > 0.2, "heavily overlapping classes should give a large estimate, got {last}");
+    }
+
+    #[test]
+    fn estimate_is_roughly_a_lower_bound_of_known_ber() {
+        let mu = 1.5;
+        let true_ber = snoopy_linalg::stats::normal_cdf(-mu / 2.0);
+        let (tx, ty) = gaussian_pair(1200, mu, 21);
+        let (qx, qy) = gaussian_pair(400, mu, 22);
+        let value = GhpEstimator::default().estimate(&LabeledView::new(&tx, &ty), &LabeledView::new(&qx, &qy), 2);
+        assert!(value <= true_ber + 0.05, "GHP estimate {value} should not exceed true BER {true_ber} by much");
+        assert!(value > true_ber * 0.3, "GHP estimate {value} should not collapse to zero (true {true_ber})");
+    }
+
+    #[test]
+    fn subsampling_keeps_estimator_usable() {
+        let (tx, ty) = gaussian_pair(3000, 2.0, 31);
+        let (qx, qy) = gaussian_pair(1000, 2.0, 32);
+        let small = GhpEstimator::new(500);
+        let value = small.estimate(&LabeledView::new(&tx, &ty), &LabeledView::new(&qx, &qy), 2);
+        assert!((0.0..=0.5).contains(&value));
+        assert_eq!(small.name(), "ghp-mst");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let y = vec![0u32];
+        let (cross, n) = GhpEstimator::cross_edge_count(&x, &y);
+        assert_eq!((cross, n), (0, 1));
+    }
+}

@@ -1,0 +1,84 @@
+//! # snoopy-estimators
+//!
+//! Bayes error rate (BER) estimators.
+//!
+//! The paper groups existing BER estimators into density estimators (KDE,
+//! DE-kNN), divergence estimators (GHP), and kNN-classifier-accuracy
+//! estimators (1NN-kNN, kNN-extrapolation, and the Cover–Hart 1NN bound that
+//! Snoopy ultimately builds on). This crate implements one representative of
+//! each family behind a common [`BerEstimator`] trait so the FeeBee-style
+//! comparison of Section II-A can be reproduced, plus the finite-sample
+//! extrapolation tooling of Section IV-C (Eq. 10).
+//!
+//! All estimators receive a training view and a held-out evaluation view;
+//! estimators that conceptually use a single sample (GHP, KDE fitted on
+//! train and evaluated on train) simply ignore or pool the views as their
+//! definition dictates.
+
+pub mod cover_hart;
+pub mod devijver;
+pub mod extrapolation;
+pub mod ghp;
+pub mod kde;
+
+use snoopy_linalg::Matrix;
+
+/// A borrowed labelled sample.
+#[derive(Debug, Clone, Copy)]
+pub struct LabeledView<'a> {
+    /// `n × d` features.
+    pub features: &'a Matrix,
+    /// Labels aligned with the feature rows.
+    pub labels: &'a [u32],
+}
+
+impl<'a> LabeledView<'a> {
+    /// Creates a view, checking that features and labels agree.
+    pub fn new(features: &'a Matrix, labels: &'a [u32]) -> Self {
+        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
+        Self { features, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+}
+
+/// A Bayes-error estimator.
+pub trait BerEstimator: Send + Sync {
+    /// Short name used in reports (e.g. `"1nn-cover-hart"`).
+    fn name(&self) -> &'static str;
+
+    /// Estimates the Bayes error of the task from a training sample and a
+    /// held-out evaluation sample.
+    fn estimate(&self, train: &LabeledView<'_>, eval: &LabeledView<'_>, num_classes: usize) -> f64;
+}
+
+/// The default collection of estimators used in the FeeBee-style comparison
+/// experiment (`exp_estimators`).
+pub fn default_estimators() -> Vec<Box<dyn BerEstimator>> {
+    vec![
+        Box::new(cover_hart::OneNnEstimator::default()),
+        Box::new(devijver::KnnPosteriorEstimator::new(10)),
+        Box::new(ghp::GhpEstimator::default()),
+        Box::new(kde::KdeEstimator::default()),
+        Box::new(extrapolation::KnnExtrapolationEstimator::default()),
+    ]
+}
+
+pub use cover_hart::{cover_hart_lower_bound, OneNnEstimator};
+pub use devijver::KnnPosteriorEstimator;
+pub use extrapolation::{KnnExtrapolationEstimator, LogLinearFit, PowerLawFit};
+pub use ghp::GhpEstimator;
+pub use kde::KdeEstimator;

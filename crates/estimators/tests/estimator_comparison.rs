@@ -1,0 +1,132 @@
+//! Cross-estimator integration and property tests: every estimator must track
+//! the known BER of synthetic tasks and respect the Lemma 2.1 noise
+//! evolution at least qualitatively (the FeeBee evaluation protocol).
+
+use proptest::prelude::*;
+use snoopy_data::gaussian::{GaussianMixture, GaussianMixtureSpec};
+use snoopy_data::noise::{ber_after_uniform_noise, TransitionMatrix};
+use snoopy_estimators::{
+    cover_hart_lower_bound, default_estimators, BerEstimator, KnnPosteriorEstimator, LabeledView, OneNnEstimator,
+};
+use snoopy_linalg::rng;
+
+struct Task {
+    train_x: snoopy_linalg::Matrix,
+    train_y: Vec<u32>,
+    test_x: snoopy_linalg::Matrix,
+    test_y: Vec<u32>,
+    true_ber: f64,
+    num_classes: usize,
+}
+
+fn make_task(num_classes: usize, sep: f64, seed: u64, n_train: usize, n_test: usize) -> Task {
+    let mix = GaussianMixture::from_spec(&GaussianMixtureSpec {
+        num_classes,
+        latent_dim: 6,
+        class_sep: sep,
+        within_std: 1.0,
+        seed,
+    });
+    let mut r = rng::seeded(seed ^ 0xabc);
+    let (train_x, train_y) = mix.sample(n_train, &mut r);
+    let (test_x, test_y) = mix.sample(n_test, &mut r);
+    let true_ber = mix.bayes_error_monte_carlo(20_000, seed ^ 0xd00d);
+    Task { train_x, train_y, test_x, test_y, true_ber, num_classes }
+}
+
+#[test]
+fn all_estimators_are_close_on_a_moderate_task() {
+    let task = make_task(4, 2.2, 7, 1500, 400);
+    let train = LabeledView::new(&task.train_x, &task.train_y);
+    let test = LabeledView::new(&task.test_x, &task.test_y);
+    for est in default_estimators() {
+        let value = est.estimate(&train, &test, task.num_classes);
+        assert!(
+            (value - task.true_ber).abs() < 0.12,
+            "{}: estimate {value:.3} vs true BER {:.3}",
+            est.name(),
+            task.true_ber
+        );
+    }
+}
+
+#[test]
+fn one_nn_estimator_is_a_lower_bound_on_easy_and_moderate_tasks() {
+    for (seed, sep) in [(1u64, 4.0f64), (2, 2.5), (3, 1.8)] {
+        let task = make_task(5, sep, seed, 1200, 400);
+        let est = OneNnEstimator::default();
+        let value = est.estimate(
+            &LabeledView::new(&task.train_x, &task.train_y),
+            &LabeledView::new(&task.test_x, &task.test_y),
+            task.num_classes,
+        );
+        // Finite-sample effects push the estimate up, never below by much.
+        assert!(
+            value >= task.true_ber - 0.03,
+            "sep {sep}: estimate {value:.3} clearly below true BER {:.3}",
+            task.true_ber
+        );
+    }
+}
+
+#[test]
+fn estimators_follow_the_lemma21_noise_evolution() {
+    // Inject uniform noise and verify the 1NN estimate tracks the predicted
+    // BER evolution (the FeeBee evaluation protocol).
+    let task = make_task(4, 3.0, 11, 1500, 500);
+    let est = OneNnEstimator::default();
+    let mut r = rng::seeded(99);
+    for rho in [0.0f64, 0.2, 0.4] {
+        let t = TransitionMatrix::uniform(task.num_classes, rho);
+        let noisy_train = t.apply(&task.train_y, &mut r);
+        let noisy_test = t.apply(&task.test_y, &mut r);
+        let estimate = est.estimate(
+            &LabeledView::new(&task.train_x, &noisy_train),
+            &LabeledView::new(&task.test_x, &noisy_test),
+            task.num_classes,
+        );
+        let expected = ber_after_uniform_noise(task.true_ber, rho, task.num_classes);
+        assert!(
+            (estimate - expected).abs() < 0.10,
+            "rho {rho}: estimate {estimate:.3}, Lemma 2.1 predicts {expected:.3}"
+        );
+    }
+}
+
+#[test]
+fn knn_posterior_estimator_improves_with_larger_k() {
+    let task = make_task(3, 1.6, 13, 2000, 500);
+    let train = LabeledView::new(&task.train_x, &task.train_y);
+    let test = LabeledView::new(&task.test_x, &task.test_y);
+    let small_k = KnnPosteriorEstimator::new(1).estimate(&train, &test, 3);
+    let large_k = KnnPosteriorEstimator::new(30).estimate(&train, &test, 3);
+    // k = 1 collapses to the raw 1NN error which overestimates the BER;
+    // a moderate k should land closer to the truth.
+    let err_small = (small_k - task.true_ber).abs();
+    let err_large = (large_k - task.true_ber).abs();
+    assert!(err_large <= err_small + 0.02, "k=30 ({large_k:.3}) should beat k=1 ({small_k:.3}) wrt {:.3}", task.true_ber);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Cover–Hart correction never exceeds its input and stays in [0, 1].
+    #[test]
+    fn cover_hart_is_contractive(err in 0.0f64..1.0, c in 2usize..200) {
+        let b = cover_hart_lower_bound(err, c);
+        prop_assert!(b >= 0.0);
+        prop_assert!(b <= err + 1e-12);
+        prop_assert!(b <= 1.0);
+    }
+
+    /// Chaining Lemma 2.1 twice equals a single application with the composed
+    /// noise level (the uniform-noise channel family is closed under
+    /// composition).
+    #[test]
+    fn lemma21_composes(ber in 0.0f64..0.4, rho1 in 0.0f64..0.9, rho2 in 0.0f64..0.9, c in 2usize..50) {
+        let step = ber_after_uniform_noise(ber_after_uniform_noise(ber, rho1, c), rho2, c);
+        let combined_rho = 1.0 - (1.0 - rho1) * (1.0 - rho2);
+        let direct = ber_after_uniform_noise(ber, combined_rho, c);
+        prop_assert!((step - direct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,338 @@
+//! Exact brute-force k-nearest-neighbour index with parallel queries.
+//!
+//! With at most a few tens of thousands of samples per task replica and
+//! moderate embedding dimensions, exact brute force in `O(n · d)` per query is
+//! both simple and fast enough (the paper's own system computes exact 1NN on
+//! GPU); queries are parallelised over test points with scoped threads.
+
+use crate::metric::Metric;
+use snoopy_linalg::Matrix;
+
+/// A fitted brute-force index over a labelled training set.
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    features: Matrix,
+    labels: Vec<u32>,
+    metric: Metric,
+    num_classes: usize,
+}
+
+/// One retrieved neighbour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index into the training set.
+    pub index: usize,
+    /// Dissimilarity to the query.
+    pub distance: f32,
+    /// Training label of the neighbour.
+    pub label: u32,
+}
+
+impl BruteForceIndex {
+    /// Builds an index over `features` (one sample per row) and `labels`.
+    ///
+    /// # Panics
+    /// Panics if the number of rows and labels differ or the index is empty.
+    pub fn new(features: Matrix, labels: Vec<u32>, num_classes: usize, metric: Metric) -> Self {
+        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
+        assert!(!labels.is_empty(), "cannot build an empty index");
+        Self { features, labels, metric, num_classes }
+    }
+
+    /// Number of indexed samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the index is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The metric used by the index.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The labels of the indexed samples.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Finds the single nearest neighbour of `query`.
+    pub fn query_1nn(&self, query: &[f32]) -> Neighbor {
+        let mut best = Neighbor { index: 0, distance: f32::INFINITY, label: 0 };
+        for (i, row) in self.features.rows_iter().enumerate() {
+            let d = self.metric.distance(query, row);
+            if d < best.distance {
+                best = Neighbor { index: i, distance: d, label: self.labels[i] };
+            }
+        }
+        best
+    }
+
+    /// Finds the `k` nearest neighbours of `query`, ordered by increasing
+    /// distance. `k` is clamped to the index size.
+    pub fn query_knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let k = k.min(self.len()).max(1);
+        // Bounded max-heap emulation with a sorted Vec: k is small (≤ ~50).
+        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        for (i, row) in self.features.rows_iter().enumerate() {
+            let d = self.metric.distance(query, row);
+            if best.len() < k || d < best[best.len() - 1].distance {
+                let neighbor = Neighbor { index: i, distance: d, label: self.labels[i] };
+                let pos = best.partition_point(|n| n.distance <= d);
+                best.insert(pos, neighbor);
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        best
+    }
+
+    /// Majority-vote kNN prediction for `query`; ties resolve to the smallest
+    /// class id among the tied classes (deterministic).
+    pub fn predict_knn(&self, query: &[f32], k: usize) -> u32 {
+        let neighbors = self.query_knn(query, k);
+        let mut votes = vec![0usize; self.num_classes];
+        for n in &neighbors {
+            votes[n.label as usize] += 1;
+        }
+        let mut best_class = 0usize;
+        for (c, &v) in votes.iter().enumerate() {
+            if v > votes[best_class] {
+                best_class = c;
+            }
+        }
+        best_class as u32
+    }
+
+    /// 1NN predictions for every row of `queries`, computed in parallel.
+    pub fn predict_1nn_batch(&self, queries: &Matrix) -> Vec<u32> {
+        self.nearest_neighbors_batch(queries).into_iter().map(|n| n.label).collect()
+    }
+
+    /// Nearest neighbour of every row of `queries`, computed in parallel with
+    /// scoped threads.
+    pub fn nearest_neighbors_batch(&self, queries: &Matrix) -> Vec<Neighbor> {
+        let n = queries.rows();
+        let mut out = vec![Neighbor { index: 0, distance: f32::INFINITY, label: 0 }; n];
+        if n == 0 {
+            return out;
+        }
+        let threads = num_threads().min(n);
+        let chunk = n.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (t, slot) in out.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move |_| {
+                    for (offset, res) in slot.iter_mut().enumerate() {
+                        *res = self.query_1nn(queries.row(start + offset));
+                    }
+                });
+            }
+        })
+        .expect("knn worker thread panicked");
+        out
+    }
+
+    /// kNN classifier error on a labelled query set (fraction of
+    /// misclassified queries), computed in parallel.
+    #[allow(clippy::needless_range_loop)] // index drives both the query matrix and the label slice
+    pub fn knn_error(&self, queries: &Matrix, query_labels: &[u32], k: usize) -> f64 {
+        assert_eq!(queries.rows(), query_labels.len(), "query feature/label mismatch");
+        if query_labels.is_empty() {
+            return 0.0;
+        }
+        let n = queries.rows();
+        let threads = num_threads().min(n);
+        let chunk = n.div_ceil(threads);
+        let mut wrong_per_chunk = vec![0usize; threads.max(1)];
+        crossbeam::scope(|scope| {
+            for (t, wrong) in wrong_per_chunk.iter_mut().enumerate() {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    let mut w = 0usize;
+                    for i in start..end.max(start) {
+                        if self.predict_knn(queries.row(i), k) != query_labels[i] {
+                            w += 1;
+                        }
+                    }
+                    *wrong = w;
+                });
+            }
+        })
+        .expect("knn worker thread panicked");
+        wrong_per_chunk.iter().sum::<usize>() as f64 / n as f64
+    }
+
+    /// 1NN classifier error on a labelled query set.
+    pub fn one_nn_error(&self, queries: &Matrix, query_labels: &[u32]) -> f64 {
+        assert_eq!(queries.rows(), query_labels.len(), "query feature/label mismatch");
+        if query_labels.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict_1nn_batch(queries);
+        let wrong = preds.iter().zip(query_labels).filter(|(p, y)| p != y).count();
+        wrong as f64 / query_labels.len() as f64
+    }
+
+    /// Leave-one-out 1NN error on the *training* set itself (each sample's
+    /// nearest neighbour excludes itself). Used by estimators that do not have
+    /// a held-out split.
+    pub fn leave_one_out_error(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut wrong = 0usize;
+        for i in 0..n {
+            let query = self.features.row(i);
+            let mut best = (f32::INFINITY, 0u32);
+            for (j, row) in self.features.rows_iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let d = self.metric.distance(query, row);
+                if d < best.0 {
+                    best = (d, self.labels[j]);
+                }
+            }
+            if best.1 != self.labels[i] {
+                wrong += 1;
+            }
+        }
+        wrong as f64 / n as f64
+    }
+}
+
+/// Number of worker threads to use for batch queries.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
+}
+
+/// Convenience helper: 1NN error of `train` evaluated on `test`.
+pub fn one_nn_error(
+    train_x: &Matrix,
+    train_y: &[u32],
+    test_x: &Matrix,
+    test_y: &[u32],
+    num_classes: usize,
+    metric: Metric,
+) -> f64 {
+    BruteForceIndex::new(train_x.clone(), train_y.to_vec(), num_classes, metric).one_nn_error(test_x, test_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated clusters in 2D.
+    fn clustered_data(n_per_class: usize) -> (Matrix, Vec<u32>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per_class {
+            let wobble = (i % 7) as f32 * 0.01;
+            rows.push(vec![0.0 + wobble, 0.0 - wobble]);
+            labels.push(0);
+            rows.push(vec![10.0 - wobble, 10.0 + wobble]);
+            labels.push(1);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn one_nn_on_separated_clusters_is_perfect() {
+        let (x, y) = clustered_data(50);
+        let index = BruteForceIndex::new(x.clone(), y.clone(), 2, Metric::SquaredEuclidean);
+        assert_eq!(index.one_nn_error(&x, &y), 0.0);
+        let query = [9.0f32, 9.5];
+        assert_eq!(index.query_1nn(&query).label, 1);
+    }
+
+    #[test]
+    fn knn_returns_sorted_unique_neighbors() {
+        let (x, y) = clustered_data(20);
+        let index = BruteForceIndex::new(x, y, 2, Metric::Euclidean);
+        let neigh = index.query_knn(&[0.0, 0.0], 5);
+        assert_eq!(neigh.len(), 5);
+        for w in neigh.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        let mut idx: Vec<usize> = neigh.iter().map(|n| n.index).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 5, "neighbours must be distinct");
+    }
+
+    #[test]
+    fn k_is_clamped_and_majority_vote_works() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0]]);
+        let y = vec![0, 0, 1];
+        let index = BruteForceIndex::new(x, y, 2, Metric::SquaredEuclidean);
+        assert_eq!(index.query_knn(&[0.0, 0.0], 10).len(), 3);
+        assert_eq!(index.predict_knn(&[0.2, 0.0], 3), 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let (x, y) = clustered_data(40);
+        let index = BruteForceIndex::new(x, y, 2, Metric::SquaredEuclidean);
+        let queries = Matrix::from_rows(&[vec![1.0, 1.0], vec![9.0, 9.0], vec![4.9, 5.1], vec![0.0, 0.2]]);
+        let batch = index.nearest_neighbors_batch(&queries);
+        for (i, item) in batch.iter().enumerate() {
+            let single = index.query_1nn(queries.row(i));
+            assert_eq!(item.index, single.index);
+            assert_eq!(item.label, single.label);
+        }
+    }
+
+    #[test]
+    fn knn_error_decreases_with_separation() {
+        // Overlapping clusters give non-zero error; separated give zero.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            rows.push(vec![i as f32 * 0.01, 0.0]);
+            labels.push(0);
+            rows.push(vec![i as f32 * 0.01 + 0.005, 0.0]);
+            labels.push(1);
+        }
+        let x = Matrix::from_rows(&rows);
+        let index = BruteForceIndex::new(x.clone(), labels.clone(), 2, Metric::SquaredEuclidean);
+        let overlapping_err = index.knn_error(&x, &labels, 3);
+        assert!(overlapping_err > 0.2, "overlapping error {overlapping_err}");
+
+        let (sx, sy) = clustered_data(30);
+        let sep_index = BruteForceIndex::new(sx.clone(), sy.clone(), 2, Metric::SquaredEuclidean);
+        assert_eq!(sep_index.knn_error(&sx, &sy, 3), 0.0);
+    }
+
+    #[test]
+    fn leave_one_out_error_detects_label_noise() {
+        let (x, mut y) = clustered_data(25);
+        let index_clean = BruteForceIndex::new(x.clone(), y.clone(), 2, Metric::SquaredEuclidean);
+        assert_eq!(index_clean.leave_one_out_error(), 0.0);
+        // Flip a quarter of the labels: LOO error must rise.
+        for i in (0..y.len()).step_by(4) {
+            y[i] = 1 - y[i];
+        }
+        let index_noisy = BruteForceIndex::new(x, y, 2, Metric::SquaredEuclidean);
+        assert!(index_noisy.leave_one_out_error() > 0.2);
+    }
+
+    #[test]
+    fn empty_query_set_gives_zero_error() {
+        let (x, y) = clustered_data(5);
+        let index = BruteForceIndex::new(x, y, 2, Metric::SquaredEuclidean);
+        assert_eq!(index.one_nn_error(&Matrix::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty index")]
+    fn empty_index_panics() {
+        let _ = BruteForceIndex::new(Matrix::zeros(0, 2), vec![], 2, Metric::Euclidean);
+    }
+}

@@ -1,0 +1,97 @@
+//! Distance metrics for nearest-neighbour search.
+
+use snoopy_linalg::Matrix;
+
+/// Dissimilarity used to rank neighbours.
+///
+/// The paper's estimator uses Euclidean or cosine dissimilarity depending on
+/// the embedding; all three options rank identically to their "proper"
+/// counterparts (squared Euclidean ranks like Euclidean), so the cheapest
+/// variant is preferred inside hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Squared L2 distance (monotone in L2; cheapest to evaluate).
+    SquaredEuclidean,
+    /// L2 distance.
+    Euclidean,
+    /// Cosine dissimilarity `1 - cos(a, b)`; zero vectors are maximally
+    /// dissimilar to everything except other zero vectors.
+    Cosine,
+}
+
+impl Metric {
+    /// All supported metrics.
+    pub fn all() -> [Metric; 3] {
+        [Metric::SquaredEuclidean, Metric::Euclidean, Metric::Cosine]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::SquaredEuclidean => "sq-euclidean",
+            Metric::Euclidean => "euclidean",
+            Metric::Cosine => "cosine",
+        }
+    }
+
+    /// Dissimilarity between two feature vectors.
+    #[inline]
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::SquaredEuclidean => Matrix::row_sq_dist(a, b),
+            Metric::Euclidean => Matrix::row_sq_dist(a, b).sqrt(),
+            Metric::Cosine => {
+                let na = Matrix::row_norm(a);
+                let nb = Matrix::row_norm(b);
+                if na == 0.0 && nb == 0.0 {
+                    0.0
+                } else if na == 0.0 || nb == 0.0 {
+                    2.0
+                } else {
+                    1.0 - (Matrix::row_dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_enumeration() {
+        assert_eq!(Metric::all().len(), 3);
+        assert_eq!(Metric::Cosine.name(), "cosine");
+        assert_eq!(Metric::Euclidean.name(), "euclidean");
+    }
+
+    #[test]
+    fn euclidean_values() {
+        let a = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert_eq!(Metric::SquaredEuclidean.distance(&a, &b), 25.0);
+        assert_eq!(Metric::Euclidean.distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn cosine_ranges_and_edge_cases() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let c = [2.0f32, 0.0];
+        let z = [0.0f32, 0.0];
+        assert!((Metric::Cosine.distance(&a, &b) - 1.0).abs() < 1e-6);
+        assert!(Metric::Cosine.distance(&a, &c).abs() < 1e-6);
+        assert!((Metric::Cosine.distance(&a, &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+        assert_eq!(Metric::Cosine.distance(&z, &z), 0.0);
+        assert_eq!(Metric::Cosine.distance(&z, &a), 2.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles_for_euclidean() {
+        let a = [1.5f32, -2.0, 3.0];
+        for m in [Metric::SquaredEuclidean, Metric::Euclidean, Metric::Cosine] {
+            assert!(m.distance(&a, &a).abs() < 1e-6, "{}", m.name());
+        }
+    }
+}

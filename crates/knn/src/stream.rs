@@ -1,0 +1,223 @@
+//! Streamed 1NN evaluation over growing training-set prefixes.
+//!
+//! Snoopy's successive-halving scheduler (Section V) feeds each
+//! transformation's training data to the 1NN evaluator in fixed-size batches,
+//! recording the test error after every batch to build the convergence curve.
+//! [`StreamedOneNn`] maintains, for every test point, the best (distance,
+//! training index, training label) triple seen so far, so adding a batch costs
+//! `O(batch × test × d)` and the running error is available at any time in
+//! `O(test)`.
+
+use crate::metric::Metric;
+use snoopy_linalg::Matrix;
+
+/// Running nearest-neighbour state of one test point.
+#[derive(Debug, Clone, Copy)]
+struct BestSoFar {
+    distance: f32,
+    train_index: usize,
+    train_label: u32,
+}
+
+/// Streamed 1NN evaluator.
+#[derive(Debug, Clone)]
+pub struct StreamedOneNn {
+    test_features: Matrix,
+    test_labels: Vec<u32>,
+    metric: Metric,
+    best: Vec<BestSoFar>,
+    consumed: usize,
+    /// Error after each completed batch: `(training samples consumed, error)`.
+    curve: Vec<(usize, f64)>,
+}
+
+impl StreamedOneNn {
+    /// Creates an evaluator for a fixed test split.
+    ///
+    /// # Panics
+    /// Panics if the test split is empty or features/labels disagree.
+    pub fn new(test_features: Matrix, test_labels: Vec<u32>, metric: Metric) -> Self {
+        assert_eq!(test_features.rows(), test_labels.len(), "test feature/label mismatch");
+        assert!(!test_labels.is_empty(), "streamed 1NN needs a non-empty test split");
+        let best =
+            vec![BestSoFar { distance: f32::INFINITY, train_index: usize::MAX, train_label: u32::MAX }; test_labels.len()];
+        Self { test_features, test_labels, metric, best, consumed: 0, curve: Vec::new() }
+    }
+
+    /// Number of training samples consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Number of test points.
+    pub fn test_len(&self) -> usize {
+        self.test_labels.len()
+    }
+
+    /// The recorded convergence curve: `(consumed training samples, 1NN error)`
+    /// after every batch.
+    pub fn curve(&self) -> &[(usize, f64)] {
+        &self.curve
+    }
+
+    /// Adds one batch of training samples (rows of `batch_features`) whose
+    /// global indices start at `self.consumed()`. Updates every test point's
+    /// running nearest neighbour in parallel and records the new error on the
+    /// curve. Returns the updated error.
+    pub fn add_train_batch(&mut self, batch_features: &Matrix, batch_labels: &[u32]) -> f64 {
+        assert_eq!(batch_features.rows(), batch_labels.len(), "batch feature/label mismatch");
+        assert_eq!(
+            batch_features.cols(),
+            self.test_features.cols(),
+            "batch dimensionality differs from test set"
+        );
+        let offset = self.consumed;
+        let metric = self.metric;
+        let test_features = &self.test_features;
+        let n_test = self.test_labels.len();
+        let threads = crate::brute::num_threads().min(n_test);
+        let chunk = n_test.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (t, slot) in self.best.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move |_| {
+                    for (i, best) in slot.iter_mut().enumerate() {
+                        let query = test_features.row(start + i);
+                        for (j, row) in batch_features.rows_iter().enumerate() {
+                            let d = metric.distance(query, row);
+                            if d < best.distance {
+                                *best = BestSoFar {
+                                    distance: d,
+                                    train_index: offset + j,
+                                    train_label: batch_labels[j],
+                                };
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("streamed knn worker panicked");
+        self.consumed += batch_labels.len();
+        let err = self.current_error();
+        self.curve.push((self.consumed, err));
+        err
+    }
+
+    /// Current 1NN error given the training samples consumed so far. Before
+    /// any batch has been added every prediction counts as wrong.
+    pub fn current_error(&self) -> f64 {
+        let wrong = self
+            .best
+            .iter()
+            .zip(&self.test_labels)
+            .filter(|(b, &y)| b.train_label != y)
+            .count();
+        wrong as f64 / self.test_labels.len() as f64
+    }
+
+    /// The nearest training index currently assigned to each test point
+    /// (`usize::MAX` before any data was consumed). This is exactly the state
+    /// the incremental cache snapshots.
+    pub fn nearest_train_indices(&self) -> Vec<usize> {
+        self.best.iter().map(|b| b.train_index).collect()
+    }
+
+    /// The nearest training labels currently assigned to each test point.
+    pub fn nearest_train_labels(&self) -> Vec<u32> {
+        self.best.iter().map(|b| b.train_label).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceIndex;
+
+    fn toy_task(n_train: usize) -> (Matrix, Vec<u32>, Matrix, Vec<u32>) {
+        // Two slightly overlapping 1-D clusters embedded in 2-D.
+        let mut train_rows = Vec::new();
+        let mut train_labels = Vec::new();
+        for i in 0..n_train {
+            let c = i % 2;
+            let base = if c == 0 { 0.0 } else { 2.0 };
+            train_rows.push(vec![base + (i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()]);
+            train_labels.push(c as u32);
+        }
+        let mut test_rows = Vec::new();
+        let mut test_labels = Vec::new();
+        for i in 0..60 {
+            let c = i % 2;
+            let base = if c == 0 { 0.0 } else { 2.0 };
+            test_rows.push(vec![base + (i as f32 * 0.53).sin(), (i as f32 * 0.29).cos()]);
+            test_labels.push(c as u32);
+        }
+        (Matrix::from_rows(&train_rows), train_labels, Matrix::from_rows(&test_rows), test_labels)
+    }
+
+    #[test]
+    fn streaming_matches_full_index_at_every_prefix() {
+        let (train_x, train_y, test_x, test_y) = toy_task(200);
+        let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean);
+        let batch = 50;
+        let mut consumed = 0;
+        while consumed < train_x.rows() {
+            let end = (consumed + batch).min(train_x.rows());
+            let err = stream.add_train_batch(&train_x.slice_rows(consumed, end), &train_y[consumed..end]);
+            consumed = end;
+            let full = BruteForceIndex::new(
+                train_x.slice_rows(0, consumed),
+                train_y[..consumed].to_vec(),
+                2,
+                Metric::SquaredEuclidean,
+            )
+            .one_nn_error(&test_x, &test_y);
+            assert!((err - full).abs() < 1e-12, "prefix {consumed}: streamed {err} vs full {full}");
+        }
+        assert_eq!(stream.consumed(), 200);
+        assert_eq!(stream.curve().len(), 4);
+    }
+
+    #[test]
+    fn error_before_any_batch_is_one() {
+        let (_, _, test_x, test_y) = toy_task(10);
+        let stream = StreamedOneNn::new(test_x, test_y, Metric::Euclidean);
+        assert_eq!(stream.current_error(), 1.0);
+        assert!(stream.nearest_train_indices().iter().all(|&i| i == usize::MAX));
+    }
+
+    #[test]
+    fn curve_is_generally_decreasing_on_clean_data() {
+        let (train_x, train_y, test_x, test_y) = toy_task(400);
+        let mut stream = StreamedOneNn::new(test_x, test_y, Metric::SquaredEuclidean);
+        let batch = 40;
+        let mut consumed = 0;
+        while consumed < train_x.rows() {
+            let end = (consumed + batch).min(train_x.rows());
+            stream.add_train_batch(&train_x.slice_rows(consumed, end), &train_y[consumed..end]);
+            consumed = end;
+        }
+        let first = stream.curve()[0].1;
+        let last = stream.curve().last().unwrap().1;
+        assert!(last <= first, "curve should not increase overall: {first} -> {last}");
+    }
+
+    #[test]
+    fn nearest_indices_are_global() {
+        let (train_x, train_y, test_x, test_y) = toy_task(100);
+        let mut stream = StreamedOneNn::new(test_x, test_y, Metric::SquaredEuclidean);
+        stream.add_train_batch(&train_x.slice_rows(0, 50), &train_y[..50]);
+        stream.add_train_batch(&train_x.slice_rows(50, 100), &train_y[50..]);
+        let idx = stream.nearest_train_indices();
+        assert!(idx.iter().all(|&i| i < 100));
+        assert!(idx.iter().any(|&i| i >= 50), "some neighbours should come from the second batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch dimensionality")]
+    fn dimension_mismatch_panics() {
+        let (_, _, test_x, test_y) = toy_task(10);
+        let mut stream = StreamedOneNn::new(test_x, test_y, Metric::SquaredEuclidean);
+        stream.add_train_batch(&Matrix::zeros(5, 7), &[0, 1, 0, 1, 0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the k-nearest-neighbour crate.
+
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use snoopy_knn::{BruteForceIndex, IncrementalOneNn, Metric, StreamedOneNn};
+use snoopy_linalg::Matrix;
+
+/// Random labelled point cloud.
+fn cloud(seed: u64, n: usize, d: usize, classes: u32) -> (Matrix, Vec<u32>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let m = Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() * 10.0 - 5.0);
+    let y = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+    (m, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The streamed evaluator fed in arbitrary batch sizes always matches a
+    /// full brute-force recomputation on the same prefix.
+    #[test]
+    fn streamed_equals_full(seed in 0u64..500, batch in 1usize..40) {
+        let (train_x, train_y) = cloud(seed, 80, 4, 3);
+        let (test_x, test_y) = cloud(seed ^ 0xff, 30, 4, 3);
+        let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean);
+        let mut consumed = 0;
+        while consumed < train_x.rows() {
+            let end = (consumed + batch).min(train_x.rows());
+            let streamed_err = stream.add_train_batch(&train_x.slice_rows(consumed, end), &train_y[consumed..end]);
+            consumed = end;
+            let full_err = BruteForceIndex::new(
+                train_x.slice_rows(0, consumed),
+                train_y[..consumed].to_vec(),
+                3,
+                Metric::SquaredEuclidean,
+            ).one_nn_error(&test_x, &test_y);
+            prop_assert!((streamed_err - full_err).abs() < 1e-12);
+        }
+    }
+
+    /// Incremental re-labelling equals full recomputation for arbitrary
+    /// cleaning sequences.
+    #[test]
+    fn incremental_equals_full_after_relabels(
+        seed in 0u64..500,
+        edits in prop::collection::vec((0usize..60, 0u32..3), 0..30),
+    ) {
+        let (train_x, mut train_y) = cloud(seed, 60, 3, 3);
+        let (test_x, test_y) = cloud(seed ^ 0xabc, 25, 3, 3);
+        let mut inc = IncrementalOneNn::build(&train_x, &train_y, &test_x, &test_y, 3, Metric::SquaredEuclidean);
+        for (idx, label) in edits {
+            train_y[idx] = label;
+            inc.relabel_train(idx, label);
+            let full = BruteForceIndex::new(train_x.clone(), train_y.clone(), 3, Metric::SquaredEuclidean)
+                .one_nn_error(&test_x, &test_y);
+            prop_assert!((inc.error() - full).abs() < 1e-12);
+        }
+    }
+
+    /// kNN neighbour lists are sorted by distance and contain distinct indices.
+    #[test]
+    fn knn_lists_sorted_and_distinct(seed in 0u64..500, k in 1usize..20) {
+        let (train_x, train_y) = cloud(seed, 50, 5, 4);
+        let (query_x, _) = cloud(seed ^ 0x77, 5, 5, 4);
+        let index = BruteForceIndex::new(train_x, train_y, 4, Metric::Euclidean);
+        for qi in 0..query_x.rows() {
+            let neigh = index.query_knn(query_x.row(qi), k);
+            prop_assert_eq!(neigh.len(), k.min(50));
+            for w in neigh.windows(2) {
+                prop_assert!(w[0].distance <= w[1].distance);
+            }
+            let mut ids: Vec<usize> = neigh.iter().map(|n| n.index).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), neigh.len());
+        }
+    }
+
+    /// Metric axioms that nearest-neighbour search relies on: non-negativity,
+    /// symmetry, and identity.
+    #[test]
+    fn metric_axioms(
+        a in prop::collection::vec(-100.0f32..100.0, 8),
+        b in prop::collection::vec(-100.0f32..100.0, 8),
+    ) {
+        for metric in Metric::all() {
+            let dab = metric.distance(&a, &b);
+            let dba = metric.distance(&b, &a);
+            prop_assert!(dab >= -1e-6, "{} non-negative", metric.name());
+            prop_assert!((dab - dba).abs() < 1e-4, "{} symmetric", metric.name());
+            prop_assert!(metric.distance(&a, &a).abs() < 1e-5, "{} identity", metric.name());
+        }
+    }
+
+    /// Adding more training data never increases the streamed error by more
+    /// than it can justify: the curve endpoint equals the full-data 1NN error.
+    #[test]
+    fn curve_endpoint_matches_full_data_error(seed in 0u64..200) {
+        let (train_x, train_y) = cloud(seed, 64, 4, 2);
+        let (test_x, test_y) = cloud(seed ^ 0x1234, 20, 4, 2);
+        let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::Cosine);
+        let mut consumed = 0;
+        while consumed < train_x.rows() {
+            let end = (consumed + 17).min(train_x.rows());
+            stream.add_train_batch(&train_x.slice_rows(consumed, end), &train_y[consumed..end]);
+            consumed = end;
+        }
+        let full = BruteForceIndex::new(train_x, train_y, 2, Metric::Cosine).one_nn_error(&test_x, &test_y);
+        let last = stream.curve().last().unwrap().1;
+        prop_assert!((last - full).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,190 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA (and the NCA-style supervised projection in `snoopy-embeddings`) only
+//! ever needs the eigen-pairs of small symmetric matrices — covariance and
+//! scatter matrices whose dimension equals the feature dimension after an
+//! optional pre-projection — so an `O(d^3)` Jacobi sweep is entirely adequate
+//! and keeps the workspace free of LAPACK bindings.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: eigenvalues in descending order
+/// and the matching eigenvectors as rows of `vectors` (`vectors.row(i)` is the
+/// unit eigenvector for `values[i]`).
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors, one per row, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigen-pairs of a symmetric matrix with the cyclic Jacobi
+/// method.
+///
+/// `max_sweeps` bounds the number of full upper-triangle sweeps; 50 sweeps is
+/// far more than needed for the matrices that arise from covariance of
+/// standardised data. Off-diagonal mass below `1e-12` terminates early.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn symmetric_eigen(matrix: &Matrix, max_sweeps: usize) -> SymmetricEigen {
+    assert_eq!(matrix.rows(), matrix.cols(), "eigendecomposition requires a square matrix");
+    let n = matrix.rows();
+    // Work in f64 for accuracy.
+    let mut a: Vec<f64> = matrix.data().iter().map(|&v| v as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let idx = |r: usize, c: usize| r * n + c;
+
+    for _sweep in 0..max_sweeps {
+        let mut off: f64 = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[idx(p, q)] * a[idx(p, q)];
+            }
+        }
+        if off < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[idx(p, q)];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = a[idx(p, p)];
+                let aqq = a[idx(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Update matrix A = J^T A J.
+                for k in 0..n {
+                    let akp = a[idx(k, p)];
+                    let akq = a[idx(k, q)];
+                    a[idx(k, p)] = c * akp - s * akq;
+                    a[idx(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[idx(p, k)];
+                    let aqk = a[idx(q, k)];
+                    a[idx(p, k)] = c * apk - s * aqk;
+                    a[idx(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors V = V J (columns of V are vectors).
+                for k in 0..n {
+                    let vkp = v[idx(k, p)];
+                    let vkq = v[idx(k, q)];
+                    v[idx(k, p)] = c * vkp - s * vkq;
+                    v[idx(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[idx(i, i)], i)).collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("NaN eigenvalue"));
+
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (row, &(_, col)) in pairs.iter().enumerate() {
+        for k in 0..n {
+            vectors.set(row, k, v[idx(k, col)] as f32);
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_sorted_diagonal() {
+        let m = Matrix::from_vec(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 1.0]);
+        let eig = symmetric_eigen(&m, 50);
+        assert!(approx(eig.values[0], 5.0, 1e-9));
+        assert!(approx(eig.values[1], 2.0, 1e-9));
+        assert!(approx(eig.values[2], 1.0, 1e-9));
+    }
+
+    #[test]
+    fn known_2x2_eigenpairs() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with vectors (1,1)/sqrt2, (1,-1)/sqrt2.
+        let m = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let eig = symmetric_eigen(&m, 50);
+        assert!(approx(eig.values[0], 3.0, 1e-9));
+        assert!(approx(eig.values[1], 1.0, 1e-9));
+        let v0 = eig.vectors.row(0);
+        assert!(approx((v0[0] / v0[1]) as f64, 1.0, 1e-5));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.0, //
+                1.0, 3.0, 0.2, 0.1, //
+                0.5, 0.2, 2.0, 0.3, //
+                0.0, 0.1, 0.3, 1.0,
+            ],
+        );
+        let eig = symmetric_eigen(&m, 50);
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot = Matrix::row_dot(eig.vectors.row(i), eig.vectors.row(j)) as f64;
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(dot, expected, 1e-5), "dot({i},{j}) = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let m = Matrix::from_vec(3, 3, vec![2.0, 0.4, 0.1, 0.4, 1.5, 0.2, 0.1, 0.2, 1.0]);
+        let eig = symmetric_eigen(&m, 50);
+        // Reconstruct A = sum_i lambda_i v_i v_i^T.
+        let mut recon = Matrix::zeros(3, 3);
+        for (i, &lambda) in eig.values.iter().enumerate() {
+            let v = eig.vectors.row(i);
+            for r in 0..3 {
+                for c in 0..3 {
+                    let cur = recon.get(r, c);
+                    recon.set(r, c, cur + (lambda as f32) * v[r] * v[c]);
+                }
+            }
+        }
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!(approx(recon.get(r, c) as f64, m.get(r, c) as f64, 1e-4));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = Matrix::from_vec(3, 3, vec![3.0, 1.0, 0.0, 1.0, 2.0, 0.5, 0.0, 0.5, 1.0]);
+        let eig = symmetric_eigen(&m, 50);
+        let trace: f64 = (0..3).map(|i| m.get(i, i) as f64).sum();
+        let sum: f64 = eig.values.iter().sum();
+        assert!(approx(trace, sum, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let m = Matrix::zeros(2, 3);
+        symmetric_eigen(&m, 10);
+    }
+}

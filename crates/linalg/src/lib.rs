@@ -1,0 +1,34 @@
+//! # snoopy-linalg
+//!
+//! Dense linear-algebra and random-number substrate for the Snoopy
+//! feasibility-study system.
+//!
+//! The crate deliberately implements only what the rest of the workspace
+//! needs, from scratch and without unsafe code:
+//!
+//! * a row-major [`Matrix`] of `f32` features with the usual constructors,
+//!   slicing, and matrix operations (`matmul`, `transpose`, covariance,
+//!   row/column statistics),
+//! * a Jacobi eigen-solver for symmetric matrices ([`eigen`]),
+//! * principal component analysis ([`pca::Pca`]), feature standardisation
+//!   ([`projection::Standardizer`]) and Gaussian random projections
+//!   ([`projection::RandomProjection`]),
+//! * small statistics helpers (softmax, log-sum-exp, argmax, quantiles,
+//!   ordinary least squares) in [`stats`],
+//! * RNG helpers in [`rng`] (Box–Muller normal draws, categorical sampling,
+//!   Fisher–Yates subsets) built only on the `rand` crate so that no extra
+//!   dependency on `rand_distr` is needed.
+//!
+//! Everything is deterministic given a seed, which the experiment harness
+//! relies on to regenerate the paper's tables and figures reproducibly.
+
+pub mod eigen;
+pub mod matrix;
+pub mod pca;
+pub mod projection;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use projection::{RandomProjection, Standardizer};

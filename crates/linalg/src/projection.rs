@@ -1,0 +1,187 @@
+//! Feature standardisation and Gaussian random projections.
+//!
+//! Both are members of Snoopy's transformation zoo: standardisation is the
+//! "with normalization" variant of several embeddings in Table IV, and random
+//! projection is the classic dimensionality-reduction baseline used to
+//! populate the zoo with deliberately mediocre transformations.
+
+use crate::matrix::Matrix;
+use crate::rng;
+use rand::Rng;
+
+/// Per-feature z-scoring fitted on a training split.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on `data`. Features with (near-)zero
+    /// variance are left unscaled to avoid dividing by zero.
+    pub fn fit(data: &Matrix) -> Self {
+        let mean: Vec<f32> = data.column_means().iter().map(|&m| m as f32).collect();
+        let inv_std: Vec<f32> = data
+            .column_stds()
+            .iter()
+            .map(|&s| if s > 1e-8 { (1.0 / s) as f32 } else { 1.0 })
+            .collect();
+        Self { mean, inv_std }
+    }
+
+    /// Applies the fitted scaling to every row of `data`.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mean.len(), "standardizer dimension mismatch");
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.mean[j]) * self.inv_std[j];
+            }
+        }
+        out
+    }
+}
+
+/// Dense Gaussian random projection `R^d -> R^k` with entries
+/// `N(0, 1/k)`, which approximately preserves pairwise distances
+/// (Johnson–Lindenstrauss).
+#[derive(Debug, Clone)]
+pub struct RandomProjection {
+    /// `d × k` projection matrix.
+    map: Matrix,
+}
+
+impl RandomProjection {
+    /// Creates a projection from `input_dim` to `output_dim` using the given seed.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Self {
+        let mut r = rng::seeded(seed);
+        let scale = 1.0 / (output_dim as f64).sqrt();
+        let map = Matrix::from_fn(input_dim, output_dim, |_, _| (rng::normal(&mut r) * scale) as f32);
+        Self { map }
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.map.cols()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.map.rows()
+    }
+
+    /// Projects every row of `data`.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.map.rows(), "random projection dimension mismatch");
+        data.matmul(&self.map)
+    }
+}
+
+/// Generates a random orthonormal-ish linear map by Gram–Schmidt on Gaussian
+/// columns. Used by the simulated pre-trained encoders to mix latent and
+/// nuisance directions deterministically.
+pub fn random_orthonormal_map(input_dim: usize, output_dim: usize, seed: u64) -> Matrix {
+    let mut r = rng::seeded(seed);
+    let k = output_dim.min(input_dim);
+    // Build orthonormal columns in f64, then emit d x output_dim (extra
+    // columns, if any, are fresh Gaussian directions of unit norm).
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(output_dim);
+    for _ in 0..output_dim {
+        let mut v: Vec<f64> = (0..input_dim).map(|_| rng::normal(&mut r)).collect();
+        for prev in cols.iter().take(k) {
+            let dot: f64 = v.iter().zip(prev).map(|(a, b)| a * b).sum();
+            for (vi, pi) in v.iter_mut().zip(prev) {
+                *vi -= dot * pi;
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for vi in &mut v {
+                *vi /= norm;
+            }
+        } else {
+            // Extremely unlikely; fall back to a unit basis vector.
+            let idx = r.gen_range(0..input_dim);
+            v = vec![0.0; input_dim];
+            v[idx] = 1.0;
+        }
+        cols.push(v);
+    }
+    Matrix::from_fn(input_dim, output_dim, |r_i, c_i| cols[c_i][r_i] as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn standardizer_zero_mean_unit_variance() {
+        let mut r = rng::seeded(1);
+        let data = Matrix::from_fn(500, 3, |_, c| (rng::normal_with(&mut r, c as f64 * 5.0, (c + 1) as f64)) as f32);
+        let s = Standardizer::fit(&data);
+        let t = s.transform(&data);
+        let means = t.column_means();
+        let stds = t.column_stds();
+        for j in 0..3 {
+            assert!(means[j].abs() < 1e-4, "mean[{j}] = {}", means[j]);
+            assert!((stds[j] - 1.0).abs() < 1e-3, "std[{j}] = {}", stds[j]);
+        }
+    }
+
+    #[test]
+    fn standardizer_handles_constant_features() {
+        let data = Matrix::from_vec(3, 2, vec![5.0, 1.0, 5.0, 2.0, 5.0, 3.0]);
+        let s = Standardizer::fit(&data);
+        let t = s.transform(&data);
+        // Constant column becomes zero (mean removed) without NaNs.
+        for r in 0..3 {
+            assert_eq!(t.get(r, 0), 0.0);
+            assert!(t.get(r, 1).is_finite());
+        }
+    }
+
+    #[test]
+    fn random_projection_shape_and_determinism() {
+        let p1 = RandomProjection::new(64, 16, 9);
+        let p2 = RandomProjection::new(64, 16, 9);
+        assert_eq!(p1.output_dim(), 16);
+        assert_eq!(p1.input_dim(), 64);
+        let mut r = rng::seeded(2);
+        let data = Matrix::from_fn(10, 64, |_, _| rng::normal(&mut r) as f32);
+        assert_eq!(p1.transform(&data).data(), p2.transform(&data).data());
+    }
+
+    #[test]
+    fn random_projection_roughly_preserves_distances() {
+        let mut r = rng::seeded(3);
+        let data = Matrix::from_fn(40, 256, |_, _| rng::normal(&mut r) as f32);
+        let proj = RandomProjection::new(256, 64, 5).transform(&data);
+        let mut ratios = Vec::new();
+        for i in 0..data.rows() {
+            for j in (i + 1)..data.rows() {
+                let d_orig = Matrix::row_sq_dist(data.row(i), data.row(j)) as f64;
+                let d_proj = Matrix::row_sq_dist(proj.row(i), proj.row(j)) as f64;
+                ratios.push(d_proj / d_orig);
+            }
+        }
+        let mean_ratio = crate::stats::mean(&ratios);
+        assert!((mean_ratio - 1.0).abs() < 0.15, "mean ratio {mean_ratio}");
+    }
+
+    #[test]
+    fn orthonormal_map_has_orthonormal_columns() {
+        let m = random_orthonormal_map(32, 8, 4);
+        for i in 0..8 {
+            let ci: Vec<f32> = m.column(i);
+            let norm = Matrix::row_dot(&ci, &ci);
+            assert!((norm - 1.0).abs() < 1e-4);
+            for j in (i + 1)..8 {
+                let cj: Vec<f32> = m.column(j);
+                let dot = Matrix::row_dot(&ci, &cj);
+                assert!(dot.abs() < 1e-4, "columns {i},{j} dot {dot}");
+            }
+        }
+    }
+}

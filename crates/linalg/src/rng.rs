@@ -1,0 +1,311 @@
+//! Random-number helpers built on `rand` only.
+//!
+//! The workspace avoids a dependency on `rand_distr`; the handful of
+//! distributions needed (standard normal draws via Box–Muller, categorical
+//! sampling, Dirichlet-ish simplex points, random subsets) are implemented
+//! here. All helpers take `&mut impl Rng` so callers can thread a seeded
+//! [`rand::rngs::StdRng`] through an entire experiment for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws a single standard-normal value using the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    // Avoid log(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal value with the given mean and standard deviation.
+pub fn normal_with(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    mean + std * normal(rng)
+}
+
+/// Fills a vector with `n` i.i.d. standard-normal `f32` values.
+pub fn normal_vec(rng: &mut impl Rng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| normal(rng) as f32).collect()
+}
+
+/// Samples an index from a discrete distribution given by non-negative
+/// weights (not necessarily normalised).
+///
+/// # Panics
+/// Panics if all weights are zero or the slice is empty.
+pub fn categorical(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical sampling from empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical weights must not all be zero");
+    let mut t = rng.gen::<f64>() * total;
+    let mut last_nonzero = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            last_nonzero = i;
+        }
+        t -= w;
+        if t <= 0.0 && w > 0.0 {
+            return i;
+        }
+    }
+    // Floating-point slack can leave `t` marginally positive after the loop;
+    // fall back to the last index with non-zero mass.
+    last_nonzero
+}
+
+/// Samples a point from the probability simplex by normalising exponential
+/// draws; `concentration > 1` pushes mass towards uniformity, `< 1` towards
+/// sparse corners. Used to generate per-class topic/word distributions.
+pub fn simplex_point(rng: &mut impl Rng, dim: usize, concentration: f64) -> Vec<f64> {
+    // Gamma(k, 1) draws via the Marsaglia–Tsang method for k >= 1 and the
+    // boost trick for k < 1; normalising Gamma draws yields a Dirichlet
+    // sample with symmetric parameter `concentration`.
+    let mut draws: Vec<f64> = (0..dim).map(|_| gamma(rng, concentration)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate fallback: uniform distribution.
+        return vec![1.0 / dim as f64; dim];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+/// Gamma(shape, 1) sample (Marsaglia–Tsang squeeze method).
+pub fn gamma(rng: &mut impl Rng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boosting: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Returns `k` distinct indices drawn uniformly from `0..n` (partial
+/// Fisher–Yates). Order of the returned indices is random.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// In-place Fisher–Yates shuffle.
+pub fn shuffle<T>(rng: &mut impl Rng, items: &mut [T]) {
+    let n = items.len();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Pre-computed cumulative distribution for repeated categorical sampling in
+/// `O(log n)` per draw (the naive [`categorical`] helper is `O(n)`).
+#[derive(Debug, Clone)]
+pub struct CumulativeSampler {
+    cdf: Vec<f64>,
+}
+
+impl CumulativeSampler {
+    /// Builds the sampler from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if the weights are empty or all zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "cumulative sampler needs at least one weight");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "negative weight");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|probe| probe.partial_cmp(&u).expect("NaN in cdf")) {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Draws from Bernoulli(p).
+pub fn bernoulli(rng: &mut impl Rng, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+/// Poisson(λ) draw via inversion for small λ and normal approximation for
+/// large λ; used for document-length sampling in the NLP-like generator.
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> usize {
+    assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let v = normal_with(rng, lambda, lambda.sqrt()).round();
+        v.max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = seeded(1);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = seeded(2);
+        let weights = [0.1, 0.0, 0.9];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[categorical(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac2 = counts[2] as f64 / 20_000.0;
+        assert!((frac2 - 0.9).abs() < 0.02, "frac {frac2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn categorical_rejects_zero_weights() {
+        let mut rng = seeded(3);
+        categorical(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn simplex_point_sums_to_one() {
+        let mut rng = seeded(4);
+        for conc in [0.1, 1.0, 10.0] {
+            let p = simplex_point(&mut rng, 25, conc);
+            assert_eq!(p.len(), 25);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = seeded(5);
+        for shape in [0.5f64, 2.0, 7.5] {
+            let n = 30_000;
+            let mean = (0..n).map(|_| gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.12 * shape.max(1.0), "shape {shape}, mean {mean}");
+        }
+    }
+
+    #[test]
+    fn cumulative_sampler_matches_weights() {
+        let mut rng = seeded(10);
+        let sampler = CumulativeSampler::new(&[1.0, 3.0, 0.0, 6.0]);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!((counts[1] as f64 / 40_000.0 - 0.3).abs() < 0.02);
+        assert!((counts[3] as f64 / 40_000.0 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn cumulative_sampler_rejects_empty() {
+        let _ = CumulativeSampler::new(&[]);
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_distinct_and_bounded() {
+        let mut rng = seeded(6);
+        let picks = sample_without_replacement(&mut rng, 100, 40);
+        assert_eq!(picks.len(), 40);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+        assert!(picks.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = seeded(7);
+        let mut items: Vec<usize> = (0..64).collect();
+        shuffle(&mut rng, &mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = seeded(8);
+        for lambda in [3.0f64, 80.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < 0.05 * lambda + 0.2, "lambda {lambda}, mean {mean}");
+        }
+    }
+}

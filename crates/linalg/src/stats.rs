@@ -1,0 +1,260 @@
+//! Small numeric and statistics helpers shared across the workspace.
+
+/// Index of the maximum element; ties resolve to the first occurrence.
+///
+/// # Panics
+/// Panics if the slice is empty.
+pub fn argmax(values: &[f64]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the minimum element; ties resolve to the first occurrence.
+///
+/// # Panics
+/// Panics if the slice is empty.
+pub fn argmin(values: &[f64]) -> usize {
+    assert!(!values.is_empty(), "argmin of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v < values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically stable log-sum-exp.
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = values.iter().map(|v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// In-place numerically stable softmax over `f64` logits.
+pub fn softmax_inplace(logits: &mut [f64]) {
+    let lse = log_sum_exp(logits);
+    for l in logits.iter_mut() {
+        *l = (*l - lse).exp();
+    }
+}
+
+/// Softmax over `f32` logits, returning `f32` probabilities.
+pub fn softmax_f32(logits: &[f32]) -> Vec<f32> {
+    let mut tmp: Vec<f64> = logits.iter().map(|&v| v as f64).collect();
+    softmax_inplace(&mut tmp);
+    tmp.into_iter().map(|v| v as f32).collect()
+}
+
+/// Arithmetic mean; returns 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population variance; returns 0 for slices with fewer than two elements.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Empirical quantile with linear interpolation, `q` in `[0, 1]`.
+///
+/// # Panics
+/// Panics if the slice is empty or `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median (0.5 quantile).
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Ordinary least squares fit of `y ≈ slope * x + intercept`.
+///
+/// Returns `(slope, intercept)`. With fewer than two points, or degenerate
+/// (constant) `x`, the slope is 0 and the intercept is the mean of `y`.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "linear_fit requires equal-length inputs");
+    let n = x.len();
+    if n < 2 {
+        return (0.0, mean(y));
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+    }
+    if sxx <= f64::EPSILON {
+        return (0.0, my);
+    }
+    let slope = sxy / sxx;
+    (slope, my - slope * mx)
+}
+
+/// Coefficient of determination (R²) of a linear fit.
+pub fn r_squared(x: &[f64], y: &[f64], slope: f64, intercept: f64) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if y.len() < 2 {
+        return 1.0;
+    }
+    let my = mean(y);
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let pred = slope * xi + intercept;
+        ss_res += (yi - pred) * (yi - pred);
+        ss_tot += (yi - my) * (yi - my);
+    }
+    if ss_tot <= f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Clamps a probability-like value into `[0, 1]`.
+#[inline]
+pub fn clamp01(v: f64) -> f64 {
+    v.clamp(0.0, 1.0)
+}
+
+/// Standard normal cumulative distribution function (Abramowitz–Stegun 7.1.26
+/// approximation of `erf`, absolute error below 1.5e-7). Used for analytic
+/// Bayes-error computation of two-class Gaussian tasks.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let a1 = 0.254_829_592;
+    let a2 = -0.284_496_736;
+    let a3 = 1.421_413_741;
+    let a4 = -1.453_152_027;
+    let a5 = 1.061_405_429;
+    let p = 0.327_591_1;
+    let t = 1.0 / (1.0 + p * x);
+    let y = 1.0 - ((((a5 * t + a4) * t + a3) * t + a2) * t + a1) * t * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_argmin_basic_and_ties() {
+        let v = [0.5, 2.0, 2.0, -1.0];
+        assert_eq!(argmax(&v), 1);
+        assert_eq!(argmin(&v), 3);
+        assert_eq!(argmax(&[7.0]), 0);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable() {
+        let v = [1000.0, 1000.0];
+        assert!((log_sum_exp(&v) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        let small = [-1000.0, -1000.0];
+        assert!((log_sum_exp(&small) - (-1000.0 + 2.0f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let probs = softmax_f32(&[1.0, 2.0, 3.0]);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(probs[2] > probs[1] && probs[1] > probs[0]);
+    }
+
+    #[test]
+    fn mean_variance_median() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&v) - 2.5).abs() < 1e-12);
+        assert!((variance(&v) - 1.25).abs() < 1e-12);
+        assert!((median(&v) - 2.5).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&v, 0.0), 10.0);
+        assert_eq!(quantile(&v, 1.0), 50.0);
+        assert!((quantile(&v, 0.25) - 20.0).abs() < 1e-12);
+        assert!((quantile(&v, 0.1) - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        let (slope, intercept) = linear_fit(&x, &y);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept + 7.0).abs() < 1e-9);
+        assert!((r_squared(&x, &y, slope, intercept) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        let (slope, intercept) = linear_fit(&[1.0], &[5.0]);
+        assert_eq!(slope, 0.0);
+        assert_eq!(intercept, 5.0);
+        let (slope, intercept) = linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(slope, 0.0);
+        assert!((intercept - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clamp01_bounds() {
+        assert_eq!(clamp01(-0.5), 0.0);
+        assert_eq!(clamp01(0.25), 0.25);
+        assert_eq!(clamp01(1.5), 1.0);
+    }
+}

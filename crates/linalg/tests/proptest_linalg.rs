@@ -1,0 +1,87 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use snoopy_linalg::stats;
+use snoopy_linalg::Matrix;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involutive(m in small_matrix(5, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_is_associative((a, b, c) in (small_matrix(3, 4), small_matrix(4, 2), small_matrix(2, 5))) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            // Relative tolerance: f32 accumulation over entries up to ~1e7 in magnitude.
+            prop_assert!((x - y).abs() <= 1e-2 + 5e-3 * x.abs().max(y.abs()));
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral(m in small_matrix(4, 6)) {
+        let id = Matrix::identity(6);
+        let prod = m.matmul(&id);
+        for (x, y) in prod.data().iter().zip(m.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn squared_distance_is_symmetric_nonnegative(
+        a in prop::collection::vec(-50.0f32..50.0, 16),
+        b in prop::collection::vec(-50.0f32..50.0, 16),
+    ) {
+        let dab = Matrix::row_sq_dist(&a, &b);
+        let dba = Matrix::row_sq_dist(&b, &a);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-3);
+        prop_assert_eq!(Matrix::row_sq_dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-20.0f32..20.0, 1..12)) {
+        let p = stats::softmax_f32(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn quantile_is_monotone(values in prop::collection::vec(-1e3f64..1e3, 2..64)) {
+        let q25 = stats::quantile(&values, 0.25);
+        let q50 = stats::quantile(&values, 0.5);
+        let q75 = stats::quantile(&values, 0.75);
+        prop_assert!(q25 <= q50 + 1e-12);
+        prop_assert!(q50 <= q75 + 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_residual_orthogonal_to_x(
+        xs in prop::collection::vec(-100.0f64..100.0, 5..40),
+        noise in prop::collection::vec(-1.0f64..1.0, 40),
+    ) {
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| 2.0 * x + 1.0 + noise[i % noise.len()]).collect();
+        let (slope, intercept) = stats::linear_fit(&xs, &ys);
+        // Normal equations: sum of residuals is ~0.
+        let resid_sum: f64 = xs.iter().zip(&ys).map(|(&x, &y)| y - (slope * x + intercept)).sum();
+        prop_assert!(resid_sum.abs() < 1e-6 * (1.0 + ys.iter().map(|v| v.abs()).sum::<f64>()));
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone_and_bounded(x in -6.0f64..6.0, dx in 0.0f64..3.0) {
+        let a = stats::normal_cdf(x);
+        let b = stats::normal_cdf(x + dx);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b + 1e-9 >= a);
+    }
+}

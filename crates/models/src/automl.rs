@@ -1,0 +1,213 @@
+//! Budgeted AutoML search standing in for AutoKeras / auto-sklearn
+//! (Section VI-A, Baseline 2).
+//!
+//! The search draws model configurations (logistic regression over the
+//! paper's grid, kNN classifiers with varying `k`, and small MLPs) at random,
+//! trains them on the raw features, and keeps the best test error found
+//! before the simulated time budget runs out. Per-trial simulated time is
+//! proportional to the training-set size with a per-family constant, so the
+//! "short" (1 h) and "long" (10 h) configurations of the paper differ in how
+//! many configurations they manage to explore — precisely the trade-off
+//! Figure 4 plots against Snoopy.
+
+use crate::logreg::{paper_grid, LogisticRegression};
+use crate::mlp::{MlpClassifier, MlpConfig};
+use rand::Rng;
+use snoopy_knn::{BruteForceIndex, Metric};
+use snoopy_linalg::{rng, Matrix};
+
+/// AutoML budget configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoMlConfig {
+    /// Simulated wall-clock budget in seconds.
+    pub time_budget_seconds: f64,
+    /// Hard cap on the number of trials (AutoKeras' `trials` parameter).
+    pub max_trials: usize,
+    /// Epochs used for gradient-trained candidates.
+    pub epochs: usize,
+    /// Search seed.
+    pub seed: u64,
+}
+
+impl AutoMlConfig {
+    /// auto-sklearn with a 1-hour budget.
+    pub fn short(seed: u64) -> Self {
+        Self { time_budget_seconds: 3_600.0, max_trials: 64, epochs: 15, seed }
+    }
+
+    /// auto-sklearn with a 10-hour budget.
+    pub fn long(seed: u64) -> Self {
+        Self { time_budget_seconds: 36_000.0, max_trials: 512, epochs: 25, seed }
+    }
+
+    /// AutoKeras with its default 2 trials and (up to) 100 epochs.
+    pub fn autokeras(seed: u64) -> Self {
+        Self { time_budget_seconds: f64::INFINITY, max_trials: 2, epochs: 100, seed }
+    }
+}
+
+/// Result of an AutoML run.
+#[derive(Debug, Clone)]
+pub struct AutoMlOutcome {
+    /// Best test error found.
+    pub best_error: f64,
+    /// Description of the winning configuration.
+    pub best_model: String,
+    /// Number of trials completed within the budget.
+    pub trials_run: usize,
+    /// Simulated seconds spent.
+    pub simulated_seconds: f64,
+}
+
+/// One candidate family of the search space.
+#[derive(Debug, Clone, Copy)]
+enum Candidate {
+    LogReg { grid_index: usize },
+    Knn { k: usize },
+    Mlp { hidden: usize },
+}
+
+/// The AutoML search driver.
+#[derive(Debug, Clone)]
+pub struct AutoMlSearch {
+    config: AutoMlConfig,
+}
+
+/// Simulated seconds per training sample for one trial of each family.
+/// Calibrated so that a 50 000-sample dataset costs ≈ 200 s (LR), ≈ 60 s
+/// (kNN), ≈ 1 800 s (MLP) per trial — the ordering of Figure 4's baselines.
+const LOGREG_SECONDS_PER_SAMPLE: f64 = 0.004;
+const KNN_SECONDS_PER_SAMPLE: f64 = 0.0012;
+const MLP_SECONDS_PER_SAMPLE: f64 = 0.036;
+
+impl AutoMlSearch {
+    /// Creates a search with the given budget.
+    pub fn new(config: AutoMlConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the search.
+    pub fn run(
+        &self,
+        train_x: &Matrix,
+        train_y: &[u32],
+        test_x: &Matrix,
+        test_y: &[u32],
+        num_classes: usize,
+    ) -> AutoMlOutcome {
+        let mut r = rng::seeded(self.config.seed);
+        let grid = paper_grid(self.config.epochs, self.config.seed);
+        let mut best_error = f64::INFINITY;
+        let mut best_model = String::from("none");
+        let mut simulated = 0.0f64;
+        let mut trials = 0usize;
+        let n = train_y.len();
+
+        while trials < self.config.max_trials && simulated < self.config.time_budget_seconds {
+            let candidate = match r.gen_range(0..3) {
+                0 => Candidate::LogReg { grid_index: r.gen_range(0..grid.len()) },
+                1 => Candidate::Knn { k: *[1usize, 3, 5, 9, 15].get(r.gen_range(0..5)).unwrap() },
+                _ => Candidate::Mlp { hidden: *[32usize, 64, 128].get(r.gen_range(0..3)).unwrap() },
+            };
+            let (error, cost, description) = match candidate {
+                Candidate::LogReg { grid_index } => {
+                    let config = grid[grid_index];
+                    let model = LogisticRegression::fit(train_x, train_y, num_classes, config);
+                    (
+                        model.error(test_x, test_y),
+                        LOGREG_SECONDS_PER_SAMPLE * n as f64,
+                        format!("logreg(lr={}, l2={})", config.learning_rate, config.l2),
+                    )
+                }
+                Candidate::Knn { k } => {
+                    let index = BruteForceIndex::new(
+                        train_x.clone(),
+                        train_y.to_vec(),
+                        num_classes,
+                        Metric::SquaredEuclidean,
+                    );
+                    (index.knn_error(test_x, test_y, k), KNN_SECONDS_PER_SAMPLE * n as f64, format!("knn(k={k})"))
+                }
+                Candidate::Mlp { hidden } => {
+                    let config = MlpConfig {
+                        hidden,
+                        epochs: self.config.epochs,
+                        seed: self.config.seed ^ trials as u64,
+                        ..Default::default()
+                    };
+                    let model = MlpClassifier::fit(train_x, train_y, num_classes, config);
+                    (model.error(test_x, test_y), MLP_SECONDS_PER_SAMPLE * n as f64, format!("mlp(hidden={hidden})"))
+                }
+            };
+            trials += 1;
+            simulated += cost;
+            if error < best_error {
+                best_error = error;
+                best_model = description;
+            }
+        }
+
+        AutoMlOutcome { best_error, best_model, trials_run: trials, simulated_seconds: simulated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_data::registry::{load_clean, SizeScale};
+
+    #[test]
+    fn automl_beats_chance_on_an_easy_task() {
+        let task = load_clean("mnist", SizeScale::Tiny, 1);
+        let search = AutoMlSearch::new(AutoMlConfig { time_budget_seconds: 1e9, max_trials: 4, epochs: 8, seed: 3 });
+        let outcome = search.run(
+            &task.train.features,
+            &task.train.labels,
+            &task.test.features,
+            &task.test.labels,
+            task.num_classes,
+        );
+        let chance = 1.0 - 1.0 / task.num_classes as f64;
+        assert!(outcome.best_error < chance * 0.8, "error {}", outcome.best_error);
+        assert_eq!(outcome.trials_run, 4);
+        assert!(outcome.simulated_seconds > 0.0);
+        assert_ne!(outcome.best_model, "none");
+    }
+
+    #[test]
+    fn budget_limits_the_number_of_trials() {
+        let task = load_clean("sst2", SizeScale::Tiny, 2);
+        let tight = AutoMlSearch::new(AutoMlConfig {
+            time_budget_seconds: 0.5, // allows exactly one trial (cost is checked after running it)
+            max_trials: 100,
+            epochs: 3,
+            seed: 5,
+        });
+        let outcome = tight.run(
+            &task.train.features,
+            &task.train.labels,
+            &task.test.features,
+            &task.test.labels,
+            task.num_classes,
+        );
+        assert_eq!(outcome.trials_run, 1);
+    }
+
+    #[test]
+    fn longer_budgets_do_not_hurt() {
+        let task = load_clean("mnist", SizeScale::Tiny, 7);
+        let short = AutoMlSearch::new(AutoMlConfig { time_budget_seconds: 1e9, max_trials: 2, epochs: 6, seed: 11 })
+            .run(&task.train.features, &task.train.labels, &task.test.features, &task.test.labels, task.num_classes);
+        let long = AutoMlSearch::new(AutoMlConfig { time_budget_seconds: 1e9, max_trials: 8, epochs: 6, seed: 11 })
+            .run(&task.train.features, &task.train.labels, &task.test.features, &task.test.labels, task.num_classes);
+        assert!(long.best_error <= short.best_error + 1e-12);
+        assert!(long.simulated_seconds >= short.simulated_seconds);
+    }
+
+    #[test]
+    fn paper_configurations_have_expected_budgets() {
+        assert_eq!(AutoMlConfig::short(1).time_budget_seconds, 3_600.0);
+        assert_eq!(AutoMlConfig::long(1).time_budget_seconds, 36_000.0);
+        assert_eq!(AutoMlConfig::autokeras(1).max_trials, 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Cost model of the end-to-end use case (Section VI-D).
+//!
+//! The paper measures everything in a hypothetical dollar price combining
+//! human labelling costs ("free", "cheap" = 0.002 $/label, "expensive" =
+//! 0.02 $/label) with machine costs fixed at 0.9 $/hour (the price of a
+//! single-GPU EC2 instance at the time of writing).
+
+/// Per-label human annotation cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LabelCost {
+    /// Labels are free (e.g. an in-house expert whose time is not billed).
+    Free,
+    /// 0.002 $ per label (500 labels per dollar).
+    Cheap,
+    /// 0.02 $ per label (50 labels per dollar).
+    Expensive,
+    /// A custom dollar price per label.
+    Custom(f64),
+}
+
+impl LabelCost {
+    /// Dollars charged per inspected label.
+    pub fn dollars_per_label(&self) -> f64 {
+        match self {
+            LabelCost::Free => 0.0,
+            LabelCost::Cheap => 0.002,
+            LabelCost::Expensive => 0.02,
+            LabelCost::Custom(v) => *v,
+        }
+    }
+
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LabelCost::Free => "free",
+            LabelCost::Cheap => "cheap",
+            LabelCost::Expensive => "expensive",
+            LabelCost::Custom(_) => "custom",
+        }
+    }
+}
+
+/// Machine (GPU) cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineCost {
+    /// Dollars per hour of simulated GPU time.
+    pub dollars_per_hour: f64,
+}
+
+impl Default for MachineCost {
+    fn default() -> Self {
+        Self { dollars_per_hour: 0.9 }
+    }
+}
+
+impl MachineCost {
+    /// Dollars charged for `seconds` of simulated machine time.
+    pub fn dollars_for_seconds(&self, seconds: f64) -> f64 {
+        self.dollars_per_hour * seconds / 3600.0
+    }
+}
+
+/// A full cost scenario: label cost plus machine cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostScenario {
+    /// Human labelling cost.
+    pub label: LabelCost,
+    /// Machine cost.
+    pub machine: MachineCost,
+}
+
+impl CostScenario {
+    /// The three scenarios evaluated in the paper.
+    pub fn paper_scenarios() -> Vec<CostScenario> {
+        vec![
+            CostScenario { label: LabelCost::Free, machine: MachineCost::default() },
+            CostScenario { label: LabelCost::Cheap, machine: MachineCost::default() },
+            CostScenario { label: LabelCost::Expensive, machine: MachineCost::default() },
+        ]
+    }
+
+    /// Total dollars for a given number of inspected labels plus machine
+    /// seconds.
+    pub fn total_dollars(&self, labels_inspected: usize, machine_seconds: f64) -> f64 {
+        self.label.dollars_per_label() * labels_inspected as f64
+            + self.machine.dollars_for_seconds(machine_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_costs_match_paper_values() {
+        assert_eq!(LabelCost::Free.dollars_per_label(), 0.0);
+        assert!((LabelCost::Cheap.dollars_per_label() - 0.002).abs() < 1e-12);
+        assert!((LabelCost::Expensive.dollars_per_label() - 0.02).abs() < 1e-12);
+        assert_eq!(LabelCost::Custom(0.5).dollars_per_label(), 0.5);
+        assert_eq!(LabelCost::Cheap.name(), "cheap");
+    }
+
+    #[test]
+    fn machine_cost_is_090_per_hour() {
+        let m = MachineCost::default();
+        assert!((m.dollars_for_seconds(3600.0) - 0.9).abs() < 1e-12);
+        assert!((m.dollars_for_seconds(1800.0) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenarios_cover_free_cheap_expensive() {
+        let scenarios = CostScenario::paper_scenarios();
+        assert_eq!(scenarios.len(), 3);
+        // 500 labels per dollar in the cheap regime.
+        let cheap = scenarios[1];
+        assert!((cheap.total_dollars(500, 0.0) - 1.0).abs() < 1e-12);
+        // 50 labels per dollar in the expensive regime.
+        let expensive = scenarios[2];
+        assert!((expensive.total_dollars(50, 0.0) - 1.0).abs() < 1e-12);
+        // Machine time adds on top.
+        assert!(expensive.total_dollars(50, 3600.0) > 1.8);
+    }
+}

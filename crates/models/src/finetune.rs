@@ -1,0 +1,131 @@
+//! The FineTune baseline (Section VI-A, Baseline 3).
+//!
+//! In the paper this baseline fine-tunes EfficientNet-B4 (vision) or
+//! BERT-Base (text) and is "equipped with a strong prior knowledge which is
+//! usually unavailable for performing a cheap feasibility study"; it supplies
+//! the expensive high-accuracy training run of the end-to-end use case and
+//! the SOTA-anchored reference error `s_{X,Y}` of Theorem 3.1's bounds.
+//!
+//! The offline replica trains a comparatively large MLP on the raw features
+//! for many epochs. Because the synthetic tasks are (by construction)
+//! solvable from the raw features up to the injected label noise, this model
+//! approaches the clean-task SOTA plus the noise floor — exactly the role the
+//! fine-tuned model plays in Figures 4/5/9/10 — while charging a simulated
+//! GPU cost of ~10 hours per 50 000-sample run (Section VI-F).
+
+use crate::mlp::{MlpClassifier, MlpConfig};
+use snoopy_data::TaskDataset;
+
+/// Simulated fine-tuning cost in seconds per training sample (0.72 s/sample
+/// ≈ 10 GPU-hours for a 50 000-sample dataset, the paper's EfficientNet-B4
+/// number for one hyper-parameter configuration).
+pub const FINETUNE_SECONDS_PER_SAMPLE: f64 = 0.72;
+
+/// Configuration of the FineTune baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FineTuneBaseline {
+    /// Hidden width of the stand-in network.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Number of hyper-parameter configurations tried (the paper fine-tunes
+    /// BERT with 3 learning rates); the best test error is reported and each
+    /// configuration is charged separately.
+    pub configurations: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for FineTuneBaseline {
+    fn default() -> Self {
+        Self { hidden: 128, epochs: 40, configurations: 1, seed: 0 }
+    }
+}
+
+/// Result of one FineTune run.
+#[derive(Debug, Clone)]
+pub struct FineTuneOutcome {
+    /// Test error on the (possibly noisy) test labels.
+    pub test_error: f64,
+    /// Test *accuracy* — convenience companion of `test_error`.
+    pub test_accuracy: f64,
+    /// Simulated GPU seconds charged for the run.
+    pub simulated_seconds: f64,
+}
+
+impl FineTuneBaseline {
+    /// A faster configuration for tests and small-scale experiments.
+    pub fn quick(seed: u64) -> Self {
+        Self { hidden: 48, epochs: 15, configurations: 1, seed }
+    }
+
+    /// Runs the expensive training on the task's current (observed) labels.
+    pub fn run(&self, task: &TaskDataset) -> FineTuneOutcome {
+        let learning_rates = [0.1f64, 0.05, 0.02];
+        let mut best_error = f64::INFINITY;
+        for (i, &lr) in learning_rates.iter().take(self.configurations.max(1)).enumerate() {
+            let config = MlpConfig {
+                hidden: self.hidden,
+                epochs: self.epochs,
+                learning_rate: lr,
+                seed: self.seed.wrapping_add(i as u64),
+                ..Default::default()
+            };
+            let model = MlpClassifier::fit(&task.train.features, &task.train.labels, task.num_classes, config);
+            let error = model.error(&task.test.features, &task.test.labels);
+            best_error = best_error.min(error);
+        }
+        let simulated_seconds =
+            FINETUNE_SECONDS_PER_SAMPLE * task.train.len() as f64 * self.configurations.max(1) as f64;
+        FineTuneOutcome { test_error: best_error, test_accuracy: 1.0 - best_error, simulated_seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_data::noise::NoiseModel;
+    use snoopy_data::registry::{load_clean, load_with_noise, SizeScale};
+
+    #[test]
+    fn finetune_approaches_clean_task_ceiling() {
+        let task = load_clean("mnist", SizeScale::Tiny, 1);
+        let outcome = FineTuneBaseline::quick(2).run(&task);
+        // The tiny replica is solvable almost perfectly from raw features.
+        assert!(outcome.test_error < 0.15, "error {}", outcome.test_error);
+        assert!((outcome.test_accuracy + outcome.test_error - 1.0).abs() < 1e-12);
+        assert!(outcome.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn label_noise_floors_the_achievable_accuracy() {
+        let clean = load_clean("sst2", SizeScale::Tiny, 3);
+        let noisy = load_with_noise("sst2", SizeScale::Tiny, &NoiseModel::Uniform(0.6), 3);
+        let clean_outcome = FineTuneBaseline::quick(4).run(&clean);
+        let noisy_outcome = FineTuneBaseline::quick(4).run(&noisy);
+        // Uniform(0.6) on binary labels flips 30% of test labels, so even a
+        // perfect model cannot go below ~0.3 test error on the noisy labels.
+        assert!(
+            noisy_outcome.test_error > clean_outcome.test_error + 0.1,
+            "noisy {} vs clean {}",
+            noisy_outcome.test_error,
+            clean_outcome.test_error
+        );
+    }
+
+    #[test]
+    fn simulated_cost_matches_paper_scale() {
+        // 50 000 training samples at one configuration ≈ 10 hours.
+        let seconds = FINETUNE_SECONDS_PER_SAMPLE * 50_000.0;
+        assert!((seconds / 3600.0 - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn more_configurations_cost_proportionally_more() {
+        let task = load_clean("mnist", SizeScale::Tiny, 5);
+        let one = FineTuneBaseline { configurations: 1, ..FineTuneBaseline::quick(6) }.run(&task);
+        let three = FineTuneBaseline { configurations: 3, ..FineTuneBaseline::quick(6) }.run(&task);
+        assert!((three.simulated_seconds - 3.0 * one.simulated_seconds).abs() < 1e-9);
+        assert!(three.test_error <= one.test_error + 1e-12);
+    }
+}

@@ -1,0 +1,271 @@
+//! A small multilayer perceptron (one hidden ReLU layer, softmax output)
+//! trained with mini-batch SGD + momentum.
+//!
+//! Used as (a) a candidate family inside the AutoML search and (b) the
+//! backbone of the FineTune baseline, which plays the role of the paper's
+//! fine-tuned EfficientNet/BERT models.
+
+use snoopy_linalg::{rng, stats, Matrix};
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpConfig {
+    /// Width of the hidden layer.
+    pub hidden: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// Seed for initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self { hidden: 64, learning_rate: 0.05, epochs: 30, batch_size: 64, momentum: 0.9, l2: 1e-4, seed: 0 }
+    }
+}
+
+/// A trained MLP classifier.
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    /// `d × h` first-layer weights.
+    w1: Matrix,
+    /// Hidden biases.
+    b1: Vec<f32>,
+    /// `h × C` output weights.
+    w2: Matrix,
+    /// Output biases.
+    b2: Vec<f32>,
+    num_classes: usize,
+}
+
+impl MlpClassifier {
+    /// Trains the network.
+    ///
+    /// # Panics
+    /// Panics on empty training data or out-of-range labels.
+    pub fn fit(features: &Matrix, labels: &[u32], num_classes: usize, config: MlpConfig) -> Self {
+        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
+        assert!(!labels.is_empty(), "cannot train on an empty dataset");
+        assert!(labels.iter().all(|&y| (y as usize) < num_classes), "label out of range");
+        let n = features.rows();
+        let d = features.cols();
+        let h = config.hidden.max(1);
+        let mut r = rng::seeded(config.seed);
+        let init1 = (2.0 / d as f64).sqrt();
+        let init2 = (2.0 / h as f64).sqrt();
+        let mut w1 = Matrix::from_fn(d, h, |_, _| (rng::normal(&mut r) * init1) as f32);
+        let mut b1 = vec![0.0f32; h];
+        let mut w2 = Matrix::from_fn(h, num_classes, |_, _| (rng::normal(&mut r) * init2) as f32);
+        let mut b2 = vec![0.0f32; num_classes];
+        let mut v_w1 = Matrix::zeros(d, h);
+        let mut v_b1 = vec![0.0f32; h];
+        let mut v_w2 = Matrix::zeros(h, num_classes);
+        let mut v_b2 = vec![0.0f32; num_classes];
+
+        let lr = config.learning_rate as f32;
+        let mom = config.momentum as f32;
+        let l2 = config.l2 as f32;
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _epoch in 0..config.epochs {
+            rng::shuffle(&mut r, &mut order);
+            for batch in order.chunks(config.batch_size.max(1)) {
+                let mut g_w1 = Matrix::zeros(d, h);
+                let mut g_b1 = vec![0.0f32; h];
+                let mut g_w2 = Matrix::zeros(h, num_classes);
+                let mut g_b2 = vec![0.0f32; num_classes];
+
+                for &i in batch {
+                    let x = features.row(i);
+                    // Forward pass.
+                    let mut hidden = vec![0.0f32; h];
+                    for (j, hj) in hidden.iter_mut().enumerate() {
+                        let mut acc = b1[j];
+                        for (k, &xk) in x.iter().enumerate() {
+                            acc += w1.get(k, j) * xk;
+                        }
+                        *hj = acc.max(0.0);
+                    }
+                    let mut logits = vec![0.0f32; num_classes];
+                    for (c, lc) in logits.iter_mut().enumerate() {
+                        let mut acc = b2[c];
+                        for (j, &hj) in hidden.iter().enumerate() {
+                            acc += w2.get(j, c) * hj;
+                        }
+                        *lc = acc;
+                    }
+                    let probs = stats::softmax_f32(&logits);
+                    // Backward pass.
+                    let mut delta_out = vec![0.0f32; num_classes];
+                    for c in 0..num_classes {
+                        delta_out[c] = probs[c] - if labels[i] as usize == c { 1.0 } else { 0.0 };
+                    }
+                    let mut delta_hidden = vec![0.0f32; h];
+                    for j in 0..h {
+                        if hidden[j] <= 0.0 {
+                            continue;
+                        }
+                        let mut acc = 0.0f32;
+                        for (c, &dc) in delta_out.iter().enumerate() {
+                            acc += w2.get(j, c) * dc;
+                        }
+                        delta_hidden[j] = acc;
+                    }
+                    for (c, &dc) in delta_out.iter().enumerate() {
+                        if dc == 0.0 {
+                            continue;
+                        }
+                        g_b2[c] += dc;
+                        for (j, &hj) in hidden.iter().enumerate() {
+                            if hj != 0.0 {
+                                let cur = g_w2.get(j, c);
+                                g_w2.set(j, c, cur + dc * hj);
+                            }
+                        }
+                    }
+                    for (j, &dj) in delta_hidden.iter().enumerate() {
+                        if dj == 0.0 {
+                            continue;
+                        }
+                        g_b1[j] += dj;
+                        for (k, &xk) in x.iter().enumerate() {
+                            if xk != 0.0 {
+                                let cur = g_w1.get(k, j);
+                                g_w1.set(k, j, cur + dj * xk);
+                            }
+                        }
+                    }
+                }
+
+                let scale = 1.0 / batch.len().max(1) as f32;
+                g_w1.scale(scale);
+                g_w2.scale(scale);
+                for g in g_b1.iter_mut() {
+                    *g *= scale;
+                }
+                for g in g_b2.iter_mut() {
+                    *g *= scale;
+                }
+                if l2 > 0.0 {
+                    g_w1.axpy(l2, &w1);
+                    g_w2.axpy(l2, &w2);
+                }
+
+                // Momentum updates.
+                v_w1.scale(mom);
+                v_w1.axpy(-lr, &g_w1);
+                w1.axpy(1.0, &v_w1);
+                v_w2.scale(mom);
+                v_w2.axpy(-lr, &g_w2);
+                w2.axpy(1.0, &v_w2);
+                for j in 0..h {
+                    v_b1[j] = mom * v_b1[j] - lr * g_b1[j];
+                    b1[j] += v_b1[j];
+                }
+                for c in 0..num_classes {
+                    v_b2[c] = mom * v_b2[c] - lr * g_b2[c];
+                    b2[c] += v_b2[c];
+                }
+            }
+        }
+        Self { w1, b1, w2, b2, num_classes }
+    }
+
+    /// Predicted class for one feature vector.
+    pub fn predict_one(&self, x: &[f32]) -> u32 {
+        let h = self.b1.len();
+        let mut hidden = vec![0.0f32; h];
+        for (j, hj) in hidden.iter_mut().enumerate() {
+            let mut acc = self.b1[j];
+            for (k, &xk) in x.iter().enumerate() {
+                acc += self.w1.get(k, j) * xk;
+            }
+            *hj = acc.max(0.0);
+        }
+        let logits: Vec<f64> = (0..self.num_classes)
+            .map(|c| {
+                let mut acc = self.b2[c];
+                for (j, &hj) in hidden.iter().enumerate() {
+                    acc += self.w2.get(j, c) * hj;
+                }
+                acc as f64
+            })
+            .collect();
+        stats::argmax(&logits) as u32
+    }
+
+    /// Classification error on a labelled set.
+    pub fn error(&self, features: &Matrix, labels: &[u32]) -> f64 {
+        assert_eq!(features.rows(), labels.len());
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let wrong = (0..features.rows()).filter(|&i| self.predict_one(features.row(i)) != labels[i]).count();
+        wrong as f64 / labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// XOR-style data that a linear model cannot fit but a small MLP can.
+    fn xor_data(n: usize, seed: u64) -> (Matrix, Vec<u32>) {
+        let mut r = rng::seeded(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = r.gen_range(0..2u32);
+            let b = r.gen_range(0..2u32);
+            rows.push(vec![
+                (a as f64 * 2.0 - 1.0 + rng::normal(&mut r) * 0.15) as f32,
+                (b as f64 * 2.0 - 1.0 + rng::normal(&mut r) * 0.15) as f32,
+            ]);
+            labels.push(a ^ b);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn mlp_solves_xor() {
+        let (x, y) = xor_data(600, 1);
+        let config = MlpConfig { hidden: 16, epochs: 80, learning_rate: 0.1, ..Default::default() };
+        let model = MlpClassifier::fit(&x, &y, 2, config);
+        let err = model.error(&x, &y);
+        assert!(err < 0.05, "XOR training error {err}");
+    }
+
+    #[test]
+    fn mlp_generalises_on_xor() {
+        let (train_x, train_y) = xor_data(600, 2);
+        let (test_x, test_y) = xor_data(300, 3);
+        let config = MlpConfig { hidden: 16, epochs: 80, learning_rate: 0.1, ..Default::default() };
+        let model = MlpClassifier::fit(&train_x, &train_y, 2, config);
+        assert!(model.error(&test_x, &test_y) < 0.08);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_a_seed() {
+        let (x, y) = xor_data(200, 4);
+        let config = MlpConfig { hidden: 8, epochs: 10, ..Default::default() };
+        let a = MlpClassifier::fit(&x, &y, 2, config);
+        let b = MlpClassifier::fit(&x, &y, 2, config);
+        assert_eq!(a.error(&x, &y), b.error(&x, &y));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let (x, _) = xor_data(10, 5);
+        let _ = MlpClassifier::fit(&x, &[7u32; 10], 2, MlpConfig::default());
+    }
+}

@@ -1,0 +1,63 @@
+//! FeeBee-style comparison of Bayes-error estimators on tasks with a known
+//! BER and a known noise evolution (Section II-A / Lemma 2.1).
+//!
+//! ```bash
+//! cargo run --release --example estimator_comparison
+//! ```
+//!
+//! For a 4-class Gaussian task whose true Bayes error is known by
+//! construction, the example injects increasing uniform label noise, predicts
+//! the noisy BER with Lemma 2.1, and reports how each estimator family
+//! (Cover–Hart 1NN, kNN posterior plug-in, GHP/MST, KDE) tracks it.
+
+use snoopy::data::gaussian::{GaussianMixture, GaussianMixtureSpec};
+use snoopy::data::noise::ber_after_uniform_noise;
+use snoopy::estimators::{default_estimators, LabeledView};
+use snoopy::linalg::rng;
+use snoopy::prelude::*;
+
+fn main() {
+    let num_classes = 4;
+    let mixture = GaussianMixture::from_spec(&GaussianMixtureSpec {
+        num_classes,
+        latent_dim: 8,
+        class_sep: 2.4,
+        within_std: 1.0,
+        seed: 3,
+    });
+    let mut sample_rng = rng::seeded(4);
+    let (train_x, train_y) = mixture.sample(2_000, &mut sample_rng);
+    let (test_x, test_y) = mixture.sample(600, &mut sample_rng);
+    let clean_ber = mixture.bayes_error_monte_carlo(40_000, 5);
+    println!("4-class Gaussian task, true clean BER = {clean_ber:.4}\n");
+
+    let estimators = default_estimators();
+    print!("{:<8} {:>12}", "noise", "lemma 2.1");
+    for est in &estimators {
+        print!(" {:>15}", est.name());
+    }
+    println!();
+
+    let mut noise_rng = rng::seeded(6);
+    for rho in [0.0, 0.2, 0.4, 0.6] {
+        let transition = TransitionMatrix::uniform(num_classes, rho);
+        let noisy_train = transition.apply(&train_y, &mut noise_rng);
+        let noisy_test = transition.apply(&test_y, &mut noise_rng);
+        let expected = ber_after_uniform_noise(clean_ber, rho, num_classes);
+        print!("{:<8.2} {:>12.4}", rho, expected);
+        for est in &estimators {
+            let value = est.estimate(
+                &LabeledView::new(&train_x, &noisy_train),
+                &LabeledView::new(&test_x, &noisy_test),
+                num_classes,
+            );
+            print!(" {:>15.4}", value);
+        }
+        println!();
+    }
+
+    println!(
+        "\nThe 1NN Cover–Hart estimator tracks the Lemma 2.1 evolution while staying scalable and \
+         hyper-parameter free — the finding that makes it Snoopy's estimator of choice."
+    );
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the full Snoopy pipeline from dataset
+//! generation through noise injection, feasibility study, incremental
+//! cleaning, and the end-to-end cost simulation.
+
+use snoopy::data::cleaning::clean_fraction;
+use snoopy::data::noise::ber_after_uniform_noise;
+use snoopy::data::registry::{load_clean, load_with_noise, SizeScale};
+use snoopy::e2e::{simulate, SimulationConfig, UserStrategy};
+use snoopy::linalg::rng;
+use snoopy::prelude::*;
+
+fn study(target: f64) -> FeasibilityStudy {
+    FeasibilityStudy::new(
+        SnoopyConfig::with_target(target)
+            .strategy(SelectionStrategy::Exhaustive)
+            .batch_fraction(0.25),
+    )
+}
+
+#[test]
+fn snoopy_decision_agrees_with_ground_truth_across_noise_levels() {
+    // The replicas carry their true BER, so we can check the binary signal
+    // against the ground truth under Lemma 2.1 for several noise levels.
+    let base = load_clean("cifar10", SizeScale::Tiny, 3);
+    let clean_ber = base.meta.true_ber.unwrap();
+
+    for (rho, target) in [(0.0, 0.9), (0.4, 0.9), (0.4, 0.5)] {
+        let task = load_with_noise("cifar10", SizeScale::Tiny, &NoiseModel::Uniform(rho), 3);
+        let zoo = zoo_for_task(&task, 5);
+        let report = study(target).run(&task, &zoo);
+        let true_noisy_ber = ber_after_uniform_noise(clean_ber, rho, task.num_classes);
+        let truly_realistic = true_noisy_ber <= 1.0 - target;
+        assert_eq!(
+            report.is_realistic(),
+            truly_realistic,
+            "rho={rho}, target={target}: estimate {:.3}, true noisy BER {:.3}",
+            report.ber_estimate,
+            true_noisy_ber
+        );
+    }
+}
+
+#[test]
+fn estimate_never_underestimates_catastrophically() {
+    // Condition 8 (Section IV-B) promises the minimum aggregation does not
+    // underestimate the BER; verify on a task with known ground truth.
+    let task = load_with_noise("sst2", SizeScale::Tiny, &NoiseModel::Uniform(0.3), 9);
+    let clean_ber = task.meta.true_ber.unwrap();
+    let true_noisy = ber_after_uniform_noise(clean_ber, 0.3, task.num_classes);
+    let zoo = zoo_for_task(&task, 9);
+    let report = study(0.9).run(&task, &zoo);
+    assert!(
+        report.ber_estimate >= true_noisy - 0.12,
+        "estimate {:.3} far below the true noisy BER {:.3}",
+        report.ber_estimate,
+        true_noisy
+    );
+}
+
+#[test]
+fn cleaning_loop_with_incremental_study_converges_to_realistic() {
+    let mut task = load_with_noise("mnist", SizeScale::Tiny, &NoiseModel::Uniform(0.6), 11);
+    let initial_task = task.clone();
+    let zoo = zoo_for_task(&task, 11);
+    let config = SnoopyConfig::with_target(0.8)
+        .strategy(SelectionStrategy::SuccessiveHalvingTangent)
+        .batch_fraction(0.2);
+    let mut incremental = IncrementalStudy::bootstrap(config, &task, &zoo);
+    assert_eq!(incremental.initial_report().decision, FeasibilityDecision::Unrealistic);
+
+    let mut r = rng::seeded(13);
+    let mut rounds = 0;
+    loop {
+        clean_fraction(&mut task, 0.1, &mut r);
+        let answer = incremental.refresh(&task);
+        rounds += 1;
+        if answer.decision == FeasibilityDecision::Realistic {
+            break;
+        }
+        assert!(rounds < 30, "cleaning everything must eventually flip the signal");
+    }
+    // Once the signal flips, the bulk of the noise is gone and the expensive
+    // model benefits accordingly. (Snoopy predicts the *best possible*
+    // accuracy; the tiny MLP trained on a few hundred samples will not reach
+    // it, exactly the asymptotic-value caveat of Section III.)
+    assert!(
+        task.observed_noise_rate() < 0.3,
+        "remaining noise {:.3} after Snoopy reported realistic",
+        task.observed_noise_rate()
+    );
+    let before = snoopy::models::FineTuneBaseline::quick(17).run(&initial_task);
+    let after = snoopy::models::FineTuneBaseline::quick(17).run(&task);
+    assert!(
+        after.test_accuracy > before.test_accuracy + 0.05,
+        "cleaning should pay off: before {:.3}, after {:.3}",
+        before.test_accuracy,
+        after.test_accuracy
+    );
+}
+
+#[test]
+fn class_dependent_noise_stays_within_theorem31_bounds() {
+    let task = load_with_noise("cifar10", SizeScale::Tiny, &NoiseModel::Clean, 21);
+    let variants = snoopy::data::noise::cifar_n_variants();
+    let aggre = &variants[0];
+    let mut noisy = task.clone();
+    snoopy::data::registry::apply_noise(&mut noisy, &NoiseModel::ClassDependent(aggre.matrix.clone()), 23);
+
+    let zoo = zoo_for_task(&noisy, 23);
+    let report = study(0.9).run(&noisy, &zoo);
+    let (lo, hi) =
+        snoopy::data::noise::ber_bounds_class_dependent(noisy.meta.sota_error, &aggre.matrix);
+    // The estimate is a lower-bound-style quantity; it must not exceed the
+    // theoretical upper bound, and should not sit wildly below the lower one.
+    assert!(report.ber_estimate <= hi + 0.05, "estimate {:.3} above upper bound {hi:.3}", report.ber_estimate);
+    assert!(report.ber_estimate >= lo - 0.05, "estimate {:.3} below lower bound {lo:.3}", report.ber_estimate);
+}
+
+#[test]
+fn end_to_end_feasibility_study_is_cheaper_in_machine_dominated_regimes() {
+    let task = load_with_noise("sst2", SizeScale::Tiny, &NoiseModel::Uniform(0.6), 31);
+    let cost = CostScenario { label: LabelCost::Free, machine: MachineCost::default() };
+    let config = SimulationConfig::new(0.8, cost, 31);
+    let naive = simulate(&task, UserStrategy::NoFeasibility { step_fraction: 0.05 }, &config);
+    let with_snoopy = simulate(&task, UserStrategy::SnoopyFeasibility { clean_fraction: 0.05 }, &config);
+    assert!(
+        with_snoopy.total_dollars < naive.total_dollars,
+        "snoopy ({:.2}$) should beat naive retraining ({:.2}$) when machine time dominates",
+        with_snoopy.total_dollars,
+        naive.total_dollars
+    );
+    assert_eq!(with_snoopy.expensive_runs, 1);
+}
+
+#[test]
+fn vtab_style_small_tasks_get_useful_estimates() {
+    // Fig. 11: on small (1K-sample) tasks with mismatched embeddings the
+    // estimate should still land in the right ball-park of the known BER.
+    let suite = snoopy::data::registry::vtab_suite(41);
+    let mut absolute_errors = Vec::new();
+    for task in suite.iter().take(4) {
+        let zoo = zoo_for_task(task, 41);
+        let report = study(0.9).run(task, &zoo);
+        absolute_errors.push((report.ber_estimate - task.meta.true_ber.unwrap()).abs());
+    }
+    let mean_abs: f64 = absolute_errors.iter().sum::<f64>() / absolute_errors.len() as f64;
+    assert!(mean_abs < 0.15, "mean |estimate - true BER| = {mean_abs:.3}");
+}
