@@ -1,4 +1,5 @@
-//! The arm abstraction pulled by the selection strategies.
+//! The arm abstraction pulled by the selection strategies, plus the shared
+//! pull/cost bookkeeping every concrete arm reuses.
 
 /// A non-stochastic bandit arm.
 ///
@@ -6,7 +7,10 @@
 /// to the streamed 1NN evaluator plus the inference cost of embedding that
 /// batch) and returns the arm's current loss (the 1NN test error). Losses are
 /// assumed to (noisily) decrease and converge as more budget is spent.
-pub trait Arm {
+///
+/// Arms are `Send` so the strategies can evaluate independent arms on worker
+/// threads.
+pub trait Arm: Send {
     /// A short identifier (the transformation name for Snoopy arms).
     fn name(&self) -> &str;
 
@@ -29,6 +33,20 @@ pub trait Arm {
     fn cost_per_pull(&self) -> f64 {
         1.0
     }
+
+    /// Total simulated cost charged so far. Defaults to the ledger-free
+    /// approximation `pulls × cost_per_pull`; arms with a [`PullLedger`]
+    /// report the exact accumulated figure.
+    fn accumulated_cost(&self) -> f64 {
+        self.pulls() as f64 * self.cost_per_pull()
+    }
+
+    /// Notifies the arm how many arms will pull concurrently in the next
+    /// round, so arms with internal parallelism can resize their worker
+    /// share as the field shrinks. Default: no-op.
+    fn on_concurrency(&mut self, active_arms: usize) {
+        let _ = active_arms;
+    }
 }
 
 impl<T: Arm + ?Sized> Arm for Box<T> {
@@ -50,15 +68,61 @@ impl<T: Arm + ?Sized> Arm for Box<T> {
     fn cost_per_pull(&self) -> f64 {
         (**self).cost_per_pull()
     }
+    fn accumulated_cost(&self) -> f64 {
+        (**self).accumulated_cost()
+    }
+    fn on_concurrency(&mut self, active_arms: usize) {
+        (**self).on_concurrency(active_arms)
+    }
+}
+
+/// Shared pull/cost bookkeeping for concrete arms.
+///
+/// Before this ledger existed, every arm implementation (the pre-recorded
+/// test arm here and the transformation arm in `snoopy-core`) duplicated the
+/// same counters; they now both record through one type, and the strategies
+/// read simulated cost from the same place.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PullLedger {
+    pulls: usize,
+    simulated_cost: f64,
+}
+
+impl PullLedger {
+    /// A fresh ledger with nothing recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one pull costing `cost` simulated seconds.
+    pub fn record_pull(&mut self, cost: f64) {
+        self.pulls += 1;
+        self.simulated_cost += cost;
+    }
+
+    /// Records a charge that is not a pull (e.g. one-off test-set inference).
+    pub fn charge(&mut self, cost: f64) {
+        self.simulated_cost += cost;
+    }
+
+    /// Number of pulls recorded.
+    pub fn pulls(&self) -> usize {
+        self.pulls
+    }
+
+    /// Total simulated cost recorded, in seconds.
+    pub fn simulated_cost(&self) -> f64 {
+        self.simulated_cost
+    }
 }
 
 /// An arm backed by a pre-recorded loss curve. Used in tests and to replay
-/// convergence curves inside the Criterion benchmarks without re-running kNN.
+/// convergence curves inside the benchmarks without re-running kNN.
 #[derive(Debug, Clone)]
 pub struct PrerecordedArm {
     name: String,
     curve: Vec<f64>,
-    pulls: usize,
+    ledger: PullLedger,
     cost_per_pull: f64,
 }
 
@@ -69,7 +133,7 @@ impl PrerecordedArm {
     /// Panics if the curve is empty.
     pub fn new(name: &str, curve: Vec<f64>) -> Self {
         assert!(!curve.is_empty(), "pre-recorded arm needs at least one loss value");
-        Self { name: name.to_string(), curve, pulls: 0, cost_per_pull: 1.0 }
+        Self { name: name.to_string(), curve, ledger: PullLedger::new(), cost_per_pull: 1.0 }
     }
 
     /// Sets the per-pull cost used for runtime accounting.
@@ -90,30 +154,34 @@ impl Arm for PrerecordedArm {
     }
 
     fn pull(&mut self) -> f64 {
-        if self.pulls < self.curve.len() {
-            self.pulls += 1;
+        if self.ledger.pulls() < self.curve.len() {
+            self.ledger.record_pull(self.cost_per_pull);
         }
         self.current_loss()
     }
 
     fn pulls(&self) -> usize {
-        self.pulls
+        self.ledger.pulls()
     }
 
     fn exhausted(&self) -> bool {
-        self.pulls >= self.curve.len()
+        self.ledger.pulls() >= self.curve.len()
     }
 
     fn current_loss(&self) -> f64 {
-        if self.pulls == 0 {
+        if self.ledger.pulls() == 0 {
             1.0
         } else {
-            self.curve[self.pulls - 1]
+            self.curve[self.ledger.pulls() - 1]
         }
     }
 
     fn cost_per_pull(&self) -> f64 {
         self.cost_per_pull
+    }
+
+    fn accumulated_cost(&self) -> f64 {
+        self.ledger.simulated_cost()
     }
 }
 
@@ -141,6 +209,26 @@ mod tests {
         assert_eq!(arm.cost_per_pull(), 1.0);
         let pricey = PrerecordedArm::new("b", vec![0.1]).with_cost(2.5);
         assert_eq!(pricey.cost_per_pull(), 2.5);
+    }
+
+    #[test]
+    fn ledger_tracks_pulls_and_cost() {
+        let mut ledger = PullLedger::new();
+        ledger.charge(0.5);
+        ledger.record_pull(2.0);
+        ledger.record_pull(1.0);
+        assert_eq!(ledger.pulls(), 2);
+        assert!((ledger.simulated_cost() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulated_cost_reflects_actual_pulls() {
+        let mut arm = PrerecordedArm::new("a", vec![0.5, 0.4]).with_cost(3.0);
+        arm.pull();
+        assert!((arm.accumulated_cost() - 3.0).abs() < 1e-12);
+        arm.pull();
+        arm.pull(); // no-op past the end: no extra cost
+        assert!((arm.accumulated_cost() - 6.0).abs() < 1e-12);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 pub mod arm;
 pub mod strategies;
 
-pub use arm::{Arm, PrerecordedArm};
+pub use arm::{Arm, PrerecordedArm, PullLedger};
 pub use strategies::{
     doubling_successive_halving, exhaust_all, run_strategy, successive_halving, uniform_allocation,
     SelectionOutcome, SelectionStrategy,

@@ -1,6 +1,13 @@
 //! Selection strategies: uniform allocation and successive halving with and
 //! without tangent-based early stopping (Algorithms 1 and 2 of the paper's
 //! appendix), plus the doubling trick.
+//!
+//! Arms are independent — pulling one never touches another — so every
+//! strategy executes the pulls it has decided on for a round on worker
+//! threads (`std::thread::scope`), one per arm. Scheduling decisions
+//! (thresholds, eliminations, survivor ranking) stay on the calling thread,
+//! and each arm's own pull sequence is identical to the sequential
+//! schedule, so outcomes are deterministic and unchanged.
 
 use crate::arm::Arm;
 
@@ -40,7 +47,7 @@ pub struct SelectionOutcome {
     pub best_loss: f64,
     /// Total number of pulls spent across all arms.
     pub total_pulls: usize,
-    /// Total simulated cost (`Σ pulls_i · cost_per_pull_i`).
+    /// Total simulated cost accumulated across all arms.
     pub total_cost: f64,
     /// Per-arm loss histories: `curves[i][j]` is arm `i`'s loss after its
     /// `j+1`-th pull.
@@ -53,7 +60,7 @@ impl SelectionOutcome {
     fn from_state<A: Arm>(curves: Vec<Vec<f64>>, arms: &[A]) -> Self {
         let pulls_per_arm: Vec<usize> = arms.iter().map(|a| a.pulls()).collect();
         let total_pulls = pulls_per_arm.iter().sum();
-        let total_cost = arms.iter().map(|a| a.pulls() as f64 * a.cost_per_pull()).sum();
+        let total_cost = arms.iter().map(|a| a.accumulated_cost()).sum();
         // The best arm is the one with the lowest recorded loss (ties resolve
         // to the earliest index, matching `min` over estimators).
         let mut best_arm = 0usize;
@@ -74,6 +81,52 @@ impl SelectionOutcome {
     }
 }
 
+/// Job size meaning "pull until the arm is exhausted".
+const UNTIL_EXHAUSTED: usize = usize::MAX;
+
+/// Executes one scheduling round: arm `i` is pulled up to `jobs[i]` times
+/// (stopping early at exhaustion), its observed losses appended to
+/// `curves[i]`. `jobs[i] == 0` skips the arm.
+///
+/// Arms are first told how many of them will run concurrently
+/// ([`Arm::on_concurrency`]) so arms with internal parallelism can size
+/// their worker share. A round with a single busy arm runs inline — no
+/// thread spawn for degenerate rounds or the winner-finishing tail.
+fn parallel_round<A: Arm>(arms: &mut [A], curves: &mut [Vec<f64>], jobs: &[usize]) {
+    let busy = arms.iter().zip(jobs).filter(|(arm, &job)| job > 0 && !arm.exhausted()).count();
+    if busy == 0 {
+        return;
+    }
+    for (arm, &job) in arms.iter_mut().zip(jobs) {
+        if job > 0 && !arm.exhausted() {
+            arm.on_concurrency(busy);
+        }
+    }
+    let run_one = |arm: &mut A, curve: &mut Vec<f64>, job: usize| {
+        let mut done = 0usize;
+        while done < job && !arm.exhausted() {
+            curve.push(arm.pull());
+            done = done.saturating_add(1);
+        }
+    };
+    if busy == 1 {
+        for ((arm, curve), &job) in arms.iter_mut().zip(curves.iter_mut()).zip(jobs) {
+            if job > 0 && !arm.exhausted() {
+                run_one(arm, curve, job);
+            }
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for ((arm, curve), &job) in arms.iter_mut().zip(curves.iter_mut()).zip(jobs) {
+            if job == 0 || arm.exhausted() {
+                continue;
+            }
+            scope.spawn(move || run_one(arm, curve, job));
+        }
+    });
+}
+
 /// Runs the given strategy with a total pull budget. For
 /// [`SelectionStrategy::Exhaustive`] the budget is ignored and every arm is
 /// pulled until exhaustion.
@@ -86,38 +139,44 @@ pub fn run_strategy<A: Arm>(strategy: SelectionStrategy, arms: &mut [A], budget:
     }
 }
 
-/// Pulls every arm until it is exhausted.
+/// Pulls every arm until it is exhausted, all arms in parallel.
 pub fn exhaust_all<A: Arm>(arms: &mut [A]) -> SelectionOutcome {
     let mut curves = vec![Vec::new(); arms.len()];
-    for (i, arm) in arms.iter_mut().enumerate() {
-        while !arm.exhausted() {
-            curves[i].push(arm.pull());
-        }
-    }
+    let jobs = vec![UNTIL_EXHAUSTED; arms.len()];
+    parallel_round(arms, &mut curves, &jobs);
     SelectionOutcome::from_state(curves, arms)
 }
 
 /// Uniform allocation baseline: round-robin single pulls until the budget is
-/// spent or every arm is exhausted.
+/// spent or every arm is exhausted. Each sweep hands one pull to every
+/// still-running arm (in index order when the remaining budget cannot cover
+/// the full sweep) and executes the sweep's pulls in parallel.
+///
+/// A sweep costs one thread spawn per arm; that is paid deliberately because
+/// the production arms (transformation pulls: batch inference + a streamed
+/// 1NN update) dwarf the ~10 µs spawn cost. Replaying nanosecond-scale
+/// pre-recorded arms through this path measures mostly spawn overhead —
+/// bench accordingly.
 pub fn uniform_allocation<A: Arm>(arms: &mut [A], budget: usize) -> SelectionOutcome {
     let mut curves = vec![Vec::new(); arms.len()];
     let mut spent = 0usize;
-    'outer: loop {
-        let mut progressed = false;
-        for (i, arm) in arms.iter_mut().enumerate() {
-            if spent >= budget {
-                break 'outer;
+    loop {
+        let mut jobs = vec![0usize; arms.len()];
+        let mut allocated = 0usize;
+        for (job, arm) in jobs.iter_mut().zip(arms.iter()) {
+            if spent + allocated >= budget {
+                break;
             }
-            if arm.exhausted() {
-                continue;
+            if !arm.exhausted() {
+                *job = 1;
+                allocated += 1;
             }
-            curves[i].push(arm.pull());
-            spent += 1;
-            progressed = true;
         }
-        if !progressed {
+        if allocated == 0 {
             break;
         }
+        parallel_round(arms, &mut curves, &jobs);
+        spent += allocated;
     }
     SelectionOutcome::from_state(curves, arms)
 }
@@ -127,22 +186,25 @@ pub fn uniform_allocation<A: Arm>(arms: &mut [A], budget: usize) -> SelectionOut
 ///
 /// The budget `B` is the total number of pulls the scheduler may spend. Arms
 /// eliminated in earlier rounds keep their recorded curves, so the caller can
-/// still aggregate by taking the minimum over everything observed.
+/// still aggregate by taking the minimum over everything observed. Within a
+/// round, the surviving arms evaluate concurrently on worker threads.
 pub fn successive_halving<A: Arm>(arms: &mut [A], budget: usize, use_tangent: bool) -> SelectionOutcome {
     let n = arms.len();
     let mut curves = vec![Vec::new(); n];
     if n == 0 {
-        return SelectionOutcome { best_arm: 0, best_loss: f64::INFINITY, total_pulls: 0, total_cost: 0.0, curves, pulls_per_arm: vec![] };
+        return SelectionOutcome {
+            best_arm: 0,
+            best_loss: f64::INFINITY,
+            total_pulls: 0,
+            total_cost: 0.0,
+            curves,
+            pulls_per_arm: vec![],
+        };
     }
     if n == 1 {
         // Degenerate case: spend the whole budget on the single arm.
-        let arm = &mut arms[0];
-        for _ in 0..budget {
-            if arm.exhausted() {
-                break;
-            }
-            curves[0].push(arm.pull());
-        }
+        let jobs = vec![budget];
+        parallel_round(arms, &mut curves, &jobs);
         return SelectionOutcome::from_state(curves, arms);
     }
 
@@ -155,64 +217,90 @@ pub fn successive_halving<A: Arm>(arms: &mut [A], budget: usize, use_tangent: bo
         }
         let rk = (budget / (l * rounds)).max(1);
 
-        // First half of the survivor list is always pulled in full; its worst
-        // loss defines the threshold for the tangent breaks (Algorithm 1).
+        // First half of the survivor list is always pulled in full (on worker
+        // threads); its worst loss defines the threshold for the tangent
+        // breaks (Algorithm 1).
         let cutoff = (l / 2).max(1);
+        let mut jobs = vec![0usize; n];
+        for &idx in survivors.iter().take(cutoff) {
+            jobs[idx] = rk;
+        }
+        parallel_round(arms, &mut curves, &jobs);
         let mut threshold = f64::NEG_INFINITY;
         for &idx in survivors.iter().take(cutoff) {
-            let arm = &mut arms[idx];
-            for _ in 0..rk {
-                if arm.exhausted() {
-                    break;
-                }
-                curves[idx].push(arm.pull());
-            }
-            threshold = threshold.max(arm.current_loss());
+            threshold = threshold.max(arms[idx].current_loss());
         }
 
-        let mut eliminated_by_tangent: Vec<usize> = Vec::new();
-        for &idx in survivors.iter().skip(cutoff) {
-            let arm = &mut arms[idx];
-            if !use_tangent {
-                for _ in 0..rk {
-                    if arm.exhausted() {
-                        break;
-                    }
-                    curves[idx].push(arm.pull());
-                }
-                continue;
-            }
+        let mut eliminated_by_tangent = vec![false; n];
+        if use_tangent {
             // Algorithm 2: after every pull, extrapolate the tangent (the
             // line through the last two observed losses) to the end of the
             // round; if even that optimistic value is worse than the first
-            // half's threshold, stop pulling this arm.
-            for step in 0..rk {
-                if arm.exhausted() {
-                    break;
+            // half's threshold, stop pulling this arm. Each arm's decision
+            // depends only on its own curve and the fixed threshold, so the
+            // second half also runs on worker threads.
+            let in_second_half: Vec<bool> = {
+                let mut flags = vec![false; n];
+                for &idx in survivors.iter().skip(cutoff) {
+                    flags[idx] = true;
                 }
-                curves[idx].push(arm.pull());
-                let curve = &curves[idx];
-                if curve.len() >= 2 {
-                    let last = curve[curve.len() - 1];
-                    let prev = curve[curve.len() - 2];
-                    let slope = last - prev; // per pull; negative for improving arms
-                    let remaining = (rk - step - 1) as f64;
-                    let predicted_end = last + slope.min(0.0) * remaining;
-                    if predicted_end > threshold {
-                        eliminated_by_tangent.push(idx);
-                        break;
-                    }
+                flags
+            };
+            let busy = in_second_half.iter().filter(|&&f| f).count();
+            for (arm, &selected) in arms.iter_mut().zip(in_second_half.iter()) {
+                if selected {
+                    arm.on_concurrency(busy.max(1));
                 }
             }
+            let tangent_pulls = |arm: &mut A, curve: &mut Vec<f64>, eliminated: &mut bool| {
+                for step in 0..rk {
+                    if arm.exhausted() {
+                        break;
+                    }
+                    curve.push(arm.pull());
+                    if curve.len() >= 2 {
+                        let last = curve[curve.len() - 1];
+                        let prev = curve[curve.len() - 2];
+                        let slope = last - prev; // per pull; negative for improving arms
+                        let remaining = (rk - step - 1) as f64;
+                        let predicted_end = last + slope.min(0.0) * remaining;
+                        if predicted_end > threshold {
+                            *eliminated = true;
+                            break;
+                        }
+                    }
+                }
+            };
+            let selected = arms
+                .iter_mut()
+                .zip(curves.iter_mut())
+                .zip(eliminated_by_tangent.iter_mut())
+                .zip(in_second_half.iter())
+                .filter(|(_, &selected)| selected);
+            if busy <= 1 {
+                // A lone second-half arm runs inline: no spawn/join round trip.
+                for (((arm, curve), eliminated), _) in selected {
+                    tangent_pulls(arm, curve, eliminated);
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for (((arm, curve), eliminated), _) in selected {
+                        scope.spawn(|| tangent_pulls(arm, curve, eliminated));
+                    }
+                });
+            }
+        } else {
+            let mut jobs = vec![0usize; n];
+            for &idx in survivors.iter().skip(cutoff) {
+                jobs[idx] = rk;
+            }
+            parallel_round(arms, &mut curves, &jobs);
         }
 
         // Keep the better half by current loss (ties by index, deterministic).
-        survivors.retain(|idx| !eliminated_by_tangent.contains(idx));
+        survivors.retain(|&idx| !eliminated_by_tangent[idx]);
         survivors.sort_by(|&a, &b| {
-            arms[a]
-                .current_loss()
-                .total_cmp(&arms[b].current_loss())
-                .then_with(|| a.cmp(&b))
+            arms[a].current_loss().total_cmp(&arms[b].current_loss()).then_with(|| a.cmp(&b))
         });
         survivors.truncate((l / 2).max(1));
     }
@@ -223,13 +311,9 @@ pub fn successive_halving<A: Arm>(arms: &mut [A], budget: usize, use_tangent: bo
     if let Some(&winner) = survivors.first() {
         let spent: usize = arms.iter().map(|a| a.pulls()).sum();
         let remaining = budget.saturating_sub(spent);
-        let arm = &mut arms[winner];
-        for _ in 0..remaining {
-            if arm.exhausted() {
-                break;
-            }
-            curves[winner].push(arm.pull());
-        }
+        let mut jobs = vec![0usize; n];
+        jobs[winner] = remaining;
+        parallel_round(arms, &mut curves, &jobs);
     }
 
     SelectionOutcome::from_state(curves, arms)
@@ -275,8 +359,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &a)| {
-                let curve: Vec<f64> =
-                    (1..=len).map(|t| a + (0.9 - a) * (-(t as f64) / 6.0).exp()).collect();
+                let curve: Vec<f64> = (1..=len).map(|t| a + (0.9 - a) * (-(t as f64) / 6.0).exp()).collect();
                 Box::new(PrerecordedArm::new(&format!("arm{i}"), curve)) as Box<dyn Arm>
             })
             .collect()
@@ -298,6 +381,14 @@ mod tests {
         assert_eq!(outcome.total_pulls, 40);
         assert_eq!(outcome.pulls_per_arm, vec![10, 10, 10, 10]);
         assert_eq!(outcome.best_arm, 1);
+    }
+
+    #[test]
+    fn uniform_allocation_partial_sweep_hands_pulls_in_index_order() {
+        let mut arms = synthetic_arms(&[0.3, 0.1, 0.5], 20);
+        let outcome = uniform_allocation(&mut arms, 7);
+        assert_eq!(outcome.total_pulls, 7);
+        assert_eq!(outcome.pulls_per_arm, vec![3, 2, 2]);
     }
 
     #[test]
@@ -363,12 +454,8 @@ mod tests {
     fn doubling_trick_eventually_exhausts_the_winner() {
         let asymptotes = [0.4, 0.1, 0.3, 0.2];
         let len = 16;
-        let (outcome, cumulative) = doubling_successive_halving(
-            || synthetic_arms(&asymptotes, len),
-            4,
-            true,
-            12,
-        );
+        let (outcome, cumulative) =
+            doubling_successive_halving(|| synthetic_arms(&asymptotes, len), 4, true, 12);
         assert_eq!(outcome.best_arm, 1);
         assert!(outcome.pulls_per_arm[1] >= len, "winner should be fully exhausted");
         assert!(cumulative >= outcome.total_pulls);

@@ -12,8 +12,7 @@ fn convergent_arms(asymptotes: &[f64], len: usize) -> Vec<PrerecordedArm> {
         .iter()
         .enumerate()
         .map(|(i, &a)| {
-            let curve: Vec<f64> =
-                (1..=len).map(|t| a + (0.95 - a) * (-(t as f64) / 5.0).exp()).collect();
+            let curve: Vec<f64> = (1..=len).map(|t| a + (0.95 - a) * (-(t as f64) / 5.0).exp()).collect();
             PrerecordedArm::new(&format!("arm{i}"), curve)
         })
         .collect()

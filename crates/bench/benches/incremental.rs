@@ -21,7 +21,7 @@ fn bench_incremental_vs_scratch(c: &mut Criterion) {
 
     group.bench_function("from_scratch", |b| {
         b.iter(|| {
-            BruteForceIndex::new(train_x.clone(), train_y.clone(), 10, Metric::SquaredEuclidean)
+            BruteForceIndex::new(&train_x, &train_y, 10, Metric::SquaredEuclidean)
                 .one_nn_error(&test_x, &test_y)
         })
     });

@@ -18,7 +18,7 @@ fn bench_one_nn(c: &mut Criterion) {
     let (test_x, test_y) = make_data(200, 32, 1);
     for &n in &[500usize, 1_000, 2_000] {
         let (train_x, train_y) = make_data(n, 32, 2);
-        let index = BruteForceIndex::new(train_x, train_y, 10, Metric::SquaredEuclidean);
+        let index = BruteForceIndex::new(&train_x, &train_y, 10, Metric::SquaredEuclidean);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| index.one_nn_error(&test_x, &test_y))
         });
@@ -30,7 +30,7 @@ fn bench_knn_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("knn_query_k10");
     group.sample_size(10);
     let (train_x, train_y) = make_data(2_000, 32, 3);
-    let index = BruteForceIndex::new(train_x, train_y, 10, Metric::SquaredEuclidean);
+    let index = BruteForceIndex::new(&train_x, &train_y, 10, Metric::SquaredEuclidean);
     let (query_x, _) = make_data(1, 32, 4);
     group.bench_function("single_query", |b| b.iter(|| index.query_knn(query_x.row(0), 10)));
     group.finish();

@@ -32,7 +32,7 @@ fn bench_logreg_vs_1nn(c: &mut Criterion) {
     });
     group.bench_function("one_nn_evaluation", |b| {
         b.iter(|| {
-            BruteForceIndex::new(train_x.clone(), train_y.clone(), 4, Metric::SquaredEuclidean)
+            BruteForceIndex::new(&train_x, &train_y, 4, Metric::SquaredEuclidean)
                 .one_nn_error(&test_x, &test_y)
         })
     });

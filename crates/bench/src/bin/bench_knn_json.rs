@@ -1,0 +1,126 @@
+//! Emits `BENCH_knn.json`: queries/second of the 1NN kernel, serial vs
+//! chunk-parallel, across a few training-set sizes. This is the workspace's
+//! perf-trajectory anchor — run it before and after touching the engine.
+//!
+//! ```text
+//! cargo run --release -p snoopy-bench --bin bench_knn_json [--scale tiny|small|standard]
+//! ```
+
+use snoopy_knn::engine::{nearest_reference, EvalEngine};
+use snoopy_knn::Metric;
+use snoopy_linalg::{rng, Matrix};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn make_data(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut r = rng::seeded(seed);
+    Matrix::from_fn(n, d, |_, _| rng::normal(&mut r) as f32)
+}
+
+/// Median seconds per run of `f` over `reps` runs.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Case {
+    train_n: usize,
+    dim: usize,
+    metric: Metric,
+    serial_qps: f64,
+    parallel_qps: f64,
+}
+
+fn main() {
+    let scale = snoopy_bench::scale_from_args();
+    let (sizes, queries, dim, reps): (&[usize], usize, usize, usize) = match scale {
+        snoopy_data::registry::SizeScale::Tiny => (&[500, 1_000], 100, 32, 5),
+        snoopy_data::registry::SizeScale::Standard => (&[2_000, 8_000, 32_000], 500, 64, 7),
+        _ => (&[1_000, 4_000, 16_000], 250, 64, 5),
+    };
+
+    let threads = EvalEngine::parallel().threads();
+    let query_x = make_data(queries, dim, 1);
+    let mut cases = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let train_x = make_data(n, dim, 2 + i as u64);
+        for metric in [Metric::SquaredEuclidean, Metric::Cosine] {
+            let serial = EvalEngine::serial();
+            let parallel = EvalEngine::parallel();
+            // Confirm parity before timing anything.
+            assert_eq!(
+                parallel.nearest(train_x.view(), query_x.view(), metric),
+                nearest_reference(train_x.view(), query_x.view(), metric),
+                "parallel engine must be bit-identical to the serial reference"
+            );
+            let t_serial = time_median(reps, || {
+                std::hint::black_box(serial.nearest(train_x.view(), query_x.view(), metric));
+            });
+            let t_parallel = time_median(reps, || {
+                std::hint::black_box(parallel.nearest(train_x.view(), query_x.view(), metric));
+            });
+            let case = Case {
+                train_n: n,
+                dim,
+                metric,
+                serial_qps: queries as f64 / t_serial,
+                parallel_qps: queries as f64 / t_parallel,
+            };
+            println!(
+                "n={:>6} d={} {:<13} serial {:>10.0} q/s   parallel({} threads) {:>10.0} q/s   speedup {:.2}x",
+                case.train_n,
+                case.dim,
+                metric.name(),
+                case.serial_qps,
+                threads,
+                case.parallel_qps,
+                case.parallel_qps / case.serial_qps,
+            );
+            cases.push(case);
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"1nn_kernel\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    if threads == 1 {
+        // Make single-core snapshots self-describing: the parallel path
+        // degenerates to the serial loop, so speedups here are noise.
+        let _ = writeln!(
+            json,
+            "  \"note\": \"single-core host: parallel path degenerates to serial; speedup figures are not meaningful — regenerate on a multi-core machine\","
+        );
+    }
+    let _ = writeln!(json, "  \"queries\": {queries},");
+    let _ = writeln!(json, "  \"cases\": [");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"train_n\": {}, \"dim\": {}, \"metric\": \"{}\", \"serial_qps\": {:.1}, \"parallel_qps\": {:.1}, \"speedup\": {:.3}}}{comma}",
+            c.train_n,
+            c.dim,
+            c.metric.name(),
+            c.serial_qps,
+            c.parallel_qps,
+            c.parallel_qps / c.serial_qps,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = snoopy_bench::results_dir()
+        .parent()
+        .map(|p| p.join("BENCH_knn.json"))
+        .unwrap_or_else(|| "BENCH_knn.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("(written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {path:?}: {e}"),
+    }
+}

@@ -19,16 +19,23 @@ fn main() {
     let mut table = ResultsTable::new(
         "fig9_10_e2e_use_case",
         &[
-            "dataset", "noise", "target_accuracy", "label_cost", "strategy", "total_dollars", "labels_inspected",
-            "fraction_cleaned", "machine_hours", "expensive_runs", "final_accuracy", "reached_target",
+            "dataset",
+            "noise",
+            "target_accuracy",
+            "label_cost",
+            "strategy",
+            "total_dollars",
+            "labels_inspected",
+            "fraction_cleaned",
+            "machine_hours",
+            "expensive_runs",
+            "final_accuracy",
+            "reached_target",
         ],
     );
 
-    let scenarios = [
-        (LabelCost::Free, "free"),
-        (LabelCost::Cheap, "cheap"),
-        (LabelCost::Expensive, "expensive"),
-    ];
+    let scenarios =
+        [(LabelCost::Free, "free"), (LabelCost::Cheap, "cheap"), (LabelCost::Expensive, "expensive")];
 
     for name in datasets.split(',') {
         // Noise / target pairs mirroring Figure 9: 40% noise with a modest

@@ -47,7 +47,9 @@ fn main() {
     let noise_levels = [0.0f64, 0.2, 0.4, 0.6, 0.8];
     let mut noise_rng = rng::seeded(20);
 
-    for (repr, train_x, test_x) in [("latent-d12", &train_lat, &test_lat), ("raw-d200", &train_raw, &test_raw)] {
+    for (repr, train_x, test_x) in
+        [("latent-d12", &train_lat, &test_lat), ("raw-d200", &train_raw, &test_raw)]
+    {
         let mut mae = vec![0.0f64; estimators.len()];
         for &rho in &noise_levels {
             let t = TransitionMatrix::uniform(num_classes, rho);
@@ -61,7 +63,14 @@ fn main() {
                     num_classes,
                 );
                 mae[i] += (value - truth).abs() / noise_levels.len() as f64;
-                table.push(vec![repr.into(), f4(rho), f4(truth), est.name().into(), f4(value), f4((value - truth).abs())]);
+                table.push(vec![
+                    repr.into(),
+                    f4(rho),
+                    f4(truth),
+                    est.name().into(),
+                    f4(value),
+                    f4((value - truth).abs()),
+                ]);
             }
         }
         println!("\n[{repr}] mean absolute error across noise levels:");

@@ -20,18 +20,26 @@ fn main() {
         let mut task = load_with_noise(spec.name, scale, &NoiseModel::Uniform(0.2), 33);
         let zoo = zoo_for_task(&task, 33);
         let best = zoo.iter().max_by(|a, b| a.cost_per_sample().total_cmp(&b.cost_per_sample())).unwrap();
-        let train_e = best.transform(&task.train.features);
-        let test_e = best.transform(&task.test.features);
+        let train_e = best.transform(task.train.features.view());
+        let test_e = best.transform(task.test.features.view());
 
-        let mut cache = IncrementalOneNn::build(&train_e, &task.train.labels, &test_e, &task.test.labels, task.num_classes, Metric::SquaredEuclidean);
+        let mut cache = IncrementalOneNn::build(
+            &train_e,
+            &task.train.labels,
+            &test_e,
+            &task.test.labels,
+            task.num_classes,
+            Metric::SquaredEuclidean,
+        );
 
         // Clean 1% of the labels, then time both re-evaluation paths.
         let mut r = rng::seeded(34);
         clean_fraction(&mut task, 0.01, &mut r);
 
         let start = Instant::now();
-        let scratch_error = BruteForceIndex::new(train_e.clone(), task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
-            .one_nn_error(&test_e, &task.test.labels);
+        let scratch_error =
+            BruteForceIndex::new(&train_e, &task.train.labels, task.num_classes, Metric::SquaredEuclidean)
+                .one_nn_error(&test_e, &task.test.labels);
         let scratch_ms = start.elapsed().as_secs_f64() * 1e3;
 
         let start = Instant::now();

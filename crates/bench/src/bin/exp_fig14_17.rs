@@ -17,8 +17,16 @@ fn main() {
     let mut table = ResultsTable::new(
         "fig14_17_regime_quantities",
         &[
-            "transformation", "true_ber", "transformed_ber", "delta_f", "estimator_limit", "tightness_Delta_f",
-            "gamma_quarter", "gamma_half", "gamma_full", "condition8_margin_full",
+            "transformation",
+            "true_ber",
+            "transformed_ber",
+            "delta_f",
+            "estimator_limit",
+            "tightness_Delta_f",
+            "gamma_quarter",
+            "gamma_half",
+            "gamma_full",
+            "condition8_margin_full",
         ],
     );
     for name in ["raw", "pca32", "nca", "random-proj32", "alexnet", "resnet50-v2", "efficientnet-b7"] {

@@ -37,10 +37,15 @@ fn main() {
         for &rho in &[0.0f64, 0.2, 0.4, 0.6, 0.8] {
             let task = load_with_noise(spec.name, scale, &NoiseModel::Uniform(rho), 99);
             for t in &members {
-                let train_e = t.transform(&task.train.features);
-                let test_e = t.transform(&task.test.features);
-                let err = BruteForceIndex::new(train_e, task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
-                    .one_nn_error(&test_e, &task.test.labels);
+                let train_e = t.transform(task.train.features.view());
+                let test_e = t.transform(task.test.features.view());
+                let err = BruteForceIndex::new(
+                    &train_e,
+                    &task.train.labels,
+                    task.num_classes,
+                    Metric::SquaredEuclidean,
+                )
+                .one_nn_error(&test_e, &task.test.labels);
                 noise_table.push(vec![
                     spec.name.into(),
                     t.name().into(),
@@ -54,14 +59,17 @@ fn main() {
 
         // (b) convergence with growing sample size, no label noise.
         for t in &members {
-            let train_e = t.transform(&clean.train.features);
-            let test_e = t.transform(&clean.test.features);
+            let train_e = t.transform(clean.train.features.view());
+            let test_e = t.transform(clean.test.features.view());
             let mut stream = StreamedOneNn::new(test_e, clean.test.labels.clone(), Metric::SquaredEuclidean);
             let batch = (clean.train.len() / 8).max(1);
             let mut consumed = 0;
             while consumed < clean.train.len() {
                 let end = (consumed + batch).min(clean.train.len());
-                stream.add_train_batch(&train_e.slice_rows(consumed, end), &clean.train.labels[consumed..end]);
+                stream.add_train_batch(
+                    train_e.view().slice_rows(consumed, end),
+                    &clean.train.labels[consumed..end],
+                );
                 consumed = end;
             }
             for &(n, err) in stream.curve() {

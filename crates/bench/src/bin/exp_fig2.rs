@@ -20,14 +20,21 @@ fn main() {
     // Embeddings never change with label noise: compute them once.
     let train_raw = &base.train.features;
     let test_raw = &base.test.features;
-    let train_best = best.transform(train_raw);
-    let test_best = best.transform(test_raw);
+    let train_best = best.transform(train_raw.view());
+    let test_best = best.transform(test_raw.view());
 
     let mut table = ResultsTable::new(
         "fig2_downscaling_justification",
         &[
-            "noise", "true_ber_lemma21", "raw_1nn_error", "raw_ch_estimate", "best_1nn_error", "best_ch_estimate",
-            "lr_error", "lr_scaled_08", "lr_ch_normalized",
+            "noise",
+            "true_ber_lemma21",
+            "raw_1nn_error",
+            "raw_ch_estimate",
+            "best_1nn_error",
+            "best_ch_estimate",
+            "lr_error",
+            "lr_scaled_08",
+            "lr_ch_normalized",
         ],
     );
     for step in 0..=10 {
@@ -35,10 +42,12 @@ fn main() {
         let mut task = base.clone();
         apply_noise(&mut task, &NoiseModel::Uniform(rho), 77 + step as u64);
 
-        let raw_err = BruteForceIndex::new(train_raw.clone(), task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
-            .one_nn_error(test_raw, &task.test.labels);
-        let best_err = BruteForceIndex::new(train_best.clone(), task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
-            .one_nn_error(&test_best, &task.test.labels);
+        let raw_err =
+            BruteForceIndex::new(train_raw, &task.train.labels, task.num_classes, Metric::SquaredEuclidean)
+                .one_nn_error(test_raw, &task.test.labels);
+        let best_err =
+            BruteForceIndex::new(&train_best, &task.train.labels, task.num_classes, Metric::SquaredEuclidean)
+                .one_nn_error(&test_best, &task.test.labels);
         let (lr_err, _) = grid_search_error(
             &train_best,
             &task.train.labels,

@@ -53,8 +53,8 @@ fn main() {
                 .max_by(|a, b| a.1.cost_per_sample().total_cmp(&b.1.cost_per_sample()))
                 .map(|(i, _)| i)
                 .unwrap()];
-            let train_e = best.transform(&task.train.features);
-            let test_e = best.transform(&task.test.features);
+            let train_e = best.transform(task.train.features.view());
+            let test_e = best.transform(task.test.features.view());
             let (lr_err, _) = grid_search_error(
                 &train_e,
                 &task.train.labels,
@@ -64,9 +64,16 @@ fn main() {
                 10,
                 3,
             );
-            let lr_cost = best.cost_for(task.total_len())
-                + 0.004 * task.train.len() as f64 * LOGREG_GRID_SIZE as f64;
-            table.push(vec![spec.name.into(), f4(rho), "lr-proxy".into(), f4(lr_err), f1(lr_cost), f4(expected)]);
+            let lr_cost =
+                best.cost_for(task.total_len()) + 0.004 * task.train.len() as f64 * LOGREG_GRID_SIZE as f64;
+            table.push(vec![
+                spec.name.into(),
+                f4(rho),
+                "lr-proxy".into(),
+                f4(lr_err),
+                f1(lr_cost),
+                f4(expected),
+            ]);
 
             // AutoML (short budget).
             let automl = AutoMlSearch::new(AutoMlConfig { epochs: 8, ..AutoMlConfig::short(7) }).run(

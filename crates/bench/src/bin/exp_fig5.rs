@@ -15,7 +15,15 @@ fn main() {
     let scale = scale_from_args();
     let mut table = ResultsTable::new(
         "fig5_estimations_vs_time_cifar_n",
-        &["variant", "method", "error_estimate", "simulated_seconds", "thm31_lower", "thm31_upper", "eq20_approx"],
+        &[
+            "variant",
+            "method",
+            "error_estimate",
+            "simulated_seconds",
+            "thm31_lower",
+            "thm31_upper",
+            "eq20_approx",
+        ],
     );
     for variant in cifar_n_variants() {
         let task = load_cifar_n(&variant.name, scale, 500);
@@ -39,17 +47,29 @@ fn main() {
             f4(approx),
         ]);
 
-        let best = zoo
-            .iter()
-            .max_by(|a, b| a.cost_per_sample().total_cmp(&b.cost_per_sample()))
-            .unwrap();
-        let train_e = best.transform(&task.train.features);
-        let test_e = best.transform(&task.test.features);
-        let (lr_err, _) =
-            grid_search_error(&train_e, &task.train.labels, &test_e, &task.test.labels, task.num_classes, 10, 3);
+        let best = zoo.iter().max_by(|a, b| a.cost_per_sample().total_cmp(&b.cost_per_sample())).unwrap();
+        let train_e = best.transform(task.train.features.view());
+        let test_e = best.transform(task.test.features.view());
+        let (lr_err, _) = grid_search_error(
+            &train_e,
+            &task.train.labels,
+            &test_e,
+            &task.test.labels,
+            task.num_classes,
+            10,
+            3,
+        );
         let lr_cost =
             best.cost_for(task.total_len()) + 0.004 * task.train.len() as f64 * LOGREG_GRID_SIZE as f64;
-        table.push(vec![variant.name.clone(), "lr-proxy".into(), f4(lr_err), f1(lr_cost), f4(lo), f4(hi), f4(approx)]);
+        table.push(vec![
+            variant.name.clone(),
+            "lr-proxy".into(),
+            f4(lr_err),
+            f1(lr_cost),
+            f4(lo),
+            f4(hi),
+            f4(approx),
+        ]);
 
         let finetune = FineTuneBaseline::quick(11).run(&task);
         table.push(vec![

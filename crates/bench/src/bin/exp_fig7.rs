@@ -24,8 +24,8 @@ fn main() {
         let task = load_with_noise("cifar100", scale, &NoiseModel::Uniform(rho), 7);
         let zoo = zoo_for_task(&task, 7);
         let embedding = zoo.iter().find(|t| t.name() == "efficientnet-b5").expect("zoo has efficientnet-b5");
-        let train_e = embedding.transform(&task.train.features);
-        let test_e = embedding.transform(&task.test.features);
+        let train_e = embedding.transform(task.train.features.view());
+        let test_e = embedding.transform(task.test.features.view());
 
         let mut stream = StreamedOneNn::new(test_e, task.test.labels.clone(), Metric::SquaredEuclidean);
         let batch = (task.train.len() / 10).max(1);
@@ -52,7 +52,8 @@ fn main() {
         // requires an extrapolation far beyond the observed range.
         for target_error in [current_estimate * 0.9, rho + 0.10, rho] {
             let target_accuracy = 1.0 - target_error;
-            let reachable_now = cover_hart_lower_bound(stream.current_error(), task.num_classes) <= target_error;
+            let reachable_now =
+                cover_hart_lower_bound(stream.current_error(), task.num_classes) <= target_error;
             let extra = fit.additional_samples_to_reach(target_error);
             let trustworthy = extra.map(|e| fit.reliable(task.train.len() + e, 10.0)).unwrap_or(false);
             target_table.push(vec![

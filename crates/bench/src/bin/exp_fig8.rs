@@ -14,8 +14,8 @@ fn main() {
     let task = load_with_noise("cifar100", scale, &NoiseModel::Uniform(0.2), 13);
     let zoo = zoo_for_task(&task, 13);
     let embedding = zoo.iter().find(|t| t.name() == "efficientnet-b5").expect("zoo has efficientnet-b5");
-    let train_e = embedding.transform(&task.train.features);
-    let test_e = embedding.transform(&task.test.features);
+    let train_e = embedding.transform(task.train.features.view());
+    let test_e = embedding.transform(task.test.features.view());
 
     // Build a fine-grained convergence curve once (5% batches).
     let mut stream = StreamedOneNn::new(test_e, task.test.labels.clone(), Metric::SquaredEuclidean);
@@ -33,11 +33,18 @@ fn main() {
 
     let mut table = ResultsTable::new(
         "fig8_extrapolation_accuracy",
-        &["fraction_used", "points_used", "predicted_error_at_full_n", "actual_error_at_full_n", "abs_gap_in_estimate"],
+        &[
+            "fraction_used",
+            "points_used",
+            "predicted_error_at_full_n",
+            "actual_error_at_full_n",
+            "abs_gap_in_estimate",
+        ],
     );
     for &fraction in &[0.05f64, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let cutoff = ((full_n as f64) * fraction).round() as usize;
-        let prefix: Vec<(usize, f64)> = full_curve.iter().copied().filter(|&(n, _)| n <= cutoff.max(batch * 2)).collect();
+        let prefix: Vec<(usize, f64)> =
+            full_curve.iter().copied().filter(|&(n, _)| n <= cutoff.max(batch * 2)).collect();
         if prefix.len() < 2 {
             continue;
         }

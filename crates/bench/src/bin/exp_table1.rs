@@ -9,8 +9,15 @@ fn main() {
     let mut table = ResultsTable::new(
         "table1_datasets",
         &[
-            "dataset", "modality", "classes", "paper_train", "paper_test", "replica_train", "replica_test",
-            "sota_error", "replica_true_ber",
+            "dataset",
+            "modality",
+            "classes",
+            "paper_train",
+            "paper_test",
+            "replica_train",
+            "replica_test",
+            "sota_error",
+            "replica_true_ber",
         ],
     );
     for spec in table1_specs() {

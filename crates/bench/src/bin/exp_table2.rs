@@ -6,7 +6,16 @@ use snoopy_data::noise::cifar_n_variants;
 fn main() {
     let mut table = ResultsTable::new(
         "table2_cifar_n",
-        &["variant", "classes", "reported_noise", "generated_noise", "max_flip", "min_flip", "max_offdiag", "diag_dominant"],
+        &[
+            "variant",
+            "classes",
+            "reported_noise",
+            "generated_noise",
+            "max_flip",
+            "min_flip",
+            "max_offdiag",
+            "diag_dominant",
+        ],
     );
     for v in cifar_n_variants() {
         table.push(vec![

@@ -1,7 +1,7 @@
 //! Tables III and IV: the vision and NLP transformation registries with
 //! nominal widths, simulated widths, and the inference cost model.
 
-use snoopy_bench::{ResultsTable};
+use snoopy_bench::ResultsTable;
 use snoopy_embeddings::registry::{nlp_entries, simulated_dim, vision_entries};
 
 fn main() {

@@ -95,10 +95,7 @@ impl ResultsTable {
         };
         println!("\n== {} ==", self.name);
         print_row(&self.header);
-        println!(
-            "|{}|",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-        );
+        println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
         for row in &self.rows {
             print_row(row);
         }
@@ -126,7 +123,11 @@ impl ResultsTable {
 pub fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two levels up.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("results")).unwrap_or_else(|| PathBuf::from("results"))
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
 }
 
 /// Formats a float with 4 decimal places (shared by the binaries).

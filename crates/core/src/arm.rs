@@ -7,12 +7,19 @@
 //! cost of a pull is the inference cost of the batch (test-set inference is
 //! charged on the first pull), which is exactly the cost structure that makes
 //! successive halving worthwhile in the paper (Section V).
+//!
+//! Raw batches are sliced zero-copy from the task's training split
+//! ([`snoopy_linalg::DatasetView`]); only the *embedded* batch is
+//! materialised, fed to the stream, and dropped. Nothing is kept around for
+//! later reassembly — the incremental cache snapshots the stream's
+//! nearest-index state instead ([`snoopy_knn::IncrementalOneNn::from_stream`]).
+//! Pull/cost bookkeeping lives in the shared [`PullLedger`] from
+//! `snoopy-bandit`, the same ledger every other arm implementation uses.
 
-use snoopy_bandit::Arm;
+use snoopy_bandit::{Arm, PullLedger};
 use snoopy_data::TaskDataset;
 use snoopy_embeddings::Transformation;
-use snoopy_knn::{Metric, StreamedOneNn};
-use snoopy_linalg::Matrix;
+use snoopy_knn::{EvalEngine, Metric, StreamedOneNn};
 
 /// A bandit arm evaluating one transformation on one task.
 pub struct TransformationArm<'a> {
@@ -23,11 +30,12 @@ pub struct TransformationArm<'a> {
     /// Lazily initialised on the first pull (embedding the test split).
     stream: Option<StreamedOneNn>,
     consumed: usize,
-    simulated_cost: f64,
-    /// Embedded training features are produced batch-by-batch; test features
-    /// once. Embeddings of already-consumed batches are kept so the full
-    /// training embedding can be reassembled for the incremental cache.
-    embedded_batches: Vec<Matrix>,
+    ledger: PullLedger,
+    /// Engine handed to the streamed evaluator. The study throttles this to
+    /// a per-arm share of the cores: the strategy layer already runs arms on
+    /// their own worker threads, and nesting a full-width engine inside each
+    /// would oversubscribe the CPU.
+    engine: EvalEngine,
 }
 
 impl<'a> TransformationArm<'a> {
@@ -45,14 +53,31 @@ impl<'a> TransformationArm<'a> {
             batch_size: batch_size.max(1),
             stream: None,
             consumed: 0,
-            simulated_cost: 0.0,
-            embedded_batches: Vec::new(),
+            ledger: PullLedger::new(),
+            engine: EvalEngine::parallel(),
+        }
+    }
+
+    /// Overrides the evaluation engine used by this arm's streamed 1NN.
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Swaps the engine in place, including on an already-started stream.
+    /// The study re-widens the winning arm with this before finishing it
+    /// alone — the per-arm throttle only makes sense while the whole zoo is
+    /// running concurrently.
+    pub fn set_engine(&mut self, engine: EvalEngine) {
+        self.engine = engine;
+        if let Some(stream) = self.stream.as_mut() {
+            stream.set_engine(engine);
         }
     }
 
     /// Simulated inference cost charged so far (seconds).
     pub fn simulated_cost(&self) -> f64 {
-        self.simulated_cost
+        self.ledger.simulated_cost()
     }
 
     /// The convergence curve recorded so far: `(consumed samples, error)`.
@@ -71,27 +96,28 @@ impl<'a> TransformationArm<'a> {
         self.stream.as_ref()
     }
 
-    /// The embedded training features for all consumed batches, stacked in
-    /// consumption order. Used to build the incremental cache after a full
-    /// run.
-    pub fn embedded_training_features(&self) -> Option<Matrix> {
-        if self.embedded_batches.is_empty() {
-            return None;
+    /// Pulls until the training split is fully consumed and returns the
+    /// stream, which then holds the exact nearest-neighbour state over the
+    /// whole training set — ready for
+    /// [`snoopy_knn::IncrementalOneNn::from_stream`]. Additional pulls are
+    /// charged to the ledger like any others.
+    pub fn finish(&mut self) -> &StreamedOneNn {
+        while !self.exhausted() {
+            self.pull();
         }
-        let mut stacked = self.embedded_batches[0].clone();
-        for batch in &self.embedded_batches[1..] {
-            stacked = stacked.vstack(batch);
-        }
-        Some(stacked)
+        self.stream.as_ref().expect("finish() pulled at least once on a non-empty task")
     }
 
     fn ensure_stream(&mut self) {
         if self.stream.is_some() {
             return;
         }
-        let test_embedded = self.transformation.transform(&self.task.test.features);
-        self.simulated_cost += self.transformation.cost_for(self.task.test.len());
-        self.stream = Some(StreamedOneNn::new(test_embedded, self.task.test.labels.clone(), self.metric));
+        let test_embedded = self.transformation.transform(self.task.test.features_view());
+        self.ledger.charge(self.transformation.cost_for(self.task.test.len()));
+        self.stream = Some(
+            StreamedOneNn::new(test_embedded, self.task.test.labels.clone(), self.metric)
+                .with_engine(self.engine),
+        );
     }
 }
 
@@ -107,22 +133,21 @@ impl Arm for TransformationArm<'_> {
         self.ensure_stream();
         let start = self.consumed;
         let end = (start + self.batch_size).min(self.task.train.len());
-        let raw_batch = self.task.train.features.slice_rows(start, end);
-        let embedded = self.transformation.transform(&raw_batch);
-        self.simulated_cost += self.transformation.cost_for(end - start);
+        let raw_batch = self.task.train.features_view().slice_rows(start, end);
+        let embedded = self.transformation.transform(raw_batch);
+        self.ledger.record_pull(self.transformation.cost_for(end - start));
         let labels = &self.task.train.labels[start..end];
         let err = self
             .stream
             .as_mut()
             .expect("stream initialised by ensure_stream")
-            .add_train_batch(&embedded, labels);
-        self.embedded_batches.push(embedded);
+            .add_train_batch(embedded.view(), labels);
         self.consumed = end;
         err
     }
 
     fn pulls(&self) -> usize {
-        self.stream.as_ref().map(|s| s.curve().len()).unwrap_or(0)
+        self.ledger.pulls()
     }
 
     fn exhausted(&self) -> bool {
@@ -136,6 +161,19 @@ impl Arm for TransformationArm<'_> {
     fn cost_per_pull(&self) -> f64 {
         self.transformation.cost_for(self.batch_size)
     }
+
+    fn accumulated_cost(&self) -> f64 {
+        self.ledger.simulated_cost()
+    }
+
+    /// Resizes the inner 1NN engine to a per-arm share of the cores: with
+    /// `active_arms` arms pulling concurrently on strategy worker threads, a
+    /// full-width engine in each would oversubscribe the CPU; alone, the arm
+    /// takes every core.
+    fn on_concurrency(&mut self, active_arms: usize) {
+        let share = (snoopy_knn::engine::num_threads() / active_arms.max(1)).max(1);
+        self.set_engine(EvalEngine::with_threads(share));
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +181,7 @@ mod tests {
     use super::*;
     use snoopy_data::registry::{load_clean, SizeScale};
     use snoopy_embeddings::zoo_for_task;
-    use snoopy_knn::BruteForceIndex;
+    use snoopy_knn::{BruteForceIndex, IncrementalOneNn};
 
     #[test]
     fn pulling_to_exhaustion_matches_full_evaluation() {
@@ -156,17 +194,40 @@ mod tests {
         while !arm.exhausted() {
             arm.pull();
         }
-        let full_train = best.transform(&task.train.features);
-        let full_test = best.transform(&task.test.features);
-        let full_err = BruteForceIndex::new(full_train, task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
-            .one_nn_error(&full_test, &task.test.labels);
+        let full_train = best.transform(task.train.features_view());
+        let full_test = best.transform(task.test.features_view());
+        let full_err =
+            BruteForceIndex::new(&full_train, &task.train.labels, task.num_classes, Metric::SquaredEuclidean)
+                .one_nn_error(&full_test, &task.test.labels);
         assert!((arm.current_loss() - full_err).abs() < 1e-12);
         assert_eq!(arm.consumed_samples(), task.train.len());
         assert!(arm.simulated_cost() > 0.0);
         // The curve has one point per pull.
         assert_eq!(arm.curve().len(), arm.pulls());
-        // The stacked embedded features cover the whole training split.
-        assert_eq!(arm.embedded_training_features().unwrap().rows(), task.train.len());
+    }
+
+    #[test]
+    fn finished_arm_snapshots_into_the_incremental_cache_without_reembedding() {
+        let task = load_clean("mnist", SizeScale::Tiny, 7);
+        let zoo = zoo_for_task(&task, 8);
+        let best = zoo.iter().find(|t| t.name() == "efficientnet-b7").unwrap();
+        let batch = (task.train.len() / 3).max(1);
+        let mut arm = TransformationArm::new(best.as_ref(), &task, Metric::SquaredEuclidean, batch);
+        arm.pull(); // partially consumed
+        let stream = arm.finish();
+        let cache = IncrementalOneNn::from_stream(stream, &task.train.labels, &task.test.labels);
+
+        let full_train = best.transform(task.train.features_view());
+        let full_test = best.transform(task.test.features_view());
+        let rebuilt = IncrementalOneNn::build(
+            &full_train,
+            &task.train.labels,
+            &full_test,
+            &task.test.labels,
+            task.num_classes,
+            Metric::SquaredEuclidean,
+        );
+        assert!((cache.error() - rebuilt.error()).abs() < 1e-12);
     }
 
     #[test]

@@ -80,9 +80,7 @@ impl AdditionalGuidance {
             // estimate, so this is the pessimistic reading the paper uses in
             // its Fig. 7 discussion).
             let additional = fit.additional_samples_to_reach(target_error);
-            let trustworthy = additional
-                .map(|extra| fit.reliable(train_len + extra, 10.0))
-                .unwrap_or(false);
+            let trustworthy = additional.map(|extra| fit.reliable(train_len + extra, 10.0)).unwrap_or(false);
             Some(ExtrapolationSummary {
                 alpha: fit.alpha,
                 r_squared: fit.r_squared,
@@ -107,10 +105,7 @@ impl AdditionalGuidance {
         let mut out = String::new();
         out.push_str(&format!("error margin vs target: {:+.4}\n", self.error_margin));
         if let Some(fit) = &self.best_curve_fit {
-            out.push_str(&format!(
-                "log-linear fit: alpha = {:.3}, R^2 = {:.3}\n",
-                fit.alpha, fit.r_squared
-            ));
+            out.push_str(&format!("log-linear fit: alpha = {:.3}, R^2 = {:.3}\n", fit.alpha, fit.r_squared));
             match fit.additional_samples_needed {
                 Some(0) => out.push_str("target already reached at the observed sample size\n"),
                 Some(extra) => out.push_str(&format!(
@@ -175,6 +170,10 @@ mod tests {
         let guidance = AdditionalGuidance::from_results(&results, 0, 0.1, 10, 800);
         let text = guidance.render();
         assert!(text.contains("log-linear fit"));
-        assert!(text.contains("additional samples") || text.contains("unreachable") || text.contains("already reached"));
+        assert!(
+            text.contains("additional samples")
+                || text.contains("unreachable")
+                || text.contains("already reached")
+        );
     }
 }

@@ -30,26 +30,15 @@ pub struct IncrementalStudy {
 impl IncrementalStudy {
     /// Runs the full study once and snapshots the incremental state for the
     /// winning transformation.
+    ///
+    /// The cache comes straight from the winning arm's streamed evaluator
+    /// ([`FeasibilityStudy::run_with_cache`]): the scheduler may have stopped
+    /// the arm early under aggressive budgets, in which case only the
+    /// *remaining* batches are embedded — nothing is embedded twice and no
+    /// feature matrix is reassembled by copy.
     pub fn bootstrap(config: SnoopyConfig, task: &TaskDataset, zoo: &[Box<dyn Transformation>]) -> Self {
         let study = FeasibilityStudy::new(config);
-        let report = study.run(task, zoo);
-        let best = zoo
-            .iter()
-            .find(|t| t.name() == report.best_transformation)
-            .expect("winning transformation must be in the zoo");
-        // Re-embed the winning transformation once to build the exact cache
-        // over the full training split (the scheduler may have stopped its arm
-        // early under aggressive budgets).
-        let train_embedded = best.transform(&task.train.features);
-        let test_embedded = best.transform(&task.test.features);
-        let cache = IncrementalOneNn::build(
-            &train_embedded,
-            &task.train.labels,
-            &test_embedded,
-            &task.test.labels,
-            task.num_classes,
-            config.metric,
-        );
+        let (report, cache) = study.run_with_cache(task, zoo);
         Self {
             config,
             num_classes: task.num_classes,
@@ -93,12 +82,7 @@ impl IncrementalStudy {
         } else {
             FeasibilityDecision::Unrealistic
         };
-        IncrementalAnswer {
-            one_nn_error,
-            ber_estimate,
-            projected_accuracy: 1.0 - ber_estimate,
-            decision,
-        }
+        IncrementalAnswer { one_nn_error, ber_estimate, projected_accuracy: 1.0 - ber_estimate, decision }
     }
 }
 
@@ -126,9 +110,7 @@ mod tests {
     use snoopy_linalg::rng;
 
     fn config(target: f64) -> SnoopyConfig {
-        SnoopyConfig::with_target(target)
-            .strategy(SelectionStrategy::Exhaustive)
-            .batch_fraction(0.25)
+        SnoopyConfig::with_target(target).strategy(SelectionStrategy::Exhaustive).batch_fraction(0.25)
     }
 
     #[test]
@@ -163,11 +145,11 @@ mod tests {
 
         // Recompute from scratch on the same (tracked) transformation.
         let best = zoo.iter().find(|t| t.name() == study.best_transformation()).unwrap();
-        let train_embedded = best.transform(&task.train.features);
-        let test_embedded = best.transform(&task.test.features);
+        let train_embedded = best.transform(task.train.features_view());
+        let test_embedded = best.transform(task.test.features_view());
         let full = snoopy_knn::BruteForceIndex::new(
-            train_embedded,
-            task.train.labels.clone(),
+            &train_embedded,
+            &task.train.labels,
             task.num_classes,
             snoopy_knn::Metric::SquaredEuclidean,
         )

@@ -8,6 +8,7 @@ use snoopy_bandit::run_strategy;
 use snoopy_data::TaskDataset;
 use snoopy_embeddings::Transformation;
 use snoopy_estimators::cover_hart_lower_bound;
+use snoopy_knn::{EvalEngine, IncrementalOneNn};
 use std::time::Instant;
 
 /// Snoopy's binary output signal.
@@ -102,6 +103,31 @@ impl FeasibilityStudy {
     /// Runs the feasibility study for `task` over the given transformation
     /// zoo and returns the full report.
     pub fn run(&self, task: &TaskDataset, zoo: &[Box<dyn Transformation>]) -> StudyReport {
+        self.evaluate(task, zoo, false).0
+    }
+
+    /// Runs the study and additionally returns the incremental 1NN cache of
+    /// the winning transformation, ready for real-time re-evaluation after
+    /// label cleaning. The winner's stream is *finished* (only the batches
+    /// the scheduler had not yet consumed are embedded — nothing is
+    /// re-embedded and no embedded batches are reassembled by copy) and its
+    /// nearest-index state is snapshotted directly. The extra inference is
+    /// charged to the report like every other pull.
+    pub fn run_with_cache(
+        &self,
+        task: &TaskDataset,
+        zoo: &[Box<dyn Transformation>],
+    ) -> (StudyReport, IncrementalOneNn) {
+        let (report, cache) = self.evaluate(task, zoo, true);
+        (report, cache.expect("evaluate(finish_winner = true) always builds the cache"))
+    }
+
+    fn evaluate(
+        &self,
+        task: &TaskDataset,
+        zoo: &[Box<dyn Transformation>],
+        finish_winner: bool,
+    ) -> (StudyReport, Option<IncrementalOneNn>) {
         assert!(!zoo.is_empty(), "the transformation zoo must not be empty");
         assert!(!task.train.is_empty() && !task.test.is_empty(), "task must have train and test samples");
         let start = Instant::now();
@@ -110,41 +136,69 @@ impl FeasibilityStudy {
         let budget = self.config.effective_budget(zoo.len(), batches);
 
         // Build one arm per transformation and let the scheduler spend the
-        // budget.
+        // budget; independent arms are evaluated on worker threads by the
+        // strategy executors in `snoopy-bandit`, which resize each arm's
+        // inner 1NN engine per round (`Arm::on_concurrency`) so arm-level
+        // and query-level parallelism compose instead of oversubscribing.
         let mut arms: Vec<TransformationArm<'_>> = zoo
             .iter()
             .map(|t| TransformationArm::new(t.as_ref(), task, self.config.metric, batch_size))
             .collect();
         let _outcome = run_strategy(self.config.strategy, &mut arms, budget);
 
-        // Collect per-transformation results.
-        let mut per_transformation = Vec::with_capacity(zoo.len());
-        let mut simulated_cost = 0.0;
-        for (i, arm) in arms.iter().enumerate() {
+        let result_of = |arm: &TransformationArm<'_>, name: &str| {
             let curve = arm.curve();
             let one_nn_error = curve.last().map(|&(_, e)| e).unwrap_or(1.0);
-            let ber_estimate = cover_hart_lower_bound(one_nn_error, task.num_classes);
-            simulated_cost += arm.simulated_cost();
-            per_transformation.push(TransformationResult {
-                name: zoo[i].name().to_string(),
+            TransformationResult {
+                name: name.to_string(),
                 one_nn_error,
-                ber_estimate,
+                ber_estimate: cover_hart_lower_bound(one_nn_error, task.num_classes),
                 curve,
                 consumed_samples: arm.consumed_samples(),
                 simulated_cost: arm.simulated_cost(),
-            });
-        }
-        drop(arms);
+            }
+        };
 
         // Aggregate by taking the minimum over all transformations that
         // actually consumed data (Section IV).
-        let (best_idx, ber_estimate) = per_transformation
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.consumed_samples > 0)
-            .map(|(i, r)| (i, r.ber_estimate))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap_or((0, 1.0));
+        let best_of = |results: &[TransformationResult]| {
+            results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.consumed_samples > 0)
+                .map(|(i, r)| (i, r.ber_estimate))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap_or((0, 1.0))
+        };
+
+        let mut per_transformation: Vec<TransformationResult> =
+            arms.iter().enumerate().map(|(i, arm)| result_of(arm, zoo[i].name())).collect();
+        let (mut best_idx, mut ber_estimate) = best_of(&per_transformation);
+
+        let cache = if finish_winner {
+            // Stream the winner's remaining batches and re-aggregate (its
+            // error moves as it converges). If finishing dethrones it, finish
+            // the new winner too; this reaches a fixpoint because finished
+            // arms stop moving.
+            loop {
+                let finished = best_idx;
+                // The finishing arm runs alone now: give it the full core
+                // budget instead of its zoo-share.
+                arms[finished].set_engine(EvalEngine::parallel());
+                arms[finished].finish();
+                per_transformation[finished] = result_of(&arms[finished], zoo[finished].name());
+                (best_idx, ber_estimate) = best_of(&per_transformation);
+                if best_idx == finished {
+                    break;
+                }
+            }
+            let stream = arms[best_idx].stream().expect("winner was finished above");
+            Some(IncrementalOneNn::from_stream(stream, &task.train.labels, &task.test.labels))
+        } else {
+            None
+        };
+        let simulated_cost: f64 = per_transformation.iter().map(|r| r.simulated_cost).sum();
+        drop(arms);
 
         let target_error = self.config.target_error();
         let decision = if ber_estimate <= target_error {
@@ -161,7 +215,7 @@ impl FeasibilityStudy {
             task.train.len(),
         );
 
-        StudyReport {
+        let report = StudyReport {
             task: task.name.clone(),
             target_accuracy: self.config.target_accuracy,
             decision,
@@ -173,7 +227,8 @@ impl FeasibilityStudy {
             simulated_cost_seconds: simulated_cost,
             wall_clock_seconds: start.elapsed().as_secs_f64(),
             guidance,
-        }
+        };
+        (report, cache)
     }
 }
 
@@ -187,10 +242,8 @@ mod tests {
 
     fn run_study(task: &TaskDataset, target: f64, strategy: SelectionStrategy) -> StudyReport {
         let zoo = zoo_for_task(task, 7);
-        FeasibilityStudy::new(
-            SnoopyConfig::with_target(target).strategy(strategy).batch_fraction(0.25),
-        )
-        .run(task, &zoo)
+        FeasibilityStudy::new(SnoopyConfig::with_target(target).strategy(strategy).batch_fraction(0.25))
+            .run(task, &zoo)
     }
 
     #[test]

@@ -23,7 +23,9 @@
 
 use snoopy_data::TaskDataset;
 use snoopy_embeddings::Transformation;
-use snoopy_estimators::{cover_hart_lower_bound, BerEstimator, KnnPosteriorEstimator, LabeledView, OneNnEstimator};
+use snoopy_estimators::{
+    cover_hart_lower_bound, BerEstimator, KnnPosteriorEstimator, LabeledView, OneNnEstimator,
+};
 use snoopy_knn::Metric;
 
 /// The regime quantities for one transformation on one task.
@@ -80,8 +82,8 @@ pub fn regime_quantities(
     prefix_fractions: &[f64],
 ) -> RegimeQuantities {
     let true_ber = task.meta.true_ber.expect("regime analysis needs a task with known BER");
-    let train_embedded = transformation.transform(&task.train.features);
-    let test_embedded = transformation.transform(&task.test.features);
+    let train_embedded = transformation.transform(task.train.features_view());
+    let test_embedded = transformation.transform(task.test.features_view());
 
     let train_view = LabeledView::new(&train_embedded, &task.train.labels);
     let test_view = LabeledView::new(&test_embedded, &task.test.labels);
@@ -124,7 +126,11 @@ pub fn regime_quantities(
 /// Evaluates Condition 8 across a whole zoo and reports the fraction of
 /// transformations for which it holds (the paper's claim is that it holds for
 /// "reasonable label noise on a wide range of datasets and transformations").
-pub fn condition8_summary(task: &TaskDataset, zoo: &[Box<dyn Transformation>], fractions: &[f64]) -> (usize, usize) {
+pub fn condition8_summary(
+    task: &TaskDataset,
+    zoo: &[Box<dyn Transformation>],
+    fractions: &[f64],
+) -> (usize, usize) {
     let mut holds = 0usize;
     for t in zoo {
         let q = regime_quantities(task, t.as_ref(), fractions);

@@ -62,11 +62,8 @@ pub fn clean_random_labels(task: &mut TaskDataset, count: usize, rng_: &mut StdR
     let mut inspected = Vec::with_capacity(count);
     let mut changed = 0usize;
     for pick in picks {
-        let (split, index) = if pick < train_len {
-            (SplitKind::Train, pick)
-        } else {
-            (SplitKind::Test, pick - train_len)
-        };
+        let (split, index) =
+            if pick < train_len { (SplitKind::Train, pick) } else { (SplitKind::Test, pick - train_len) };
         let did_change = match split {
             SplitKind::Train => task.train.clean_label(index),
             SplitKind::Test => task.test.clean_label(index),
@@ -171,7 +168,7 @@ mod tests {
         let dirty_train = task.train.dirty_indices();
         assert!(!dirty_train.is_empty());
         let target = dirty_train[0];
-        let report = clean_specific(&mut task, &[target, 999_999], &[], );
+        let report = clean_specific(&mut task, &[target, 999_999], &[]);
         assert_eq!(report.inspected_count(), 1);
         assert_eq!(report.changed, 1);
         assert_eq!(task.train.labels[target], task.train.clean_labels[target]);

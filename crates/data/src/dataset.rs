@@ -1,6 +1,11 @@
 //! Core dataset types shared across the workspace.
+//!
+//! Splits hand out zero-copy [`LabeledView`]s ([`Dataset::view`],
+//! [`TaskDataset::train_view`], …) so that estimators, the kNN engine and the
+//! feasibility study can consume labelled data without cloning feature
+//! matrices.
 
-use snoopy_linalg::Matrix;
+use snoopy_linalg::{DatasetView, LabeledView, Matrix};
 
 /// The data modality of a task, mirroring the two groups of Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,6 +68,28 @@ impl Dataset {
     /// Feature dimensionality.
     pub fn dim(&self) -> usize {
         self.features.cols()
+    }
+
+    /// Zero-copy view over the features.
+    pub fn features_view(&self) -> DatasetView<'_> {
+        self.features.view()
+    }
+
+    /// Zero-copy labelled view over the *observed* labels. The class count is
+    /// left unspecified; prefer [`TaskDataset::train_view`] /
+    /// [`TaskDataset::test_view`] when the task is at hand.
+    pub fn view(&self) -> LabeledView<'_> {
+        LabeledView::new(&self.features, &self.labels)
+    }
+
+    /// Zero-copy labelled view over the ground-truth labels.
+    pub fn clean_view(&self) -> LabeledView<'_> {
+        LabeledView::new(&self.features, &self.clean_labels)
+    }
+
+    /// Zero-copy labelled view over the first `n` samples (clamped).
+    pub fn prefix_view(&self, n: usize) -> LabeledView<'_> {
+        self.view().prefix(n)
     }
 
     /// Fraction of samples whose observed label differs from the ground truth.
@@ -168,6 +195,18 @@ impl TaskDataset {
     /// Raw feature dimensionality.
     pub fn raw_dim(&self) -> usize {
         self.train.dim()
+    }
+
+    /// Zero-copy labelled view over the training split (observed labels),
+    /// annotated with the task's class count.
+    pub fn train_view(&self) -> LabeledView<'_> {
+        self.train.view().with_classes(self.num_classes)
+    }
+
+    /// Zero-copy labelled view over the test split (observed labels),
+    /// annotated with the task's class count.
+    pub fn test_view(&self) -> LabeledView<'_> {
+        self.test.view().with_classes(self.num_classes)
     }
 
     /// Overall observed label-noise rate across train and test splits.
@@ -289,6 +328,32 @@ mod tests {
         });
         assert_eq!(doubled.train.features.get(1, 1), 2.0);
         assert!(doubled.meta.latent_map.is_none());
+    }
+
+    #[test]
+    fn views_borrow_the_split_buffers() {
+        let d = toy_dataset();
+        let v = d.view();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.labels(), d.labels.as_slice());
+        assert_eq!(v.features().data().as_ptr(), d.features.data().as_ptr());
+        assert_eq!(d.clean_view().labels(), d.clean_labels.as_slice());
+        assert_eq!(d.prefix_view(2).len(), 2);
+        let task = TaskDataset {
+            name: "toy".into(),
+            num_classes: 2,
+            train: d.clone(),
+            test: d,
+            meta: DatasetMeta {
+                sota_error: 0.05,
+                true_ber: Some(0.02),
+                modality: Modality::Vision,
+                latent_map: None,
+                latent_dim: 2,
+            },
+        };
+        assert_eq!(task.train_view().num_classes(), 2);
+        assert_eq!(task.test_view().len(), 4);
     }
 
     #[test]

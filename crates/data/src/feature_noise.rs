@@ -36,8 +36,12 @@ impl FeatureNoise {
     /// Human-readable description.
     pub fn describe(&self) -> String {
         match self {
-            FeatureNoise::Gaussian { relative_sigma } => format!("gaussian-feature-noise({relative_sigma:.2})"),
-            FeatureNoise::MissingCompleteness { missing_rate } => format!("missing-features({missing_rate:.2})"),
+            FeatureNoise::Gaussian { relative_sigma } => {
+                format!("gaussian-feature-noise({relative_sigma:.2})")
+            }
+            FeatureNoise::MissingCompleteness { missing_rate } => {
+                format!("missing-features({missing_rate:.2})")
+            }
         }
     }
 
@@ -99,7 +103,8 @@ mod tests {
         let mut r = rng::seeded(2);
         let means = task.train.features.column_means();
         let stds = task.train.features.column_stds();
-        let noisy = FeatureNoise::Gaussian { relative_sigma: 1.0 }.apply(&task.train.features, &means, &stds, &mut r);
+        let noisy =
+            FeatureNoise::Gaussian { relative_sigma: 1.0 }.apply(&task.train.features, &means, &stds, &mut r);
         assert_eq!(noisy.rows(), task.train.features.rows());
         assert_eq!(noisy.cols(), task.train.features.cols());
         let clean_var: f64 = task.train.features.column_stds().iter().map(|s| s * s).sum();
@@ -133,6 +138,7 @@ mod tests {
             &mut r,
         );
         // Every cell is the column mean.
+        #[allow(clippy::needless_range_loop)] // j indexes both the matrix and the mean vector
         for j in 0..corrupted.cols().min(10) {
             for i in 0..corrupted.rows().min(10) {
                 assert!((corrupted.get(i, j) as f64 - means[j]).abs() < 1e-5);
@@ -149,13 +155,8 @@ mod tests {
         assert!(corrupted.meta.true_ber.is_none(), "exact BER no longer known after corruption");
 
         let err = |task: &TaskDataset| {
-            BruteForceIndex::new(
-                task.train.features.clone(),
-                task.train.labels.clone(),
-                task.num_classes,
-                Metric::SquaredEuclidean,
-            )
-            .one_nn_error(&task.test.features, &task.test.labels)
+            BruteForceIndex::from_view(task.train_view(), Metric::SquaredEuclidean)
+                .one_nn_error_view(task.test_view())
         };
         assert!(
             err(&corrupted) > err(&clean) + 0.05,

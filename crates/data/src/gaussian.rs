@@ -94,10 +94,8 @@ impl GaussianMixture {
         for _ in 0..n_samples {
             let c = r.gen_range(0..self.num_classes);
             let mean = self.means.row(c);
-            let z: Vec<f32> = mean
-                .iter()
-                .map(|&m| m + (rng::normal(&mut r) * self.within_std) as f32)
-                .collect();
+            let z: Vec<f32> =
+                mean.iter().map(|&m| m + (rng::normal(&mut r) * self.within_std) as f32).collect();
             let post = self.posterior(&z);
             acc += 1.0 - post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         }

@@ -169,9 +169,7 @@ impl TransitionMatrix {
     pub fn mean_flip(&self, priors: Option<&[f64]>) -> f64 {
         match priors {
             Some(p) => (0..self.num_classes).map(|y| p[y] * self.flip_rate(y)).sum(),
-            None => {
-                (0..self.num_classes).map(|y| self.flip_rate(y)).sum::<f64>() / self.num_classes as f64
-            }
+            None => (0..self.num_classes).map(|y| self.flip_rate(y)).sum::<f64>() / self.num_classes as f64,
         }
     }
 
@@ -467,11 +465,9 @@ mod tests {
             let p = rng::simplex_point(&mut r, c, 0.5);
             posteriors.push(p);
         }
-        let clean_ber = posteriors
-            .iter()
-            .map(|p| 1.0 - p.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
-            .sum::<f64>()
-            / posteriors.len() as f64;
+        let clean_ber =
+            posteriors.iter().map(|p| 1.0 - p.iter().cloned().fold(f64::NEG_INFINITY, f64::max)).sum::<f64>()
+                / posteriors.len() as f64;
         for &rho in &[0.1, 0.3, 0.6] {
             let t = TransitionMatrix::uniform(c, rho);
             let exact = ber_after_class_dependent_noise_exact(&posteriors, &t);
@@ -485,11 +481,9 @@ mod tests {
         let c = 6;
         let mut r = rng::seeded(9);
         let posteriors: Vec<Vec<f64>> = (0..3000).map(|_| rng::simplex_point(&mut r, c, 0.4)).collect();
-        let clean_ber = posteriors
-            .iter()
-            .map(|p| 1.0 - p.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
-            .sum::<f64>()
-            / posteriors.len() as f64;
+        let clean_ber =
+            posteriors.iter().map(|p| 1.0 - p.iter().cloned().fold(f64::NEG_INFINITY, f64::max)).sum::<f64>()
+                / posteriors.len() as f64;
         let t = TransitionMatrix::confusion_structured(c, 0.05, 0.3, 0.2, 3);
         let exact = ber_after_class_dependent_noise_exact(&posteriors, &t);
         // s_{X,Y} is any upper bound on the clean BER; use clean BER + margin.

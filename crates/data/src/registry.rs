@@ -200,9 +200,7 @@ impl DatasetSpec {
 /// # Panics
 /// Panics if the name is unknown.
 pub fn load_clean(name: &str, scale: SizeScale, seed: u64) -> TaskDataset {
-    spec_by_name(name)
-        .unwrap_or_else(|| panic!("unknown dataset {name}"))
-        .generate(scale, seed)
+    spec_by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}")).generate(scale, seed)
 }
 
 /// Generates a Table I replica and corrupts its labels (train and test, as in
@@ -247,8 +245,8 @@ pub fn cifar_n_names() -> Vec<String> {
 pub fn vtab_suite(seed: u64) -> Vec<TaskDataset> {
     let class_counts = [2usize, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 20, 10, 5, 4, 8, 6, 3, 2];
     let difficulty = [
-        0.02, 0.05, 0.08, 0.12, 0.03, 0.15, 0.20, 0.10, 0.25, 0.06, 0.18, 0.30, 0.02, 0.22, 0.09,
-        0.14, 0.28, 0.07, 0.35,
+        0.02, 0.05, 0.08, 0.12, 0.03, 0.15, 0.20, 0.10, 0.25, 0.06, 0.18, 0.30, 0.02, 0.22, 0.09, 0.14, 0.28,
+        0.07, 0.35,
     ];
     class_counts
         .iter()

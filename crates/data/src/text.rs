@@ -87,11 +87,8 @@ impl TopicModel {
         let mut theta = Vec::with_capacity(num_classes);
         for _ in 0..num_classes {
             let indicative = rng::simplex_point(&mut r, vocab_size, 0.05);
-            let mut dist: Vec<f64> = background
-                .iter()
-                .zip(&indicative)
-                .map(|(&b, &i)| (1.0 - signal) * b + signal * i)
-                .collect();
+            let mut dist: Vec<f64> =
+                background.iter().zip(&indicative).map(|(&b, &i)| (1.0 - signal) * b + signal * i).collect();
             let sum: f64 = dist.iter().sum();
             for d in &mut dist {
                 *d /= sum;

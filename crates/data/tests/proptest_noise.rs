@@ -13,10 +13,7 @@ fn random_posteriors(seed: u64, n: usize, c: usize) -> Vec<Vec<f64>> {
 }
 
 fn clean_ber(posteriors: &[Vec<f64>]) -> f64 {
-    posteriors
-        .iter()
-        .map(|p| 1.0 - p.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
-        .sum::<f64>()
+    posteriors.iter().map(|p| 1.0 - p.iter().cloned().fold(f64::NEG_INFINITY, f64::max)).sum::<f64>()
         / posteriors.len() as f64
 }
 

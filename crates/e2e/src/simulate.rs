@@ -6,9 +6,9 @@ use snoopy_core::{FeasibilityDecision, IncrementalStudy, SnoopyConfig};
 use snoopy_data::cleaning::clean_fraction;
 use snoopy_data::TaskDataset;
 use snoopy_embeddings::zoo_for_task;
+use snoopy_linalg::rng;
 use snoopy_models::logreg::{grid_search_error, LOGREG_GRID_SIZE};
 use snoopy_models::{CostScenario, FineTuneBaseline};
-use snoopy_linalg::rng;
 
 /// Simulated seconds for one LR-proxy feasibility check: the paper trains the
 /// 9-configuration grid once the embeddings are cached (no extra inference on
@@ -157,8 +157,8 @@ pub fn simulate(task: &TaskDataset, strategy: UserStrategy, config: &SimulationC
                 .iter()
                 .max_by(|a, b| a.cost_per_sample().total_cmp(&b.cost_per_sample()))
                 .expect("zoo is not empty");
-            let train_embedded = best.transform(&task.train.features);
-            let test_embedded = best.transform(&task.test.features);
+            let train_embedded = best.transform(task.train.features_view());
+            let test_embedded = best.transform(task.test.features_view());
             ledger.machine_seconds += best.cost_for(task.total_len());
             let epochs = if config.quick_models { 5 } else { 20 };
             let per_check_seconds =
@@ -246,17 +246,17 @@ mod tests {
     }
 
     fn config(label: LabelCost) -> SimulationConfig {
-        SimulationConfig::new(
-            0.80,
-            CostScenario { label, machine: MachineCost::default() },
-            7,
-        )
+        SimulationConfig::new(0.80, CostScenario { label, machine: MachineCost::default() }, 7)
     }
 
     #[test]
     fn snoopy_strategy_runs_the_expensive_model_exactly_once() {
         let task = noisy_task(1);
-        let trace = simulate(&task, UserStrategy::SnoopyFeasibility { clean_fraction: 0.05 }, &config(LabelCost::Cheap));
+        let trace = simulate(
+            &task,
+            UserStrategy::SnoopyFeasibility { clean_fraction: 0.05 },
+            &config(LabelCost::Cheap),
+        );
         assert_eq!(trace.expensive_runs, 1);
         assert!(trace.points.iter().any(|p| p.action == "snoopy-bootstrap"));
         assert!(trace.total_dollars > 0.0);
@@ -266,9 +266,15 @@ mod tests {
     #[test]
     fn no_feasibility_small_steps_trigger_many_expensive_runs() {
         let task = noisy_task(2);
-        let frequent = simulate(&task, UserStrategy::NoFeasibility { step_fraction: 0.05 }, &config(LabelCost::Free));
-        let coarse = simulate(&task, UserStrategy::NoFeasibility { step_fraction: 0.50 }, &config(LabelCost::Free));
-        let snoopy = simulate(&task, UserStrategy::SnoopyFeasibility { clean_fraction: 0.05 }, &config(LabelCost::Free));
+        let frequent =
+            simulate(&task, UserStrategy::NoFeasibility { step_fraction: 0.05 }, &config(LabelCost::Free));
+        let coarse =
+            simulate(&task, UserStrategy::NoFeasibility { step_fraction: 0.50 }, &config(LabelCost::Free));
+        let snoopy = simulate(
+            &task,
+            UserStrategy::SnoopyFeasibility { clean_fraction: 0.05 },
+            &config(LabelCost::Free),
+        );
         assert!(
             frequent.expensive_runs > coarse.expensive_runs,
             "small steps should retrain more often ({} vs {})",
@@ -298,15 +304,16 @@ mod tests {
     #[test]
     fn traces_are_monotone_in_cost_and_cleaning() {
         let task = noisy_task(4);
-        let trace = simulate(&task, UserStrategy::LrProxyFeasibility { clean_fraction: 0.05 }, &config(LabelCost::Expensive));
+        let trace = simulate(
+            &task,
+            UserStrategy::LrProxyFeasibility { clean_fraction: 0.05 },
+            &config(LabelCost::Expensive),
+        );
         for pair in trace.points.windows(2) {
             assert!(pair[1].dollars + 1e-12 >= pair[0].dollars);
             assert!(pair[1].labels_inspected >= pair[0].labels_inspected);
         }
         assert!(trace.points.iter().any(|p| p.action == "lr-check"));
-        assert_eq!(
-            trace.labels_inspected,
-            trace.points.last().unwrap().labels_inspected
-        );
+        assert_eq!(trace.labels_inspected, trace.points.last().unwrap().labels_inspected);
     }
 }

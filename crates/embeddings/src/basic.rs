@@ -3,7 +3,7 @@
 
 use crate::transform::Transformation;
 use snoopy_linalg::eigen::symmetric_eigen;
-use snoopy_linalg::{Matrix, Pca, RandomProjection, Standardizer};
+use snoopy_linalg::{DatasetView, Matrix, Pca, RandomProjection, Standardizer};
 
 /// The identity ("Raw") transformation of Table III.
 #[derive(Debug, Clone)]
@@ -28,8 +28,8 @@ impl Transformation for Identity {
     fn cost_per_sample(&self) -> f64 {
         0.0
     }
-    fn transform(&self, x: &Matrix) -> Matrix {
-        x.clone()
+    fn transform(&self, x: DatasetView<'_>) -> Matrix {
+        x.to_matrix()
     }
 }
 
@@ -64,7 +64,7 @@ impl Transformation for StandardizeTransform {
     fn cost_per_sample(&self) -> f64 {
         self.cost
     }
-    fn transform(&self, x: &Matrix) -> Matrix {
+    fn transform(&self, x: DatasetView<'_>) -> Matrix {
         self.standardizer.transform(x)
     }
 }
@@ -95,7 +95,7 @@ impl Transformation for PcaTransform {
     fn cost_per_sample(&self) -> f64 {
         self.cost
     }
-    fn transform(&self, x: &Matrix) -> Matrix {
+    fn transform(&self, x: DatasetView<'_>) -> Matrix {
         self.pca.transform(x)
     }
 }
@@ -124,7 +124,7 @@ impl Transformation for RandomProjectionTransform {
     fn cost_per_sample(&self) -> f64 {
         1e-6
     }
-    fn transform(&self, x: &Matrix) -> Matrix {
+    fn transform(&self, x: DatasetView<'_>) -> Matrix {
         self.projection.transform(x)
     }
 }
@@ -201,7 +201,7 @@ impl Transformation for SupervisedProjection {
     fn cost_per_sample(&self) -> f64 {
         3e-6
     }
-    fn transform(&self, x: &Matrix) -> Matrix {
+    fn transform(&self, x: DatasetView<'_>) -> Matrix {
         self.standardizer.transform(x).matmul(&self.projection)
     }
 }
@@ -216,7 +216,7 @@ mod tests {
     fn identity_is_a_noop_with_zero_cost() {
         let task = load_clean("mnist", SizeScale::Tiny, 1);
         let id = Identity::new(task.raw_dim());
-        let out = id.transform(&task.train.features);
+        let out = id.transform_matrix(&task.train.features);
         assert_eq!(out.data(), task.train.features.data());
         assert_eq!(id.cost_per_sample(), 0.0);
         assert_eq!(id.output_dim(), task.raw_dim());
@@ -228,7 +228,7 @@ mod tests {
         let pca = PcaTransform::fit(&task.train.features, 16);
         assert_eq!(pca.output_dim(), 16);
         assert_eq!(pca.name(), "pca16");
-        let out = pca.transform(&task.test.features);
+        let out = pca.transform_matrix(&task.test.features);
         assert_eq!(out.rows(), task.test.len());
         assert_eq!(out.cols(), 16);
     }
@@ -238,11 +238,11 @@ mod tests {
         let task = load_clean("sst2", SizeScale::Tiny, 3);
         let st = StandardizeTransform::fit(&task.train.features);
         assert_eq!(st.output_dim(), task.raw_dim());
-        assert_eq!(st.transform(&task.test.features).cols(), task.raw_dim());
+        assert_eq!(st.transform_matrix(&task.test.features).cols(), task.raw_dim());
         let rp = RandomProjectionTransform::new(task.raw_dim(), 24, 9);
         assert_eq!(rp.output_dim(), 24);
         assert_eq!(rp.name(), "random-proj24");
-        assert_eq!(rp.transform(&task.test.features).cols(), 24);
+        assert_eq!(rp.transform_matrix(&task.test.features).cols(), 24);
     }
 
     #[test]
@@ -253,11 +253,15 @@ mod tests {
         let rand_proj = RandomProjectionTransform::new(task.raw_dim(), k.min(task.num_classes - 1), 5);
 
         let err = |train: &Matrix, test: &Matrix| {
-            BruteForceIndex::new(train.clone(), task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
+            BruteForceIndex::new(train, &task.train.labels, task.num_classes, Metric::SquaredEuclidean)
                 .one_nn_error(test, &task.test.labels)
         };
-        let sup_err = err(&sup.transform(&task.train.features), &sup.transform(&task.test.features));
-        let rand_err = err(&rand_proj.transform(&task.train.features), &rand_proj.transform(&task.test.features));
+        let sup_err =
+            err(&sup.transform_matrix(&task.train.features), &sup.transform_matrix(&task.test.features));
+        let rand_err = err(
+            &rand_proj.transform_matrix(&task.train.features),
+            &rand_proj.transform_matrix(&task.test.features),
+        );
         assert!(
             sup_err <= rand_err + 0.05,
             "supervised projection ({sup_err:.3}) should not be much worse than random ({rand_err:.3})"

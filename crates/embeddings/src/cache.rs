@@ -8,11 +8,11 @@
 //! cache also tracks how much *simulated* inference cost has been paid so the
 //! experiment harness can report Figure 4/5-style cost numbers.
 
-use crate::transform::{apply_to_task, TransformedTask, Transformation};
-use parking_lot::Mutex;
+use crate::transform::{apply_to_task, Transformation, TransformedTask};
 use snoopy_data::TaskDataset;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Cache of per-transformation embeddings for one task.
 #[derive(Default)]
@@ -29,9 +29,13 @@ impl EmbeddingCache {
 
     /// Returns the cached embedding for `transformation`, computing (and
     /// charging for) it on first use.
-    pub fn get_or_compute(&self, transformation: &dyn Transformation, task: &TaskDataset) -> Arc<TransformedTask> {
+    pub fn get_or_compute(
+        &self,
+        transformation: &dyn Transformation,
+        task: &TaskDataset,
+    ) -> Arc<TransformedTask> {
         {
-            let entries = self.entries.lock();
+            let entries = self.entries.lock().expect("embedding cache lock poisoned");
             if let Some(hit) = entries.get(transformation.name()) {
                 return Arc::clone(hit);
             }
@@ -39,9 +43,9 @@ impl EmbeddingCache {
         // Compute outside the lock: transformations can be expensive and
         // different transformations may be requested concurrently.
         let computed = Arc::new(apply_to_task(transformation, task));
-        let mut entries = self.entries.lock();
+        let mut entries = self.entries.lock().expect("embedding cache lock poisoned");
         let entry = entries.entry(transformation.name().to_string()).or_insert_with(|| {
-            *self.simulated_cost.lock() += computed.inference_cost;
+            *self.simulated_cost.lock().expect("embedding cache lock poisoned") += computed.inference_cost;
             Arc::clone(&computed)
         });
         Arc::clone(entry)
@@ -49,12 +53,12 @@ impl EmbeddingCache {
 
     /// Whether an embedding is already cached.
     pub fn contains(&self, name: &str) -> bool {
-        self.entries.lock().contains_key(name)
+        self.entries.lock().expect("embedding cache lock poisoned").contains_key(name)
     }
 
     /// Number of cached embeddings.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().expect("embedding cache lock poisoned").len()
     }
 
     /// Whether the cache is empty.
@@ -64,13 +68,13 @@ impl EmbeddingCache {
 
     /// Total simulated inference cost charged so far, in seconds.
     pub fn simulated_cost(&self) -> f64 {
-        *self.simulated_cost.lock()
+        *self.simulated_cost.lock().expect("embedding cache lock poisoned")
     }
 
     /// Drops all cached embeddings (the simulated cost already paid is kept —
     /// recomputation would charge again, as it would in reality).
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.entries.lock().expect("embedding cache lock poisoned").clear();
     }
 }
 

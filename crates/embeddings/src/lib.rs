@@ -32,4 +32,4 @@ pub mod transform;
 pub use cache::EmbeddingCache;
 pub use pretrained::SimulatedPretrained;
 pub use registry::{nlp_zoo, vision_zoo, zoo_for_task, ZooEntry};
-pub use transform::{TransformedTask, Transformation};
+pub use transform::{Transformation, TransformedTask};

@@ -23,7 +23,7 @@
 
 use crate::transform::Transformation;
 use snoopy_linalg::projection::random_orthonormal_map;
-use snoopy_linalg::{rng, Matrix};
+use snoopy_linalg::{rng, DatasetView, Matrix};
 
 /// A simulated pre-trained embedding.
 pub struct SimulatedPretrained {
@@ -118,7 +118,7 @@ impl Transformation for SimulatedPretrained {
         self.cost_per_sample
     }
 
-    fn transform(&self, x: &Matrix) -> Matrix {
+    fn transform(&self, x: DatasetView<'_>) -> Matrix {
         // Signal path: recover latent coordinates, expand to the nominal
         // width, squash.
         let latent = x.matmul(&self.latent_map);
@@ -147,9 +147,9 @@ mod tests {
     use snoopy_knn::{BruteForceIndex, Metric};
 
     fn one_nn_error_through(t: &dyn Transformation, task: &snoopy_data::TaskDataset) -> f64 {
-        let train = t.transform(&task.train.features);
-        let test = t.transform(&task.test.features);
-        BruteForceIndex::new(train, task.train.labels.clone(), task.num_classes, Metric::SquaredEuclidean)
+        let train = t.transform_matrix(&task.train.features);
+        let test = t.transform_matrix(&task.test.features);
+        BruteForceIndex::new(&train, &task.train.labels, task.num_classes, Metric::SquaredEuclidean)
             .one_nn_error(&test, &task.test.labels)
     }
 
@@ -158,7 +158,7 @@ mod tests {
         let task = load_clean("cifar10", SizeScale::Tiny, 5);
         let map = task.meta.latent_map.clone().unwrap();
         let emb = SimulatedPretrained::new("resnet50-v2", &map, task.raw_dim(), 64, 0.8, 1e-3, 7);
-        let out = emb.transform(&task.test.features);
+        let out = emb.transform_matrix(&task.test.features);
         assert_eq!(out.cols(), 64);
         assert_eq!(out.rows(), task.test.len());
         assert_eq!(emb.output_dim(), 64);
@@ -186,8 +186,8 @@ mod tests {
         let good = SimulatedPretrained::new("good", &map, task.raw_dim(), 48, 0.92, 1e-3, 13);
         let err_good = one_nn_error_through(&good, &task);
         let raw_err = BruteForceIndex::new(
-            task.train.features.clone(),
-            task.train.labels.clone(),
+            &task.train.features,
+            &task.train.labels,
             task.num_classes,
             Metric::SquaredEuclidean,
         )
@@ -203,8 +203,8 @@ mod tests {
         let task = load_clean("sst2", SizeScale::Tiny, 9);
         let map = task.meta.latent_map.clone().unwrap();
         let emb = SimulatedPretrained::new("bert-base", &map, task.raw_dim(), 32, 0.7, 5e-3, 21);
-        let a = emb.transform(&task.test.features);
-        let b = emb.transform(&task.test.features);
+        let a = emb.transform_matrix(&task.test.features);
+        let b = emb.transform_matrix(&task.test.features);
         assert_eq!(a.data(), b.data());
     }
 

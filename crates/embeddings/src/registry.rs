@@ -16,7 +16,9 @@
 //! embedding is optimal varies by dataset (the reason Fig. 6 argues the
 //! minimum aggregation is necessary).
 
-use crate::basic::{Identity, PcaTransform, RandomProjectionTransform, StandardizeTransform, SupervisedProjection};
+use crate::basic::{
+    Identity, PcaTransform, RandomProjectionTransform, StandardizeTransform, SupervisedProjection,
+};
 use crate::pretrained::SimulatedPretrained;
 use crate::transform::Transformation;
 use snoopy_data::{Modality, TaskDataset};
@@ -39,45 +41,237 @@ pub struct ZooEntry {
 /// Table III: vision embeddings.
 pub fn vision_entries() -> Vec<ZooEntry> {
     vec![
-        ZooEntry { name: "alexnet", nominal_dim: 4096, source: "pytorch-hub", fidelity: 0.58, cost_per_sample: 0.8e-3 },
-        ZooEntry { name: "googlenet", nominal_dim: 1024, source: "pytorch-hub", fidelity: 0.62, cost_per_sample: 1.0e-3 },
-        ZooEntry { name: "vgg16", nominal_dim: 4096, source: "pytorch-hub", fidelity: 0.66, cost_per_sample: 3.0e-3 },
-        ZooEntry { name: "vgg19", nominal_dim: 4096, source: "pytorch-hub", fidelity: 0.67, cost_per_sample: 3.2e-3 },
-        ZooEntry { name: "inception-v3", nominal_dim: 2048, source: "tf-hub", fidelity: 0.70, cost_per_sample: 2.0e-3 },
-        ZooEntry { name: "resnet50-v2", nominal_dim: 2048, source: "tf-hub", fidelity: 0.73, cost_per_sample: 2.2e-3 },
-        ZooEntry { name: "resnet101-v2", nominal_dim: 2048, source: "tf-hub", fidelity: 0.75, cost_per_sample: 3.5e-3 },
-        ZooEntry { name: "resnet152-v2", nominal_dim: 2048, source: "tf-hub", fidelity: 0.76, cost_per_sample: 4.5e-3 },
-        ZooEntry { name: "efficientnet-b0", nominal_dim: 1280, source: "tf-hub", fidelity: 0.74, cost_per_sample: 1.5e-3 },
-        ZooEntry { name: "efficientnet-b1", nominal_dim: 1280, source: "tf-hub", fidelity: 0.76, cost_per_sample: 2.0e-3 },
-        ZooEntry { name: "efficientnet-b2", nominal_dim: 1408, source: "tf-hub", fidelity: 0.78, cost_per_sample: 2.5e-3 },
-        ZooEntry { name: "efficientnet-b3", nominal_dim: 1536, source: "tf-hub", fidelity: 0.80, cost_per_sample: 3.5e-3 },
-        ZooEntry { name: "efficientnet-b4", nominal_dim: 1792, source: "tf-hub", fidelity: 0.83, cost_per_sample: 5.0e-3 },
-        ZooEntry { name: "efficientnet-b5", nominal_dim: 2048, source: "tf-hub", fidelity: 0.86, cost_per_sample: 7.0e-3 },
-        ZooEntry { name: "efficientnet-b6", nominal_dim: 2304, source: "tf-hub", fidelity: 0.88, cost_per_sample: 9.0e-3 },
-        ZooEntry { name: "efficientnet-b7", nominal_dim: 2560, source: "tf-hub", fidelity: 0.90, cost_per_sample: 12.0e-3 },
+        ZooEntry {
+            name: "alexnet",
+            nominal_dim: 4096,
+            source: "pytorch-hub",
+            fidelity: 0.58,
+            cost_per_sample: 0.8e-3,
+        },
+        ZooEntry {
+            name: "googlenet",
+            nominal_dim: 1024,
+            source: "pytorch-hub",
+            fidelity: 0.62,
+            cost_per_sample: 1.0e-3,
+        },
+        ZooEntry {
+            name: "vgg16",
+            nominal_dim: 4096,
+            source: "pytorch-hub",
+            fidelity: 0.66,
+            cost_per_sample: 3.0e-3,
+        },
+        ZooEntry {
+            name: "vgg19",
+            nominal_dim: 4096,
+            source: "pytorch-hub",
+            fidelity: 0.67,
+            cost_per_sample: 3.2e-3,
+        },
+        ZooEntry {
+            name: "inception-v3",
+            nominal_dim: 2048,
+            source: "tf-hub",
+            fidelity: 0.70,
+            cost_per_sample: 2.0e-3,
+        },
+        ZooEntry {
+            name: "resnet50-v2",
+            nominal_dim: 2048,
+            source: "tf-hub",
+            fidelity: 0.73,
+            cost_per_sample: 2.2e-3,
+        },
+        ZooEntry {
+            name: "resnet101-v2",
+            nominal_dim: 2048,
+            source: "tf-hub",
+            fidelity: 0.75,
+            cost_per_sample: 3.5e-3,
+        },
+        ZooEntry {
+            name: "resnet152-v2",
+            nominal_dim: 2048,
+            source: "tf-hub",
+            fidelity: 0.76,
+            cost_per_sample: 4.5e-3,
+        },
+        ZooEntry {
+            name: "efficientnet-b0",
+            nominal_dim: 1280,
+            source: "tf-hub",
+            fidelity: 0.74,
+            cost_per_sample: 1.5e-3,
+        },
+        ZooEntry {
+            name: "efficientnet-b1",
+            nominal_dim: 1280,
+            source: "tf-hub",
+            fidelity: 0.76,
+            cost_per_sample: 2.0e-3,
+        },
+        ZooEntry {
+            name: "efficientnet-b2",
+            nominal_dim: 1408,
+            source: "tf-hub",
+            fidelity: 0.78,
+            cost_per_sample: 2.5e-3,
+        },
+        ZooEntry {
+            name: "efficientnet-b3",
+            nominal_dim: 1536,
+            source: "tf-hub",
+            fidelity: 0.80,
+            cost_per_sample: 3.5e-3,
+        },
+        ZooEntry {
+            name: "efficientnet-b4",
+            nominal_dim: 1792,
+            source: "tf-hub",
+            fidelity: 0.83,
+            cost_per_sample: 5.0e-3,
+        },
+        ZooEntry {
+            name: "efficientnet-b5",
+            nominal_dim: 2048,
+            source: "tf-hub",
+            fidelity: 0.86,
+            cost_per_sample: 7.0e-3,
+        },
+        ZooEntry {
+            name: "efficientnet-b6",
+            nominal_dim: 2304,
+            source: "tf-hub",
+            fidelity: 0.88,
+            cost_per_sample: 9.0e-3,
+        },
+        ZooEntry {
+            name: "efficientnet-b7",
+            nominal_dim: 2560,
+            source: "tf-hub",
+            fidelity: 0.90,
+            cost_per_sample: 12.0e-3,
+        },
     ]
 }
 
 /// Table IV: NLP embeddings.
 pub fn nlp_entries() -> Vec<ZooEntry> {
     vec![
-        ZooEntry { name: "nnlm-en-50", nominal_dim: 50, source: "tf-hub", fidelity: 0.45, cost_per_sample: 0.3e-3 },
-        ZooEntry { name: "nnlm-en-50-norm", nominal_dim: 50, source: "tf-hub", fidelity: 0.47, cost_per_sample: 0.3e-3 },
-        ZooEntry { name: "nnlm-en-128", nominal_dim: 128, source: "tf-hub", fidelity: 0.52, cost_per_sample: 0.5e-3 },
-        ZooEntry { name: "nnlm-en-128-norm", nominal_dim: 128, source: "tf-hub", fidelity: 0.54, cost_per_sample: 0.5e-3 },
-        ZooEntry { name: "elmo", nominal_dim: 1024, source: "tf-hub", fidelity: 0.68, cost_per_sample: 50.0e-3 },
+        ZooEntry {
+            name: "nnlm-en-50",
+            nominal_dim: 50,
+            source: "tf-hub",
+            fidelity: 0.45,
+            cost_per_sample: 0.3e-3,
+        },
+        ZooEntry {
+            name: "nnlm-en-50-norm",
+            nominal_dim: 50,
+            source: "tf-hub",
+            fidelity: 0.47,
+            cost_per_sample: 0.3e-3,
+        },
+        ZooEntry {
+            name: "nnlm-en-128",
+            nominal_dim: 128,
+            source: "tf-hub",
+            fidelity: 0.52,
+            cost_per_sample: 0.5e-3,
+        },
+        ZooEntry {
+            name: "nnlm-en-128-norm",
+            nominal_dim: 128,
+            source: "tf-hub",
+            fidelity: 0.54,
+            cost_per_sample: 0.5e-3,
+        },
+        ZooEntry {
+            name: "elmo",
+            nominal_dim: 1024,
+            source: "tf-hub",
+            fidelity: 0.68,
+            cost_per_sample: 50.0e-3,
+        },
         ZooEntry { name: "use", nominal_dim: 512, source: "tf-hub", fidelity: 0.72, cost_per_sample: 2.0e-3 },
-        ZooEntry { name: "use-large", nominal_dim: 512, source: "tf-hub", fidelity: 0.78, cost_per_sample: 20.0e-3 },
-        ZooEntry { name: "bert-base-cased-pooled", nominal_dim: 768, source: "huggingface", fidelity: 0.66, cost_per_sample: 10.0e-3 },
-        ZooEntry { name: "bert-base-uncased-pooled", nominal_dim: 768, source: "huggingface", fidelity: 0.67, cost_per_sample: 10.0e-3 },
-        ZooEntry { name: "bert-base-cased", nominal_dim: 768, source: "huggingface", fidelity: 0.74, cost_per_sample: 10.0e-3 },
-        ZooEntry { name: "bert-base-uncased", nominal_dim: 768, source: "huggingface", fidelity: 0.75, cost_per_sample: 10.0e-3 },
-        ZooEntry { name: "bert-large-cased-pooled", nominal_dim: 1024, source: "huggingface", fidelity: 0.70, cost_per_sample: 30.0e-3 },
-        ZooEntry { name: "bert-large-uncased-pooled", nominal_dim: 1024, source: "huggingface", fidelity: 0.71, cost_per_sample: 30.0e-3 },
-        ZooEntry { name: "bert-large-cased", nominal_dim: 1024, source: "huggingface", fidelity: 0.79, cost_per_sample: 30.0e-3 },
-        ZooEntry { name: "bert-large-uncased", nominal_dim: 1024, source: "huggingface", fidelity: 0.80, cost_per_sample: 30.0e-3 },
-        ZooEntry { name: "xlnet", nominal_dim: 768, source: "huggingface", fidelity: 0.84, cost_per_sample: 40.0e-3 },
-        ZooEntry { name: "xlnet-large", nominal_dim: 1024, source: "huggingface", fidelity: 0.87, cost_per_sample: 80.0e-3 },
+        ZooEntry {
+            name: "use-large",
+            nominal_dim: 512,
+            source: "tf-hub",
+            fidelity: 0.78,
+            cost_per_sample: 20.0e-3,
+        },
+        ZooEntry {
+            name: "bert-base-cased-pooled",
+            nominal_dim: 768,
+            source: "huggingface",
+            fidelity: 0.66,
+            cost_per_sample: 10.0e-3,
+        },
+        ZooEntry {
+            name: "bert-base-uncased-pooled",
+            nominal_dim: 768,
+            source: "huggingface",
+            fidelity: 0.67,
+            cost_per_sample: 10.0e-3,
+        },
+        ZooEntry {
+            name: "bert-base-cased",
+            nominal_dim: 768,
+            source: "huggingface",
+            fidelity: 0.74,
+            cost_per_sample: 10.0e-3,
+        },
+        ZooEntry {
+            name: "bert-base-uncased",
+            nominal_dim: 768,
+            source: "huggingface",
+            fidelity: 0.75,
+            cost_per_sample: 10.0e-3,
+        },
+        ZooEntry {
+            name: "bert-large-cased-pooled",
+            nominal_dim: 1024,
+            source: "huggingface",
+            fidelity: 0.70,
+            cost_per_sample: 30.0e-3,
+        },
+        ZooEntry {
+            name: "bert-large-uncased-pooled",
+            nominal_dim: 1024,
+            source: "huggingface",
+            fidelity: 0.71,
+            cost_per_sample: 30.0e-3,
+        },
+        ZooEntry {
+            name: "bert-large-cased",
+            nominal_dim: 1024,
+            source: "huggingface",
+            fidelity: 0.79,
+            cost_per_sample: 30.0e-3,
+        },
+        ZooEntry {
+            name: "bert-large-uncased",
+            nominal_dim: 1024,
+            source: "huggingface",
+            fidelity: 0.80,
+            cost_per_sample: 30.0e-3,
+        },
+        ZooEntry {
+            name: "xlnet",
+            nominal_dim: 768,
+            source: "huggingface",
+            fidelity: 0.84,
+            cost_per_sample: 40.0e-3,
+        },
+        ZooEntry {
+            name: "xlnet-large",
+            nominal_dim: 1024,
+            source: "huggingface",
+            fidelity: 0.87,
+            cost_per_sample: 80.0e-3,
+        },
     ]
 }
 
@@ -121,8 +315,7 @@ pub fn vision_zoo(task: &TaskDataset, seed: u64) -> Vec<Box<dyn Transformation>>
     zoo.push(Box::new(RandomProjectionTransform::new(raw_dim, 32.min(raw_dim), seed ^ 0x52)));
     if let Some(map) = &task.meta.latent_map {
         for (i, entry) in vision_entries().into_iter().enumerate() {
-            let fidelity =
-                (entry.fidelity + task_fidelity_jitter(&task.name, entry.name)).clamp(0.05, 0.98);
+            let fidelity = (entry.fidelity + task_fidelity_jitter(&task.name, entry.name)).clamp(0.05, 0.98);
             zoo.push(Box::new(SimulatedPretrained::new(
                 entry.name,
                 map,
@@ -149,8 +342,7 @@ pub fn nlp_zoo(task: &TaskDataset, seed: u64) -> Vec<Box<dyn Transformation>> {
     }
     if let Some(map) = &task.meta.latent_map {
         for (i, entry) in nlp_entries().into_iter().enumerate() {
-            let fidelity =
-                (entry.fidelity + task_fidelity_jitter(&task.name, entry.name)).clamp(0.05, 0.98);
+            let fidelity = (entry.fidelity + task_fidelity_jitter(&task.name, entry.name)).clamp(0.05, 0.98);
             zoo.push(Box::new(SimulatedPretrained::new(
                 entry.name,
                 map,
@@ -222,7 +414,7 @@ mod tests {
         assert!(zoo.len() >= 20, "zoo has {} members", zoo.len());
         // All zoo members can transform the test split.
         for t in &zoo {
-            let out = t.transform(&task.test.features);
+            let out = t.transform_matrix(&task.test.features);
             assert_eq!(out.rows(), task.test.len());
             assert_eq!(out.cols(), t.output_dim(), "{}", t.name());
         }
@@ -243,7 +435,8 @@ mod tests {
     fn zoo_for_task_dispatches_on_modality() {
         let vision = load_clean("mnist", SizeScale::Tiny, 5);
         let text = load_clean("imdb", SizeScale::Tiny, 6);
-        let vision_names: Vec<String> = zoo_for_task(&vision, 1).iter().map(|t| t.name().to_string()).collect();
+        let vision_names: Vec<String> =
+            zoo_for_task(&vision, 1).iter().map(|t| t.name().to_string()).collect();
         let text_names: Vec<String> = zoo_for_task(&text, 1).iter().map(|t| t.name().to_string()).collect();
         assert!(vision_names.iter().any(|n| n.starts_with("efficientnet")));
         assert!(text_names.iter().any(|n| n.starts_with("bert")));

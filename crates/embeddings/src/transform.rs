@@ -2,7 +2,7 @@
 //! whole tasks.
 
 use snoopy_data::TaskDataset;
-use snoopy_linalg::Matrix;
+use snoopy_linalg::{DatasetView, Matrix};
 
 /// A (deterministic) feature transformation `f : R^d_raw → R^d_out`.
 ///
@@ -20,8 +20,15 @@ pub trait Transformation: Send + Sync {
     /// Simulated inference cost in seconds per sample on the reference GPU.
     fn cost_per_sample(&self) -> f64;
 
-    /// Applies the transformation to every row of `x`.
-    fn transform(&self, x: &Matrix) -> Matrix;
+    /// Applies the transformation to every row of the (zero-copy) input
+    /// view. Batch-streaming callers slice their raw features with
+    /// [`DatasetView::slice_rows`] and embed without copying the input.
+    fn transform(&self, x: DatasetView<'_>) -> Matrix;
+
+    /// Convenience wrapper applying the transformation to a whole matrix.
+    fn transform_matrix(&self, x: &Matrix) -> Matrix {
+        self.transform(x.view())
+    }
 
     /// Simulated cost of embedding `n` samples, in seconds.
     fn cost_for(&self, n: usize) -> f64 {
@@ -44,8 +51,8 @@ pub struct TransformedTask {
 
 /// Applies a transformation to both splits of a task.
 pub fn apply_to_task(t: &dyn Transformation, task: &TaskDataset) -> TransformedTask {
-    let train_features = t.transform(&task.train.features);
-    let test_features = t.transform(&task.test.features);
+    let train_features = t.transform(task.train.features_view());
+    let test_features = t.transform(task.test.features_view());
     TransformedTask {
         transformation: t.name().to_string(),
         inference_cost: t.cost_for(task.train.len() + task.test.len()),
@@ -70,8 +77,8 @@ mod tests {
         fn cost_per_sample(&self) -> f64 {
             0.5
         }
-        fn transform(&self, x: &Matrix) -> Matrix {
-            let mut out = x.clone();
+        fn transform(&self, x: DatasetView<'_>) -> Matrix {
+            let mut out = x.to_matrix();
             out.scale(2.0);
             out
         }

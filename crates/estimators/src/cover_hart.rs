@@ -57,12 +57,17 @@ impl OneNnEstimator {
     }
 
     /// The raw (uncorrected) 1NN error of `train` evaluated on `eval`.
-    pub fn raw_one_nn_error(&self, train: &LabeledView<'_>, eval: &LabeledView<'_>, num_classes: usize) -> f64 {
+    /// Both views are consumed zero-copy.
+    pub fn raw_one_nn_error(
+        &self,
+        train: &LabeledView<'_>,
+        eval: &LabeledView<'_>,
+        num_classes: usize,
+    ) -> f64 {
         if train.is_empty() || eval.is_empty() {
             return 1.0;
         }
-        BruteForceIndex::new(train.features.clone(), train.labels.to_vec(), num_classes, self.metric)
-            .one_nn_error(eval.features, eval.labels)
+        BruteForceIndex::from_view(train.with_classes(num_classes), self.metric).one_nn_error_view(*eval)
     }
 }
 

@@ -45,11 +45,10 @@ impl BerEstimator for KnnPosteriorEstimator {
             return 1.0 - 1.0 / num_classes as f64;
         }
         let k = self.k.min(train.len());
-        let index =
-            BruteForceIndex::new(train.features.clone(), train.labels.to_vec(), num_classes, self.metric);
+        let index = BruteForceIndex::from_view(train.with_classes(num_classes), self.metric);
         let mut acc = 0.0f64;
         for i in 0..eval.len() {
-            let neighbors = index.query_knn(eval.features.row(i), k);
+            let neighbors = index.query_knn(eval.features().row(i), k);
             let mut counts = vec![0usize; num_classes];
             for n in &neighbors {
                 counts[n.label as usize] += 1;

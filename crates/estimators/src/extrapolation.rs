@@ -170,10 +170,7 @@ impl crate::BerEstimator for KnnExtrapolationEstimator {
             // Log-spaced prefix sizes between ~train/2^(steps-1) and train.
             let n = ((train.len() as f64) / 2f64.powi((steps - s) as i32)).round() as usize;
             let n = n.clamp(2, train.len());
-            let prefix_features = train.features.slice_rows(0, n);
-            let prefix_labels = &train.labels[..n];
-            let view = crate::LabeledView::new(&prefix_features, prefix_labels);
-            let err = one_nn.raw_one_nn_error(&view, eval, num_classes);
+            let err = one_nn.raw_one_nn_error(&train.prefix(n), eval, num_classes);
             if curve.last().map(|&(last_n, _)| last_n != n).unwrap_or(true) {
                 curve.push((n, err));
             }
@@ -257,8 +254,10 @@ mod tests {
     fn power_law_fit_recovers_asymptote() {
         let dim = 4;
         let exponent = 2.0 / dim as f64;
-        let curve: Vec<(usize, f64)> =
-            [50usize, 100, 200, 400, 800, 1600].iter().map(|&n| (n, 0.12 + 0.8 * (n as f64).powf(-exponent))).collect();
+        let curve: Vec<(usize, f64)> = [50usize, 100, 200, 400, 800, 1600]
+            .iter()
+            .map(|&n| (n, 0.12 + 0.8 * (n as f64).powf(-exponent)))
+            .collect();
         let fit = PowerLawFit::fit(&curve, dim);
         assert!((fit.asymptotic_error() - 0.12).abs() < 1e-6, "asymptote {}", fit.asymptote);
         assert!((fit.coefficient - 0.8).abs() < 1e-6);
@@ -286,7 +285,10 @@ mod tests {
             for _ in 0..n {
                 let c = r.gen_range(0..2u32);
                 let center = if c == 0 { -mu / 2.0 } else { mu / 2.0 };
-                rows.push(vec![rng::normal_with(&mut r, center, 1.0) as f32, rng::normal(&mut r) as f32 * 0.01]);
+                rows.push(vec![
+                    rng::normal_with(&mut r, center, 1.0) as f32,
+                    rng::normal(&mut r) as f32 * 0.01,
+                ]);
                 labels.push(c);
             }
             (Matrix::from_rows(&rows), labels)
@@ -295,7 +297,8 @@ mod tests {
         let (test_x, test_y) = sample(400);
         let est = KnnExtrapolationEstimator::default();
         assert_eq!(est.name(), "knn-extrapolation");
-        let value = est.estimate(&LabeledView::new(&train_x, &train_y), &LabeledView::new(&test_x, &test_y), 2);
+        let value =
+            est.estimate(&LabeledView::new(&train_x, &train_y), &LabeledView::new(&test_x, &test_y), 2);
         assert!((value - true_ber).abs() < 0.08, "estimate {value:.3} vs true {true_ber:.3}");
     }
 

@@ -51,21 +51,20 @@ impl BerEstimator for KdeEstimator {
             return 1.0 - 1.0 / num_classes as f64;
         }
         let d = train.dim();
-        let sigma = stats::mean(&train.features.column_stds());
+        let sigma = stats::mean(&train.features().column_stds());
         let h = Self::scott_bandwidth(train.len(), d, sigma) * self.bandwidth_scale;
         let inv_two_h2 = 1.0 / (2.0 * h * h);
 
         // Group training rows by class.
         let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
-        for (i, &y) in train.labels.iter().enumerate() {
+        for (i, &y) in train.labels().iter().enumerate() {
             per_class[y as usize].push(i);
         }
-        let priors: Vec<f64> =
-            per_class.iter().map(|idx| idx.len() as f64 / train.len() as f64).collect();
+        let priors: Vec<f64> = per_class.iter().map(|idx| idx.len() as f64 / train.len() as f64).collect();
 
         let mut acc = 0.0f64;
         for i in 0..eval.len() {
-            let x = eval.features.row(i);
+            let x = eval.features().row(i);
             // Log of class-conditional density (up to a shared constant) via
             // log-sum-exp over kernel contributions.
             let mut log_post = vec![f64::NEG_INFINITY; num_classes];
@@ -75,7 +74,7 @@ impl BerEstimator for KdeEstimator {
                 }
                 let log_kernels: Vec<f64> = idx
                     .iter()
-                    .map(|&j| -(Matrix::row_sq_dist(x, train.features.row(j)) as f64) * inv_two_h2)
+                    .map(|&j| -(Matrix::row_sq_dist(x, train.features().row(j)) as f64) * inv_two_h2)
                     .collect();
                 let log_density = stats::log_sum_exp(&log_kernels) - (idx.len() as f64).ln();
                 log_post[c] = priors[c].max(1e-12).ln() + log_density;
@@ -130,7 +129,8 @@ mod tests {
     fn separable_task_gives_near_zero() {
         let (tx, ty) = gaussian_pair(600, 12.0, 3);
         let (qx, qy) = gaussian_pair(200, 12.0, 4);
-        let value = KdeEstimator::default().estimate(&LabeledView::new(&tx, &ty), &LabeledView::new(&qx, &qy), 2);
+        let value =
+            KdeEstimator::default().estimate(&LabeledView::new(&tx, &ty), &LabeledView::new(&qx, &qy), 2);
         assert!(value < 0.02, "estimate {value}");
     }
 
@@ -141,7 +141,8 @@ mod tests {
         let (tx, _) = gaussian_pair(100, 1.0, 5);
         let ty = vec![0u32; 100];
         let (qx, qy) = gaussian_pair(50, 1.0, 6);
-        let value = KdeEstimator::default().estimate(&LabeledView::new(&tx, &ty), &LabeledView::new(&qx, &qy), 3);
+        let value =
+            KdeEstimator::default().estimate(&LabeledView::new(&tx, &ty), &LabeledView::new(&qx, &qy), 3);
         assert!((0.0..=1.0).contains(&value));
     }
 

@@ -21,39 +21,11 @@ pub mod extrapolation;
 pub mod ghp;
 pub mod kde;
 
-use snoopy_linalg::Matrix;
-
-/// A borrowed labelled sample.
-#[derive(Debug, Clone, Copy)]
-pub struct LabeledView<'a> {
-    /// `n × d` features.
-    pub features: &'a Matrix,
-    /// Labels aligned with the feature rows.
-    pub labels: &'a [u32],
-}
-
-impl<'a> LabeledView<'a> {
-    /// Creates a view, checking that features and labels agree.
-    pub fn new(features: &'a Matrix, labels: &'a [u32]) -> Self {
-        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
-        Self { features, labels }
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.labels.len()
-    }
-
-    /// Whether the view is empty.
-    pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
-    }
-
-    /// Feature dimensionality.
-    pub fn dim(&self) -> usize {
-        self.features.cols()
-    }
-}
+/// The shared zero-copy labelled view every estimator consumes. This crate
+/// used to define its own view struct; it now speaks the same
+/// [`snoopy_linalg::LabeledView`] handshake as the kNN engine, the
+/// feasibility study, and the experiment binaries.
+pub use snoopy_linalg::LabeledView;
 
 /// A Bayes-error estimator.
 pub trait BerEstimator: Send + Sync {

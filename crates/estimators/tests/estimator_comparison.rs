@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use snoopy_data::gaussian::{GaussianMixture, GaussianMixtureSpec};
 use snoopy_data::noise::{ber_after_uniform_noise, TransitionMatrix};
 use snoopy_estimators::{
-    cover_hart_lower_bound, default_estimators, BerEstimator, KnnPosteriorEstimator, LabeledView, OneNnEstimator,
+    cover_hart_lower_bound, default_estimators, BerEstimator, KnnPosteriorEstimator, LabeledView,
+    OneNnEstimator,
 };
 use snoopy_linalg::rng;
 
@@ -104,7 +105,11 @@ fn knn_posterior_estimator_improves_with_larger_k() {
     // a moderate k should land closer to the truth.
     let err_small = (small_k - task.true_ber).abs();
     let err_large = (large_k - task.true_ber).abs();
-    assert!(err_large <= err_small + 0.02, "k=30 ({large_k:.3}) should beat k=1 ({small_k:.3}) wrt {:.3}", task.true_ber);
+    assert!(
+        err_large <= err_small + 0.02,
+        "k=30 ({large_k:.3}) should beat k=1 ({small_k:.3}) wrt {:.3}",
+        task.true_ber
+    );
 }
 
 proptest! {

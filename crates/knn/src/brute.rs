@@ -1,20 +1,29 @@
-//! Exact brute-force k-nearest-neighbour index with parallel queries.
+//! Exact brute-force k-nearest-neighbour index over a borrowed
+//! [`LabeledView`], with parallel batch queries via the shared
+//! [`EvalEngine`](crate::engine::EvalEngine).
 //!
 //! With at most a few tens of thousands of samples per task replica and
 //! moderate embedding dimensions, exact brute force in `O(n · d)` per query is
 //! both simple and fast enough (the paper's own system computes exact 1NN on
-//! GPU); queries are parallelised over test points with scoped threads.
+//! GPU). The index borrows its training data — building one never clones a
+//! feature matrix — and precomputes the cosine-norm scratch once at
+//! construction so batch queries allocate nothing per query.
 
+use crate::engine::{row_norms_into, EvalEngine, NearestHit};
 use crate::metric::Metric;
-use snoopy_linalg::Matrix;
+use snoopy_linalg::{DatasetView, LabeledView, Matrix};
 
-/// A fitted brute-force index over a labelled training set.
+/// A fitted brute-force index over a borrowed labelled training set.
 #[derive(Debug, Clone)]
-pub struct BruteForceIndex {
-    features: Matrix,
-    labels: Vec<u32>,
+pub struct BruteForceIndex<'a> {
+    view: LabeledView<'a>,
     metric: Metric,
-    num_classes: usize,
+    /// Precomputed row norms (cosine scratch; empty for other metrics).
+    train_norms: Vec<f32>,
+    /// Vote-vector size for majority voting: max(declared classes, labels
+    /// present). Computed once — scanning labels per query is a hot-path tax.
+    vote_classes: usize,
+    engine: EvalEngine,
 }
 
 /// One retrieved neighbour.
@@ -28,25 +37,43 @@ pub struct Neighbor {
     pub label: u32,
 }
 
-impl BruteForceIndex {
-    /// Builds an index over `features` (one sample per row) and `labels`.
+impl<'a> BruteForceIndex<'a> {
+    /// Builds an index borrowing `features` (one sample per row) and `labels`.
     ///
     /// # Panics
     /// Panics if the number of rows and labels differ or the index is empty.
-    pub fn new(features: Matrix, labels: Vec<u32>, num_classes: usize, metric: Metric) -> Self {
-        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
-        assert!(!labels.is_empty(), "cannot build an empty index");
-        Self { features, labels, metric, num_classes }
+    pub fn new(features: &'a Matrix, labels: &'a [u32], num_classes: usize, metric: Metric) -> Self {
+        Self::from_view(LabeledView::new(features, labels).with_classes(num_classes), metric)
+    }
+
+    /// Builds an index from a shared labelled view (zero-copy).
+    ///
+    /// # Panics
+    /// Panics if the view is empty.
+    pub fn from_view(view: LabeledView<'a>, metric: Metric) -> Self {
+        assert!(!view.is_empty(), "cannot build an empty index");
+        let mut train_norms = Vec::new();
+        if metric == Metric::Cosine {
+            row_norms_into(view.features(), &mut train_norms);
+        }
+        let vote_classes = view.num_classes().max(view.observed_classes());
+        Self { view, metric, train_norms, vote_classes, engine: EvalEngine::parallel() }
+    }
+
+    /// Replaces the evaluation engine (e.g. to force a serial reference run).
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Number of indexed samples.
     pub fn len(&self) -> usize {
-        self.labels.len()
+        self.view.len()
     }
 
     /// Whether the index is empty (never true after construction).
     pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
+        self.view.is_empty()
     }
 
     /// The metric used by the index.
@@ -55,17 +82,30 @@ impl BruteForceIndex {
     }
 
     /// The labels of the indexed samples.
-    pub fn labels(&self) -> &[u32] {
-        &self.labels
+    pub fn labels(&self) -> &'a [u32] {
+        self.view.labels()
+    }
+
+    /// The labelled view the index was built over.
+    pub fn view(&self) -> LabeledView<'a> {
+        self.view
+    }
+
+    fn hit_to_neighbor(&self, hit: NearestHit) -> Neighbor {
+        if hit.index == usize::MAX {
+            Neighbor { index: 0, distance: f32::INFINITY, label: 0 }
+        } else {
+            Neighbor { index: hit.index, distance: hit.distance, label: self.view.label(hit.index) }
+        }
     }
 
     /// Finds the single nearest neighbour of `query`.
     pub fn query_1nn(&self, query: &[f32]) -> Neighbor {
         let mut best = Neighbor { index: 0, distance: f32::INFINITY, label: 0 };
-        for (i, row) in self.features.rows_iter().enumerate() {
+        for (i, row) in self.view.features().rows_iter().enumerate() {
             let d = self.metric.distance(query, row);
             if d < best.distance {
-                best = Neighbor { index: i, distance: d, label: self.labels[i] };
+                best = Neighbor { index: i, distance: d, label: self.view.label(i) };
             }
         }
         best
@@ -77,10 +117,10 @@ impl BruteForceIndex {
         let k = k.min(self.len()).max(1);
         // Bounded max-heap emulation with a sorted Vec: k is small (≤ ~50).
         let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        for (i, row) in self.features.rows_iter().enumerate() {
+        for (i, row) in self.view.features().rows_iter().enumerate() {
             let d = self.metric.distance(query, row);
             if best.len() < k || d < best[best.len() - 1].distance {
-                let neighbor = Neighbor { index: i, distance: d, label: self.labels[i] };
+                let neighbor = Neighbor { index: i, distance: d, label: self.view.label(i) };
                 let pos = best.partition_point(|n| n.distance <= d);
                 best.insert(pos, neighbor);
                 if best.len() > k {
@@ -95,7 +135,7 @@ impl BruteForceIndex {
     /// class id among the tied classes (deterministic).
     pub fn predict_knn(&self, query: &[f32], k: usize) -> u32 {
         let neighbors = self.query_knn(query, k);
-        let mut votes = vec![0usize; self.num_classes];
+        let mut votes = vec![0usize; self.vote_classes];
         for n in &neighbors {
             votes[n.label as usize] += 1;
         }
@@ -108,52 +148,57 @@ impl BruteForceIndex {
         best_class as u32
     }
 
-    /// 1NN predictions for every row of `queries`, computed in parallel.
-    pub fn predict_1nn_batch(&self, queries: &Matrix) -> Vec<u32> {
+    /// 1NN predictions for every row of `queries`, computed by the parallel
+    /// engine.
+    pub fn predict_1nn_batch<'q>(&self, queries: impl Into<DatasetView<'q>>) -> Vec<u32> {
         self.nearest_neighbors_batch(queries).into_iter().map(|n| n.label).collect()
     }
 
-    /// Nearest neighbour of every row of `queries`, computed in parallel with
-    /// scoped threads.
-    pub fn nearest_neighbors_batch(&self, queries: &Matrix) -> Vec<Neighbor> {
-        let n = queries.rows();
-        let mut out = vec![Neighbor { index: 0, distance: f32::INFINITY, label: 0 }; n];
-        if n == 0 {
-            return out;
+    /// Nearest neighbour of every row of `queries`, computed by the blocked
+    /// chunk-parallel engine.
+    pub fn nearest_neighbors_batch<'q>(&self, queries: impl Into<DatasetView<'q>>) -> Vec<Neighbor> {
+        let queries = queries.into();
+        let mut best = vec![NearestHit::NONE; queries.rows()];
+        if queries.rows() == 0 {
+            return Vec::new();
         }
-        let threads = num_threads().min(n);
-        let chunk = n.div_ceil(threads);
-        crossbeam::scope(|scope| {
-            for (t, slot) in out.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                scope.spawn(move |_| {
-                    for (offset, res) in slot.iter_mut().enumerate() {
-                        *res = self.query_1nn(queries.row(start + offset));
-                    }
-                });
-            }
-        })
-        .expect("knn worker thread panicked");
-        out
+        let query_norms = if self.metric == Metric::Cosine {
+            let mut norms = Vec::new();
+            row_norms_into(queries, &mut norms);
+            Some(norms)
+        } else {
+            None
+        };
+        self.engine.update_nearest(
+            queries,
+            self.metric,
+            query_norms.as_deref(),
+            self.view.features(),
+            (!self.train_norms.is_empty()).then_some(self.train_norms.as_slice()),
+            0,
+            &mut best,
+        );
+        best.into_iter().map(|hit| self.hit_to_neighbor(hit)).collect()
     }
 
     /// kNN classifier error on a labelled query set (fraction of
-    /// misclassified queries), computed in parallel.
-    #[allow(clippy::needless_range_loop)] // index drives both the query matrix and the label slice
-    pub fn knn_error(&self, queries: &Matrix, query_labels: &[u32], k: usize) -> f64 {
+    /// misclassified queries), computed in parallel over query chunks.
+    #[allow(clippy::needless_range_loop)] // the index drives both the query view and the label slice
+    pub fn knn_error<'q>(&self, queries: impl Into<DatasetView<'q>>, query_labels: &[u32], k: usize) -> f64 {
+        let queries = queries.into();
         assert_eq!(queries.rows(), query_labels.len(), "query feature/label mismatch");
         if query_labels.is_empty() {
             return 0.0;
         }
         let n = queries.rows();
-        let threads = num_threads().min(n);
+        let threads = self.engine.threads().min(n);
         let chunk = n.div_ceil(threads);
         let mut wrong_per_chunk = vec![0usize; threads.max(1)];
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, wrong) in wrong_per_chunk.iter_mut().enumerate() {
                 let start = t * chunk;
                 let end = ((t + 1) * chunk).min(n);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut w = 0usize;
                     for i in start..end.max(start) {
                         if self.predict_knn(queries.row(i), k) != query_labels[i] {
@@ -163,13 +208,13 @@ impl BruteForceIndex {
                     *wrong = w;
                 });
             }
-        })
-        .expect("knn worker thread panicked");
+        });
         wrong_per_chunk.iter().sum::<usize>() as f64 / n as f64
     }
 
     /// 1NN classifier error on a labelled query set.
-    pub fn one_nn_error(&self, queries: &Matrix, query_labels: &[u32]) -> f64 {
+    pub fn one_nn_error<'q>(&self, queries: impl Into<DatasetView<'q>>, query_labels: &[u32]) -> f64 {
+        let queries = queries.into();
         assert_eq!(queries.rows(), query_labels.len(), "query feature/label mismatch");
         if query_labels.is_empty() {
             return 0.0;
@@ -177,6 +222,11 @@ impl BruteForceIndex {
         let preds = self.predict_1nn_batch(queries);
         let wrong = preds.iter().zip(query_labels).filter(|(p, y)| p != y).count();
         wrong as f64 / query_labels.len() as f64
+    }
+
+    /// 1NN classifier error on a labelled evaluation view.
+    pub fn one_nn_error_view(&self, eval: LabeledView<'_>) -> f64 {
+        self.one_nn_error(eval.features(), eval.labels())
     }
 
     /// Leave-one-out 1NN error on the *training* set itself (each sample's
@@ -187,20 +237,21 @@ impl BruteForceIndex {
         if n < 2 {
             return 0.0;
         }
+        let features = self.view.features();
         let mut wrong = 0usize;
         for i in 0..n {
-            let query = self.features.row(i);
+            let query = features.row(i);
             let mut best = (f32::INFINITY, 0u32);
-            for (j, row) in self.features.rows_iter().enumerate() {
+            for (j, row) in features.rows_iter().enumerate() {
                 if j == i {
                     continue;
                 }
                 let d = self.metric.distance(query, row);
                 if d < best.0 {
-                    best = (d, self.labels[j]);
+                    best = (d, self.view.label(j));
                 }
             }
-            if best.1 != self.labels[i] {
+            if best.1 != self.view.label(i) {
                 wrong += 1;
             }
         }
@@ -208,12 +259,7 @@ impl BruteForceIndex {
     }
 }
 
-/// Number of worker threads to use for batch queries.
-pub fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
-}
-
-/// Convenience helper: 1NN error of `train` evaluated on `test`.
+/// Convenience helper: 1NN error of `train` evaluated on `test`, zero-copy.
 pub fn one_nn_error(
     train_x: &Matrix,
     train_y: &[u32],
@@ -222,7 +268,7 @@ pub fn one_nn_error(
     num_classes: usize,
     metric: Metric,
 ) -> f64 {
-    BruteForceIndex::new(train_x.clone(), train_y.to_vec(), num_classes, metric).one_nn_error(test_x, test_y)
+    BruteForceIndex::new(train_x, train_y, num_classes, metric).one_nn_error(test_x, test_y)
 }
 
 #[cfg(test)]
@@ -246,16 +292,25 @@ mod tests {
     #[test]
     fn one_nn_on_separated_clusters_is_perfect() {
         let (x, y) = clustered_data(50);
-        let index = BruteForceIndex::new(x.clone(), y.clone(), 2, Metric::SquaredEuclidean);
+        let index = BruteForceIndex::new(&x, &y, 2, Metric::SquaredEuclidean);
         assert_eq!(index.one_nn_error(&x, &y), 0.0);
         let query = [9.0f32, 9.5];
         assert_eq!(index.query_1nn(&query).label, 1);
     }
 
     #[test]
+    fn index_borrows_rather_than_clones() {
+        let (x, y) = clustered_data(10);
+        let index = BruteForceIndex::from_view(LabeledView::new(&x, &y).with_classes(2), Metric::Cosine);
+        // The indexed feature buffer is literally the caller's allocation.
+        assert_eq!(index.view().features().data().as_ptr(), x.data().as_ptr());
+        assert_eq!(index.len(), 20);
+    }
+
+    #[test]
     fn knn_returns_sorted_unique_neighbors() {
         let (x, y) = clustered_data(20);
-        let index = BruteForceIndex::new(x, y, 2, Metric::Euclidean);
+        let index = BruteForceIndex::new(&x, &y, 2, Metric::Euclidean);
         let neigh = index.query_knn(&[0.0, 0.0], 5);
         assert_eq!(neigh.len(), 5);
         for w in neigh.windows(2) {
@@ -271,7 +326,7 @@ mod tests {
     fn k_is_clamped_and_majority_vote_works() {
         let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0]]);
         let y = vec![0, 0, 1];
-        let index = BruteForceIndex::new(x, y, 2, Metric::SquaredEuclidean);
+        let index = BruteForceIndex::new(&x, &y, 2, Metric::SquaredEuclidean);
         assert_eq!(index.query_knn(&[0.0, 0.0], 10).len(), 3);
         assert_eq!(index.predict_knn(&[0.2, 0.0], 3), 0);
     }
@@ -279,7 +334,7 @@ mod tests {
     #[test]
     fn batch_matches_sequential() {
         let (x, y) = clustered_data(40);
-        let index = BruteForceIndex::new(x, y, 2, Metric::SquaredEuclidean);
+        let index = BruteForceIndex::new(&x, &y, 2, Metric::SquaredEuclidean);
         let queries = Matrix::from_rows(&[vec![1.0, 1.0], vec![9.0, 9.0], vec![4.9, 5.1], vec![0.0, 0.2]]);
         let batch = index.nearest_neighbors_batch(&queries);
         for (i, item) in batch.iter().enumerate() {
@@ -301,38 +356,41 @@ mod tests {
             labels.push(1);
         }
         let x = Matrix::from_rows(&rows);
-        let index = BruteForceIndex::new(x.clone(), labels.clone(), 2, Metric::SquaredEuclidean);
+        let index = BruteForceIndex::new(&x, &labels, 2, Metric::SquaredEuclidean);
         let overlapping_err = index.knn_error(&x, &labels, 3);
         assert!(overlapping_err > 0.2, "overlapping error {overlapping_err}");
 
         let (sx, sy) = clustered_data(30);
-        let sep_index = BruteForceIndex::new(sx.clone(), sy.clone(), 2, Metric::SquaredEuclidean);
+        let sep_index = BruteForceIndex::new(&sx, &sy, 2, Metric::SquaredEuclidean);
         assert_eq!(sep_index.knn_error(&sx, &sy, 3), 0.0);
     }
 
     #[test]
     fn leave_one_out_error_detects_label_noise() {
         let (x, mut y) = clustered_data(25);
-        let index_clean = BruteForceIndex::new(x.clone(), y.clone(), 2, Metric::SquaredEuclidean);
+        let index_clean = BruteForceIndex::new(&x, &y, 2, Metric::SquaredEuclidean);
         assert_eq!(index_clean.leave_one_out_error(), 0.0);
+        drop(index_clean);
         // Flip a quarter of the labels: LOO error must rise.
         for i in (0..y.len()).step_by(4) {
             y[i] = 1 - y[i];
         }
-        let index_noisy = BruteForceIndex::new(x, y, 2, Metric::SquaredEuclidean);
+        let index_noisy = BruteForceIndex::new(&x, &y, 2, Metric::SquaredEuclidean);
         assert!(index_noisy.leave_one_out_error() > 0.2);
     }
 
     #[test]
     fn empty_query_set_gives_zero_error() {
         let (x, y) = clustered_data(5);
-        let index = BruteForceIndex::new(x, y, 2, Metric::SquaredEuclidean);
+        let index = BruteForceIndex::new(&x, &y, 2, Metric::SquaredEuclidean);
         assert_eq!(index.one_nn_error(&Matrix::zeros(0, 2), &[]), 0.0);
     }
 
     #[test]
     #[should_panic(expected = "empty index")]
     fn empty_index_panics() {
-        let _ = BruteForceIndex::new(Matrix::zeros(0, 2), vec![], 2, Metric::Euclidean);
+        let empty = Matrix::zeros(0, 2);
+        let labels: Vec<u32> = vec![];
+        let _ = BruteForceIndex::new(&empty, &labels, 2, Metric::Euclidean);
     }
 }

@@ -1,0 +1,322 @@
+//! The shared 1NN evaluation engine: a blocked, chunk-parallel distance
+//! kernel over zero-copy [`DatasetView`]s.
+//!
+//! Every estimator evaluation, bandit-arm pull, and experiment binary funnels
+//! through the same inner loop — "for each query, find the nearest training
+//! row". This module implements that loop once, with three properties the
+//! rest of the workspace relies on:
+//!
+//! 1. **Chunk parallelism.** Queries are split into contiguous chunks, one
+//!    per worker thread (`std::thread::scope`; no runtime dependency).
+//! 2. **Row blocking.** Each worker walks the training rows in blocks of
+//!    [`EvalEngine::block_rows`] rows so a block stays cache-resident while
+//!    every query of the chunk scans it.
+//! 3. **Reusable scratch.** Cosine needs per-row norms; callers precompute
+//!    them once into reusable buffers ([`row_norms_into`]) instead of
+//!    allocating (or recomputing) per query.
+//!
+//! The kernel is *bit-identical* to the naive serial loop: training rows are
+//! visited in ascending index order with a strict `<` comparison, and every
+//! pairwise distance is computed by the same floating-point expression as
+//! [`Metric::distance`]. The integration test `parallel_engine.rs` pins this
+//! property down.
+
+use crate::metric::Metric;
+use snoopy_linalg::{DatasetView, Matrix};
+
+/// Running nearest-neighbour state of one query: distance and *global*
+/// training-row index. `index == usize::MAX` means "nothing seen yet".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NearestHit {
+    /// Dissimilarity to the nearest training row seen so far.
+    pub distance: f32,
+    /// Global index of that training row.
+    pub index: usize,
+}
+
+impl NearestHit {
+    /// The empty state: infinitely far, no index.
+    pub const NONE: NearestHit = NearestHit { distance: f32::INFINITY, index: usize::MAX };
+}
+
+/// Number of worker threads the parallel engine uses by default.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
+}
+
+/// Fills `out` with the Euclidean norm of every row of `view`, reusing the
+/// buffer's allocation. Required scratch for [`Metric::Cosine`].
+pub fn row_norms_into(view: DatasetView<'_>, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(view.rows_iter().map(Matrix::row_norm));
+}
+
+/// The blocked, chunk-parallel 1NN evaluation engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalEngine {
+    threads: usize,
+    block_rows: usize,
+}
+
+/// Training rows per cache block: 128 rows × 256 dims × 4 bytes = 128 KiB,
+/// sized to stay within a typical L2 slice for the workspace's embedding
+/// dimensions (8–768).
+const DEFAULT_BLOCK_ROWS: usize = 128;
+
+impl EvalEngine {
+    /// A single-threaded engine (the bit-exact reference configuration).
+    pub fn serial() -> Self {
+        Self { threads: 1, block_rows: DEFAULT_BLOCK_ROWS }
+    }
+
+    /// An engine using all available cores (capped at 16).
+    pub fn parallel() -> Self {
+        Self { threads: num_threads(), block_rows: DEFAULT_BLOCK_ROWS }
+    }
+
+    /// An engine with an explicit worker count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1), block_rows: DEFAULT_BLOCK_ROWS }
+    }
+
+    /// Overrides the training-row block size (clamped to ≥ 1).
+    pub fn with_block_rows(mut self, block_rows: usize) -> Self {
+        self.block_rows = block_rows.max(1);
+        self
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The training-row block size.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Folds the training rows of `train` (global indices starting at
+    /// `offset`) into the running nearest state `best` of every query row.
+    ///
+    /// `query_norms` / `train_norms` are required for [`Metric::Cosine`]
+    /// (precompute with [`row_norms_into`]); other metrics ignore them.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches, `best.len() != queries.rows()`, or
+    /// missing cosine norms.
+    #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
+    pub fn update_nearest(
+        &self,
+        queries: DatasetView<'_>,
+        metric: Metric,
+        query_norms: Option<&[f32]>,
+        train: DatasetView<'_>,
+        train_norms: Option<&[f32]>,
+        offset: usize,
+        best: &mut [NearestHit],
+    ) {
+        assert_eq!(queries.cols(), train.cols(), "query/train dimensionality mismatch");
+        assert_eq!(best.len(), queries.rows(), "one nearest slot per query required");
+        if queries.rows() == 0 || train.rows() == 0 {
+            return;
+        }
+        if metric == Metric::Cosine {
+            let qn = query_norms.expect("cosine requires precomputed query norms");
+            let tn = train_norms.expect("cosine requires precomputed train norms");
+            assert_eq!(qn.len(), queries.rows(), "query norm count mismatch");
+            assert_eq!(tn.len(), train.rows(), "train norm count mismatch");
+        }
+
+        let n = queries.rows();
+        let threads = self.threads.min(n);
+        if threads <= 1 {
+            self.scan_chunk(queries, 0, metric, query_norms, train, train_norms, offset, best);
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slot) in best.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    self.scan_chunk(queries, start, metric, query_norms, train, train_norms, offset, slot);
+                });
+            }
+        });
+    }
+
+    /// Scans all training blocks for the queries `[start, start + best.len())`.
+    #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
+    fn scan_chunk(
+        &self,
+        queries: DatasetView<'_>,
+        start: usize,
+        metric: Metric,
+        query_norms: Option<&[f32]>,
+        train: DatasetView<'_>,
+        train_norms: Option<&[f32]>,
+        offset: usize,
+        best: &mut [NearestHit],
+    ) {
+        for (block_idx, block) in train.batches(self.block_rows).enumerate() {
+            let base = block_idx * self.block_rows;
+            for (qi, slot) in best.iter_mut().enumerate() {
+                let q = queries.row(start + qi);
+                match metric {
+                    Metric::SquaredEuclidean => {
+                        for (j, row) in block.rows_iter().enumerate() {
+                            let d = Matrix::row_sq_dist(q, row);
+                            if d < slot.distance {
+                                *slot = NearestHit { distance: d, index: offset + base + j };
+                            }
+                        }
+                    }
+                    Metric::Euclidean => {
+                        for (j, row) in block.rows_iter().enumerate() {
+                            let d = Matrix::row_sq_dist(q, row).sqrt();
+                            if d < slot.distance {
+                                *slot = NearestHit { distance: d, index: offset + base + j };
+                            }
+                        }
+                    }
+                    Metric::Cosine => {
+                        // Branch structure and arithmetic mirror
+                        // `Metric::distance` exactly, with both norms read
+                        // from the precomputed scratch.
+                        let na = query_norms.expect("checked above")[start + qi];
+                        for (j, row) in block.rows_iter().enumerate() {
+                            let nb = train_norms.expect("checked above")[base + j];
+                            let d = if na == 0.0 && nb == 0.0 {
+                                0.0
+                            } else if na == 0.0 || nb == 0.0 {
+                                2.0
+                            } else {
+                                1.0 - (Matrix::row_dot(q, row) / (na * nb)).clamp(-1.0, 1.0)
+                            };
+                            if d < slot.distance {
+                                *slot = NearestHit { distance: d, index: offset + base + j };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Nearest training row for every query, from a cold start. Cosine norms
+    /// are computed internally (one allocation per call, none per query).
+    pub fn nearest(
+        &self,
+        train: DatasetView<'_>,
+        queries: DatasetView<'_>,
+        metric: Metric,
+    ) -> Vec<NearestHit> {
+        let mut best = vec![NearestHit::NONE; queries.rows()];
+        let (qn, tn) = if metric == Metric::Cosine {
+            let mut qn = Vec::new();
+            let mut tn = Vec::new();
+            row_norms_into(queries, &mut qn);
+            row_norms_into(train, &mut tn);
+            (Some(qn), Some(tn))
+        } else {
+            (None, None)
+        };
+        self.update_nearest(queries, metric, qn.as_deref(), train, tn.as_deref(), 0, &mut best);
+        best
+    }
+}
+
+/// Reference implementation: the plain serial double loop, written with
+/// [`Metric::distance`] and no blocking. The engine must match it bit for
+/// bit; tests and the bench harness compare against it.
+pub fn nearest_reference(
+    train: DatasetView<'_>,
+    queries: DatasetView<'_>,
+    metric: Metric,
+) -> Vec<NearestHit> {
+    let mut best = vec![NearestHit::NONE; queries.rows()];
+    for (slot, q) in best.iter_mut().zip(queries.rows_iter()) {
+        for (j, row) in train.rows_iter().enumerate() {
+            let d = metric.distance(q, row);
+            if d < slot.distance {
+                *slot = NearestHit { distance: d, index: j };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(n: usize, d: usize, phase: f32) -> Matrix {
+        Matrix::from_fn(n, d, |r, c| ((r * d + c) as f32 * 0.37 + phase).sin() * 3.0)
+    }
+
+    #[test]
+    fn engine_matches_reference_for_all_metrics() {
+        let train = wavy(137, 9, 0.0);
+        let queries = wavy(41, 9, 1.3);
+        for metric in Metric::all() {
+            let reference = nearest_reference(train.view(), queries.view(), metric);
+            for engine in [
+                EvalEngine::serial(),
+                EvalEngine::parallel(),
+                EvalEngine::with_threads(3).with_block_rows(16),
+            ] {
+                let got = engine.nearest(train.view(), queries.view(), metric);
+                assert_eq!(got, reference, "metric {} engine {engine:?}", metric.name());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_updates_accumulate_to_the_full_answer() {
+        let train = wavy(100, 5, 0.0);
+        let queries = wavy(23, 5, 2.1);
+        let engine = EvalEngine::with_threads(2).with_block_rows(8);
+        let metric = Metric::SquaredEuclidean;
+        let mut best = vec![NearestHit::NONE; queries.rows()];
+        let mut consumed = 0;
+        for batch in train.view().batches(33) {
+            engine.update_nearest(queries.view(), metric, None, batch, None, consumed, &mut best);
+            consumed += batch.rows();
+        }
+        assert_eq!(best, nearest_reference(train.view(), queries.view(), metric));
+    }
+
+    #[test]
+    fn empty_inputs_are_no_ops() {
+        let train = wavy(10, 4, 0.0);
+        let empty = Matrix::zeros(0, 4);
+        let mut best: Vec<NearestHit> = vec![];
+        EvalEngine::parallel().update_nearest(
+            empty.view(),
+            Metric::SquaredEuclidean,
+            None,
+            train.view(),
+            None,
+            0,
+            &mut best,
+        );
+        let hits = EvalEngine::parallel().nearest(empty.view(), wavy(3, 4, 0.5).view(), Metric::Euclidean);
+        assert!(hits.iter().all(|h| *h == NearestHit::NONE));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dimension_mismatch_panics() {
+        let train = wavy(4, 3, 0.0);
+        let queries = wavy(4, 5, 0.0);
+        let mut best = vec![NearestHit::NONE; 4];
+        EvalEngine::serial().update_nearest(
+            queries.view(),
+            Metric::SquaredEuclidean,
+            None,
+            train.view(),
+            None,
+            0,
+            &mut best,
+        );
+    }
+}

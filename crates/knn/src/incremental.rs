@@ -7,11 +7,15 @@
 //! are untouched — so the 1NN error after any sequence of label edits can be
 //! recomputed by a single `O(test)` pass, which is what gives the paper its
 //! "0.2 ms for 10 K test / 50 K training samples" real-time feedback.
+//!
+//! The cache is built either directly from labelled views (one engine pass,
+//! no feature copies) or — preferably — snapshotted from a fully-consumed
+//! [`StreamedOneNn`], in which case no feature matrix is ever touched again.
 
 use crate::brute::BruteForceIndex;
 use crate::metric::Metric;
 use crate::stream::StreamedOneNn;
-use snoopy_linalg::Matrix;
+use snoopy_linalg::{DatasetView, LabeledView};
 
 /// Incremental 1NN error evaluator.
 #[derive(Debug, Clone)]
@@ -25,17 +29,20 @@ pub struct IncrementalOneNn {
 }
 
 impl IncrementalOneNn {
-    /// Builds the cache by running the full nearest-neighbour computation.
-    pub fn build(
-        train_features: &Matrix,
+    /// Builds the cache by running the full nearest-neighbour computation
+    /// over borrowed views (zero feature copies).
+    pub fn build<'a>(
+        train_features: impl Into<DatasetView<'a>>,
         train_labels: &[u32],
-        test_features: &Matrix,
+        test_features: impl Into<DatasetView<'a>>,
         test_labels: &[u32],
         num_classes: usize,
         metric: Metric,
     ) -> Self {
-        let index = BruteForceIndex::new(train_features.clone(), train_labels.to_vec(), num_classes, metric);
-        let nearest = index.nearest_neighbors_batch(test_features);
+        let train_features = train_features.into();
+        let view = LabeledView::from_parts(train_features, train_labels, num_classes);
+        let index = BruteForceIndex::from_view(view, metric);
+        let nearest = index.nearest_neighbors_batch(test_features.into());
         Self {
             nearest_train: nearest.iter().map(|n| n.index).collect(),
             train_labels: train_labels.to_vec(),
@@ -43,13 +50,31 @@ impl IncrementalOneNn {
         }
     }
 
+    /// Builds the cache from two labelled views.
+    pub fn from_views(train: LabeledView<'_>, test: LabeledView<'_>, metric: Metric) -> Self {
+        Self::build(
+            train.features(),
+            train.labels(),
+            test.features(),
+            test.labels(),
+            train.num_classes(),
+            metric,
+        )
+    }
+
     /// Builds the cache from a fully-consumed streamed evaluator, avoiding a
     /// second pass over the data.
     pub fn from_stream(stream: &StreamedOneNn, train_labels: &[u32], test_labels: &[u32]) -> Self {
+        assert!(
+            stream.consumed() == train_labels.len(),
+            "stream must have consumed the full training set before snapshotting (consumed {} of {})",
+            stream.consumed(),
+            train_labels.len()
+        );
         let nearest_train = stream.nearest_train_indices();
         assert!(
             nearest_train.iter().all(|&i| i < train_labels.len()),
-            "stream must have consumed the full training set before snapshotting"
+            "stream must have consumed the full training set before snapshotting (unassigned test points remain)"
         );
         assert_eq!(test_labels.len(), nearest_train.len(), "test label count mismatch");
         Self { nearest_train, train_labels: train_labels.to_vec(), test_labels: test_labels.to_vec() }
@@ -117,6 +142,7 @@ impl IncrementalOneNn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snoopy_linalg::Matrix;
 
     fn noisy_task() -> (Matrix, Vec<u32>, Vec<u32>, Matrix, Vec<u32>, Vec<u32>) {
         // Two clusters; 20% of training labels and 10% of test labels flipped.
@@ -146,15 +172,32 @@ mod tests {
         for i in (0..m).step_by(10) {
             noisy_test[i] = 1 - noisy_test[i];
         }
-        (Matrix::from_rows(&train_rows), noisy_train, clean_train, Matrix::from_rows(&test_rows), noisy_test, clean_test)
+        (
+            Matrix::from_rows(&train_rows),
+            noisy_train,
+            clean_train,
+            Matrix::from_rows(&test_rows),
+            noisy_test,
+            clean_test,
+        )
     }
 
     #[test]
     fn initial_error_matches_full_recompute() {
         let (tx, ty, _, qx, qy, _) = noisy_task();
         let inc = IncrementalOneNn::build(&tx, &ty, &qx, &qy, 2, Metric::SquaredEuclidean);
-        let full = BruteForceIndex::new(tx, ty, 2, Metric::SquaredEuclidean).one_nn_error(&qx, &qy);
+        let full = BruteForceIndex::new(&tx, &ty, 2, Metric::SquaredEuclidean).one_nn_error(&qx, &qy);
         assert!((inc.error() - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_views_matches_build() {
+        let (tx, ty, _, qx, qy, _) = noisy_task();
+        let train = LabeledView::new(&tx, &ty).with_classes(2);
+        let test = LabeledView::new(&qx, &qy).with_classes(2);
+        let a = IncrementalOneNn::from_views(train, test, Metric::SquaredEuclidean);
+        let b = IncrementalOneNn::build(&tx, &ty, &qx, &qy, 2, Metric::SquaredEuclidean);
+        assert!((a.error() - b.error()).abs() < 1e-12);
     }
 
     #[test]
@@ -168,7 +211,7 @@ mod tests {
             if cur_ty[i] != clean_ty[i] {
                 cur_ty[i] = clean_ty[i];
                 inc.relabel_train(i, clean_ty[i]);
-                let full = BruteForceIndex::new(tx.clone(), cur_ty.clone(), 2, Metric::SquaredEuclidean)
+                let full = BruteForceIndex::new(&tx, &cur_ty, 2, Metric::SquaredEuclidean)
                     .one_nn_error(&qx, &cur_qy);
                 assert!((inc.error() - full).abs() < 1e-12, "train clean step {i}");
             }
@@ -177,7 +220,7 @@ mod tests {
             if cur_qy[i] != clean_qy[i] {
                 cur_qy[i] = clean_qy[i];
                 inc.relabel_test(i, clean_qy[i]);
-                let full = BruteForceIndex::new(tx.clone(), cur_ty.clone(), 2, Metric::SquaredEuclidean)
+                let full = BruteForceIndex::new(&tx, &cur_ty, 2, Metric::SquaredEuclidean)
                     .one_nn_error(&qx, &cur_qy);
                 assert!((inc.error() - full).abs() < 1e-12, "test clean step {i}");
             }
@@ -199,8 +242,9 @@ mod tests {
     fn from_stream_matches_build() {
         let (tx, ty, _, qx, qy, _) = noisy_task();
         let mut stream = StreamedOneNn::new(qx.clone(), qy.clone(), Metric::SquaredEuclidean);
-        stream.add_train_batch(&tx.slice_rows(0, 60), &ty[..60]);
-        stream.add_train_batch(&tx.slice_rows(60, tx.rows()), &ty[60..]);
+        let view = tx.view();
+        stream.add_train_batch(view.slice_rows(0, 60), &ty[..60]);
+        stream.add_train_batch(view.slice_rows(60, tx.rows()), &ty[60..]);
         let from_stream = IncrementalOneNn::from_stream(&stream, &ty, &qy);
         let built = IncrementalOneNn::build(&tx, &ty, &qx, &qy, 2, Metric::SquaredEuclidean);
         assert!((from_stream.error() - built.error()).abs() < 1e-12);
@@ -210,10 +254,14 @@ mod tests {
     fn batch_relabels_apply_all_updates() {
         let (tx, ty, clean_ty, qx, qy, _) = noisy_task();
         let mut inc = IncrementalOneNn::build(&tx, &ty, &qx, &qy, 2, Metric::SquaredEuclidean);
-        let updates: Vec<(usize, u32)> =
-            ty.iter().enumerate().filter(|(i, &y)| y != clean_ty[*i]).map(|(i, _)| (i, clean_ty[i])).collect();
+        let updates: Vec<(usize, u32)> = ty
+            .iter()
+            .enumerate()
+            .filter(|(i, &y)| y != clean_ty[*i])
+            .map(|(i, _)| (i, clean_ty[i]))
+            .collect();
         inc.relabel_train_batch(&updates);
-        let full = BruteForceIndex::new(tx, clean_ty, 2, Metric::SquaredEuclidean).one_nn_error(&qx, &qy);
+        let full = BruteForceIndex::new(&tx, &clean_ty, 2, Metric::SquaredEuclidean).one_nn_error(&qx, &qy);
         assert!((inc.error() - full).abs() < 1e-12);
     }
 
@@ -222,7 +270,7 @@ mod tests {
     fn snapshotting_an_unfinished_stream_panics() {
         let (tx, ty, _, qx, qy, _) = noisy_task();
         let mut stream = StreamedOneNn::new(qx, qy.clone(), Metric::SquaredEuclidean);
-        stream.add_train_batch(&tx.slice_rows(0, 10), &ty[..10]);
+        stream.add_train_batch(tx.view().slice_rows(0, 10), &ty[..10]);
         // Claiming a larger training set than consumed leaves dangling indices.
         let _ = IncrementalOneNn::from_stream(&stream, &ty[..5], &qy);
     }

@@ -21,11 +21,13 @@
 //!   samples" real-time feedback.
 
 pub mod brute;
+pub mod engine;
 pub mod incremental;
 pub mod metric;
 pub mod stream;
 
 pub use brute::BruteForceIndex;
+pub use engine::{EvalEngine, NearestHit};
 pub use incremental::IncrementalOneNn;
 pub use metric::Metric;
 pub use stream::StreamedOneNn;

@@ -4,20 +4,17 @@
 //! transformation's training data to the 1NN evaluator in fixed-size batches,
 //! recording the test error after every batch to build the convergence curve.
 //! [`StreamedOneNn`] maintains, for every test point, the best (distance,
-//! training index, training label) triple seen so far, so adding a batch costs
+//! global training index) pair seen so far, so adding a batch costs
 //! `O(batch × test × d)` and the running error is available at any time in
-//! `O(test)`.
+//! `O(test)`. Batch updates run through the shared blocked, chunk-parallel
+//! [`EvalEngine`]; the cosine-norm scratch for the fixed test split is
+//! computed once at construction and the per-batch norm buffer is reused
+//! across batches, so the steady-state stream performs no per-query
+//! allocation.
 
+use crate::engine::{row_norms_into, EvalEngine, NearestHit};
 use crate::metric::Metric;
-use snoopy_linalg::Matrix;
-
-/// Running nearest-neighbour state of one test point.
-#[derive(Debug, Clone, Copy)]
-struct BestSoFar {
-    distance: f32,
-    train_index: usize,
-    train_label: u32,
-}
+use snoopy_linalg::{DatasetView, Matrix};
 
 /// Streamed 1NN evaluator.
 #[derive(Debug, Clone)]
@@ -25,10 +22,17 @@ pub struct StreamedOneNn {
     test_features: Matrix,
     test_labels: Vec<u32>,
     metric: Metric,
-    best: Vec<BestSoFar>,
-    consumed: usize,
+    engine: EvalEngine,
+    /// Running nearest state per test point (global training indices).
+    best: Vec<NearestHit>,
+    /// Labels of every consumed training sample, indexed globally.
+    train_labels: Vec<u32>,
     /// Error after each completed batch: `(training samples consumed, error)`.
     curve: Vec<(usize, f64)>,
+    /// Cosine scratch: norms of the fixed test rows (empty otherwise).
+    query_norms: Vec<f32>,
+    /// Cosine scratch: norms of the current batch, reused between batches.
+    batch_norms: Vec<f32>,
 }
 
 impl StreamedOneNn {
@@ -39,14 +43,38 @@ impl StreamedOneNn {
     pub fn new(test_features: Matrix, test_labels: Vec<u32>, metric: Metric) -> Self {
         assert_eq!(test_features.rows(), test_labels.len(), "test feature/label mismatch");
         assert!(!test_labels.is_empty(), "streamed 1NN needs a non-empty test split");
-        let best =
-            vec![BestSoFar { distance: f32::INFINITY, train_index: usize::MAX, train_label: u32::MAX }; test_labels.len()];
-        Self { test_features, test_labels, metric, best, consumed: 0, curve: Vec::new() }
+        let mut query_norms = Vec::new();
+        if metric == Metric::Cosine {
+            row_norms_into(test_features.view(), &mut query_norms);
+        }
+        Self {
+            best: vec![NearestHit::NONE; test_labels.len()],
+            test_features,
+            test_labels,
+            metric,
+            engine: EvalEngine::parallel(),
+            train_labels: Vec::new(),
+            curve: Vec::new(),
+            query_norms,
+            batch_norms: Vec::new(),
+        }
+    }
+
+    /// Replaces the evaluation engine (e.g. to force a serial reference run).
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Swaps the evaluation engine in place (used to re-widen a throttled
+    /// stream once it runs alone).
+    pub fn set_engine(&mut self, engine: EvalEngine) {
+        self.engine = engine;
     }
 
     /// Number of training samples consumed so far.
     pub fn consumed(&self) -> usize {
-        self.consumed
+        self.train_labels.len()
     }
 
     /// Number of test points.
@@ -60,47 +88,38 @@ impl StreamedOneNn {
         &self.curve
     }
 
-    /// Adds one batch of training samples (rows of `batch_features`) whose
-    /// global indices start at `self.consumed()`. Updates every test point's
-    /// running nearest neighbour in parallel and records the new error on the
+    /// Adds one batch of training samples whose global indices start at
+    /// `self.consumed()`. Updates every test point's running nearest
+    /// neighbour through the parallel engine and records the new error on the
     /// curve. Returns the updated error.
-    pub fn add_train_batch(&mut self, batch_features: &Matrix, batch_labels: &[u32]) -> f64 {
+    pub fn add_train_batch<'b>(
+        &mut self,
+        batch_features: impl Into<DatasetView<'b>>,
+        batch_labels: &[u32],
+    ) -> f64 {
+        let batch_features = batch_features.into();
         assert_eq!(batch_features.rows(), batch_labels.len(), "batch feature/label mismatch");
         assert_eq!(
             batch_features.cols(),
             self.test_features.cols(),
             "batch dimensionality differs from test set"
         );
-        let offset = self.consumed;
-        let metric = self.metric;
-        let test_features = &self.test_features;
-        let n_test = self.test_labels.len();
-        let threads = crate::brute::num_threads().min(n_test);
-        let chunk = n_test.div_ceil(threads);
-        crossbeam::scope(|scope| {
-            for (t, slot) in self.best.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                scope.spawn(move |_| {
-                    for (i, best) in slot.iter_mut().enumerate() {
-                        let query = test_features.row(start + i);
-                        for (j, row) in batch_features.rows_iter().enumerate() {
-                            let d = metric.distance(query, row);
-                            if d < best.distance {
-                                *best = BestSoFar {
-                                    distance: d,
-                                    train_index: offset + j,
-                                    train_label: batch_labels[j],
-                                };
-                            }
-                        }
-                    }
-                });
-            }
-        })
-        .expect("streamed knn worker panicked");
-        self.consumed += batch_labels.len();
+        if self.metric == Metric::Cosine {
+            row_norms_into(batch_features, &mut self.batch_norms);
+        }
+        let offset = self.train_labels.len();
+        self.engine.update_nearest(
+            self.test_features.view(),
+            self.metric,
+            (!self.query_norms.is_empty()).then_some(self.query_norms.as_slice()),
+            batch_features,
+            (self.metric == Metric::Cosine).then_some(self.batch_norms.as_slice()),
+            offset,
+            &mut self.best,
+        );
+        self.train_labels.extend_from_slice(batch_labels);
         let err = self.current_error();
-        self.curve.push((self.consumed, err));
+        self.curve.push((self.train_labels.len(), err));
         err
     }
 
@@ -111,7 +130,7 @@ impl StreamedOneNn {
             .best
             .iter()
             .zip(&self.test_labels)
-            .filter(|(b, &y)| b.train_label != y)
+            .filter(|(b, &y)| b.index == usize::MAX || self.train_labels[b.index] != y)
             .count();
         wrong as f64 / self.test_labels.len() as f64
     }
@@ -120,12 +139,16 @@ impl StreamedOneNn {
     /// (`usize::MAX` before any data was consumed). This is exactly the state
     /// the incremental cache snapshots.
     pub fn nearest_train_indices(&self) -> Vec<usize> {
-        self.best.iter().map(|b| b.train_index).collect()
+        self.best.iter().map(|b| b.index).collect()
     }
 
-    /// The nearest training labels currently assigned to each test point.
+    /// The nearest training labels currently assigned to each test point
+    /// (`u32::MAX` before any data was consumed).
     pub fn nearest_train_labels(&self) -> Vec<u32> {
-        self.best.iter().map(|b| b.train_label).collect()
+        self.best
+            .iter()
+            .map(|b| if b.index == usize::MAX { u32::MAX } else { self.train_labels[b.index] })
+            .collect()
     }
 }
 
@@ -133,6 +156,7 @@ impl StreamedOneNn {
 mod tests {
     use super::*;
     use crate::brute::BruteForceIndex;
+    use snoopy_linalg::LabeledView;
 
     fn toy_task(n_train: usize) -> (Matrix, Vec<u32>, Matrix, Vec<u32>) {
         // Two slightly overlapping 1-D clusters embedded in 2-D.
@@ -158,20 +182,14 @@ mod tests {
     #[test]
     fn streaming_matches_full_index_at_every_prefix() {
         let (train_x, train_y, test_x, test_y) = toy_task(200);
+        let train = LabeledView::new(&train_x, &train_y).with_classes(2);
         let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean);
-        let batch = 50;
         let mut consumed = 0;
-        while consumed < train_x.rows() {
-            let end = (consumed + batch).min(train_x.rows());
-            let err = stream.add_train_batch(&train_x.slice_rows(consumed, end), &train_y[consumed..end]);
-            consumed = end;
-            let full = BruteForceIndex::new(
-                train_x.slice_rows(0, consumed),
-                train_y[..consumed].to_vec(),
-                2,
-                Metric::SquaredEuclidean,
-            )
-            .one_nn_error(&test_x, &test_y);
+        for batch in train.batches(50) {
+            let err = stream.add_train_batch(batch.features(), batch.labels());
+            consumed += batch.len();
+            let full = BruteForceIndex::from_view(train.prefix(consumed), Metric::SquaredEuclidean)
+                .one_nn_error(&test_x, &test_y);
             assert!((err - full).abs() < 1e-12, "prefix {consumed}: streamed {err} vs full {full}");
         }
         assert_eq!(stream.consumed(), 200);
@@ -184,18 +202,15 @@ mod tests {
         let stream = StreamedOneNn::new(test_x, test_y, Metric::Euclidean);
         assert_eq!(stream.current_error(), 1.0);
         assert!(stream.nearest_train_indices().iter().all(|&i| i == usize::MAX));
+        assert!(stream.nearest_train_labels().iter().all(|&y| y == u32::MAX));
     }
 
     #[test]
     fn curve_is_generally_decreasing_on_clean_data() {
         let (train_x, train_y, test_x, test_y) = toy_task(400);
         let mut stream = StreamedOneNn::new(test_x, test_y, Metric::SquaredEuclidean);
-        let batch = 40;
-        let mut consumed = 0;
-        while consumed < train_x.rows() {
-            let end = (consumed + batch).min(train_x.rows());
-            stream.add_train_batch(&train_x.slice_rows(consumed, end), &train_y[consumed..end]);
-            consumed = end;
+        for batch in LabeledView::new(&train_x, &train_y).batches(40) {
+            stream.add_train_batch(batch.features(), batch.labels());
         }
         let first = stream.curve()[0].1;
         let last = stream.curve().last().unwrap().1;
@@ -206,11 +221,23 @@ mod tests {
     fn nearest_indices_are_global() {
         let (train_x, train_y, test_x, test_y) = toy_task(100);
         let mut stream = StreamedOneNn::new(test_x, test_y, Metric::SquaredEuclidean);
-        stream.add_train_batch(&train_x.slice_rows(0, 50), &train_y[..50]);
-        stream.add_train_batch(&train_x.slice_rows(50, 100), &train_y[50..]);
+        let view = train_x.view();
+        stream.add_train_batch(view.slice_rows(0, 50), &train_y[..50]);
+        stream.add_train_batch(view.slice_rows(50, 100), &train_y[50..]);
         let idx = stream.nearest_train_indices();
         assert!(idx.iter().all(|&i| i < 100));
         assert!(idx.iter().any(|&i| i >= 50), "some neighbours should come from the second batch");
+    }
+
+    #[test]
+    fn cosine_stream_reuses_scratch_and_matches_full_recompute() {
+        let (train_x, train_y, test_x, test_y) = toy_task(90);
+        let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::Cosine);
+        for batch in LabeledView::new(&train_x, &train_y).batches(27) {
+            stream.add_train_batch(batch.features(), batch.labels());
+        }
+        let full = BruteForceIndex::new(&train_x, &train_y, 2, Metric::Cosine).one_nn_error(&test_x, &test_y);
+        assert!((stream.current_error() - full).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Integration tests pinning down the central guarantee of the evaluation
+//! engine: the blocked, chunk-parallel 1NN path returns **bit-identical**
+//! results to the plain serial reference loop, for every metric, every
+//! engine shape, and through every consumer (index batch queries and the
+//! streamed evaluator).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snoopy_knn::engine::{nearest_reference, EvalEngine};
+use snoopy_knn::{BruteForceIndex, Metric, StreamedOneNn};
+use snoopy_linalg::{LabeledView, Matrix};
+
+/// Random labelled point cloud with a few duplicated rows so distance ties
+/// actually occur (tie-breaking is part of the bit-identical contract).
+fn cloud(seed: u64, n: usize, d: usize, classes: u32) -> (Matrix, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() * 10.0 - 5.0);
+    // Duplicate every 7th row from the row before it.
+    for r in (7..n).step_by(7) {
+        let prev = m.row(r - 1).to_vec();
+        m.row_mut(r).copy_from_slice(&prev);
+    }
+    let y = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+    (m, y)
+}
+
+#[test]
+fn engine_is_bit_identical_to_serial_reference_for_all_metrics_and_shapes() {
+    let (train_x, _) = cloud(11, 203, 13, 4);
+    let (test_x, _) = cloud(12, 61, 13, 4);
+    for metric in Metric::all() {
+        let reference = nearest_reference(train_x.view(), test_x.view(), metric);
+        for threads in [1usize, 2, 3, 8] {
+            for block_rows in [1usize, 7, 64, 1024] {
+                let engine = EvalEngine::with_threads(threads).with_block_rows(block_rows);
+                let got = engine.nearest(train_x.view(), test_x.view(), metric);
+                assert_eq!(got, reference, "metric {} threads {threads} block {block_rows}", metric.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn index_batch_queries_match_reference_indices_and_distances() {
+    let (train_x, train_y) = cloud(21, 157, 6, 3);
+    let (test_x, test_y) = cloud(22, 43, 6, 3);
+    for metric in Metric::all() {
+        let reference = nearest_reference(train_x.view(), test_x.view(), metric);
+        let index = BruteForceIndex::new(&train_x, &train_y, 3, metric);
+        let batch = index.nearest_neighbors_batch(&test_x);
+        assert_eq!(batch.len(), reference.len());
+        for (got, expected) in batch.iter().zip(&reference) {
+            assert_eq!(got.index, expected.index, "metric {}", metric.name());
+            assert_eq!(got.distance.to_bits(), expected.distance.to_bits(), "metric {}", metric.name());
+            assert_eq!(got.label, train_y[expected.index]);
+        }
+        // The error computed through the parallel engine equals the error of
+        // a forced-serial engine.
+        let serial = BruteForceIndex::new(&train_x, &train_y, 3, metric).with_engine(EvalEngine::serial());
+        assert_eq!(
+            index.one_nn_error(&test_x, &test_y).to_bits(),
+            serial.one_nn_error(&test_x, &test_y).to_bits(),
+            "metric {}",
+            metric.name()
+        );
+    }
+}
+
+#[test]
+fn streamed_evaluation_matches_reference_at_every_batch_boundary() {
+    let (train_x, train_y) = cloud(31, 120, 5, 3);
+    let (test_x, test_y) = cloud(32, 37, 5, 3);
+    let train = LabeledView::new(&train_x, &train_y).with_classes(3);
+    for metric in Metric::all() {
+        for batch_size in [1usize, 13, 40, 120] {
+            let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), metric);
+            let mut consumed = 0;
+            for batch in train.batches(batch_size) {
+                stream.add_train_batch(batch.features(), batch.labels());
+                consumed += batch.len();
+                let prefix = train.prefix(consumed);
+                let reference = nearest_reference(prefix.features(), test_x.view(), metric);
+                let got = stream.nearest_train_indices();
+                let expected: Vec<usize> = reference.iter().map(|h| h.index).collect();
+                assert_eq!(got, expected, "metric {} batch {batch_size} prefix {consumed}", metric.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn leading_duplicates_resolve_to_the_lowest_train_index() {
+    // All training rows identical: the nearest index must always be 0 for
+    // every engine shape (strict `<` keeps the first minimum).
+    let train_x = Matrix::from_fn(50, 4, |_, _| 1.5);
+    let train_y: Vec<u32> = (0..50).map(|i| (i % 2) as u32).collect();
+    let (test_x, _) = cloud(41, 16, 4, 2);
+    for metric in Metric::all() {
+        for threads in [1usize, 4] {
+            let engine = EvalEngine::with_threads(threads).with_block_rows(8);
+            let hits = engine.nearest(train_x.view(), test_x.view(), metric);
+            assert!(hits.iter().all(|h| h.index == 0), "metric {} threads {threads}", metric.name());
+        }
+        let index = BruteForceIndex::new(&train_x, &train_y, 2, metric);
+        assert!(index.nearest_neighbors_batch(&test_x).iter().all(|n| n.index == 0));
+    }
+}

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use rand::Rng;
 use rand::SeedableRng;
 use snoopy_knn::{BruteForceIndex, IncrementalOneNn, Metric, StreamedOneNn};
-use snoopy_linalg::Matrix;
+use snoopy_linalg::{LabeledView, Matrix};
 
 /// Random labelled point cloud.
 fn cloud(seed: u64, n: usize, d: usize, classes: u32) -> (Matrix, Vec<u32>) {
@@ -24,17 +24,15 @@ proptest! {
         let (train_x, train_y) = cloud(seed, 80, 4, 3);
         let (test_x, test_y) = cloud(seed ^ 0xff, 30, 4, 3);
         let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean);
+        let train = LabeledView::new(&train_x, &train_y).with_classes(3);
         let mut consumed = 0;
         while consumed < train_x.rows() {
             let end = (consumed + batch).min(train_x.rows());
-            let streamed_err = stream.add_train_batch(&train_x.slice_rows(consumed, end), &train_y[consumed..end]);
+            let chunk = train.slice(consumed, end);
+            let streamed_err = stream.add_train_batch(chunk.features(), chunk.labels());
             consumed = end;
-            let full_err = BruteForceIndex::new(
-                train_x.slice_rows(0, consumed),
-                train_y[..consumed].to_vec(),
-                3,
-                Metric::SquaredEuclidean,
-            ).one_nn_error(&test_x, &test_y);
+            let full_err = BruteForceIndex::from_view(train.prefix(consumed), Metric::SquaredEuclidean)
+                .one_nn_error(&test_x, &test_y);
             prop_assert!((streamed_err - full_err).abs() < 1e-12);
         }
     }
@@ -52,7 +50,7 @@ proptest! {
         for (idx, label) in edits {
             train_y[idx] = label;
             inc.relabel_train(idx, label);
-            let full = BruteForceIndex::new(train_x.clone(), train_y.clone(), 3, Metric::SquaredEuclidean)
+            let full = BruteForceIndex::new(&train_x, &train_y, 3, Metric::SquaredEuclidean)
                 .one_nn_error(&test_x, &test_y);
             prop_assert!((inc.error() - full).abs() < 1e-12);
         }
@@ -63,7 +61,7 @@ proptest! {
     fn knn_lists_sorted_and_distinct(seed in 0u64..500, k in 1usize..20) {
         let (train_x, train_y) = cloud(seed, 50, 5, 4);
         let (query_x, _) = cloud(seed ^ 0x77, 5, 5, 4);
-        let index = BruteForceIndex::new(train_x, train_y, 4, Metric::Euclidean);
+        let index = BruteForceIndex::new(&train_x, &train_y, 4, Metric::Euclidean);
         for qi in 0..query_x.rows() {
             let neigh = index.query_knn(query_x.row(qi), k);
             prop_assert_eq!(neigh.len(), k.min(50));
@@ -103,10 +101,10 @@ proptest! {
         let mut consumed = 0;
         while consumed < train_x.rows() {
             let end = (consumed + 17).min(train_x.rows());
-            stream.add_train_batch(&train_x.slice_rows(consumed, end), &train_y[consumed..end]);
+            stream.add_train_batch(train_x.view().slice_rows(consumed, end), &train_y[consumed..end]);
             consumed = end;
         }
-        let full = BruteForceIndex::new(train_x, train_y, 2, Metric::Cosine).one_nn_error(&test_x, &test_y);
+        let full = BruteForceIndex::new(&train_x, &train_y, 2, Metric::Cosine).one_nn_error(&test_x, &test_y);
         let last = stream.curve().last().unwrap().1;
         prop_assert!((last - full).abs() < 1e-12);
     }

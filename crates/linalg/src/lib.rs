@@ -9,6 +9,9 @@
 //! * a row-major [`Matrix`] of `f32` features with the usual constructors,
 //!   slicing, and matrix operations (`matmul`, `transpose`, covariance,
 //!   row/column statistics),
+//! * zero-copy dataset views ([`view::DatasetView`], [`view::LabeledView`])
+//!   — the shared data handshake between the dataset registry, the kNN
+//!   engine, the Bayes-error estimators, and the feasibility study,
 //! * a Jacobi eigen-solver for symmetric matrices ([`eigen`]),
 //! * principal component analysis ([`pca::Pca`]), feature standardisation
 //!   ([`projection::Standardizer`]) and Gaussian random projections
@@ -28,7 +31,9 @@ pub mod pca;
 pub mod projection;
 pub mod rng;
 pub mod stats;
+pub mod view;
 
 pub use matrix::Matrix;
 pub use pca::Pca;
 pub use projection::{RandomProjection, Standardizer};
+pub use view::{DatasetView, LabeledView};

@@ -31,14 +31,7 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "buffer length {} does not match {}x{}",
-            data.len(),
-            rows,
-            cols
-        );
+        assert_eq!(data.len(), rows * cols, "buffer length {} does not match {}x{}", data.len(), rows, cols);
         Self { rows, cols, data }
     }
 
@@ -167,11 +160,7 @@ impl Matrix {
     /// # Panics
     /// Panics if the column counts differ.
     pub fn vstack(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "vstack requires equal column counts");
-        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
-        data.extend_from_slice(&self.data);
-        data.extend_from_slice(&other.data);
-        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+        self.view().vstack(&other.view())
     }
 
     /// Transposed copy.
@@ -193,22 +182,7 @@ impl Matrix {
     /// # Panics
     /// Panics if inner dimensions do not match.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (j, &b_kj) in b_row.iter().enumerate() {
-                    out_row[j] += a_ik * b_kj;
-                }
-            }
-        }
-        out
+        self.view().matmul(other)
     }
 
     /// Applies a linear map given as a `d_in × d_out` matrix to every row:
@@ -219,31 +193,12 @@ impl Matrix {
 
     /// Per-column mean as an `f64` vector.
     pub fn column_means(&self) -> Vec<f64> {
-        let mut means = vec![0.0f64; self.cols];
-        for row in self.rows_iter() {
-            for (m, &v) in means.iter_mut().zip(row) {
-                *m += v as f64;
-            }
-        }
-        let n = self.rows.max(1) as f64;
-        for m in &mut means {
-            *m /= n;
-        }
-        means
+        self.view().column_means()
     }
 
     /// Per-column (population) standard deviation.
     pub fn column_stds(&self) -> Vec<f64> {
-        let means = self.column_means();
-        let mut vars = vec![0.0f64; self.cols];
-        for row in self.rows_iter() {
-            for ((v, &x), m) in vars.iter_mut().zip(row).zip(&means) {
-                let d = x as f64 - m;
-                *v += d * d;
-            }
-        }
-        let n = self.rows.max(1) as f64;
-        vars.iter().map(|v| (v / n).sqrt()).collect()
+        self.view().column_stds()
     }
 
     /// Sample covariance matrix (`d × d`, `f64` accumulation, stored as `f32`).

@@ -6,6 +6,7 @@
 
 use crate::eigen::symmetric_eigen;
 use crate::matrix::Matrix;
+use crate::view::DatasetView;
 
 /// A fitted PCA transform.
 #[derive(Debug, Clone)]
@@ -67,8 +68,10 @@ impl Pca {
     }
 
     /// Projects each row of `data` onto the principal subspace, producing an
-    /// `n × k` matrix.
-    pub fn transform(&self, data: &Matrix) -> Matrix {
+    /// `n × k` matrix. Accepts owned matrices (`&Matrix`) and zero-copy
+    /// [`DatasetView`]s alike.
+    pub fn transform<'a>(&self, data: impl Into<DatasetView<'a>>) -> Matrix {
+        let data = data.into();
         let n = data.rows();
         let d = self.mean.len();
         assert_eq!(data.cols(), d, "PCA transform dimension mismatch");

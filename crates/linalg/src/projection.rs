@@ -7,6 +7,7 @@
 
 use crate::matrix::Matrix;
 use crate::rng;
+use crate::view::DatasetView;
 use rand::Rng;
 
 /// Per-feature z-scoring fitted on a training split.
@@ -21,18 +22,16 @@ impl Standardizer {
     /// variance are left unscaled to avoid dividing by zero.
     pub fn fit(data: &Matrix) -> Self {
         let mean: Vec<f32> = data.column_means().iter().map(|&m| m as f32).collect();
-        let inv_std: Vec<f32> = data
-            .column_stds()
-            .iter()
-            .map(|&s| if s > 1e-8 { (1.0 / s) as f32 } else { 1.0 })
-            .collect();
+        let inv_std: Vec<f32> =
+            data.column_stds().iter().map(|&s| if s > 1e-8 { (1.0 / s) as f32 } else { 1.0 }).collect();
         Self { mean, inv_std }
     }
 
     /// Applies the fitted scaling to every row of `data`.
-    pub fn transform(&self, data: &Matrix) -> Matrix {
+    pub fn transform<'a>(&self, data: impl Into<DatasetView<'a>>) -> Matrix {
+        let data = data.into();
         assert_eq!(data.cols(), self.mean.len(), "standardizer dimension mismatch");
-        let mut out = data.clone();
+        let mut out = data.to_matrix();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             for (j, v) in row.iter_mut().enumerate() {
@@ -72,7 +71,8 @@ impl RandomProjection {
     }
 
     /// Projects every row of `data`.
-    pub fn transform(&self, data: &Matrix) -> Matrix {
+    pub fn transform<'a>(&self, data: impl Into<DatasetView<'a>>) -> Matrix {
+        let data = data.into();
         assert_eq!(data.cols(), self.map.rows(), "random projection dimension mismatch");
         data.matmul(&self.map)
     }
@@ -119,7 +119,8 @@ mod tests {
     #[test]
     fn standardizer_zero_mean_unit_variance() {
         let mut r = rng::seeded(1);
-        let data = Matrix::from_fn(500, 3, |_, c| (rng::normal_with(&mut r, c as f64 * 5.0, (c + 1) as f64)) as f32);
+        let data =
+            Matrix::from_fn(500, 3, |_, c| (rng::normal_with(&mut r, c as f64 * 5.0, (c + 1) as f64)) as f32);
         let s = Standardizer::fit(&data);
         let t = s.transform(&data);
         let means = t.column_means();

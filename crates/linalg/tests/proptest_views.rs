@@ -1,0 +1,116 @@
+//! Property-based tests for the zero-copy dataset views: arbitrary splits,
+//! prefixes and batchings must tile the underlying data exactly, without
+//! copying, and labelled views must keep features and labels aligned.
+
+#![allow(clippy::needless_range_loop)] // index-driven assertions over parallel arrays
+
+use proptest::prelude::*;
+use snoopy_linalg::{DatasetView, LabeledView, Matrix};
+
+fn labeled_data(rows: usize, cols: usize) -> impl Strategy<Value = (Matrix, Vec<u32>)> {
+    (prop::collection::vec(-50.0f32..50.0, rows * cols), prop::collection::vec(0u32..5, rows))
+        .prop_map(move |(data, labels)| (Matrix::from_vec(rows, cols, data), labels))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// split_at partitions the rows exactly, zero-copy.
+    #[test]
+    fn split_partitions_rows((m, _) in labeled_data(12, 5), mid in 0usize..=12) {
+        let v = m.view();
+        let (a, b) = v.split_at(mid);
+        prop_assert_eq!(a.rows(), mid);
+        prop_assert_eq!(b.rows(), 12 - mid);
+        for r in 0..a.rows() {
+            prop_assert_eq!(a.row(r), m.row(r));
+        }
+        for r in 0..b.rows() {
+            prop_assert_eq!(b.row(r), m.row(mid + r));
+        }
+        // Zero-copy: both halves point into the parent buffer.
+        if a.rows() > 0 {
+            prop_assert_eq!(a.data().as_ptr(), m.data().as_ptr());
+        }
+        if b.rows() > 0 {
+            prop_assert_eq!(b.data().as_ptr(), m.row(mid).as_ptr());
+        }
+    }
+
+    /// Batches tile the view: concatenating them in order recovers every row
+    /// exactly once, every batch but the last is full, and none is empty.
+    #[test]
+    fn batches_tile_the_view((m, _) in labeled_data(17, 3), batch in 1usize..25) {
+        let v = m.view();
+        let batches: Vec<DatasetView<'_>> = v.batches(batch).collect();
+        prop_assert_eq!(batches.len(), 17usize.div_ceil(batch));
+        let mut covered = 0usize;
+        for (i, b) in batches.iter().enumerate() {
+            prop_assert!(b.rows() > 0);
+            if i + 1 < batches.len() {
+                prop_assert_eq!(b.rows(), batch);
+            }
+            for r in 0..b.rows() {
+                prop_assert_eq!(b.row(r), m.row(covered + r));
+            }
+            covered += b.rows();
+        }
+        prop_assert_eq!(covered, 17);
+    }
+
+    /// Nested slicing composes: slicing a slice addresses the same rows as
+    /// slicing the parent directly.
+    #[test]
+    fn nested_slices_compose(
+        (m, _) in labeled_data(20, 4),
+        start in 0usize..10,
+        len in 0usize..10,
+        inner in 0usize..10,
+    ) {
+        let outer = m.view().slice_rows(start, start + len);
+        let inner_start = inner.min(len);
+        let nested = outer.slice_rows(inner_start, len);
+        for r in 0..nested.rows() {
+            prop_assert_eq!(nested.row(r), m.row(start + inner_start + r));
+        }
+    }
+
+    /// Labelled views keep features and labels aligned through slice, prefix
+    /// and batch operations, and preserve the class count.
+    #[test]
+    fn labeled_views_stay_aligned((m, y) in labeled_data(15, 4), mid in 0usize..=15, batch in 1usize..8) {
+        let v = LabeledView::new(&m, &y).with_classes(5);
+        let (a, b) = v.split_at(mid);
+        prop_assert_eq!(a.len() + b.len(), 15);
+        prop_assert_eq!(a.num_classes(), 5);
+        for i in 0..a.len() {
+            prop_assert_eq!(a.label(i), y[i]);
+            prop_assert_eq!(a.features().row(i), m.row(i));
+        }
+        for i in 0..b.len() {
+            prop_assert_eq!(b.label(i), y[mid + i]);
+            prop_assert_eq!(b.features().row(i), m.row(mid + i));
+        }
+        let mut covered = 0usize;
+        for chunk in v.batches(batch) {
+            prop_assert_eq!(chunk.len(), chunk.features().rows());
+            for i in 0..chunk.len() {
+                prop_assert_eq!(chunk.label(i), y[covered + i]);
+            }
+            covered += chunk.len();
+        }
+        prop_assert_eq!(covered, 15);
+        let p = v.prefix(mid);
+        prop_assert_eq!(p.len(), mid);
+        prop_assert_eq!(p.labels(), &y[..mid]);
+    }
+
+    /// Materialisation round-trips: to_matrix() of a slice equals the
+    /// copying slice_rows() on the matrix itself.
+    #[test]
+    fn to_matrix_round_trips((m, _) in labeled_data(10, 6), start in 0usize..5, end in 5usize..=10) {
+        let view_slice = m.view().slice_rows(start, end).to_matrix();
+        let matrix_slice = m.slice_rows(start, end);
+        prop_assert_eq!(view_slice, matrix_slice);
+    }
+}

@@ -106,8 +106,8 @@ impl AutoMlSearch {
         while trials < self.config.max_trials && simulated < self.config.time_budget_seconds {
             let candidate = match r.gen_range(0..3) {
                 0 => Candidate::LogReg { grid_index: r.gen_range(0..grid.len()) },
-                1 => Candidate::Knn { k: *[1usize, 3, 5, 9, 15].get(r.gen_range(0..5)).unwrap() },
-                _ => Candidate::Mlp { hidden: *[32usize, 64, 128].get(r.gen_range(0..3)).unwrap() },
+                1 => Candidate::Knn { k: *[1usize, 3, 5, 9, 15].get(r.gen_range(0..5usize)).unwrap() },
+                _ => Candidate::Mlp { hidden: *[32usize, 64, 128].get(r.gen_range(0..3usize)).unwrap() },
             };
             let (error, cost, description) = match candidate {
                 Candidate::LogReg { grid_index } => {
@@ -120,13 +120,12 @@ impl AutoMlSearch {
                     )
                 }
                 Candidate::Knn { k } => {
-                    let index = BruteForceIndex::new(
-                        train_x.clone(),
-                        train_y.to_vec(),
-                        num_classes,
-                        Metric::SquaredEuclidean,
-                    );
-                    (index.knn_error(test_x, test_y, k), KNN_SECONDS_PER_SAMPLE * n as f64, format!("knn(k={k})"))
+                    let index = BruteForceIndex::new(train_x, train_y, num_classes, Metric::SquaredEuclidean);
+                    (
+                        index.knn_error(test_x, test_y, k),
+                        KNN_SECONDS_PER_SAMPLE * n as f64,
+                        format!("knn(k={k})"),
+                    )
                 }
                 Candidate::Mlp { hidden } => {
                     let config = MlpConfig {
@@ -136,7 +135,11 @@ impl AutoMlSearch {
                         ..Default::default()
                     };
                     let model = MlpClassifier::fit(train_x, train_y, num_classes, config);
-                    (model.error(test_x, test_y), MLP_SECONDS_PER_SAMPLE * n as f64, format!("mlp(hidden={hidden})"))
+                    (
+                        model.error(test_x, test_y),
+                        MLP_SECONDS_PER_SAMPLE * n as f64,
+                        format!("mlp(hidden={hidden})"),
+                    )
                 }
             };
             trials += 1;
@@ -159,7 +162,8 @@ mod tests {
     #[test]
     fn automl_beats_chance_on_an_easy_task() {
         let task = load_clean("mnist", SizeScale::Tiny, 1);
-        let search = AutoMlSearch::new(AutoMlConfig { time_budget_seconds: 1e9, max_trials: 4, epochs: 8, seed: 3 });
+        let search =
+            AutoMlSearch::new(AutoMlConfig { time_budget_seconds: 1e9, max_trials: 4, epochs: 8, seed: 3 });
         let outcome = search.run(
             &task.train.features,
             &task.train.labels,
@@ -196,10 +200,24 @@ mod tests {
     #[test]
     fn longer_budgets_do_not_hurt() {
         let task = load_clean("mnist", SizeScale::Tiny, 7);
-        let short = AutoMlSearch::new(AutoMlConfig { time_budget_seconds: 1e9, max_trials: 2, epochs: 6, seed: 11 })
-            .run(&task.train.features, &task.train.labels, &task.test.features, &task.test.labels, task.num_classes);
-        let long = AutoMlSearch::new(AutoMlConfig { time_budget_seconds: 1e9, max_trials: 8, epochs: 6, seed: 11 })
-            .run(&task.train.features, &task.train.labels, &task.test.features, &task.test.labels, task.num_classes);
+        let short =
+            AutoMlSearch::new(AutoMlConfig { time_budget_seconds: 1e9, max_trials: 2, epochs: 6, seed: 11 })
+                .run(
+                    &task.train.features,
+                    &task.train.labels,
+                    &task.test.features,
+                    &task.test.labels,
+                    task.num_classes,
+                );
+        let long =
+            AutoMlSearch::new(AutoMlConfig { time_budget_seconds: 1e9, max_trials: 8, epochs: 6, seed: 11 })
+                .run(
+                    &task.train.features,
+                    &task.train.labels,
+                    &task.test.features,
+                    &task.test.labels,
+                    task.num_classes,
+                );
         assert!(long.best_error <= short.best_error + 1e-12);
         assert!(long.simulated_seconds >= short.simulated_seconds);
     }

@@ -54,9 +54,11 @@ pub struct FineTuneOutcome {
 }
 
 impl FineTuneBaseline {
-    /// A faster configuration for tests and small-scale experiments.
+    /// A faster configuration for tests and small-scale experiments. Like the
+    /// paper's BERT fine-tuning it tries three learning rates and keeps the
+    /// best: the hottest rate alone can diverge on some replicas.
     pub fn quick(seed: u64) -> Self {
-        Self { hidden: 48, epochs: 15, configurations: 1, seed }
+        Self { hidden: 48, epochs: 15, configurations: 3, seed }
     }
 
     /// Runs the expensive training on the task's current (observed) labels.
@@ -71,7 +73,8 @@ impl FineTuneBaseline {
                 seed: self.seed.wrapping_add(i as u64),
                 ..Default::default()
             };
-            let model = MlpClassifier::fit(&task.train.features, &task.train.labels, task.num_classes, config);
+            let model =
+                MlpClassifier::fit(&task.train.features, &task.train.labels, task.num_classes, config);
             let error = model.error(&task.test.features, &task.test.labels);
             best_error = best_error.min(error);
         }

@@ -210,10 +210,7 @@ mod tests {
         for _ in 0..n {
             let c = r.gen_range(0..2u32);
             let offset = if c == 0 { -2.0 } else { 2.0 };
-            rows.push(vec![
-                (rng::normal(&mut r) * 0.5 + offset) as f32,
-                (rng::normal(&mut r) * 0.5) as f32,
-            ]);
+            rows.push(vec![(rng::normal(&mut r) * 0.5 + offset) as f32, (rng::normal(&mut r) * 0.5) as f32]);
             labels.push(c);
         }
         (Matrix::from_rows(&rows), labels)
@@ -244,11 +241,15 @@ mod tests {
         let mut r = rng::seeded(5);
         for i in 0..450 {
             let c = (i % 3) as u32;
-            rows.push(vec![(c as f64 * 4.0 + rng::normal(&mut r) * 0.4) as f32, rng::normal(&mut r) as f32 * 0.3]);
+            rows.push(vec![
+                (c as f64 * 4.0 + rng::normal(&mut r) * 0.4) as f32,
+                rng::normal(&mut r) as f32 * 0.3,
+            ]);
             labels.push(c);
         }
         let x = Matrix::from_rows(&rows);
-        let model = LogisticRegression::fit(&x, &labels, 3, LogRegConfig { epochs: 15, ..Default::default() });
+        let model =
+            LogisticRegression::fit(&x, &labels, 3, LogRegConfig { epochs: 15, ..Default::default() });
         assert!(model.error(&x, &labels) < 0.05);
     }
 
@@ -256,7 +257,9 @@ mod tests {
     fn paper_grid_has_nine_configurations() {
         let grid = paper_grid(20, 7);
         assert_eq!(grid.len(), 9);
-        assert!(grid.iter().all(|c| c.batch_size == 64 && (c.momentum - 0.9).abs() < 1e-12 && c.epochs == 20));
+        assert!(grid
+            .iter()
+            .all(|c| c.batch_size == 64 && (c.momentum - 0.9).abs() < 1e-12 && c.epochs == 20));
         let lrs: Vec<f64> = grid.iter().map(|c| c.learning_rate).collect();
         assert!(lrs.contains(&0.001) && lrs.contains(&0.1));
     }
@@ -273,7 +276,8 @@ mod tests {
     #[test]
     fn l2_regularisation_shrinks_weights() {
         let (x, y) = separable(200, 12);
-        let free = LogisticRegression::fit(&x, &y, 2, LogRegConfig { l2: 0.0, epochs: 10, ..Default::default() });
+        let free =
+            LogisticRegression::fit(&x, &y, 2, LogRegConfig { l2: 0.0, epochs: 10, ..Default::default() });
         let constrained =
             LogisticRegression::fit(&x, &y, 2, LogRegConfig { l2: 0.05, epochs: 10, ..Default::default() });
         assert!(constrained.weights.frobenius_norm() < free.weights.frobenius_norm());

@@ -41,11 +41,8 @@ fn main() {
     // Figure 6-style view: the penalty of fixing a single transformation.
     let exhaustive = &reports[0];
     println!("\nimpact of fixing a single transformation (vs. the minimum {:.4}):", exhaustive.ber_estimate);
-    let mut rows: Vec<(&str, f64)> = exhaustive
-        .per_transformation
-        .iter()
-        .map(|r| (r.name.as_str(), r.ber_estimate))
-        .collect();
+    let mut rows: Vec<(&str, f64)> =
+        exhaustive.per_transformation.iter().map(|r| (r.name.as_str(), r.ber_estimate)).collect();
     rows.sort_by(|a, b| a.1.total_cmp(&b.1));
     for (name, estimate) in rows.iter().take(6) {
         println!("  {:<28} {:>8.4}  (gap {:+.4})", name, estimate, estimate - exhaustive.ber_estimate);

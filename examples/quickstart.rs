@@ -42,7 +42,11 @@ fn main() {
         println!("---------------------------------------------");
         println!("target accuracy    : {:.2}", target);
         println!("decision           : {}", report.decision.name());
-        println!("BER estimate       : {:.4} (min over {} transformations)", report.ber_estimate, report.per_transformation.len());
+        println!(
+            "BER estimate       : {:.4} (min over {} transformations)",
+            report.ber_estimate,
+            report.per_transformation.len()
+        );
         println!("projected accuracy : {:.4}", report.projected_accuracy);
         println!("gap to target      : {:+.4}", report.gap);
         println!("best transformation: {}", report.best_transformation);

@@ -129,7 +129,13 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("dataset            : {} ({} classes, {} train / {} test)", task.name, task.num_classes, task.train.len(), task.test.len());
+    println!(
+        "dataset            : {} ({} classes, {} train / {} test)",
+        task.name,
+        task.num_classes,
+        task.train.len(),
+        task.test.len()
+    );
     println!("noise model        : {}", args.noise.describe());
     println!("observed noise rate: {:.3}", task.observed_noise_rate());
     if let Some(ber) = task.meta.true_ber {
@@ -137,9 +143,8 @@ fn main() -> ExitCode {
     }
 
     let zoo = zoo_for_task(&task, args.seed);
-    let config = SnoopyConfig::with_target(args.target)
-        .strategy(args.strategy)
-        .batch_fraction(args.batch_fraction);
+    let config =
+        SnoopyConfig::with_target(args.target).strategy(args.strategy).batch_fraction(args.batch_fraction);
     let report = FeasibilityStudy::new(config).run(&task, &zoo);
 
     println!("\n=== Snoopy verdict ===");

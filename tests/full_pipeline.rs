@@ -11,9 +11,7 @@ use snoopy::prelude::*;
 
 fn study(target: f64) -> FeasibilityStudy {
     FeasibilityStudy::new(
-        SnoopyConfig::with_target(target)
-            .strategy(SelectionStrategy::Exhaustive)
-            .batch_fraction(0.25),
+        SnoopyConfig::with_target(target).strategy(SelectionStrategy::Exhaustive).batch_fraction(0.25),
     )
 }
 
@@ -108,12 +106,19 @@ fn class_dependent_noise_stays_within_theorem31_bounds() {
 
     let zoo = zoo_for_task(&noisy, 23);
     let report = study(0.9).run(&noisy, &zoo);
-    let (lo, hi) =
-        snoopy::data::noise::ber_bounds_class_dependent(noisy.meta.sota_error, &aggre.matrix);
+    let (lo, hi) = snoopy::data::noise::ber_bounds_class_dependent(noisy.meta.sota_error, &aggre.matrix);
     // The estimate is a lower-bound-style quantity; it must not exceed the
     // theoretical upper bound, and should not sit wildly below the lower one.
-    assert!(report.ber_estimate <= hi + 0.05, "estimate {:.3} above upper bound {hi:.3}", report.ber_estimate);
-    assert!(report.ber_estimate >= lo - 0.05, "estimate {:.3} below lower bound {lo:.3}", report.ber_estimate);
+    assert!(
+        report.ber_estimate <= hi + 0.05,
+        "estimate {:.3} above upper bound {hi:.3}",
+        report.ber_estimate
+    );
+    assert!(
+        report.ber_estimate >= lo - 0.05,
+        "estimate {:.3} below lower bound {lo:.3}",
+        report.ber_estimate
+    );
 }
 
 #[test]
