@@ -1,13 +1,16 @@
-//! Emits `BENCH_knn.json`: queries/second of the 1NN kernel, serial vs
-//! chunk-parallel, across a few training-set sizes. This is the workspace's
-//! perf-trajectory anchor — run it before and after touching the engine.
+//! Emits `BENCH_knn.json`: queries/second of the kNN kernels — 1NN serial vs
+//! chunk-parallel, top-k (k = 1 vs k = 10) parallel vs the serial reference,
+//! and the leave-one-out error (parallel self-excluding kernel vs a
+//! forced-serial engine) — across a few training-set sizes. This is the
+//! workspace's perf-trajectory anchor — run it before and after touching the
+//! engine.
 //!
 //! ```text
 //! cargo run --release -p snoopy-bench --bin bench_knn_json [--scale tiny|small|standard]
 //! ```
 
-use snoopy_knn::engine::{nearest_reference, EvalEngine};
-use snoopy_knn::Metric;
+use snoopy_knn::engine::{knn_reference, nearest_reference, EvalEngine};
+use snoopy_knn::{BruteForceIndex, Metric};
 use snoopy_linalg::{rng, Matrix};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -37,6 +40,19 @@ struct Case {
     parallel_qps: f64,
 }
 
+struct TopKCase {
+    train_n: usize,
+    k: usize,
+    serial_qps: f64,
+    parallel_qps: f64,
+}
+
+struct LooCase {
+    train_n: usize,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
 fn main() {
     let scale = snoopy_bench::scale_from_args();
     let (sizes, queries, dim, reps): (&[usize], usize, usize, usize) = match scale {
@@ -48,6 +64,8 @@ fn main() {
     let threads = EvalEngine::parallel().threads();
     let query_x = make_data(queries, dim, 1);
     let mut cases = Vec::new();
+    let mut topk_cases = Vec::new();
+    let mut loo_cases = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
         let train_x = make_data(n, dim, 2 + i as u64);
         for metric in [Metric::SquaredEuclidean, Metric::Cosine] {
@@ -84,10 +102,86 @@ fn main() {
             );
             cases.push(case);
         }
+
+        // Top-k kernel, squared Euclidean (the estimator pipeline's metric):
+        // parity is asserted against the sort-based ground truth, but the
+        // timed serial baseline is the same kernel on a one-thread engine —
+        // a fair comparison that isolates parallelism.
+        let serial = EvalEngine::serial();
+        let parallel = EvalEngine::parallel();
+        for k in [1usize, 10] {
+            assert_eq!(
+                parallel.topk(train_x.view(), query_x.view(), Metric::SquaredEuclidean, k),
+                knn_reference(train_x.view(), query_x.view(), Metric::SquaredEuclidean, k),
+                "parallel top-k must be bit-identical to the serial reference"
+            );
+            let t_serial = time_median(reps, || {
+                std::hint::black_box(serial.topk(
+                    train_x.view(),
+                    query_x.view(),
+                    Metric::SquaredEuclidean,
+                    k,
+                ));
+            });
+            let t_parallel = time_median(reps, || {
+                std::hint::black_box(parallel.topk(
+                    train_x.view(),
+                    query_x.view(),
+                    Metric::SquaredEuclidean,
+                    k,
+                ));
+            });
+            let case = TopKCase {
+                train_n: n,
+                k,
+                serial_qps: queries as f64 / t_serial,
+                parallel_qps: queries as f64 / t_parallel,
+            };
+            println!(
+                "n={:>6} d={} top-{:<2} {:<7} serial {:>10.0} q/s   parallel({} threads) {:>10.0} q/s   speedup {:.2}x",
+                case.train_n,
+                dim,
+                k,
+                "sq-euc",
+                case.serial_qps,
+                threads,
+                case.parallel_qps,
+                case.parallel_qps / case.serial_qps,
+            );
+            topk_cases.push(case);
+        }
+
+        // Leave-one-out 1NN error over the training set itself: the parallel
+        // self-excluding kernel vs the same kernel on a one-thread engine.
+        let labels: Vec<u32> = (0..n).map(|j| (j % 10) as u32).collect();
+        let index = BruteForceIndex::new(&train_x, &labels, 10, Metric::SquaredEuclidean);
+        let serial_index = index.clone().with_engine(EvalEngine::serial());
+        assert_eq!(
+            index.leave_one_out_error().to_bits(),
+            serial_index.leave_one_out_error().to_bits(),
+            "parallel LOO must match the serial engine"
+        );
+        let loo_reps = reps.min(3);
+        let t_serial = time_median(loo_reps, || {
+            std::hint::black_box(serial_index.leave_one_out_error());
+        });
+        let t_parallel = time_median(loo_reps, || {
+            std::hint::black_box(index.leave_one_out_error());
+        });
+        println!(
+            "n={:>6} d={} leave-one-out     serial {:>9.4} s     parallel({} threads) {:>9.4} s     speedup {:.2}x",
+            n,
+            dim,
+            t_serial,
+            threads,
+            t_parallel,
+            t_serial / t_parallel,
+        );
+        loo_cases.push(LooCase { train_n: n, serial_s: t_serial, parallel_s: t_parallel });
     }
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"benchmark\": \"1nn_kernel\",");
+    let _ = writeln!(json, "  \"benchmark\": \"knn_kernels\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     if threads == 1 {
         // Make single-core snapshots self-describing: the parallel path
@@ -110,6 +204,33 @@ fn main() {
             c.serial_qps,
             c.parallel_qps,
             c.parallel_qps / c.serial_qps,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"topk_cases\": [");
+    for (i, c) in topk_cases.iter().enumerate() {
+        let comma = if i + 1 < topk_cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"train_n\": {}, \"dim\": {dim}, \"k\": {}, \"metric\": \"sq-euclidean\", \"serial_qps\": {:.1}, \"parallel_qps\": {:.1}, \"speedup\": {:.3}}}{comma}",
+            c.train_n,
+            c.k,
+            c.serial_qps,
+            c.parallel_qps,
+            c.parallel_qps / c.serial_qps,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"leave_one_out\": [");
+    for (i, c) in loo_cases.iter().enumerate() {
+        let comma = if i + 1 < loo_cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"train_n\": {}, \"dim\": {dim}, \"metric\": \"sq-euclidean\", \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}}}{comma}",
+            c.train_n,
+            c.serial_s,
+            c.parallel_s,
+            c.serial_s / c.parallel_s,
         );
     }
     let _ = writeln!(json, "  ]");

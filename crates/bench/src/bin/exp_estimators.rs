@@ -6,7 +6,9 @@
 use snoopy_bench::{f4, ResultsTable};
 use snoopy_data::gaussian::{GaussianMixture, GaussianMixtureSpec};
 use snoopy_data::noise::{ber_after_uniform_noise, TransitionMatrix};
-use snoopy_estimators::{default_estimators, LabeledView};
+use snoopy_estimators::{
+    default_estimators, estimate_all_with_table, shared_neighbor_table, shared_table_k, LabeledView,
+};
 use snoopy_linalg::projection::random_orthonormal_map;
 use snoopy_linalg::{rng, Matrix};
 
@@ -47,28 +49,36 @@ fn main() {
     let noise_levels = [0.0f64, 0.2, 0.4, 0.6, 0.8];
     let mut noise_rng = rng::seeded(20);
 
+    let k_max = shared_table_k(&estimators);
+
     for (repr, train_x, test_x) in
         [("latent-d12", &train_lat, &test_lat), ("raw-d200", &train_raw, &test_raw)]
     {
+        // Neighbours depend only on features, so one top-k_max table per
+        // (transformation, split) serves every noise level and every
+        // kNN-family estimator (each consumes a prefix of it).
+        let neighbors = shared_neighbor_table(train_x.view(), test_x.view(), k_max);
         let mut mae = vec![0.0f64; estimators.len()];
         for &rho in &noise_levels {
             let t = TransitionMatrix::uniform(num_classes, rho);
             let noisy_train = t.apply(&train_y, &mut noise_rng);
             let noisy_test = t.apply(&test_y, &mut noise_rng);
             let truth = ber_after_uniform_noise(clean_ber, rho, num_classes);
-            for (i, est) in estimators.iter().enumerate() {
-                let value = est.estimate(
-                    &LabeledView::new(train_x, &noisy_train),
-                    &LabeledView::new(test_x, &noisy_test),
-                    num_classes,
-                );
+            let values = estimate_all_with_table(
+                &estimators,
+                &neighbors,
+                &LabeledView::new(train_x, &noisy_train),
+                &LabeledView::new(test_x, &noisy_test),
+                num_classes,
+            );
+            for (i, (est, value)) in estimators.iter().zip(&values).enumerate() {
                 mae[i] += (value - truth).abs() / noise_levels.len() as f64;
                 table.push(vec![
                     repr.into(),
                     f4(rho),
                     f4(truth),
                     est.name().into(),
-                    f4(value),
+                    f4(*value),
                     f4((value - truth).abs()),
                 ]);
             }

@@ -13,7 +13,7 @@
 //! free.
 
 use crate::{BerEstimator, LabeledView};
-use snoopy_knn::{BruteForceIndex, Metric};
+use snoopy_knn::{EvalEngine, Metric, NeighborTable};
 
 /// Applies the Cover–Hart lower bound to a (finite-sample) 1NN error value.
 ///
@@ -56,18 +56,21 @@ impl OneNnEstimator {
         Self { metric }
     }
 
-    /// The raw (uncorrected) 1NN error of `train` evaluated on `eval`.
-    /// Both views are consumed zero-copy.
+    /// The raw (uncorrected) 1NN error of `train` evaluated on `eval`,
+    /// computed by one parallel engine pass. Both views are consumed
+    /// zero-copy.
     pub fn raw_one_nn_error(
         &self,
         train: &LabeledView<'_>,
         eval: &LabeledView<'_>,
-        num_classes: usize,
+        _num_classes: usize,
     ) -> f64 {
         if train.is_empty() || eval.is_empty() {
             return 1.0;
         }
-        BruteForceIndex::from_view(train.with_classes(num_classes), self.metric).one_nn_error_view(*eval)
+        EvalEngine::parallel()
+            .topk(train.features(), eval.features(), self.metric, 1)
+            .one_nn_error(train.labels(), eval.labels())
     }
 }
 
@@ -79,6 +82,31 @@ impl BerEstimator for OneNnEstimator {
     fn estimate(&self, train: &LabeledView<'_>, eval: &LabeledView<'_>, num_classes: usize) -> f64 {
         let err = self.raw_one_nn_error(train, eval, num_classes);
         cover_hart_lower_bound(err, num_classes)
+    }
+
+    fn table_k(&self) -> usize {
+        // Only the exact shared metric may read the table: Euclidean ranks
+        // like squared Euclidean in real arithmetic, but f32 sqrt can
+        // collapse two distinct squared distances into an exact tie and
+        // flip the lowest-index tie-break, breaking the documented
+        // estimate == estimate_with_table parity.
+        match self.metric {
+            Metric::SquaredEuclidean => 1,
+            Metric::Euclidean | Metric::Cosine => 0,
+        }
+    }
+
+    fn estimate_with_table(
+        &self,
+        table: &NeighborTable,
+        train: &LabeledView<'_>,
+        eval: &LabeledView<'_>,
+        num_classes: usize,
+    ) -> f64 {
+        if train.is_empty() || eval.is_empty() {
+            return cover_hart_lower_bound(1.0, num_classes);
+        }
+        cover_hart_lower_bound(table.one_nn_error(train.labels(), eval.labels()), num_classes)
     }
 }
 

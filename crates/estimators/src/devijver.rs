@@ -8,7 +8,7 @@
 //! paper compares against.
 
 use crate::{BerEstimator, LabeledView};
-use snoopy_knn::{BruteForceIndex, Metric};
+use snoopy_knn::{EvalEngine, Metric, NeighborTable};
 
 /// kNN posterior plug-in estimator.
 #[derive(Debug, Clone)]
@@ -33,6 +33,25 @@ impl KnnPosteriorEstimator {
     pub fn k(&self) -> usize {
         self.k
     }
+
+    /// The plug-in Bayes-risk average `E[1 − max_y p̂(y|x)]` read off a
+    /// neighbour table: the posterior at each eval point is the class
+    /// frequency among the first `min(k, table.k())` stored neighbours.
+    fn posterior_risk(&self, table: &NeighborTable, train_labels: &[u32], num_classes: usize) -> f64 {
+        let k = self.k.min(table.k()).max(1);
+        let mut counts = vec![0usize; num_classes];
+        let mut acc = 0.0f64;
+        for q in 0..table.num_queries() {
+            counts.iter_mut().for_each(|c| *c = 0);
+            let neighbors = table.neighbors_k(q, k);
+            for hit in neighbors {
+                counts[train_labels[hit.index] as usize] += 1;
+            }
+            let max_frac = counts.iter().copied().max().unwrap_or(0) as f64 / neighbors.len() as f64;
+            acc += 1.0 - max_frac;
+        }
+        acc / table.num_queries() as f64
+    }
 }
 
 impl BerEstimator for KnnPosteriorEstimator {
@@ -44,19 +63,38 @@ impl BerEstimator for KnnPosteriorEstimator {
         if train.is_empty() || eval.is_empty() {
             return 1.0 - 1.0 / num_classes as f64;
         }
-        let k = self.k.min(train.len());
-        let index = BruteForceIndex::from_view(train.with_classes(num_classes), self.metric);
-        let mut acc = 0.0f64;
-        for i in 0..eval.len() {
-            let neighbors = index.query_knn(eval.features().row(i), k);
-            let mut counts = vec![0usize; num_classes];
-            for n in &neighbors {
-                counts[n.label as usize] += 1;
-            }
-            let max_frac = counts.iter().copied().max().unwrap_or(0) as f64 / neighbors.len() as f64;
-            acc += 1.0 - max_frac;
+        let table = EvalEngine::parallel().topk(
+            train.features(),
+            eval.features(),
+            self.metric,
+            self.k.min(train.len()),
+        );
+        self.posterior_risk(&table, train.labels(), num_classes)
+    }
+
+    fn table_k(&self) -> usize {
+        // Only the exact shared metric may read the table: Euclidean ranks
+        // like squared Euclidean in real arithmetic, but f32 sqrt can
+        // collapse two distinct squared distances into an exact tie and
+        // flip the lowest-index tie-break, breaking the documented
+        // estimate == estimate_with_table parity.
+        match self.metric {
+            Metric::SquaredEuclidean => self.k,
+            Metric::Euclidean | Metric::Cosine => 0,
         }
-        acc / eval.len() as f64
+    }
+
+    fn estimate_with_table(
+        &self,
+        table: &NeighborTable,
+        train: &LabeledView<'_>,
+        eval: &LabeledView<'_>,
+        num_classes: usize,
+    ) -> f64 {
+        if train.is_empty() || eval.is_empty() {
+            return 1.0 - 1.0 / num_classes as f64;
+        }
+        self.posterior_risk(table, train.labels(), num_classes)
     }
 }
 

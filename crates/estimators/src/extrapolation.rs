@@ -19,6 +19,14 @@
 
 use snoopy_linalg::stats;
 
+/// Cap on the fitted `ln(n)` beyond which [`LogLinearFit::samples_to_reach`]
+/// refuses to extrapolate: `e^27.6 ≈ 9.7 × 10^11`, i.e. roughly a trillion
+/// samples. Past that point the answer is "not by adding data" — the
+/// log-linear form of Eq. 10 converges to zero eventually, so sufficiently
+/// large `n` makes *any* target look reachable, and such extrapolations are
+/// artefacts rather than guidance (the paper's Fig. 7/8 discussion).
+pub const MAX_EXTRAPOLATION_LN_N: f64 = 27.6;
+
 /// Log-linear fit of a convergence curve (Eq. 10).
 #[derive(Debug, Clone)]
 pub struct LogLinearFit {
@@ -57,8 +65,8 @@ impl LogLinearFit {
 
     /// Number of training samples needed for the predicted error to drop to
     /// `target_error`. Returns `None` when the fitted curve is flat or
-    /// increasing (`α ≤ 0`), or the target is already met at the observed
-    /// size.
+    /// increasing (`α ≤ 0`), the target is already met at the observed
+    /// size, or the required size exceeds [`MAX_EXTRAPOLATION_LN_N`].
     pub fn samples_to_reach(&self, target_error: f64) -> Option<usize> {
         if self.alpha <= 1e-9 {
             return None;
@@ -68,10 +76,7 @@ impl LogLinearFit {
             return Some(self.max_observed_n);
         }
         let ln_n = (self.intercept - target.ln()) / self.alpha;
-        // Beyond ~1e12 samples the answer is "not by adding data": the
-        // log-linear form converges to zero eventually, so huge extrapolations
-        // are artefacts rather than guidance (Fig. 7/8 discussion).
-        if !ln_n.is_finite() || ln_n > 27.6 {
+        if !ln_n.is_finite() || ln_n > MAX_EXTRAPOLATION_LN_N {
             return None;
         }
         Some(ln_n.exp().ceil() as usize)
@@ -136,6 +141,14 @@ impl PowerLawFit {
 /// "kNN-Extrapolation" family of Section II; the paper (and FeeBee) note that
 /// the number of samples needed for a reliable fit grows exponentially with
 /// the dimension, which is why it is a baseline rather than Snoopy's choice.
+///
+/// The whole ladder costs **one** streamed pass of the parallel engine over
+/// the full training set: the prefixes are nested, so feeding the rows
+/// rung-by-rung and reading the running 1NN error at each rung is
+/// bit-identical to recomputing each prefix cold. When a shared
+/// [`NeighborTable`](crate::NeighborTable) is available, the final rung (the
+/// full training set) is read from it instead, roughly halving the streamed
+/// distance work.
 #[derive(Debug, Clone)]
 pub struct KnnExtrapolationEstimator {
     /// Number of prefix sizes evaluated (log-spaced up to the full set).
@@ -145,6 +158,73 @@ pub struct KnnExtrapolationEstimator {
 impl Default for KnnExtrapolationEstimator {
     fn default() -> Self {
         Self { ladder_steps: 5 }
+    }
+}
+
+impl KnnExtrapolationEstimator {
+    /// The log-spaced ladder of prefix sizes: strictly increasing, between
+    /// `~n / 2^(steps−1)` and `n` inclusive.
+    fn ladder(&self, n: usize) -> Vec<usize> {
+        let steps = self.ladder_steps.max(2);
+        let mut sizes = Vec::with_capacity(steps);
+        for s in 1..=steps {
+            let size = ((n as f64) / 2f64.powi((steps - s) as i32)).round() as usize;
+            let size = size.clamp(2, n);
+            if sizes.last() != Some(&size) {
+                sizes.push(size);
+            }
+        }
+        sizes
+    }
+
+    /// The `(prefix size, 1NN eval error)` convergence curve, streamed
+    /// through the engine in a single pass over the training rows.
+    /// `final_from_table` supplies the last rung from a precomputed
+    /// (train → eval) neighbour table.
+    fn convergence_curve(
+        &self,
+        train: &crate::LabeledView<'_>,
+        eval: &crate::LabeledView<'_>,
+        final_from_table: Option<&crate::NeighborTable>,
+    ) -> Vec<(usize, f64)> {
+        use snoopy_knn::NearestHit;
+        let engine = crate::EvalEngine::parallel();
+        let sizes = self.ladder(train.len());
+        let mut best = vec![NearestHit::NONE; eval.len()];
+        let mut curve = Vec::with_capacity(sizes.len());
+        let mut consumed = 0usize;
+        for &n in &sizes {
+            if n == train.len() {
+                if let Some(table) = final_from_table {
+                    curve.push((n, table.one_nn_error(train.labels(), eval.labels())));
+                    continue;
+                }
+            }
+            engine.update_nearest(
+                eval.features(),
+                crate::Metric::SquaredEuclidean,
+                None,
+                train.features().slice_rows(consumed, n),
+                None,
+                consumed,
+                &mut best,
+            );
+            consumed = n;
+            let wrong = best.iter().zip(eval.labels()).filter(|&(h, &y)| train.label(h.index) != y).count();
+            curve.push((n, wrong as f64 / eval.len() as f64));
+        }
+        curve
+    }
+
+    /// Fits the power law to the curve and applies the Cover–Hart correction.
+    fn fit_and_correct(curve: &[(usize, f64)], dim: usize, num_classes: usize) -> f64 {
+        use crate::cover_hart::cover_hart_lower_bound;
+        if curve.len() < 2 {
+            let err = curve.first().map(|&(_, e)| e).unwrap_or(1.0);
+            return cover_hart_lower_bound(err, num_classes);
+        }
+        let fit = PowerLawFit::fit(curve, dim.max(1));
+        cover_hart_lower_bound(fit.asymptotic_error(), num_classes)
     }
 }
 
@@ -159,28 +239,29 @@ impl crate::BerEstimator for KnnExtrapolationEstimator {
         eval: &crate::LabeledView<'_>,
         num_classes: usize,
     ) -> f64 {
-        use crate::cover_hart::{cover_hart_lower_bound, OneNnEstimator};
         if train.len() < 4 || eval.is_empty() {
             return 1.0 - 1.0 / num_classes as f64;
         }
-        let one_nn = OneNnEstimator::default();
-        let steps = self.ladder_steps.max(2);
-        let mut curve = Vec::with_capacity(steps);
-        for s in 1..=steps {
-            // Log-spaced prefix sizes between ~train/2^(steps-1) and train.
-            let n = ((train.len() as f64) / 2f64.powi((steps - s) as i32)).round() as usize;
-            let n = n.clamp(2, train.len());
-            let err = one_nn.raw_one_nn_error(&train.prefix(n), eval, num_classes);
-            if curve.last().map(|&(last_n, _)| last_n != n).unwrap_or(true) {
-                curve.push((n, err));
-            }
+        let curve = self.convergence_curve(train, eval, None);
+        Self::fit_and_correct(&curve, eval.dim(), num_classes)
+    }
+
+    fn table_k(&self) -> usize {
+        1
+    }
+
+    fn estimate_with_table(
+        &self,
+        table: &crate::NeighborTable,
+        train: &crate::LabeledView<'_>,
+        eval: &crate::LabeledView<'_>,
+        num_classes: usize,
+    ) -> f64 {
+        if train.len() < 4 || eval.is_empty() {
+            return 1.0 - 1.0 / num_classes as f64;
         }
-        if curve.len() < 2 {
-            let err = curve.first().map(|&(_, e)| e).unwrap_or(1.0);
-            return cover_hart_lower_bound(err, num_classes);
-        }
-        let fit = PowerLawFit::fit(&curve, eval.dim().max(1));
-        cover_hart_lower_bound(fit.asymptotic_error(), num_classes)
+        let curve = self.convergence_curve(train, eval, Some(table));
+        Self::fit_and_correct(&curve, eval.dim(), num_classes)
     }
 }
 

@@ -18,7 +18,15 @@
 //! comparable with the other lower-bound-style estimators in this crate.
 
 use crate::{BerEstimator, LabeledView};
-use snoopy_linalg::Matrix;
+use snoopy_knn::{EvalEngine, Metric, NearestHit};
+use snoopy_linalg::{DatasetView, Matrix};
+
+/// Remaining relaxation work (`frontier points × dims`) above which a Prim
+/// round runs on the parallel engine; below it a single-threaded engine
+/// avoids paying a thread-scope spawn/join (tens of microseconds) for a
+/// round whose distance arithmetic costs less than that. Re-evaluated every
+/// round, because the frontier shrinks as the tree grows.
+const PARALLEL_RELAXATION_MIN_WORK: usize = 1 << 18;
 
 /// GHP/MST-based BER estimator.
 #[derive(Debug, Clone)]
@@ -43,48 +51,89 @@ impl GhpEstimator {
 
     /// Counts cross-label edges in the Euclidean MST of the pooled sample and
     /// returns `(cross_edges, total_points)`.
+    ///
+    /// Prim's algorithm, with each round's distance relaxations expressed as
+    /// one engine update: the out-of-tree frontier is kept row-contiguous
+    /// (swap-remove compaction) so the queries are exactly the remaining
+    /// points — the same `~n²/2` total distance evaluations as the textbook
+    /// serial loop — and the newly added vertex is a one-row training batch
+    /// at its global offset, so the engine's strict-`<` fold leaves every
+    /// frontier point's `(best distance, parent)` pair exactly as the serial
+    /// relaxation would. Vertex selection breaks distance ties on the lowest
+    /// global index, making the tree (and the cross count) independent of
+    /// thread count and compaction order.
     pub fn cross_edge_count(features: &Matrix, labels: &[u32]) -> (usize, usize) {
         let n = labels.len();
         if n < 2 {
             return (0, n);
         }
-        // Prim's algorithm over the dense (implicit) distance matrix.
-        let mut in_tree = vec![false; n];
-        let mut best_dist = vec![f32::INFINITY; n];
-        let mut best_parent = vec![0usize; n];
-        in_tree[0] = true;
+        let d = features.cols();
+        let parallel = EvalEngine::parallel();
+        let serial = EvalEngine::serial();
+        let view = features.view();
+
+        // Contiguous out-of-tree frontier: row `p` of `frontier` is point
+        // `ids[p]`, and `best[p]` its (distance-to-tree, parent) pair.
+        let mut frontier: Vec<f32> = Vec::with_capacity((n - 1) * d);
         for j in 1..n {
-            best_dist[j] = Matrix::row_sq_dist(features.row(0), features.row(j));
-            best_parent[j] = 0;
+            frontier.extend_from_slice(view.row(j));
         }
+        let mut ids: Vec<usize> = (1..n).collect();
+        let mut best = vec![NearestHit::NONE; n - 1];
+        let mut m = n - 1;
+
+        let engine_for = |work: usize| if work >= PARALLEL_RELAXATION_MIN_WORK { parallel } else { serial };
+        engine_for(m * d).update_nearest(
+            DatasetView::from_raw(&frontier, m, d),
+            Metric::SquaredEuclidean,
+            None,
+            view.slice_rows(0, 1),
+            None,
+            0,
+            &mut best,
+        );
         let mut cross = 0usize;
-        for _ in 1..n {
-            // Pick the closest out-of-tree vertex.
-            let mut next = usize::MAX;
-            let mut next_dist = f32::INFINITY;
-            for j in 0..n {
-                if !in_tree[j] && best_dist[j] < next_dist {
-                    next = j;
-                    next_dist = best_dist[j];
+        while m > 0 {
+            // Pick the closest frontier vertex; distance ties resolve to the
+            // lowest global index (the serial scan's first-minimum rule).
+            let mut pos = usize::MAX;
+            for p in 0..m {
+                if best[p].distance < f32::INFINITY
+                    && (pos == usize::MAX
+                        || best[p].distance < best[pos].distance
+                        || (best[p].distance == best[pos].distance && ids[p] < ids[pos]))
+                {
+                    pos = p;
                 }
             }
-            if next == usize::MAX {
+            if pos == usize::MAX {
                 break;
             }
-            in_tree[next] = true;
-            if labels[next] != labels[best_parent[next]] {
+            let next = ids[pos];
+            if labels[next] != labels[best[pos].index] {
                 cross += 1;
             }
-            // Relax distances through the new vertex.
-            for j in 0..n {
-                if !in_tree[j] {
-                    let d = Matrix::row_sq_dist(features.row(next), features.row(j));
-                    if d < best_dist[j] {
-                        best_dist[j] = d;
-                        best_parent[j] = next;
-                    }
-                }
+            // Swap-remove the new tree vertex from the frontier.
+            m -= 1;
+            ids.swap(pos, m);
+            best.swap(pos, m);
+            if pos != m {
+                let (head, tail) = frontier.split_at_mut(m * d);
+                head[pos * d..(pos + 1) * d].copy_from_slice(&tail[..d]);
             }
+            frontier.truncate(m * d);
+            ids.truncate(m);
+            best.truncate(m);
+            // Relax the remaining frontier through the new vertex.
+            engine_for(m * d).update_nearest(
+                DatasetView::from_raw(&frontier, m, d),
+                Metric::SquaredEuclidean,
+                None,
+                view.slice_rows(next, next + 1),
+                None,
+                next,
+                &mut best,
+            );
         }
         (cross, n)
     }

@@ -4,13 +4,19 @@
 //! Class-conditional densities are estimated with isotropic Gaussian kernels
 //! (Scott's-rule bandwidth), the posterior is formed from the density
 //! estimates and the empirical class priors, and the Bayes error is the
-//! average of `1 − max_y p̂(y|x)` over the evaluation points. KDE suffers
-//! badly from the curse of dimensionality — which is precisely why the paper
-//! (and FeeBee) find the 1NN estimator over trained embeddings preferable —
-//! but it remains the canonical density-estimation baseline.
+//! average of `1 − max_y p̂(y|x)` over the evaluation points. The per-class
+//! kernel sums — the estimator's `O(train × eval)` hot loop — run through
+//! the engine's blocked, chunk-parallel
+//! [`class_kernel_log_sums`](snoopy_knn::EvalEngine::class_kernel_log_sums)
+//! accumulation (an online log-sum-exp per (eval point, class)) instead of a
+//! serial per-query scan. KDE suffers badly from the curse of
+//! dimensionality — which is precisely why the paper (and FeeBee) find the
+//! 1NN estimator over trained embeddings preferable — but it remains the
+//! canonical density-estimation baseline.
 
 use crate::{BerEstimator, LabeledView};
-use snoopy_linalg::{stats, Matrix};
+use snoopy_knn::EvalEngine;
+use snoopy_linalg::stats;
 
 /// KDE plug-in estimator.
 #[derive(Debug, Clone)]
@@ -55,29 +61,34 @@ impl BerEstimator for KdeEstimator {
         let h = Self::scott_bandwidth(train.len(), d, sigma) * self.bandwidth_scale;
         let inv_two_h2 = 1.0 / (2.0 * h * h);
 
-        // Group training rows by class.
-        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
-        for (i, &y) in train.labels().iter().enumerate() {
-            per_class[y as usize].push(i);
+        // Per-class sample counts and priors.
+        let mut class_counts = vec![0usize; num_classes];
+        for &y in train.labels() {
+            class_counts[y as usize] += 1;
         }
-        let priors: Vec<f64> = per_class.iter().map(|idx| idx.len() as f64 / train.len() as f64).collect();
+        let priors: Vec<f64> = class_counts.iter().map(|&c| c as f64 / train.len() as f64).collect();
+
+        // All pairwise kernel work in one blocked, chunk-parallel engine
+        // pass: log Σ_j exp(−‖x − x_j‖² / 2h²) per (eval point, class).
+        let kernel_sums = EvalEngine::parallel().class_kernel_log_sums(
+            eval.features(),
+            train.features(),
+            train.labels(),
+            num_classes,
+            inv_two_h2,
+        );
 
         let mut acc = 0.0f64;
-        for i in 0..eval.len() {
-            let x = eval.features().row(i);
-            // Log of class-conditional density (up to a shared constant) via
-            // log-sum-exp over kernel contributions.
-            let mut log_post = vec![f64::NEG_INFINITY; num_classes];
-            for (c, idx) in per_class.iter().enumerate() {
-                if idx.is_empty() {
-                    continue;
-                }
-                let log_kernels: Vec<f64> = idx
-                    .iter()
-                    .map(|&j| -(Matrix::row_sq_dist(x, train.features().row(j)) as f64) * inv_two_h2)
-                    .collect();
-                let log_density = stats::log_sum_exp(&log_kernels) - (idx.len() as f64).ln();
-                log_post[c] = priors[c].max(1e-12).ln() + log_density;
+        let mut log_post = vec![f64::NEG_INFINITY; num_classes];
+        for sums in kernel_sums.chunks_exact(num_classes) {
+            // Log of class-conditional density (up to a shared constant),
+            // then the posterior via softmax against the class priors.
+            for (c, post) in log_post.iter_mut().enumerate() {
+                *post = if class_counts[c] == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    priors[c].max(1e-12).ln() + sums[c] - (class_counts[c] as f64).ln()
+                };
             }
             stats::softmax_inplace(&mut log_post);
             let max_post = log_post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -91,7 +102,7 @@ impl BerEstimator for KdeEstimator {
 mod tests {
     use super::*;
     use rand::Rng;
-    use snoopy_linalg::rng;
+    use snoopy_linalg::{rng, Matrix};
 
     fn gaussian_pair(n: usize, mu: f64, seed: u64) -> (Matrix, Vec<u32>) {
         let mut r = rng::seeded(seed);

@@ -10,6 +10,24 @@
 //! comparison of Section II-A can be reproduced, plus the finite-sample
 //! extrapolation tooling of Section IV-C (Eq. 10).
 //!
+//! ## The `NeighborTable` handshake
+//!
+//! No estimator performs its own per-query distance scans: every distance is
+//! computed by the blocked, chunk-parallel
+//! [`EvalEngine`](snoopy_knn::EvalEngine) in `snoopy-knn`. The kNN-family
+//! estimators consume a query-major [`NeighborTable`] — Cover–Hart reads each
+//! eval point's first hit, Devijver's posterior plug-in reads a `k`-prefix,
+//! and kNN-extrapolation reads the final rung of its convergence ladder from
+//! the table (streaming the earlier rungs through the same engine in one
+//! pass). Because per-query lists are sorted, one table computed at
+//! `k_max = max(`[`BerEstimator::table_k`]`)` serves *all* of them by prefix:
+//! [`estimate_all`] computes that table once per (train, eval) pair — and
+//! `exp_estimators` computes it once per (transformation, split), reusing it
+//! across every label-noise level, since neighbours depend only on features.
+//! GHP and KDE do not rank neighbours, but their dense distance work routes
+//! through the same engine kernels (blocked Prim relaxations and per-class
+//! Gaussian kernel accumulation, respectively).
+//!
 //! All estimators receive a training view and a held-out evaluation view;
 //! estimators that conceptually use a single sample (GHP, KDE fitted on
 //! train and evaluated on train) simply ignore or pool the views as their
@@ -27,6 +45,8 @@ pub mod kde;
 /// feasibility study, and the experiment binaries.
 pub use snoopy_linalg::LabeledView;
 
+pub use snoopy_knn::{EvalEngine, Metric, NeighborTable};
+
 /// A Bayes-error estimator.
 pub trait BerEstimator: Send + Sync {
     /// Short name used in reports (e.g. `"1nn-cover-hart"`).
@@ -35,6 +55,86 @@ pub trait BerEstimator: Send + Sync {
     /// Estimates the Bayes error of the task from a training sample and a
     /// held-out evaluation sample.
     fn estimate(&self, train: &LabeledView<'_>, eval: &LabeledView<'_>, num_classes: usize) -> f64;
+
+    /// Number of neighbours per eval point this estimator can consume from a
+    /// shared squared-Euclidean [`NeighborTable`] over (train → eval).
+    /// `0` (the default) means the estimator does not rank neighbours and the
+    /// shared table is not offered to it.
+    fn table_k(&self) -> usize {
+        0
+    }
+
+    /// Estimates from a precomputed neighbour table over (train → eval),
+    /// consuming a `table_k()`-prefix of each per-query list. Only called
+    /// when [`BerEstimator::table_k`] is positive and the table's distances
+    /// rank like this estimator's metric; the default falls back to a
+    /// self-contained [`BerEstimator::estimate`].
+    fn estimate_with_table(
+        &self,
+        _table: &NeighborTable,
+        train: &LabeledView<'_>,
+        eval: &LabeledView<'_>,
+        num_classes: usize,
+    ) -> f64 {
+        self.estimate(train, eval, num_classes)
+    }
+}
+
+/// The largest table prefix any of `estimators` can consume (0 when none of
+/// them uses the shared table).
+pub fn shared_table_k(estimators: &[Box<dyn BerEstimator>]) -> usize {
+    estimators.iter().map(|e| e.table_k()).max().unwrap_or(0)
+}
+
+/// Computes the shared squared-Euclidean neighbour table: the `k_max` nearest
+/// training rows of every eval row, by the parallel engine. Neighbours depend
+/// only on features, so one table serves every relabelling of the same
+/// (transformation, split) pair.
+pub fn shared_neighbor_table(
+    train: snoopy_linalg::DatasetView<'_>,
+    eval: snoopy_linalg::DatasetView<'_>,
+    k_max: usize,
+) -> NeighborTable {
+    EvalEngine::parallel().topk(train, eval, Metric::SquaredEuclidean, k_max)
+}
+
+/// Evaluates every estimator against one precomputed shared table: table
+/// consumers ([`BerEstimator::table_k`] `> 0`) read their prefix of it, the
+/// rest estimate self-contained.
+pub fn estimate_all_with_table(
+    estimators: &[Box<dyn BerEstimator>],
+    table: &NeighborTable,
+    train: &LabeledView<'_>,
+    eval: &LabeledView<'_>,
+    num_classes: usize,
+) -> Vec<f64> {
+    estimators
+        .iter()
+        .map(|e| {
+            if e.table_k() > 0 {
+                e.estimate_with_table(table, train, eval, num_classes)
+            } else {
+                e.estimate(train, eval, num_classes)
+            }
+        })
+        .collect()
+}
+
+/// Evaluates every estimator, computing the neighbour table once at
+/// `k_max = ` [`shared_table_k`] and sharing it across all kNN-family
+/// estimators — the amortisation the FeeBee-style comparison relies on.
+pub fn estimate_all(
+    estimators: &[Box<dyn BerEstimator>],
+    train: &LabeledView<'_>,
+    eval: &LabeledView<'_>,
+    num_classes: usize,
+) -> Vec<f64> {
+    let k_max = shared_table_k(estimators);
+    if k_max == 0 || train.is_empty() || eval.is_empty() {
+        return estimators.iter().map(|e| e.estimate(train, eval, num_classes)).collect();
+    }
+    let table = shared_neighbor_table(train.features(), eval.features(), k_max);
+    estimate_all_with_table(estimators, &table, train, eval, num_classes)
 }
 
 /// The default collection of estimators used in the FeeBee-style comparison

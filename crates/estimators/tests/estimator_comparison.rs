@@ -6,10 +6,10 @@ use proptest::prelude::*;
 use snoopy_data::gaussian::{GaussianMixture, GaussianMixtureSpec};
 use snoopy_data::noise::{ber_after_uniform_noise, TransitionMatrix};
 use snoopy_estimators::{
-    cover_hart_lower_bound, default_estimators, BerEstimator, KnnPosteriorEstimator, LabeledView,
-    OneNnEstimator,
+    cover_hart_lower_bound, default_estimators, estimate_all, estimate_all_with_table, shared_neighbor_table,
+    shared_table_k, BerEstimator, KnnPosteriorEstimator, LabeledView, OneNnEstimator,
 };
-use snoopy_linalg::rng;
+use snoopy_linalg::{rng, Matrix};
 
 struct Task {
     train_x: snoopy_linalg::Matrix,
@@ -110,6 +110,87 @@ fn knn_posterior_estimator_improves_with_larger_k() {
         "k=30 ({large_k:.3}) should beat k=1 ({small_k:.3}) wrt {:.3}",
         task.true_ber
     );
+}
+
+/// The shared-table fast path must agree with each estimator's
+/// self-contained evaluation: same engine, same distances, same tie-breaks —
+/// the table only amortises the neighbour computation.
+#[test]
+fn shared_table_estimates_equal_individual_estimates() {
+    let task = make_task(3, 2.0, 23, 600, 150);
+    let train = LabeledView::new(&task.train_x, &task.train_y);
+    let test = LabeledView::new(&task.test_x, &task.test_y);
+    let estimators = default_estimators();
+    let shared = estimate_all(&estimators, &train, &test, task.num_classes);
+    for (est, &via_table) in estimators.iter().zip(&shared) {
+        let individual = est.estimate(&train, &test, task.num_classes);
+        assert!(
+            (via_table - individual).abs() < 1e-12,
+            "{}: shared-table {via_table} != individual {individual}",
+            est.name()
+        );
+    }
+}
+
+#[test]
+fn degenerate_empty_eval_split_through_shared_table() {
+    let task = make_task(3, 2.0, 29, 120, 40);
+    let train = LabeledView::new(&task.train_x, &task.train_y);
+    let empty_x = Matrix::zeros(0, task.train_x.cols());
+    let empty_y: Vec<u32> = vec![];
+    let empty = LabeledView::new(&empty_x, &empty_y);
+    let estimators = default_estimators();
+    // Must not panic; every estimate stays a probability. The same holds when
+    // an (unusual) caller hands the empty-eval table to the table path
+    // directly.
+    for value in estimate_all(&estimators, &train, &empty, task.num_classes) {
+        assert!((0.0..=1.0).contains(&value), "estimate {value} out of range");
+    }
+    let table = shared_neighbor_table(train.features(), empty.features(), shared_table_k(&estimators));
+    for value in estimate_all_with_table(&estimators, &table, &train, &empty, task.num_classes) {
+        assert!((0.0..=1.0).contains(&value), "estimate {value} out of range");
+    }
+    // Empty train as well: the guarded path falls back to chance-level style
+    // constants without touching the engine.
+    for value in estimate_all(&estimators, &empty, &train, task.num_classes) {
+        assert!((0.0..=1.0).contains(&value), "estimate {value} out of range");
+    }
+}
+
+#[test]
+fn degenerate_single_class_train_through_shared_table() {
+    let task = make_task(3, 2.0, 31, 200, 60);
+    let one_class = vec![1u32; task.train_y.len()];
+    let train = LabeledView::new(&task.train_x, &one_class);
+    let test = LabeledView::new(&task.test_x, &task.test_y);
+    let estimators = default_estimators();
+    let values = estimate_all(&estimators, &train, &test, task.num_classes);
+    for (est, &value) in estimators.iter().zip(&values) {
+        assert!((0.0..=1.0).contains(&value), "{}: estimate {value} out of range", est.name());
+        // A single-class posterior is maximally confident: the plug-in risk
+        // collapses to zero.
+        if est.name() == "knn-posterior" {
+            assert_eq!(value, 0.0);
+        }
+    }
+}
+
+#[test]
+fn degenerate_k_exceeding_train_size_through_shared_table() {
+    let task = make_task(2, 2.5, 37, 12, 30);
+    let train = LabeledView::new(&task.train_x, &task.train_y);
+    let test = LabeledView::new(&task.test_x, &task.test_y);
+    let estimators: Vec<Box<dyn BerEstimator>> = vec![
+        Box::new(OneNnEstimator::default()),
+        Box::new(KnnPosteriorEstimator::new(500)), // k ≫ train.len()
+    ];
+    assert_eq!(shared_table_k(&estimators), 500);
+    let values = estimate_all(&estimators, &train, &test, task.num_classes);
+    for (est, &value) in estimators.iter().zip(&values) {
+        assert!((0.0..=1.0).contains(&value), "{}: estimate {value} out of range", est.name());
+        let individual = est.estimate(&train, &test, task.num_classes);
+        assert!((value - individual).abs() < 1e-12, "{}: table/individual mismatch", est.name());
+    }
 }
 
 proptest! {

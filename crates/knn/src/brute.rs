@@ -1,6 +1,10 @@
 //! Exact brute-force k-nearest-neighbour index over a borrowed
-//! [`LabeledView`], with parallel batch queries via the shared
-//! [`EvalEngine`](crate::engine::EvalEngine).
+//! [`LabeledView`]. Every distance computation — single queries, parallel
+//! batch queries, kNN classifier error, and the leave-one-out error — routes
+//! through the shared [`EvalEngine`](crate::engine::EvalEngine) top-k kernel
+//! and its [`NeighborTable`](crate::engine::NeighborTable) results, so tie
+//! handling (lowest global index wins on equal distances) and floating-point
+//! behaviour are identical across all of them.
 //!
 //! With at most a few tens of thousands of samples per task replica and
 //! moderate embedding dimensions, exact brute force in `O(n · d)` per query is
@@ -9,7 +13,7 @@
 //! feature matrix — and precomputes the cosine-norm scratch once at
 //! construction so batch queries allocate nothing per query.
 
-use crate::engine::{row_norms_into, EvalEngine, NearestHit};
+use crate::engine::{row_norms_into, EvalEngine, NearestHit, NeighborTable, TopKState};
 use crate::metric::Metric;
 use snoopy_linalg::{DatasetView, LabeledView, Matrix};
 
@@ -99,53 +103,68 @@ impl<'a> BruteForceIndex<'a> {
         }
     }
 
+    /// Top-`k` neighbour table for every row of `queries`, computed by the
+    /// blocked chunk-parallel engine with the index's precomputed norm
+    /// scratch. `k` is clamped to `[1, len]`; `k = 1` uses the flat
+    /// one-slot-per-query layout (no per-query state allocation).
+    pub fn neighbor_table<'q>(&self, queries: impl Into<DatasetView<'q>>, k: usize) -> NeighborTable {
+        let queries = queries.into();
+        let k = k.min(self.len()).max(1);
+        let query_norms = if self.metric == Metric::Cosine {
+            let mut norms = Vec::new();
+            row_norms_into(queries, &mut norms);
+            Some(norms)
+        } else {
+            None
+        };
+        let train_norms = (!self.train_norms.is_empty()).then_some(self.train_norms.as_slice());
+        if k == 1 {
+            let mut best = vec![NearestHit::NONE; queries.rows()];
+            self.engine.update_nearest(
+                queries,
+                self.metric,
+                query_norms.as_deref(),
+                self.view.features(),
+                train_norms,
+                0,
+                &mut best,
+            );
+            NeighborTable::from_nearest(best)
+        } else {
+            let mut states = vec![TopKState::new(k); queries.rows()];
+            self.engine.update_topk(
+                queries,
+                self.metric,
+                query_norms.as_deref(),
+                self.view.features(),
+                train_norms,
+                0,
+                &mut states,
+                None,
+            );
+            NeighborTable::from_states(&states)
+        }
+    }
+
     /// Finds the single nearest neighbour of `query`.
     pub fn query_1nn(&self, query: &[f32]) -> Neighbor {
-        let mut best = Neighbor { index: 0, distance: f32::INFINITY, label: 0 };
-        for (i, row) in self.view.features().rows_iter().enumerate() {
-            let d = self.metric.distance(query, row);
-            if d < best.distance {
-                best = Neighbor { index: i, distance: d, label: self.view.label(i) };
-            }
-        }
-        best
+        self.query_knn(query, 1)[0]
     }
 
     /// Finds the `k` nearest neighbours of `query`, ordered by increasing
-    /// distance. `k` is clamped to the index size.
+    /// distance. `k` is clamped to the index size. Ties are deterministic:
+    /// on equal distances the lowest training index wins — the same
+    /// lexicographic `(distance, index)` rule as the engine's top-k kernel,
+    /// which this routes through.
     pub fn query_knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        let k = k.min(self.len()).max(1);
-        // Bounded max-heap emulation with a sorted Vec: k is small (≤ ~50).
-        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        for (i, row) in self.view.features().rows_iter().enumerate() {
-            let d = self.metric.distance(query, row);
-            if best.len() < k || d < best[best.len() - 1].distance {
-                let neighbor = Neighbor { index: i, distance: d, label: self.view.label(i) };
-                let pos = best.partition_point(|n| n.distance <= d);
-                best.insert(pos, neighbor);
-                if best.len() > k {
-                    best.pop();
-                }
-            }
-        }
-        best
+        let table = self.neighbor_table(DatasetView::from_row(query), k);
+        table.neighbors(0).iter().map(|&h| self.hit_to_neighbor(h)).collect()
     }
 
-    /// Majority-vote kNN prediction for `query`; ties resolve to the smallest
-    /// class id among the tied classes (deterministic).
+    /// Majority-vote kNN prediction for `query`; vote ties resolve to the
+    /// smallest class id among the tied classes (deterministic).
     pub fn predict_knn(&self, query: &[f32], k: usize) -> u32 {
-        let neighbors = self.query_knn(query, k);
-        let mut votes = vec![0usize; self.vote_classes];
-        for n in &neighbors {
-            votes[n.label as usize] += 1;
-        }
-        let mut best_class = 0usize;
-        for (c, &v) in votes.iter().enumerate() {
-            if v > votes[best_class] {
-                best_class = c;
-            }
-        }
-        best_class as u32
+        self.neighbor_table(DatasetView::from_row(query), k).vote(0, k, self.labels(), self.vote_classes)
     }
 
     /// 1NN predictions for every row of `queries`, computed by the parallel
@@ -155,61 +174,22 @@ impl<'a> BruteForceIndex<'a> {
     }
 
     /// Nearest neighbour of every row of `queries`, computed by the blocked
-    /// chunk-parallel engine.
+    /// chunk-parallel engine (the `k = 1` neighbour table).
     pub fn nearest_neighbors_batch<'q>(&self, queries: impl Into<DatasetView<'q>>) -> Vec<Neighbor> {
-        let queries = queries.into();
-        let mut best = vec![NearestHit::NONE; queries.rows()];
-        if queries.rows() == 0 {
-            return Vec::new();
-        }
-        let query_norms = if self.metric == Metric::Cosine {
-            let mut norms = Vec::new();
-            row_norms_into(queries, &mut norms);
-            Some(norms)
-        } else {
-            None
-        };
-        self.engine.update_nearest(
-            queries,
-            self.metric,
-            query_norms.as_deref(),
-            self.view.features(),
-            (!self.train_norms.is_empty()).then_some(self.train_norms.as_slice()),
-            0,
-            &mut best,
-        );
-        best.into_iter().map(|hit| self.hit_to_neighbor(hit)).collect()
+        let table = self.neighbor_table(queries, 1);
+        (0..table.num_queries()).map(|q| self.hit_to_neighbor(table.neighbors(q)[0])).collect()
     }
 
     /// kNN classifier error on a labelled query set (fraction of
-    /// misclassified queries), computed in parallel over query chunks.
-    #[allow(clippy::needless_range_loop)] // the index drives both the query view and the label slice
+    /// misclassified queries): one parallel top-k table pass, then a cheap
+    /// serial vote.
     pub fn knn_error<'q>(&self, queries: impl Into<DatasetView<'q>>, query_labels: &[u32], k: usize) -> f64 {
         let queries = queries.into();
         assert_eq!(queries.rows(), query_labels.len(), "query feature/label mismatch");
         if query_labels.is_empty() {
             return 0.0;
         }
-        let n = queries.rows();
-        let threads = self.engine.threads().min(n);
-        let chunk = n.div_ceil(threads);
-        let mut wrong_per_chunk = vec![0usize; threads.max(1)];
-        std::thread::scope(|scope| {
-            for (t, wrong) in wrong_per_chunk.iter_mut().enumerate() {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(n);
-                scope.spawn(move || {
-                    let mut w = 0usize;
-                    for i in start..end.max(start) {
-                        if self.predict_knn(queries.row(i), k) != query_labels[i] {
-                            w += 1;
-                        }
-                    }
-                    *wrong = w;
-                });
-            }
-        });
-        wrong_per_chunk.iter().sum::<usize>() as f64 / n as f64
+        self.neighbor_table(queries, k).knn_error(k, self.labels(), query_labels, self.vote_classes)
     }
 
     /// 1NN classifier error on a labelled query set.
@@ -229,33 +209,22 @@ impl<'a> BruteForceIndex<'a> {
         self.one_nn_error(eval.features(), eval.labels())
     }
 
+    /// Leave-one-out top-`k` neighbour table on the *training* set itself:
+    /// each row's neighbour list excludes that row. One parallel
+    /// self-excluding engine pass ([`EvalEngine::topk_loo`]),
+    /// `O(n² / threads)`.
+    pub fn leave_one_out_table(&self, k: usize) -> NeighborTable {
+        self.engine.topk_loo(self.view.features(), self.metric, k)
+    }
+
     /// Leave-one-out 1NN error on the *training* set itself (each sample's
     /// nearest neighbour excludes itself). Used by estimators that do not have
     /// a held-out split.
     pub fn leave_one_out_error(&self) -> f64 {
-        let n = self.len();
-        if n < 2 {
+        if self.len() < 2 {
             return 0.0;
         }
-        let features = self.view.features();
-        let mut wrong = 0usize;
-        for i in 0..n {
-            let query = features.row(i);
-            let mut best = (f32::INFINITY, 0u32);
-            for (j, row) in features.rows_iter().enumerate() {
-                if j == i {
-                    continue;
-                }
-                let d = self.metric.distance(query, row);
-                if d < best.0 {
-                    best = (d, self.view.label(j));
-                }
-            }
-            if best.1 != self.view.label(i) {
-                wrong += 1;
-            }
-        }
-        wrong as f64 / n as f64
+        self.leave_one_out_table(1).one_nn_error(self.labels(), self.labels())
     }
 }
 

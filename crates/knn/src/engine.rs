@@ -1,9 +1,9 @@
-//! The shared 1NN evaluation engine: a blocked, chunk-parallel distance
-//! kernel over zero-copy [`DatasetView`]s.
+//! The shared evaluation engine: a blocked, chunk-parallel distance kernel
+//! over zero-copy [`DatasetView`]s, generalised from 1NN to top-k.
 //!
 //! Every estimator evaluation, bandit-arm pull, and experiment binary funnels
 //! through the same inner loop — "for each query, find the nearest training
-//! row". This module implements that loop once, with three properties the
+//! row(s)". This module implements that loop once, with three properties the
 //! rest of the workspace relies on:
 //!
 //! 1. **Chunk parallelism.** Queries are split into contiguous chunks, one
@@ -15,13 +15,19 @@
 //!    them once into reusable buffers ([`row_norms_into`]) instead of
 //!    allocating (or recomputing) per query.
 //!
-//! The kernel is *bit-identical* to the naive serial loop: training rows are
-//! visited in ascending index order with a strict `<` comparison, and every
-//! pairwise distance is computed by the same floating-point expression as
-//! [`Metric::distance`]. The integration test `parallel_engine.rs` pins this
-//! property down.
+//! The kernel is *bit-identical* to the naive serial loop: every pairwise
+//! distance is computed by the same floating-point expression as
+//! [`Metric::distance`], and candidate admission is ordered by the
+//! lexicographic key `(distance, global index)` — so ties always resolve to
+//! the lowest training index regardless of thread count, block size, or batch
+//! boundaries. The k=1 path ([`EvalEngine::update_nearest`]) keeps its flat
+//! one-slot-per-query layout; the general path maintains one bounded
+//! [`TopKState`] per query and snapshots into a query-major
+//! [`NeighborTable`]. The integration test `parallel_engine.rs` pins the
+//! parity against [`nearest_reference`] / [`knn_reference`] down.
 
 use crate::metric::Metric;
+use snoopy_linalg::stats::OnlineLse;
 use snoopy_linalg::{DatasetView, Matrix};
 
 /// Running nearest-neighbour state of one query: distance and *global*
@@ -37,6 +43,229 @@ pub struct NearestHit {
 impl NearestHit {
     /// The empty state: infinitely far, no index.
     pub const NONE: NearestHit = NearestHit { distance: f32::INFINITY, index: usize::MAX };
+
+    /// Strict lexicographic `(distance, index)` order — the tie-break rule of
+    /// the whole crate: equal distances resolve to the lowest global training
+    /// index.
+    #[inline]
+    fn beats(distance: f32, index: usize, other: NearestHit) -> bool {
+        distance < other.distance || (distance == other.distance && index < other.index)
+    }
+}
+
+/// Bounded running top-k state of one query: at most `k` [`NearestHit`]s kept
+/// sorted ascending by `(distance, index)`.
+///
+/// Admission uses the same lexicographic key, which makes the final contents
+/// independent of the order in which candidates arrive — the foundation of
+/// the engine's "parallel == serial, bit for bit" guarantee for k > 1. With
+/// `k == 1` the state degenerates to a single slot updated by one comparison,
+/// i.e. exactly the [`NearestHit`] layout of the 1NN path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKState {
+    k: usize,
+    hits: Vec<NearestHit>,
+}
+
+impl TopKState {
+    /// An empty state retaining the best `k` candidates (`k` clamped to ≥ 1).
+    pub fn new(k: usize) -> Self {
+        let k = k.max(1);
+        Self { k, hits: Vec::with_capacity(k.min(64)) }
+    }
+
+    /// The capacity `k` the state was created with.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The current hits, ascending by `(distance, index)`; fewer than `k`
+    /// entries until enough candidates have been offered.
+    #[inline]
+    pub fn hits(&self) -> &[NearestHit] {
+        &self.hits
+    }
+
+    /// Offers one candidate. Keeps the lexicographically smallest `k`
+    /// `(distance, index)` pairs seen so far.
+    #[inline]
+    pub fn offer(&mut self, distance: f32, index: usize) {
+        if let Some(&worst) = self.hits.last() {
+            if self.hits.len() == self.k {
+                if !NearestHit::beats(distance, index, worst) {
+                    return;
+                }
+                // k == 1 fast path: a single slot overwritten in place.
+                if self.k == 1 {
+                    self.hits[0] = NearestHit { distance, index };
+                    return;
+                }
+            }
+        }
+        let pos = self
+            .hits
+            .partition_point(|&h| NearestHit::beats(h.distance, h.index, NearestHit { distance, index }));
+        self.hits.insert(pos, NearestHit { distance, index });
+        if self.hits.len() > self.k {
+            self.hits.pop();
+        }
+    }
+}
+
+/// Query-major top-k results: the `per_query` nearest training rows of every
+/// query, each row's list ascending by `(distance, index)`.
+///
+/// Because per-query lists are sorted, the first `k' ≤ per_query` entries of a
+/// row are exactly the top-`k'` answer — one table computed at `k_max` serves
+/// every consumer that needs any smaller `k` (the FeeBee-style estimator
+/// comparison computes one table per (transformation, split) and lets each
+/// kNN-family estimator consume a prefix). Tables are built cold by
+/// [`EvalEngine::topk`], incrementally from streamed batches via
+/// [`EvalEngine::update_topk`] + [`NeighborTable::from_states`], or snapshot
+/// from a fully-consumed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborTable {
+    /// Neighbours stored per query: `min(k, candidate training rows)`.
+    per_query: usize,
+    num_queries: usize,
+    /// `num_queries * per_query` hits, query-major.
+    hits: Vec<NearestHit>,
+}
+
+impl NeighborTable {
+    /// Snapshots one state per query into a table.
+    ///
+    /// # Panics
+    /// Panics if states disagree on their hit count (every query must have
+    /// seen the same candidate set).
+    pub fn from_states(states: &[TopKState]) -> Self {
+        let per_query = states.first().map_or(0, |s| s.hits.len());
+        let mut hits = Vec::with_capacity(states.len() * per_query);
+        for s in states {
+            assert_eq!(s.hits.len(), per_query, "ragged top-k states cannot form a table");
+            hits.extend_from_slice(&s.hits);
+        }
+        Self { per_query, num_queries: states.len(), hits }
+    }
+
+    /// Wraps the flat k=1 layout (one [`NearestHit`] per query) as a table.
+    /// Unfilled slots (`NearestHit::NONE`, possible only when no training row
+    /// was ever offered) yield an empty table.
+    ///
+    /// # Panics
+    /// Panics if only some slots are unfilled.
+    pub fn from_nearest(nearest: Vec<NearestHit>) -> Self {
+        let num_queries = nearest.len();
+        if nearest.first().is_none_or(|h| h.index == usize::MAX) {
+            assert!(
+                nearest.iter().all(|h| h.index == usize::MAX),
+                "partially-filled nearest slots cannot form a table"
+            );
+            return Self { per_query: 0, num_queries, hits: Vec::new() };
+        }
+        assert!(
+            nearest.iter().all(|h| h.index != usize::MAX),
+            "partially-filled nearest slots cannot form a table"
+        );
+        Self { per_query: 1, num_queries, hits: nearest }
+    }
+
+    /// Number of queries.
+    #[inline]
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
+    }
+
+    /// Neighbours stored per query (0 when no training rows were available).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.per_query
+    }
+
+    /// The stored neighbours of query `q`, ascending by `(distance, index)`.
+    #[inline]
+    pub fn neighbors(&self, q: usize) -> &[NearestHit] {
+        &self.hits[q * self.per_query..(q + 1) * self.per_query]
+    }
+
+    /// The top-`k` prefix of query `q`'s list (`k` clamped to the stored
+    /// count) — the exact top-`k` answer for any `k ≤` [`NeighborTable::k`].
+    #[inline]
+    pub fn neighbors_k(&self, q: usize, k: usize) -> &[NearestHit] {
+        &self.neighbors(q)[..k.min(self.per_query)]
+    }
+
+    /// The single nearest neighbour of query `q` (`None` on an empty table).
+    #[inline]
+    pub fn first(&self, q: usize) -> Option<NearestHit> {
+        self.neighbors(q).first().copied()
+    }
+
+    /// Majority-vote label among the first `k` neighbours of query `q`; vote
+    /// ties resolve to the smallest class id (deterministic).
+    ///
+    /// # Panics
+    /// Panics if a consulted neighbour's label is `≥ num_classes`.
+    pub fn vote(&self, q: usize, k: usize, train_labels: &[u32], num_classes: usize) -> u32 {
+        let mut votes = vec![0usize; num_classes];
+        self.vote_into(q, k, train_labels, &mut votes)
+    }
+
+    /// [`NeighborTable::vote`] with a caller-provided (reused) count buffer.
+    fn vote_into(&self, q: usize, k: usize, train_labels: &[u32], votes: &mut [usize]) -> u32 {
+        votes.iter_mut().for_each(|v| *v = 0);
+        for hit in self.neighbors_k(q, k) {
+            votes[train_labels[hit.index] as usize] += 1;
+        }
+        let mut best = 0usize;
+        for (c, &v) in votes.iter().enumerate() {
+            if v > votes[best] {
+                best = c;
+            }
+        }
+        best as u32
+    }
+
+    /// kNN majority-vote classifier error against `query_labels`. Returns 0
+    /// for zero queries; with an empty table (no training rows) every
+    /// prediction counts as wrong.
+    ///
+    /// # Panics
+    /// Panics if `query_labels` disagrees with the query count.
+    pub fn knn_error(&self, k: usize, train_labels: &[u32], query_labels: &[u32], num_classes: usize) -> f64 {
+        assert_eq!(query_labels.len(), self.num_queries, "query label count mismatch");
+        if self.num_queries == 0 {
+            return 0.0;
+        }
+        if self.per_query == 0 {
+            return 1.0;
+        }
+        let mut votes = vec![0usize; num_classes];
+        let wrong = query_labels
+            .iter()
+            .enumerate()
+            .filter(|&(q, &y)| self.vote_into(q, k, train_labels, &mut votes) != y)
+            .count();
+        wrong as f64 / self.num_queries as f64
+    }
+
+    /// 1NN classifier error (the `k = 1` special case, no voting).
+    pub fn one_nn_error(&self, train_labels: &[u32], query_labels: &[u32]) -> f64 {
+        assert_eq!(query_labels.len(), self.num_queries, "query label count mismatch");
+        if self.num_queries == 0 {
+            return 0.0;
+        }
+        if self.per_query == 0 {
+            return 1.0;
+        }
+        let wrong = query_labels
+            .iter()
+            .enumerate()
+            .filter(|&(q, &y)| train_labels[self.neighbors(q)[0].index] != y)
+            .count();
+        wrong as f64 / self.num_queries as f64
+    }
 }
 
 /// Number of worker threads the parallel engine uses by default.
@@ -223,6 +452,262 @@ impl EvalEngine {
         self.update_nearest(queries, metric, qn.as_deref(), train, tn.as_deref(), 0, &mut best);
         best
     }
+
+    /// Folds the training rows of `train` (global indices starting at
+    /// `offset`) into the running top-k state of every query row — the k-ary
+    /// generalisation of [`EvalEngine::update_nearest`], streamable batch by
+    /// batch exactly the same way.
+    ///
+    /// `exclude_self = Some(base)` declares that query row `i` *is* the
+    /// training row with global index `base + i` and skips that one pair —
+    /// the leave-one-out configuration.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches, `states.len() != queries.rows()`, or
+    /// missing cosine norms.
+    #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
+    pub fn update_topk(
+        &self,
+        queries: DatasetView<'_>,
+        metric: Metric,
+        query_norms: Option<&[f32]>,
+        train: DatasetView<'_>,
+        train_norms: Option<&[f32]>,
+        offset: usize,
+        states: &mut [TopKState],
+        exclude_self: Option<usize>,
+    ) {
+        assert_eq!(queries.cols(), train.cols(), "query/train dimensionality mismatch");
+        assert_eq!(states.len(), queries.rows(), "one top-k state per query required");
+        if queries.rows() == 0 || train.rows() == 0 {
+            return;
+        }
+        if metric == Metric::Cosine {
+            let qn = query_norms.expect("cosine requires precomputed query norms");
+            let tn = train_norms.expect("cosine requires precomputed train norms");
+            assert_eq!(qn.len(), queries.rows(), "query norm count mismatch");
+            assert_eq!(tn.len(), train.rows(), "train norm count mismatch");
+        }
+
+        let n = queries.rows();
+        let threads = self.threads.min(n);
+        if threads <= 1 {
+            self.scan_chunk_topk(
+                queries,
+                0,
+                metric,
+                query_norms,
+                train,
+                train_norms,
+                offset,
+                states,
+                exclude_self,
+            );
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slot) in states.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    self.scan_chunk_topk(
+                        queries,
+                        start,
+                        metric,
+                        query_norms,
+                        train,
+                        train_norms,
+                        offset,
+                        slot,
+                        exclude_self,
+                    );
+                });
+            }
+        });
+    }
+
+    /// Scans all training blocks into the top-k states of queries
+    /// `[start, start + states.len())`.
+    #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
+    fn scan_chunk_topk(
+        &self,
+        queries: DatasetView<'_>,
+        start: usize,
+        metric: Metric,
+        query_norms: Option<&[f32]>,
+        train: DatasetView<'_>,
+        train_norms: Option<&[f32]>,
+        offset: usize,
+        states: &mut [TopKState],
+        exclude_self: Option<usize>,
+    ) {
+        for (block_idx, block) in train.batches(self.block_rows).enumerate() {
+            let base = block_idx * self.block_rows;
+            for (qi, state) in states.iter_mut().enumerate() {
+                let q = queries.row(start + qi);
+                let skip = exclude_self.map(|b| b + start + qi).unwrap_or(usize::MAX);
+                match metric {
+                    Metric::SquaredEuclidean => {
+                        for (j, row) in block.rows_iter().enumerate() {
+                            let global = offset + base + j;
+                            if global == skip {
+                                continue;
+                            }
+                            state.offer(Matrix::row_sq_dist(q, row), global);
+                        }
+                    }
+                    Metric::Euclidean => {
+                        for (j, row) in block.rows_iter().enumerate() {
+                            let global = offset + base + j;
+                            if global == skip {
+                                continue;
+                            }
+                            state.offer(Matrix::row_sq_dist(q, row).sqrt(), global);
+                        }
+                    }
+                    Metric::Cosine => {
+                        // Branch structure and arithmetic mirror
+                        // `Metric::distance` exactly, with both norms read
+                        // from the precomputed scratch.
+                        let na = query_norms.expect("checked above")[start + qi];
+                        for (j, row) in block.rows_iter().enumerate() {
+                            let global = offset + base + j;
+                            if global == skip {
+                                continue;
+                            }
+                            let nb = train_norms.expect("checked above")[base + j];
+                            let d = if na == 0.0 && nb == 0.0 {
+                                0.0
+                            } else if na == 0.0 || nb == 0.0 {
+                                2.0
+                            } else {
+                                1.0 - (Matrix::row_dot(q, row) / (na * nb)).clamp(-1.0, 1.0)
+                            };
+                            state.offer(d, global);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Top-k neighbour table for every query, from a cold start. `k = 1`
+    /// specialises to the flat [`EvalEngine::nearest`] layout (no per-query
+    /// state allocation); cosine norms are computed internally either way.
+    pub fn topk(
+        &self,
+        train: DatasetView<'_>,
+        queries: DatasetView<'_>,
+        metric: Metric,
+        k: usize,
+    ) -> NeighborTable {
+        let k = k.max(1);
+        if k == 1 {
+            return NeighborTable::from_nearest(self.nearest(train, queries, metric));
+        }
+        let (qn, tn) = if metric == Metric::Cosine {
+            let mut qn = Vec::new();
+            let mut tn = Vec::new();
+            row_norms_into(queries, &mut qn);
+            row_norms_into(train, &mut tn);
+            (Some(qn), Some(tn))
+        } else {
+            (None, None)
+        };
+        let mut states = vec![TopKState::new(k); queries.rows()];
+        self.update_topk(queries, metric, qn.as_deref(), train, tn.as_deref(), 0, &mut states, None);
+        NeighborTable::from_states(&states)
+    }
+
+    /// Leave-one-out top-k table of `data` against itself: row `i`'s
+    /// neighbour list excludes row `i`. Each row stores
+    /// `min(k, rows − 1)` hits.
+    pub fn topk_loo(&self, data: DatasetView<'_>, metric: Metric, k: usize) -> NeighborTable {
+        let norms = if metric == Metric::Cosine {
+            let mut n = Vec::new();
+            row_norms_into(data, &mut n);
+            Some(n)
+        } else {
+            None
+        };
+        let mut states = vec![TopKState::new(k.max(1)); data.rows()];
+        self.update_topk(data, metric, norms.as_deref(), data, norms.as_deref(), 0, &mut states, Some(0));
+        NeighborTable::from_states(&states)
+    }
+
+    /// Blocked, chunk-parallel accumulation of per-class Gaussian kernel
+    /// sums — the KDE hot loop. For every query `q` and class `c` this
+    /// returns (query-major, `num_classes` entries per query)
+    ///
+    /// ```text
+    /// out[q·C + c] = log Σ_{j : labels[j] = c} exp(−‖q − x_j‖² · inv_two_h2)
+    /// ```
+    ///
+    /// accumulated with an online log-sum-exp ([`OnlineLse`]) so the blocked
+    /// kernel never materialises the per-point log-kernels. Classes with no
+    /// training rows yield `-∞`. Training rows are visited in ascending index
+    /// order per query, so results do not depend on thread count or block
+    /// size.
+    ///
+    /// # Panics
+    /// Panics on dimension or label-count mismatches, or a label
+    /// `≥ num_classes`.
+    pub fn class_kernel_log_sums(
+        &self,
+        queries: DatasetView<'_>,
+        train: DatasetView<'_>,
+        train_labels: &[u32],
+        num_classes: usize,
+        inv_two_h2: f64,
+    ) -> Vec<f64> {
+        assert_eq!(queries.cols(), train.cols(), "query/train dimensionality mismatch");
+        assert_eq!(train.rows(), train_labels.len(), "train feature/label mismatch");
+        let n = queries.rows();
+        let c = num_classes.max(1);
+        let mut acc = vec![OnlineLse::EMPTY; n * c];
+        if n > 0 && train.rows() > 0 {
+            let threads = self.threads.min(n);
+            if threads <= 1 {
+                self.kernel_chunk(queries, 0, train, train_labels, c, inv_two_h2, &mut acc);
+            } else {
+                let chunk = n.div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for (t, slot) in acc.chunks_mut(chunk * c).enumerate() {
+                        let start = t * chunk;
+                        scope.spawn(move || {
+                            self.kernel_chunk(queries, start, train, train_labels, c, inv_two_h2, slot);
+                        });
+                    }
+                });
+            }
+        }
+        acc.iter().map(OnlineLse::value).collect()
+    }
+
+    /// Accumulates all training blocks into the per-class kernel sums of
+    /// queries `[start, start + acc.len() / classes)`.
+    #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
+    fn kernel_chunk(
+        &self,
+        queries: DatasetView<'_>,
+        start: usize,
+        train: DatasetView<'_>,
+        train_labels: &[u32],
+        classes: usize,
+        inv_two_h2: f64,
+        acc: &mut [OnlineLse],
+    ) {
+        for (block_idx, block) in train.batches(self.block_rows).enumerate() {
+            let base = block_idx * self.block_rows;
+            for (qi, states) in acc.chunks_mut(classes).enumerate() {
+                let q = queries.row(start + qi);
+                for (j, row) in block.rows_iter().enumerate() {
+                    let d = Matrix::row_sq_dist(q, row) as f64;
+                    states[train_labels[base + j] as usize].add(-d * inv_two_h2);
+                }
+            }
+        }
+    }
 }
 
 /// Reference implementation: the plain serial double loop, written with
@@ -243,6 +728,51 @@ pub fn nearest_reference(
         }
     }
     best
+}
+
+/// Reference top-k implementation: compute *every* pairwise distance with
+/// [`Metric::distance`], sort by the lexicographic `(distance, index)` key,
+/// truncate to `k`. Quadratic in memory per query and purely serial — exists
+/// only as the ground truth the engine must match bit for bit.
+pub fn knn_reference(
+    train: DatasetView<'_>,
+    queries: DatasetView<'_>,
+    metric: Metric,
+    k: usize,
+) -> NeighborTable {
+    reference_table(train, queries, metric, k.max(1), false)
+}
+
+/// Leave-one-out variant of [`knn_reference`]: query `i` is row `i` of
+/// `data` and is excluded from its own neighbour list.
+pub fn knn_reference_loo(data: DatasetView<'_>, metric: Metric, k: usize) -> NeighborTable {
+    reference_table(data, data, metric, k.max(1), true)
+}
+
+fn reference_table(
+    train: DatasetView<'_>,
+    queries: DatasetView<'_>,
+    metric: Metric,
+    k: usize,
+    exclude_diag: bool,
+) -> NeighborTable {
+    let candidates = if exclude_diag { train.rows().saturating_sub(1) } else { train.rows() };
+    let per_query = k.min(candidates);
+    let mut hits = Vec::with_capacity(queries.rows() * per_query);
+    for (qi, q) in queries.rows_iter().enumerate() {
+        let mut all: Vec<NearestHit> = train
+            .rows_iter()
+            .enumerate()
+            .filter(|&(j, _)| !(exclude_diag && j == qi))
+            .map(|(j, row)| NearestHit { distance: metric.distance(q, row), index: j })
+            .collect();
+        all.sort_by(|a, b| {
+            a.distance.partial_cmp(&b.distance).expect("NaN distance").then(a.index.cmp(&b.index))
+        });
+        all.truncate(per_query);
+        hits.extend(all);
+    }
+    NeighborTable { per_query, num_queries: queries.rows(), hits }
 }
 
 #[cfg(test)]
@@ -301,6 +831,155 @@ mod tests {
         );
         let hits = EvalEngine::parallel().nearest(empty.view(), wavy(3, 4, 0.5).view(), Metric::Euclidean);
         assert!(hits.iter().all(|h| *h == NearestHit::NONE));
+    }
+
+    #[test]
+    fn topk_matches_reference_for_all_metrics_and_ks() {
+        let train = wavy(119, 7, 0.0);
+        let queries = wavy(29, 7, 1.7);
+        for metric in Metric::all() {
+            for k in [1usize, 3, 10, 119, 400] {
+                let reference = knn_reference(train.view(), queries.view(), metric, k);
+                for engine in [
+                    EvalEngine::serial(),
+                    EvalEngine::parallel(),
+                    EvalEngine::with_threads(3).with_block_rows(16),
+                ] {
+                    let got = engine.topk(train.view(), queries.view(), metric, k);
+                    assert_eq!(got, reference, "metric {} k {k} engine {engine:?}", metric.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_topk_accumulates_to_the_cold_start_answer() {
+        let train = wavy(90, 5, 0.0);
+        let queries = wavy(21, 5, 2.4);
+        let engine = EvalEngine::with_threads(2).with_block_rows(8);
+        for metric in [Metric::SquaredEuclidean, Metric::Cosine] {
+            let mut qn = Vec::new();
+            let mut bn = Vec::new();
+            if metric == Metric::Cosine {
+                row_norms_into(queries.view(), &mut qn);
+            }
+            let mut states = vec![TopKState::new(4); queries.rows()];
+            let mut consumed = 0;
+            for batch in train.view().batches(26) {
+                if metric == Metric::Cosine {
+                    row_norms_into(batch, &mut bn);
+                }
+                engine.update_topk(
+                    queries.view(),
+                    metric,
+                    (metric == Metric::Cosine).then_some(qn.as_slice()),
+                    batch,
+                    (metric == Metric::Cosine).then_some(bn.as_slice()),
+                    consumed,
+                    &mut states,
+                    None,
+                );
+                consumed += batch.rows();
+            }
+            let table = NeighborTable::from_states(&states);
+            assert_eq!(table, knn_reference(train.view(), queries.view(), metric, 4), "{}", metric.name());
+        }
+    }
+
+    #[test]
+    fn loo_table_excludes_self_and_matches_reference() {
+        let data = wavy(57, 6, 0.3);
+        for metric in Metric::all() {
+            for k in [1usize, 5, 57] {
+                let reference = knn_reference_loo(data.view(), metric, k);
+                let got = EvalEngine::with_threads(4).with_block_rows(13).topk_loo(data.view(), metric, k);
+                assert_eq!(got, reference, "metric {} k {k}", metric.name());
+                for q in 0..got.num_queries() {
+                    assert!(got.neighbors(q).iter().all(|h| h.index != q), "row {q} must exclude itself");
+                }
+                assert_eq!(got.k(), k.min(56));
+            }
+        }
+    }
+
+    #[test]
+    fn table_prefixes_are_smaller_k_answers_and_votes_are_deterministic() {
+        let train = wavy(64, 4, 0.0);
+        let queries = wavy(11, 4, 0.9);
+        let big = EvalEngine::parallel().topk(train.view(), queries.view(), Metric::SquaredEuclidean, 9);
+        let small = EvalEngine::parallel().topk(train.view(), queries.view(), Metric::SquaredEuclidean, 3);
+        for q in 0..queries.rows() {
+            assert_eq!(big.neighbors_k(q, 3), small.neighbors(q));
+            assert_eq!(big.first(q), small.first(q));
+        }
+        // All-identical labels: the vote is that label for every k.
+        let labels = vec![2u32; 64];
+        for q in 0..queries.rows() {
+            assert_eq!(big.vote(q, 5, &labels, 3), 2);
+        }
+    }
+
+    #[test]
+    fn topk_ties_resolve_to_lowest_indices_for_every_shape() {
+        // Every training row identical: the top-k set must be {0, 1, .., k-1}
+        // in order, for any thread/block shape and for streamed ingestion.
+        let train = Matrix::from_fn(40, 3, |_, _| 2.5);
+        let queries = wavy(7, 3, 0.4);
+        for metric in Metric::all() {
+            for engine in [EvalEngine::serial(), EvalEngine::with_threads(5).with_block_rows(4)] {
+                let table = engine.topk(train.view(), queries.view(), metric, 6);
+                for q in 0..table.num_queries() {
+                    let idx: Vec<usize> = table.neighbors(q).iter().map(|h| h.index).collect();
+                    assert_eq!(idx, vec![0, 1, 2, 3, 4, 5], "metric {}", metric.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_kernel_log_sums_match_naive_lse() {
+        use snoopy_linalg::stats;
+        let train = wavy(83, 5, 0.0);
+        let queries = wavy(17, 5, 1.1);
+        let labels: Vec<u32> = (0..83).map(|i| (i % 3) as u32).collect();
+        let inv_two_h2 = 0.37;
+        for engine in [EvalEngine::serial(), EvalEngine::with_threads(4).with_block_rows(9)] {
+            let got = engine.class_kernel_log_sums(queries.view(), train.view(), &labels, 4, inv_two_h2);
+            assert_eq!(got.len(), 17 * 4);
+            for (qi, q) in queries.view().rows_iter().enumerate() {
+                for c in 0..4u32 {
+                    let terms: Vec<f64> = train
+                        .view()
+                        .rows_iter()
+                        .enumerate()
+                        .filter(|(j, _)| labels.get(*j) == Some(&c))
+                        .map(|(_, row)| -(Matrix::row_sq_dist(q, row) as f64) * inv_two_h2)
+                        .collect();
+                    let expected = stats::log_sum_exp(&terms);
+                    let v = got[qi * 4 + c as usize];
+                    if terms.is_empty() {
+                        assert_eq!(v, f64::NEG_INFINITY, "empty class must be -inf");
+                    } else {
+                        assert!((v - expected).abs() < 1e-9, "q {qi} class {c}: {v} vs {expected}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_shapes() {
+        let queries = wavy(5, 4, 0.0);
+        let empty_train = Matrix::zeros(0, 4);
+        let table = EvalEngine::parallel().topk(empty_train.view(), queries.view(), Metric::Euclidean, 3);
+        assert_eq!(table.num_queries(), 5);
+        assert_eq!(table.k(), 0);
+        assert_eq!(table.first(0), None);
+        assert_eq!(table.one_nn_error(&[], &[0, 1, 0, 1, 0]), 1.0);
+        let no_queries =
+            EvalEngine::parallel().topk(queries.view(), empty_train.view(), Metric::Euclidean, 3);
+        assert_eq!(no_queries.num_queries(), 0);
+        assert_eq!(no_queries.knn_error(3, &[0; 5], &[], 2), 0.0);
     }
 
     #[test]

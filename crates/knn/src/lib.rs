@@ -9,8 +9,19 @@
 //!
 //! * distance metrics ([`metric::Metric`]: squared Euclidean, Euclidean,
 //!   cosine dissimilarity),
-//! * an exact, parallel brute-force index ([`brute::BruteForceIndex`]) with
-//!   k-NN queries and classifier-error evaluation,
+//! * the blocked, chunk-parallel top-k evaluation engine
+//!   ([`engine::EvalEngine`]) whose results are bit-identical to the serial
+//!   references [`engine::nearest_reference`] / [`engine::knn_reference`]
+//!   for every metric, thread count, block size, and batch-streamed
+//!   ingestion order,
+//! * the query-major [`engine::NeighborTable`] — the one neighbour handshake
+//!   every distance consumer speaks. A table computed once at `k_max` answers
+//!   every smaller `k` by prefix, which is how the estimator-comparison
+//!   pipeline shares a single neighbour computation across all kNN-family
+//!   Bayes-error estimators,
+//! * an exact brute-force index ([`brute::BruteForceIndex`]) whose k-NN
+//!   queries, batch evaluation, and leave-one-out error all route through
+//!   the engine,
 //! * a *streamed* 1NN evaluator ([`stream::StreamedOneNn`]) that consumes the
 //!   training set in batches and maintains the running nearest neighbour of
 //!   every test point — this is what the successive-halving bandit pulls one
@@ -27,7 +38,7 @@ pub mod metric;
 pub mod stream;
 
 pub use brute::BruteForceIndex;
-pub use engine::{EvalEngine, NearestHit};
+pub use engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
 pub use incremental::IncrementalOneNn;
 pub use metric::Metric;
 pub use stream::StreamedOneNn;

@@ -12,7 +12,7 @@
 //! across batches, so the steady-state stream performs no per-query
 //! allocation.
 
-use crate::engine::{row_norms_into, EvalEngine, NearestHit};
+use crate::engine::{row_norms_into, EvalEngine, NearestHit, NeighborTable};
 use crate::metric::Metric;
 use snoopy_linalg::{DatasetView, Matrix};
 
@@ -142,6 +142,14 @@ impl StreamedOneNn {
         self.best.iter().map(|b| b.index).collect()
     }
 
+    /// Snapshots the running nearest state as a `k = 1` [`NeighborTable`]
+    /// with global training indices — the neighbour handshake downstream
+    /// consumers speak. Before any batch has been consumed the table is
+    /// empty (`k() == 0`).
+    pub fn neighbor_table(&self) -> NeighborTable {
+        NeighborTable::from_nearest(self.best.clone())
+    }
+
     /// The nearest training labels currently assigned to each test point
     /// (`u32::MAX` before any data was consumed).
     pub fn nearest_train_labels(&self) -> Vec<u32> {
@@ -227,6 +235,21 @@ mod tests {
         let idx = stream.nearest_train_indices();
         assert!(idx.iter().all(|&i| i < 100));
         assert!(idx.iter().any(|&i| i >= 50), "some neighbours should come from the second batch");
+    }
+
+    #[test]
+    fn neighbor_table_snapshot_matches_full_index() {
+        let (train_x, train_y, test_x, test_y) = toy_task(80);
+        let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean);
+        assert_eq!(stream.neighbor_table().k(), 0, "empty before any batch");
+        for batch in LabeledView::new(&train_x, &train_y).batches(30) {
+            stream.add_train_batch(batch.features(), batch.labels());
+        }
+        let table = stream.neighbor_table();
+        let full =
+            BruteForceIndex::new(&train_x, &train_y, 2, Metric::SquaredEuclidean).neighbor_table(&test_x, 1);
+        assert_eq!(table, full);
+        assert!((table.one_nn_error(&train_y, &test_y) - stream.current_error()).abs() < 1e-12);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Integration tests pinning down the central guarantee of the evaluation
-//! engine: the blocked, chunk-parallel 1NN path returns **bit-identical**
-//! results to the plain serial reference loop, for every metric, every
-//! engine shape, and through every consumer (index batch queries and the
+//! engine: the blocked, chunk-parallel paths — 1NN *and* top-k — return
+//! **bit-identical** results to the plain serial reference loops, for every
+//! metric, every engine shape, batch-streamed ingestion, and through every
+//! consumer (index queries, batch evaluation, leave-one-out, and the
 //! streamed evaluator).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use snoopy_knn::engine::{nearest_reference, EvalEngine};
+use snoopy_knn::engine::{
+    knn_reference, knn_reference_loo, nearest_reference, EvalEngine, NeighborTable, TopKState,
+};
 use snoopy_knn::{BruteForceIndex, Metric, StreamedOneNn};
 use snoopy_linalg::{LabeledView, Matrix};
 
@@ -83,6 +86,155 @@ fn streamed_evaluation_matches_reference_at_every_batch_boundary() {
                 let got = stream.nearest_train_indices();
                 let expected: Vec<usize> = reference.iter().map(|h| h.index).collect();
                 assert_eq!(got, expected, "metric {} batch {batch_size} prefix {consumed}", metric.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn topk_is_bit_identical_to_serial_reference_for_all_metrics_shapes_and_ks() {
+    let (train_x, _) = cloud(51, 149, 9, 4);
+    let (test_x, _) = cloud(52, 47, 9, 4);
+    for metric in Metric::all() {
+        for k in [1usize, 3, 10, 149] {
+            let reference = knn_reference(train_x.view(), test_x.view(), metric, k);
+            for threads in [1usize, 3, 8] {
+                for block_rows in [1usize, 7, 64, 1024] {
+                    let engine = EvalEngine::with_threads(threads).with_block_rows(block_rows);
+                    let got = engine.topk(train_x.view(), test_x.view(), metric, k);
+                    assert_eq!(
+                        got,
+                        reference,
+                        "metric {} k {k} threads {threads} block {block_rows}",
+                        metric.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_streamed_topk_ingestion_matches_cold_start_and_reference() {
+    let (train_x, _) = cloud(61, 131, 6, 3);
+    let (test_x, _) = cloud(62, 33, 6, 3);
+    let engine = EvalEngine::with_threads(4).with_block_rows(16);
+    for metric in Metric::all() {
+        for batch_size in [1usize, 13, 50, 131] {
+            let mut test_norms = Vec::new();
+            let mut batch_norms = Vec::new();
+            if metric == Metric::Cosine {
+                snoopy_knn::engine::row_norms_into(test_x.view(), &mut test_norms);
+            }
+            let mut states = vec![TopKState::new(5); test_x.rows()];
+            let mut consumed = 0;
+            for batch in train_x.view().batches(batch_size) {
+                if metric == Metric::Cosine {
+                    snoopy_knn::engine::row_norms_into(batch, &mut batch_norms);
+                }
+                engine.update_topk(
+                    test_x.view(),
+                    metric,
+                    (metric == Metric::Cosine).then_some(test_norms.as_slice()),
+                    batch,
+                    (metric == Metric::Cosine).then_some(batch_norms.as_slice()),
+                    consumed,
+                    &mut states,
+                    None,
+                );
+                consumed += batch.rows();
+                // At every batch boundary the accumulated table equals the
+                // cold-start answer on the consumed prefix.
+                let table = NeighborTable::from_states(&states);
+                let prefix = train_x.view().prefix(consumed);
+                assert_eq!(
+                    table,
+                    knn_reference(prefix, test_x.view(), metric, 5),
+                    "metric {} batch {batch_size} prefix {consumed}",
+                    metric.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn index_knn_queries_match_the_engine_table() {
+    let (train_x, train_y) = cloud(71, 97, 5, 4);
+    let (test_x, test_y) = cloud(72, 29, 5, 4);
+    for metric in Metric::all() {
+        let index = BruteForceIndex::new(&train_x, &train_y, 4, metric);
+        for k in [1usize, 4, 97, 500] {
+            let table = index.neighbor_table(&test_x, k);
+            assert_eq!(table, knn_reference(train_x.view(), test_x.view(), metric, k.min(97)));
+            for (qi, q) in test_x.view().rows_iter().enumerate() {
+                let singles = index.query_knn(q, k);
+                assert_eq!(singles.len(), table.k());
+                for (got, expected) in singles.iter().zip(table.neighbors(qi)) {
+                    assert_eq!(got.index, expected.index);
+                    assert_eq!(got.distance.to_bits(), expected.distance.to_bits());
+                    assert_eq!(got.label, train_y[expected.index]);
+                }
+            }
+            // The vote-based error agrees between the parallel table path and
+            // a forced-serial engine.
+            let serial = index.clone().with_engine(EvalEngine::serial());
+            assert_eq!(
+                index.knn_error(&test_x, &test_y, k).to_bits(),
+                serial.knn_error(&test_x, &test_y, k).to_bits(),
+                "metric {} k {k}",
+                metric.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn leave_one_out_error_matches_serial_exclusion_reference() {
+    let (train_x, train_y) = cloud(81, 110, 4, 3);
+    for metric in Metric::all() {
+        let reference = knn_reference_loo(train_x.view(), metric, 1);
+        let wrong =
+            (0..train_x.rows()).filter(|&i| train_y[reference.neighbors(i)[0].index] != train_y[i]).count();
+        let expected = wrong as f64 / train_x.rows() as f64;
+        for engine in [EvalEngine::serial(), EvalEngine::parallel()] {
+            let index = BruteForceIndex::new(&train_x, &train_y, 3, metric).with_engine(engine);
+            assert_eq!(index.leave_one_out_error().to_bits(), expected.to_bits(), "metric {}", metric.name());
+            assert_eq!(index.leave_one_out_table(4), knn_reference_loo(train_x.view(), metric, 4));
+        }
+    }
+}
+
+/// The shared tie-break contract (satellite of the top-k refactor): on equal
+/// distances the lowest global training index wins — in the engine's top-k
+/// kernel and in `query_knn`, which routes through it.
+#[test]
+fn topk_and_query_knn_share_the_lowest_index_tie_break() {
+    // Five copies of each of ten distinct rows: every query's top-15 must be
+    // exactly the three lowest-index copies of its five nearest row values.
+    let distinct: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, (i * i) as f32 * 0.1]).collect();
+    let rows: Vec<Vec<f32>> = (0..50).map(|r| distinct[r % 10].clone()).collect();
+    let train_x = Matrix::from_rows(&rows);
+    let train_y: Vec<u32> = (0..50).map(|i| (i % 3) as u32).collect();
+    let (test_x, _) = cloud(91, 12, 2, 3);
+    for metric in [Metric::SquaredEuclidean, Metric::Euclidean] {
+        let reference = knn_reference(train_x.view(), test_x.view(), metric, 15);
+        let engine_table =
+            EvalEngine::with_threads(4).with_block_rows(8).topk(train_x.view(), test_x.view(), metric, 15);
+        assert_eq!(engine_table, reference);
+        let index = BruteForceIndex::new(&train_x, &train_y, 3, metric);
+        for (qi, q) in test_x.view().rows_iter().enumerate() {
+            let neighbors = index.query_knn(q, 15);
+            let idx: Vec<usize> = neighbors.iter().map(|n| n.index).collect();
+            let expected: Vec<usize> = reference.neighbors(qi).iter().map(|h| h.index).collect();
+            assert_eq!(idx, expected, "metric {} query {qi}", metric.name());
+            // Equal-distance groups are ordered by ascending global index.
+            for w in neighbors.windows(2) {
+                assert!(
+                    w[0].distance < w[1].distance
+                        || (w[0].distance == w[1].distance && w[0].index < w[1].index),
+                    "ties must resolve to the lowest index"
+                );
             }
         }
     }

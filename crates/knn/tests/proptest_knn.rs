@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 use rand::Rng;
 use rand::SeedableRng;
+use snoopy_knn::engine::{knn_reference, row_norms_into, EvalEngine, NeighborTable, TopKState};
 use snoopy_knn::{BruteForceIndex, IncrementalOneNn, Metric, StreamedOneNn};
 use snoopy_linalg::{LabeledView, Matrix};
 
@@ -53,6 +54,62 @@ proptest! {
             let full = BruteForceIndex::new(&train_x, &train_y, 3, Metric::SquaredEuclidean)
                 .one_nn_error(&test_x, &test_y);
             prop_assert!((inc.error() - full).abs() < 1e-12);
+        }
+    }
+
+    /// The parallel top-k kernel is bit-identical to the serial sort-based
+    /// reference for every metric, k ∈ {1, 3, 10, len}, arbitrary engine
+    /// shapes, and batch-streamed ingestion of the training rows.
+    #[test]
+    fn parallel_topk_equals_serial_reference(
+        seed in 0u64..500,
+        threads in 1usize..8,
+        block in 1usize..96,
+        batch in 1usize..40,
+    ) {
+        let n = 60;
+        let (train_x, _) = cloud(seed, n, 4, 3);
+        let (test_x, _) = cloud(seed ^ 0x5eed, 18, 4, 3);
+        let engine = EvalEngine::with_threads(threads).with_block_rows(block);
+        for metric in Metric::all() {
+            for k in [1usize, 3, 10, n] {
+                let reference = knn_reference(train_x.view(), test_x.view(), metric, k);
+                // Cold start.
+                prop_assert_eq!(
+                    &engine.topk(train_x.view(), test_x.view(), metric, k),
+                    &reference,
+                    "cold metric {} k {}", metric.name(), k
+                );
+                // Batch-streamed ingestion accumulates to the same table.
+                let mut test_norms = Vec::new();
+                let mut batch_norms = Vec::new();
+                if metric == Metric::Cosine {
+                    row_norms_into(test_x.view(), &mut test_norms);
+                }
+                let mut states = vec![TopKState::new(k); test_x.rows()];
+                let mut consumed = 0;
+                for chunk in train_x.view().batches(batch) {
+                    if metric == Metric::Cosine {
+                        row_norms_into(chunk, &mut batch_norms);
+                    }
+                    engine.update_topk(
+                        test_x.view(),
+                        metric,
+                        (metric == Metric::Cosine).then_some(test_norms.as_slice()),
+                        chunk,
+                        (metric == Metric::Cosine).then_some(batch_norms.as_slice()),
+                        consumed,
+                        &mut states,
+                        None,
+                    );
+                    consumed += chunk.rows();
+                }
+                prop_assert_eq!(
+                    &NeighborTable::from_states(&states),
+                    &reference,
+                    "streamed metric {} k {} batch {}", metric.name(), k, batch
+                );
+            }
         }
     }
 

@@ -30,6 +30,62 @@ pub fn argmin(values: &[f64]) -> usize {
     best
 }
 
+/// Numerically stable *online* log-sum-exp accumulator: folds one term at a
+/// time in `O(1)` memory, so blocked distance kernels can accumulate
+/// class-conditional kernel densities without materialising every log-kernel
+/// first. Rescales the running sum whenever a new maximum arrives — the same
+/// max-shift trick as [`log_sum_exp`], applied incrementally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineLse {
+    max: f64,
+    /// Sum of `exp(x_i - max)` over all folded terms.
+    sum: f64,
+}
+
+impl Default for OnlineLse {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl OnlineLse {
+    /// The empty accumulator; its [`value`](OnlineLse::value) is `-∞`.
+    pub const EMPTY: OnlineLse = OnlineLse { max: f64::NEG_INFINITY, sum: 0.0 };
+
+    /// Folds one term into the running log-sum-exp. A `-∞` term contributes
+    /// `exp(-∞) = 0` and leaves the state unchanged (the naive update would
+    /// poison the sum with `exp(-∞ − -∞) = NaN` while the state is empty).
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        if x == f64::NEG_INFINITY {
+            return;
+        }
+        if x <= self.max {
+            self.sum += (x - self.max).exp();
+        } else {
+            // New maximum: rescale the existing sum into the new frame.
+            self.sum = self.sum * (self.max - x).exp() + 1.0;
+            self.max = x;
+        }
+    }
+
+    /// Whether no term has been folded yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sum == 0.0
+    }
+
+    /// The accumulated `log Σ exp(x_i)` (`-∞` when empty).
+    #[inline]
+    pub fn value(&self) -> f64 {
+        if self.sum == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.max + self.sum.ln()
+        }
+    }
+}
+
 /// Numerically stable log-sum-exp.
 pub fn log_sum_exp(values: &[f64]) -> f64 {
     let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -187,6 +243,42 @@ mod tests {
         assert_eq!(argmax(&v), 1);
         assert_eq!(argmin(&v), 3);
         assert_eq!(argmax(&[7.0]), 0);
+    }
+
+    #[test]
+    fn online_lse_matches_batch_lse() {
+        let terms = [-3.0, 1.5, 1.5, -700.0, 4.0, 0.0];
+        let mut online = OnlineLse::EMPTY;
+        for &t in &terms {
+            online.add(t);
+        }
+        assert!((online.value() - log_sum_exp(&terms)).abs() < 1e-12);
+        assert!(!online.is_empty());
+        // Extreme magnitudes stay finite thanks to the running rescale.
+        let mut big = OnlineLse::default();
+        big.add(-1000.0);
+        big.add(-1000.0);
+        assert!((big.value() - (-1000.0 + 2.0f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_lse_empty_is_neg_infinity() {
+        let empty = OnlineLse::EMPTY;
+        assert!(empty.is_empty());
+        assert_eq!(empty.value(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn online_lse_ignores_neg_infinity_terms() {
+        // exp(-inf) = 0: folding -inf must not poison the state, whether it
+        // arrives first, between finite terms, or alone.
+        let mut lse = OnlineLse::EMPTY;
+        lse.add(f64::NEG_INFINITY);
+        assert!(lse.is_empty());
+        assert_eq!(lse.value(), f64::NEG_INFINITY);
+        lse.add(5.0);
+        lse.add(f64::NEG_INFINITY);
+        assert!((lse.value() - log_sum_exp(&[f64::NEG_INFINITY, 5.0, f64::NEG_INFINITY])).abs() < 1e-12);
     }
 
     #[test]

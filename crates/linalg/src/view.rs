@@ -43,6 +43,12 @@ impl<'a> DatasetView<'a> {
         Self { data, rows, cols }
     }
 
+    /// Views a single feature vector as a one-row dataset (e.g. to push one
+    /// query through a batch kernel).
+    pub fn from_row(row: &'a [f32]) -> Self {
+        Self { data: row, rows: 1, cols: row.len() }
+    }
+
     /// Number of rows (samples).
     #[inline]
     pub fn rows(&self) -> usize {
@@ -366,6 +372,16 @@ mod tests {
         let (a, b) = v.split_at(2);
         assert_eq!(a.row(1), m.row(2));
         assert_eq!(b.row(0), m.row(3));
+    }
+
+    #[test]
+    fn from_row_views_one_query() {
+        let m = sample_matrix();
+        let v = DatasetView::from_row(m.row(3));
+        assert_eq!(v.rows(), 1);
+        assert_eq!(v.cols(), 3);
+        assert_eq!(v.row(0), m.row(3));
+        assert_eq!(v.data().as_ptr(), m.row(3).as_ptr());
     }
 
     #[test]

@@ -12,7 +12,9 @@
 
 use snoopy::data::gaussian::{GaussianMixture, GaussianMixtureSpec};
 use snoopy::data::noise::ber_after_uniform_noise;
-use snoopy::estimators::{default_estimators, LabeledView};
+use snoopy::estimators::{
+    default_estimators, estimate_all_with_table, shared_neighbor_table, shared_table_k, LabeledView,
+};
 use snoopy::linalg::rng;
 use snoopy::prelude::*;
 
@@ -38,6 +40,9 @@ fn main() {
     }
     println!();
 
+    // One neighbour table serves every noise level: label noise never moves
+    // a neighbour, and each kNN-family estimator reads a prefix of the lists.
+    let neighbors = shared_neighbor_table(train_x.view(), test_x.view(), shared_table_k(&estimators));
     let mut noise_rng = rng::seeded(6);
     for rho in [0.0, 0.2, 0.4, 0.6] {
         let transition = TransitionMatrix::uniform(num_classes, rho);
@@ -45,12 +50,14 @@ fn main() {
         let noisy_test = transition.apply(&test_y, &mut noise_rng);
         let expected = ber_after_uniform_noise(clean_ber, rho, num_classes);
         print!("{:<8.2} {:>12.4}", rho, expected);
-        for est in &estimators {
-            let value = est.estimate(
-                &LabeledView::new(&train_x, &noisy_train),
-                &LabeledView::new(&test_x, &noisy_test),
-                num_classes,
-            );
+        let values = estimate_all_with_table(
+            &estimators,
+            &neighbors,
+            &LabeledView::new(&train_x, &noisy_train),
+            &LabeledView::new(&test_x, &noisy_test),
+            num_classes,
+        );
+        for value in &values {
             print!(" {:>15.4}", value);
         }
         println!();
