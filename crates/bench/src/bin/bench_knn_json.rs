@@ -1,16 +1,22 @@
 //! Emits `BENCH_knn.json`: queries/second of the kNN kernels — 1NN serial vs
 //! chunk-parallel, top-k (k = 1 vs k = 10) parallel vs the serial reference,
-//! and the leave-one-out error (parallel self-excluding kernel vs a
-//! forced-serial engine) — across a few training-set sizes. This is the
-//! workspace's perf-trajectory anchor — run it before and after touching the
-//! engine.
+//! the leave-one-out error (parallel self-excluding kernel vs a
+//! forced-serial engine), and the exhaustive-vs-clustered backend comparison
+//! (wall-clock, pruning rates, index build time) on a clustered synthetic
+//! workload — across a few training-set sizes. This is the workspace's
+//! perf-trajectory anchor — run it before and after touching the engine.
+//!
+//! Every section asserts bit-exact parity before timing anything, and the
+//! clustered section additionally asserts a non-zero pruning rate, so a
+//! silent regression of the pruned path to an exhaustive scan fails the run
+//! (CI executes the tiny scale).
 //!
 //! ```text
 //! cargo run --release -p snoopy-bench --bin bench_knn_json [--scale tiny|small|standard]
 //! ```
 
 use snoopy_knn::engine::{knn_reference, nearest_reference, EvalEngine};
-use snoopy_knn::{BruteForceIndex, Metric};
+use snoopy_knn::{BruteForceIndex, ClusteredIndex, EvalBackend, Metric};
 use snoopy_linalg::{rng, Matrix};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -18,6 +24,13 @@ use std::time::Instant;
 fn make_data(n: usize, d: usize, seed: u64) -> Matrix {
     let mut r = rng::seeded(seed);
     Matrix::from_fn(n, d, |_, _| rng::normal(&mut r) as f32)
+}
+
+/// Clustered synthetic features (the shared fixture builder): `n` rows drawn
+/// round-robin from `centers` well-separated Gaussian blobs — the workload
+/// shape the clustered backend is built for.
+fn make_blobs(n: usize, d: usize, centers: usize, seed: u64) -> Matrix {
+    snoopy_testutil::blob_cloud(seed, n, d, centers, 4.0, 0.15)
 }
 
 /// Median seconds per run of `f` over `reps` runs.
@@ -51,6 +64,17 @@ struct LooCase {
     train_n: usize,
     serial_s: f64,
     parallel_s: f64,
+}
+
+struct ClusteredCase {
+    train_n: usize,
+    nlist: usize,
+    k: usize,
+    build_s: f64,
+    exhaustive_qps: f64,
+    clustered_qps: f64,
+    cluster_prune_rate: f64,
+    row_prune_rate: f64,
 }
 
 fn main() {
@@ -180,6 +204,76 @@ fn main() {
         loo_cases.push(LooCase { train_n: n, serial_s: t_serial, parallel_s: t_parallel });
     }
 
+    // Exhaustive vs clustered backend on a clustered synthetic workload:
+    // parity is asserted bit for bit, the pruning rate must be non-zero
+    // (otherwise the pruned path silently regressed to an exhaustive scan),
+    // and both query paths are timed with the same parallel engine. The
+    // k-means build is timed separately — it is a one-off cost amortised
+    // over every query batch that reuses the index.
+    let (clustered_sizes, clustered_queries): (&[usize], usize) = match scale {
+        snoopy_data::registry::SizeScale::Tiny => (&[2_000], 150),
+        snoopy_data::registry::SizeScale::Standard => (&[10_000, 32_000], 500),
+        _ => (&[10_000, 16_000], 400),
+    };
+    let blob_dim = 32;
+    let blob_centers = 64;
+    let k = 10;
+    let mut clustered_cases = Vec::new();
+    for (i, &n) in clustered_sizes.iter().enumerate() {
+        let train_x = make_blobs(n, blob_dim, blob_centers, 40 + i as u64);
+        let query_x = make_blobs(clustered_queries, blob_dim, blob_centers, 80 + i as u64);
+        let nlist = EvalBackend::default_nlist(n);
+        let engine = EvalEngine::parallel();
+
+        let build_start = Instant::now();
+        let index =
+            ClusteredIndex::build_with_engine(train_x.view(), Metric::SquaredEuclidean, nlist, engine);
+        let build_s = build_start.elapsed().as_secs_f64();
+
+        let (table, stats) = index.topk_with_stats(query_x.view(), k);
+        assert_eq!(
+            table,
+            engine.topk(train_x.view(), query_x.view(), Metric::SquaredEuclidean, k),
+            "clustered backend must be bit-identical to the exhaustive engine"
+        );
+        assert!(
+            stats.cluster_prune_rate() > 0.0,
+            "clustered backend pruned nothing (rate {}) — the pruned path regressed to exhaustive",
+            stats.cluster_prune_rate()
+        );
+
+        let t_exhaustive = time_median(reps, || {
+            std::hint::black_box(engine.topk(train_x.view(), query_x.view(), Metric::SquaredEuclidean, k));
+        });
+        let t_clustered = time_median(reps, || {
+            std::hint::black_box(index.topk(query_x.view(), k));
+        });
+        let case = ClusteredCase {
+            train_n: n,
+            nlist,
+            k,
+            build_s,
+            exhaustive_qps: clustered_queries as f64 / t_exhaustive,
+            clustered_qps: clustered_queries as f64 / t_clustered,
+            cluster_prune_rate: stats.cluster_prune_rate(),
+            row_prune_rate: stats.row_prune_rate(),
+        };
+        println!(
+            "n={:>6} d={} top-{:<2} clustered(nlist={:>3}) exhaustive {:>10.0} q/s   clustered {:>10.0} q/s   speedup {:.2}x   prune {:.1}% clusters / {:.1}% rows   build {:.3}s",
+            case.train_n,
+            blob_dim,
+            k,
+            nlist,
+            case.exhaustive_qps,
+            case.clustered_qps,
+            case.clustered_qps / case.exhaustive_qps,
+            100.0 * case.cluster_prune_rate,
+            100.0 * case.row_prune_rate,
+            build_s,
+        );
+        clustered_cases.push(case);
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"knn_kernels\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
@@ -231,6 +325,24 @@ fn main() {
             c.serial_s,
             c.parallel_s,
             c.serial_s / c.parallel_s,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"clustered_cases\": [");
+    for (i, c) in clustered_cases.iter().enumerate() {
+        let comma = if i + 1 < clustered_cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"train_n\": {}, \"dim\": {blob_dim}, \"centers\": {blob_centers}, \"nlist\": {}, \"k\": {}, \"metric\": \"sq-euclidean\", \"build_s\": {:.6}, \"exhaustive_qps\": {:.1}, \"clustered_qps\": {:.1}, \"speedup\": {:.3}, \"cluster_prune_rate\": {:.4}, \"row_prune_rate\": {:.4}}}{comma}",
+            c.train_n,
+            c.nlist,
+            c.k,
+            c.build_s,
+            c.exhaustive_qps,
+            c.clustered_qps,
+            c.clustered_qps / c.exhaustive_qps,
+            c.cluster_prune_rate,
+            c.row_prune_rate,
         );
     }
     let _ = writeln!(json, "  ]");

@@ -19,7 +19,7 @@
 use snoopy_bandit::{Arm, PullLedger};
 use snoopy_data::TaskDataset;
 use snoopy_embeddings::Transformation;
-use snoopy_knn::{EvalEngine, Metric, StreamedOneNn};
+use snoopy_knn::{EvalBackend, EvalEngine, Metric, StreamedOneNn};
 
 /// A bandit arm evaluating one transformation on one task.
 pub struct TransformationArm<'a> {
@@ -36,6 +36,11 @@ pub struct TransformationArm<'a> {
     /// their own worker threads, and nesting a full-width engine inside each
     /// would oversubscribe the CPU.
     engine: EvalEngine,
+    /// Evaluation backend handed to the streamed evaluator (the study
+    /// resolves the config's choice — forced or auto-by-batch-size — before
+    /// constructing arms). Exhaustive and clustered streams are
+    /// bit-identical.
+    backend: EvalBackend,
 }
 
 impl<'a> TransformationArm<'a> {
@@ -55,12 +60,22 @@ impl<'a> TransformationArm<'a> {
             consumed: 0,
             ledger: PullLedger::new(),
             engine: EvalEngine::parallel(),
+            backend: EvalBackend::Exhaustive,
         }
     }
 
     /// Overrides the evaluation engine used by this arm's streamed 1NN.
     pub fn with_engine(mut self, engine: EvalEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Overrides the evaluation backend used by this arm's streamed 1NN.
+    pub fn with_backend(mut self, backend: EvalBackend) -> Self {
+        self.backend = backend;
+        if let Some(stream) = self.stream.as_mut() {
+            stream.set_backend(backend);
+        }
         self
     }
 
@@ -116,7 +131,8 @@ impl<'a> TransformationArm<'a> {
         self.ledger.charge(self.transformation.cost_for(self.task.test.len()));
         self.stream = Some(
             StreamedOneNn::new(test_embedded, self.task.test.labels.clone(), self.metric)
-                .with_engine(self.engine),
+                .with_engine(self.engine)
+                .with_backend(self.backend),
         );
     }
 }

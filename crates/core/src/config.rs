@@ -1,7 +1,7 @@
 //! Configuration of a feasibility study.
 
 use snoopy_bandit::SelectionStrategy;
-use snoopy_knn::Metric;
+use snoopy_knn::{EvalBackend, Metric};
 
 /// Configuration of one Snoopy run.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +21,12 @@ pub struct SnoopyConfig {
     pub budget: Option<usize>,
     /// Seed used for anything stochastic in the study (zoo construction).
     pub seed: u64,
+    /// Evaluation backend for the per-batch 1NN updates: `None` auto-selects
+    /// per arm by the train-size heuristic
+    /// ([`EvalBackend::auto_for`] over the batch size and test-split size);
+    /// `Some` forces a path. Both paths return bit-identical errors — the
+    /// backend only decides how much scan work is pruned.
+    pub backend: Option<EvalBackend>,
 }
 
 impl Default for SnoopyConfig {
@@ -32,6 +38,7 @@ impl Default for SnoopyConfig {
             metric: Metric::SquaredEuclidean,
             budget: None,
             seed: 0,
+            backend: None,
         }
     }
 }
@@ -58,6 +65,19 @@ impl SnoopyConfig {
     pub fn budget(mut self, budget: usize) -> Self {
         self.budget = Some(budget);
         self
+    }
+
+    /// Forces the evaluation backend (instead of per-arm auto-selection).
+    pub fn backend(mut self, backend: EvalBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The backend an arm should use for a given per-pull batch size and
+    /// test-split size: the forced one if set, otherwise the train-size
+    /// auto-selection heuristic over the streamed batch.
+    pub fn backend_for(&self, batch_size: usize, test_len: usize) -> EvalBackend {
+        self.backend.unwrap_or_else(|| EvalBackend::auto_for(batch_size, test_len, self.metric))
     }
 
     /// The target *error* corresponding to the target accuracy.

@@ -140,9 +140,15 @@ impl FeasibilityStudy {
         // strategy executors in `snoopy-bandit`, which resize each arm's
         // inner 1NN engine per round (`Arm::on_concurrency`) so arm-level
         // and query-level parallelism compose instead of oversubscribing.
+        // The per-batch evaluation backend (exhaustive vs exact-pruned
+        // clustered) is resolved once — forced by the config or auto-selected
+        // from the streamed batch size — and handed to every arm.
+        let backend = self.config.backend_for(batch_size, task.test.len());
         let mut arms: Vec<TransformationArm<'_>> = zoo
             .iter()
-            .map(|t| TransformationArm::new(t.as_ref(), task, self.config.metric, batch_size))
+            .map(|t| {
+                TransformationArm::new(t.as_ref(), task, self.config.metric, batch_size).with_backend(backend)
+            })
             .collect();
         let _outcome = run_strategy(self.config.strategy, &mut arms, budget);
 

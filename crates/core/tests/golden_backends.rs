@@ -1,0 +1,81 @@
+//! Golden end-to-end parity: the whole feasibility pipeline — streamed arm
+//! evaluation, minimum aggregation, and all five Bayes-error estimators —
+//! must produce **identical** results whether distances flow through the
+//! exhaustive engine or the exact-pruned clustered index. The clustered
+//! backend is forced (tiny fixtures never cross the auto-selection
+//! threshold) so the pruned path is genuinely exercised end to end.
+
+use snoopy_bandit::SelectionStrategy;
+use snoopy_core::{FeasibilityStudy, SnoopyConfig, StudyReport};
+use snoopy_data::registry::{load_clean, SizeScale};
+use snoopy_embeddings::zoo_for_task;
+use snoopy_estimators::{
+    default_estimators, estimate_all_with_backend, shared_neighbor_table_with_backend, shared_table_k,
+    LabeledView,
+};
+use snoopy_knn::EvalBackend;
+
+const CLUSTERED: EvalBackend = EvalBackend::Clustered { nlist: 5 };
+
+fn run(backend: EvalBackend) -> StudyReport {
+    let task = load_clean("mnist", SizeScale::Tiny, 42);
+    let zoo = zoo_for_task(&task, 7);
+    let config = SnoopyConfig::with_target(0.8)
+        .strategy(SelectionStrategy::Exhaustive)
+        .batch_fraction(0.2)
+        .backend(backend);
+    FeasibilityStudy::new(config).run(&task, &zoo)
+}
+
+#[test]
+fn feasibility_study_is_identical_across_backends() {
+    let exhaustive = run(EvalBackend::Exhaustive);
+    let clustered = run(CLUSTERED);
+
+    assert_eq!(exhaustive.best_transformation, clustered.best_transformation, "winning arm must match");
+    assert_eq!(exhaustive.decision, clustered.decision);
+    assert_eq!(
+        exhaustive.ber_estimate.to_bits(),
+        clustered.ber_estimate.to_bits(),
+        "aggregated BER must match bit for bit"
+    );
+    assert_eq!(exhaustive.per_transformation.len(), clustered.per_transformation.len());
+    for (a, b) in exhaustive.per_transformation.iter().zip(&clustered.per_transformation) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.one_nn_error.to_bits(), b.one_nn_error.to_bits(), "{}: 1NN error", a.name);
+        assert_eq!(a.ber_estimate.to_bits(), b.ber_estimate.to_bits(), "{}: BER estimate", a.name);
+        assert_eq!(a.curve, b.curve, "{}: convergence curve", a.name);
+        assert_eq!(a.consumed_samples, b.consumed_samples);
+    }
+}
+
+#[test]
+fn all_five_estimators_and_neighbor_tables_are_identical_across_backends() {
+    let task = load_clean("cifar10", SizeScale::Tiny, 43);
+    let zoo = zoo_for_task(&task, 7);
+    // Embed train/test through the first transformation of the zoo — the
+    // estimators consume the embedded views exactly like `exp_estimators`.
+    let train_x = zoo[0].transform(task.train.features_view());
+    let test_x = zoo[0].transform(task.test.features_view());
+    let train = LabeledView::new(&train_x, &task.train.labels).with_classes(task.num_classes);
+    let test = LabeledView::new(&test_x, &task.test.labels).with_classes(task.num_classes);
+
+    let estimators = default_estimators();
+    assert_eq!(estimators.len(), 5, "the comparison covers all five estimator families");
+
+    let k_max = shared_table_k(&estimators);
+    let table_exhaustive =
+        shared_neighbor_table_with_backend(train.features(), test.features(), k_max, EvalBackend::Exhaustive);
+    let table_clustered =
+        shared_neighbor_table_with_backend(train.features(), test.features(), k_max, CLUSTERED);
+    assert_eq!(table_exhaustive, table_clustered, "NeighborTable rows must be identical");
+    for q in 0..table_exhaustive.num_queries() {
+        assert_eq!(table_exhaustive.neighbors(q), table_clustered.neighbors(q), "query {q}");
+    }
+
+    let ex = estimate_all_with_backend(&estimators, &train, &test, task.num_classes, EvalBackend::Exhaustive);
+    let cl = estimate_all_with_backend(&estimators, &train, &test, task.num_classes, CLUSTERED);
+    for ((est, &a), &b) in estimators.iter().zip(&ex).zip(&cl) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{}: exhaustive {a} vs clustered {b}", est.name());
+    }
+}

@@ -28,6 +28,14 @@
 //! through the same engine kernels (blocked Prim relaxations and per-class
 //! Gaussian kernel accumulation, respectively).
 //!
+//! Table construction is backend-dispatched ([`EvalBackend`]): large
+//! training splits are answered by the exact-pruned clustered index in
+//! `snoopy-knn` (k-means coarse partition + triangle-inequality pruning),
+//! small ones by the exhaustive engine — the resulting tables are
+//! bit-identical, so every estimate is too. [`shared_neighbor_table`] and
+//! [`estimate_all`] auto-select by train size; the `_with_backend` variants
+//! force a path.
+//!
 //! All estimators receive a training view and a held-out evaluation view;
 //! estimators that conceptually use a single sample (GHP, KDE fitted on
 //! train and evaluated on train) simply ignore or pool the views as their
@@ -45,7 +53,7 @@ pub mod kde;
 /// feasibility study, and the experiment binaries.
 pub use snoopy_linalg::LabeledView;
 
-pub use snoopy_knn::{EvalEngine, Metric, NeighborTable};
+pub use snoopy_knn::{EvalBackend, EvalEngine, Metric, NeighborTable};
 
 /// A Bayes-error estimator.
 pub trait BerEstimator: Send + Sync {
@@ -89,13 +97,29 @@ pub fn shared_table_k(estimators: &[Box<dyn BerEstimator>]) -> usize {
 /// Computes the shared squared-Euclidean neighbour table: the `k_max` nearest
 /// training rows of every eval row, by the parallel engine. Neighbours depend
 /// only on features, so one table serves every relabelling of the same
-/// (transformation, split) pair.
+/// (transformation, split) pair. The evaluation backend is auto-selected by
+/// the train-size heuristic ([`EvalBackend::auto_for`]): large training
+/// splits route through the exact-pruned clustered index, small ones through
+/// the exhaustive kernel — the table is bit-identical either way.
 pub fn shared_neighbor_table(
     train: snoopy_linalg::DatasetView<'_>,
     eval: snoopy_linalg::DatasetView<'_>,
     k_max: usize,
 ) -> NeighborTable {
-    EvalEngine::parallel().topk(train, eval, Metric::SquaredEuclidean, k_max)
+    let backend = EvalBackend::auto_for(train.rows(), eval.rows(), Metric::SquaredEuclidean);
+    shared_neighbor_table_with_backend(train, eval, k_max, backend)
+}
+
+/// [`shared_neighbor_table`] with an explicit [`EvalBackend`] (e.g. to force
+/// the clustered path in a parity test, or the exhaustive path in a timing
+/// baseline).
+pub fn shared_neighbor_table_with_backend(
+    train: snoopy_linalg::DatasetView<'_>,
+    eval: snoopy_linalg::DatasetView<'_>,
+    k_max: usize,
+    backend: EvalBackend,
+) -> NeighborTable {
+    EvalEngine::parallel().topk_with_backend(train, eval, Metric::SquaredEuclidean, k_max, backend)
 }
 
 /// Evaluates every estimator against one precomputed shared table: table
@@ -129,11 +153,26 @@ pub fn estimate_all(
     eval: &LabeledView<'_>,
     num_classes: usize,
 ) -> Vec<f64> {
+    let backend = EvalBackend::auto_for(train.len(), eval.len(), Metric::SquaredEuclidean);
+    estimate_all_with_backend(estimators, train, eval, num_classes, backend)
+}
+
+/// [`estimate_all`] with an explicit [`EvalBackend`] for the shared table:
+/// both backends produce bit-identical tables, so every estimate is
+/// identical too — the backend only decides how much scan work the table
+/// construction skips.
+pub fn estimate_all_with_backend(
+    estimators: &[Box<dyn BerEstimator>],
+    train: &LabeledView<'_>,
+    eval: &LabeledView<'_>,
+    num_classes: usize,
+    backend: EvalBackend,
+) -> Vec<f64> {
     let k_max = shared_table_k(estimators);
     if k_max == 0 || train.is_empty() || eval.is_empty() {
         return estimators.iter().map(|e| e.estimate(train, eval, num_classes)).collect();
     }
-    let table = shared_neighbor_table(train.features(), eval.features(), k_max);
+    let table = shared_neighbor_table_with_backend(train.features(), eval.features(), k_max, backend);
     estimate_all_with_table(estimators, &table, train, eval, num_classes)
 }
 

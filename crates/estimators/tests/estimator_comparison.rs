@@ -3,37 +3,15 @@
 //! evolution at least qualitatively (the FeeBee evaluation protocol).
 
 use proptest::prelude::*;
-use snoopy_data::gaussian::{GaussianMixture, GaussianMixtureSpec};
 use snoopy_data::noise::{ber_after_uniform_noise, TransitionMatrix};
 use snoopy_estimators::{
-    cover_hart_lower_bound, default_estimators, estimate_all, estimate_all_with_table, shared_neighbor_table,
-    shared_table_k, BerEstimator, KnnPosteriorEstimator, LabeledView, OneNnEstimator,
+    cover_hart_lower_bound, default_estimators, estimate_all, estimate_all_with_backend,
+    estimate_all_with_table, shared_neighbor_table, shared_neighbor_table_with_backend, shared_table_k,
+    BerEstimator, EvalBackend, KnnPosteriorEstimator, LabeledView, OneNnEstimator,
 };
 use snoopy_linalg::{rng, Matrix};
-
-struct Task {
-    train_x: snoopy_linalg::Matrix,
-    train_y: Vec<u32>,
-    test_x: snoopy_linalg::Matrix,
-    test_y: Vec<u32>,
-    true_ber: f64,
-    num_classes: usize,
-}
-
-fn make_task(num_classes: usize, sep: f64, seed: u64, n_train: usize, n_test: usize) -> Task {
-    let mix = GaussianMixture::from_spec(&GaussianMixtureSpec {
-        num_classes,
-        latent_dim: 6,
-        class_sep: sep,
-        within_std: 1.0,
-        seed,
-    });
-    let mut r = rng::seeded(seed ^ 0xabc);
-    let (train_x, train_y) = mix.sample(n_train, &mut r);
-    let (test_x, test_y) = mix.sample(n_test, &mut r);
-    let true_ber = mix.bayes_error_monte_carlo(20_000, seed ^ 0xd00d);
-    Task { train_x, train_y, test_x, test_y, true_ber, num_classes }
-}
+// Shared fixture: the Gaussian-mixture task with a Monte-Carlo true BER.
+use snoopy_testutil::gaussian_task as make_task;
 
 #[test]
 fn all_estimators_are_close_on_a_moderate_task() {
@@ -129,6 +107,37 @@ fn shared_table_estimates_equal_individual_estimates() {
             "{}: shared-table {via_table} != individual {individual}",
             est.name()
         );
+    }
+}
+
+/// The clustered backend must be invisible to every estimator: tables and
+/// estimates are bit-identical to the exhaustive path.
+#[test]
+fn clustered_backend_tables_and_estimates_are_bit_identical() {
+    let task = make_task(3, 2.0, 41, 500, 120);
+    let train = LabeledView::new(&task.train_x, &task.train_y);
+    let test = LabeledView::new(&task.test_x, &task.test_y);
+    let estimators = default_estimators();
+    let k_max = shared_table_k(&estimators);
+    let exhaustive =
+        shared_neighbor_table_with_backend(train.features(), test.features(), k_max, EvalBackend::Exhaustive);
+    let clustered = shared_neighbor_table_with_backend(
+        train.features(),
+        test.features(),
+        k_max,
+        EvalBackend::Clustered { nlist: 16 },
+    );
+    assert_eq!(exhaustive, clustered, "shared tables must match bit for bit");
+    let a = estimate_all_with_backend(&estimators, &train, &test, task.num_classes, EvalBackend::Exhaustive);
+    let b = estimate_all_with_backend(
+        &estimators,
+        &train,
+        &test,
+        task.num_classes,
+        EvalBackend::Clustered { nlist: 16 },
+    );
+    for ((est, &x), &y) in estimators.iter().zip(&a).zip(&b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{}: exhaustive {x} vs clustered {y}", est.name());
     }
 }
 

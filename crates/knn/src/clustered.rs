@@ -1,0 +1,825 @@
+//! Exact-pruned clustered nearest-neighbour index: a k-means coarse partition
+//! plus triangle-inequality pruning, behind the same [`NeighborTable`]
+//! handshake as the exhaustive engine.
+//!
+//! The exhaustive [`EvalEngine`] visits every training row per query —
+//! `O(n · m · d)` for `n` training rows and `m` queries. On clustered
+//! embedding spaces most of that work provably cannot change the answer:
+//! once a query holds `k` candidates, whole clusters whose *lower bound* on
+//! any member's distance exceeds the current k-th admitted distance can be
+//! skipped without looking at a single row. [`ClusteredIndex`] implements
+//! that sublinear-work path while keeping results **bit-identical** to the
+//! exhaustive engine.
+//!
+//! ## Exactness argument
+//!
+//! Let `e(a, b)` be the true Euclidean distance. For a query `q`, a cluster
+//! centroid `c` with radius `r_c = max_{x ∈ c} e(x, c)`, and a member row
+//! `x`, the triangle inequality gives two lower bounds:
+//!
+//! * **cluster bound** — `e(q, x) ≥ max(0, e(q, c) − r_c)`,
+//! * **per-row bound** — `e(q, x) ≥ |e(q, c) − e(x, c)|`.
+//!
+//! [`Metric::SquaredEuclidean`] and [`Metric::Euclidean`] are monotone
+//! remappings of `e` (squaring, identity), so a bound `b` on `e` remaps to a
+//! bound `b²` (resp. `b`) on the stored distance, and a candidate can only be
+//! admitted if its remapped distance is lexicographically `< (τ, i)` where
+//! `τ` is the current k-th admitted distance. A cluster or row is skipped
+//! **only** when its remapped bound strictly exceeds `τ`; on equality it is
+//! still scanned, because an equal-distance row with a lower global index
+//! must still be admitted (the crate-wide `(distance, index)` tie-break).
+//!
+//! Floating point: the engine computes distances in `f32`
+//! ([`Matrix::row_sq_dist`], with a relative error ≤ ~`(d+1)·ε`), while the
+//! index computes all centroid geometry (`e(q, c)`, `e(x, c)`, `r_c`) in
+//! `f64`, where it is accurate to ~`2⁻⁵⁰`. To guarantee a bound never
+//! exceeds the `f32` distance the kernel would have computed, every remapped
+//! bound is deflated by a dimension-derived slack factor
+//! `1 − (2d + 32)·ε_f32` before the comparison — covering the worst-case
+//! `f32` summation error on both sides (squared distances double the
+//! relative error, hence the `2d`). A relative slack cannot cover *subnormal
+//! underflow* (a squared distance below the normal `f32` range can round to
+//! exactly `0.0` while the `f64` bound stays positive), so every prune
+//! comparison additionally requires the bound to clear the threshold by a
+//! metric-scaled absolute guard (the smallest normal `f32`, or its square
+//! root for Euclidean distances) — in particular a threshold of `0` (a
+//! perfect hit already admitted) disables pruning outright. The slack and
+//! guard sacrifice a vanishing amount of pruning power (< 0.02% for
+//! `d ≤ 768` at any realistic data scale) and never correctness; the
+//! proptests in `proptest_clustered.rs` pin the bit-for-bit parity across
+//! metrics, `k`, duplicate rows, and degenerate shapes, and the
+//! subnormal-underflow regression test pins the guard.
+//!
+//! [`Metric::Cosine`] is *not* a metric (no triangle inequality on the
+//! dissimilarity), so cosine consumers always take the exhaustive path — the
+//! [`EvalBackend`] dispatchers fall back automatically.
+//!
+//! ## Anatomy
+//!
+//! Construction runs [`lloyd_kmeans`] (seeded via `snoopy_linalg::rng`, so
+//! indexes are deterministic), drops empty clusters, and regroups rows into
+//! cluster-contiguous buffers via [`partition_rows`] — each regrouped row
+//! remembers its original index, which is what gets admitted into
+//! [`TopKState`]s so tie-breaks and downstream label lookups are oblivious
+//! to the regrouping. A query computes all centroid distances, sorts
+//! clusters by lower bound, and scans them in order with the same distance
+//! expressions as the engine kernel until the next cluster's bound can no
+//! longer beat the current k-th distance. Queries are chunked across the
+//! configured engine's worker threads exactly like the exhaustive kernel;
+//! per-cluster visit order is per-query, so the scan is a straight
+//! row-contiguous loop rather than the engine's cross-query block walk.
+//!
+//! Every query path reports [`PruneStats`] — clusters visited vs total and
+//! rows scanned vs pruned — which `bench_knn_json` emits into
+//! `BENCH_knn.json` as the pruning-rate regression anchor.
+
+use crate::engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
+use crate::metric::Metric;
+use snoopy_linalg::kmeans::{lloyd_kmeans, partition_rows};
+use snoopy_linalg::{DatasetView, Matrix};
+
+/// Which evaluation path a distance consumer routes through.
+///
+/// Both backends speak the same [`NeighborTable`] handshake and return
+/// bit-identical tables; `Clustered` merely skips work that provably cannot
+/// change the answer. Auto-selection ([`EvalBackend::auto_for`]) picks
+/// `Clustered` once the training side is large enough to amortise the
+/// k-means build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalBackend {
+    /// The exhaustive blocked engine: every query visits every training row.
+    Exhaustive,
+    /// k-means coarse partition with `nlist` clusters plus exact
+    /// triangle-inequality pruning (`nlist` is clamped to the training-row
+    /// count at build time). Falls back to [`EvalBackend::Exhaustive`] for
+    /// cosine dissimilarity and empty training sets.
+    Clustered {
+        /// Number of k-means clusters to partition the training rows into.
+        nlist: usize,
+    },
+}
+
+/// Minimum training rows before [`EvalBackend::auto_for`] picks clustering:
+/// below this the k-means build costs more than the scans it saves.
+pub const AUTO_MIN_TRAIN: usize = 4096;
+
+/// Minimum queries before [`EvalBackend::auto_for`] picks clustering: the
+/// build cost is amortised across queries.
+pub const AUTO_MIN_QUERIES: usize = 32;
+
+impl EvalBackend {
+    /// Train-size auto-selection heuristic: clustering pays once the k-means
+    /// build (`O(n · nlist · d)` per iteration) is amortised over enough
+    /// queries, and is only sound for triangle-prunable metrics. Returns
+    /// [`EvalBackend::Clustered`] with [`EvalBackend::default_nlist`] when
+    /// `train_rows ≥` [`AUTO_MIN_TRAIN`], `num_queries ≥`
+    /// [`AUTO_MIN_QUERIES`], and the metric is prunable; otherwise
+    /// [`EvalBackend::Exhaustive`].
+    pub fn auto_for(train_rows: usize, num_queries: usize, metric: Metric) -> EvalBackend {
+        if Self::prunable(metric) && train_rows >= AUTO_MIN_TRAIN && num_queries >= AUTO_MIN_QUERIES {
+            EvalBackend::Clustered { nlist: Self::default_nlist(train_rows) }
+        } else {
+            EvalBackend::Exhaustive
+        }
+    }
+
+    /// The default cluster count for a training set: `⌈√n⌉`, the classic
+    /// balance point where centroid scans and intra-cluster scans cost the
+    /// same.
+    pub fn default_nlist(train_rows: usize) -> usize {
+        (train_rows as f64).sqrt().ceil().max(1.0) as usize
+    }
+
+    /// Whether `metric` admits triangle-inequality pruning (everything except
+    /// cosine dissimilarity, which is not a metric).
+    pub fn prunable(metric: Metric) -> bool {
+        metric != Metric::Cosine
+    }
+
+    /// Resolves this backend against a concrete training set: `Some(nlist)`
+    /// (clamped to the row count) when the clustered path applies, `None`
+    /// when the exhaustive engine must be used.
+    pub fn resolve(&self, train_rows: usize, metric: Metric) -> Option<usize> {
+        match *self {
+            EvalBackend::Exhaustive => None,
+            EvalBackend::Clustered { nlist } => {
+                (Self::prunable(metric) && train_rows > 0).then(|| nlist.clamp(1, train_rows))
+            }
+        }
+    }
+
+    /// Short name for reports and benchmark JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvalBackend::Exhaustive => "exhaustive",
+            EvalBackend::Clustered { .. } => "clustered",
+        }
+    }
+}
+
+/// Pruning counters accumulated by clustered query paths.
+///
+/// `clusters_total` / `rows_total` count the work the exhaustive engine
+/// would have done (per query); `clusters_visited` counts clusters whose
+/// rows were looked at, `rows_scanned` counts actual distance evaluations
+/// and `rows_pruned` counts rows skipped by the per-row bound inside visited
+/// clusters. Rows in never-visited clusters appear in neither.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Queries answered.
+    pub queries: usize,
+    /// Clusters whose rows were scanned (summed over queries).
+    pub clusters_visited: usize,
+    /// Clusters times queries — the exhaustive cluster-visit count.
+    pub clusters_total: usize,
+    /// Query–row distance evaluations actually performed.
+    pub rows_scanned: usize,
+    /// Rows skipped by the per-row bound inside visited clusters.
+    pub rows_pruned: usize,
+    /// Training rows times queries — the exhaustive distance count.
+    pub rows_total: usize,
+}
+
+impl PruneStats {
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &PruneStats) {
+        self.queries += other.queries;
+        self.clusters_visited += other.clusters_visited;
+        self.clusters_total += other.clusters_total;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_pruned += other.rows_pruned;
+        self.rows_total += other.rows_total;
+    }
+
+    /// Fraction of cluster visits skipped: `1 − visited / total` (0 when no
+    /// query ran).
+    pub fn cluster_prune_rate(&self) -> f64 {
+        if self.clusters_total == 0 {
+            0.0
+        } else {
+            1.0 - self.clusters_visited as f64 / self.clusters_total as f64
+        }
+    }
+
+    /// Fraction of pairwise distances never evaluated: `1 − scanned / total`
+    /// (0 when no query ran).
+    pub fn row_prune_rate(&self) -> f64 {
+        if self.rows_total == 0 {
+            0.0
+        } else {
+            1.0 - self.rows_scanned as f64 / self.rows_total as f64
+        }
+    }
+}
+
+/// Deterministic seed for the index's internal k-means run. Clustering
+/// quality only affects speed, never results, so a fixed seed keeps index
+/// builds reproducible without threading a seed through every call site.
+pub const KMEANS_SEED: u64 = 0x5e3d_c0de;
+
+/// Iteration cap for the internal k-means run: Lloyd's converges fast on the
+/// coarse partitions used here, and a stale assignment only costs pruning
+/// power, never correctness.
+const KMEANS_MAX_ITERS: usize = 16;
+
+/// `‖a − b‖₂` accumulated in `f64` — the bound-side geometry is computed at
+/// double precision so only the `f32` kernel side needs slack.
+fn euclid_f64(a: &[f32], b: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x as f64 - y as f64;
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// The exact-pruned clustered index. See the [module docs](self) for the
+/// bound derivation and exactness argument.
+#[derive(Debug, Clone)]
+pub struct ClusteredIndex {
+    metric: Metric,
+    /// Regrouped cluster-contiguous rows (a copy of the training rows —
+    /// bit-identical values, new order).
+    data: Matrix,
+    /// Regrouped row → original training-row index (what gets admitted).
+    original: Vec<usize>,
+    /// Cluster `c` occupies regrouped rows `offsets[c]..offsets[c + 1]`.
+    offsets: Vec<usize>,
+    /// `nlist × d` centroids (empty clusters dropped).
+    centroids: Matrix,
+    /// Per-cluster radius `r_c = max_{x ∈ c} e(x, c)` in `f64`.
+    radii: Vec<f64>,
+    /// Per regrouped row: `e(x, c)` to its own centroid in `f64`.
+    row_center: Vec<f64>,
+    /// Bound deflation factor `1 − (2d + 32)·ε_f32` (see module docs).
+    slack: f64,
+    /// Absolute prune guard covering f32 subnormal underflow: relative slack
+    /// cannot bound the error once a squared distance falls below the normal
+    /// f32 range (it can round to exactly 0.0 while the f64 bound stays
+    /// positive), so a bound must clear the threshold by this margin before
+    /// it may prune — the smallest normal f32 for squared distances, its
+    /// square root for Euclidean ones. In particular `τ = 0` (a perfect hit)
+    /// disables pruning entirely, preserving the zero-distance tie-break.
+    abs_guard: f64,
+    engine: EvalEngine,
+}
+
+impl ClusteredIndex {
+    /// Builds an index over `train` with (at most) `nlist` k-means clusters,
+    /// using a parallel default engine for the build and later queries.
+    ///
+    /// # Panics
+    /// Panics for [`Metric::Cosine`] (not triangle-prunable — use
+    /// [`EvalBackend::resolve`] to fall back) or an empty `train`.
+    pub fn build(train: DatasetView<'_>, metric: Metric, nlist: usize) -> Self {
+        Self::build_with_engine(train, metric, nlist, EvalEngine::parallel())
+    }
+
+    /// [`ClusteredIndex::build`] with an explicit engine: the engine's thread
+    /// count drives both the k-means assignment passes and later query
+    /// chunking.
+    pub fn build_with_engine(
+        train: DatasetView<'_>,
+        metric: Metric,
+        nlist: usize,
+        engine: EvalEngine,
+    ) -> Self {
+        assert!(EvalBackend::prunable(metric), "cosine dissimilarity is not triangle-prunable");
+        assert!(!train.is_empty(), "cannot build a clustered index over an empty dataset");
+        let km = lloyd_kmeans(train, nlist, KMEANS_MAX_ITERS, KMEANS_SEED, engine.threads());
+        let k = km.centroids.rows();
+
+        // Compact away empty clusters so queries never bound-check them.
+        let mut counts = vec![0usize; k];
+        for &a in &km.assignments {
+            counts[a] += 1;
+        }
+        let keep: Vec<usize> = (0..k).filter(|&c| counts[c] > 0).collect();
+        let mut remap = vec![usize::MAX; k];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old] = new;
+        }
+        let assignments: Vec<usize> = km.assignments.iter().map(|&a| remap[a]).collect();
+        let centroids = km.centroids.view().select_rows(&keep);
+
+        let part = partition_rows(train, &assignments, keep.len());
+        let mut row_center = Vec::with_capacity(train.rows());
+        let mut radii = vec![0.0f64; keep.len()];
+        for (c, radius) in radii.iter_mut().enumerate() {
+            let cent = centroids.row(c);
+            for r in part.offsets[c]..part.offsets[c + 1] {
+                let d = euclid_f64(part.data.row(r), cent);
+                row_center.push(d);
+                *radius = radius.max(d);
+            }
+        }
+        let slack = 1.0 - (2.0 * train.cols() as f64 + 32.0) * f32::EPSILON as f64;
+        let abs_guard = match metric {
+            Metric::SquaredEuclidean => f32::MIN_POSITIVE as f64,
+            _ => (f32::MIN_POSITIVE as f64).sqrt(),
+        };
+        Self {
+            metric,
+            data: part.data,
+            original: part.original,
+            offsets: part.offsets,
+            centroids,
+            radii,
+            row_center,
+            slack,
+            abs_guard,
+            engine,
+        }
+    }
+
+    /// Replaces the engine driving query-chunk parallelism.
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Swaps the engine in place.
+    pub fn set_engine(&mut self, engine: EvalEngine) {
+        self.engine = engine;
+    }
+
+    /// Number of indexed training rows.
+    pub fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// Whether the index is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.rows() == 0
+    }
+
+    /// Number of (non-empty) clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The metric the index was built for.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Remaps a Euclidean-space lower bound into the stored-distance space
+    /// and deflates it by the slack factor (see module docs).
+    #[inline]
+    fn mapped_bound(&self, lb: f64) -> f64 {
+        let b = match self.metric {
+            Metric::SquaredEuclidean => lb * lb,
+            _ => lb,
+        };
+        b * self.slack
+    }
+
+    /// Whether a Euclidean-space lower bound `lb` proves that no candidate
+    /// can be admitted against the current threshold `tau` (the k-th stored
+    /// distance, `∞` while the state is not full): the remapped, deflated
+    /// bound must clear `tau` by the absolute subnormal guard.
+    #[inline]
+    fn prunes(&self, lb: f64, tau: f64) -> bool {
+        self.mapped_bound(lb) > tau + self.abs_guard
+    }
+
+    /// Shared per-query preamble: fills `order` with
+    /// `(lower bound, centroid distance, cluster)` triples sorted ascending
+    /// by bound (ties to the lowest cluster id) and books the exhaustive
+    /// work this query would have cost into `stats`.
+    fn order_clusters(&self, q: &[f32], order: &mut Vec<(f64, f64, usize)>, stats: &mut PruneStats) {
+        order.clear();
+        for (c, cent) in self.centroids.rows_iter().enumerate() {
+            let dqc = euclid_f64(q, cent);
+            order.push(((dqc - self.radii[c]).max(0.0), dqc, c));
+        }
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        stats.queries += 1;
+        stats.clusters_total += self.num_clusters();
+        stats.rows_total += self.data.rows();
+    }
+
+    /// Shared chunk-parallel driver: splits `slots` (one per query) into one
+    /// contiguous chunk per engine worker thread, runs `chunk_fn(start,
+    /// chunk)` on each, and merges the per-chunk [`PruneStats`].
+    fn fan_out<S, F>(&self, slots: &mut [S], chunk_fn: F) -> PruneStats
+    where
+        S: Send,
+        F: Fn(usize, &mut [S]) -> PruneStats + Sync,
+    {
+        let n = slots.len();
+        if n == 0 {
+            return PruneStats::default();
+        }
+        let threads = self.engine.threads().min(n);
+        if threads <= 1 {
+            return chunk_fn(0, slots);
+        }
+        let chunk = n.div_ceil(threads);
+        let mut stats = vec![PruneStats::default(); n.div_ceil(chunk)];
+        std::thread::scope(|scope| {
+            for ((t, slot), stat) in slots.chunks_mut(chunk).enumerate().zip(stats.iter_mut()) {
+                let start = t * chunk;
+                let chunk_fn = &chunk_fn;
+                scope.spawn(move || {
+                    *stat = chunk_fn(start, slot);
+                });
+            }
+        });
+        let mut total = PruneStats::default();
+        for s in &stats {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Answers one query into `state`: orders clusters by lower bound, scans
+    /// until the bound can no longer beat the k-th admitted distance, and
+    /// applies the per-row bound inside visited clusters. `skip` is a global
+    /// training index to exclude (leave-one-out), `usize::MAX` for none.
+    fn query_into(
+        &self,
+        q: &[f32],
+        offset: usize,
+        skip: usize,
+        state: &mut TopKState,
+        order: &mut Vec<(f64, f64, usize)>,
+        stats: &mut PruneStats,
+    ) {
+        self.order_clusters(q, order, stats);
+        for &(lb, dqc, c) in order.iter() {
+            if state.hits().len() == state.k() {
+                let tau = state.hits().last().expect("full state").distance as f64;
+                // Clusters are ordered by ascending bound and τ only shrinks,
+                // so the first unbeatable cluster ends the query.
+                if self.prunes(lb, tau) {
+                    break;
+                }
+            }
+            stats.clusters_visited += 1;
+            for r in self.offsets[c]..self.offsets[c + 1] {
+                let global = offset + self.original[r];
+                if global == skip {
+                    continue;
+                }
+                if state.hits().len() == state.k() {
+                    let tau = state.hits().last().expect("full state").distance as f64;
+                    if self.prunes((dqc - self.row_center[r]).abs(), tau) {
+                        stats.rows_pruned += 1;
+                        continue;
+                    }
+                }
+                // The exact expressions of the exhaustive kernel, on
+                // bit-identical row values — parity is structural.
+                let d2 = Matrix::row_sq_dist(q, self.data.row(r));
+                let dist = if self.metric == Metric::Euclidean { d2.sqrt() } else { d2 };
+                state.offer(dist, global);
+                stats.rows_scanned += 1;
+            }
+        }
+    }
+
+    /// Answers queries `[start, start + states.len())` serially, reusing one
+    /// cluster-order scratch buffer.
+    fn query_chunk(
+        &self,
+        queries: DatasetView<'_>,
+        start: usize,
+        offset: usize,
+        states: &mut [TopKState],
+        exclude_self: Option<usize>,
+    ) -> PruneStats {
+        let mut stats = PruneStats::default();
+        let mut order = Vec::with_capacity(self.num_clusters());
+        for (qi, state) in states.iter_mut().enumerate() {
+            let skip = exclude_self.map(|b| b + start + qi).unwrap_or(usize::MAX);
+            self.query_into(queries.row(start + qi), offset, skip, state, &mut order, &mut stats);
+        }
+        stats
+    }
+
+    /// Folds the indexed training rows (global indices = original row index
+    /// plus `offset`) into the running top-k state of every query row — the
+    /// pruned counterpart of [`EvalEngine::update_topk`], with the same
+    /// streamable fold semantics: pre-seeded states tighten the pruning
+    /// threshold from the first cluster. `exclude_self = Some(base)`
+    /// declares query row `i` to be global training row `base + i` and skips
+    /// that one pair (leave-one-out).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or `states.len() != queries.rows()`.
+    pub fn update_topk(
+        &self,
+        queries: DatasetView<'_>,
+        offset: usize,
+        states: &mut [TopKState],
+        exclude_self: Option<usize>,
+    ) -> PruneStats {
+        assert_eq!(queries.cols(), self.data.cols(), "query/train dimensionality mismatch");
+        assert_eq!(states.len(), queries.rows(), "one top-k state per query required");
+        self.fan_out(states, |start, slot| self.query_chunk(queries, start, offset, slot, exclude_self))
+    }
+
+    /// Answers one query directly into a flat 1NN slot — the `k = 1`
+    /// specialisation of [`ClusteredIndex::query_into`] with a scalar
+    /// threshold: an empty slot carries `distance = ∞`, so bounds never
+    /// prune until a candidate is admitted, and a slot pre-seeded by earlier
+    /// batches prunes from the first cluster. Admission uses the crate-wide
+    /// strict lexicographic rule ([`NearestHit::beats`]), identical to the
+    /// exhaustive kernel and to a `k = 1` [`TopKState`].
+    fn query_nearest_into(
+        &self,
+        q: &[f32],
+        offset: usize,
+        slot: &mut NearestHit,
+        order: &mut Vec<(f64, f64, usize)>,
+        stats: &mut PruneStats,
+    ) {
+        self.order_clusters(q, order, stats);
+        for &(lb, dqc, c) in order.iter() {
+            if self.prunes(lb, slot.distance as f64) {
+                break;
+            }
+            stats.clusters_visited += 1;
+            for r in self.offsets[c]..self.offsets[c + 1] {
+                if self.prunes((dqc - self.row_center[r]).abs(), slot.distance as f64) {
+                    stats.rows_pruned += 1;
+                    continue;
+                }
+                let d2 = Matrix::row_sq_dist(q, self.data.row(r));
+                let dist = if self.metric == Metric::Euclidean { d2.sqrt() } else { d2 };
+                let global = offset + self.original[r];
+                if NearestHit::beats(dist, global, *slot) {
+                    *slot = NearestHit { distance: dist, index: global };
+                }
+                stats.rows_scanned += 1;
+            }
+        }
+    }
+
+    /// Answers queries `[start, start + best.len())` serially into flat 1NN
+    /// slots, reusing one cluster-order scratch buffer (no per-query
+    /// allocation — the streamed evaluator's steady-state invariant).
+    fn query_chunk_nearest(
+        &self,
+        queries: DatasetView<'_>,
+        start: usize,
+        offset: usize,
+        best: &mut [NearestHit],
+    ) -> PruneStats {
+        let mut stats = PruneStats::default();
+        let mut order = Vec::with_capacity(self.num_clusters());
+        for (qi, slot) in best.iter_mut().enumerate() {
+            self.query_nearest_into(queries.row(start + qi), offset, slot, &mut order, &mut stats);
+        }
+        stats
+    }
+
+    /// Folds the indexed rows into flat 1NN slots (the streamed-evaluator
+    /// layout): a running best from earlier batches prunes from the first
+    /// cluster. Bit-identical to [`EvalEngine::update_nearest`] on the same
+    /// batch, with no per-query allocation.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or `best.len() != queries.rows()`.
+    pub fn update_nearest(
+        &self,
+        queries: DatasetView<'_>,
+        offset: usize,
+        best: &mut [NearestHit],
+    ) -> PruneStats {
+        assert_eq!(queries.cols(), self.data.cols(), "query/train dimensionality mismatch");
+        assert_eq!(best.len(), queries.rows(), "one nearest slot per query required");
+        self.fan_out(best, |start, slot| self.query_chunk_nearest(queries, start, offset, slot))
+    }
+
+    /// Top-k neighbour table for every query, from a cold start —
+    /// bit-identical to [`EvalEngine::topk`] on the same data.
+    pub fn topk(&self, queries: DatasetView<'_>, k: usize) -> NeighborTable {
+        self.topk_with_stats(queries, k).0
+    }
+
+    /// [`ClusteredIndex::topk`] plus the pruning counters.
+    pub fn topk_with_stats(&self, queries: DatasetView<'_>, k: usize) -> (NeighborTable, PruneStats) {
+        let mut states = vec![TopKState::new(k.max(1)); queries.rows()];
+        let stats = self.update_topk(queries, 0, &mut states, None);
+        (NeighborTable::from_states(&states), stats)
+    }
+
+    /// Leave-one-out top-k table of the indexed data against itself (row `i`
+    /// of `data` must be the view the index was built over) — bit-identical
+    /// to [`EvalEngine::topk_loo`].
+    pub fn topk_loo(&self, data: DatasetView<'_>, k: usize) -> NeighborTable {
+        self.topk_loo_with_stats(data, k).0
+    }
+
+    /// [`ClusteredIndex::topk_loo`] plus the pruning counters.
+    pub fn topk_loo_with_stats(&self, data: DatasetView<'_>, k: usize) -> (NeighborTable, PruneStats) {
+        let mut states = vec![TopKState::new(k.max(1)); data.rows()];
+        let stats = self.update_topk(data, 0, &mut states, Some(0));
+        (NeighborTable::from_states(&states), stats)
+    }
+}
+
+impl EvalEngine {
+    /// [`EvalEngine::topk`] dispatched through an [`EvalBackend`]: the
+    /// clustered path builds a [`ClusteredIndex`] (inheriting this engine's
+    /// shape) and answers through it; unresolvable backends (cosine, empty
+    /// train, `Exhaustive`) take the exhaustive kernel. Results are
+    /// bit-identical either way.
+    pub fn topk_with_backend(
+        &self,
+        train: DatasetView<'_>,
+        queries: DatasetView<'_>,
+        metric: Metric,
+        k: usize,
+        backend: EvalBackend,
+    ) -> NeighborTable {
+        match backend.resolve(train.rows(), metric) {
+            Some(nlist) => ClusteredIndex::build_with_engine(train, metric, nlist, *self).topk(queries, k),
+            None => self.topk(train, queries, metric, k),
+        }
+    }
+
+    /// [`EvalEngine::topk_loo`] dispatched through an [`EvalBackend`].
+    pub fn topk_loo_with_backend(
+        &self,
+        data: DatasetView<'_>,
+        metric: Metric,
+        k: usize,
+        backend: EvalBackend,
+    ) -> NeighborTable {
+        match backend.resolve(data.rows(), metric) {
+            Some(nlist) => ClusteredIndex::build_with_engine(data, metric, nlist, *self).topk_loo(data, k),
+            None => self.topk_loo(data, metric, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{knn_reference, knn_reference_loo};
+
+    fn blobs(n: usize, d: usize, centers: usize, seed: u64) -> Matrix {
+        snoopy_testutil::blob_cloud(seed, n, d, centers, 6.0, 0.2)
+    }
+
+    #[test]
+    fn clustered_topk_matches_reference_on_blobs() {
+        let train = blobs(400, 8, 8, 1);
+        let queries = blobs(60, 8, 8, 2);
+        for metric in [Metric::SquaredEuclidean, Metric::Euclidean] {
+            let index = ClusteredIndex::build(train.view(), metric, 8);
+            for k in [1usize, 3, 10, 400] {
+                let got = index.topk(queries.view(), k);
+                assert_eq!(got, knn_reference(train.view(), queries.view(), metric, k), "k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_happens_on_separated_blobs() {
+        let train = blobs(600, 6, 12, 3);
+        let queries = blobs(40, 6, 12, 4);
+        let index = ClusteredIndex::build(train.view(), Metric::SquaredEuclidean, 12);
+        let (table, stats) = index.topk_with_stats(queries.view(), 5);
+        assert_eq!(table, knn_reference(train.view(), queries.view(), Metric::SquaredEuclidean, 5));
+        assert!(stats.clusters_visited < stats.clusters_total, "{stats:?}");
+        assert!(stats.cluster_prune_rate() > 0.5, "rate {} ({stats:?})", stats.cluster_prune_rate());
+        assert!(stats.rows_scanned + stats.rows_pruned <= stats.rows_total);
+        assert_eq!(stats.queries, 40);
+    }
+
+    #[test]
+    fn loo_matches_reference_and_excludes_self() {
+        let data = blobs(150, 5, 6, 7);
+        for metric in [Metric::SquaredEuclidean, Metric::Euclidean] {
+            let index = ClusteredIndex::build(data.view(), metric, 6);
+            for k in [1usize, 4, 150] {
+                let got = index.topk_loo(data.view(), k);
+                assert_eq!(got, knn_reference_loo(data.view(), metric, k), "metric {} k {k}", metric.name());
+                for q in 0..got.num_queries() {
+                    assert!(got.neighbors(q).iter().all(|h| h.index != q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_nlist_exceeding_n_single_cluster_duplicates() {
+        // n < nlist: every row may become its own cluster.
+        let tiny = blobs(5, 4, 2, 9);
+        let q = blobs(7, 4, 2, 10);
+        for nlist in [1usize, 5, 64] {
+            let index = ClusteredIndex::build(tiny.view(), Metric::SquaredEuclidean, nlist);
+            assert!(index.num_clusters() <= 5);
+            assert_eq!(
+                index.topk(q.view(), 3),
+                knn_reference(tiny.view(), q.view(), Metric::SquaredEuclidean, 3)
+            );
+        }
+        // All-identical rows: ties must resolve to the lowest original index.
+        let dup = Matrix::from_fn(30, 4, |_, _| 2.5);
+        let index = ClusteredIndex::build(dup.view(), Metric::Euclidean, 4);
+        let table = index.topk(q.view().slice_rows(0, 3), 6);
+        for qi in 0..3 {
+            let idx: Vec<usize> = table.neighbors(qi).iter().map(|h| h.index).collect();
+            assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn streamed_nearest_fold_matches_engine_fold() {
+        let train = blobs(200, 5, 5, 21);
+        let queries = blobs(33, 5, 5, 22);
+        let engine = EvalEngine::with_threads(3);
+        let mut expected = vec![NearestHit::NONE; 33];
+        let mut got = vec![NearestHit::NONE; 33];
+        let mut consumed = 0;
+        for batch in train.view().batches(64) {
+            engine.update_nearest(
+                queries.view(),
+                Metric::SquaredEuclidean,
+                None,
+                batch,
+                None,
+                consumed,
+                &mut expected,
+            );
+            let index = ClusteredIndex::build_with_engine(batch, Metric::SquaredEuclidean, 4, engine);
+            index.update_nearest(queries.view(), consumed, &mut got);
+            consumed += batch.rows();
+            assert_eq!(got, expected, "prefix {consumed}");
+        }
+    }
+
+    #[test]
+    fn backend_dispatch_falls_back_for_cosine_and_matches_everywhere() {
+        let train = blobs(120, 6, 4, 31);
+        let queries = blobs(25, 6, 4, 32);
+        let engine = EvalEngine::parallel();
+        for metric in Metric::all() {
+            for backend in [EvalBackend::Exhaustive, EvalBackend::Clustered { nlist: 4 }] {
+                let got = engine.topk_with_backend(train.view(), queries.view(), metric, 7, backend);
+                assert_eq!(
+                    got,
+                    knn_reference(train.view(), queries.view(), metric, 7),
+                    "metric {} backend {}",
+                    metric.name(),
+                    backend.name()
+                );
+                let loo = engine.topk_loo_with_backend(train.view(), metric, 3, backend);
+                assert_eq!(loo, knn_reference_loo(train.view(), metric, 3));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_selection_thresholds() {
+        use Metric::*;
+        assert_eq!(EvalBackend::auto_for(100, 1000, SquaredEuclidean), EvalBackend::Exhaustive);
+        assert_eq!(EvalBackend::auto_for(10_000, 4, SquaredEuclidean), EvalBackend::Exhaustive);
+        assert_eq!(EvalBackend::auto_for(10_000, 1000, Cosine), EvalBackend::Exhaustive);
+        assert_eq!(
+            EvalBackend::auto_for(10_000, 1000, SquaredEuclidean),
+            EvalBackend::Clustered { nlist: 100 }
+        );
+        assert_eq!(EvalBackend::Clustered { nlist: 50 }.resolve(10, SquaredEuclidean), Some(10));
+        assert_eq!(EvalBackend::Clustered { nlist: 50 }.resolve(0, SquaredEuclidean), None);
+        assert_eq!(EvalBackend::Clustered { nlist: 50 }.resolve(100, Cosine), None);
+        assert_eq!(EvalBackend::Exhaustive.resolve(10_000, SquaredEuclidean), None);
+    }
+
+    #[test]
+    fn subnormal_underflow_does_not_prune_zero_distance_ties() {
+        // Both rows are within ~2e-23 of the query, so their f32 squared
+        // distances (≈ 3e-46, 5e-46) round to exactly 0.0 — the exhaustive
+        // kernel admits the LOWEST index by the (distance, index) tie-break.
+        // Their pairwise squared distance (1.6e-45) stays a non-zero
+        // subnormal, so k-means keeps them in separate clusters, and the
+        // query visits index 1's cluster first (smaller centroid distance)
+        // before admitting τ = 0. The f64 bound to index 0's cluster stays
+        // positive, so a purely relative slack would prune the
+        // lower-index-bearing cluster; the absolute guard must keep it
+        // scanned.
+        let train = Matrix::from_rows(&[vec![2.2e-23f32, 0.0], vec![-1.8e-23, 0.0]]);
+        let queries = Matrix::from_rows(&[vec![0.0f32, 0.0]]);
+        for metric in [Metric::SquaredEuclidean, Metric::Euclidean] {
+            let reference = knn_reference(train.view(), queries.view(), metric, 1);
+            assert_eq!(reference.first(0).expect("one hit").index, 0, "reference ties to index 0");
+            // nlist = 2: each row becomes its own cluster, and the query
+            // visits index 1's cluster first (smaller centroid distance).
+            let index = ClusteredIndex::build(train.view(), metric, 2);
+            assert_eq!(index.num_clusters(), 2);
+            assert_eq!(index.topk(queries.view(), 1), reference, "metric {}", metric.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not triangle-prunable")]
+    fn cosine_index_panics() {
+        let data = blobs(10, 3, 2, 1);
+        let _ = ClusteredIndex::build(data.view(), Metric::Cosine, 2);
+    }
+}

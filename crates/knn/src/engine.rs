@@ -48,7 +48,7 @@ impl NearestHit {
     /// the whole crate: equal distances resolve to the lowest global training
     /// index.
     #[inline]
-    fn beats(distance: f32, index: usize, other: NearestHit) -> bool {
+    pub(crate) fn beats(distance: f32, index: usize, other: NearestHit) -> bool {
         distance < other.distance || (distance == other.distance && index < other.index)
     }
 }

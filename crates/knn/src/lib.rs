@@ -19,9 +19,18 @@
 //!   every smaller `k` by prefix, which is how the estimator-comparison
 //!   pipeline shares a single neighbour computation across all kNN-family
 //!   Bayes-error estimators,
+//! * the exact-pruned clustered index ([`clustered::ClusteredIndex`]): a
+//!   Lloyd's k-means coarse partition plus triangle-inequality pruning that
+//!   skips most distance evaluations on clustered embedding spaces while
+//!   staying bit-identical to the exhaustive engine, surfaced as the
+//!   [`clustered::EvalBackend`] enum (`Exhaustive` | `Clustered { nlist }`,
+//!   with a train-size auto-selection heuristic) behind the same
+//!   `NeighborTable` handshake — cosine dissimilarity has no triangle
+//!   inequality, so cosine consumers transparently fall back to the
+//!   exhaustive kernel,
 //! * an exact brute-force index ([`brute::BruteForceIndex`]) whose k-NN
 //!   queries, batch evaluation, and leave-one-out error all route through
-//!   the engine,
+//!   the engine (or the clustered index, per backend),
 //! * a *streamed* 1NN evaluator ([`stream::StreamedOneNn`]) that consumes the
 //!   training set in batches and maintains the running nearest neighbour of
 //!   every test point — this is what the successive-halving bandit pulls one
@@ -32,12 +41,14 @@
 //!   samples" real-time feedback.
 
 pub mod brute;
+pub mod clustered;
 pub mod engine;
 pub mod incremental;
 pub mod metric;
 pub mod stream;
 
 pub use brute::BruteForceIndex;
+pub use clustered::{ClusteredIndex, EvalBackend, PruneStats};
 pub use engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
 pub use incremental::IncrementalOneNn;
 pub use metric::Metric;

@@ -12,6 +12,7 @@
 //! across batches, so the steady-state stream performs no per-query
 //! allocation.
 
+use crate::clustered::{ClusteredIndex, EvalBackend, PruneStats};
 use crate::engine::{row_norms_into, EvalEngine, NearestHit, NeighborTable};
 use crate::metric::Metric;
 use snoopy_linalg::{DatasetView, Matrix};
@@ -23,6 +24,13 @@ pub struct StreamedOneNn {
     test_labels: Vec<u32>,
     metric: Metric,
     engine: EvalEngine,
+    /// Backend for per-batch updates: a clustered backend indexes each
+    /// incoming batch and folds it in with triangle-inequality pruning — the
+    /// running best of earlier batches tightens the pruning threshold from
+    /// the first cluster. Results are bit-identical to the exhaustive fold.
+    backend: EvalBackend,
+    /// Pruning counters accumulated across clustered batch updates.
+    prune_stats: PruneStats,
     /// Running nearest state per test point (global training indices).
     best: Vec<NearestHit>,
     /// Labels of every consumed training sample, indexed globally.
@@ -53,6 +61,8 @@ impl StreamedOneNn {
             test_labels,
             metric,
             engine: EvalEngine::parallel(),
+            backend: EvalBackend::Exhaustive,
+            prune_stats: PruneStats::default(),
             train_labels: Vec::new(),
             curve: Vec::new(),
             query_norms,
@@ -70,6 +80,26 @@ impl StreamedOneNn {
     /// stream once it runs alone).
     pub fn set_engine(&mut self, engine: EvalEngine) {
         self.engine = engine;
+    }
+
+    /// Selects the per-batch update backend (exhaustive by default). Use a
+    /// clustered backend only when batches are large enough to amortise the
+    /// per-batch k-means build — [`EvalBackend::auto_for`] with the batch
+    /// size as the train side encodes that heuristic.
+    pub fn with_backend(mut self, backend: EvalBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Swaps the update backend in place.
+    pub fn set_backend(&mut self, backend: EvalBackend) {
+        self.backend = backend;
+    }
+
+    /// Pruning counters accumulated by clustered batch updates (all zeros
+    /// while streaming exhaustively).
+    pub fn prune_stats(&self) -> PruneStats {
+        self.prune_stats
     }
 
     /// Number of training samples consumed so far.
@@ -104,19 +134,25 @@ impl StreamedOneNn {
             self.test_features.cols(),
             "batch dimensionality differs from test set"
         );
-        if self.metric == Metric::Cosine {
-            row_norms_into(batch_features, &mut self.batch_norms);
-        }
         let offset = self.train_labels.len();
-        self.engine.update_nearest(
-            self.test_features.view(),
-            self.metric,
-            (!self.query_norms.is_empty()).then_some(self.query_norms.as_slice()),
-            batch_features,
-            (self.metric == Metric::Cosine).then_some(self.batch_norms.as_slice()),
-            offset,
-            &mut self.best,
-        );
+        if let Some(nlist) = self.backend.resolve(batch_features.rows(), self.metric) {
+            let index = ClusteredIndex::build_with_engine(batch_features, self.metric, nlist, self.engine);
+            let stats = index.update_nearest(self.test_features.view(), offset, &mut self.best);
+            self.prune_stats.merge(&stats);
+        } else {
+            if self.metric == Metric::Cosine {
+                row_norms_into(batch_features, &mut self.batch_norms);
+            }
+            self.engine.update_nearest(
+                self.test_features.view(),
+                self.metric,
+                (!self.query_norms.is_empty()).then_some(self.query_norms.as_slice()),
+                batch_features,
+                (self.metric == Metric::Cosine).then_some(self.batch_norms.as_slice()),
+                offset,
+                &mut self.best,
+            );
+        }
         self.train_labels.extend_from_slice(batch_labels);
         let err = self.current_error();
         self.curve.push((self.train_labels.len(), err));
@@ -261,6 +297,24 @@ mod tests {
         }
         let full = BruteForceIndex::new(&train_x, &train_y, 2, Metric::Cosine).one_nn_error(&test_x, &test_y);
         assert!((stream.current_error() - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustered_backend_stream_is_bit_identical_to_exhaustive() {
+        let (train_x, train_y, test_x, test_y) = toy_task(180);
+        let mut exhaustive = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean);
+        let mut clustered = StreamedOneNn::new(test_x, test_y, Metric::SquaredEuclidean)
+            .with_backend(EvalBackend::Clustered { nlist: 3 });
+        for batch in LabeledView::new(&train_x, &train_y).batches(45) {
+            let a = exhaustive.add_train_batch(batch.features(), batch.labels());
+            let b = clustered.add_train_batch(batch.features(), batch.labels());
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(exhaustive.nearest_train_indices(), clustered.nearest_train_indices());
+        }
+        assert_eq!(exhaustive.neighbor_table(), clustered.neighbor_table());
+        let stats = clustered.prune_stats();
+        assert_eq!(stats.queries, 60 * 4, "one pruned pass per test point per batch");
+        assert_eq!(exhaustive.prune_stats(), PruneStats::default());
     }
 
     #[test]

@@ -5,27 +5,14 @@
 //! consumer (index queries, batch evaluation, leave-one-out, and the
 //! streamed evaluator).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use snoopy_knn::engine::{
     knn_reference, knn_reference_loo, nearest_reference, EvalEngine, NeighborTable, TopKState,
 };
 use snoopy_knn::{BruteForceIndex, Metric, StreamedOneNn};
 use snoopy_linalg::{LabeledView, Matrix};
-
-/// Random labelled point cloud with a few duplicated rows so distance ties
-/// actually occur (tie-breaking is part of the bit-identical contract).
-fn cloud(seed: u64, n: usize, d: usize, classes: u32) -> (Matrix, Vec<u32>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut m = Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() * 10.0 - 5.0);
-    // Duplicate every 7th row from the row before it.
-    for r in (7..n).step_by(7) {
-        let prev = m.row(r - 1).to_vec();
-        m.row_mut(r).copy_from_slice(&prev);
-    }
-    let y = (0..n).map(|_| rng.gen_range(0..classes)).collect();
-    (m, y)
-}
+// Shared fixture (duplicated rows so distance ties actually occur —
+// tie-breaking is part of the bit-identical contract).
+use snoopy_testutil::cloud_with_ties as cloud;
 
 #[test]
 fn engine_is_bit_identical_to_serial_reference_for_all_metrics_and_shapes() {
@@ -235,6 +222,72 @@ fn topk_and_query_knn_share_the_lowest_index_tie_break() {
                         || (w[0].distance == w[1].distance && w[0].index < w[1].index),
                     "ties must resolve to the lowest index"
                 );
+            }
+        }
+    }
+}
+
+/// Regression for the lexicographic admission invariant of `update_topk`:
+/// the original tie-break test covered batch-streamed ingestion at a single
+/// block size. This sweep pins the invariant against *both* knobs — block
+/// sizes {1, 7, exact-multiple, > n} and thread counts {1, 2, 8} — for
+/// cold-start and batch-streamed ingestion on tie-saturated data (five
+/// copies of each distinct row value).
+#[test]
+fn topk_tie_break_is_invariant_across_block_sizes_and_thread_counts() {
+    let distinct: Vec<Vec<f32>> =
+        (0..12).map(|i| vec![i as f32 * 0.5, (i * i) as f32 * 0.1, -(i as f32)]).collect();
+    let rows: Vec<Vec<f32>> = (0..60).map(|r| distinct[r % 12].clone()).collect();
+    let train_x = Matrix::from_rows(&rows);
+    let (test_x, _) = cloud(93, 14, 3, 2);
+    let n = train_x.rows();
+    for metric in Metric::all() {
+        for k in [1usize, 6, 17] {
+            let reference = knn_reference(train_x.view(), test_x.view(), metric, k);
+            for threads in [1usize, 2, 8] {
+                // Block sizes: degenerate (1), odd (7), an exact divisor of
+                // n (15 divides 60), and one larger than n.
+                for block_rows in [1usize, 7, 15, n + 40] {
+                    let engine = EvalEngine::with_threads(threads).with_block_rows(block_rows);
+                    let cold = engine.topk(train_x.view(), test_x.view(), metric, k);
+                    assert_eq!(
+                        cold,
+                        reference,
+                        "cold metric {} k {k} threads {threads} block {block_rows}",
+                        metric.name()
+                    );
+                    for batch in [1usize, 7, n, n + 40] {
+                        let mut test_norms = Vec::new();
+                        let mut batch_norms = Vec::new();
+                        if metric == Metric::Cosine {
+                            snoopy_knn::engine::row_norms_into(test_x.view(), &mut test_norms);
+                        }
+                        let mut states = vec![TopKState::new(k); test_x.rows()];
+                        let mut consumed = 0;
+                        for chunk in train_x.view().batches(batch) {
+                            if metric == Metric::Cosine {
+                                snoopy_knn::engine::row_norms_into(chunk, &mut batch_norms);
+                            }
+                            engine.update_topk(
+                                test_x.view(),
+                                metric,
+                                (metric == Metric::Cosine).then_some(test_norms.as_slice()),
+                                chunk,
+                                (metric == Metric::Cosine).then_some(batch_norms.as_slice()),
+                                consumed,
+                                &mut states,
+                                None,
+                            );
+                            consumed += chunk.rows();
+                        }
+                        assert_eq!(
+                            NeighborTable::from_states(&states),
+                            reference,
+                            "streamed metric {} k {k} threads {threads} block {block_rows} batch {batch}",
+                            metric.name()
+                        );
+                    }
+                }
             }
         }
     }

@@ -1,19 +1,10 @@
 //! Property-based tests for the k-nearest-neighbour crate.
 
 use proptest::prelude::*;
-use rand::Rng;
-use rand::SeedableRng;
 use snoopy_knn::engine::{knn_reference, row_norms_into, EvalEngine, NeighborTable, TopKState};
 use snoopy_knn::{BruteForceIndex, IncrementalOneNn, Metric, StreamedOneNn};
-use snoopy_linalg::{LabeledView, Matrix};
-
-/// Random labelled point cloud.
-fn cloud(seed: u64, n: usize, d: usize, classes: u32) -> (Matrix, Vec<u32>) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let m = Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() * 10.0 - 5.0);
-    let y = (0..n).map(|_| rng.gen_range(0..classes)).collect();
-    (m, y)
-}
+use snoopy_linalg::LabeledView;
+use snoopy_testutil::cloud;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

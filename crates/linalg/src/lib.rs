@@ -12,6 +12,9 @@
 //! * zero-copy dataset views ([`view::DatasetView`], [`view::LabeledView`])
 //!   — the shared data handshake between the dataset registry, the kNN
 //!   engine, the Bayes-error estimators, and the feasibility study,
+//! * Lloyd's k-means with deterministic seeding and cluster-contiguous
+//!   row-partition buffers ([`kmeans`]) — the coarse-partition substrate of
+//!   the exact pruned nearest-neighbour index in `snoopy-knn`,
 //! * a Jacobi eigen-solver for symmetric matrices ([`eigen`]),
 //! * principal component analysis ([`pca::Pca`]), feature standardisation
 //!   ([`projection::Standardizer`]) and Gaussian random projections
@@ -26,6 +29,7 @@
 //! relies on to regenerate the paper's tables and figures reproducibly.
 
 pub mod eigen;
+pub mod kmeans;
 pub mod matrix;
 pub mod pca;
 pub mod projection;
@@ -33,6 +37,7 @@ pub mod rng;
 pub mod stats;
 pub mod view;
 
+pub use kmeans::{lloyd_kmeans, partition_rows, KMeans, RowPartition};
 pub use matrix::Matrix;
 pub use pca::Pca;
 pub use projection::{RandomProjection, Standardizer};
