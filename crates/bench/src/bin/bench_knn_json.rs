@@ -1,10 +1,13 @@
 //! Emits `BENCH_knn.json`: queries/second of the kNN kernels — 1NN serial vs
 //! chunk-parallel, top-k (k = 1 vs k = 10) parallel vs the serial reference,
 //! the leave-one-out error (parallel self-excluding kernel vs a
-//! forced-serial engine), and the exhaustive-vs-clustered backend comparison
-//! (wall-clock, pruning rates, index build time) on a clustered synthetic
-//! workload — across a few training-set sizes. This is the workspace's
-//! perf-trajectory anchor — run it before and after touching the engine.
+//! forced-serial engine), the single-core scalar-vs-tiled kernel comparison
+//! (the PR-3 per-pair scalar scan against the tile-blocked `MetricKernel`
+//! path, per metric, across an n × d grid), and the exhaustive-vs-clustered
+//! backend comparison (wall-clock, pruning rates, index build time) on a
+//! clustered synthetic workload — across a few training-set sizes. This is
+//! the workspace's perf-trajectory anchor — run it before and after
+//! touching the engine.
 //!
 //! Every section asserts bit-exact parity before timing anything, and the
 //! clustered section additionally asserts a non-zero pruning rate, so a
@@ -15,9 +18,9 @@
 //! cargo run --release -p snoopy-bench --bin bench_knn_json [--scale tiny|small|standard]
 //! ```
 
-use snoopy_knn::engine::{knn_reference, nearest_reference, EvalEngine};
+use snoopy_knn::engine::{knn_reference, nearest_reference, EvalEngine, NeighborTable, TopKState};
 use snoopy_knn::{BruteForceIndex, ClusteredIndex, EvalBackend, Metric};
-use snoopy_linalg::{rng, Matrix};
+use snoopy_linalg::{rng, DatasetView, Matrix};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -75,6 +78,64 @@ struct ClusteredCase {
     clustered_qps: f64,
     cluster_prune_rate: f64,
     row_prune_rate: f64,
+}
+
+struct KernelCase {
+    train_n: usize,
+    dim: usize,
+    metric: Metric,
+    k: usize,
+    scalar_qps: f64,
+    tiled_qps: f64,
+}
+
+/// The pre-tile-kernel (PR-3) exhaustive path, reproduced locally as the
+/// single-core timing baseline: a blocked scan computing every pair with the
+/// scalar per-element loops (`Matrix::row_sq_dist` / `row_dot` / `row_norm`)
+/// the engine used before the kernel layer. Only timed — its distance *bits*
+/// differ from today's fixed-order kernel, so parity is asserted against
+/// `knn_reference` instead.
+fn scalar_topk(train: DatasetView<'_>, queries: DatasetView<'_>, metric: Metric, k: usize) -> NeighborTable {
+    const BLOCK_ROWS: usize = 128;
+    let (mut qn, mut tn) = (Vec::new(), Vec::new());
+    if metric == Metric::Cosine {
+        qn.extend(queries.rows_iter().map(Matrix::row_norm));
+        tn.extend(train.rows_iter().map(Matrix::row_norm));
+    }
+    let mut states = vec![TopKState::new(k); queries.rows()];
+    for (block_idx, block) in train.batches(BLOCK_ROWS).enumerate() {
+        let base = block_idx * BLOCK_ROWS;
+        for (qi, state) in states.iter_mut().enumerate() {
+            let q = queries.row(qi);
+            match metric {
+                Metric::SquaredEuclidean => {
+                    for (j, row) in block.rows_iter().enumerate() {
+                        state.offer(Matrix::row_sq_dist(q, row), base + j);
+                    }
+                }
+                Metric::Euclidean => {
+                    for (j, row) in block.rows_iter().enumerate() {
+                        state.offer(Matrix::row_sq_dist(q, row).sqrt(), base + j);
+                    }
+                }
+                Metric::Cosine => {
+                    let na = qn[qi];
+                    for (j, row) in block.rows_iter().enumerate() {
+                        let nb = tn[base + j];
+                        let d = if na == 0.0 && nb == 0.0 {
+                            0.0
+                        } else if na == 0.0 || nb == 0.0 {
+                            2.0
+                        } else {
+                            1.0 - (Matrix::row_dot(q, row) / (na * nb)).clamp(-1.0, 1.0)
+                        };
+                        state.offer(d, base + j);
+                    }
+                }
+            }
+        }
+    }
+    NeighborTable::from_states(&states)
 }
 
 fn main() {
@@ -204,6 +265,65 @@ fn main() {
         loo_cases.push(LooCase { train_n: n, serial_s: t_serial, parallel_s: t_parallel });
     }
 
+    // Scalar vs tiled kernel, single core: the PR-3 per-pair scalar scan
+    // against today's tile-blocked MetricKernel path on a one-thread engine
+    // — isolates the kernel-layer speedup from parallelism. Parity of the
+    // tiled path is asserted bit for bit against the serial reference, and
+    // across two tile sizes, before anything is timed.
+    let (kernel_sizes, kernel_dims, kernel_queries, kernel_reps): (&[usize], &[usize], usize, usize) =
+        match scale {
+            snoopy_data::registry::SizeScale::Tiny => (&[2_000], &[16, 64], 100, 3),
+            snoopy_data::registry::SizeScale::Standard => (&[2_000, 10_000, 16_000], &[16, 64, 256], 400, 5),
+            _ => (&[2_000, 10_000, 16_000], &[16, 64, 256], 200, 3),
+        };
+    let kernel_k = 10;
+    let mut kernel_cases = Vec::new();
+    for (i, &n) in kernel_sizes.iter().enumerate() {
+        for (j, &d) in kernel_dims.iter().enumerate() {
+            let train_x = make_data(n, d, 200 + (i * 8 + j) as u64);
+            let query_x = make_data(kernel_queries, d, 300 + (i * 8 + j) as u64);
+            let serial = EvalEngine::serial();
+            for metric in Metric::all() {
+                let reference = knn_reference(train_x.view(), query_x.view(), metric, kernel_k);
+                assert_eq!(
+                    serial.topk(train_x.view(), query_x.view(), metric, kernel_k),
+                    reference,
+                    "tiled kernel must be bit-identical to the serial reference"
+                );
+                assert_eq!(
+                    serial.with_tile_rows(23).topk(train_x.view(), query_x.view(), metric, kernel_k),
+                    reference,
+                    "tiled kernel must be bit-identical across tile sizes"
+                );
+                let t_scalar = time_median(kernel_reps, || {
+                    std::hint::black_box(scalar_topk(train_x.view(), query_x.view(), metric, kernel_k));
+                });
+                let t_tiled = time_median(kernel_reps, || {
+                    std::hint::black_box(serial.topk(train_x.view(), query_x.view(), metric, kernel_k));
+                });
+                let case = KernelCase {
+                    train_n: n,
+                    dim: d,
+                    metric,
+                    k: kernel_k,
+                    scalar_qps: kernel_queries as f64 / t_scalar,
+                    tiled_qps: kernel_queries as f64 / t_tiled,
+                };
+                println!(
+                    "n={:>6} d={:>3} top-{:<2} {:<13} scalar {:>9.0} q/s   tiled(1 thread) {:>9.0} q/s   kernel speedup {:.2}x",
+                    case.train_n,
+                    case.dim,
+                    kernel_k,
+                    metric.name(),
+                    case.scalar_qps,
+                    case.tiled_qps,
+                    case.tiled_qps / case.scalar_qps,
+                );
+                kernel_cases.push(case);
+            }
+        }
+    }
+
     // Exhaustive vs clustered backend on a clustered synthetic workload:
     // parity is asserted bit for bit, the pruning rate must be non-zero
     // (otherwise the pruned path silently regressed to an exhaustive scan),
@@ -325,6 +445,22 @@ fn main() {
             c.serial_s,
             c.parallel_s,
             c.serial_s / c.parallel_s,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"kernel_cases\": [");
+    for (i, c) in kernel_cases.iter().enumerate() {
+        let comma = if i + 1 < kernel_cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"train_n\": {}, \"dim\": {}, \"k\": {}, \"metric\": \"{}\", \"scalar_qps\": {:.1}, \"tiled_qps\": {:.1}, \"speedup\": {:.3}}}{comma}",
+            c.train_n,
+            c.dim,
+            c.k,
+            c.metric.name(),
+            c.scalar_qps,
+            c.tiled_qps,
+            c.tiled_qps / c.scalar_qps,
         );
     }
     let _ = writeln!(json, "  ],");

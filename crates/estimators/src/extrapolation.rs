@@ -187,12 +187,16 @@ impl KnnExtrapolationEstimator {
         eval: &crate::LabeledView<'_>,
         final_from_table: Option<&crate::NeighborTable>,
     ) -> Vec<(usize, f64)> {
-        use snoopy_knn::NearestHit;
+        use snoopy_knn::{MetricKernel, NearestHit};
         let engine = crate::EvalEngine::parallel();
         let sizes = self.ladder(train.len());
         let mut best = vec![NearestHit::NONE; eval.len()];
         let mut curve = Vec::with_capacity(sizes.len());
         let mut consumed = 0usize;
+        // One kernel across the prefix ladder: the eval-side norm cache is
+        // bound once, the train side re-binds per rung slice.
+        let mut kernel = MetricKernel::new(crate::Metric::SquaredEuclidean);
+        kernel.bind_queries(eval.features());
         for &n in &sizes {
             if n == train.len() {
                 if let Some(table) = final_from_table {
@@ -200,15 +204,9 @@ impl KnnExtrapolationEstimator {
                     continue;
                 }
             }
-            engine.update_nearest(
-                eval.features(),
-                crate::Metric::SquaredEuclidean,
-                None,
-                train.features().slice_rows(consumed, n),
-                None,
-                consumed,
-                &mut best,
-            );
+            let rung = train.features().slice_rows(consumed, n);
+            kernel.bind_train(rung);
+            engine.update_nearest(eval.features(), &kernel, rung, consumed, &mut best);
             consumed = n;
             let wrong = best.iter().zip(eval.labels()).filter(|&(h, &y)| train.label(h.index) != y).count();
             curve.push((n, wrong as f64 / eval.len() as f64));

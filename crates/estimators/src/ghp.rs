@@ -18,7 +18,7 @@
 //! comparable with the other lower-bound-style estimators in this crate.
 
 use crate::{BerEstimator, LabeledView};
-use snoopy_knn::{EvalEngine, Metric, NearestHit};
+use snoopy_knn::{EvalEngine, Metric, MetricKernel, NearestHit};
 use snoopy_linalg::{DatasetView, Matrix};
 
 /// Remaining relaxation work (`frontier points × dims`) above which a Prim
@@ -82,13 +82,18 @@ impl GhpEstimator {
         let mut best = vec![NearestHit::NONE; n - 1];
         let mut m = n - 1;
 
+        // One kernel for the whole Prim run: the frontier's query-side norm
+        // cache is computed once and then mirrors the swap-remove compaction
+        // (O(1) per round instead of an O(m·d) re-bind); each new tree
+        // vertex is a one-row train binding.
+        let mut kernel = MetricKernel::new(Metric::SquaredEuclidean);
+        kernel.bind_queries(DatasetView::from_raw(&frontier, m, d));
         let engine_for = |work: usize| if work >= PARALLEL_RELAXATION_MIN_WORK { parallel } else { serial };
+        kernel.bind_train(view.slice_rows(0, 1));
         engine_for(m * d).update_nearest(
             DatasetView::from_raw(&frontier, m, d),
-            Metric::SquaredEuclidean,
-            None,
+            &kernel,
             view.slice_rows(0, 1),
-            None,
             0,
             &mut best,
         );
@@ -113,7 +118,8 @@ impl GhpEstimator {
             if labels[next] != labels[best[pos].index] {
                 cross += 1;
             }
-            // Swap-remove the new tree vertex from the frontier.
+            // Swap-remove the new tree vertex from the frontier; the
+            // kernel's query cache compacts in lockstep.
             m -= 1;
             ids.swap(pos, m);
             best.swap(pos, m);
@@ -124,13 +130,13 @@ impl GhpEstimator {
             frontier.truncate(m * d);
             ids.truncate(m);
             best.truncate(m);
+            kernel.queries_swap_remove(pos);
             // Relax the remaining frontier through the new vertex.
+            kernel.bind_train(view.slice_rows(next, next + 1));
             engine_for(m * d).update_nearest(
                 DatasetView::from_raw(&frontier, m, d),
-                Metric::SquaredEuclidean,
-                None,
+                &kernel,
                 view.slice_rows(next, next + 1),
-                None,
                 next,
                 &mut best,
             );

@@ -13,11 +13,13 @@
 //! moderate embedding dimensions, exact brute force in `O(n · d)` per query is
 //! both simple and fast enough (the paper's own system computes exact 1NN on
 //! GPU). The index borrows its training data — building one never clones a
-//! feature matrix — and precomputes the cosine-norm scratch once at
-//! construction so batch queries allocate nothing per query.
+//! feature matrix — and binds its [`MetricKernel`] train-side norm cache
+//! once at construction, so batch queries pay one query-side norm pass and
+//! nothing per query.
 
 use crate::clustered::{ClusteredIndex, EvalBackend};
-use crate::engine::{row_norms_into, EvalEngine, NearestHit, NeighborTable, TopKState};
+use crate::engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
+use crate::kernel::MetricKernel;
 use crate::metric::Metric;
 use snoopy_linalg::{DatasetView, LabeledView, Matrix};
 
@@ -25,9 +27,11 @@ use snoopy_linalg::{DatasetView, LabeledView, Matrix};
 #[derive(Debug, Clone)]
 pub struct BruteForceIndex<'a> {
     view: LabeledView<'a>,
-    metric: Metric,
-    /// Precomputed row norms (cosine scratch; empty for other metrics).
-    train_norms: Vec<f32>,
+    /// The metric kernel with its train-side norm cache bound once to the
+    /// indexed rows; query paths clone it and bind the query side per call
+    /// (cloning copies one `f32` per training row — noise next to the
+    /// `O(n·d)` scan it precedes).
+    kernel: MetricKernel,
     /// Vote-vector size for majority voting: max(declared classes, labels
     /// present). Computed once — scanning labels per query is a hot-path tax.
     vote_classes: usize,
@@ -65,15 +69,12 @@ impl<'a> BruteForceIndex<'a> {
     /// Panics if the view is empty.
     pub fn from_view(view: LabeledView<'a>, metric: Metric) -> Self {
         assert!(!view.is_empty(), "cannot build an empty index");
-        let mut train_norms = Vec::new();
-        if metric == Metric::Cosine {
-            row_norms_into(view.features(), &mut train_norms);
-        }
+        let mut kernel = MetricKernel::new(metric);
+        kernel.bind_train(view.features());
         let vote_classes = view.num_classes().max(view.observed_classes());
         Self {
             view,
-            metric,
-            train_norms,
+            kernel,
             vote_classes,
             engine: EvalEngine::parallel(),
             backend: EvalBackend::Exhaustive,
@@ -98,8 +99,8 @@ impl<'a> BruteForceIndex<'a> {
     /// back to exhaustive for cosine (no triangle inequality).
     pub fn with_backend(mut self, backend: EvalBackend) -> Self {
         self.backend = backend;
-        self.clustered = backend.resolve(self.len(), self.metric).map(|nlist| {
-            ClusteredIndex::build_with_engine(self.view.features(), self.metric, nlist, self.engine)
+        self.clustered = backend.resolve(self.len(), self.metric()).map(|nlist| {
+            ClusteredIndex::build_with_engine(self.view.features(), self.metric(), nlist, self.engine)
         });
         self
     }
@@ -121,7 +122,7 @@ impl<'a> BruteForceIndex<'a> {
 
     /// The metric used by the index.
     pub fn metric(&self) -> Metric {
-        self.metric
+        self.kernel.metric()
     }
 
     /// The labels of the indexed samples.
@@ -152,38 +153,15 @@ impl<'a> BruteForceIndex<'a> {
         if let Some(ci) = &self.clustered {
             return ci.topk(queries, k);
         }
-        let query_norms = if self.metric == Metric::Cosine {
-            let mut norms = Vec::new();
-            row_norms_into(queries, &mut norms);
-            Some(norms)
-        } else {
-            None
-        };
-        let train_norms = (!self.train_norms.is_empty()).then_some(self.train_norms.as_slice());
+        let mut kernel = self.kernel.clone();
+        kernel.bind_queries(queries);
         if k == 1 {
             let mut best = vec![NearestHit::NONE; queries.rows()];
-            self.engine.update_nearest(
-                queries,
-                self.metric,
-                query_norms.as_deref(),
-                self.view.features(),
-                train_norms,
-                0,
-                &mut best,
-            );
+            self.engine.update_nearest(queries, &kernel, self.view.features(), 0, &mut best);
             NeighborTable::from_nearest(best)
         } else {
             let mut states = vec![TopKState::new(k); queries.rows()];
-            self.engine.update_topk(
-                queries,
-                self.metric,
-                query_norms.as_deref(),
-                self.view.features(),
-                train_norms,
-                0,
-                &mut states,
-                None,
-            );
+            self.engine.update_topk(queries, &kernel, self.view.features(), 0, &mut states, None);
             NeighborTable::from_states(&states)
         }
     }
@@ -259,7 +237,7 @@ impl<'a> BruteForceIndex<'a> {
         if let Some(ci) = &self.clustered {
             return ci.topk_loo(self.view.features(), k);
         }
-        self.engine.topk_loo(self.view.features(), self.metric, k)
+        self.engine.topk_loo(self.view.features(), self.metric(), k)
     }
 
     /// Leave-one-out 1NN error on the *training* set itself (each sample's

@@ -29,26 +29,41 @@
 //! still scanned, because an equal-distance row with a lower global index
 //! must still be admitted (the crate-wide `(distance, index)` tie-break).
 //!
-//! Floating point: the engine computes distances in `f32`
-//! ([`Matrix::row_sq_dist`], with a relative error ≤ ~`(d+1)·ε`), while the
-//! index computes all centroid geometry (`e(q, c)`, `e(x, c)`, `r_c`) in
-//! `f64`, where it is accurate to ~`2⁻⁵⁰`. To guarantee a bound never
-//! exceeds the `f32` distance the kernel would have computed, every remapped
-//! bound is deflated by a dimension-derived slack factor
-//! `1 − (2d + 32)·ε_f32` before the comparison — covering the worst-case
-//! `f32` summation error on both sides (squared distances double the
-//! relative error, hence the `2d`). A relative slack cannot cover *subnormal
-//! underflow* (a squared distance below the normal `f32` range can round to
-//! exactly `0.0` while the `f64` bound stays positive), so every prune
-//! comparison additionally requires the bound to clear the threshold by a
-//! metric-scaled absolute guard (the smallest normal `f32`, or its square
-//! root for Euclidean distances) — in particular a threshold of `0` (a
-//! perfect hit already admitted) disables pruning outright. The slack and
-//! guard sacrifice a vanishing amount of pruning power (< 0.02% for
-//! `d ≤ 768` at any realistic data scale) and never correctness; the
-//! proptests in `proptest_clustered.rs` pin the bit-for-bit parity across
-//! metrics, `k`, duplicate rows, and degenerate shapes, and the
-//! subnormal-underflow regression test pins the guard.
+//! Floating point: the engine computes distances in `f32` through the
+//! tile-blocked [`MetricKernel`] — the norm trick
+//! `‖q − x‖² = ‖q‖² + ‖x‖² − 2⟨q, x⟩` — while the index computes all
+//! centroid geometry (`e(q, c)`, `e(x, c)`, `r_c`) in `f64`, where it is
+//! accurate to ~`2⁻⁵⁰`. The norm trick's rounding error is *absolute*, not
+//! relative: cancellation between the norm and dot terms can make the
+//! computed `f32` squared distance smaller than the true one by up to
+//! `~(d + 11)·ε_f32·(‖q‖ + ‖x‖)²` (it is clamped at zero, which only raises
+//! it). Every prune comparison therefore runs in **squared-distance space**
+//! and requires
+//!
+//! ```text
+//! lb² · (1 − (2d + 32)·ε)  −  coeff·ε·(‖q‖ + max_row_norm)²  >  τ² + guard
+//! ```
+//!
+//! where `lb` is the `f64` Euclidean lower bound, the relative slack covers
+//! the `f64` geometry, the absolute term (`coeff = 2(d + 16)`, a global
+//! `max_row_norm` so the cluster scan order's early exit stays monotone in
+//! `lb`) covers the kernel's cancellation error, `τ²` is the squared current
+//! k-th admitted distance (inflated by `8ε` for Euclidean consumers to cover
+//! the square root's rounding), and `guard` is the smallest normal `f32`,
+//! covering subnormal underflow (a squared distance below the normal `f32`
+//! range can round to exactly `0.0` while the `f64` bound stays positive) —
+//! in particular a threshold of `0` (a perfect hit already admitted)
+//! disables pruning outright. The slack and guards sacrifice a vanishing
+//! amount of pruning power and never correctness; the proptests in
+//! `proptest_clustered.rs` pin the bit-for-bit parity across metrics, `k`,
+//! duplicate rows, and degenerate shapes, and the subnormal-underflow
+//! regression test pins the guard.
+//!
+//! Inside a visited cluster, rows are evaluated with the engine's own tile
+//! kernel ([`MetricKernel::tile_with`]) whenever a whole tile survives the
+//! per-row bound (the common case), falling back to the bit-identical
+//! per-pair path when a tile is broken by a pruned or self-excluded row —
+//! distance values never depend on which path computed them.
 //!
 //! [`Metric::Cosine`] is *not* a metric (no triangle inequality on the
 //! dissimilarity), so cosine consumers always take the exhaustive path — the
@@ -74,6 +89,7 @@
 //! `BENCH_knn.json` as the pruning-rate regression anchor.
 
 use crate::engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
+use crate::kernel::MetricKernel;
 use crate::metric::Metric;
 use snoopy_linalg::kmeans::{lloyd_kmeans, partition_rows};
 use snoopy_linalg::{DatasetView, Matrix};
@@ -233,11 +249,20 @@ fn euclid_f64(a: &[f32], b: &[f32]) -> f64 {
     acc.sqrt()
 }
 
+/// `‖a‖₂` accumulated in `f64` (feeds the kernel-error term of the bounds).
+fn norm_f64(a: &[f32]) -> f64 {
+    a.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt()
+}
+
 /// The exact-pruned clustered index. See the [module docs](self) for the
 /// bound derivation and exactness argument.
 #[derive(Debug, Clone)]
 pub struct ClusteredIndex {
-    metric: Metric,
+    /// The tile kernel: the metric plus the norm cache of the regrouped
+    /// rows (bound as its train side). All distance evaluations inside
+    /// visited clusters go through it — the same expressions, the same
+    /// bits, as the exhaustive engine.
+    kernel: MetricKernel,
     /// Regrouped cluster-contiguous rows (a copy of the training rows —
     /// bit-identical values, new order).
     data: Matrix,
@@ -251,15 +276,21 @@ pub struct ClusteredIndex {
     radii: Vec<f64>,
     /// Per regrouped row: `e(x, c)` to its own centroid in `f64`.
     row_center: Vec<f64>,
-    /// Bound deflation factor `1 − (2d + 32)·ε_f32` (see module docs).
+    /// Largest member norm `max_x ‖x‖` in `f64` — feeds the kernel-error
+    /// term of every bound (global, so the bound-ordered cluster scan's
+    /// early exit stays monotone in the lower bound).
+    max_norm: f64,
+    /// Kernel-error coefficient `2(d + 16)·ε_f32`: multiplied by
+    /// `(‖q‖ + max_norm)²` it upper-bounds how far below the true squared
+    /// distance the norm-trick `f32` kernel can land (see module docs).
+    err_coeff: f64,
+    /// Relative bound deflation `1 − (2d + 32)·ε_f32`, covering the `f64`
+    /// geometry side (see module docs).
     slack: f64,
-    /// Absolute prune guard covering f32 subnormal underflow: relative slack
-    /// cannot bound the error once a squared distance falls below the normal
-    /// f32 range (it can round to exactly 0.0 while the f64 bound stays
-    /// positive), so a bound must clear the threshold by this margin before
-    /// it may prune — the smallest normal f32 for squared distances, its
-    /// square root for Euclidean ones. In particular `τ = 0` (a perfect hit)
-    /// disables pruning entirely, preserving the zero-distance tie-break.
+    /// Absolute prune guard covering f32 subnormal underflow, in squared
+    /// space: the smallest normal f32. In particular `τ = 0` (a perfect hit
+    /// already admitted) disables pruning entirely, preserving the
+    /// zero-distance tie-break.
     abs_guard: f64,
     engine: EvalEngine,
 }
@@ -305,29 +336,32 @@ impl ClusteredIndex {
         let part = partition_rows(train, &assignments, keep.len());
         let mut row_center = Vec::with_capacity(train.rows());
         let mut radii = vec![0.0f64; keep.len()];
+        let mut max_norm = 0.0f64;
         for (c, radius) in radii.iter_mut().enumerate() {
             let cent = centroids.row(c);
             for r in part.offsets[c]..part.offsets[c + 1] {
-                let d = euclid_f64(part.data.row(r), cent);
+                let row = part.data.row(r);
+                let d = euclid_f64(row, cent);
                 row_center.push(d);
                 *radius = radius.max(d);
+                max_norm = max_norm.max(norm_f64(row));
             }
         }
-        let slack = 1.0 - (2.0 * train.cols() as f64 + 32.0) * f32::EPSILON as f64;
-        let abs_guard = match metric {
-            Metric::SquaredEuclidean => f32::MIN_POSITIVE as f64,
-            _ => (f32::MIN_POSITIVE as f64).sqrt(),
-        };
+        let mut kernel = MetricKernel::new(metric);
+        kernel.bind_train(part.data.view());
+        let d = train.cols() as f64;
         Self {
-            metric,
+            kernel,
             data: part.data,
             original: part.original,
             offsets: part.offsets,
             centroids,
             radii,
             row_center,
-            slack,
-            abs_guard,
+            max_norm,
+            err_coeff: 2.0 * (d + 16.0) * f32::EPSILON as f64,
+            slack: 1.0 - (2.0 * d + 32.0) * f32::EPSILON as f64,
+            abs_guard: f32::MIN_POSITIVE as f64,
             engine,
         }
     }
@@ -360,27 +394,41 @@ impl ClusteredIndex {
 
     /// The metric the index was built for.
     pub fn metric(&self) -> Metric {
-        self.metric
+        self.kernel.metric()
     }
 
-    /// Remaps a Euclidean-space lower bound into the stored-distance space
-    /// and deflates it by the slack factor (see module docs).
+    /// The current stored threshold mapped into squared-distance space with
+    /// the safety inflation of the module docs: the stored distance itself
+    /// for squared-Euclidean consumers, `τ²·(1 + 8ε)` for Euclidean ones
+    /// (covering the square root's rounding). `∞` (state not yet full, in
+    /// the 1NN path) maps to `∞` and never prunes.
     #[inline]
-    fn mapped_bound(&self, lb: f64) -> f64 {
-        let b = match self.metric {
-            Metric::SquaredEuclidean => lb * lb,
-            _ => lb,
-        };
-        b * self.slack
+    fn tau_sq(&self, tau: f32) -> f64 {
+        let t = tau as f64;
+        match self.kernel.metric() {
+            Metric::SquaredEuclidean => t,
+            _ => t * t * (1.0 + 8.0 * f32::EPSILON as f64),
+        }
+    }
+
+    /// The per-query kernel-error margin: how far below the true squared
+    /// distance the norm-trick `f32` kernel can land for any indexed row
+    /// (`qn` is the query's `f64` Euclidean norm).
+    #[inline]
+    fn kernel_err(&self, qn: f64) -> f64 {
+        let s = qn + self.max_norm;
+        self.err_coeff * s * s
     }
 
     /// Whether a Euclidean-space lower bound `lb` proves that no candidate
-    /// can be admitted against the current threshold `tau` (the k-th stored
-    /// distance, `∞` while the state is not full): the remapped, deflated
-    /// bound must clear `tau` by the absolute subnormal guard.
+    /// can be admitted against the squared threshold `tau_sq`: the squared,
+    /// slack-deflated bound must clear it by the kernel-error margin `err`
+    /// plus the absolute subnormal guard. Monotone in `lb` for a fixed
+    /// query, which is what lets the bound-ordered cluster scan stop at the
+    /// first pruned cluster.
     #[inline]
-    fn prunes(&self, lb: f64, tau: f64) -> bool {
-        self.mapped_bound(lb) > tau + self.abs_guard
+    fn prunes(&self, lb: f64, tau_sq: f64, err: f64) -> bool {
+        lb * lb * self.slack - err > tau_sq + self.abs_guard
     }
 
     /// Shared per-query preamble: fills `order` with
@@ -433,10 +481,72 @@ impl ClusteredIndex {
         total
     }
 
+    /// Scans the rows of one visited cluster into `state`, one distance tile
+    /// at a time: a tile unbroken by the per-row bound or the self-exclusion
+    /// goes through the engine's tile kernel; a broken tile falls back to
+    /// the bit-identical per-pair path with a live (row-by-row) threshold.
+    #[allow(clippy::too_many_arguments)] // the scan's full per-query context
+    fn scan_cluster_topk(
+        &self,
+        q: &[f32],
+        qv: f32,
+        dqc: f64,
+        err: f64,
+        cluster: usize,
+        offset: usize,
+        skip: usize,
+        state: &mut TopKState,
+        tile: &mut [f32],
+        stats: &mut PruneStats,
+    ) {
+        let data = self.data.view();
+        let (s, e) = (self.offsets[cluster], self.offsets[cluster + 1]);
+        let mut r = s;
+        while r < e {
+            let len = tile.len().min(e - r);
+            // Pre-pass: is the whole tile admissible as one kernel call?
+            // (The tile-start τ is stale after mid-tile admissions, but a
+            // stale — larger — τ only keeps rows a fresh one might prune,
+            // so exactness never depends on it.)
+            let mut fast =
+                skip == usize::MAX || !self.original[r..r + len].iter().any(|&o| offset + o == skip);
+            if fast && state.hits().len() == state.k() {
+                let tau_sq = self.tau_sq(state.hits().last().expect("full state").distance);
+                fast = !(r..r + len).any(|j| self.prunes((dqc - self.row_center[j]).abs(), tau_sq, err));
+            }
+            if fast {
+                let out = &mut tile[..len];
+                self.kernel.tile_with(q, qv, data, r, out);
+                for (j, &d) in out.iter().enumerate() {
+                    state.offer(d, offset + self.original[r + j]);
+                }
+                stats.rows_scanned += len;
+            } else {
+                for j in r..r + len {
+                    let global = offset + self.original[j];
+                    if global == skip {
+                        continue;
+                    }
+                    if state.hits().len() == state.k() {
+                        let tau_sq = self.tau_sq(state.hits().last().expect("full state").distance);
+                        if self.prunes((dqc - self.row_center[j]).abs(), tau_sq, err) {
+                            stats.rows_pruned += 1;
+                            continue;
+                        }
+                    }
+                    state.offer(self.kernel.pair_with(q, qv, data, j), global);
+                    stats.rows_scanned += 1;
+                }
+            }
+            r += len;
+        }
+    }
+
     /// Answers one query into `state`: orders clusters by lower bound, scans
     /// until the bound can no longer beat the k-th admitted distance, and
     /// applies the per-row bound inside visited clusters. `skip` is a global
     /// training index to exclude (leave-one-out), `usize::MAX` for none.
+    #[allow(clippy::too_many_arguments)] // the scan's full per-query context
     fn query_into(
         &self,
         q: &[f32],
@@ -444,43 +554,28 @@ impl ClusteredIndex {
         skip: usize,
         state: &mut TopKState,
         order: &mut Vec<(f64, f64, usize)>,
+        tile: &mut [f32],
         stats: &mut PruneStats,
     ) {
         self.order_clusters(q, order, stats);
+        let qv = self.kernel.query_value(q);
+        let err = self.kernel_err(norm_f64(q));
         for &(lb, dqc, c) in order.iter() {
             if state.hits().len() == state.k() {
-                let tau = state.hits().last().expect("full state").distance as f64;
+                let tau_sq = self.tau_sq(state.hits().last().expect("full state").distance);
                 // Clusters are ordered by ascending bound and τ only shrinks,
                 // so the first unbeatable cluster ends the query.
-                if self.prunes(lb, tau) {
+                if self.prunes(lb, tau_sq, err) {
                     break;
                 }
             }
             stats.clusters_visited += 1;
-            for r in self.offsets[c]..self.offsets[c + 1] {
-                let global = offset + self.original[r];
-                if global == skip {
-                    continue;
-                }
-                if state.hits().len() == state.k() {
-                    let tau = state.hits().last().expect("full state").distance as f64;
-                    if self.prunes((dqc - self.row_center[r]).abs(), tau) {
-                        stats.rows_pruned += 1;
-                        continue;
-                    }
-                }
-                // The exact expressions of the exhaustive kernel, on
-                // bit-identical row values — parity is structural.
-                let d2 = Matrix::row_sq_dist(q, self.data.row(r));
-                let dist = if self.metric == Metric::Euclidean { d2.sqrt() } else { d2 };
-                state.offer(dist, global);
-                stats.rows_scanned += 1;
-            }
+            self.scan_cluster_topk(q, qv, dqc, err, c, offset, skip, state, tile, stats);
         }
     }
 
     /// Answers queries `[start, start + states.len())` serially, reusing one
-    /// cluster-order scratch buffer.
+    /// cluster-order scratch buffer and one distance-tile buffer.
     fn query_chunk(
         &self,
         queries: DatasetView<'_>,
@@ -491,9 +586,10 @@ impl ClusteredIndex {
     ) -> PruneStats {
         let mut stats = PruneStats::default();
         let mut order = Vec::with_capacity(self.num_clusters());
+        let mut tile = vec![0.0f32; self.engine.tile_rows().min(self.data.rows().max(1))];
         for (qi, state) in states.iter_mut().enumerate() {
             let skip = exclude_self.map(|b| b + start + qi).unwrap_or(usize::MAX);
-            self.query_into(queries.row(start + qi), offset, skip, state, &mut order, &mut stats);
+            self.query_into(queries.row(start + qi), offset, skip, state, &mut order, &mut tile, &mut stats);
         }
         stats
     }
@@ -520,46 +616,15 @@ impl ClusteredIndex {
         self.fan_out(states, |start, slot| self.query_chunk(queries, start, offset, slot, exclude_self))
     }
 
-    /// Answers one query directly into a flat 1NN slot — the `k = 1`
-    /// specialisation of [`ClusteredIndex::query_into`] with a scalar
-    /// threshold: an empty slot carries `distance = ∞`, so bounds never
-    /// prune until a candidate is admitted, and a slot pre-seeded by earlier
-    /// batches prunes from the first cluster. Admission uses the crate-wide
-    /// strict lexicographic rule ([`NearestHit::beats`]), identical to the
-    /// exhaustive kernel and to a `k = 1` [`TopKState`].
-    fn query_nearest_into(
-        &self,
-        q: &[f32],
-        offset: usize,
-        slot: &mut NearestHit,
-        order: &mut Vec<(f64, f64, usize)>,
-        stats: &mut PruneStats,
-    ) {
-        self.order_clusters(q, order, stats);
-        for &(lb, dqc, c) in order.iter() {
-            if self.prunes(lb, slot.distance as f64) {
-                break;
-            }
-            stats.clusters_visited += 1;
-            for r in self.offsets[c]..self.offsets[c + 1] {
-                if self.prunes((dqc - self.row_center[r]).abs(), slot.distance as f64) {
-                    stats.rows_pruned += 1;
-                    continue;
-                }
-                let d2 = Matrix::row_sq_dist(q, self.data.row(r));
-                let dist = if self.metric == Metric::Euclidean { d2.sqrt() } else { d2 };
-                let global = offset + self.original[r];
-                if NearestHit::beats(dist, global, *slot) {
-                    *slot = NearestHit { distance: dist, index: global };
-                }
-                stats.rows_scanned += 1;
-            }
-        }
-    }
-
     /// Answers queries `[start, start + best.len())` serially into flat 1NN
-    /// slots, reusing one cluster-order scratch buffer (no per-query
-    /// allocation — the streamed evaluator's steady-state invariant).
+    /// slots by running each through the *shared* cluster scan
+    /// ([`ClusteredIndex::query_into`]) via one reused `k = 1`
+    /// [`TopKState`] scratch — a single-slot state has exactly the
+    /// [`NearestHit::beats`] admission semantics, and a slot pre-seeded by
+    /// earlier batches tightens the pruning threshold from the first
+    /// cluster. One cluster-order buffer, one tile buffer, one state: no
+    /// per-query allocation (the streamed evaluator's steady-state
+    /// invariant).
     fn query_chunk_nearest(
         &self,
         queries: DatasetView<'_>,
@@ -569,8 +634,20 @@ impl ClusteredIndex {
     ) -> PruneStats {
         let mut stats = PruneStats::default();
         let mut order = Vec::with_capacity(self.num_clusters());
+        let mut tile = vec![0.0f32; self.engine.tile_rows().min(self.data.rows().max(1))];
+        let mut scratch = TopKState::new(1);
         for (qi, slot) in best.iter_mut().enumerate() {
-            self.query_nearest_into(queries.row(start + qi), offset, slot, &mut order, &mut stats);
+            scratch.reset_from_nearest(*slot);
+            self.query_into(
+                queries.row(start + qi),
+                offset,
+                usize::MAX,
+                &mut scratch,
+                &mut order,
+                &mut tile,
+                &mut stats,
+            );
+            *slot = scratch.hits().first().copied().unwrap_or(NearestHit::NONE);
         }
         stats
     }
@@ -734,19 +811,14 @@ mod tests {
         let train = blobs(200, 5, 5, 21);
         let queries = blobs(33, 5, 5, 22);
         let engine = EvalEngine::with_threads(3);
+        let mut kernel = MetricKernel::new(Metric::SquaredEuclidean);
+        kernel.bind_queries(queries.view());
         let mut expected = vec![NearestHit::NONE; 33];
         let mut got = vec![NearestHit::NONE; 33];
         let mut consumed = 0;
         for batch in train.view().batches(64) {
-            engine.update_nearest(
-                queries.view(),
-                Metric::SquaredEuclidean,
-                None,
-                batch,
-                None,
-                consumed,
-                &mut expected,
-            );
+            kernel.bind_train(batch);
+            engine.update_nearest(queries.view(), &kernel, batch, consumed, &mut expected);
             let index = ClusteredIndex::build_with_engine(batch, Metric::SquaredEuclidean, 4, engine);
             index.update_nearest(queries.view(), consumed, &mut got);
             consumed += batch.rows();

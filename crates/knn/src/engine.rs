@@ -1,5 +1,5 @@
-//! The shared evaluation engine: a blocked, chunk-parallel distance kernel
-//! over zero-copy [`DatasetView`]s, generalised from 1NN to top-k.
+//! The shared evaluation engine: a tile-blocked, chunk-parallel distance
+//! scan over zero-copy [`DatasetView`]s, generalised from 1NN to top-k.
 //!
 //! Every estimator evaluation, bandit-arm pull, and experiment binary funnels
 //! through the same inner loop — "for each query, find the nearest training
@@ -8,27 +8,34 @@
 //!
 //! 1. **Chunk parallelism.** Queries are split into contiguous chunks, one
 //!    per worker thread (`std::thread::scope`; no runtime dependency).
-//! 2. **Row blocking.** Each worker walks the training rows in blocks of
-//!    [`EvalEngine::block_rows`] rows so a block stays cache-resident while
-//!    every query of the chunk scans it.
-//! 3. **Reusable scratch.** Cosine needs per-row norms; callers precompute
-//!    them once into reusable buffers ([`row_norms_into`]) instead of
-//!    allocating (or recomputing) per query.
+//! 2. **Row blocking + tiling.** Each worker walks the training rows in
+//!    blocks of [`EvalEngine::block_rows`] rows so a block stays
+//!    cache-resident while every query of the chunk scans it, and inside a
+//!    block each query's distances are computed a *tile*
+//!    ([`EvalEngine::tile_rows`] rows) at a time by the register-blocked
+//!    [`MetricKernel`] — whole tiles are then admitted into the per-query
+//!    state.
+//! 3. **Typed norm caches.** The [`MetricKernel`] owns the per-row norm
+//!    caches of both scan sides (squared norms for the Euclidean family's
+//!    norm trick, norms for cosine); callers bind a side once per
+//!    dataset/batch instead of threading `Option<&[f32]>` scratch slices.
 //!
-//! The kernel is *bit-identical* to the naive serial loop: every pairwise
-//! distance is computed by the same floating-point expression as
-//! [`Metric::distance`], and candidate admission is ordered by the
-//! lexicographic key `(distance, global index)` — so ties always resolve to
-//! the lowest training index regardless of thread count, block size, or batch
-//! boundaries. The k=1 path ([`EvalEngine::update_nearest`]) keeps its flat
-//! one-slot-per-query layout; the general path maintains one bounded
-//! [`TopKState`] per query and snapshots into a query-major
-//! [`NeighborTable`]. The integration test `parallel_engine.rs` pins the
-//! parity against [`nearest_reference`] / [`knn_reference`] down.
+//! The engine is *bit-identical* to the naive serial loop: every pairwise
+//! distance is computed by the kernel layer's single set of expressions
+//! (which [`Metric::distance`] also evaluates), and candidate admission is
+//! ordered by the lexicographic key `(distance, global index)` — so ties
+//! always resolve to the lowest training index regardless of thread count,
+//! block size, tile size, or batch boundaries. The k=1 path
+//! ([`EvalEngine::update_nearest`]) keeps its flat one-slot-per-query
+//! layout; the general path maintains one bounded [`TopKState`] per query
+//! and snapshots into a query-major [`NeighborTable`]. The integration test
+//! `parallel_engine.rs` pins the parity against [`nearest_reference`] /
+//! [`knn_reference`] down.
 
+use crate::kernel::MetricKernel;
 use crate::metric::Metric;
 use snoopy_linalg::stats::OnlineLse;
-use snoopy_linalg::{DatasetView, Matrix};
+use snoopy_linalg::DatasetView;
 
 /// Running nearest-neighbour state of one query: distance and *global*
 /// training-row index. `index == usize::MAX` means "nothing seen yet".
@@ -85,6 +92,18 @@ impl TopKState {
     #[inline]
     pub fn hits(&self) -> &[NearestHit] {
         &self.hits
+    }
+
+    /// Resets the state to the contents of one flat 1NN slot
+    /// (`NearestHit::NONE` empties it) — the `k = 1` bridge the clustered
+    /// index uses to run its nearest path through the shared top-k cluster
+    /// scan without per-query allocation.
+    pub(crate) fn reset_from_nearest(&mut self, hit: NearestHit) {
+        debug_assert_eq!(self.k, 1, "the flat-slot bridge is a k = 1 construct");
+        self.hits.clear();
+        if hit.index != usize::MAX {
+            self.hits.push(hit);
+        }
     }
 
     /// Offers one candidate. Keeps the lexicographically smallest `k`
@@ -273,18 +292,12 @@ pub fn num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
 }
 
-/// Fills `out` with the Euclidean norm of every row of `view`, reusing the
-/// buffer's allocation. Required scratch for [`Metric::Cosine`].
-pub fn row_norms_into(view: DatasetView<'_>, out: &mut Vec<f32>) {
-    out.clear();
-    out.extend(view.rows_iter().map(Matrix::row_norm));
-}
-
-/// The blocked, chunk-parallel 1NN evaluation engine.
+/// The tile-blocked, chunk-parallel evaluation engine.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalEngine {
     threads: usize,
     block_rows: usize,
+    tile_rows: usize,
 }
 
 /// Training rows per cache block: 128 rows × 256 dims × 4 bytes = 128 KiB,
@@ -292,25 +305,39 @@ pub struct EvalEngine {
 /// dimensions (8–768).
 const DEFAULT_BLOCK_ROWS: usize = 128;
 
+/// Training rows per distance tile: one [`MetricKernel`] call computes this
+/// many distances before they are admitted into the per-query state. 64
+/// distances = 256 bytes of scratch, enough rows to amortise the admission
+/// loop without spilling the microkernel's register blocks.
+const DEFAULT_TILE_ROWS: usize = 64;
+
 impl EvalEngine {
     /// A single-threaded engine (the bit-exact reference configuration).
     pub fn serial() -> Self {
-        Self { threads: 1, block_rows: DEFAULT_BLOCK_ROWS }
+        Self { threads: 1, block_rows: DEFAULT_BLOCK_ROWS, tile_rows: DEFAULT_TILE_ROWS }
     }
 
     /// An engine using all available cores (capped at 16).
     pub fn parallel() -> Self {
-        Self { threads: num_threads(), block_rows: DEFAULT_BLOCK_ROWS }
+        Self { threads: num_threads(), block_rows: DEFAULT_BLOCK_ROWS, tile_rows: DEFAULT_TILE_ROWS }
     }
 
     /// An engine with an explicit worker count (clamped to ≥ 1).
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1), block_rows: DEFAULT_BLOCK_ROWS }
+        Self { threads: threads.max(1), block_rows: DEFAULT_BLOCK_ROWS, tile_rows: DEFAULT_TILE_ROWS }
     }
 
     /// Overrides the training-row block size (clamped to ≥ 1).
     pub fn with_block_rows(mut self, block_rows: usize) -> Self {
         self.block_rows = block_rows.max(1);
+        self
+    }
+
+    /// Overrides the distance-tile size (clamped to ≥ 1). Results are
+    /// bit-identical for every tile size — the knob only trades scratch
+    /// locality against admission-loop overhead.
+    pub fn with_tile_rows(mut self, tile_rows: usize) -> Self {
+        self.tile_rows = tile_rows.max(1);
         self
     }
 
@@ -324,42 +351,47 @@ impl EvalEngine {
         self.block_rows
     }
 
+    /// The distance-tile size.
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Shape checks shared by the two fold entry points: the kernel's bound
+    /// caches must correspond to exactly the views being scanned.
+    fn check_binding(kernel: &MetricKernel, queries: DatasetView<'_>, train: DatasetView<'_>) {
+        assert_eq!(queries.cols(), train.cols(), "query/train dimensionality mismatch");
+        assert_eq!(kernel.queries_bound(), queries.rows(), "kernel query cache not bound to these queries");
+        assert_eq!(kernel.train_bound(), train.rows(), "kernel train cache not bound to this train batch");
+    }
+
     /// Folds the training rows of `train` (global indices starting at
     /// `offset`) into the running nearest state `best` of every query row.
     ///
-    /// `query_norms` / `train_norms` are required for [`Metric::Cosine`]
-    /// (precompute with [`row_norms_into`]); other metrics ignore them.
+    /// `kernel` must be bound to exactly these views
+    /// ([`MetricKernel::bind_queries`] / [`MetricKernel::bind_train`]); the
+    /// typed caches replace the old per-metric `Option<&[f32]>` norm
+    /// plumbing, so no metric can observe a missing norm.
     ///
     /// # Panics
-    /// Panics on dimension mismatches, `best.len() != queries.rows()`, or
-    /// missing cosine norms.
-    #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
+    /// Panics on dimension mismatches, `best.len() != queries.rows()`, or a
+    /// kernel whose caches are not bound to these views.
     pub fn update_nearest(
         &self,
         queries: DatasetView<'_>,
-        metric: Metric,
-        query_norms: Option<&[f32]>,
+        kernel: &MetricKernel,
         train: DatasetView<'_>,
-        train_norms: Option<&[f32]>,
         offset: usize,
         best: &mut [NearestHit],
     ) {
-        assert_eq!(queries.cols(), train.cols(), "query/train dimensionality mismatch");
+        Self::check_binding(kernel, queries, train);
         assert_eq!(best.len(), queries.rows(), "one nearest slot per query required");
         if queries.rows() == 0 || train.rows() == 0 {
             return;
         }
-        if metric == Metric::Cosine {
-            let qn = query_norms.expect("cosine requires precomputed query norms");
-            let tn = train_norms.expect("cosine requires precomputed train norms");
-            assert_eq!(qn.len(), queries.rows(), "query norm count mismatch");
-            assert_eq!(tn.len(), train.rows(), "train norm count mismatch");
-        }
-
         let n = queries.rows();
         let threads = self.threads.min(n);
         if threads <= 1 {
-            self.scan_chunk(queries, 0, metric, query_norms, train, train_norms, offset, best);
+            self.scan_chunk(queries, 0, kernel, train, offset, best);
             return;
         }
         let chunk = n.div_ceil(threads);
@@ -367,72 +399,76 @@ impl EvalEngine {
             for (t, slot) in best.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
                 scope.spawn(move || {
-                    self.scan_chunk(queries, start, metric, query_norms, train, train_norms, offset, slot);
+                    self.scan_chunk(queries, start, kernel, train, offset, slot);
                 });
             }
         });
     }
 
-    /// Scans all training blocks for the queries `[start, start + best.len())`.
-    #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
+    /// Scans all training blocks for the queries `[start, start + best.len())`,
+    /// one distance tile at a time — queries in pairs through the 2 × 4
+    /// register block, with a single-query pass for an odd trailing query.
     fn scan_chunk(
         &self,
         queries: DatasetView<'_>,
         start: usize,
-        metric: Metric,
-        query_norms: Option<&[f32]>,
+        kernel: &MetricKernel,
         train: DatasetView<'_>,
-        train_norms: Option<&[f32]>,
         offset: usize,
         best: &mut [NearestHit],
     ) {
-        for (block_idx, block) in train.batches(self.block_rows).enumerate() {
-            let base = block_idx * self.block_rows;
-            for (qi, slot) in best.iter_mut().enumerate() {
+        let tile_len = self.tile_rows.min(train.rows().max(1));
+        let mut tile_a = vec![0.0f32; tile_len];
+        let mut tile_b = vec![0.0f32; tile_len];
+        let n_train = train.rows();
+        let mut b0 = 0;
+        while b0 < n_train {
+            let bend = (b0 + self.block_rows).min(n_train);
+            let mut qi = 0;
+            while qi < best.len() {
                 let q = queries.row(start + qi);
-                match metric {
-                    Metric::SquaredEuclidean => {
-                        for (j, row) in block.rows_iter().enumerate() {
-                            let d = Matrix::row_sq_dist(q, row);
-                            if d < slot.distance {
-                                *slot = NearestHit { distance: d, index: offset + base + j };
+                let qv = kernel.query_cached(start + qi);
+                let paired = qi + 1 < best.len();
+                let mut t0 = b0;
+                while t0 < bend {
+                    let len = self.tile_rows.min(bend - t0);
+                    if paired {
+                        kernel.tile2_with(
+                            q,
+                            qv,
+                            queries.row(start + qi + 1),
+                            kernel.query_cached(start + qi + 1),
+                            train,
+                            t0,
+                            &mut tile_a[..len],
+                            &mut tile_b[..len],
+                        );
+                    } else {
+                        kernel.tile_with(q, qv, train, t0, &mut tile_a[..len]);
+                    }
+                    for (slot_off, tile) in [(0usize, &tile_a), (1, &tile_b)] {
+                        if slot_off == 1 && !paired {
+                            break;
+                        }
+                        let slot = &mut best[qi + slot_off];
+                        for (j, &d) in tile[..len].iter().enumerate() {
+                            let index = offset + t0 + j;
+                            if NearestHit::beats(d, index, *slot) {
+                                *slot = NearestHit { distance: d, index };
                             }
                         }
                     }
-                    Metric::Euclidean => {
-                        for (j, row) in block.rows_iter().enumerate() {
-                            let d = Matrix::row_sq_dist(q, row).sqrt();
-                            if d < slot.distance {
-                                *slot = NearestHit { distance: d, index: offset + base + j };
-                            }
-                        }
-                    }
-                    Metric::Cosine => {
-                        // Branch structure and arithmetic mirror
-                        // `Metric::distance` exactly, with both norms read
-                        // from the precomputed scratch.
-                        let na = query_norms.expect("checked above")[start + qi];
-                        for (j, row) in block.rows_iter().enumerate() {
-                            let nb = train_norms.expect("checked above")[base + j];
-                            let d = if na == 0.0 && nb == 0.0 {
-                                0.0
-                            } else if na == 0.0 || nb == 0.0 {
-                                2.0
-                            } else {
-                                1.0 - (Matrix::row_dot(q, row) / (na * nb)).clamp(-1.0, 1.0)
-                            };
-                            if d < slot.distance {
-                                *slot = NearestHit { distance: d, index: offset + base + j };
-                            }
-                        }
-                    }
+                    t0 += len;
                 }
+                qi += if paired { 2 } else { 1 };
             }
+            b0 = bend;
         }
     }
 
-    /// Nearest training row for every query, from a cold start. Cosine norms
-    /// are computed internally (one allocation per call, none per query).
+    /// Nearest training row for every query, from a cold start: binds a
+    /// fresh [`MetricKernel`] internally (one norm pass per side, nothing
+    /// per query).
     pub fn nearest(
         &self,
         train: DatasetView<'_>,
@@ -440,16 +476,8 @@ impl EvalEngine {
         metric: Metric,
     ) -> Vec<NearestHit> {
         let mut best = vec![NearestHit::NONE; queries.rows()];
-        let (qn, tn) = if metric == Metric::Cosine {
-            let mut qn = Vec::new();
-            let mut tn = Vec::new();
-            row_norms_into(queries, &mut qn);
-            row_norms_into(train, &mut tn);
-            (Some(qn), Some(tn))
-        } else {
-            (None, None)
-        };
-        self.update_nearest(queries, metric, qn.as_deref(), train, tn.as_deref(), 0, &mut best);
+        let kernel = MetricKernel::bound(metric, queries, train);
+        self.update_nearest(queries, &kernel, train, 0, &mut best);
         best
     }
 
@@ -458,51 +486,32 @@ impl EvalEngine {
     /// generalisation of [`EvalEngine::update_nearest`], streamable batch by
     /// batch exactly the same way.
     ///
-    /// `exclude_self = Some(base)` declares that query row `i` *is* the
-    /// training row with global index `base + i` and skips that one pair —
-    /// the leave-one-out configuration.
+    /// `kernel` must be bound to exactly these views. `exclude_self =
+    /// Some(base)` declares that query row `i` *is* the training row with
+    /// global index `base + i` and skips that one pair — the leave-one-out
+    /// configuration.
     ///
     /// # Panics
     /// Panics on dimension mismatches, `states.len() != queries.rows()`, or
-    /// missing cosine norms.
-    #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
+    /// a kernel whose caches are not bound to these views.
     pub fn update_topk(
         &self,
         queries: DatasetView<'_>,
-        metric: Metric,
-        query_norms: Option<&[f32]>,
+        kernel: &MetricKernel,
         train: DatasetView<'_>,
-        train_norms: Option<&[f32]>,
         offset: usize,
         states: &mut [TopKState],
         exclude_self: Option<usize>,
     ) {
-        assert_eq!(queries.cols(), train.cols(), "query/train dimensionality mismatch");
+        Self::check_binding(kernel, queries, train);
         assert_eq!(states.len(), queries.rows(), "one top-k state per query required");
         if queries.rows() == 0 || train.rows() == 0 {
             return;
         }
-        if metric == Metric::Cosine {
-            let qn = query_norms.expect("cosine requires precomputed query norms");
-            let tn = train_norms.expect("cosine requires precomputed train norms");
-            assert_eq!(qn.len(), queries.rows(), "query norm count mismatch");
-            assert_eq!(tn.len(), train.rows(), "train norm count mismatch");
-        }
-
         let n = queries.rows();
         let threads = self.threads.min(n);
         if threads <= 1 {
-            self.scan_chunk_topk(
-                queries,
-                0,
-                metric,
-                query_norms,
-                train,
-                train_norms,
-                offset,
-                states,
-                exclude_self,
-            );
+            self.scan_chunk_topk(queries, 0, kernel, train, offset, states, exclude_self);
             return;
         }
         let chunk = n.div_ceil(threads);
@@ -510,90 +519,81 @@ impl EvalEngine {
             for (t, slot) in states.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
                 scope.spawn(move || {
-                    self.scan_chunk_topk(
-                        queries,
-                        start,
-                        metric,
-                        query_norms,
-                        train,
-                        train_norms,
-                        offset,
-                        slot,
-                        exclude_self,
-                    );
+                    self.scan_chunk_topk(queries, start, kernel, train, offset, slot, exclude_self);
                 });
             }
         });
     }
 
     /// Scans all training blocks into the top-k states of queries
-    /// `[start, start + states.len())`.
-    #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
+    /// `[start, start + states.len())`, one distance tile at a time —
+    /// queries in pairs through the 2 × 4 register block, with a
+    /// single-query pass for an odd trailing query.
+    #[allow(clippy::too_many_arguments)] // the scan's full per-chunk context
     fn scan_chunk_topk(
         &self,
         queries: DatasetView<'_>,
         start: usize,
-        metric: Metric,
-        query_norms: Option<&[f32]>,
+        kernel: &MetricKernel,
         train: DatasetView<'_>,
-        train_norms: Option<&[f32]>,
         offset: usize,
         states: &mut [TopKState],
         exclude_self: Option<usize>,
     ) {
-        for (block_idx, block) in train.batches(self.block_rows).enumerate() {
-            let base = block_idx * self.block_rows;
-            for (qi, state) in states.iter_mut().enumerate() {
+        let tile_len = self.tile_rows.min(train.rows().max(1));
+        let mut tile_a = vec![0.0f32; tile_len];
+        let mut tile_b = vec![0.0f32; tile_len];
+        let n_train = train.rows();
+        let mut b0 = 0;
+        while b0 < n_train {
+            let bend = (b0 + self.block_rows).min(n_train);
+            let mut qi = 0;
+            while qi < states.len() {
                 let q = queries.row(start + qi);
-                let skip = exclude_self.map(|b| b + start + qi).unwrap_or(usize::MAX);
-                match metric {
-                    Metric::SquaredEuclidean => {
-                        for (j, row) in block.rows_iter().enumerate() {
-                            let global = offset + base + j;
-                            if global == skip {
-                                continue;
-                            }
-                            state.offer(Matrix::row_sq_dist(q, row), global);
-                        }
+                let qv = kernel.query_cached(start + qi);
+                let paired = qi + 1 < states.len();
+                let mut t0 = b0;
+                while t0 < bend {
+                    let len = self.tile_rows.min(bend - t0);
+                    if paired {
+                        kernel.tile2_with(
+                            q,
+                            qv,
+                            queries.row(start + qi + 1),
+                            kernel.query_cached(start + qi + 1),
+                            train,
+                            t0,
+                            &mut tile_a[..len],
+                            &mut tile_b[..len],
+                        );
+                    } else {
+                        kernel.tile_with(q, qv, train, t0, &mut tile_a[..len]);
                     }
-                    Metric::Euclidean => {
-                        for (j, row) in block.rows_iter().enumerate() {
-                            let global = offset + base + j;
-                            if global == skip {
-                                continue;
-                            }
-                            state.offer(Matrix::row_sq_dist(q, row).sqrt(), global);
+                    for (state_off, tile) in [(0usize, &tile_a), (1, &tile_b)] {
+                        if state_off == 1 && !paired {
+                            break;
                         }
-                    }
-                    Metric::Cosine => {
-                        // Branch structure and arithmetic mirror
-                        // `Metric::distance` exactly, with both norms read
-                        // from the precomputed scratch.
-                        let na = query_norms.expect("checked above")[start + qi];
-                        for (j, row) in block.rows_iter().enumerate() {
-                            let global = offset + base + j;
+                        let state = &mut states[qi + state_off];
+                        let skip = exclude_self.map(|b| b + start + qi + state_off).unwrap_or(usize::MAX);
+                        for (j, &d) in tile[..len].iter().enumerate() {
+                            let global = offset + t0 + j;
                             if global == skip {
                                 continue;
                             }
-                            let nb = train_norms.expect("checked above")[base + j];
-                            let d = if na == 0.0 && nb == 0.0 {
-                                0.0
-                            } else if na == 0.0 || nb == 0.0 {
-                                2.0
-                            } else {
-                                1.0 - (Matrix::row_dot(q, row) / (na * nb)).clamp(-1.0, 1.0)
-                            };
                             state.offer(d, global);
                         }
                     }
+                    t0 += len;
                 }
+                qi += if paired { 2 } else { 1 };
             }
+            b0 = bend;
         }
     }
 
     /// Top-k neighbour table for every query, from a cold start. `k = 1`
     /// specialises to the flat [`EvalEngine::nearest`] layout (no per-query
-    /// state allocation); cosine norms are computed internally either way.
+    /// state allocation); the norm caches are bound internally either way.
     pub fn topk(
         &self,
         train: DatasetView<'_>,
@@ -605,17 +605,9 @@ impl EvalEngine {
         if k == 1 {
             return NeighborTable::from_nearest(self.nearest(train, queries, metric));
         }
-        let (qn, tn) = if metric == Metric::Cosine {
-            let mut qn = Vec::new();
-            let mut tn = Vec::new();
-            row_norms_into(queries, &mut qn);
-            row_norms_into(train, &mut tn);
-            (Some(qn), Some(tn))
-        } else {
-            (None, None)
-        };
+        let kernel = MetricKernel::bound(metric, queries, train);
         let mut states = vec![TopKState::new(k); queries.rows()];
-        self.update_topk(queries, metric, qn.as_deref(), train, tn.as_deref(), 0, &mut states, None);
+        self.update_topk(queries, &kernel, train, 0, &mut states, None);
         NeighborTable::from_states(&states)
     }
 
@@ -623,15 +615,9 @@ impl EvalEngine {
     /// neighbour list excludes row `i`. Each row stores
     /// `min(k, rows − 1)` hits.
     pub fn topk_loo(&self, data: DatasetView<'_>, metric: Metric, k: usize) -> NeighborTable {
-        let norms = if metric == Metric::Cosine {
-            let mut n = Vec::new();
-            row_norms_into(data, &mut n);
-            Some(n)
-        } else {
-            None
-        };
+        let kernel = MetricKernel::bound(metric, data, data);
         let mut states = vec![TopKState::new(k.max(1)); data.rows()];
-        self.update_topk(data, metric, norms.as_deref(), data, norms.as_deref(), 0, &mut states, Some(0));
+        self.update_topk(data, &kernel, data, 0, &mut states, Some(0));
         NeighborTable::from_states(&states)
     }
 
@@ -666,16 +652,27 @@ impl EvalEngine {
         let c = num_classes.max(1);
         let mut acc = vec![OnlineLse::EMPTY; n * c];
         if n > 0 && train.rows() > 0 {
+            let kernel = MetricKernel::bound(Metric::SquaredEuclidean, queries, train);
             let threads = self.threads.min(n);
             if threads <= 1 {
-                self.kernel_chunk(queries, 0, train, train_labels, c, inv_two_h2, &mut acc);
+                self.kernel_chunk(queries, 0, &kernel, train, train_labels, c, inv_two_h2, &mut acc);
             } else {
                 let chunk = n.div_ceil(threads);
+                let kernel = &kernel;
                 std::thread::scope(|scope| {
                     for (t, slot) in acc.chunks_mut(chunk * c).enumerate() {
                         let start = t * chunk;
                         scope.spawn(move || {
-                            self.kernel_chunk(queries, start, train, train_labels, c, inv_two_h2, slot);
+                            self.kernel_chunk(
+                                queries,
+                                start,
+                                kernel,
+                                train,
+                                train_labels,
+                                c,
+                                inv_two_h2,
+                                slot,
+                            );
                         });
                     }
                 });
@@ -685,34 +682,48 @@ impl EvalEngine {
     }
 
     /// Accumulates all training blocks into the per-class kernel sums of
-    /// queries `[start, start + acc.len() / classes)`.
+    /// queries `[start, start + acc.len() / classes)`, one distance tile at
+    /// a time.
     #[allow(clippy::too_many_arguments)] // the kernel's full context, passed by value/slice
     fn kernel_chunk(
         &self,
         queries: DatasetView<'_>,
         start: usize,
+        kernel: &MetricKernel,
         train: DatasetView<'_>,
         train_labels: &[u32],
         classes: usize,
         inv_two_h2: f64,
         acc: &mut [OnlineLse],
     ) {
-        for (block_idx, block) in train.batches(self.block_rows).enumerate() {
-            let base = block_idx * self.block_rows;
+        let mut tile = vec![0.0f32; self.tile_rows.min(train.rows().max(1))];
+        let n_train = train.rows();
+        let mut b0 = 0;
+        while b0 < n_train {
+            let bend = (b0 + self.block_rows).min(n_train);
             for (qi, states) in acc.chunks_mut(classes).enumerate() {
                 let q = queries.row(start + qi);
-                for (j, row) in block.rows_iter().enumerate() {
-                    let d = Matrix::row_sq_dist(q, row) as f64;
-                    states[train_labels[base + j] as usize].add(-d * inv_two_h2);
+                let qv = kernel.query_cached(start + qi);
+                let mut t0 = b0;
+                while t0 < bend {
+                    let len = self.tile_rows.min(bend - t0);
+                    let out = &mut tile[..len];
+                    kernel.tile_with(q, qv, train, t0, out);
+                    for (j, &d) in out.iter().enumerate() {
+                        states[train_labels[t0 + j] as usize].add(-(d as f64) * inv_two_h2);
+                    }
+                    t0 += len;
                 }
             }
+            b0 = bend;
         }
     }
 }
 
 /// Reference implementation: the plain serial double loop, written with
-/// [`Metric::distance`] and no blocking. The engine must match it bit for
-/// bit; tests and the bench harness compare against it.
+/// [`Metric::distance`] (the kernel layer's fixed-order scalar expression)
+/// and no blocking or tiling. The engine must match it bit for bit; tests
+/// and the bench harness compare against it.
 pub fn nearest_reference(
     train: DatasetView<'_>,
     queries: DatasetView<'_>,
@@ -778,6 +789,7 @@ fn reference_table(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snoopy_linalg::Matrix;
 
     fn wavy(n: usize, d: usize, phase: f32) -> Matrix {
         Matrix::from_fn(n, d, |r, c| ((r * d + c) as f32 * 0.37 + phase).sin() * 3.0)
@@ -806,10 +818,13 @@ mod tests {
         let queries = wavy(23, 5, 2.1);
         let engine = EvalEngine::with_threads(2).with_block_rows(8);
         let metric = Metric::SquaredEuclidean;
+        let mut kernel = crate::kernel::MetricKernel::new(metric);
+        kernel.bind_queries(queries.view());
         let mut best = vec![NearestHit::NONE; queries.rows()];
         let mut consumed = 0;
         for batch in train.view().batches(33) {
-            engine.update_nearest(queries.view(), metric, None, batch, None, consumed, &mut best);
+            kernel.bind_train(batch);
+            engine.update_nearest(queries.view(), &kernel, batch, consumed, &mut best);
             consumed += batch.rows();
         }
         assert_eq!(best, nearest_reference(train.view(), queries.view(), metric));
@@ -820,15 +835,8 @@ mod tests {
         let train = wavy(10, 4, 0.0);
         let empty = Matrix::zeros(0, 4);
         let mut best: Vec<NearestHit> = vec![];
-        EvalEngine::parallel().update_nearest(
-            empty.view(),
-            Metric::SquaredEuclidean,
-            None,
-            train.view(),
-            None,
-            0,
-            &mut best,
-        );
+        let kernel = crate::kernel::MetricKernel::bound(Metric::SquaredEuclidean, empty.view(), train.view());
+        EvalEngine::parallel().update_nearest(empty.view(), &kernel, train.view(), 0, &mut best);
         let hits = EvalEngine::parallel().nearest(empty.view(), wavy(3, 4, 0.5).view(), Metric::Euclidean);
         assert!(hits.iter().all(|h| *h == NearestHit::NONE));
     }
@@ -858,27 +866,13 @@ mod tests {
         let queries = wavy(21, 5, 2.4);
         let engine = EvalEngine::with_threads(2).with_block_rows(8);
         for metric in [Metric::SquaredEuclidean, Metric::Cosine] {
-            let mut qn = Vec::new();
-            let mut bn = Vec::new();
-            if metric == Metric::Cosine {
-                row_norms_into(queries.view(), &mut qn);
-            }
+            let mut kernel = crate::kernel::MetricKernel::new(metric);
+            kernel.bind_queries(queries.view());
             let mut states = vec![TopKState::new(4); queries.rows()];
             let mut consumed = 0;
             for batch in train.view().batches(26) {
-                if metric == Metric::Cosine {
-                    row_norms_into(batch, &mut bn);
-                }
-                engine.update_topk(
-                    queries.view(),
-                    metric,
-                    (metric == Metric::Cosine).then_some(qn.as_slice()),
-                    batch,
-                    (metric == Metric::Cosine).then_some(bn.as_slice()),
-                    consumed,
-                    &mut states,
-                    None,
-                );
+                kernel.bind_train(batch);
+                engine.update_topk(queries.view(), &kernel, batch, consumed, &mut states, None);
                 consumed += batch.rows();
             }
             let table = NeighborTable::from_states(&states);
@@ -953,7 +947,7 @@ mod tests {
                         .rows_iter()
                         .enumerate()
                         .filter(|(j, _)| labels.get(*j) == Some(&c))
-                        .map(|(_, row)| -(Matrix::row_sq_dist(q, row) as f64) * inv_two_h2)
+                        .map(|(_, row)| -(Metric::SquaredEuclidean.distance(q, row) as f64) * inv_two_h2)
                         .collect();
                     let expected = stats::log_sum_exp(&terms);
                     let v = got[qi * 4 + c as usize];
@@ -988,14 +982,21 @@ mod tests {
         let train = wavy(4, 3, 0.0);
         let queries = wavy(4, 5, 0.0);
         let mut best = vec![NearestHit::NONE; 4];
-        EvalEngine::serial().update_nearest(
-            queries.view(),
-            Metric::SquaredEuclidean,
-            None,
-            train.view(),
-            None,
-            0,
-            &mut best,
-        );
+        let kernel =
+            crate::kernel::MetricKernel::bound(Metric::SquaredEuclidean, queries.view(), train.view());
+        EvalEngine::serial().update_nearest(queries.view(), &kernel, train.view(), 0, &mut best);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn stale_kernel_binding_panics() {
+        let train = wavy(6, 3, 0.0);
+        let queries = wavy(4, 3, 0.0);
+        let mut best = vec![NearestHit::NONE; 4];
+        // Kernel bound to a *prefix* of the training batch: a loud error,
+        // not a silent wrong answer.
+        let kernel =
+            crate::kernel::MetricKernel::bound(Metric::Cosine, queries.view(), train.view().slice_rows(0, 3));
+        EvalEngine::serial().update_nearest(queries.view(), &kernel, train.view(), 0, &mut best);
     }
 }

@@ -8,12 +8,19 @@
 //! growing training-set prefixes. This crate provides:
 //!
 //! * distance metrics ([`metric::Metric`]: squared Euclidean, Euclidean,
-//!   cosine dissimilarity),
+//!   cosine dissimilarity), whose expressions live in exactly one place —
+//!   the metric-kernel layer ([`kernel::MetricKernel`]). The kernel owns the
+//!   per-row norm caches of both scan sides and computes distances in
+//!   register-blocked tiles over the fixed-order
+//!   [`snoopy_linalg::kernel`] dot microkernel (squared Euclidean via the
+//!   `‖q‖² + ‖x‖² − 2⟨q, x⟩` norm trick, cosine from the same dot tile), so
+//!   a distance depends only on the pair of rows — never on tile size,
+//!   block size, thread count, or which consumer computed it,
 //! * the blocked, chunk-parallel top-k evaluation engine
 //!   ([`engine::EvalEngine`]) whose results are bit-identical to the serial
 //!   references [`engine::nearest_reference`] / [`engine::knn_reference`]
-//!   for every metric, thread count, block size, and batch-streamed
-//!   ingestion order,
+//!   for every metric, thread count, block size, tile size, and
+//!   batch-streamed ingestion order,
 //! * the query-major [`engine::NeighborTable`] — the one neighbour handshake
 //!   every distance consumer speaks. A table computed once at `k_max` answers
 //!   every smaller `k` by prefix, which is how the estimator-comparison
@@ -44,6 +51,7 @@ pub mod brute;
 pub mod clustered;
 pub mod engine;
 pub mod incremental;
+pub mod kernel;
 pub mod metric;
 pub mod stream;
 
@@ -51,5 +59,6 @@ pub use brute::BruteForceIndex;
 pub use clustered::{ClusteredIndex, EvalBackend, PruneStats};
 pub use engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
 pub use incremental::IncrementalOneNn;
+pub use kernel::MetricKernel;
 pub use metric::Metric;
 pub use stream::StreamedOneNn;

@@ -1,6 +1,8 @@
 //! Distance metrics for nearest-neighbour search.
-
-use snoopy_linalg::Matrix;
+//!
+//! The distance *expressions* live in one place — [`crate::kernel`] — and
+//! [`Metric::distance`] delegates there, so a scalar call is bit-identical
+//! to the tiled engine paths on the same pair of rows.
 
 /// Dissimilarity used to rank neighbours.
 ///
@@ -34,24 +36,12 @@ impl Metric {
         }
     }
 
-    /// Dissimilarity between two feature vectors.
+    /// Dissimilarity between two feature vectors — evaluated by the kernel
+    /// layer's scalar reference ([`crate::kernel::pair_distance`]), which is
+    /// bit-identical to the tile-blocked engine paths.
     #[inline]
     pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
-        match self {
-            Metric::SquaredEuclidean => Matrix::row_sq_dist(a, b),
-            Metric::Euclidean => Matrix::row_sq_dist(a, b).sqrt(),
-            Metric::Cosine => {
-                let na = Matrix::row_norm(a);
-                let nb = Matrix::row_norm(b);
-                if na == 0.0 && nb == 0.0 {
-                    0.0
-                } else if na == 0.0 || nb == 0.0 {
-                    2.0
-                } else {
-                    1.0 - (Matrix::row_dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
-                }
-            }
-        }
+        crate::kernel::pair_distance(*self, a, b)
     }
 }
 

@@ -6,14 +6,16 @@
 //! [`StreamedOneNn`] maintains, for every test point, the best (distance,
 //! global training index) pair seen so far, so adding a batch costs
 //! `O(batch × test × d)` and the running error is available at any time in
-//! `O(test)`. Batch updates run through the shared blocked, chunk-parallel
-//! [`EvalEngine`]; the cosine-norm scratch for the fixed test split is
-//! computed once at construction and the per-batch norm buffer is reused
-//! across batches, so the steady-state stream performs no per-query
+//! `O(test)`. Batch updates run through the shared tile-blocked,
+//! chunk-parallel [`EvalEngine`]; the stream owns one [`MetricKernel`]
+//! whose query-side norm cache is bound once to the fixed test split at
+//! construction and whose train side is re-bound per batch (reusing the
+//! cache allocation), so the steady-state stream performs no per-query
 //! allocation.
 
 use crate::clustered::{ClusteredIndex, EvalBackend, PruneStats};
-use crate::engine::{row_norms_into, EvalEngine, NearestHit, NeighborTable};
+use crate::engine::{EvalEngine, NearestHit, NeighborTable};
+use crate::kernel::MetricKernel;
 use crate::metric::Metric;
 use snoopy_linalg::{DatasetView, Matrix};
 
@@ -37,10 +39,9 @@ pub struct StreamedOneNn {
     train_labels: Vec<u32>,
     /// Error after each completed batch: `(training samples consumed, error)`.
     curve: Vec<(usize, f64)>,
-    /// Cosine scratch: norms of the fixed test rows (empty otherwise).
-    query_norms: Vec<f32>,
-    /// Cosine scratch: norms of the current batch, reused between batches.
-    batch_norms: Vec<f32>,
+    /// The metric kernel: query-side norm cache bound once to the test
+    /// split, train side re-bound per batch (allocation reused).
+    kernel: MetricKernel,
 }
 
 impl StreamedOneNn {
@@ -51,10 +52,8 @@ impl StreamedOneNn {
     pub fn new(test_features: Matrix, test_labels: Vec<u32>, metric: Metric) -> Self {
         assert_eq!(test_features.rows(), test_labels.len(), "test feature/label mismatch");
         assert!(!test_labels.is_empty(), "streamed 1NN needs a non-empty test split");
-        let mut query_norms = Vec::new();
-        if metric == Metric::Cosine {
-            row_norms_into(test_features.view(), &mut query_norms);
-        }
+        let mut kernel = MetricKernel::new(metric);
+        kernel.bind_queries(test_features.view());
         Self {
             best: vec![NearestHit::NONE; test_labels.len()],
             test_features,
@@ -65,8 +64,7 @@ impl StreamedOneNn {
             prune_stats: PruneStats::default(),
             train_labels: Vec::new(),
             curve: Vec::new(),
-            query_norms,
-            batch_norms: Vec::new(),
+            kernel,
         }
     }
 
@@ -140,15 +138,11 @@ impl StreamedOneNn {
             let stats = index.update_nearest(self.test_features.view(), offset, &mut self.best);
             self.prune_stats.merge(&stats);
         } else {
-            if self.metric == Metric::Cosine {
-                row_norms_into(batch_features, &mut self.batch_norms);
-            }
+            self.kernel.bind_train(batch_features);
             self.engine.update_nearest(
                 self.test_features.view(),
-                self.metric,
-                (!self.query_norms.is_empty()).then_some(self.query_norms.as_slice()),
+                &self.kernel,
                 batch_features,
-                (self.metric == Metric::Cosine).then_some(self.batch_norms.as_slice()),
                 offset,
                 &mut self.best,
             );

@@ -108,27 +108,13 @@ fn batch_streamed_topk_ingestion_matches_cold_start_and_reference() {
     let engine = EvalEngine::with_threads(4).with_block_rows(16);
     for metric in Metric::all() {
         for batch_size in [1usize, 13, 50, 131] {
-            let mut test_norms = Vec::new();
-            let mut batch_norms = Vec::new();
-            if metric == Metric::Cosine {
-                snoopy_knn::engine::row_norms_into(test_x.view(), &mut test_norms);
-            }
+            let mut kernel = snoopy_knn::MetricKernel::new(metric);
+            kernel.bind_queries(test_x.view());
             let mut states = vec![TopKState::new(5); test_x.rows()];
             let mut consumed = 0;
             for batch in train_x.view().batches(batch_size) {
-                if metric == Metric::Cosine {
-                    snoopy_knn::engine::row_norms_into(batch, &mut batch_norms);
-                }
-                engine.update_topk(
-                    test_x.view(),
-                    metric,
-                    (metric == Metric::Cosine).then_some(test_norms.as_slice()),
-                    batch,
-                    (metric == Metric::Cosine).then_some(batch_norms.as_slice()),
-                    consumed,
-                    &mut states,
-                    None,
-                );
+                kernel.bind_train(batch);
+                engine.update_topk(test_x.view(), &kernel, batch, consumed, &mut states, None);
                 consumed += batch.rows();
                 // At every batch boundary the accumulated table equals the
                 // cold-start answer on the consumed prefix.
@@ -257,27 +243,13 @@ fn topk_tie_break_is_invariant_across_block_sizes_and_thread_counts() {
                         metric.name()
                     );
                     for batch in [1usize, 7, n, n + 40] {
-                        let mut test_norms = Vec::new();
-                        let mut batch_norms = Vec::new();
-                        if metric == Metric::Cosine {
-                            snoopy_knn::engine::row_norms_into(test_x.view(), &mut test_norms);
-                        }
+                        let mut kernel = snoopy_knn::MetricKernel::new(metric);
+                        kernel.bind_queries(test_x.view());
                         let mut states = vec![TopKState::new(k); test_x.rows()];
                         let mut consumed = 0;
                         for chunk in train_x.view().batches(batch) {
-                            if metric == Metric::Cosine {
-                                snoopy_knn::engine::row_norms_into(chunk, &mut batch_norms);
-                            }
-                            engine.update_topk(
-                                test_x.view(),
-                                metric,
-                                (metric == Metric::Cosine).then_some(test_norms.as_slice()),
-                                chunk,
-                                (metric == Metric::Cosine).then_some(batch_norms.as_slice()),
-                                consumed,
-                                &mut states,
-                                None,
-                            );
+                            kernel.bind_train(chunk);
+                            engine.update_topk(test_x.view(), &kernel, chunk, consumed, &mut states, None);
                             consumed += chunk.rows();
                         }
                         assert_eq!(
@@ -290,6 +262,52 @@ fn topk_tie_break_is_invariant_across_block_sizes_and_thread_counts() {
                 }
             }
         }
+    }
+}
+
+/// The tile-size sweep (CI runs this by name): results are bit-identical
+/// across every tile size — degenerate (1), lane-straddling (3, 9), the
+/// register block and its neighbours (4, 5), non-divisors of the block size,
+/// and tiles larger than the training set — for every metric and for the
+/// exhaustive, clustered, and streamed consumers.
+#[test]
+fn tile_sweep_is_bit_identical_across_every_consumer() {
+    let (train_x, train_y) = cloud(97, 143, 11, 3);
+    let (test_x, test_y) = cloud(98, 31, 11, 3);
+    let train = LabeledView::new(&train_x, &train_y).with_classes(3);
+    for metric in Metric::all() {
+        for k in [1usize, 5] {
+            let reference = knn_reference(train_x.view(), test_x.view(), metric, k);
+            for tile_rows in [1usize, 3, 4, 5, 9, 33, 64, 200] {
+                let engine = EvalEngine::with_threads(3).with_tile_rows(tile_rows);
+                assert_eq!(
+                    engine.topk(train_x.view(), test_x.view(), metric, k),
+                    reference,
+                    "metric {} k {k} tile {tile_rows}",
+                    metric.name()
+                );
+            }
+        }
+    }
+    // Clustered and streamed consumers under the same sweep.
+    let reference = knn_reference(train_x.view(), test_x.view(), Metric::SquaredEuclidean, 5);
+    let full_error =
+        BruteForceIndex::from_view(train, Metric::SquaredEuclidean).one_nn_error(&test_x, &test_y);
+    for tile_rows in [1usize, 5, 33, 200] {
+        let engine = EvalEngine::with_threads(2).with_tile_rows(tile_rows);
+        let index = snoopy_knn::ClusteredIndex::build_with_engine(
+            train_x.view(),
+            Metric::SquaredEuclidean,
+            9,
+            engine,
+        );
+        assert_eq!(index.topk(test_x.view(), 5), reference, "clustered tile {tile_rows}");
+        let mut stream =
+            StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean).with_engine(engine);
+        for batch in LabeledView::new(&train_x, &train_y).batches(29) {
+            stream.add_train_batch(batch.features(), batch.labels());
+        }
+        assert_eq!(stream.current_error().to_bits(), full_error.to_bits(), "streamed tile {tile_rows}");
     }
 }
 

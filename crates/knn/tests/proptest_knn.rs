@@ -1,10 +1,10 @@
 //! Property-based tests for the k-nearest-neighbour crate.
 
 use proptest::prelude::*;
-use snoopy_knn::engine::{knn_reference, row_norms_into, EvalEngine, NeighborTable, TopKState};
-use snoopy_knn::{BruteForceIndex, IncrementalOneNn, Metric, StreamedOneNn};
+use snoopy_knn::engine::{knn_reference, EvalEngine, NeighborTable, TopKState};
+use snoopy_knn::{BruteForceIndex, ClusteredIndex, IncrementalOneNn, Metric, MetricKernel, StreamedOneNn};
 use snoopy_linalg::LabeledView;
-use snoopy_testutil::cloud;
+use snoopy_testutil::{cloud, cloud_with_ties};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -48,20 +48,22 @@ proptest! {
         }
     }
 
-    /// The parallel top-k kernel is bit-identical to the serial sort-based
+    /// The parallel top-k engine is bit-identical to the serial sort-based
     /// reference for every metric, k ∈ {1, 3, 10, len}, arbitrary engine
-    /// shapes, and batch-streamed ingestion of the training rows.
+    /// shapes (threads × blocks × tiles), and batch-streamed ingestion of
+    /// the training rows.
     #[test]
     fn parallel_topk_equals_serial_reference(
         seed in 0u64..500,
         threads in 1usize..8,
         block in 1usize..96,
+        tile in 1usize..80,
         batch in 1usize..40,
     ) {
         let n = 60;
         let (train_x, _) = cloud(seed, n, 4, 3);
         let (test_x, _) = cloud(seed ^ 0x5eed, 18, 4, 3);
-        let engine = EvalEngine::with_threads(threads).with_block_rows(block);
+        let engine = EvalEngine::with_threads(threads).with_block_rows(block).with_tile_rows(tile);
         for metric in Metric::all() {
             for k in [1usize, 3, 10, n] {
                 let reference = knn_reference(train_x.view(), test_x.view(), metric, k);
@@ -72,27 +74,13 @@ proptest! {
                     "cold metric {} k {}", metric.name(), k
                 );
                 // Batch-streamed ingestion accumulates to the same table.
-                let mut test_norms = Vec::new();
-                let mut batch_norms = Vec::new();
-                if metric == Metric::Cosine {
-                    row_norms_into(test_x.view(), &mut test_norms);
-                }
+                let mut kernel = MetricKernel::new(metric);
+                kernel.bind_queries(test_x.view());
                 let mut states = vec![TopKState::new(k); test_x.rows()];
                 let mut consumed = 0;
                 for chunk in train_x.view().batches(batch) {
-                    if metric == Metric::Cosine {
-                        row_norms_into(chunk, &mut batch_norms);
-                    }
-                    engine.update_topk(
-                        test_x.view(),
-                        metric,
-                        (metric == Metric::Cosine).then_some(test_norms.as_slice()),
-                        chunk,
-                        (metric == Metric::Cosine).then_some(batch_norms.as_slice()),
-                        consumed,
-                        &mut states,
-                        None,
-                    );
+                    kernel.bind_train(chunk);
+                    engine.update_topk(test_x.view(), &kernel, chunk, consumed, &mut states, None);
                     consumed += chunk.rows();
                 }
                 prop_assert_eq!(
@@ -102,6 +90,52 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Tiled kernel == fixed-order serial reference on *ragged tile edges*:
+    /// dimensions straddling the lane width, row counts straddling the
+    /// register block, tile sizes that do not divide either, duplicate rows
+    /// (distance ties), and the clustered + streamed consumers on top. This
+    /// is the kernel layer's determinism contract, proptested.
+    #[test]
+    fn tiled_kernel_equals_reference_on_ragged_edges(
+        seed in 0u64..400,
+        d in 1usize..20,
+        n in 1usize..50,
+        tile in 1usize..60,
+        nlist in 1usize..16,
+    ) {
+        let (train_x, train_y) = cloud_with_ties(seed, n, d, 3);
+        let (test_x, test_y) = cloud(seed ^ 0x7117, 9, d, 3);
+        let engine = EvalEngine::with_threads(3).with_tile_rows(tile);
+        for metric in Metric::all() {
+            for k in [1usize, 3, 10, n] {
+                let reference = knn_reference(train_x.view(), test_x.view(), metric, k);
+                prop_assert_eq!(
+                    &engine.topk(train_x.view(), test_x.view(), metric, k),
+                    &reference,
+                    "metric {} k {} d {} tile {}", metric.name(), k, d, tile
+                );
+            }
+        }
+        // Clustered consumer: same tile knob, same bits.
+        let index =
+            ClusteredIndex::build_with_engine(train_x.view(), Metric::SquaredEuclidean, nlist, engine);
+        prop_assert_eq!(
+            index.topk(test_x.view(), 4),
+            knn_reference(train_x.view(), test_x.view(), Metric::SquaredEuclidean, 4)
+        );
+        // Streamed consumer: the running fold through the tiled engine
+        // matches a cold-start brute-force recomputation.
+        let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean)
+            .with_engine(engine);
+        let train = LabeledView::new(&train_x, &train_y).with_classes(3);
+        for chunk in train.batches(17) {
+            stream.add_train_batch(chunk.features(), chunk.labels());
+        }
+        let full = BruteForceIndex::from_view(train, Metric::SquaredEuclidean)
+            .one_nn_error(&test_x, &test_y);
+        prop_assert!((stream.current_error() - full).abs() < 1e-12);
     }
 
     /// kNN neighbour lists are sorted by distance and contain distinct indices.

@@ -9,6 +9,10 @@
 //! * a row-major [`Matrix`] of `f32` features with the usual constructors,
 //!   slicing, and matrix operations (`matmul`, `transpose`, covariance,
 //!   row/column statistics),
+//! * the register-blocked dot-product microkernel ([`kernel`]): fixed-order
+//!   multi-lane accumulation plus a row-tile driver whose results are
+//!   bit-identical to the scalar path for every tile shape — the compute
+//!   substrate of every distance evaluation in `snoopy-knn`,
 //! * zero-copy dataset views ([`view::DatasetView`], [`view::LabeledView`])
 //!   — the shared data handshake between the dataset registry, the kNN
 //!   engine, the Bayes-error estimators, and the feasibility study,
@@ -29,6 +33,7 @@
 //! relies on to regenerate the paper's tables and figures reproducibly.
 
 pub mod eigen;
+pub mod kernel;
 pub mod kmeans;
 pub mod matrix;
 pub mod pca;
