@@ -41,6 +41,16 @@ pub trait Arm: Send {
         self.pulls() as f64 * self.cost_per_pull()
     }
 
+    /// True incremental evaluation work performed so far, in query–row
+    /// distance pairs: an arm whose pulls *append* to a running kNN state
+    /// reports exactly the pairs each batch folded (`O(batch × queries)`,
+    /// less under pruning) — not a rebuild-shaped estimate. Strategies and
+    /// reports read it for cost accounting; defaults to 0 for arms without
+    /// an eval kernel.
+    fn eval_pairs(&self) -> u64 {
+        0
+    }
+
     /// Notifies the arm how many arms will pull concurrently in the next
     /// round, so arms with internal parallelism can resize their worker
     /// share as the field shrinks. Default: no-op.
@@ -71,6 +81,9 @@ impl<T: Arm + ?Sized> Arm for Box<T> {
     fn accumulated_cost(&self) -> f64 {
         (**self).accumulated_cost()
     }
+    fn eval_pairs(&self) -> u64 {
+        (**self).eval_pairs()
+    }
     fn on_concurrency(&mut self, active_arms: usize) {
         (**self).on_concurrency(active_arms)
     }
@@ -86,6 +99,7 @@ impl<T: Arm + ?Sized> Arm for Box<T> {
 pub struct PullLedger {
     pulls: usize,
     simulated_cost: f64,
+    eval_pairs: u64,
 }
 
 impl PullLedger {
@@ -105,6 +119,13 @@ impl PullLedger {
         self.simulated_cost += cost;
     }
 
+    /// Records incremental evaluation work (query–row distance pairs folded
+    /// by a pull). The figure is what [`Arm::eval_pairs`] surfaces to the
+    /// strategies: true append cost, not a rebuild estimate.
+    pub fn record_eval_pairs(&mut self, pairs: u64) {
+        self.eval_pairs += pairs;
+    }
+
     /// Number of pulls recorded.
     pub fn pulls(&self) -> usize {
         self.pulls
@@ -113,6 +134,11 @@ impl PullLedger {
     /// Total simulated cost recorded, in seconds.
     pub fn simulated_cost(&self) -> f64 {
         self.simulated_cost
+    }
+
+    /// Total evaluation work recorded, in query–row distance pairs.
+    pub fn eval_pairs(&self) -> u64 {
+        self.eval_pairs
     }
 }
 
@@ -212,13 +238,18 @@ mod tests {
     }
 
     #[test]
-    fn ledger_tracks_pulls_and_cost() {
+    fn ledger_tracks_pulls_cost_and_eval_pairs() {
         let mut ledger = PullLedger::new();
         ledger.charge(0.5);
         ledger.record_pull(2.0);
         ledger.record_pull(1.0);
+        ledger.record_eval_pairs(120);
+        ledger.record_eval_pairs(80);
         assert_eq!(ledger.pulls(), 2);
         assert!((ledger.simulated_cost() - 3.5).abs() < 1e-12);
+        assert_eq!(ledger.eval_pairs(), 200);
+        // Arms without an eval kernel default to zero.
+        assert_eq!(PrerecordedArm::new("a", vec![0.1]).eval_pairs(), 0);
     }
 
     #[test]

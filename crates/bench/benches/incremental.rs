@@ -1,8 +1,9 @@
 //! Criterion benchmark for Figure 13: incremental re-execution after label
-//! cleaning versus recomputing the 1NN error from scratch.
+//! cleaning versus recomputing the 1NN error from scratch, plus the
+//! append-fold path of a single bandit round versus a full rebuild.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use snoopy_knn::{BruteForceIndex, IncrementalOneNn, Metric};
+use snoopy_knn::{BruteForceIndex, EvalEngine, IncrementalTopK, Metric};
 use snoopy_linalg::{rng, Matrix};
 
 fn make_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<u32>) {
@@ -26,7 +27,7 @@ fn bench_incremental_vs_scratch(c: &mut Criterion) {
         })
     });
 
-    let cache = IncrementalOneNn::build(&train_x, &train_y, &test_x, &test_y, 10, Metric::SquaredEuclidean);
+    let cache = IncrementalTopK::build(&train_x, &train_y, &test_x, &test_y, Metric::SquaredEuclidean, 1);
     group.bench_function("incremental_relabel", |b| {
         b.iter(|| {
             let mut c = cache.clone();
@@ -36,6 +37,21 @@ fn bench_incremental_vs_scratch(c: &mut Criterion) {
             }
             c.error()
         })
+    });
+
+    // One bandit round: fold the next 10% batch into the grown state versus
+    // rebuilding the whole prefix table cold.
+    let split = 4_500;
+    let mut grown = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 10);
+    grown.append(train_x.view().prefix(split), &train_y[..split]);
+    group.bench_function("append_one_round", |b| {
+        b.iter(|| {
+            let mut s = grown.clone();
+            s.append(train_x.view().slice_rows(split, train_x.rows()), &train_y[split..])
+        })
+    });
+    group.bench_function("rebuild_after_round", |b| {
+        b.iter(|| EvalEngine::parallel().topk(train_x.view(), test_x.view(), Metric::SquaredEuclidean, 10))
     });
     group.finish();
 }

@@ -3,23 +3,27 @@
 //! the leave-one-out error (parallel self-excluding kernel vs a
 //! forced-serial engine), the single-core scalar-vs-tiled kernel comparison
 //! (the PR-3 per-pair scalar scan against the tile-blocked `MetricKernel`
-//! path, per metric, across an n × d grid), and the exhaustive-vs-clustered
+//! path, per metric, across an n × d grid), the exhaustive-vs-clustered
 //! backend comparison (wall-clock, pruning rates, index build time) on a
-//! clustered synthetic workload — across a few training-set sizes. This is
+//! clustered synthetic workload, and the incremental successor-state
+//! comparison (per-round append fold vs full table rebuild, plus the
+//! relabel refresh latency) — across a few training-set sizes. This is
 //! the workspace's perf-trajectory anchor — run it before and after
 //! touching the engine.
 //!
-//! Every section asserts bit-exact parity before timing anything, and the
-//! clustered section additionally asserts a non-zero pruning rate, so a
-//! silent regression of the pruned path to an exhaustive scan fails the run
-//! (CI executes the tiny scale).
+//! Every section asserts bit-exact parity before timing anything, the
+//! clustered section additionally asserts a non-zero pruning rate, and the
+//! incremental section asserts a ≥ 2× round-over-round speedup of the
+//! append fold over the rebuild at n ≥ 10 000 — so a silent regression of
+//! either fast path fails the run (CI executes the tiny scale, which
+//! includes the 10k incremental case).
 //!
 //! ```text
 //! cargo run --release -p snoopy-bench --bin bench_knn_json [--scale tiny|small|standard]
 //! ```
 
 use snoopy_knn::engine::{knn_reference, nearest_reference, EvalEngine, NeighborTable, TopKState};
-use snoopy_knn::{BruteForceIndex, ClusteredIndex, EvalBackend, Metric};
+use snoopy_knn::{BruteForceIndex, ClusteredIndex, EvalBackend, IncrementalTopK, Metric};
 use snoopy_linalg::{rng, DatasetView, Matrix};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -87,6 +91,21 @@ struct KernelCase {
     k: usize,
     scalar_qps: f64,
     tiled_qps: f64,
+}
+
+struct IncrementalRound {
+    consumed: usize,
+    append_s: f64,
+    rebuild_s: f64,
+}
+
+struct IncrementalCase {
+    train_n: usize,
+    dim: usize,
+    k: usize,
+    queries: usize,
+    rounds: Vec<IncrementalRound>,
+    relabel_refresh_s: f64,
 }
 
 /// The pre-tile-kernel (PR-3) exhaustive path, reproduced locally as the
@@ -394,6 +413,92 @@ fn main() {
         clustered_cases.push(case);
     }
 
+    // Incremental successor state vs full rebuild: each bandit-style round
+    // appends one batch into the growing per-query top-k state
+    // (O(batch × queries) kernel work) while the baseline rebuilds the whole
+    // prefix table cold (O(consumed × queries)). Parity is asserted bit for
+    // bit at every round boundary, and at n ≥ 10k the final round's append
+    // must beat the rebuild by ≥ 2× — the contract that makes the bandit
+    // loop's incrementality real. The relabel refresh (1% of train labels
+    // cleaned, error re-read) is timed as the cleaning-loop latency anchor.
+    let (incr_sizes, incr_queries): (&[usize], usize) = match scale {
+        snoopy_data::registry::SizeScale::Tiny => (&[10_000], 150),
+        snoopy_data::registry::SizeScale::Standard => (&[10_000, 32_000], 500),
+        _ => (&[10_000, 16_000], 400),
+    };
+    let incr_dim = 32;
+    let incr_k = 10;
+    let incr_rounds = 5;
+    let incr_reps = reps.min(3);
+    let mut incremental_cases = Vec::new();
+    for (i, &n) in incr_sizes.iter().enumerate() {
+        let train_x = make_data(n, incr_dim, 500 + i as u64);
+        let train_y: Vec<u32> = (0..n).map(|j| (j % 10) as u32).collect();
+        let query_x = make_data(incr_queries, incr_dim, 600 + i as u64);
+        let query_y: Vec<u32> = (0..incr_queries).map(|j| (j % 10) as u32).collect();
+        let engine = EvalEngine::parallel();
+        let batch = n / incr_rounds;
+        let mut state =
+            IncrementalTopK::new(query_x.clone(), query_y.clone(), Metric::SquaredEuclidean, incr_k);
+        let mut rounds = Vec::new();
+        let mut consumed = 0usize;
+        while consumed < n {
+            let end = (consumed + batch).min(n);
+            let batch_view = train_x.view().slice_rows(consumed, end);
+            let batch_labels = &train_y[consumed..end];
+            let t_append = time_median(incr_reps, || {
+                let mut s = state.clone();
+                std::hint::black_box(s.append(batch_view, batch_labels));
+            });
+            state.append(batch_view, batch_labels);
+            consumed = end;
+            let prefix = train_x.view().prefix(consumed);
+            let t_rebuild = time_median(incr_reps, || {
+                std::hint::black_box(engine.topk(prefix, query_x.view(), Metric::SquaredEuclidean, incr_k));
+            });
+            assert_eq!(
+                state.table(),
+                engine.topk(prefix, query_x.view(), Metric::SquaredEuclidean, incr_k),
+                "incremental state must be bit-identical to a cold rebuild at every round"
+            );
+            println!(
+                "n={:>6} d={incr_dim} top-{incr_k} incremental round @{:>6} rows   append {:>9.2} ms   rebuild {:>9.2} ms   speedup {:.2}x",
+                n,
+                consumed,
+                t_append * 1e3,
+                t_rebuild * 1e3,
+                t_rebuild / t_append,
+            );
+            rounds.push(IncrementalRound { consumed, append_s: t_append, rebuild_s: t_rebuild });
+        }
+        let last = rounds.last().expect("at least one round");
+        if n >= 10_000 {
+            assert!(
+                last.rebuild_s / last.append_s >= 2.0,
+                "append fold must beat the full rebuild by >= 2x at n = {n} (got {:.2}x) — the \
+                 incremental path regressed to rebuild-shaped work",
+                last.rebuild_s / last.append_s
+            );
+        }
+        // Relabel refresh: clean 1% of the training labels, re-read the
+        // error — the O(test) cleaning-loop latency.
+        let dirty: Vec<(usize, u32)> = (0..n / 100).map(|j| (j * 100, ((j + 1) % 10) as u32)).collect();
+        let t_relabel = time_median(incr_reps.max(3), || {
+            let mut s = state.clone();
+            s.relabel_train_batch(&dirty);
+            std::hint::black_box(s.error());
+        });
+        println!("n={:>6} d={incr_dim} relabel 1% + error refresh {:>9.4} ms", n, t_relabel * 1e3);
+        incremental_cases.push(IncrementalCase {
+            train_n: n,
+            dim: incr_dim,
+            k: incr_k,
+            queries: incr_queries,
+            rounds,
+            relabel_refresh_s: t_relabel,
+        });
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"knn_kernels\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
@@ -480,6 +585,28 @@ fn main() {
             c.cluster_prune_rate,
             c.row_prune_rate,
         );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"incremental_cases\": [");
+    for (i, c) in incremental_cases.iter().enumerate() {
+        let comma = if i + 1 < incremental_cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"train_n\": {}, \"dim\": {}, \"k\": {}, \"queries\": {}, \"metric\": \"sq-euclidean\", \"relabel_refresh_s\": {:.6}, \"rounds\": [",
+            c.train_n, c.dim, c.k, c.queries, c.relabel_refresh_s,
+        );
+        for (j, r) in c.rounds.iter().enumerate() {
+            let rcomma = if j + 1 < c.rounds.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      {{\"consumed\": {}, \"append_s\": {:.6}, \"rebuild_s\": {:.6}, \"speedup\": {:.3}}}{rcomma}",
+                r.consumed,
+                r.append_s,
+                r.rebuild_s,
+                r.rebuild_s / r.append_s,
+            );
+        }
+        let _ = writeln!(json, "    ]}}{comma}");
     }
     let _ = writeln!(json, "  ]");
     json.push_str("}\n");

@@ -1,13 +1,20 @@
 //! FeeBee-style ablation (Section II-A): how well does each Bayes-error
 //! estimator family track the known BER evolution under uniform label noise,
 //! both in the low-dimensional latent space and on high-dimensional "raw"
-//! features where density estimation struggles?
+//! features where density estimation struggles — across growing
+//! training-set rounds?
+//!
+//! One [`IncrementalTopK`] state per (representation, split) carries the
+//! neighbour computation across *everything*: each sample-size round
+//! **appends** only the new training rows (`O(new × test)` kernel work, no
+//! rebuild), and within a round every label-noise level re-reads the same
+//! state snapshot — neighbours depend only on features.
 
 use snoopy_bench::{f4, ResultsTable};
 use snoopy_data::gaussian::{GaussianMixture, GaussianMixtureSpec};
 use snoopy_data::noise::{ber_after_uniform_noise, TransitionMatrix};
 use snoopy_estimators::{
-    default_estimators, estimate_all_with_table, shared_neighbor_table, shared_table_k, LabeledView,
+    default_estimators, estimate_all_with_state, shared_table_k, IncrementalTopK, LabeledView, Metric,
 };
 use snoopy_linalg::projection::random_orthonormal_map;
 use snoopy_linalg::{rng, Matrix};
@@ -44,8 +51,9 @@ fn main() {
     let estimators = default_estimators();
     let mut table = ResultsTable::new(
         "estimator_ablation_feebee",
-        &["representation", "noise", "true_noisy_ber", "estimator", "estimate", "absolute_error"],
+        &["representation", "train_n", "noise", "true_noisy_ber", "estimator", "estimate", "absolute_error"],
     );
+    let round_fractions = [0.25f64, 0.5, 1.0];
     let noise_levels = [0.0f64, 0.2, 0.4, 0.6, 0.8];
     let mut noise_rng = rng::seeded(20);
 
@@ -54,36 +62,45 @@ fn main() {
     for (repr, train_x, test_x) in
         [("latent-d12", &train_lat, &test_lat), ("raw-d200", &train_raw, &test_raw)]
     {
-        // Neighbours depend only on features, so one top-k_max table per
-        // (transformation, split) serves every noise level and every
-        // kNN-family estimator (each consumes a prefix of it).
-        let neighbors = shared_neighbor_table(train_x.view(), test_x.view(), k_max);
+        // One growing state per (representation, split): each round appends
+        // the training rows beyond the previous round's prefix, and every
+        // noise level of every round reads the same snapshot.
+        let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, k_max);
+        let mut consumed = 0usize;
         let mut mae = vec![0.0f64; estimators.len()];
-        for &rho in &noise_levels {
-            let t = TransitionMatrix::uniform(num_classes, rho);
-            let noisy_train = t.apply(&train_y, &mut noise_rng);
-            let noisy_test = t.apply(&test_y, &mut noise_rng);
-            let truth = ber_after_uniform_noise(clean_ber, rho, num_classes);
-            let values = estimate_all_with_table(
-                &estimators,
-                &neighbors,
-                &LabeledView::new(train_x, &noisy_train),
-                &LabeledView::new(test_x, &noisy_test),
-                num_classes,
-            );
-            for (i, (est, value)) in estimators.iter().zip(&values).enumerate() {
-                mae[i] += (value - truth).abs() / noise_levels.len() as f64;
-                table.push(vec![
-                    repr.into(),
-                    f4(rho),
-                    f4(truth),
-                    est.name().into(),
-                    f4(*value),
-                    f4((value - truth).abs()),
-                ]);
+        for &fraction in &round_fractions {
+            let n = ((train_x.rows() as f64) * fraction).round() as usize;
+            state.append(train_x.view().slice_rows(consumed, n), &train_y[consumed..n]);
+            consumed = n;
+            for &rho in &noise_levels {
+                let t = TransitionMatrix::uniform(num_classes, rho);
+                let noisy_train = t.apply(&train_y, &mut noise_rng);
+                let noisy_test = t.apply(&test_y, &mut noise_rng);
+                let truth = ber_after_uniform_noise(clean_ber, rho, num_classes);
+                let values = estimate_all_with_state(
+                    &estimators,
+                    &state,
+                    &LabeledView::new(train_x, &noisy_train).prefix(n),
+                    &LabeledView::new(test_x, &noisy_test),
+                    num_classes,
+                );
+                for (i, (est, value)) in estimators.iter().zip(&values).enumerate() {
+                    if n == train_x.rows() {
+                        mae[i] += (value - truth).abs() / noise_levels.len() as f64;
+                    }
+                    table.push(vec![
+                        repr.into(),
+                        n.to_string(),
+                        f4(rho),
+                        f4(truth),
+                        est.name().into(),
+                        f4(*value),
+                        f4((value - truth).abs()),
+                    ]);
+                }
             }
         }
-        println!("\n[{repr}] mean absolute error across noise levels:");
+        println!("\n[{repr}] mean absolute error across noise levels (full training set):");
         for (est, err) in estimators.iter().zip(&mae) {
             println!("  {:<16} {:.4}", est.name(), err);
         }

@@ -8,7 +8,7 @@ use snoopy_data::noise::{ber_after_uniform_noise, NoiseModel};
 use snoopy_data::registry::{load_clean, load_with_noise, table1_specs};
 use snoopy_embeddings::zoo_for_task;
 use snoopy_estimators::cover_hart_lower_bound;
-use snoopy_knn::{BruteForceIndex, Metric, StreamedOneNn};
+use snoopy_knn::{BruteForceIndex, IncrementalTopK, Metric};
 
 fn main() {
     let scale = scale_from_args();
@@ -61,15 +61,13 @@ fn main() {
         for t in &members {
             let train_e = t.transform(clean.train.features.view());
             let test_e = t.transform(clean.test.features.view());
-            let mut stream = StreamedOneNn::new(test_e, clean.test.labels.clone(), Metric::SquaredEuclidean);
+            let mut stream =
+                IncrementalTopK::new(test_e, clean.test.labels.clone(), Metric::SquaredEuclidean, 1);
             let batch = (clean.train.len() / 8).max(1);
             let mut consumed = 0;
             while consumed < clean.train.len() {
                 let end = (consumed + batch).min(clean.train.len());
-                stream.add_train_batch(
-                    train_e.view().slice_rows(consumed, end),
-                    &clean.train.labels[consumed..end],
-                );
+                stream.append(train_e.view().slice_rows(consumed, end), &clean.train.labels[consumed..end]);
                 consumed = end;
             }
             for &(n, err) in stream.curve() {

@@ -7,7 +7,7 @@ use snoopy_data::noise::NoiseModel;
 use snoopy_data::registry::load_with_noise;
 use snoopy_embeddings::zoo_for_task;
 use snoopy_estimators::{cover_hart_lower_bound, LogLinearFit};
-use snoopy_knn::{Metric, StreamedOneNn};
+use snoopy_knn::{IncrementalTopK, Metric};
 
 fn main() {
     let scale = scale_from_args();
@@ -27,12 +27,12 @@ fn main() {
         let train_e = embedding.transform(task.train.features.view());
         let test_e = embedding.transform(task.test.features.view());
 
-        let mut stream = StreamedOneNn::new(test_e, task.test.labels.clone(), Metric::SquaredEuclidean);
+        let mut stream = IncrementalTopK::new(test_e, task.test.labels.clone(), Metric::SquaredEuclidean, 1);
         let batch = (task.train.len() / 10).max(1);
         let mut consumed = 0;
         while consumed < task.train.len() {
             let end = (consumed + batch).min(task.train.len());
-            stream.add_train_batch(&train_e.slice_rows(consumed, end), &task.train.labels[consumed..end]);
+            stream.append(&train_e.slice_rows(consumed, end), &task.train.labels[consumed..end]);
             consumed = end;
         }
         for &(n, err) in stream.curve() {
@@ -45,15 +45,14 @@ fn main() {
         }
 
         let fit = LogLinearFit::fit(stream.curve());
-        let current_estimate = cover_hart_lower_bound(stream.current_error(), task.num_classes);
+        let current_estimate = cover_hart_lower_bound(stream.error(), task.num_classes);
         // Targets, as in the paper's Fig. 7 discussion: a modest extension of
         // what the data already supports (trustworthy small extrapolation)
         // versus the optimistic "error equal to the noise level" target that
         // requires an extrapolation far beyond the observed range.
         for target_error in [current_estimate * 0.9, rho + 0.10, rho] {
             let target_accuracy = 1.0 - target_error;
-            let reachable_now =
-                cover_hart_lower_bound(stream.current_error(), task.num_classes) <= target_error;
+            let reachable_now = cover_hart_lower_bound(stream.error(), task.num_classes) <= target_error;
             let extra = fit.additional_samples_to_reach(target_error);
             let trustworthy = extra.map(|e| fit.reliable(task.train.len() + e, 10.0)).unwrap_or(false);
             target_table.push(vec![

@@ -7,7 +7,7 @@ use snoopy_data::noise::NoiseModel;
 use snoopy_data::registry::load_with_noise;
 use snoopy_embeddings::zoo_for_task;
 use snoopy_estimators::{cover_hart_lower_bound, LogLinearFit};
-use snoopy_knn::{Metric, StreamedOneNn};
+use snoopy_knn::{IncrementalTopK, Metric};
 
 fn main() {
     let scale = scale_from_args();
@@ -18,12 +18,12 @@ fn main() {
     let test_e = embedding.transform(task.test.features.view());
 
     // Build a fine-grained convergence curve once (5% batches).
-    let mut stream = StreamedOneNn::new(test_e, task.test.labels.clone(), Metric::SquaredEuclidean);
+    let mut stream = IncrementalTopK::new(test_e, task.test.labels.clone(), Metric::SquaredEuclidean, 1);
     let batch = (task.train.len() / 20).max(1);
     let mut consumed = 0;
     while consumed < task.train.len() {
         let end = (consumed + batch).min(task.train.len());
-        stream.add_train_batch(&train_e.slice_rows(consumed, end), &task.train.labels[consumed..end]);
+        stream.append(&train_e.slice_rows(consumed, end), &task.train.labels[consumed..end]);
         consumed = end;
     }
     let full_curve = stream.curve().to_vec();

@@ -1,25 +1,33 @@
-//! Bandit arms backed by a feature transformation and a streamed 1NN
-//! evaluator.
+//! Bandit arms backed by a feature transformation and the incremental top-k
+//! successor state.
 //!
 //! Pulling a [`TransformationArm`] embeds one more batch of raw training
-//! samples through its transformation, feeds the embedded batch to the
-//! streamed 1NN evaluator, and returns the updated test error. The simulated
-//! cost of a pull is the inference cost of the batch (test-set inference is
-//! charged on the first pull), which is exactly the cost structure that makes
-//! successive halving worthwhile in the paper (Section V).
+//! samples through its transformation and **appends** the embedded batch to
+//! the arm's [`IncrementalTopK`] — `O(batch × queries)` kernel work, never a
+//! rebuild of what earlier pulls already paid for — then returns the updated
+//! test error. The simulated cost of a pull is the inference cost of the
+//! batch (test-set inference is charged on the first pull), which is exactly
+//! the cost structure that makes successive halving worthwhile in the paper
+//! (Section V); the *true incremental evaluation cost* (query–row pairs the
+//! append actually folded, post-pruning) is additionally reported to the
+//! strategies through [`snoopy_bandit::Arm::eval_pairs`].
 //!
 //! Raw batches are sliced zero-copy from the task's training split
 //! ([`snoopy_linalg::DatasetView`]); only the *embedded* batch is
-//! materialised, fed to the stream, and dropped. Nothing is kept around for
-//! later reassembly — the incremental cache snapshots the stream's
-//! nearest-index state instead ([`snoopy_knn::IncrementalOneNn::from_stream`]).
-//! Pull/cost bookkeeping lives in the shared [`PullLedger`] from
-//! `snoopy-bandit`, the same ledger every other arm implementation uses.
+//! materialised, appended, and dropped — except under a clustered append
+//! backend, whose persistent partition retains the embedded rows it folded
+//! (the raw material of its re-partitions; see
+//! [`IncrementalTopK::with_backend`]). Nothing is ever re-embedded or
+//! reassembled for a rebuild — the study takes the winning arm's state itself
+//! ([`TransformationArm::take_state`]) and hands it to the cleaning loop and
+//! the estimators unchanged. Pull/cost bookkeeping lives in the shared
+//! [`PullLedger`] from `snoopy-bandit`, the same ledger every other arm
+//! implementation uses.
 
 use snoopy_bandit::{Arm, PullLedger};
 use snoopy_data::TaskDataset;
 use snoopy_embeddings::Transformation;
-use snoopy_knn::{EvalBackend, EvalEngine, Metric, StreamedOneNn};
+use snoopy_knn::{EvalBackend, EvalEngine, IncrementalTopK, Metric};
 
 /// A bandit arm evaluating one transformation on one task.
 pub struct TransformationArm<'a> {
@@ -27,18 +35,22 @@ pub struct TransformationArm<'a> {
     task: &'a TaskDataset,
     metric: Metric,
     batch_size: usize,
+    /// Per-query neighbour capacity of the arm's state: 1 for the pure
+    /// feasibility signal, larger when the winner's snapshot must also feed
+    /// k-consuming estimators (the 1NN error is identical for every k).
+    table_k: usize,
     /// Lazily initialised on the first pull (embedding the test split).
-    stream: Option<StreamedOneNn>,
+    state: Option<IncrementalTopK>,
     consumed: usize,
     ledger: PullLedger,
-    /// Engine handed to the streamed evaluator. The study throttles this to
+    /// Engine handed to the incremental state. The study throttles this to
     /// a per-arm share of the cores: the strategy layer already runs arms on
     /// their own worker threads, and nesting a full-width engine inside each
     /// would oversubscribe the CPU.
     engine: EvalEngine,
-    /// Evaluation backend handed to the streamed evaluator (the study
-    /// resolves the config's choice — forced or auto-by-batch-size — before
-    /// constructing arms). Exhaustive and clustered streams are
+    /// Append backend handed to the incremental state (the study resolves
+    /// the config's choice — forced or auto-by-batch-size — before
+    /// constructing arms). Exhaustive and clustered appends are
     /// bit-identical.
     backend: EvalBackend,
 }
@@ -56,7 +68,8 @@ impl<'a> TransformationArm<'a> {
             task,
             metric,
             batch_size: batch_size.max(1),
-            stream: None,
+            table_k: 1,
+            state: None,
             consumed: 0,
             ledger: PullLedger::new(),
             engine: EvalEngine::parallel(),
@@ -64,29 +77,40 @@ impl<'a> TransformationArm<'a> {
         }
     }
 
-    /// Overrides the evaluation engine used by this arm's streamed 1NN.
+    /// Overrides the evaluation engine used by this arm's state.
     pub fn with_engine(mut self, engine: EvalEngine) -> Self {
         self.engine = engine;
         self
     }
 
-    /// Overrides the evaluation backend used by this arm's streamed 1NN.
+    /// Overrides the append backend used by this arm's state.
     pub fn with_backend(mut self, backend: EvalBackend) -> Self {
         self.backend = backend;
-        if let Some(stream) = self.stream.as_mut() {
-            stream.set_backend(backend);
+        if let Some(state) = self.state.as_mut() {
+            state.set_backend(backend);
         }
         self
     }
 
-    /// Swaps the engine in place, including on an already-started stream.
+    /// Overrides the per-query neighbour capacity `k` retained by this arm's
+    /// state (must be set before the first pull; clamped to ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if the state already exists.
+    pub fn with_table_k(mut self, k: usize) -> Self {
+        assert!(self.state.is_none(), "table_k must be set before the first pull");
+        self.table_k = k.max(1);
+        self
+    }
+
+    /// Swaps the engine in place, including on an already-started state.
     /// The study re-widens the winning arm with this before finishing it
     /// alone — the per-arm throttle only makes sense while the whole zoo is
     /// running concurrently.
     pub fn set_engine(&mut self, engine: EvalEngine) {
         self.engine = engine;
-        if let Some(stream) = self.stream.as_mut() {
-            stream.set_engine(engine);
+        if let Some(state) = self.state.as_mut() {
+            state.set_engine(engine);
         }
     }
 
@@ -97,7 +121,7 @@ impl<'a> TransformationArm<'a> {
 
     /// The convergence curve recorded so far: `(consumed samples, error)`.
     pub fn curve(&self) -> Vec<(usize, f64)> {
-        self.stream.as_ref().map(|s| s.curve().to_vec()).unwrap_or_default()
+        self.state.as_ref().map(|s| s.curve().to_vec()).unwrap_or_default()
     }
 
     /// Number of raw training samples consumed.
@@ -105,32 +129,39 @@ impl<'a> TransformationArm<'a> {
         self.consumed
     }
 
-    /// Access to the underlying streamed evaluator (once at least one pull
+    /// Access to the underlying incremental state (once at least one pull
     /// happened).
-    pub fn stream(&self) -> Option<&StreamedOneNn> {
-        self.stream.as_ref()
+    pub fn state(&self) -> Option<&IncrementalTopK> {
+        self.state.as_ref()
+    }
+
+    /// Moves the incremental state out of the arm — what the study does with
+    /// the winner after [`TransformationArm::finish`], so the cleaning loop
+    /// and the estimators keep working on the *same* state the bandit grew
+    /// (no re-embedding, no rebuild).
+    pub fn take_state(&mut self) -> Option<IncrementalTopK> {
+        self.state.take()
     }
 
     /// Pulls until the training split is fully consumed and returns the
-    /// stream, which then holds the exact nearest-neighbour state over the
-    /// whole training set — ready for
-    /// [`snoopy_knn::IncrementalOneNn::from_stream`]. Additional pulls are
-    /// charged to the ledger like any others.
-    pub fn finish(&mut self) -> &StreamedOneNn {
+    /// state, which then holds the exact top-k neighbour state over the
+    /// whole training set. Additional pulls are charged to the ledger like
+    /// any others.
+    pub fn finish(&mut self) -> &IncrementalTopK {
         while !self.exhausted() {
             self.pull();
         }
-        self.stream.as_ref().expect("finish() pulled at least once on a non-empty task")
+        self.state.as_ref().expect("finish() pulled at least once on a non-empty task")
     }
 
-    fn ensure_stream(&mut self) {
-        if self.stream.is_some() {
+    fn ensure_state(&mut self) {
+        if self.state.is_some() {
             return;
         }
         let test_embedded = self.transformation.transform(self.task.test.features_view());
         self.ledger.charge(self.transformation.cost_for(self.task.test.len()));
-        self.stream = Some(
-            StreamedOneNn::new(test_embedded, self.task.test.labels.clone(), self.metric)
+        self.state = Some(
+            IncrementalTopK::new(test_embedded, self.task.test.labels.clone(), self.metric, self.table_k)
                 .with_engine(self.engine)
                 .with_backend(self.backend),
         );
@@ -146,18 +177,17 @@ impl Arm for TransformationArm<'_> {
         if self.exhausted() {
             return self.current_loss();
         }
-        self.ensure_stream();
+        self.ensure_state();
         let start = self.consumed;
         let end = (start + self.batch_size).min(self.task.train.len());
         let raw_batch = self.task.train.features_view().slice_rows(start, end);
         let embedded = self.transformation.transform(raw_batch);
         self.ledger.record_pull(self.transformation.cost_for(end - start));
         let labels = &self.task.train.labels[start..end];
-        let err = self
-            .stream
-            .as_mut()
-            .expect("stream initialised by ensure_stream")
-            .add_train_batch(embedded.view(), labels);
+        let state = self.state.as_mut().expect("state initialised by ensure_state");
+        let before = state.folded_pairs();
+        let err = state.append(embedded.view(), labels);
+        self.ledger.record_eval_pairs(state.folded_pairs() - before);
         self.consumed = end;
         err
     }
@@ -171,7 +201,7 @@ impl Arm for TransformationArm<'_> {
     }
 
     fn current_loss(&self) -> f64 {
-        self.stream.as_ref().map(|s| s.current_error()).unwrap_or(1.0)
+        self.state.as_ref().map(|s| s.error()).unwrap_or(1.0)
     }
 
     fn cost_per_pull(&self) -> f64 {
@@ -182,7 +212,11 @@ impl Arm for TransformationArm<'_> {
         self.ledger.simulated_cost()
     }
 
-    /// Resizes the inner 1NN engine to a per-arm share of the cores: with
+    fn eval_pairs(&self) -> u64 {
+        self.ledger.eval_pairs()
+    }
+
+    /// Resizes the inner engine to a per-arm share of the cores: with
     /// `active_arms` arms pulling concurrently on strategy worker threads, a
     /// full-width engine in each would oversubscribe the CPU; alone, the arm
     /// takes every core.
@@ -197,7 +231,7 @@ mod tests {
     use super::*;
     use snoopy_data::registry::{load_clean, SizeScale};
     use snoopy_embeddings::zoo_for_task;
-    use snoopy_knn::{BruteForceIndex, IncrementalOneNn};
+    use snoopy_knn::BruteForceIndex;
 
     #[test]
     fn pulling_to_exhaustion_matches_full_evaluation() {
@@ -218,32 +252,38 @@ mod tests {
         assert!((arm.current_loss() - full_err).abs() < 1e-12);
         assert_eq!(arm.consumed_samples(), task.train.len());
         assert!(arm.simulated_cost() > 0.0);
-        // The curve has one point per pull.
+        // The curve has one point per pull, and the arm reported exactly the
+        // incremental kernel work: every appended row against every query.
         assert_eq!(arm.curve().len(), arm.pulls());
+        assert_eq!(arm.eval_pairs(), (task.train.len() * task.test.len()) as u64);
     }
 
     #[test]
-    fn finished_arm_snapshots_into_the_incremental_cache_without_reembedding() {
+    fn finished_arm_hands_over_its_state_without_reembedding() {
         let task = load_clean("mnist", SizeScale::Tiny, 7);
         let zoo = zoo_for_task(&task, 8);
         let best = zoo.iter().find(|t| t.name() == "efficientnet-b7").unwrap();
         let batch = (task.train.len() / 3).max(1);
-        let mut arm = TransformationArm::new(best.as_ref(), &task, Metric::SquaredEuclidean, batch);
+        let mut arm =
+            TransformationArm::new(best.as_ref(), &task, Metric::SquaredEuclidean, batch).with_table_k(3);
         arm.pull(); // partially consumed
-        let stream = arm.finish();
-        let cache = IncrementalOneNn::from_stream(stream, &task.train.labels, &task.test.labels);
+        arm.finish();
+        let state = arm.take_state().expect("finished arm holds a state");
+        assert!(arm.state().is_none(), "take_state moves the state out");
 
         let full_train = best.transform(task.train.features_view());
         let full_test = best.transform(task.test.features_view());
-        let rebuilt = IncrementalOneNn::build(
+        let rebuilt = IncrementalTopK::build(
             &full_train,
             &task.train.labels,
             &full_test,
             &task.test.labels,
-            task.num_classes,
             Metric::SquaredEuclidean,
+            3,
         );
-        assert!((cache.error() - rebuilt.error()).abs() < 1e-12);
+        assert!((state.error() - rebuilt.error()).abs() < 1e-12);
+        // The k = 3 table grown pull by pull equals the cold build's.
+        assert_eq!(state.table(), rebuilt.table());
     }
 
     #[test]

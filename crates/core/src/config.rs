@@ -21,12 +21,18 @@ pub struct SnoopyConfig {
     pub budget: Option<usize>,
     /// Seed used for anything stochastic in the study (zoo construction).
     pub seed: u64,
-    /// Evaluation backend for the per-batch 1NN updates: `None` auto-selects
-    /// per arm by the train-size heuristic
+    /// Evaluation backend for the per-batch append folds: `None`
+    /// auto-selects per arm by the train-size heuristic
     /// ([`EvalBackend::auto_for`] over the batch size and test-split size);
     /// `Some` forces a path. Both paths return bit-identical errors — the
     /// backend only decides how much scan work is pruned.
     pub backend: Option<EvalBackend>,
+    /// Per-query neighbour capacity `k` of each arm's incremental state.
+    /// The feasibility signal only reads the first hit (identical for every
+    /// `k`), but a larger capacity makes the winning arm's snapshot — the
+    /// state [`crate::IncrementalStudy`] keeps — directly consumable by
+    /// k-reading estimators without any recomputation.
+    pub table_k: usize,
 }
 
 impl Default for SnoopyConfig {
@@ -39,6 +45,7 @@ impl Default for SnoopyConfig {
             budget: None,
             seed: 0,
             backend: None,
+            table_k: 1,
         }
     }
 }
@@ -70,6 +77,13 @@ impl SnoopyConfig {
     /// Forces the evaluation backend (instead of per-arm auto-selection).
     pub fn backend(mut self, backend: EvalBackend) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the per-query neighbour capacity of each arm's incremental state
+    /// (clamped to ≥ 1).
+    pub fn table_k(mut self, k: usize) -> Self {
+        self.table_k = k.max(1);
         self
     }
 

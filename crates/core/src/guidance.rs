@@ -133,6 +133,7 @@ mod tests {
             curve,
             consumed_samples: consumed,
             simulated_cost: 1.0,
+            eval_pairs: 0,
         }
     }
 

@@ -4,38 +4,40 @@
 //! In the iterative cleaning loop the user alternates between cleaning a
 //! small portion of labels and re-consulting Snoopy. Features never change,
 //! so the nearest-neighbour structure of every transformation stays valid;
-//! only labels move. [`IncrementalStudy`] snapshots the nearest-neighbour
-//! index of the *winning* transformation after a full run and afterwards
-//! answers feasibility queries in a single `O(test)` pass — the paper
-//! reports 0.2 ms for 10 K test / 50 K training samples, orders of magnitude
-//! faster than re-running inference.
+//! only labels move. [`IncrementalStudy`] takes ownership of the *winning*
+//! arm's [`IncrementalTopK`] after a full run — the very state the bandit
+//! grew append by append — and afterwards answers feasibility queries in a
+//! single `O(test)` pass — the paper reports 0.2 ms for 10 K test / 50 K
+//! training samples, orders of magnitude faster than re-running inference.
+//! The same state's [`IncrementalTopK::table`] snapshot feeds any
+//! k-consuming estimator without recomputation.
 
 use crate::config::SnoopyConfig;
 use crate::study::{FeasibilityDecision, FeasibilityStudy, StudyReport};
 use snoopy_data::TaskDataset;
 use snoopy_embeddings::Transformation;
 use snoopy_estimators::cover_hart_lower_bound;
-use snoopy_knn::IncrementalOneNn;
+use snoopy_knn::IncrementalTopK;
 
 /// A feasibility study that can be re-run in real time after label cleaning.
 pub struct IncrementalStudy {
     config: SnoopyConfig,
     num_classes: usize,
     best_transformation: String,
-    cache: IncrementalOneNn,
+    cache: IncrementalTopK,
     /// The report of the initial full run.
     initial_report: StudyReport,
 }
 
 impl IncrementalStudy {
-    /// Runs the full study once and snapshots the incremental state for the
-    /// winning transformation.
+    /// Runs the full study once and takes ownership of the winning arm's
+    /// incremental state.
     ///
-    /// The cache comes straight from the winning arm's streamed evaluator
+    /// The state comes straight from the winning arm
     /// ([`FeasibilityStudy::run_with_cache`]): the scheduler may have stopped
     /// the arm early under aggressive budgets, in which case only the
-    /// *remaining* batches are embedded — nothing is embedded twice and no
-    /// feature matrix is reassembled by copy.
+    /// *remaining* batches are embedded and appended — nothing is embedded
+    /// twice, nothing is rebuilt.
     pub fn bootstrap(config: SnoopyConfig, task: &TaskDataset, zoo: &[Box<dyn Transformation>]) -> Self {
         let study = FeasibilityStudy::new(config);
         let (report, cache) = study.run_with_cache(task, zoo);
@@ -56,6 +58,14 @@ impl IncrementalStudy {
     /// Name of the transformation the incremental state tracks.
     pub fn best_transformation(&self) -> &str {
         &self.best_transformation
+    }
+
+    /// The tracked incremental state itself — relabelled in place by
+    /// [`IncrementalStudy::refresh`] / [`IncrementalStudy::apply_updates`];
+    /// its [`IncrementalTopK::table`] snapshot is what k-consuming
+    /// estimators read.
+    pub fn state(&self) -> &IncrementalTopK {
+        &self.cache
     }
 
     /// Re-evaluates the feasibility signal after the task's labels changed

@@ -8,7 +8,7 @@ use snoopy_bandit::run_strategy;
 use snoopy_data::TaskDataset;
 use snoopy_embeddings::Transformation;
 use snoopy_estimators::cover_hart_lower_bound;
-use snoopy_knn::{EvalEngine, IncrementalOneNn};
+use snoopy_knn::{EvalEngine, IncrementalTopK};
 use std::time::Instant;
 
 /// Snoopy's binary output signal.
@@ -45,6 +45,10 @@ pub struct TransformationResult {
     pub consumed_samples: usize,
     /// Simulated inference cost charged to this transformation (seconds).
     pub simulated_cost: f64,
+    /// True incremental evaluation work performed by this arm's appends, in
+    /// query–row distance pairs (post-pruning) — `O(Σ batch × queries)`, not
+    /// a rebuild per round.
+    pub eval_pairs: u64,
 }
 
 /// The full report returned by a feasibility study.
@@ -106,18 +110,20 @@ impl FeasibilityStudy {
         self.evaluate(task, zoo, false).0
     }
 
-    /// Runs the study and additionally returns the incremental 1NN cache of
-    /// the winning transformation, ready for real-time re-evaluation after
-    /// label cleaning. The winner's stream is *finished* (only the batches
-    /// the scheduler had not yet consumed are embedded — nothing is
-    /// re-embedded and no embedded batches are reassembled by copy) and its
-    /// nearest-index state is snapshotted directly. The extra inference is
-    /// charged to the report like every other pull.
+    /// Runs the study and additionally returns the *winning arm's own
+    /// incremental state*, ready for real-time re-evaluation after label
+    /// cleaning. The winner is *finished* (only the batches the scheduler
+    /// had not yet consumed are embedded and appended — nothing is
+    /// re-embedded, nothing is rebuilt) and its [`IncrementalTopK`] is moved
+    /// out of the arm: the bandit loop, the cleaning loop, and any estimator
+    /// reading the state's neighbour table all operate on one and the same
+    /// successor state. The extra inference is charged to the report like
+    /// every other pull.
     pub fn run_with_cache(
         &self,
         task: &TaskDataset,
         zoo: &[Box<dyn Transformation>],
-    ) -> (StudyReport, IncrementalOneNn) {
+    ) -> (StudyReport, IncrementalTopK) {
         let (report, cache) = self.evaluate(task, zoo, true);
         (report, cache.expect("evaluate(finish_winner = true) always builds the cache"))
     }
@@ -127,7 +133,7 @@ impl FeasibilityStudy {
         task: &TaskDataset,
         zoo: &[Box<dyn Transformation>],
         finish_winner: bool,
-    ) -> (StudyReport, Option<IncrementalOneNn>) {
+    ) -> (StudyReport, Option<IncrementalTopK>) {
         assert!(!zoo.is_empty(), "the transformation zoo must not be empty");
         assert!(!task.train.is_empty() && !task.test.is_empty(), "task must have train and test samples");
         let start = Instant::now();
@@ -147,7 +153,9 @@ impl FeasibilityStudy {
         let mut arms: Vec<TransformationArm<'_>> = zoo
             .iter()
             .map(|t| {
-                TransformationArm::new(t.as_ref(), task, self.config.metric, batch_size).with_backend(backend)
+                TransformationArm::new(t.as_ref(), task, self.config.metric, batch_size)
+                    .with_backend(backend)
+                    .with_table_k(self.config.table_k)
             })
             .collect();
         let _outcome = run_strategy(self.config.strategy, &mut arms, budget);
@@ -162,6 +170,7 @@ impl FeasibilityStudy {
                 curve,
                 consumed_samples: arm.consumed_samples(),
                 simulated_cost: arm.simulated_cost(),
+                eval_pairs: snoopy_bandit::Arm::eval_pairs(arm),
             }
         };
 
@@ -182,7 +191,7 @@ impl FeasibilityStudy {
         let (mut best_idx, mut ber_estimate) = best_of(&per_transformation);
 
         let cache = if finish_winner {
-            // Stream the winner's remaining batches and re-aggregate (its
+            // Append the winner's remaining batches and re-aggregate (its
             // error moves as it converges). If finishing dethrones it, finish
             // the new winner too; this reaches a fixpoint because finished
             // arms stop moving.
@@ -198,8 +207,9 @@ impl FeasibilityStudy {
                     break;
                 }
             }
-            let stream = arms[best_idx].stream().expect("winner was finished above");
-            Some(IncrementalOneNn::from_stream(stream, &task.train.labels, &task.test.labels))
+            // Move the winner's state out of its arm: the cleaning loop keeps
+            // relabelling the very state the bandit grew.
+            Some(arms[best_idx].take_state().expect("winner was finished above"))
         } else {
             None
         };

@@ -142,13 +142,14 @@ impl PowerLawFit {
 /// the number of samples needed for a reliable fit grows exponentially with
 /// the dimension, which is why it is a baseline rather than Snoopy's choice.
 ///
-/// The whole ladder costs **one** streamed pass of the parallel engine over
-/// the full training set: the prefixes are nested, so feeding the rows
-/// rung-by-rung and reading the running 1NN error at each rung is
-/// bit-identical to recomputing each prefix cold. When a shared
-/// [`NeighborTable`](crate::NeighborTable) is available, the final rung (the
-/// full training set) is read from it instead, roughly halving the streamed
-/// distance work.
+/// The whole ladder costs **one** appended pass over the full training set:
+/// the rungs are nested prefixes, so the curve is exactly the convergence
+/// curve of an [`IncrementalTopK`](snoopy_knn::IncrementalTopK) fed the rows
+/// rung-by-rung — each rung is a snapshot of the one growing state, and the
+/// per-rung error is bit-identical to recomputing the prefix cold. When a
+/// shared [`NeighborTable`](crate::NeighborTable) is available, the final
+/// rung (the full training set) is read from it instead, roughly halving the
+/// appended distance work.
 #[derive(Debug, Clone)]
 pub struct KnnExtrapolationEstimator {
     /// Number of prefix sizes evaluated (log-spaced up to the full set).
@@ -177,9 +178,10 @@ impl KnnExtrapolationEstimator {
         sizes
     }
 
-    /// The `(prefix size, 1NN eval error)` convergence curve, streamed
-    /// through the engine in a single pass over the training rows.
-    /// `final_from_table` supplies the last rung from a precomputed
+    /// The `(prefix size, 1NN eval error)` convergence curve: one
+    /// [`IncrementalTopK`](snoopy_knn::IncrementalTopK) grown rung by rung —
+    /// every rung is a snapshot of the same appended state, never a cold
+    /// rebuild. `final_from_table` supplies the last rung from a precomputed
     /// (train → eval) neighbour table.
     fn convergence_curve(
         &self,
@@ -187,16 +189,16 @@ impl KnnExtrapolationEstimator {
         eval: &crate::LabeledView<'_>,
         final_from_table: Option<&crate::NeighborTable>,
     ) -> Vec<(usize, f64)> {
-        use snoopy_knn::{MetricKernel, NearestHit};
-        let engine = crate::EvalEngine::parallel();
+        use snoopy_knn::IncrementalTopK;
         let sizes = self.ladder(train.len());
-        let mut best = vec![NearestHit::NONE; eval.len()];
         let mut curve = Vec::with_capacity(sizes.len());
         let mut consumed = 0usize;
-        // One kernel across the prefix ladder: the eval-side norm cache is
-        // bound once, the train side re-binds per rung slice.
-        let mut kernel = MetricKernel::new(crate::Metric::SquaredEuclidean);
-        kernel.bind_queries(eval.features());
+        let mut state = IncrementalTopK::new(
+            eval.features().to_matrix(),
+            eval.labels().to_vec(),
+            crate::Metric::SquaredEuclidean,
+            1,
+        );
         for &n in &sizes {
             if n == train.len() {
                 if let Some(table) = final_from_table {
@@ -205,11 +207,9 @@ impl KnnExtrapolationEstimator {
                 }
             }
             let rung = train.features().slice_rows(consumed, n);
-            kernel.bind_train(rung);
-            engine.update_nearest(eval.features(), &kernel, rung, consumed, &mut best);
+            let err = state.append(rung, &train.labels()[consumed..n]);
             consumed = n;
-            let wrong = best.iter().zip(eval.labels()).filter(|&(h, &y)| train.label(h.index) != y).count();
-            curve.push((n, wrong as f64 / eval.len() as f64));
+            curve.push((n, err));
         }
         curve
     }

@@ -18,12 +18,17 @@
 //! estimators consume a query-major [`NeighborTable`] — Cover–Hart reads each
 //! eval point's first hit, Devijver's posterior plug-in reads a `k`-prefix,
 //! and kNN-extrapolation reads the final rung of its convergence ladder from
-//! the table (streaming the earlier rungs through the same engine in one
-//! pass). Because per-query lists are sorted, one table computed at
+//! the table (the earlier rungs are snapshots of one
+//! [`IncrementalTopK`] grown rung by rung). Because per-query lists are
+//! sorted, one table computed at
 //! `k_max = max(`[`BerEstimator::table_k`]`)` serves *all* of them by prefix:
 //! [`estimate_all`] computes that table once per (train, eval) pair — and
-//! `exp_estimators` computes it once per (transformation, split), reusing it
-//! across every label-noise level, since neighbours depend only on features.
+//! the growing-state callers (`exp_estimators`, the estimator-comparison
+//! example) go further with [`estimate_all_with_state`]: one
+//! [`IncrementalTopK`] per (transformation, split) is **appended** as the
+//! training prefix grows round over round and merely re-snapshotted per
+//! round *and* per label-noise level, since neighbours depend only on
+//! features.
 //! GHP and KDE do not rank neighbours, but their dense distance work routes
 //! through the same engine kernels (blocked Prim relaxations and per-class
 //! Gaussian kernel accumulation, respectively).
@@ -53,7 +58,7 @@ pub mod kde;
 /// feasibility study, and the experiment binaries.
 pub use snoopy_linalg::LabeledView;
 
-pub use snoopy_knn::{EvalBackend, EvalEngine, Metric, NeighborTable};
+pub use snoopy_knn::{EvalBackend, EvalEngine, IncrementalTopK, Metric, NeighborTable};
 
 /// A Bayes-error estimator.
 pub trait BerEstimator: Send + Sync {
@@ -142,6 +147,41 @@ pub fn estimate_all_with_table(
             }
         })
         .collect()
+}
+
+/// Evaluates every estimator against a *growing* incremental state: the
+/// state's current [`NeighborTable`] snapshot (bit-identical to a cold
+/// build over the rows appended so far) is shared by all kNN-family
+/// estimators, the rest estimate self-contained. Callers that sweep
+/// training-set *rounds* and label-noise levels hold one state per
+/// (transformation, split), append per round, and call this per
+/// (round, noise) cell — no neighbour is ever recomputed. `train` must be
+/// the labelled view of exactly the rows appended so far.
+///
+/// # Panics
+/// Panics if the state's capacity [`IncrementalTopK::k`] is below
+/// [`shared_table_k`] (an undersized state would silently clamp
+/// k-consuming estimators to shorter prefixes, breaking the
+/// bit-identical-to-cold contract) or if `train` does not cover exactly
+/// the appended rows.
+pub fn estimate_all_with_state(
+    estimators: &[Box<dyn BerEstimator>],
+    state: &IncrementalTopK,
+    train: &LabeledView<'_>,
+    eval: &LabeledView<'_>,
+    num_classes: usize,
+) -> Vec<f64> {
+    assert_eq!(state.consumed(), train.len(), "train view must cover exactly the appended rows");
+    assert_eq!(state.test_len(), eval.len(), "eval view must match the state's query split");
+    assert!(
+        state.k() >= shared_table_k(estimators),
+        "state capacity k = {} is below the estimators' shared_table_k = {} — k-consuming \
+         estimators would silently read a truncated prefix",
+        state.k(),
+        shared_table_k(estimators)
+    );
+    let table = state.table();
+    estimate_all_with_table(estimators, &table, train, eval, num_classes)
 }
 
 /// Evaluates every estimator, computing the neighbour table once at

@@ -6,8 +6,9 @@ use proptest::prelude::*;
 use snoopy_data::noise::{ber_after_uniform_noise, TransitionMatrix};
 use snoopy_estimators::{
     cover_hart_lower_bound, default_estimators, estimate_all, estimate_all_with_backend,
-    estimate_all_with_table, shared_neighbor_table, shared_neighbor_table_with_backend, shared_table_k,
-    BerEstimator, EvalBackend, KnnPosteriorEstimator, LabeledView, OneNnEstimator,
+    estimate_all_with_state, estimate_all_with_table, shared_neighbor_table,
+    shared_neighbor_table_with_backend, shared_table_k, BerEstimator, EvalBackend, IncrementalTopK,
+    KnnPosteriorEstimator, LabeledView, Metric, OneNnEstimator,
 };
 use snoopy_linalg::{rng, Matrix};
 // Shared fixture: the Gaussian-mixture task with a Monte-Carlo true BER.
@@ -107,6 +108,42 @@ fn shared_table_estimates_equal_individual_estimates() {
             "{}: shared-table {via_table} != individual {individual}",
             est.name()
         );
+    }
+}
+
+/// The growing-state path must be invisible to every estimator: a state
+/// appended round by round yields, at each round, estimates bit-identical to
+/// a cold `estimate_all` over the same prefix — across the rounds *and*
+/// across relabelled (noisy) label sets read against the same state.
+#[test]
+fn growing_state_estimates_equal_cold_estimates_at_every_round() {
+    let task = make_task(3, 2.0, 53, 600, 150);
+    let estimators = default_estimators();
+    let k_max = shared_table_k(&estimators);
+    let mut state =
+        IncrementalTopK::new(task.test_x.clone(), task.test_y.clone(), Metric::SquaredEuclidean, k_max);
+    let mut r = rng::seeded(54);
+    let mut consumed = 0usize;
+    for round_n in [200usize, 400, 600] {
+        state.append(task.train_x.view().slice_rows(consumed, round_n), &task.train_y[consumed..round_n]);
+        consumed = round_n;
+        for rho in [0.0f64, 0.3] {
+            let t = TransitionMatrix::uniform(task.num_classes, rho);
+            let noisy_train = t.apply(&task.train_y, &mut r);
+            let noisy_test = t.apply(&task.test_y, &mut r);
+            let train = LabeledView::new(&task.train_x, &noisy_train).prefix(round_n);
+            let test = LabeledView::new(&task.test_x, &noisy_test);
+            let via_state = estimate_all_with_state(&estimators, &state, &train, &test, task.num_classes);
+            let cold = estimate_all(&estimators, &train, &test, task.num_classes);
+            for ((est, &a), &b) in estimators.iter().zip(&via_state).zip(&cold) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} at round {round_n} rho {rho}: state {a} vs cold {b}",
+                    est.name()
+                );
+            }
+        }
     }
 }
 

@@ -88,7 +88,7 @@
 //! rows scanned vs pruned — which `bench_knn_json` emits into
 //! `BENCH_knn.json` as the pruning-rate regression anchor.
 
-use crate::engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
+use crate::engine::{EvalEngine, NeighborTable, TopKState};
 use crate::kernel::MetricKernel;
 use crate::metric::Metric;
 use snoopy_linalg::kmeans::{lloyd_kmeans, partition_rows};
@@ -315,14 +315,37 @@ impl ClusteredIndex {
         nlist: usize,
         engine: EvalEngine,
     ) -> Self {
-        assert!(EvalBackend::prunable(metric), "cosine dissimilarity is not triangle-prunable");
         assert!(!train.is_empty(), "cannot build a clustered index over an empty dataset");
         let km = lloyd_kmeans(train, nlist, KMEANS_MAX_ITERS, KMEANS_SEED, engine.threads());
-        let k = km.centroids.rows();
+        Self::from_assignments(train, metric, &km.centroids, &km.assignments, engine)
+    }
+
+    /// Builds an index from a *given* partition — `assignments[i]` is row
+    /// `i`'s cluster against `centroids` — skipping the k-means run. Any
+    /// total assignment yields valid triangle-inequality bounds (a poor one
+    /// only costs pruning power), which is what lets the incremental top-k
+    /// state fold appended batches against the centroids of an *earlier*
+    /// partition instead of re-clustering per batch.
+    ///
+    /// # Panics
+    /// Panics for [`Metric::Cosine`], an empty `train`, an assignment count
+    /// mismatch, or an assignment out of `centroids`' range.
+    pub fn from_assignments(
+        train: DatasetView<'_>,
+        metric: Metric,
+        centroids: &Matrix,
+        assignments: &[usize],
+        engine: EvalEngine,
+    ) -> Self {
+        assert!(EvalBackend::prunable(metric), "cosine dissimilarity is not triangle-prunable");
+        assert!(!train.is_empty(), "cannot build a clustered index over an empty dataset");
+        assert_eq!(assignments.len(), train.rows(), "one assignment per training row required");
+        let k = centroids.rows();
 
         // Compact away empty clusters so queries never bound-check them.
         let mut counts = vec![0usize; k];
-        for &a in &km.assignments {
+        for &a in assignments {
+            assert!(a < k, "assignment {a} out of range for {k} centroids");
             counts[a] += 1;
         }
         let keep: Vec<usize> = (0..k).filter(|&c| counts[c] > 0).collect();
@@ -330,8 +353,8 @@ impl ClusteredIndex {
         for (new, &old) in keep.iter().enumerate() {
             remap[old] = new;
         }
-        let assignments: Vec<usize> = km.assignments.iter().map(|&a| remap[a]).collect();
-        let centroids = km.centroids.view().select_rows(&keep);
+        let assignments: Vec<usize> = assignments.iter().map(|&a| remap[a]).collect();
+        let centroids = centroids.view().select_rows(&keep);
 
         let part = partition_rows(train, &assignments, keep.len());
         let mut row_center = Vec::with_capacity(train.rows());
@@ -616,60 +639,6 @@ impl ClusteredIndex {
         self.fan_out(states, |start, slot| self.query_chunk(queries, start, offset, slot, exclude_self))
     }
 
-    /// Answers queries `[start, start + best.len())` serially into flat 1NN
-    /// slots by running each through the *shared* cluster scan
-    /// ([`ClusteredIndex::query_into`]) via one reused `k = 1`
-    /// [`TopKState`] scratch — a single-slot state has exactly the
-    /// [`NearestHit::beats`] admission semantics, and a slot pre-seeded by
-    /// earlier batches tightens the pruning threshold from the first
-    /// cluster. One cluster-order buffer, one tile buffer, one state: no
-    /// per-query allocation (the streamed evaluator's steady-state
-    /// invariant).
-    fn query_chunk_nearest(
-        &self,
-        queries: DatasetView<'_>,
-        start: usize,
-        offset: usize,
-        best: &mut [NearestHit],
-    ) -> PruneStats {
-        let mut stats = PruneStats::default();
-        let mut order = Vec::with_capacity(self.num_clusters());
-        let mut tile = vec![0.0f32; self.engine.tile_rows().min(self.data.rows().max(1))];
-        let mut scratch = TopKState::new(1);
-        for (qi, slot) in best.iter_mut().enumerate() {
-            scratch.reset_from_nearest(*slot);
-            self.query_into(
-                queries.row(start + qi),
-                offset,
-                usize::MAX,
-                &mut scratch,
-                &mut order,
-                &mut tile,
-                &mut stats,
-            );
-            *slot = scratch.hits().first().copied().unwrap_or(NearestHit::NONE);
-        }
-        stats
-    }
-
-    /// Folds the indexed rows into flat 1NN slots (the streamed-evaluator
-    /// layout): a running best from earlier batches prunes from the first
-    /// cluster. Bit-identical to [`EvalEngine::update_nearest`] on the same
-    /// batch, with no per-query allocation.
-    ///
-    /// # Panics
-    /// Panics on dimension mismatches or `best.len() != queries.rows()`.
-    pub fn update_nearest(
-        &self,
-        queries: DatasetView<'_>,
-        offset: usize,
-        best: &mut [NearestHit],
-    ) -> PruneStats {
-        assert_eq!(queries.cols(), self.data.cols(), "query/train dimensionality mismatch");
-        assert_eq!(best.len(), queries.rows(), "one nearest slot per query required");
-        self.fan_out(best, |start, slot| self.query_chunk_nearest(queries, start, offset, slot))
-    }
-
     /// Top-k neighbour table for every query, from a cold start —
     /// bit-identical to [`EvalEngine::topk`] on the same data.
     pub fn topk(&self, queries: DatasetView<'_>, k: usize) -> NeighborTable {
@@ -807,22 +776,27 @@ mod tests {
     }
 
     #[test]
-    fn streamed_nearest_fold_matches_engine_fold() {
+    fn streamed_topk_fold_matches_engine_fold() {
+        // Pre-seeded states from earlier batches tighten the pruning
+        // threshold from the first cluster; results must still equal the
+        // exhaustive engine's fold at every prefix (k = 1 and k = 3).
         let train = blobs(200, 5, 5, 21);
         let queries = blobs(33, 5, 5, 22);
         let engine = EvalEngine::with_threads(3);
-        let mut kernel = MetricKernel::new(Metric::SquaredEuclidean);
-        kernel.bind_queries(queries.view());
-        let mut expected = vec![NearestHit::NONE; 33];
-        let mut got = vec![NearestHit::NONE; 33];
-        let mut consumed = 0;
-        for batch in train.view().batches(64) {
-            kernel.bind_train(batch);
-            engine.update_nearest(queries.view(), &kernel, batch, consumed, &mut expected);
-            let index = ClusteredIndex::build_with_engine(batch, Metric::SquaredEuclidean, 4, engine);
-            index.update_nearest(queries.view(), consumed, &mut got);
-            consumed += batch.rows();
-            assert_eq!(got, expected, "prefix {consumed}");
+        for k in [1usize, 3] {
+            let mut kernel = MetricKernel::new(Metric::SquaredEuclidean);
+            kernel.bind_queries(queries.view());
+            let mut expected = vec![TopKState::new(k); 33];
+            let mut got = vec![TopKState::new(k); 33];
+            let mut consumed = 0;
+            for batch in train.view().batches(64) {
+                kernel.bind_train(batch);
+                engine.update_topk(queries.view(), &kernel, batch, consumed, &mut expected, None);
+                let index = ClusteredIndex::build_with_engine(batch, Metric::SquaredEuclidean, 4, engine);
+                index.update_topk(queries.view(), consumed, &mut got, None);
+                consumed += batch.rows();
+                assert_eq!(got, expected, "k {k} prefix {consumed}");
+            }
         }
     }
 

@@ -94,18 +94,6 @@ impl TopKState {
         &self.hits
     }
 
-    /// Resets the state to the contents of one flat 1NN slot
-    /// (`NearestHit::NONE` empties it) — the `k = 1` bridge the clustered
-    /// index uses to run its nearest path through the shared top-k cluster
-    /// scan without per-query allocation.
-    pub(crate) fn reset_from_nearest(&mut self, hit: NearestHit) {
-        debug_assert_eq!(self.k, 1, "the flat-slot bridge is a k = 1 construct");
-        self.hits.clear();
-        if hit.index != usize::MAX {
-            self.hits.push(hit);
-        }
-    }
-
     /// Offers one candidate. Keeps the lexicographically smallest `k`
     /// `(distance, index)` pairs seen so far.
     #[inline]
@@ -142,7 +130,7 @@ impl TopKState {
 /// kNN-family estimator consume a prefix). Tables are built cold by
 /// [`EvalEngine::topk`], incrementally from streamed batches via
 /// [`EvalEngine::update_topk`] + [`NeighborTable::from_states`], or snapshot
-/// from a fully-consumed stream.
+/// from a grown [`crate::IncrementalTopK`] — bit-identical in every case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NeighborTable {
     /// Neighbours stored per query: `min(k, candidate training rows)`.

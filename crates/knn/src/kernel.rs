@@ -91,8 +91,8 @@ pub fn pair_distance(metric: Metric, a: &[f32], b: &[f32]) -> f32 {
 /// every engine fold then asserts the cache lengths against the views it is
 /// given, so a stale cache is a loud shape error instead of a silent wrong
 /// answer. Long-lived consumers keep their kernel across calls (the
-/// streamed evaluator re-binds only the train side per batch; GHP's Prim
-/// loop mirrors its frontier compaction into the query cache via
+/// incremental top-k state re-binds only the train side per appended batch;
+/// GHP's Prim loop mirrors its frontier compaction into the query cache via
 /// [`MetricKernel::queries_swap_remove`]).
 #[derive(Debug, Clone)]
 pub struct MetricKernel {

@@ -38,14 +38,17 @@
 //! * an exact brute-force index ([`brute::BruteForceIndex`]) whose k-NN
 //!   queries, batch evaluation, and leave-one-out error all route through
 //!   the engine (or the clustered index, per backend),
-//! * a *streamed* 1NN evaluator ([`stream::StreamedOneNn`]) that consumes the
-//!   training set in batches and maintains the running nearest neighbour of
-//!   every test point — this is what the successive-halving bandit pulls one
-//!   batch at a time (Section V of the paper),
-//! * the *incremental* 1NN cache ([`incremental::IncrementalOneNn`]) that
-//!   re-evaluates the 1NN error after label cleaning by a single pass over
-//!   the test set, giving the paper's "0.2 ms for 10 K test / 50 K train
-//!   samples" real-time feedback.
+//! * the *incremental top-k successor state*
+//!   ([`incremental::IncrementalTopK`]) — the one append/relabel-able kNN
+//!   state behind the successive-halving bandit (each arm pull **appends** a
+//!   batch in `O(batch × queries)` kernel work), the label-cleaning loop
+//!   (**relabels** refresh the 1NN and k-prefix vote errors in `O(test)` —
+//!   the paper's "0.2 ms for 10 K test / 50 K train samples" real-time
+//!   feedback), and the estimator pipeline (its [`engine::NeighborTable`]
+//!   snapshot is bit-identical to a cold [`engine::EvalEngine::topk`] at
+//!   every point). With a clustered backend, appended rows are assigned to
+//!   the existing centroids and the partition is rebuilt only past a growth
+//!   threshold ([`incremental::REPARTITION_GROWTH`]).
 
 pub mod brute;
 pub mod clustered;
@@ -53,12 +56,10 @@ pub mod engine;
 pub mod incremental;
 pub mod kernel;
 pub mod metric;
-pub mod stream;
 
 pub use brute::BruteForceIndex;
 pub use clustered::{ClusteredIndex, EvalBackend, PruneStats};
 pub use engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
-pub use incremental::IncrementalOneNn;
+pub use incremental::IncrementalTopK;
 pub use kernel::MetricKernel;
 pub use metric::Metric;
-pub use stream::StreamedOneNn;

@@ -3,12 +3,12 @@
 //! **bit-identical** results to the plain serial reference loops, for every
 //! metric, every engine shape, batch-streamed ingestion, and through every
 //! consumer (index queries, batch evaluation, leave-one-out, and the
-//! streamed evaluator).
+//! incremental top-k state).
 
 use snoopy_knn::engine::{
     knn_reference, knn_reference_loo, nearest_reference, EvalEngine, NeighborTable, TopKState,
 };
-use snoopy_knn::{BruteForceIndex, Metric, StreamedOneNn};
+use snoopy_knn::{BruteForceIndex, IncrementalTopK, Metric};
 use snoopy_linalg::{LabeledView, Matrix};
 // Shared fixture (duplicated rows so distance ties actually occur —
 // tie-breaking is part of the bit-identical contract).
@@ -57,20 +57,20 @@ fn index_batch_queries_match_reference_indices_and_distances() {
 }
 
 #[test]
-fn streamed_evaluation_matches_reference_at_every_batch_boundary() {
+fn incremental_appends_match_reference_at_every_batch_boundary() {
     let (train_x, train_y) = cloud(31, 120, 5, 3);
     let (test_x, test_y) = cloud(32, 37, 5, 3);
     let train = LabeledView::new(&train_x, &train_y).with_classes(3);
     for metric in Metric::all() {
         for batch_size in [1usize, 13, 40, 120] {
-            let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), metric);
+            let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), metric, 1);
             let mut consumed = 0;
             for batch in train.batches(batch_size) {
-                stream.add_train_batch(batch.features(), batch.labels());
+                state.append(batch.features(), batch.labels());
                 consumed += batch.len();
                 let prefix = train.prefix(consumed);
                 let reference = nearest_reference(prefix.features(), test_x.view(), metric);
-                let got = stream.nearest_train_indices();
+                let got = state.nearest_train_indices();
                 let expected: Vec<usize> = reference.iter().map(|h| h.index).collect();
                 assert_eq!(got, expected, "metric {} batch {batch_size} prefix {consumed}", metric.name());
             }
@@ -302,12 +302,12 @@ fn tile_sweep_is_bit_identical_across_every_consumer() {
             engine,
         );
         assert_eq!(index.topk(test_x.view(), 5), reference, "clustered tile {tile_rows}");
-        let mut stream =
-            StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean).with_engine(engine);
+        let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 1)
+            .with_engine(engine);
         for batch in LabeledView::new(&train_x, &train_y).batches(29) {
-            stream.add_train_batch(batch.features(), batch.labels());
+            state.append(batch.features(), batch.labels());
         }
-        assert_eq!(stream.current_error().to_bits(), full_error.to_bits(), "streamed tile {tile_rows}");
+        assert_eq!(state.error().to_bits(), full_error.to_bits(), "incremental tile {tile_rows}");
     }
 }
 

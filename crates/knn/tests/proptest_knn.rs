@@ -2,30 +2,30 @@
 
 use proptest::prelude::*;
 use snoopy_knn::engine::{knn_reference, EvalEngine, NeighborTable, TopKState};
-use snoopy_knn::{BruteForceIndex, ClusteredIndex, IncrementalOneNn, Metric, MetricKernel, StreamedOneNn};
+use snoopy_knn::{BruteForceIndex, ClusteredIndex, IncrementalTopK, Metric, MetricKernel};
 use snoopy_linalg::LabeledView;
 use snoopy_testutil::{cloud, cloud_with_ties};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The streamed evaluator fed in arbitrary batch sizes always matches a
+    /// The incremental state fed in arbitrary batch sizes always matches a
     /// full brute-force recomputation on the same prefix.
     #[test]
-    fn streamed_equals_full(seed in 0u64..500, batch in 1usize..40) {
+    fn appended_equals_full(seed in 0u64..500, batch in 1usize..40) {
         let (train_x, train_y) = cloud(seed, 80, 4, 3);
         let (test_x, test_y) = cloud(seed ^ 0xff, 30, 4, 3);
-        let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean);
+        let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 1);
         let train = LabeledView::new(&train_x, &train_y).with_classes(3);
         let mut consumed = 0;
         while consumed < train_x.rows() {
             let end = (consumed + batch).min(train_x.rows());
             let chunk = train.slice(consumed, end);
-            let streamed_err = stream.add_train_batch(chunk.features(), chunk.labels());
+            let appended_err = state.append(chunk.features(), chunk.labels());
             consumed = end;
             let full_err = BruteForceIndex::from_view(train.prefix(consumed), Metric::SquaredEuclidean)
                 .one_nn_error(&test_x, &test_y);
-            prop_assert!((streamed_err - full_err).abs() < 1e-12);
+            prop_assert!((appended_err - full_err).abs() < 1e-12);
         }
     }
 
@@ -38,7 +38,7 @@ proptest! {
     ) {
         let (train_x, mut train_y) = cloud(seed, 60, 3, 3);
         let (test_x, test_y) = cloud(seed ^ 0xabc, 25, 3, 3);
-        let mut inc = IncrementalOneNn::build(&train_x, &train_y, &test_x, &test_y, 3, Metric::SquaredEuclidean);
+        let mut inc = IncrementalTopK::build(&train_x, &train_y, &test_x, &test_y, Metric::SquaredEuclidean, 1);
         for (idx, label) in edits {
             train_y[idx] = label;
             inc.relabel_train(idx, label);
@@ -125,17 +125,17 @@ proptest! {
             index.topk(test_x.view(), 4),
             knn_reference(train_x.view(), test_x.view(), Metric::SquaredEuclidean, 4)
         );
-        // Streamed consumer: the running fold through the tiled engine
-        // matches a cold-start brute-force recomputation.
-        let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean)
+        // Incremental consumer: the running append fold through the tiled
+        // engine matches a cold-start brute-force recomputation.
+        let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 1)
             .with_engine(engine);
         let train = LabeledView::new(&train_x, &train_y).with_classes(3);
         for chunk in train.batches(17) {
-            stream.add_train_batch(chunk.features(), chunk.labels());
+            state.append(chunk.features(), chunk.labels());
         }
         let full = BruteForceIndex::from_view(train, Metric::SquaredEuclidean)
             .one_nn_error(&test_x, &test_y);
-        prop_assert!((stream.current_error() - full).abs() < 1e-12);
+        prop_assert!((state.error() - full).abs() < 1e-12);
     }
 
     /// kNN neighbour lists are sorted by distance and contain distinct indices.
@@ -173,21 +173,21 @@ proptest! {
         }
     }
 
-    /// Adding more training data never increases the streamed error by more
+    /// Adding more training data never increases the appended error by more
     /// than it can justify: the curve endpoint equals the full-data 1NN error.
     #[test]
     fn curve_endpoint_matches_full_data_error(seed in 0u64..200) {
         let (train_x, train_y) = cloud(seed, 64, 4, 2);
         let (test_x, test_y) = cloud(seed ^ 0x1234, 20, 4, 2);
-        let mut stream = StreamedOneNn::new(test_x.clone(), test_y.clone(), Metric::Cosine);
+        let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::Cosine, 1);
         let mut consumed = 0;
         while consumed < train_x.rows() {
             let end = (consumed + 17).min(train_x.rows());
-            stream.add_train_batch(train_x.view().slice_rows(consumed, end), &train_y[consumed..end]);
+            state.append(train_x.view().slice_rows(consumed, end), &train_y[consumed..end]);
             consumed = end;
         }
         let full = BruteForceIndex::new(&train_x, &train_y, 2, Metric::Cosine).one_nn_error(&test_x, &test_y);
-        let last = stream.curve().last().unwrap().1;
+        let last = state.curve().last().unwrap().1;
         prop_assert!((last - full).abs() < 1e-12);
     }
 }

@@ -107,6 +107,26 @@ fn assign_rows(data: DatasetView<'_>, centroids: &Matrix, threads: usize, out: &
     })
 }
 
+/// One-shot nearest-centroid assignment of `data`'s rows against a fixed
+/// centroid set (ties to the lowest centroid index, chunk-parallel over
+/// `threads` workers) — the append path of the incremental clustered index
+/// folds new rows into an *existing* partition with this instead of
+/// re-running Lloyd's per batch. Any total assignment yields valid
+/// triangle-inequality bounds, so assigning against stale centroids only
+/// costs pruning power, never correctness.
+///
+/// # Panics
+/// Panics if `centroids` is empty or the dimensionalities disagree.
+pub fn assign_to_centroids(data: DatasetView<'_>, centroids: &Matrix, threads: usize) -> Vec<usize> {
+    assert!(centroids.rows() > 0, "cannot assign rows to an empty centroid set");
+    assert_eq!(data.cols(), centroids.cols(), "row/centroid dimensionality mismatch");
+    let mut out = vec![usize::MAX; data.rows()];
+    if !out.is_empty() {
+        assign_rows(data, centroids, threads, &mut out);
+    }
+    out
+}
+
 /// Assigns rows `[start, start + out.len())`; ties resolve to the lowest
 /// cluster index (strict `<` keeps the first minimum).
 fn assign_chunk(data: DatasetView<'_>, centroids: &Matrix, start: usize, out: &mut [usize]) -> usize {

@@ -34,7 +34,7 @@
 //! |---|---|
 //! | [`linalg`] | dense matrices, PCA, RNG substrate |
 //! | [`data`] | synthetic dataset registry, label-noise models, cleaning simulator |
-//! | [`knn`] | exact/streamed/incremental 1NN machinery |
+//! | [`knn`] | the incremental top-k successor state and exact kNN engines |
 //! | [`estimators`] | Bayes-error estimators and extrapolation |
 //! | [`embeddings`] | the simulated pre-trained transformation zoo |
 //! | [`models`] | LR proxy, MLP, AutoML and FineTune baselines, cost model |
