@@ -5,17 +5,22 @@
 //! (the PR-3 per-pair scalar scan against the tile-blocked `MetricKernel`
 //! path, per metric, across an n × d grid), the exhaustive-vs-clustered
 //! backend comparison (wall-clock, pruning rates, index build time) on a
-//! clustered synthetic workload, and the incremental successor-state
-//! comparison (per-round append fold vs full table rebuild, plus the
-//! relabel refresh latency) — across a few training-set sizes. This is
-//! the workspace's perf-trajectory anchor — run it before and after
-//! touching the engine.
+//! clustered synthetic workload, the plain-vs-quantized clustered scan
+//! (int8 two-phase scan against the exact f32 scan on the same partition,
+//! plus resident-bytes accounting for the scan copy), the incremental
+//! successor-state comparison (per-round append fold vs full table rebuild,
+//! plus the relabel refresh latency), and the re-partition policy sweep
+//! (growth factors 1.5/2/3 and the prune-rate trigger replaying one append
+//! stream) — across a few training-set sizes. This is the workspace's
+//! perf-trajectory anchor — run it before and after touching the engine.
 //!
 //! Every section asserts bit-exact parity before timing anything, the
-//! clustered section additionally asserts a non-zero pruning rate, and the
+//! clustered section additionally asserts a non-zero pruning rate, the
+//! quantized section asserts a ≥ 2× speedup over the plain clustered scan
+//! at n ≥ 10 000 plus the exact 4× code-vs-f32 byte ratio, and the
 //! incremental section asserts a ≥ 2× round-over-round speedup of the
 //! append fold over the rebuild at n ≥ 10 000 — so a silent regression of
-//! either fast path fails the run (CI executes the tiny scale, which
+//! any fast path fails the run (CI executes the tiny scale, which
 //! includes the 10k incremental case).
 //!
 //! ```text
@@ -23,7 +28,7 @@
 //! ```
 
 use snoopy_knn::engine::{knn_reference, nearest_reference, EvalEngine, NeighborTable, TopKState};
-use snoopy_knn::{BruteForceIndex, ClusteredIndex, EvalBackend, IncrementalTopK, Metric};
+use snoopy_knn::{BruteForceIndex, ClusteredIndex, EvalBackend, IncrementalTopK, Metric, RepartitionPolicy};
 use snoopy_linalg::{rng, DatasetView, Matrix};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -81,6 +86,26 @@ struct ClusteredCase {
     exhaustive_qps: f64,
     clustered_qps: f64,
     cluster_prune_rate: f64,
+    row_prune_rate: f64,
+}
+
+struct QuantizedCase {
+    train_n: usize,
+    nlist: usize,
+    k: usize,
+    quantize_s: f64,
+    clustered_qps: f64,
+    quantized_qps: f64,
+    rerank_rate: f64,
+    f32_bytes: usize,
+    code_bytes: usize,
+    meta_bytes: usize,
+}
+
+struct RepartitionCase {
+    policy: &'static str,
+    total_append_s: f64,
+    repartitions: usize,
     row_prune_rate: f64,
 }
 
@@ -413,6 +438,94 @@ fn main() {
         clustered_cases.push(case);
     }
 
+    // Int8 two-phase scan vs the unquantized clustered scan, same partition:
+    // loose, high-dimensional blobs (within-fraction 1.2 of the center
+    // spread, d = 128) put the workload in the regime the quantized shadow
+    // exists for — bound-based pruning decays toward a full scan and row
+    // traffic dominates, so streaming one byte per dimension through the
+    // integer dot tile beats streaming four. Parity is asserted bit for bit
+    // against the exhaustive engine, the re-rank rate must be < 1 (the int8
+    // bound actually excludes rows), the int8 scan copy must measure exactly
+    // 4× smaller than the f32 rows, and at n ≥ 10k the quantized scan must
+    // beat the unquantized one ≥ 2× — the headline contract of the shadow.
+    let (quant_sizes, quant_queries): (&[usize], usize) = match scale {
+        snoopy_data::registry::SizeScale::Tiny => (&[2_000], 100),
+        snoopy_data::registry::SizeScale::Standard => (&[10_000, 16_000], 300),
+        _ => (&[10_000, 16_000], 200),
+    };
+    let quant_dim = 128;
+    let quant_centers = 64;
+    let quant_k = 10;
+    let mut quantized_cases = Vec::new();
+    for (i, &n) in quant_sizes.iter().enumerate() {
+        let train_x = snoopy_testutil::blob_cloud(140 + i as u64, n, quant_dim, quant_centers, 4.0, 1.2);
+        let query_x =
+            snoopy_testutil::blob_cloud(180 + i as u64, quant_queries, quant_dim, quant_centers, 4.0, 1.2);
+        let nlist = EvalBackend::default_nlist(n);
+        let engine = EvalEngine::parallel();
+        let plain =
+            ClusteredIndex::build_with_engine(train_x.view(), Metric::SquaredEuclidean, nlist, engine);
+        let quantize_start = Instant::now();
+        let quantized = plain.clone().quantize();
+        let quantize_s = quantize_start.elapsed().as_secs_f64();
+        assert!(quantized.is_quantized(), "sane blob data must accept the int8 shadow");
+
+        let (table, stats) = quantized.topk_with_stats(query_x.view(), quant_k);
+        assert_eq!(
+            table,
+            engine.topk(train_x.view(), query_x.view(), Metric::SquaredEuclidean, quant_k),
+            "quantized scan must be bit-identical to the exhaustive engine"
+        );
+        assert!(stats.rows_quantized > 0, "quantized index never took the int8 phase: {stats:?}");
+        let rerank_rate = stats.rerank_rate();
+        assert!(
+            rerank_rate < 1.0,
+            "int8 bound re-ranked every phase-1 row (rate {rerank_rate}) — the widened bound prunes nothing"
+        );
+        let rb = quantized.resident_bytes();
+        assert_eq!(rb.quantized_codes * 4, rb.train_rows, "int8 scan copy must be exactly 4x smaller");
+
+        let t_plain = time_median(reps, || {
+            std::hint::black_box(plain.topk(query_x.view(), quant_k));
+        });
+        let t_quant = time_median(reps, || {
+            std::hint::black_box(quantized.topk(query_x.view(), quant_k));
+        });
+        if n >= 10_000 {
+            assert!(
+                t_plain / t_quant >= 2.0,
+                "quantized scan must beat the unquantized clustered scan >= 2x at n = {n} \
+                 (got {:.2}x) — the two-phase scan regressed below its headline contract",
+                t_plain / t_quant
+            );
+        }
+        let case = QuantizedCase {
+            train_n: n,
+            nlist,
+            k: quant_k,
+            quantize_s,
+            clustered_qps: quant_queries as f64 / t_plain,
+            quantized_qps: quant_queries as f64 / t_quant,
+            rerank_rate,
+            f32_bytes: rb.train_rows,
+            code_bytes: rb.quantized_codes,
+            meta_bytes: rb.quantized_meta,
+        };
+        println!(
+            "n={:>6} d={quant_dim} top-{quant_k} quantized(nlist={:>3}) clustered {:>8.0} q/s   int8 two-phase {:>8.0} q/s   speedup {:.2}x   rerank {:.1}%   codes {:.1} MiB vs f32 {:.1} MiB   quantize {:.3}s",
+            case.train_n,
+            nlist,
+            case.clustered_qps,
+            case.quantized_qps,
+            case.quantized_qps / case.clustered_qps,
+            100.0 * rerank_rate,
+            case.code_bytes as f64 / (1024.0 * 1024.0),
+            case.f32_bytes as f64 / (1024.0 * 1024.0),
+            quantize_s,
+        );
+        quantized_cases.push(case);
+    }
+
     // Incremental successor state vs full rebuild: each bandit-style round
     // appends one batch into the growing per-query top-k state
     // (O(batch × queries) kernel work) while the baseline rebuilds the whole
@@ -499,15 +612,115 @@ fn main() {
         });
     }
 
+    // Re-partition policy sweep on the quantized incremental path: replay
+    // the same append stream under each policy and compare total append
+    // wall-clock, re-cluster count, and the cumulative row prune rate. This
+    // is the data behind the `REPARTITION_GROWTH = 2.0` default — growth
+    // 1.5 re-clusters roughly twice as often for marginally better pruning,
+    // growth 3 re-clusters less but lets the stale partition decay, and the
+    // prune-rate trigger tracks growth 2 without a tuning constant. Every
+    // policy must land on the bit-identical final table (policies only move
+    // *when* the partition is rebuilt, never what a query answers).
+    let (rep_n, rep_queries, rep_rounds): (usize, usize, usize) = match scale {
+        snoopy_data::registry::SizeScale::Tiny => (4_000, 100, 8),
+        snoopy_data::registry::SizeScale::Standard => (16_000, 300, 12),
+        _ => (10_000, 200, 12),
+    };
+    let rep_dim = 32;
+    let rep_k = 10;
+    let rep_policies: [(&str, RepartitionPolicy); 4] = [
+        ("growth-1.5", RepartitionPolicy::Growth(1.5)),
+        ("growth-2.0", RepartitionPolicy::Growth(2.0)),
+        ("growth-3.0", RepartitionPolicy::Growth(3.0)),
+        ("prune-rate-0.5", RepartitionPolicy::PruneRate { min_row_prune: 0.5 }),
+    ];
+    let rep_train = make_blobs(rep_n, rep_dim, 64, 900);
+    let rep_train_y: Vec<u32> = (0..rep_n).map(|j| (j % 10) as u32).collect();
+    let rep_query = make_blobs(rep_queries, rep_dim, 64, 901);
+    let rep_query_y: Vec<u32> = (0..rep_queries).map(|j| (j % 10) as u32).collect();
+    let rep_nlist = EvalBackend::default_nlist(rep_n);
+    let rep_batch = rep_n.div_ceil(rep_rounds);
+    let mut repartition_cases = Vec::new();
+    let mut rep_reference_table = None;
+    for (name, policy) in rep_policies {
+        let replay = || {
+            let mut state =
+                IncrementalTopK::new(rep_query.clone(), rep_query_y.clone(), Metric::SquaredEuclidean, rep_k)
+                    .with_backend(EvalBackend::quantized(rep_nlist))
+                    .with_repartition_policy(policy);
+            let mut consumed = 0usize;
+            for chunk in rep_train.view().batches(rep_batch) {
+                let len = chunk.rows();
+                state.append(chunk, &rep_train_y[consumed..consumed + len]);
+                consumed += len;
+            }
+            state
+        };
+        let probe = replay();
+        let table = probe.table();
+        match &rep_reference_table {
+            None => rep_reference_table = Some(table),
+            Some(reference) => assert_eq!(
+                &table, reference,
+                "policy {name} changed query results — policies may only move when re-partitions happen"
+            ),
+        }
+        let t_total = time_median(incr_reps, || {
+            std::hint::black_box(replay().error());
+        });
+        let case = RepartitionCase {
+            policy: name,
+            total_append_s: t_total,
+            repartitions: probe.repartitions(),
+            row_prune_rate: probe.prune_stats().row_prune_rate(),
+        };
+        println!(
+            "n={rep_n:>6} d={rep_dim} top-{rep_k} repartition {:<14} total append {:>8.2} ms   re-clusters {}   row prune {:.1}%",
+            case.policy,
+            case.total_append_s * 1e3,
+            case.repartitions,
+            100.0 * case.row_prune_rate,
+        );
+        repartition_cases.push(case);
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"knn_kernels\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
+    // Per-section provenance: say what each section's speedup compares and
+    // whether that comparison depends on the thread count. A blanket
+    // "single-core numbers are noise" note would be wrong for most of the
+    // file — kernel/clustered/quantized/incremental/repartition sections
+    // compare two single-threaded code paths and are valid on any host; only
+    // the serial-vs-parallel sections degenerate when threads == 1.
+    let _ = writeln!(json, "  \"section_meta\": {{");
+    let thread_dep = |name: &str, compares: &str| {
+        format!("    \"{name}\": {{\"compares\": \"{compares}\", \"thread_dependent\": true}},")
+    };
+    let thread_free = |name: &str, compares: &str| {
+        format!("    \"{name}\": {{\"compares\": \"{compares}\", \"thread_dependent\": false}},")
+    };
+    let _ = writeln!(json, "{}", thread_dep("cases", "serial vs parallel full-scan labeling"));
+    let _ = writeln!(json, "{}", thread_dep("topk_cases", "serial vs parallel top-k extraction"));
+    let _ = writeln!(json, "{}", thread_dep("leave_one_out", "serial vs parallel LOO error"));
+    let _ = writeln!(json, "{}", thread_free("kernel_cases", "scalar vs tile-blocked distance kernel"));
+    let _ = writeln!(
+        json,
+        "{}",
+        thread_free("clustered_cases", "exhaustive scan vs triangle-pruned clustered index")
+    );
+    let _ =
+        writeln!(json, "{}", thread_free("quantized_cases", "plain clustered scan vs int8 two-phase scan"));
+    let _ = writeln!(json, "{}", thread_free("incremental_cases", "incremental append vs cold rebuild"));
+    let _ = writeln!(
+        json,
+        "    \"repartition_cases\": {{\"compares\": \"re-partition policies on the quantized append stream\", \"thread_dependent\": false}}"
+    );
+    let _ = writeln!(json, "  }},");
     if threads == 1 {
-        // Make single-core snapshots self-describing: the parallel path
-        // degenerates to the serial loop, so speedups here are noise.
         let _ = writeln!(
             json,
-            "  \"note\": \"single-core host: parallel path degenerates to serial; speedup figures are not meaningful — regenerate on a multi-core machine\","
+            "  \"note\": \"single-core host: thread_dependent sections degenerate to serial-vs-serial; regenerate those on a multi-core machine\","
         );
     }
     let _ = writeln!(json, "  \"queries\": {queries},");
@@ -587,6 +800,26 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"quantized_cases\": [");
+    for (i, c) in quantized_cases.iter().enumerate() {
+        let comma = if i + 1 < quantized_cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"train_n\": {}, \"dim\": {quant_dim}, \"centers\": {quant_centers}, \"nlist\": {}, \"k\": {}, \"metric\": \"sq-euclidean\", \"quantize_s\": {:.6}, \"clustered_qps\": {:.1}, \"quantized_qps\": {:.1}, \"speedup\": {:.3}, \"rerank_rate\": {:.4}, \"f32_bytes\": {}, \"code_bytes\": {}, \"meta_bytes\": {}}}{comma}",
+            c.train_n,
+            c.nlist,
+            c.k,
+            c.quantize_s,
+            c.clustered_qps,
+            c.quantized_qps,
+            c.quantized_qps / c.clustered_qps,
+            c.rerank_rate,
+            c.f32_bytes,
+            c.code_bytes,
+            c.meta_bytes,
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"incremental_cases\": [");
     for (i, c) in incremental_cases.iter().enumerate() {
         let comma = if i + 1 < incremental_cases.len() { "," } else { "" };
@@ -607,6 +840,19 @@ fn main() {
             );
         }
         let _ = writeln!(json, "    ]}}{comma}");
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"repartition_cases\": [");
+    for (i, c) in repartition_cases.iter().enumerate() {
+        let comma = if i + 1 < repartition_cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"train_n\": {rep_n}, \"dim\": {rep_dim}, \"k\": {rep_k}, \"queries\": {rep_queries}, \"rounds\": {rep_rounds}, \"metric\": \"sq-euclidean\", \"policy\": \"{}\", \"total_append_s\": {:.6}, \"repartitions\": {}, \"row_prune_rate\": {:.4}}}{comma}",
+            c.policy,
+            c.total_append_s,
+            c.repartitions,
+            c.row_prune_rate,
+        );
     }
     let _ = writeln!(json, "  ]");
     json.push_str("}\n");

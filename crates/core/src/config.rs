@@ -24,8 +24,10 @@ pub struct SnoopyConfig {
     /// Evaluation backend for the per-batch append folds: `None`
     /// auto-selects per arm by the train-size heuristic
     /// ([`EvalBackend::auto_for`] over the batch size and test-split size);
-    /// `Some` forces a path. Both paths return bit-identical errors — the
-    /// backend only decides how much scan work is pruned.
+    /// `Some` forces a path — e.g. [`EvalBackend::quantized`] to scan
+    /// visited clusters through the int8 two-phase path. Every path returns
+    /// bit-identical errors — the backend only decides how much scan work
+    /// is pruned (and, when quantized, how many bytes the scan touches).
     pub backend: Option<EvalBackend>,
     /// Per-query neighbour capacity `k` of each arm's incremental state.
     /// The feasibility signal only reads the first hit (identical for every

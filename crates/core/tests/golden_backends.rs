@@ -1,9 +1,10 @@
 //! Golden end-to-end parity: the whole feasibility pipeline — streamed arm
 //! evaluation, minimum aggregation, and all five Bayes-error estimators —
 //! must produce **identical** results whether distances flow through the
-//! exhaustive engine or the exact-pruned clustered index. The clustered
-//! backend is forced (tiny fixtures never cross the auto-selection
-//! threshold) so the pruned path is genuinely exercised end to end.
+//! exhaustive engine, the exact-pruned clustered index, or the int8
+//! scalar-quantized two-phase scan. The non-exhaustive backends are forced
+//! (tiny fixtures never cross the auto-selection threshold) so both pruned
+//! paths are genuinely exercised end to end.
 
 use snoopy_bandit::SelectionStrategy;
 use snoopy_core::{FeasibilityStudy, SnoopyConfig, StudyReport};
@@ -15,7 +16,8 @@ use snoopy_estimators::{
 };
 use snoopy_knn::EvalBackend;
 
-const CLUSTERED: EvalBackend = EvalBackend::Clustered { nlist: 5 };
+const CLUSTERED: EvalBackend = EvalBackend::clustered(5);
+const QUANTIZED: EvalBackend = EvalBackend::quantized(5);
 
 fn run(backend: EvalBackend) -> StudyReport {
     let task = load_clean("mnist", SizeScale::Tiny, 42);
@@ -27,26 +29,35 @@ fn run(backend: EvalBackend) -> StudyReport {
     FeasibilityStudy::new(config).run(&task, &zoo)
 }
 
+fn assert_reports_identical(exhaustive: &StudyReport, other: &StudyReport, backend: &str) {
+    assert_eq!(
+        exhaustive.best_transformation, other.best_transformation,
+        "{backend}: winning arm must match"
+    );
+    assert_eq!(exhaustive.decision, other.decision, "{backend}: decision");
+    assert_eq!(
+        exhaustive.ber_estimate.to_bits(),
+        other.ber_estimate.to_bits(),
+        "{backend}: aggregated BER must match bit for bit"
+    );
+    assert_eq!(exhaustive.per_transformation.len(), other.per_transformation.len());
+    for (a, b) in exhaustive.per_transformation.iter().zip(&other.per_transformation) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.one_nn_error.to_bits(), b.one_nn_error.to_bits(), "{backend} {}: 1NN error", a.name);
+        assert_eq!(a.ber_estimate.to_bits(), b.ber_estimate.to_bits(), "{backend} {}: BER estimate", a.name);
+        assert_eq!(a.curve, b.curve, "{backend} {}: convergence curve", a.name);
+        assert_eq!(a.consumed_samples, b.consumed_samples);
+    }
+}
+
 #[test]
 fn feasibility_study_is_identical_across_backends() {
     let exhaustive = run(EvalBackend::Exhaustive);
     let clustered = run(CLUSTERED);
+    let quantized = run(QUANTIZED);
 
-    assert_eq!(exhaustive.best_transformation, clustered.best_transformation, "winning arm must match");
-    assert_eq!(exhaustive.decision, clustered.decision);
-    assert_eq!(
-        exhaustive.ber_estimate.to_bits(),
-        clustered.ber_estimate.to_bits(),
-        "aggregated BER must match bit for bit"
-    );
-    assert_eq!(exhaustive.per_transformation.len(), clustered.per_transformation.len());
-    for (a, b) in exhaustive.per_transformation.iter().zip(&clustered.per_transformation) {
-        assert_eq!(a.name, b.name);
-        assert_eq!(a.one_nn_error.to_bits(), b.one_nn_error.to_bits(), "{}: 1NN error", a.name);
-        assert_eq!(a.ber_estimate.to_bits(), b.ber_estimate.to_bits(), "{}: BER estimate", a.name);
-        assert_eq!(a.curve, b.curve, "{}: convergence curve", a.name);
-        assert_eq!(a.consumed_samples, b.consumed_samples);
-    }
+    assert_reports_identical(&exhaustive, &clustered, "clustered");
+    assert_reports_identical(&exhaustive, &quantized, "quantized");
 }
 
 #[test]
@@ -66,16 +77,20 @@ fn all_five_estimators_and_neighbor_tables_are_identical_across_backends() {
     let k_max = shared_table_k(&estimators);
     let table_exhaustive =
         shared_neighbor_table_with_backend(train.features(), test.features(), k_max, EvalBackend::Exhaustive);
-    let table_clustered =
-        shared_neighbor_table_with_backend(train.features(), test.features(), k_max, CLUSTERED);
-    assert_eq!(table_exhaustive, table_clustered, "NeighborTable rows must be identical");
-    for q in 0..table_exhaustive.num_queries() {
-        assert_eq!(table_exhaustive.neighbors(q), table_clustered.neighbors(q), "query {q}");
+    for (backend, name) in [(CLUSTERED, "clustered"), (QUANTIZED, "quantized")] {
+        let table_other =
+            shared_neighbor_table_with_backend(train.features(), test.features(), k_max, backend);
+        assert_eq!(table_exhaustive, table_other, "{name}: NeighborTable rows must be identical");
+        for q in 0..table_exhaustive.num_queries() {
+            assert_eq!(table_exhaustive.neighbors(q), table_other.neighbors(q), "{name}: query {q}");
+        }
     }
 
     let ex = estimate_all_with_backend(&estimators, &train, &test, task.num_classes, EvalBackend::Exhaustive);
-    let cl = estimate_all_with_backend(&estimators, &train, &test, task.num_classes, CLUSTERED);
-    for ((est, &a), &b) in estimators.iter().zip(&ex).zip(&cl) {
-        assert_eq!(a.to_bits(), b.to_bits(), "{}: exhaustive {a} vs clustered {b}", est.name());
+    for (backend, name) in [(CLUSTERED, "clustered"), (QUANTIZED, "quantized")] {
+        let other = estimate_all_with_backend(&estimators, &train, &test, task.num_classes, backend);
+        for ((est, &a), &b) in estimators.iter().zip(&ex).zip(&other) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{}: exhaustive {a} vs {name} {b}", est.name());
+        }
     }
 }

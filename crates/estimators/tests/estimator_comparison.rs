@@ -162,17 +162,12 @@ fn clustered_backend_tables_and_estimates_are_bit_identical() {
         train.features(),
         test.features(),
         k_max,
-        EvalBackend::Clustered { nlist: 16 },
+        EvalBackend::clustered(16),
     );
     assert_eq!(exhaustive, clustered, "shared tables must match bit for bit");
     let a = estimate_all_with_backend(&estimators, &train, &test, task.num_classes, EvalBackend::Exhaustive);
-    let b = estimate_all_with_backend(
-        &estimators,
-        &train,
-        &test,
-        task.num_classes,
-        EvalBackend::Clustered { nlist: 16 },
-    );
+    let b =
+        estimate_all_with_backend(&estimators, &train, &test, task.num_classes, EvalBackend::clustered(16));
     for ((est, &x), &y) in estimators.iter().zip(&a).zip(&b) {
         assert_eq!(x.to_bits(), y.to_bits(), "{}: exhaustive {x} vs clustered {y}", est.name());
     }

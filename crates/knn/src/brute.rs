@@ -99,8 +99,14 @@ impl<'a> BruteForceIndex<'a> {
     /// back to exhaustive for cosine (no triangle inequality).
     pub fn with_backend(mut self, backend: EvalBackend) -> Self {
         self.backend = backend;
-        self.clustered = backend.resolve(self.len(), self.metric()).map(|nlist| {
-            ClusteredIndex::build_with_engine(self.view.features(), self.metric(), nlist, self.engine)
+        self.clustered = backend.resolve(self.len(), self.metric()).map(|(nlist, quantize)| {
+            let index =
+                ClusteredIndex::build_with_engine(self.view.features(), self.metric(), nlist, self.engine);
+            if quantize {
+                index.quantize()
+            } else {
+                index
+            }
         });
         self
     }
@@ -385,7 +391,7 @@ mod tests {
         for metric in [Metric::SquaredEuclidean, Metric::Euclidean] {
             let exhaustive = BruteForceIndex::new(&x, &y, 2, metric);
             let clustered = BruteForceIndex::new(&x, &y, 2, metric)
-                .with_backend(crate::clustered::EvalBackend::Clustered { nlist: 4 });
+                .with_backend(crate::clustered::EvalBackend::clustered(4));
             assert!(clustered.clustered.is_some());
             for k in [1usize, 3, 10] {
                 assert_eq!(clustered.neighbor_table(&queries, k), exhaustive.neighbor_table(&queries, k));
@@ -396,7 +402,7 @@ mod tests {
         }
         // Cosine resolves back to the exhaustive engine.
         let cosine = BruteForceIndex::new(&x, &y, 2, Metric::Cosine)
-            .with_backend(crate::clustered::EvalBackend::Clustered { nlist: 4 });
+            .with_backend(crate::clustered::EvalBackend::clustered(4));
         assert!(cosine.clustered.is_none());
         assert_eq!(
             cosine.neighbor_table(&queries, 3),

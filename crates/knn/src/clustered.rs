@@ -65,6 +65,84 @@
 //! per-pair path when a tile is broken by a pruned or self-excluded row —
 //! distance values never depend on which path computed them.
 //!
+//! ## Two-phase int8 scan (the quantized shadow)
+//!
+//! After the tile kernels, a visited row's cost is dominated by *memory
+//! traffic*: 4 bytes/dim of f32. [`ClusteredIndex::quantize`] attaches a
+//! [`QuantizedShadow`] — a per-dimension affine int8 copy of the regrouped
+//! rows (`x ≈ s ∘ X + o`, codes in `[−127, 127]`, stored
+//! cluster-contiguous like the f32 buffer) — and visited clusters then scan
+//! in two phases:
+//!
+//! 1. **Approximate phase** — an *integer* dot tile
+//!    ([`snoopy_linalg::kernel::dot_q8_row_tile`], `i16 × i8 → i32`, exact
+//!    and associative, hence trivially deterministic and free to
+//!    autovectorize into widening multiply-adds) computes `â ≈ ‖q − x̂‖²`
+//!    against each row's *reconstruction point* `x̂ = fl(s ∘ X) + o` from
+//!    **one byte per dimension**: with `u = fl(q − o)` and `w = fl(u ∘ s)`,
+//!    the query side is re-quantized onto one query-level scale `g`
+//!    (`v = round(w / g)`, `|v| ≤ 8191`) and the norm trick gives
+//!    `â = (‖u‖² + ‖y‖²) − 2g·⟨v, X⟩` finished in f64 from exact inputs,
+//!    where `y = fl(s ∘ X)` and `‖y‖²` is precomputed per row.
+//! 2. **Exact re-rank** — rows the widened bound below cannot exclude go
+//!    through the *exact* f32 [`MetricKernel::pair_with`] and are offered
+//!    into the same [`TopKState`], interleaved per tile so every admission
+//!    tightens τ for the very next tile. Only the exact kernel's values are
+//!    ever admitted, so the final [`NeighborTable`] is bit-identical to the
+//!    exhaustive engine — phase 1 only decides *which* rows get the exact
+//!    treatment.
+//!
+//! **Widened bound derivation.** The shadow stores, per row, an upper bound
+//! `r_i ≥ e(x_i, x̂_i)` on the reconstruction distance (computed exactly in
+//! f64 at encode time — clamping included — and rounded *up* into f32). The
+//! triangle inequality gives `e(q, x_i) ≥ e(q, x̂_i) − r_i`. The computed
+//! `â` approximates `e(q, x̂_i)²` with two separately-accounted error
+//! sources:
+//!
+//! * **Float roundings** — forming `u`, `w`, and `y` (~5ε of products) plus
+//!   the two fixed-order f32 norm accumulations; the integer dot and the
+//!   f64 finishing contribute nothing at f32 scale. The inventory totals
+//!   below `(d + 16)·ε_f32·(‖u‖ + M)²` where `M = max_i ‖y_i‖`; the shadow
+//!   budgets `margin = 2(d + 32)·ε_f32·(‖u‖ + M)²` — double it.
+//! * **Query quantization** — replacing `w` by `g·v` perturbs the dot term
+//!   by `|2 Σ_j (w_j − g v_j) X_{ij}| ≤ 1.02·g·Σ_j |X_{ij}|` (half a step
+//!   plus division-rounding slack per code). This is *exact per row*: the
+//!   shadow stores `A_i = Σ_j |X_{ij}|` and the scan subtracts
+//!   `qslack·A_i`, `qslack = 1.02·g`, instead of smearing a worst-case
+//!   term over every row.
+//!
+//! Hence
+//!
+//! ```text
+//! e(q, x̂_i)² ≥ â − margin − qslack·A_i
+//! e(q, x_i)  ≥ √(max(0, â − margin − qslack·A_i)) − r_i
+//! ```
+//!
+//! is a valid Euclidean lower bound, fed through *the same* slack + guard
+//! comparison as the centroid bounds. To avoid a per-row square root the
+//! scan precomputes (lazily, only when τ changes) the threshold
+//! `T = √((τ² + guard + err) / slack)` — the `prunes` inequality solved for
+//! the bound — and tests `â − margin − qslack·A_i > (T + r_i)²`, which is
+//! exactly equivalent for non-negative operands. A row is skipped **only**
+//! when the widened, slack-deflated bound strictly clears τ, so a
+//! quantization error can only cost a wasted exact evaluation, never a
+//! missed neighbour. The margin model is absolute, so it additionally
+//! requires that no f32 intermediate overflows and that the integer dot
+//! stays inside i32: norms above `snoopy-knn::quantized`'s
+//! `MAX_SAFE_NORM = 10¹⁸` disable the shadow (whole index or single query),
+//! widths above `MAX_QUANTIZED_DIMS = 2000` disable it at build, and both
+//! fall back to the exact scan — see the overflow-guard notes in
+//! [`crate::quantized`].
+//!
+//! In quantized mode the f64 per-row centroid bound is *replaced* by the
+//! int8 bound inside visited clusters (reading the 8-byte `row_center`
+//! entries would defeat the 1-byte/dim traffic goal); the cluster-level
+//! bound and visit order are unchanged. [`PruneStats`] separates the two
+//! phases: `rows_quantized` counts phase-1 approximate evaluations,
+//! `rows_scanned` keeps its meaning of *exact* kernel evaluations (= the
+//! re-rank count), and [`PruneStats::rerank_rate`] reports how tight the
+//! int8 bound is in practice.
+//!
 //! [`Metric::Cosine`] is *not* a metric (no triangle inequality on the
 //! dissimilarity), so cosine consumers always take the exhaustive path — the
 //! [`EvalBackend`] dispatchers fall back automatically.
@@ -91,6 +169,7 @@
 use crate::engine::{EvalEngine, NeighborTable, TopKState};
 use crate::kernel::MetricKernel;
 use crate::metric::Metric;
+use crate::quantized::{AffineQuantizer, QuantizedQuery, QuantizedShadow};
 use snoopy_linalg::kmeans::{lloyd_kmeans, partition_rows};
 use snoopy_linalg::{DatasetView, Matrix};
 
@@ -112,6 +191,11 @@ pub enum EvalBackend {
     Clustered {
         /// Number of k-means clusters to partition the training rows into.
         nlist: usize,
+        /// Attach the int8 quantized shadow: visited clusters scan
+        /// approximately at one byte per dimension and only bound-surviving
+        /// rows are re-ranked through the exact f32 kernel (see the
+        /// [module docs](self) — results stay bit-identical either way).
+        quantize: bool,
     },
 }
 
@@ -133,10 +217,26 @@ impl EvalBackend {
     /// [`EvalBackend::Exhaustive`].
     pub fn auto_for(train_rows: usize, num_queries: usize, metric: Metric) -> EvalBackend {
         if Self::prunable(metric) && train_rows >= AUTO_MIN_TRAIN && num_queries >= AUTO_MIN_QUERIES {
-            EvalBackend::Clustered { nlist: Self::default_nlist(train_rows) }
+            // Auto-selection stays unquantized: the shadow *adds* resident
+            // memory (codes + per-row radii on top of the f32 rows) and only
+            // pays off on scan-bound workloads — an explicit opt-in via
+            // `EvalBackend::quantized` keeps the default footprint-neutral.
+            Self::clustered(Self::default_nlist(train_rows))
         } else {
             EvalBackend::Exhaustive
         }
+    }
+
+    /// The plain clustered backend: coarse partition plus exact pruning,
+    /// scanning visited rows in f32.
+    pub const fn clustered(nlist: usize) -> EvalBackend {
+        EvalBackend::Clustered { nlist, quantize: false }
+    }
+
+    /// The quantized clustered backend: same partition, but visited clusters
+    /// run the two-phase int8-then-exact scan of the [module docs](self).
+    pub const fn quantized(nlist: usize) -> EvalBackend {
+        EvalBackend::Clustered { nlist, quantize: true }
     }
 
     /// The default cluster count for a training set: `⌈√n⌉`, the classic
@@ -152,14 +252,15 @@ impl EvalBackend {
         metric != Metric::Cosine
     }
 
-    /// Resolves this backend against a concrete training set: `Some(nlist)`
-    /// (clamped to the row count) when the clustered path applies, `None`
-    /// when the exhaustive engine must be used.
-    pub fn resolve(&self, train_rows: usize, metric: Metric) -> Option<usize> {
+    /// Resolves this backend against a concrete training set:
+    /// `Some((nlist, quantize))` (`nlist` clamped to the row count) when the
+    /// clustered path applies, `None` when the exhaustive engine must be
+    /// used.
+    pub fn resolve(&self, train_rows: usize, metric: Metric) -> Option<(usize, bool)> {
         match *self {
             EvalBackend::Exhaustive => None,
-            EvalBackend::Clustered { nlist } => {
-                (Self::prunable(metric) && train_rows > 0).then(|| nlist.clamp(1, train_rows))
+            EvalBackend::Clustered { nlist, quantize } => {
+                (Self::prunable(metric) && train_rows > 0).then(|| (nlist.clamp(1, train_rows), quantize))
             }
         }
     }
@@ -168,7 +269,8 @@ impl EvalBackend {
     pub fn name(&self) -> &'static str {
         match self {
             EvalBackend::Exhaustive => "exhaustive",
-            EvalBackend::Clustered { .. } => "clustered",
+            EvalBackend::Clustered { quantize: false, .. } => "clustered",
+            EvalBackend::Clustered { quantize: true, .. } => "quantized",
         }
     }
 }
@@ -177,9 +279,11 @@ impl EvalBackend {
 ///
 /// `clusters_total` / `rows_total` count the work the exhaustive engine
 /// would have done (per query); `clusters_visited` counts clusters whose
-/// rows were looked at, `rows_scanned` counts actual distance evaluations
-/// and `rows_pruned` counts rows skipped by the per-row bound inside visited
-/// clusters. Rows in never-visited clusters appear in neither.
+/// rows were looked at, `rows_scanned` counts *exact* distance evaluations
+/// (on a quantized index: the phase-2 re-ranks), `rows_pruned` counts rows
+/// skipped by a per-row bound inside visited clusters, and `rows_quantized`
+/// counts phase-1 int8 approximate evaluations (zero on an unquantized
+/// index). Rows in never-visited clusters appear in none of them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PruneStats {
     /// Queries answered.
@@ -188,12 +292,16 @@ pub struct PruneStats {
     pub clusters_visited: usize,
     /// Clusters times queries — the exhaustive cluster-visit count.
     pub clusters_total: usize,
-    /// Query–row distance evaluations actually performed.
+    /// Exact query–row distance evaluations actually performed (phase 2 on
+    /// a quantized index).
     pub rows_scanned: usize,
-    /// Rows skipped by the per-row bound inside visited clusters.
+    /// Rows skipped by a per-row bound inside visited clusters.
     pub rows_pruned: usize,
     /// Training rows times queries — the exhaustive distance count.
     pub rows_total: usize,
+    /// Phase-1 int8 approximate evaluations (candidate tests) on a
+    /// quantized index; 0 on the f32 path.
+    pub rows_quantized: usize,
 }
 
 impl PruneStats {
@@ -205,6 +313,7 @@ impl PruneStats {
         self.rows_scanned += other.rows_scanned;
         self.rows_pruned += other.rows_pruned;
         self.rows_total += other.rows_total;
+        self.rows_quantized += other.rows_quantized;
     }
 
     /// Fraction of cluster visits skipped: `1 − visited / total` (0 when no
@@ -217,13 +326,25 @@ impl PruneStats {
         }
     }
 
-    /// Fraction of pairwise distances never evaluated: `1 − scanned / total`
-    /// (0 when no query ran).
+    /// Fraction of pairwise distances never evaluated exactly:
+    /// `1 − scanned / total` (0 when no query ran).
     pub fn row_prune_rate(&self) -> f64 {
         if self.rows_total == 0 {
             0.0
         } else {
             1.0 - self.rows_scanned as f64 / self.rows_total as f64
+        }
+    }
+
+    /// How loose the int8 bound was: the fraction of phase-1 approximate
+    /// evaluations that still needed an exact re-rank,
+    /// `rows_scanned / rows_quantized` (0 when nothing was quantized —
+    /// callers asserting tightness should check `rows_quantized > 0`).
+    pub fn rerank_rate(&self) -> f64 {
+        if self.rows_quantized == 0 {
+            0.0
+        } else {
+            self.rows_scanned as f64 / self.rows_quantized as f64
         }
     }
 }
@@ -292,7 +413,38 @@ pub struct ClusteredIndex {
     /// already admitted) disables pruning entirely, preserving the
     /// zero-distance tie-break.
     abs_guard: f64,
+    /// The int8 shadow copy driving the two-phase scan — `None` until
+    /// [`ClusteredIndex::quantize`] (or when the overflow guard rejected
+    /// the data, in which case scans stay exact-only).
+    shadow: Option<QuantizedShadow>,
     engine: EvalEngine,
+}
+
+/// Resident heap footprint of a [`ClusteredIndex`], bucketed by role —
+/// reported by [`ClusteredIndex::resident_bytes`] so the shadow's footprint
+/// claims are measured, not asserted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidentBytes {
+    /// The regrouped f32 training rows (what an unquantized scan streams).
+    pub train_rows: usize,
+    /// The int8 codes (what a quantized phase-1 scan streams per row) —
+    /// exactly `train_rows / 4` when quantized, 0 otherwise.
+    pub quantized_codes: usize,
+    /// Quantized per-row book-keeping: code norms, reconstruction radii,
+    /// and the affine parameters.
+    pub quantized_meta: usize,
+    /// Centroid rows plus per-cluster radii and offsets.
+    pub centroids: usize,
+    /// Per-row index metadata: centroid distances, original-row ids, and
+    /// the kernel's norm cache.
+    pub row_meta: usize,
+}
+
+impl ResidentBytes {
+    /// Sum over all buckets.
+    pub fn total(&self) -> usize {
+        self.train_rows + self.quantized_codes + self.quantized_meta + self.centroids + self.row_meta
+    }
 }
 
 impl ClusteredIndex {
@@ -385,7 +537,52 @@ impl ClusteredIndex {
             err_coeff: 2.0 * (d + 16.0) * f32::EPSILON as f64,
             slack: 1.0 - (2.0 * d + 32.0) * f32::EPSILON as f64,
             abs_guard: f32::MIN_POSITIVE as f64,
+            shadow: None,
             engine,
+        }
+    }
+
+    /// Attaches the int8 shadow, fitting the per-dimension affine over the
+    /// indexed rows themselves: visited clusters switch to the two-phase
+    /// scan of the [module docs](self). Results stay bit-identical; on data
+    /// whose norms break the overflow guard the shadow is silently skipped
+    /// and scans stay exact-only.
+    pub fn quantize(mut self) -> Self {
+        let quantizer = AffineQuantizer::fit(self.data.view());
+        self.quantize_with(quantizer);
+        self
+    }
+
+    /// Attaches the int8 shadow against a *frozen* quantizer (the
+    /// incremental append path encodes every batch with the affine of the
+    /// last full partition, so bounds stay valid without re-fitting per
+    /// batch — out-of-range rows are clamped and simply carry a larger
+    /// reconstruction radius).
+    ///
+    /// # Panics
+    /// Panics if `quantizer` was fitted for a different dimensionality.
+    pub fn quantize_with(&mut self, quantizer: AffineQuantizer) {
+        self.shadow = QuantizedShadow::build(self.data.view(), quantizer);
+    }
+
+    /// Whether an int8 shadow is attached (false when the overflow guard
+    /// rejected the data).
+    pub fn is_quantized(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// The resident heap footprint of the index, bucketed by role.
+    pub fn resident_bytes(&self) -> ResidentBytes {
+        ResidentBytes {
+            train_rows: self.data.rows() * self.data.cols() * size_of::<f32>(),
+            quantized_codes: self.shadow.as_ref().map_or(0, |s| s.code_bytes()),
+            quantized_meta: self.shadow.as_ref().map_or(0, |s| s.meta_bytes()),
+            centroids: self.centroids.rows() * self.centroids.cols() * size_of::<f32>()
+                + self.radii.len() * size_of::<f64>()
+                + self.offsets.len() * size_of::<usize>(),
+            row_meta: self.row_center.len() * size_of::<f64>()
+                + self.original.len() * size_of::<usize>()
+                + self.kernel.train_bound() * size_of::<f32>(),
         }
     }
 
@@ -452,6 +649,17 @@ impl ClusteredIndex {
     #[inline]
     fn prunes(&self, lb: f64, tau_sq: f64, err: f64) -> bool {
         lb * lb * self.slack - err > tau_sq + self.abs_guard
+    }
+
+    /// The [`ClusteredIndex::prunes`] inequality solved for the bound: a
+    /// non-negative Euclidean lower bound prunes iff it strictly exceeds
+    /// `√((τ² + guard + err) / slack)`. The quantized scan caches this per
+    /// τ value so the per-row test `â − margin > (T + r_i)²` needs no
+    /// square root (`τ = ∞`, state not yet full, maps to `∞` and never
+    /// prunes).
+    #[inline]
+    fn prune_threshold(&self, tau: f32, err: f64) -> f64 {
+        ((self.tau_sq(tau) + self.abs_guard + err) / self.slack).sqrt()
     }
 
     /// Shared per-query preamble: fills `order` with
@@ -565,6 +773,71 @@ impl ClusteredIndex {
         }
     }
 
+    /// The two-phase scan of one visited cluster on a quantized index:
+    /// phase 1 computes the exact integer dots of a whole tile from the int8
+    /// codes (one byte per dimension of row traffic) and classifies the tile
+    /// against the widened bound in one straight-line f64 pass; phase 2
+    /// re-ranks the surviving rows through the exact per-pair kernel —
+    /// interleaved per tile, so each admission tightens τ for the next tile.
+    /// The classify pass uses the τ of the tile *start* (a stale — larger —
+    /// τ only keeps rows a fresh one might prune, so exactness never depends
+    /// on it) and the prune threshold `T` is recomputed only when τ changes
+    /// (see [`ClusteredIndex::prune_threshold`]).
+    #[allow(clippy::too_many_arguments)] // the scan's full per-query context
+    fn scan_cluster_quantized(
+        &self,
+        shadow: &QuantizedShadow,
+        qq: &QuantizedQuery,
+        v: &[i16],
+        q: &[f32],
+        qv: f32,
+        err: f64,
+        cluster: usize,
+        offset: usize,
+        skip: usize,
+        state: &mut TopKState,
+        qtile: &mut [i32],
+        keep: &mut [bool],
+        stats: &mut PruneStats,
+    ) {
+        let data = self.data.view();
+        let (s, e) = (self.offsets[cluster], self.offsets[cluster + 1]);
+        let mut cached_tau = f32::NAN; // NaN ≠ everything → first full state recomputes
+        let mut cached_threshold = f64::INFINITY;
+        let mut r = s;
+        while r < e {
+            let len = qtile.len().min(e - r);
+            let dots = &mut qtile[..len];
+            shadow.approx_dot_tile(v, r, dots);
+            stats.rows_quantized += len;
+            let threshold = if state.hits().len() == state.k() {
+                let tau = state.hits().last().expect("full state").distance;
+                if tau != cached_tau {
+                    cached_tau = tau;
+                    cached_threshold = self.prune_threshold(tau, err);
+                }
+                cached_threshold
+            } else {
+                f64::INFINITY // not full: every row survives classification
+            };
+            shadow.classify_tile(qq, threshold, r, dots, &mut keep[..len]);
+            for (j, &kept) in keep[..len].iter().enumerate() {
+                if !kept {
+                    stats.rows_pruned += 1;
+                    continue;
+                }
+                let row = r + j;
+                let global = offset + self.original[row];
+                if global == skip {
+                    continue;
+                }
+                state.offer(self.kernel.pair_with(q, qv, data, row), global);
+                stats.rows_scanned += 1;
+            }
+            r += len;
+        }
+    }
+
     /// Answers one query into `state`: orders clusters by lower bound, scans
     /// until the bound can no longer beat the k-th admitted distance, and
     /// applies the per-row bound inside visited clusters. `skip` is a global
@@ -578,11 +851,19 @@ impl ClusteredIndex {
         state: &mut TopKState,
         order: &mut Vec<(f64, f64, usize)>,
         tile: &mut [f32],
+        qtile: &mut [i32],
+        keep: &mut [bool],
+        wbuf: &mut Vec<f32>,
+        vbuf: &mut Vec<i16>,
         stats: &mut PruneStats,
     ) {
         self.order_clusters(q, order, stats);
         let qv = self.kernel.query_value(q);
         let err = self.kernel_err(norm_f64(q));
+        // `None` either because the index is unquantized or because this
+        // query's norm trips the overflow guard — both fall back to the
+        // exact f32 scan (bit-identical, just no phase-1 savings).
+        let qq = self.shadow.as_ref().and_then(|sh| sh.prepare_query(q, wbuf, vbuf));
         for &(lb, dqc, c) in order.iter() {
             if state.hits().len() == state.k() {
                 let tau_sq = self.tau_sq(state.hits().last().expect("full state").distance);
@@ -593,12 +874,18 @@ impl ClusteredIndex {
                 }
             }
             stats.clusters_visited += 1;
-            self.scan_cluster_topk(q, qv, dqc, err, c, offset, skip, state, tile, stats);
+            match (&self.shadow, &qq) {
+                (Some(sh), Some(qq)) => self.scan_cluster_quantized(
+                    sh, qq, vbuf, q, qv, err, c, offset, skip, state, qtile, keep, stats,
+                ),
+                _ => self.scan_cluster_topk(q, qv, dqc, err, c, offset, skip, state, tile, stats),
+            }
         }
     }
 
     /// Answers queries `[start, start + states.len())` serially, reusing one
-    /// cluster-order scratch buffer and one distance-tile buffer.
+    /// cluster-order scratch buffer, the f32 and i32 tile buffers, and the
+    /// quantized query scratch (scaled residual + i16 codes).
     fn query_chunk(
         &self,
         queries: DatasetView<'_>,
@@ -609,10 +896,28 @@ impl ClusteredIndex {
     ) -> PruneStats {
         let mut stats = PruneStats::default();
         let mut order = Vec::with_capacity(self.num_clusters());
-        let mut tile = vec![0.0f32; self.engine.tile_rows().min(self.data.rows().max(1))];
+        let tile_len = self.engine.tile_rows().min(self.data.rows().max(1));
+        let mut tile = vec![0.0f32; tile_len];
+        let quantized = self.shadow.is_some();
+        let mut qtile = vec![0i32; if quantized { tile_len } else { 0 }];
+        let mut keep = vec![false; if quantized { tile_len } else { 0 }];
+        let mut wbuf = Vec::with_capacity(if quantized { self.data.cols() } else { 0 });
+        let mut vbuf = Vec::with_capacity(if quantized { self.data.cols() } else { 0 });
         for (qi, state) in states.iter_mut().enumerate() {
             let skip = exclude_self.map(|b| b + start + qi).unwrap_or(usize::MAX);
-            self.query_into(queries.row(start + qi), offset, skip, state, &mut order, &mut tile, &mut stats);
+            self.query_into(
+                queries.row(start + qi),
+                offset,
+                skip,
+                state,
+                &mut order,
+                &mut tile,
+                &mut qtile,
+                &mut keep,
+                &mut wbuf,
+                &mut vbuf,
+                &mut stats,
+            );
         }
         stats
     }
@@ -682,7 +987,13 @@ impl EvalEngine {
         backend: EvalBackend,
     ) -> NeighborTable {
         match backend.resolve(train.rows(), metric) {
-            Some(nlist) => ClusteredIndex::build_with_engine(train, metric, nlist, *self).topk(queries, k),
+            Some((nlist, quantize)) => {
+                let mut index = ClusteredIndex::build_with_engine(train, metric, nlist, *self);
+                if quantize {
+                    index = index.quantize();
+                }
+                index.topk(queries, k)
+            }
             None => self.topk(train, queries, metric, k),
         }
     }
@@ -696,7 +1007,13 @@ impl EvalEngine {
         backend: EvalBackend,
     ) -> NeighborTable {
         match backend.resolve(data.rows(), metric) {
-            Some(nlist) => ClusteredIndex::build_with_engine(data, metric, nlist, *self).topk_loo(data, k),
+            Some((nlist, quantize)) => {
+                let mut index = ClusteredIndex::build_with_engine(data, metric, nlist, *self);
+                if quantize {
+                    index = index.quantize();
+                }
+                index.topk_loo(data, k)
+            }
             None => self.topk_loo(data, metric, k),
         }
     }
@@ -806,7 +1123,7 @@ mod tests {
         let queries = blobs(25, 6, 4, 32);
         let engine = EvalEngine::parallel();
         for metric in Metric::all() {
-            for backend in [EvalBackend::Exhaustive, EvalBackend::Clustered { nlist: 4 }] {
+            for backend in [EvalBackend::Exhaustive, EvalBackend::clustered(4), EvalBackend::quantized(4)] {
                 let got = engine.topk_with_backend(train.view(), queries.view(), metric, 7, backend);
                 assert_eq!(
                     got,
@@ -827,14 +1144,16 @@ mod tests {
         assert_eq!(EvalBackend::auto_for(100, 1000, SquaredEuclidean), EvalBackend::Exhaustive);
         assert_eq!(EvalBackend::auto_for(10_000, 4, SquaredEuclidean), EvalBackend::Exhaustive);
         assert_eq!(EvalBackend::auto_for(10_000, 1000, Cosine), EvalBackend::Exhaustive);
-        assert_eq!(
-            EvalBackend::auto_for(10_000, 1000, SquaredEuclidean),
-            EvalBackend::Clustered { nlist: 100 }
-        );
-        assert_eq!(EvalBackend::Clustered { nlist: 50 }.resolve(10, SquaredEuclidean), Some(10));
-        assert_eq!(EvalBackend::Clustered { nlist: 50 }.resolve(0, SquaredEuclidean), None);
-        assert_eq!(EvalBackend::Clustered { nlist: 50 }.resolve(100, Cosine), None);
+        assert_eq!(EvalBackend::auto_for(10_000, 1000, SquaredEuclidean), EvalBackend::clustered(100));
+        assert_eq!(EvalBackend::clustered(50).resolve(10, SquaredEuclidean), Some((10, false)));
+        assert_eq!(EvalBackend::quantized(50).resolve(10, SquaredEuclidean), Some((10, true)));
+        assert_eq!(EvalBackend::clustered(50).resolve(0, SquaredEuclidean), None);
+        assert_eq!(EvalBackend::clustered(50).resolve(100, Cosine), None);
+        assert_eq!(EvalBackend::quantized(50).resolve(100, Cosine), None);
         assert_eq!(EvalBackend::Exhaustive.resolve(10_000, SquaredEuclidean), None);
+        assert_eq!(EvalBackend::Exhaustive.name(), "exhaustive");
+        assert_eq!(EvalBackend::clustered(5).name(), "clustered");
+        assert_eq!(EvalBackend::quantized(5).name(), "quantized");
     }
 
     #[test]
@@ -860,6 +1179,103 @@ mod tests {
             assert_eq!(index.num_clusters(), 2);
             assert_eq!(index.topk(queries.view(), 1), reference, "metric {}", metric.name());
         }
+    }
+
+    #[test]
+    fn quantized_topk_and_loo_match_reference_bit_for_bit() {
+        let train = blobs(500, 12, 10, 41);
+        let queries = blobs(45, 12, 10, 42);
+        for metric in [Metric::SquaredEuclidean, Metric::Euclidean] {
+            let index = ClusteredIndex::build(train.view(), metric, 10).quantize();
+            assert!(index.is_quantized());
+            for k in [1usize, 3, 10, 500] {
+                let got = index.topk(queries.view(), k);
+                assert_eq!(got, knn_reference(train.view(), queries.view(), metric, k), "k {k}");
+            }
+            let loo = index.topk_loo(train.view(), 4);
+            assert_eq!(loo, knn_reference_loo(train.view(), metric, 4), "loo {}", metric.name());
+        }
+    }
+
+    #[test]
+    fn quantized_scan_reranks_a_strict_subset_and_reports_phase_counters() {
+        let train = blobs(800, 16, 12, 51);
+        let queries = blobs(50, 16, 12, 52);
+        let plain = ClusteredIndex::build(train.view(), Metric::SquaredEuclidean, 12);
+        let quantized = plain.clone().quantize();
+        let (table_p, stats_p) = plain.topk_with_stats(queries.view(), 5);
+        let (table_q, stats_q) = quantized.topk_with_stats(queries.view(), 5);
+        assert_eq!(table_p, table_q);
+        assert_eq!(stats_p.rows_quantized, 0, "f32 path never counts phase 1");
+        assert_eq!(stats_p.rerank_rate(), 0.0);
+        assert!(stats_q.rows_quantized > 0, "{stats_q:?}");
+        assert!(stats_q.rows_scanned < stats_q.rows_quantized, "int8 bound must prune: {stats_q:?}");
+        assert!(stats_q.rerank_rate() < 1.0, "{stats_q:?}");
+        assert!(
+            stats_q.rows_scanned + stats_q.rows_pruned + stats_q.queries >= stats_q.rows_quantized,
+            "every phase-1 row is re-ranked, pruned, or the self-skip: {stats_q:?}"
+        );
+    }
+
+    #[test]
+    fn quantized_resident_bytes_measures_the_4x_scan_copy() {
+        let train = blobs(300, 32, 6, 61);
+        let plain = ClusteredIndex::build(train.view(), Metric::SquaredEuclidean, 6);
+        let rb_plain = plain.resident_bytes();
+        assert_eq!(rb_plain.train_rows, 300 * 32 * 4);
+        assert_eq!(rb_plain.quantized_codes, 0);
+        assert_eq!(rb_plain.quantized_meta, 0);
+        let quantized = plain.quantize();
+        let rb = quantized.resident_bytes();
+        assert_eq!(rb.train_rows, 300 * 32 * 4);
+        assert_eq!(rb.quantized_codes * 4, rb.train_rows, "codes are exactly 4x smaller");
+        // code norms + abs sums + radii (3 f32/row) + affine params (2 f32/dim).
+        assert_eq!(rb.quantized_meta, 300 * 12 + 32 * 8);
+        assert!(rb.total() > rb_plain.total());
+        assert!(rb.centroids > 0 && rb.row_meta > 0);
+    }
+
+    #[test]
+    fn quantized_subnormal_underflow_does_not_prune_zero_distance_ties() {
+        // The quantized twin of the subnormal guard test: the int8 bound's
+        // threshold path must also keep τ = 0 from pruning the lower-index
+        // tie (the guard makes T ≥ √(guard) > any subnormal bound).
+        let train = Matrix::from_rows(&[vec![2.2e-23f32, 0.0], vec![-1.8e-23, 0.0]]);
+        let queries = Matrix::from_rows(&[vec![0.0f32, 0.0]]);
+        for metric in [Metric::SquaredEuclidean, Metric::Euclidean] {
+            let reference = knn_reference(train.view(), queries.view(), metric, 1);
+            let index = ClusteredIndex::build(train.view(), metric, 2).quantize();
+            assert_eq!(index.num_clusters(), 2);
+            assert_eq!(index.topk(queries.view(), 1), reference, "metric {}", metric.name());
+        }
+    }
+
+    #[test]
+    fn quantized_extreme_magnitudes_fall_back_and_stay_exact() {
+        // Data past the shadow's overflow guard (row norms ≈ √8·10¹⁸ >
+        // MAX_SAFE_NORM) but still well inside the f32-finite regime the
+        // exact kernel's error model requires: quantize() must refuse the
+        // shadow and the scan must stay exact.
+        let huge = Matrix::from_fn(40, 8, |r, c| if (r + c) % 2 == 0 { 1.0e18 } else { -1.0e18 });
+        let index = ClusteredIndex::build(huge.view(), Metric::SquaredEuclidean, 4).quantize();
+        assert!(!index.is_quantized(), "overflow guard must reject the shadow");
+        let q = Matrix::from_fn(5, 8, |r, c| ((r * 8 + c) as f32).sin() * 1.0e18);
+        assert_eq!(
+            index.topk(q.view(), 3),
+            knn_reference(huge.view(), q.view(), Metric::SquaredEuclidean, 3)
+        );
+        // Sane data, extreme query rows: those queries alone fall back
+        // (`prepare_query` refuses norms past the guard, per query).
+        let train = blobs(200, 8, 4, 71);
+        let index = ClusteredIndex::build(train.view(), Metric::SquaredEuclidean, 4).quantize();
+        assert!(index.is_quantized());
+        let mut rows: Vec<Vec<f32>> = (0..4).map(|r| q.row(r).to_vec()).collect();
+        rows.push(vec![2.0e18; 8]);
+        let mixed = Matrix::from_rows(&rows);
+        assert_eq!(
+            index.topk(mixed.view(), 3),
+            knn_reference(train.view(), mixed.view(), Metric::SquaredEuclidean, 3)
+        );
     }
 
     #[test]

@@ -19,13 +19,16 @@
 //!   state keeps the centroids of its last k-means partition, assigns
 //!   appended rows to the *existing* centroids
 //!   ([`snoopy_linalg::kmeans::assign_to_centroids`]), folds the batch with
-//!   the exact triangle-inequality pruning of [`ClusteredIndex`], and
-//!   re-partitions from scratch only once the row count has grown by
-//!   [`REPARTITION_GROWTH`]× since the last partition (stale centroids only
-//!   cost pruning power, never correctness). Re-partitioning needs the
-//!   rows, so the clustered path keeps a copy of everything appended
-//!   through it (`O(rows × d)` memory); the exhaustive path retains only
-//!   labels and heaps.
+//!   the exact triangle-inequality pruning of [`ClusteredIndex`] (plus the
+//!   two-phase int8 scan when the backend quantizes — new rows are encoded
+//!   against the *frozen* affine of the last partition), and re-partitions
+//!   from scratch only when the [`RepartitionPolicy`] fires — by default
+//!   once the row count has grown [`REPARTITION_GROWTH`]× since the last
+//!   partition; re-fitting the int8 affine rides the same pass (stale
+//!   centroids and clamped codes only cost pruning power, never
+//!   correctness). Re-partitioning needs the rows, so the clustered path
+//!   keeps a copy of everything appended through it (`O(rows × d)` memory);
+//!   the exhaustive path retains only labels and heaps.
 //! * **Relabel** ([`IncrementalTopK::relabel_train`] /
 //!   [`IncrementalTopK::relabel_test`] / [`IncrementalTopK::set_labels`])
 //!   touches no features: cleaning never moves a neighbour, so the 1NN
@@ -46,17 +49,58 @@ use crate::clustered::{ClusteredIndex, EvalBackend, PruneStats};
 use crate::engine::{EvalEngine, NeighborTable, TopKState};
 use crate::kernel::MetricKernel;
 use crate::metric::Metric;
+use crate::quantized::AffineQuantizer;
 use snoopy_linalg::kmeans::{assign_to_centroids, lloyd_kmeans};
 use snoopy_linalg::{DatasetView, LabeledView, Matrix};
 
-/// Re-partition growth threshold of the clustered append backend: once the
-/// state holds this many times the rows of its last k-means partition, the
-/// next append re-runs Lloyd's over everything (fresh centroids and radii
-/// restore pruning power). Between partitions, appended rows are assigned to
-/// the existing centroids in `O(batch × nlist × d)`. The factor is a
-/// heuristic balancing re-cluster cost against bound tightness — see the
-/// ROADMAP open item about bench-tuning it.
-pub const REPARTITION_GROWTH: usize = 2;
+/// Default re-partition growth threshold of the clustered append backend:
+/// once the state holds this many times the rows of its last k-means
+/// partition, the next append re-runs Lloyd's over everything (fresh
+/// centroids and radii restore pruning power). Between partitions, appended
+/// rows are assigned to the existing centroids in `O(batch × nlist × d)`.
+///
+/// Pinned at 2.0 by the `repartition_cases` sweep in `BENCH_knn.json`
+/// (single-core, 10k rows, d = 32, 12 appends, quantized backend): on that
+/// blob workload every setting ends at the same 98.7 % cumulative row
+/// prune, so the sweep separates on wall-clock alone — growth 1.5 paid for
+/// 5 re-clusters (211 ms total append), growth 3 ran only 3 but its staler
+/// partitions made the largest late appends slower (193 ms), and 2.0's
+/// 4 re-clusters were the fastest growth setting (182 ms). The
+/// [`RepartitionPolicy::PruneRate`] trigger re-clustered once for 37 ms
+/// with no prune loss *on that stationary workload* — worth choosing when
+/// the data distribution is stable; the size-proxy growth default keeps
+/// bounded staleness without assuming the prune rate of past appends
+/// predicts the next one.
+pub const REPARTITION_GROWTH: f64 = 2.0;
+
+/// When the clustered append backend re-runs Lloyd's over everything it has
+/// consumed, instead of assigning new rows to the stale centroids. Both
+/// triggers are heuristics over *speed* — stale partitions only cost
+/// pruning power, never correctness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RepartitionPolicy {
+    /// Re-partition once the row count reaches `factor ×` the rows at the
+    /// last partition (the classic amortisation argument; factors ≤ 1 make
+    /// every append re-partition).
+    Growth(f64),
+    /// Re-partition when the *previous* clustered append's row prune rate
+    /// fell below `min_row_prune` — a direct measurement of bound
+    /// staleness instead of a size proxy. No growth backstop: a partition
+    /// that keeps pruning well is kept indefinitely.
+    PruneRate {
+        /// Row prune rate (`PruneStats::row_prune_rate` of one append)
+        /// below which the next append re-partitions.
+        min_row_prune: f64,
+    },
+}
+
+impl Default for RepartitionPolicy {
+    /// The bench-tuned default: [`RepartitionPolicy::Growth`] at
+    /// [`REPARTITION_GROWTH`].
+    fn default() -> Self {
+        RepartitionPolicy::Growth(REPARTITION_GROWTH)
+    }
+}
 
 /// Iteration cap for the state's internal k-means runs (same rationale as
 /// the one-shot clustered index: convergence only affects pruning power).
@@ -73,6 +117,11 @@ const KMEANS_SEED: u64 = 0x1c2e_5eed;
 struct ClusteredAppendState {
     /// Requested cluster count (clamped to the row count at each partition).
     nlist: usize,
+    /// Whether per-batch indexes carry the int8 shadow (from
+    /// `EvalBackend::Clustered { quantize }`).
+    quantize: bool,
+    /// When to re-run Lloyd's over everything consumed.
+    policy: RepartitionPolicy,
     /// All rows routed through the clustered path so far, append order.
     data: Vec<f32>,
     cols: usize,
@@ -80,20 +129,55 @@ struct ClusteredAppendState {
     centroids: Matrix,
     /// Row count at the last full partition (re-partition trigger).
     rows_at_partition: usize,
+    /// Full k-means partitions run so far (bench/diagnostic counter).
+    repartitions: usize,
+    /// The frozen per-dimension affine of the last partition — every batch
+    /// until the next re-partition is encoded against it, so the int8
+    /// bounds stay valid without a per-batch re-fit (out-of-range rows are
+    /// clamped and carry a larger reconstruction radius).
+    quantizer: Option<AffineQuantizer>,
+    /// Row prune rate of the previous clustered append (drives
+    /// [`RepartitionPolicy::PruneRate`]).
+    last_row_prune: Option<f64>,
 }
 
 impl ClusteredAppendState {
-    fn new(nlist: usize, cols: usize) -> Self {
-        Self { nlist, data: Vec::new(), cols, centroids: Matrix::zeros(0, cols), rows_at_partition: 0 }
+    fn new(nlist: usize, quantize: bool, policy: RepartitionPolicy, cols: usize) -> Self {
+        Self {
+            nlist,
+            quantize,
+            policy,
+            data: Vec::new(),
+            cols,
+            centroids: Matrix::zeros(0, cols),
+            rows_at_partition: 0,
+            repartitions: 0,
+            quantizer: None,
+            last_row_prune: None,
+        }
     }
 
     fn rows(&self) -> usize {
         self.data.len() / self.cols.max(1)
     }
 
+    /// Whether the policy calls for a fresh full partition at `total` rows.
+    fn repartition_due(&self, total: usize) -> bool {
+        if self.centroids.rows() == 0 {
+            return true;
+        }
+        match self.policy {
+            RepartitionPolicy::Growth(factor) => total as f64 >= factor * self.rows_at_partition as f64,
+            RepartitionPolicy::PruneRate { min_row_prune } => {
+                self.last_row_prune.is_some_and(|rate| rate < min_row_prune)
+            }
+        }
+    }
+
     /// Grows the buffer by `batch`, re-partitions if due, and returns the
     /// per-batch pruned index (batch rows grouped under the current
-    /// centroids) ready to fold into the query states.
+    /// centroids, int8 shadow attached when quantizing) ready to fold into
+    /// the query states.
     fn grow_and_index(
         &mut self,
         batch: DatasetView<'_>,
@@ -102,20 +186,28 @@ impl ClusteredAppendState {
     ) -> ClusteredIndex {
         self.data.extend_from_slice(batch.data());
         let total = self.rows();
-        let assignments =
-            if self.centroids.rows() == 0 || total >= REPARTITION_GROWTH * self.rows_at_partition {
-                let all = DatasetView::from_raw(&self.data, total, self.cols);
-                let km = lloyd_kmeans(all, self.nlist, KMEANS_MAX_ITERS, KMEANS_SEED, engine.threads());
-                self.centroids = km.centroids;
-                self.rows_at_partition = total;
-                // The batch occupies the tail of the just-partitioned buffer, so
-                // its assignments come for free (a max_iters exit may leave them
-                // one update step stale — valid bounds either way).
-                km.assignments[total - batch.rows()..].to_vec()
-            } else {
-                assign_to_centroids(batch, &self.centroids, engine.threads())
-            };
-        ClusteredIndex::from_assignments(batch, metric, &self.centroids, &assignments, engine)
+        let assignments = if self.repartition_due(total) {
+            let all = DatasetView::from_raw(&self.data, total, self.cols);
+            let km = lloyd_kmeans(all, self.nlist, KMEANS_MAX_ITERS, KMEANS_SEED, engine.threads());
+            self.centroids = km.centroids;
+            self.rows_at_partition = total;
+            self.repartitions += 1;
+            // Re-fit the affine on the same pass — the only time the frozen
+            // quantizer moves.
+            self.quantizer = self.quantize.then(|| AffineQuantizer::fit(all));
+            // The batch occupies the tail of the just-partitioned buffer, so
+            // its assignments come for free (a max_iters exit may leave them
+            // one update step stale — valid bounds either way).
+            km.assignments[total - batch.rows()..].to_vec()
+        } else {
+            assign_to_centroids(batch, &self.centroids, engine.threads())
+        };
+        let mut index =
+            ClusteredIndex::from_assignments(batch, metric, &self.centroids, &assignments, engine);
+        if let Some(q) = self.quantizer.clone() {
+            index.quantize_with(q);
+        }
+        index
     }
 }
 
@@ -129,6 +221,9 @@ pub struct IncrementalTopK {
     k: usize,
     engine: EvalEngine,
     backend: EvalBackend,
+    /// When the clustered append backend re-runs Lloyd's (and re-fits the
+    /// int8 affine) over everything consumed.
+    policy: RepartitionPolicy,
     /// Query-side norm cache bound once at construction; the train side is
     /// re-bound per appended batch (allocation reused) on the exhaustive
     /// path.
@@ -175,6 +270,7 @@ impl IncrementalTopK {
             k,
             engine: EvalEngine::parallel(),
             backend: EvalBackend::Exhaustive,
+            policy: RepartitionPolicy::default(),
             kernel,
             train_labels: Vec::new(),
             curve: Vec::new(),
@@ -244,6 +340,30 @@ impl IncrementalTopK {
     /// but never correctness (any assignment yields valid bounds).
     pub fn set_backend(&mut self, backend: EvalBackend) {
         self.backend = backend;
+    }
+
+    /// Selects when the clustered append backend re-partitions (default:
+    /// the bench-tuned [`RepartitionPolicy::Growth`] at
+    /// [`REPARTITION_GROWTH`]). Takes effect from the next append.
+    pub fn with_repartition_policy(mut self, policy: RepartitionPolicy) -> Self {
+        self.set_repartition_policy(policy);
+        self
+    }
+
+    /// Swaps the re-partition policy in place (applies from the next
+    /// append; the current partition is kept until the new policy fires).
+    pub fn set_repartition_policy(&mut self, policy: RepartitionPolicy) {
+        self.policy = policy;
+        if let Some(state) = self.clustered.as_mut() {
+            state.policy = policy;
+        }
+    }
+
+    /// Full k-means re-partitions the clustered append backend has run (0
+    /// on the exhaustive path) — the cost side of the re-partition policy
+    /// trade-off.
+    pub fn repartitions(&self) -> usize {
+        self.clustered.as_ref().map_or(0, |s| s.repartitions)
     }
 
     /// The metric the state evaluates.
@@ -316,17 +436,23 @@ impl IncrementalTopK {
         let offset = self.train_labels.len();
         if !batch.is_empty() {
             if self.clustered_applies() {
-                let nlist = match self.backend {
-                    EvalBackend::Clustered { nlist } => nlist,
+                let (nlist, quantize) = match self.backend {
+                    EvalBackend::Clustered { nlist, quantize } => (nlist, quantize),
                     EvalBackend::Exhaustive => unreachable!("clustered_applies checked the variant"),
                 };
                 let cols = batch.cols();
-                let state = self.clustered.get_or_insert_with(|| ClusteredAppendState::new(nlist, cols));
-                // Track the backend's current nlist so a set_backend retune
+                let policy = self.policy;
+                let state = self
+                    .clustered
+                    .get_or_insert_with(|| ClusteredAppendState::new(nlist, quantize, policy, cols));
+                // Track the backend's current knobs so a set_backend retune
                 // takes effect at the next re-partition, not never.
                 state.nlist = nlist;
+                state.quantize = quantize;
+                state.policy = policy;
                 let index = state.grow_and_index(batch, self.kernel.metric(), self.engine);
                 let stats = index.update_topk(self.query_features.view(), offset, &mut self.states, None);
+                state.last_row_prune = Some(stats.row_prune_rate());
                 self.folded_pairs += stats.rows_scanned as u64;
                 self.prune_stats.merge(&stats);
             } else {
@@ -665,7 +791,7 @@ mod tests {
         let mut exhaustive =
             IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 4);
         let mut clustered = IncrementalTopK::new(test_x, test_y, Metric::SquaredEuclidean, 4)
-            .with_backend(EvalBackend::Clustered { nlist: 3 });
+            .with_backend(EvalBackend::clustered(3));
         for batch in LabeledView::new(&train_x, &train_y).batches(45) {
             let a = exhaustive.append(batch.features(), batch.labels());
             let b = clustered.append(batch.features(), batch.labels());
@@ -687,13 +813,13 @@ mod tests {
     fn set_backend_retunes_nlist_for_future_repartitions() {
         let (train_x, train_y, test_x, test_y) = toy_task(160);
         let mut state = IncrementalTopK::new(test_x.clone(), test_y, Metric::SquaredEuclidean, 2)
-            .with_backend(EvalBackend::Clustered { nlist: 2 });
+            .with_backend(EvalBackend::clustered(2));
         let view = train_x.view();
         state.append(view.slice_rows(0, 40), &train_y[..40]);
         assert_eq!(state.clustered.as_ref().unwrap().nlist, 2);
         // Retune: the next append must adopt the new nlist, and the 2x
         // growth re-partition (40 -> 160 rows) must run with it.
-        state.set_backend(EvalBackend::Clustered { nlist: 8 });
+        state.set_backend(EvalBackend::clustered(8));
         state.append(view.slice_rows(40, 160), &train_y[40..]);
         let inner = state.clustered.as_ref().unwrap();
         assert_eq!(inner.nlist, 8);
@@ -706,10 +832,84 @@ mod tests {
     }
 
     #[test]
+    fn quantized_backend_is_bit_identical_through_appends_and_repartitions() {
+        // The int8 shadow rides the clustered append path: batches between
+        // re-partitions are encoded against the *frozen* affine of the last
+        // partition (clamped codes, wider radii — never a wrong prune), and
+        // the affine re-fits only when the growth policy re-runs Lloyd's.
+        // Every append must stay bit-identical to the exhaustive state.
+        let (train_x, train_y, test_x, test_y) = toy_task(180);
+        let mut exhaustive =
+            IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 4);
+        let mut quantized = IncrementalTopK::new(test_x, test_y, Metric::SquaredEuclidean, 4)
+            .with_backend(EvalBackend::quantized(3));
+        for batch in LabeledView::new(&train_x, &train_y).batches(30) {
+            let a = exhaustive.append(batch.features(), batch.labels());
+            let b = quantized.append(batch.features(), batch.labels());
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(exhaustive.table(), quantized.table());
+        }
+        let stats = quantized.prune_stats();
+        assert!(stats.rows_quantized > 0, "the int8 phase must have run");
+        assert!(
+            stats.rows_scanned < stats.rows_quantized,
+            "re-rank must be a strict subset of the approximate scan"
+        );
+        // 6 batches of 30 at 2x growth: partitions at 30, 60, 120 — and the
+        // 90/150-row batches were encoded against a frozen affine.
+        assert_eq!(quantized.repartitions(), 3);
+        let inner = quantized.clustered.as_ref().expect("clustered state engaged");
+        assert!(inner.quantizer.is_some(), "re-partition must re-fit the affine");
+    }
+
+    #[test]
+    fn growth_policy_factor_controls_repartition_cadence() {
+        let (train_x, train_y, test_x, test_y) = toy_task(160);
+        let reference = knn_reference(train_x.view(), test_x.view(), Metric::SquaredEuclidean, 3);
+        let mut counts = Vec::new();
+        for factor in [1.5, 2.0, 3.0] {
+            let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 3)
+                .with_backend(EvalBackend::quantized(4))
+                .with_repartition_policy(RepartitionPolicy::Growth(factor));
+            for batch in LabeledView::new(&train_x, &train_y).batches(20) {
+                state.append(batch.features(), batch.labels());
+            }
+            assert_eq!(state.table(), reference, "growth {factor}");
+            counts.push(state.repartitions());
+        }
+        // 8 batches of 20: growth 1.5 partitions at 20/40/60/100/160,
+        // growth 2 at 20/40/80/160, growth 3 at 20/60/180(never, capped 160).
+        assert!(counts[0] > counts[1], "tighter growth must re-cluster more: {counts:?}");
+        assert!(counts[1] > counts[2], "looser growth must re-cluster less: {counts:?}");
+    }
+
+    #[test]
+    fn prune_rate_policy_repartitions_only_when_pruning_decays() {
+        let (train_x, train_y, test_x, test_y) = toy_task(160);
+        let reference = knn_reference(train_x.view(), test_x.view(), Metric::SquaredEuclidean, 3);
+        // min_row_prune = 0: the first partition is kept forever.
+        let mut keep = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 3)
+            .with_backend(EvalBackend::clustered(4))
+            .with_repartition_policy(RepartitionPolicy::PruneRate { min_row_prune: 0.0 });
+        // min_row_prune = 1.01: unattainable, so every append re-partitions.
+        let mut churn = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 3)
+            .with_backend(EvalBackend::clustered(4))
+            .with_repartition_policy(RepartitionPolicy::PruneRate { min_row_prune: 1.01 });
+        for batch in LabeledView::new(&train_x, &train_y).batches(40) {
+            keep.append(batch.features(), batch.labels());
+            churn.append(batch.features(), batch.labels());
+        }
+        assert_eq!(keep.table(), reference);
+        assert_eq!(churn.table(), reference);
+        assert_eq!(keep.repartitions(), 1, "a satisfied prune rate never re-clusters");
+        assert_eq!(churn.repartitions(), 4, "an unattainable prune rate re-clusters every append");
+    }
+
+    #[test]
     fn cosine_with_clustered_backend_falls_back_to_exhaustive() {
         let (train_x, train_y, test_x, test_y) = toy_task(60);
         let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::Cosine, 2)
-            .with_backend(EvalBackend::Clustered { nlist: 4 });
+            .with_backend(EvalBackend::clustered(4));
         for batch in LabeledView::new(&train_x, &train_y).batches(20) {
             state.append(batch.features(), batch.labels());
         }

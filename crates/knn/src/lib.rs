@@ -30,11 +30,17 @@
 //!   Lloyd's k-means coarse partition plus triangle-inequality pruning that
 //!   skips most distance evaluations on clustered embedding spaces while
 //!   staying bit-identical to the exhaustive engine, surfaced as the
-//!   [`clustered::EvalBackend`] enum (`Exhaustive` | `Clustered { nlist }`,
-//!   with a train-size auto-selection heuristic) behind the same
-//!   `NeighborTable` handshake — cosine dissimilarity has no triangle
-//!   inequality, so cosine consumers transparently fall back to the
-//!   exhaustive kernel,
+//!   [`clustered::EvalBackend`] enum
+//!   (`Exhaustive` | `Clustered { nlist, quantize }`, with a train-size
+//!   auto-selection heuristic) behind the same `NeighborTable` handshake —
+//!   cosine dissimilarity has no triangle inequality, so cosine consumers
+//!   transparently fall back to the exhaustive kernel,
+//! * the per-dimension affine int8 shadow ([`quantized::QuantizedShadow`],
+//!   `quantize: true`): visited clusters scan approximately at **one byte
+//!   per dimension** through a fixed-order int8 dot tile, a
+//!   quantization-error-widened bound selects the candidate superset, and
+//!   only survivors are re-ranked through the exact f32 kernel — a ~4×
+//!   smaller scan copy with the identical `NeighborTable`,
 //! * an exact brute-force index ([`brute::BruteForceIndex`]) whose k-NN
 //!   queries, batch evaluation, and leave-one-out error all route through
 //!   the engine (or the clustered index, per backend),
@@ -47,8 +53,11 @@
 //!   feedback), and the estimator pipeline (its [`engine::NeighborTable`]
 //!   snapshot is bit-identical to a cold [`engine::EvalEngine::topk`] at
 //!   every point). With a clustered backend, appended rows are assigned to
-//!   the existing centroids and the partition is rebuilt only past a growth
-//!   threshold ([`incremental::REPARTITION_GROWTH`]).
+//!   the existing centroids (and encoded against the frozen int8 affine
+//!   when quantized) and the partition is rebuilt only when the
+//!   re-partition policy fires ([`incremental::RepartitionPolicy`]: a
+//!   bench-tuned growth factor [`incremental::REPARTITION_GROWTH`], or a
+//!   pruning-rate trigger).
 
 pub mod brute;
 pub mod clustered;
@@ -56,10 +65,12 @@ pub mod engine;
 pub mod incremental;
 pub mod kernel;
 pub mod metric;
+pub mod quantized;
 
 pub use brute::BruteForceIndex;
-pub use clustered::{ClusteredIndex, EvalBackend, PruneStats};
+pub use clustered::{ClusteredIndex, EvalBackend, PruneStats, ResidentBytes};
 pub use engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
-pub use incremental::IncrementalTopK;
+pub use incremental::{IncrementalTopK, RepartitionPolicy};
 pub use kernel::MetricKernel;
 pub use metric::Metric;
+pub use quantized::AffineQuantizer;

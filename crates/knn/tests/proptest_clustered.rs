@@ -76,7 +76,7 @@ proptest! {
         let (test_x, _) = cloud(seed ^ 0xbeef, 11, 4, 3);
         let engine = EvalEngine::parallel();
         for metric in Metric::all() {
-            for backend in [EvalBackend::Exhaustive, EvalBackend::Clustered { nlist }] {
+            for backend in [EvalBackend::Exhaustive, EvalBackend::clustered(nlist), EvalBackend::quantized(nlist)] {
                 let got = engine.topk_with_backend(train_x.view(), test_x.view(), metric, 5, backend);
                 let reference = knn_reference(train_x.view(), test_x.view(), metric, 5);
                 prop_assert_eq!(got, reference, "metric {} backend {}", metric.name(), backend.name());

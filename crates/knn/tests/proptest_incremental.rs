@@ -28,7 +28,7 @@ proptest! {
         let engine = EvalEngine::parallel();
         for metric in Metric::all() {
             for k in [1usize, 3, 10, n] {
-                for backend in [EvalBackend::Exhaustive, EvalBackend::Clustered { nlist }] {
+                for backend in [EvalBackend::Exhaustive, EvalBackend::clustered(nlist), EvalBackend::quantized(nlist)] {
                     let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), metric, k)
                         .with_backend(backend);
                     let mut consumed = 0;
@@ -63,7 +63,7 @@ proptest! {
         let (train_x, mut train_y) = cloud(seed, n, 4, 3);
         let (test_x, mut test_y) = cloud(seed ^ 0xfeed, 11, 4, 3);
         let backend =
-            if backend_pick == 1 { EvalBackend::Clustered { nlist: 4 } } else { EvalBackend::Exhaustive };
+            if backend_pick == 1 { EvalBackend::clustered(4) } else { EvalBackend::Exhaustive };
         let mut state = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 3)
             .with_backend(backend);
         let engine = EvalEngine::parallel();
