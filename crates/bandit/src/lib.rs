@@ -30,6 +30,6 @@ pub mod strategies;
 
 pub use arm::{Arm, PrerecordedArm, PullLedger};
 pub use strategies::{
-    doubling_successive_halving, exhaust_all, run_strategy, successive_halving, uniform_allocation,
-    SelectionOutcome, SelectionStrategy,
+    doubling_successive_halving, execute_round, exhaust_all, run_strategy, successive_halving,
+    uniform_allocation, RoundPlan, SelectionOutcome, SelectionStrategy, StrategyDriver,
 };

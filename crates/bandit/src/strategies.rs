@@ -2,12 +2,20 @@
 //! without tangent-based early stopping (Algorithms 1 and 2 of the paper's
 //! appendix), plus the doubling trick.
 //!
-//! Arms are independent — pulling one never touches another — so every
-//! strategy executes the pulls it has decided on for a round on worker
-//! threads (`std::thread::scope`), one per arm. Scheduling decisions
+//! Every strategy is expressed as a [`StrategyDriver`] — a resumable state
+//! machine that emits one [`RoundPlan`] (how many pulls each arm gets this
+//! phase) at a time and folds the executed phase back in. The one-shot
+//! entry points ([`run_strategy`] and friends) just drive it to completion;
+//! the multi-study feasibility service steps many drivers side by side,
+//! interleaving their rounds fairly on the shared pool.
+//!
+//! Arms are independent — pulling one never touches another — so
+//! [`execute_round`] runs a phase's busy arms as one task each on the
+//! persistent [`snoopy_pool`] work-stealing pool. Scheduling decisions
 //! (thresholds, eliminations, survivor ranking) stay on the calling thread,
 //! and each arm's own pull sequence is identical to the sequential
-//! schedule, so outcomes are deterministic and unchanged.
+//! schedule, so outcomes are deterministic and unchanged at every pool
+//! worker count.
 
 use crate::arm::Arm;
 
@@ -57,7 +65,10 @@ pub struct SelectionOutcome {
 }
 
 impl SelectionOutcome {
-    fn from_state<A: Arm>(curves: Vec<Vec<f64>>, arms: &[A]) -> Self {
+    /// Assembles the outcome from recorded curves and the arms' own pull and
+    /// cost ledgers — what the one-shot entry points return, and what the
+    /// feasibility service builds after stepping a [`StrategyDriver`] dry.
+    pub fn from_state<A: Arm>(curves: Vec<Vec<f64>>, arms: &[A]) -> Self {
         let pulls_per_arm: Vec<usize> = arms.iter().map(|a| a.pulls()).collect();
         let total_pulls = pulls_per_arm.iter().sum();
         let total_cost = arms.iter().map(|a| a.accumulated_cost()).sum();
@@ -84,101 +95,308 @@ impl SelectionOutcome {
 /// Job size meaning "pull until the arm is exhausted".
 const UNTIL_EXHAUSTED: usize = usize::MAX;
 
-/// Executes one scheduling round: arm `i` is pulled up to `jobs[i]` times
-/// (stopping early at exhaustion), its observed losses appended to
-/// `curves[i]`. `jobs[i] == 0` skips the arm.
+/// One phase of scheduled pulls, as decided by a [`StrategyDriver`]: arm `i`
+/// receives up to `jobs[i]` pulls (0 skips the arm).
+#[derive(Debug, Clone)]
+pub struct RoundPlan {
+    /// Pulls allotted to each arm this phase.
+    pub jobs: Vec<usize>,
+    /// `Some(threshold)` switches the phase to the tangent-break pull loop
+    /// of Algorithm 2: after every pull the line through the last two
+    /// observed losses is extrapolated to the end of the phase, and the arm
+    /// stops early — reported as eliminated — if even that optimistic
+    /// endpoint is worse than `threshold`.
+    pub tangent_threshold: Option<f64>,
+}
+
+impl RoundPlan {
+    fn plain(jobs: Vec<usize>) -> Self {
+        Self { jobs, tangent_threshold: None }
+    }
+}
+
+/// Executes one phase: arm `i` is pulled up to `plan.jobs[i]` times
+/// (stopping early at exhaustion, and at a tangent break when the plan
+/// carries a threshold), its observed losses appended to `curves[i]`.
+/// Returns which arms the tangent break eliminated (all `false` for plain
+/// phases).
 ///
 /// Arms are first told how many of them will run concurrently
 /// ([`Arm::on_concurrency`]) so arms with internal parallelism can size
-/// their worker share. A round with a single busy arm runs inline — no
-/// thread spawn for degenerate rounds or the winner-finishing tail.
-fn parallel_round<A: Arm>(arms: &mut [A], curves: &mut [Vec<f64>], jobs: &[usize]) {
-    let busy = arms.iter().zip(jobs).filter(|(arm, &job)| job > 0 && !arm.exhausted()).count();
+/// their worker share. Each busy arm runs as one task on the persistent
+/// [`snoopy_pool`] pool — a queue push, not a thread spawn — and a phase
+/// with a single busy arm runs inline, skipping even that. Each arm's own
+/// pull sequence is identical to the sequential schedule, so outcomes are
+/// deterministic and unchanged at every pool worker count.
+pub fn execute_round<A: Arm>(arms: &mut [A], curves: &mut [Vec<f64>], plan: &RoundPlan) -> Vec<bool> {
+    let n = arms.len();
+    assert_eq!(plan.jobs.len(), n, "one job count per arm required");
+    assert_eq!(curves.len(), n, "one curve per arm required");
+    let mut eliminated = vec![false; n];
+    let busy = arms.iter().zip(&plan.jobs).filter(|(arm, &job)| job > 0 && !arm.exhausted()).count();
     if busy == 0 {
-        return;
+        return eliminated;
     }
-    for (arm, &job) in arms.iter_mut().zip(jobs) {
+    for (arm, &job) in arms.iter_mut().zip(&plan.jobs) {
         if job > 0 && !arm.exhausted() {
             arm.on_concurrency(busy);
         }
     }
-    let run_one = |arm: &mut A, curve: &mut Vec<f64>, job: usize| {
+    let threshold = plan.tangent_threshold;
+    let run_one = |arm: &mut A, curve: &mut Vec<f64>, job: usize, eliminated: &mut bool| {
         let mut done = 0usize;
         while done < job && !arm.exhausted() {
             curve.push(arm.pull());
             done = done.saturating_add(1);
+            if let Some(threshold) = threshold {
+                if curve.len() >= 2 {
+                    let last = curve[curve.len() - 1];
+                    let prev = curve[curve.len() - 2];
+                    let slope = last - prev; // per pull; negative for improving arms
+                    let remaining = (job - done) as f64;
+                    let predicted_end = last + slope.min(0.0) * remaining;
+                    if predicted_end > threshold {
+                        *eliminated = true;
+                        break;
+                    }
+                }
+            }
         }
     };
     if busy == 1 {
-        for ((arm, curve), &job) in arms.iter_mut().zip(curves.iter_mut()).zip(jobs) {
+        for ((arm, (curve, elim)), &job) in
+            arms.iter_mut().zip(curves.iter_mut().zip(eliminated.iter_mut())).zip(&plan.jobs)
+        {
             if job > 0 && !arm.exhausted() {
-                run_one(arm, curve, job);
+                run_one(arm, curve, job, elim);
             }
         }
-        return;
+        return eliminated;
     }
-    std::thread::scope(|scope| {
-        for ((arm, curve), &job) in arms.iter_mut().zip(curves.iter_mut()).zip(jobs) {
+    snoopy_pool::scope(|scope| {
+        for ((arm, (curve, elim)), &job) in
+            arms.iter_mut().zip(curves.iter_mut().zip(eliminated.iter_mut())).zip(&plan.jobs)
+        {
             if job == 0 || arm.exhausted() {
                 continue;
             }
-            scope.spawn(move || run_one(arm, curve, job));
+            scope.spawn(move || run_one(arm, curve, job, elim));
         }
     });
+    eliminated
+}
+
+/// Where a successive-halving driver stands: each `Select*` state emits one
+/// plan, each `Observe*` state absorbs the executed plan's outcome.
+enum HalvingPhase {
+    SelectFirstHalf,
+    ObserveFirstHalf { rk: usize },
+    SelectSecondHalf { rk: usize, threshold: f64 },
+    ObserveSecondHalf,
+    Finishing,
+}
+
+enum DriverState {
+    Uniform { spent: usize },
+    Exhaustive,
+    Halving { use_tangent: bool, rounds: usize, round: usize, survivors: Vec<usize>, phase: HalvingPhase },
+    Done,
+}
+
+/// A resumable, phase-stepped view of a selection strategy.
+///
+/// Call [`StrategyDriver::next_plan`] for the next phase of pulls, execute
+/// it (normally via [`execute_round`]), then feed the outcome back through
+/// [`StrategyDriver::observe`] — strictly alternating. [`run_strategy`] is
+/// exactly this loop run to completion on one arm set; the multi-study
+/// feasibility service steps one driver per tenant, interleaving their
+/// phases round-robin on the shared pool, and gets bit-identical schedules
+/// because each driver's decisions depend only on its own arms.
+pub struct StrategyDriver {
+    budget: usize,
+    state: DriverState,
+}
+
+impl StrategyDriver {
+    /// A driver for `strategy` over `num_arms` arms with a total pull
+    /// `budget` (ignored by [`SelectionStrategy::Exhaustive`]).
+    pub fn new(strategy: SelectionStrategy, num_arms: usize, budget: usize) -> Self {
+        match strategy {
+            SelectionStrategy::Uniform => Self { budget, state: DriverState::Uniform { spent: 0 } },
+            SelectionStrategy::Exhaustive => Self { budget, state: DriverState::Exhaustive },
+            SelectionStrategy::SuccessiveHalving => Self::halving(num_arms, budget, false),
+            SelectionStrategy::SuccessiveHalvingTangent => Self::halving(num_arms, budget, true),
+        }
+    }
+
+    /// A successive-halving driver with an explicit tangent-break switch.
+    pub fn halving(num_arms: usize, budget: usize, use_tangent: bool) -> Self {
+        if num_arms == 0 {
+            return Self { budget, state: DriverState::Done };
+        }
+        let rounds = (num_arms as f64).log2().ceil() as usize;
+        Self {
+            budget,
+            state: DriverState::Halving {
+                use_tangent,
+                rounds,
+                round: 0,
+                survivors: (0..num_arms).collect(),
+                phase: HalvingPhase::SelectFirstHalf,
+            },
+        }
+    }
+
+    /// The next phase of pulls, or `None` once the strategy is exhausted.
+    /// Every returned plan must be executed and reported back via
+    /// [`StrategyDriver::observe`] before the next call.
+    ///
+    /// # Panics
+    /// Panics if the previous plan was not yet observed.
+    pub fn next_plan<A: Arm>(&mut self, arms: &[A]) -> Option<RoundPlan> {
+        let budget = self.budget;
+        match &mut self.state {
+            DriverState::Done => None,
+            DriverState::Exhaustive => {
+                self.state = DriverState::Done;
+                Some(RoundPlan::plain(vec![UNTIL_EXHAUSTED; arms.len()]))
+            }
+            DriverState::Uniform { spent } => {
+                // One sweep: a single pull to every still-running arm, in
+                // index order when the remaining budget cannot cover all.
+                let mut jobs = vec![0usize; arms.len()];
+                let mut allocated = 0usize;
+                for (job, arm) in jobs.iter_mut().zip(arms.iter()) {
+                    if *spent + allocated >= budget {
+                        break;
+                    }
+                    if !arm.exhausted() {
+                        *job = 1;
+                        allocated += 1;
+                    }
+                }
+                if allocated == 0 {
+                    self.state = DriverState::Done;
+                    return None;
+                }
+                *spent += allocated;
+                Some(RoundPlan::plain(jobs))
+            }
+            DriverState::Halving { use_tangent, rounds, round, survivors, phase } => loop {
+                match phase {
+                    HalvingPhase::SelectFirstHalf => {
+                        let l = survivors.len();
+                        if *round >= *rounds || l <= 1 {
+                            *phase = HalvingPhase::Finishing;
+                            continue;
+                        }
+                        // First half of the survivor list is always pulled
+                        // in full; its worst loss defines the threshold for
+                        // the tangent breaks (Algorithm 1).
+                        let rk = (budget / (l * *rounds)).max(1);
+                        let cutoff = (l / 2).max(1);
+                        let mut jobs = vec![0usize; arms.len()];
+                        for &idx in survivors.iter().take(cutoff) {
+                            jobs[idx] = rk;
+                        }
+                        *phase = HalvingPhase::ObserveFirstHalf { rk };
+                        return Some(RoundPlan::plain(jobs));
+                    }
+                    HalvingPhase::SelectSecondHalf { rk, threshold } => {
+                        let cutoff = (survivors.len() / 2).max(1);
+                        let mut jobs = vec![0usize; arms.len()];
+                        for &idx in survivors.iter().skip(cutoff) {
+                            jobs[idx] = *rk;
+                        }
+                        let tangent_threshold = use_tangent.then_some(*threshold);
+                        *phase = HalvingPhase::ObserveSecondHalf;
+                        return Some(RoundPlan { jobs, tangent_threshold });
+                    }
+                    HalvingPhase::Finishing => {
+                        // Spend any leftover capacity on the single survivor
+                        // so its curve is as long as the budget allows
+                        // (matches how Snoopy finishes the minimum
+                        // transformation to full convergence).
+                        let Some(&winner) = survivors.first() else {
+                            self.state = DriverState::Done;
+                            return None;
+                        };
+                        let spent: usize = arms.iter().map(|a| a.pulls()).sum();
+                        let mut jobs = vec![0usize; arms.len()];
+                        jobs[winner] = budget.saturating_sub(spent);
+                        self.state = DriverState::Done;
+                        return Some(RoundPlan::plain(jobs));
+                    }
+                    HalvingPhase::ObserveFirstHalf { .. } | HalvingPhase::ObserveSecondHalf => {
+                        panic!("next_plan called before the previous plan was observed");
+                    }
+                }
+            },
+        }
+    }
+
+    /// Folds the executed phase back in: records the tangent threshold after
+    /// a first half, or eliminates and re-ranks survivors after a second
+    /// half (`eliminated` as returned by [`execute_round`]). A no-op for
+    /// phases that carry no scheduling state (uniform sweeps, the tail).
+    pub fn observe<A: Arm>(&mut self, arms: &[A], eliminated: &[bool]) {
+        if let DriverState::Halving { round, survivors, phase, .. } = &mut self.state {
+            match phase {
+                HalvingPhase::ObserveFirstHalf { rk } => {
+                    let cutoff = (survivors.len() / 2).max(1);
+                    let mut threshold = f64::NEG_INFINITY;
+                    for &idx in survivors.iter().take(cutoff) {
+                        threshold = threshold.max(arms[idx].current_loss());
+                    }
+                    *phase = HalvingPhase::SelectSecondHalf { rk: *rk, threshold };
+                }
+                HalvingPhase::ObserveSecondHalf => {
+                    // Keep the better half by current loss (ties by index,
+                    // deterministic), minus anything the tangent killed.
+                    let l = survivors.len();
+                    survivors.retain(|&idx| !eliminated[idx]);
+                    survivors.sort_by(|&a, &b| {
+                        arms[a].current_loss().total_cmp(&arms[b].current_loss()).then_with(|| a.cmp(&b))
+                    });
+                    survivors.truncate((l / 2).max(1));
+                    *round += 1;
+                    *phase = HalvingPhase::SelectFirstHalf;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Drives `driver` dry over `arms` and assembles the outcome.
+fn drive<A: Arm>(mut driver: StrategyDriver, arms: &mut [A]) -> SelectionOutcome {
+    let mut curves = vec![Vec::new(); arms.len()];
+    while let Some(plan) = driver.next_plan(arms) {
+        let eliminated = execute_round(arms, &mut curves, &plan);
+        driver.observe(arms, &eliminated);
+    }
+    SelectionOutcome::from_state(curves, arms)
 }
 
 /// Runs the given strategy with a total pull budget. For
 /// [`SelectionStrategy::Exhaustive`] the budget is ignored and every arm is
 /// pulled until exhaustion.
 pub fn run_strategy<A: Arm>(strategy: SelectionStrategy, arms: &mut [A], budget: usize) -> SelectionOutcome {
-    match strategy {
-        SelectionStrategy::Uniform => uniform_allocation(arms, budget),
-        SelectionStrategy::SuccessiveHalving => successive_halving(arms, budget, false),
-        SelectionStrategy::SuccessiveHalvingTangent => successive_halving(arms, budget, true),
-        SelectionStrategy::Exhaustive => exhaust_all(arms),
-    }
+    drive(StrategyDriver::new(strategy, arms.len(), budget), arms)
 }
 
 /// Pulls every arm until it is exhausted, all arms in parallel.
 pub fn exhaust_all<A: Arm>(arms: &mut [A]) -> SelectionOutcome {
-    let mut curves = vec![Vec::new(); arms.len()];
-    let jobs = vec![UNTIL_EXHAUSTED; arms.len()];
-    parallel_round(arms, &mut curves, &jobs);
-    SelectionOutcome::from_state(curves, arms)
+    drive(StrategyDriver::new(SelectionStrategy::Exhaustive, arms.len(), 0), arms)
 }
 
 /// Uniform allocation baseline: round-robin single pulls until the budget is
 /// spent or every arm is exhausted. Each sweep hands one pull to every
 /// still-running arm (in index order when the remaining budget cannot cover
-/// the full sweep) and executes the sweep's pulls in parallel.
-///
-/// A sweep costs one thread spawn per arm; that is paid deliberately because
-/// the production arms (transformation pulls: batch inference + a streamed
-/// 1NN update) dwarf the ~10 µs spawn cost. Replaying nanosecond-scale
-/// pre-recorded arms through this path measures mostly spawn overhead —
-/// bench accordingly.
+/// the full sweep) and executes the sweep's pulls in parallel on the shared
+/// pool.
 pub fn uniform_allocation<A: Arm>(arms: &mut [A], budget: usize) -> SelectionOutcome {
-    let mut curves = vec![Vec::new(); arms.len()];
-    let mut spent = 0usize;
-    loop {
-        let mut jobs = vec![0usize; arms.len()];
-        let mut allocated = 0usize;
-        for (job, arm) in jobs.iter_mut().zip(arms.iter()) {
-            if spent + allocated >= budget {
-                break;
-            }
-            if !arm.exhausted() {
-                *job = 1;
-                allocated += 1;
-            }
-        }
-        if allocated == 0 {
-            break;
-        }
-        parallel_round(arms, &mut curves, &jobs);
-        spent += allocated;
-    }
-    SelectionOutcome::from_state(curves, arms)
+    drive(StrategyDriver::new(SelectionStrategy::Uniform, arms.len(), budget), arms)
 }
 
 /// Successive halving (Algorithm 1), optionally with tangent breaks
@@ -187,136 +405,9 @@ pub fn uniform_allocation<A: Arm>(arms: &mut [A], budget: usize) -> SelectionOut
 /// The budget `B` is the total number of pulls the scheduler may spend. Arms
 /// eliminated in earlier rounds keep their recorded curves, so the caller can
 /// still aggregate by taking the minimum over everything observed. Within a
-/// round, the surviving arms evaluate concurrently on worker threads.
+/// round, the surviving arms evaluate concurrently on the shared pool.
 pub fn successive_halving<A: Arm>(arms: &mut [A], budget: usize, use_tangent: bool) -> SelectionOutcome {
-    let n = arms.len();
-    let mut curves = vec![Vec::new(); n];
-    if n == 0 {
-        return SelectionOutcome {
-            best_arm: 0,
-            best_loss: f64::INFINITY,
-            total_pulls: 0,
-            total_cost: 0.0,
-            curves,
-            pulls_per_arm: vec![],
-        };
-    }
-    if n == 1 {
-        // Degenerate case: spend the whole budget on the single arm.
-        let jobs = vec![budget];
-        parallel_round(arms, &mut curves, &jobs);
-        return SelectionOutcome::from_state(curves, arms);
-    }
-
-    let rounds = (n as f64).log2().ceil() as usize;
-    let mut survivors: Vec<usize> = (0..n).collect();
-    for _round in 0..rounds {
-        let l = survivors.len();
-        if l <= 1 {
-            break;
-        }
-        let rk = (budget / (l * rounds)).max(1);
-
-        // First half of the survivor list is always pulled in full (on worker
-        // threads); its worst loss defines the threshold for the tangent
-        // breaks (Algorithm 1).
-        let cutoff = (l / 2).max(1);
-        let mut jobs = vec![0usize; n];
-        for &idx in survivors.iter().take(cutoff) {
-            jobs[idx] = rk;
-        }
-        parallel_round(arms, &mut curves, &jobs);
-        let mut threshold = f64::NEG_INFINITY;
-        for &idx in survivors.iter().take(cutoff) {
-            threshold = threshold.max(arms[idx].current_loss());
-        }
-
-        let mut eliminated_by_tangent = vec![false; n];
-        if use_tangent {
-            // Algorithm 2: after every pull, extrapolate the tangent (the
-            // line through the last two observed losses) to the end of the
-            // round; if even that optimistic value is worse than the first
-            // half's threshold, stop pulling this arm. Each arm's decision
-            // depends only on its own curve and the fixed threshold, so the
-            // second half also runs on worker threads.
-            let in_second_half: Vec<bool> = {
-                let mut flags = vec![false; n];
-                for &idx in survivors.iter().skip(cutoff) {
-                    flags[idx] = true;
-                }
-                flags
-            };
-            let busy = in_second_half.iter().filter(|&&f| f).count();
-            for (arm, &selected) in arms.iter_mut().zip(in_second_half.iter()) {
-                if selected {
-                    arm.on_concurrency(busy.max(1));
-                }
-            }
-            let tangent_pulls = |arm: &mut A, curve: &mut Vec<f64>, eliminated: &mut bool| {
-                for step in 0..rk {
-                    if arm.exhausted() {
-                        break;
-                    }
-                    curve.push(arm.pull());
-                    if curve.len() >= 2 {
-                        let last = curve[curve.len() - 1];
-                        let prev = curve[curve.len() - 2];
-                        let slope = last - prev; // per pull; negative for improving arms
-                        let remaining = (rk - step - 1) as f64;
-                        let predicted_end = last + slope.min(0.0) * remaining;
-                        if predicted_end > threshold {
-                            *eliminated = true;
-                            break;
-                        }
-                    }
-                }
-            };
-            let selected = arms
-                .iter_mut()
-                .zip(curves.iter_mut())
-                .zip(eliminated_by_tangent.iter_mut())
-                .zip(in_second_half.iter())
-                .filter(|(_, &selected)| selected);
-            if busy <= 1 {
-                // A lone second-half arm runs inline: no spawn/join round trip.
-                for (((arm, curve), eliminated), _) in selected {
-                    tangent_pulls(arm, curve, eliminated);
-                }
-            } else {
-                std::thread::scope(|scope| {
-                    for (((arm, curve), eliminated), _) in selected {
-                        scope.spawn(|| tangent_pulls(arm, curve, eliminated));
-                    }
-                });
-            }
-        } else {
-            let mut jobs = vec![0usize; n];
-            for &idx in survivors.iter().skip(cutoff) {
-                jobs[idx] = rk;
-            }
-            parallel_round(arms, &mut curves, &jobs);
-        }
-
-        // Keep the better half by current loss (ties by index, deterministic).
-        survivors.retain(|&idx| !eliminated_by_tangent[idx]);
-        survivors.sort_by(|&a, &b| {
-            arms[a].current_loss().total_cmp(&arms[b].current_loss()).then_with(|| a.cmp(&b))
-        });
-        survivors.truncate((l / 2).max(1));
-    }
-
-    // Spend any leftover capacity on the single survivor so that its curve is
-    // as long as the budget allows (matches how Snoopy finishes the minimum
-    // transformation to full convergence).
-    if let Some(&winner) = survivors.first() {
-        let spent: usize = arms.iter().map(|a| a.pulls()).sum();
-        let remaining = budget.saturating_sub(spent);
-        let mut jobs = vec![0usize; n];
-        jobs[winner] = remaining;
-        parallel_round(arms, &mut curves, &jobs);
-    }
-
-    SelectionOutcome::from_state(curves, arms)
+    drive(StrategyDriver::halving(arms.len(), budget, use_tangent), arms)
 }
 
 /// The doubling trick (Jamieson & Talwalkar, §3): run successive halving with

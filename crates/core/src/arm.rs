@@ -26,8 +26,9 @@
 
 use snoopy_bandit::{Arm, PullLedger};
 use snoopy_data::TaskDataset;
-use snoopy_embeddings::Transformation;
+use snoopy_embeddings::{Transformation, TransformedTask};
 use snoopy_knn::{EvalBackend, EvalEngine, IncrementalTopK, Metric};
+use std::sync::Arc;
 
 /// A bandit arm evaluating one transformation on one task.
 pub struct TransformationArm<'a> {
@@ -53,6 +54,15 @@ pub struct TransformationArm<'a> {
     /// constructing arms). Exhaustive and clustered appends are
     /// bit-identical.
     backend: EvalBackend,
+    /// Pre-computed embeddings of both splits (the feasibility service's
+    /// warm path). When present, pulls slice the cached train rows
+    /// zero-copy and the first pull clones the cached test embedding —
+    /// no inference runs and no cost is charged here, because the
+    /// [`snoopy_embeddings::EmbeddingCache`] that produced the value
+    /// charged once at fill time. Transformations are deterministic
+    /// row-wise functions, so the sliced cached rows are bit-identical to
+    /// embedding the raw batch directly.
+    embeddings: Option<Arc<TransformedTask>>,
 }
 
 impl<'a> TransformationArm<'a> {
@@ -74,7 +84,29 @@ impl<'a> TransformationArm<'a> {
             ledger: PullLedger::new(),
             engine: EvalEngine::parallel(),
             backend: EvalBackend::Exhaustive,
+            embeddings: None,
         }
+    }
+
+    /// Serves this arm from pre-computed embeddings: pulls slice the cached
+    /// train rows instead of running inference, and the first pull clones
+    /// the cached test embedding. The ledger charges nothing for warm pulls
+    /// (the embedding cache charged once when it computed the value), but
+    /// pull counts and eval-pair accounting are unchanged — and so is every
+    /// observed error, bit for bit.
+    ///
+    /// # Panics
+    /// Panics if the state already exists or the cached embeddings belong to
+    /// a different transformation.
+    pub fn with_embeddings(mut self, embeddings: Arc<TransformedTask>) -> Self {
+        assert!(self.state.is_none(), "embeddings must be provided before the first pull");
+        assert_eq!(
+            embeddings.transformation,
+            self.transformation.name(),
+            "cached embeddings must come from this arm's transformation"
+        );
+        self.embeddings = Some(embeddings);
+        self
     }
 
     /// Overrides the evaluation engine used by this arm's state.
@@ -158,8 +190,13 @@ impl<'a> TransformationArm<'a> {
         if self.state.is_some() {
             return;
         }
-        let test_embedded = self.transformation.transform(self.task.test.features_view());
-        self.ledger.charge(self.transformation.cost_for(self.task.test.len()));
+        let test_embedded = match &self.embeddings {
+            Some(cached) => cached.test_features.clone(),
+            None => {
+                self.ledger.charge(self.transformation.cost_for(self.task.test.len()));
+                self.transformation.transform(self.task.test.features_view())
+            }
+        };
         self.state = Some(
             IncrementalTopK::new(test_embedded, self.task.test.labels.clone(), self.metric, self.table_k)
                 .with_engine(self.engine)
@@ -180,13 +217,20 @@ impl Arm for TransformationArm<'_> {
         self.ensure_state();
         let start = self.consumed;
         let end = (start + self.batch_size).min(self.task.train.len());
-        let raw_batch = self.task.train.features_view().slice_rows(start, end);
-        let embedded = self.transformation.transform(raw_batch);
-        self.ledger.record_pull(self.transformation.cost_for(end - start));
+        let embedded_cold;
+        let (embedded, pull_cost) = match &self.embeddings {
+            Some(cached) => (cached.train_features.view().slice_rows(start, end), 0.0),
+            None => {
+                let raw_batch = self.task.train.features_view().slice_rows(start, end);
+                embedded_cold = self.transformation.transform(raw_batch);
+                (embedded_cold.view(), self.transformation.cost_for(end - start))
+            }
+        };
+        self.ledger.record_pull(pull_cost);
         let labels = &self.task.train.labels[start..end];
         let state = self.state.as_mut().expect("state initialised by ensure_state");
         let before = state.folded_pairs();
-        let err = state.append(embedded.view(), labels);
+        let err = state.append(embedded, labels);
         self.ledger.record_eval_pairs(state.folded_pairs() - before);
         self.consumed = end;
         err

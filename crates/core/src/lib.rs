@@ -19,7 +19,11 @@
 //!    target, per-transformation convergence curves, and a log-linear
 //!    extrapolation of how many extra samples would be needed,
 //! 5. after label cleaning, the study re-runs incrementally in `O(test)`
-//!    ([`incremental::IncrementalStudy`]).
+//!    ([`incremental::IncrementalStudy`]),
+//! 6. many studies are served concurrently — fair round interleaving on the
+//!    persistent worker pool, per-tenant embedding caches for warm repeat
+//!    requests, per-round progress streaming
+//!    ([`service::FeasibilityService`]).
 //!
 //! The [`theory`] module computes the regime quantities `δ_f`, `Δ_f`,
 //! `γ_{f,n}` of Section IV-B on synthetic tasks with known BER, reproducing
@@ -29,10 +33,12 @@ pub mod arm;
 pub mod config;
 pub mod guidance;
 pub mod incremental;
+pub mod service;
 pub mod study;
 pub mod theory;
 
 pub use config::SnoopyConfig;
 pub use guidance::AdditionalGuidance;
 pub use incremental::IncrementalStudy;
+pub use service::{FeasibilityService, StudyProgress, StudyRequest};
 pub use study::{FeasibilityDecision, FeasibilityStudy, StudyReport, TransformationResult};

@@ -87,6 +87,75 @@ impl StudyReport {
     }
 }
 
+/// Reads one arm's outcome into a [`TransformationResult`]. Shared between
+/// the one-shot study and the multi-tenant service so both report the exact
+/// same numbers from the exact same state.
+pub(crate) fn result_of(arm: &TransformationArm<'_>, name: &str, num_classes: usize) -> TransformationResult {
+    let curve = arm.curve();
+    let one_nn_error = curve.last().map(|&(_, e)| e).unwrap_or(1.0);
+    TransformationResult {
+        name: name.to_string(),
+        one_nn_error,
+        ber_estimate: cover_hart_lower_bound(one_nn_error, num_classes),
+        curve,
+        consumed_samples: arm.consumed_samples(),
+        simulated_cost: arm.simulated_cost(),
+        eval_pairs: snoopy_bandit::Arm::eval_pairs(arm),
+    }
+}
+
+/// Aggregates by taking the minimum over all transformations that actually
+/// consumed data (Section IV): `(best index, aggregated BER estimate)`.
+pub(crate) fn best_of(results: &[TransformationResult]) -> (usize, f64) {
+    results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.consumed_samples > 0)
+        .map(|(i, r)| (i, r.ber_estimate))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0, 1.0))
+}
+
+/// Builds the final report from aggregated per-transformation results —
+/// decision rule, projected accuracy, gap, and the Section IV-C guidance.
+pub(crate) fn assemble_report(
+    config: &SnoopyConfig,
+    task: &TaskDataset,
+    per_transformation: Vec<TransformationResult>,
+    best_idx: usize,
+    ber_estimate: f64,
+    simulated_cost_seconds: f64,
+    wall_clock_seconds: f64,
+) -> StudyReport {
+    let target_error = config.target_error();
+    let decision = if ber_estimate <= target_error {
+        FeasibilityDecision::Realistic
+    } else {
+        FeasibilityDecision::Unrealistic
+    };
+    let projected_accuracy = 1.0 - ber_estimate;
+    let guidance = AdditionalGuidance::from_results(
+        &per_transformation,
+        best_idx,
+        target_error,
+        task.num_classes,
+        task.train.len(),
+    );
+    StudyReport {
+        task: task.name.clone(),
+        target_accuracy: config.target_accuracy,
+        decision,
+        ber_estimate,
+        projected_accuracy,
+        gap: projected_accuracy - config.target_accuracy,
+        best_transformation: per_transformation[best_idx].name.clone(),
+        per_transformation,
+        simulated_cost_seconds,
+        wall_clock_seconds,
+        guidance,
+    }
+}
+
 /// The feasibility-study engine.
 pub struct FeasibilityStudy {
     config: SnoopyConfig,
@@ -160,34 +229,8 @@ impl FeasibilityStudy {
             .collect();
         let _outcome = run_strategy(self.config.strategy, &mut arms, budget);
 
-        let result_of = |arm: &TransformationArm<'_>, name: &str| {
-            let curve = arm.curve();
-            let one_nn_error = curve.last().map(|&(_, e)| e).unwrap_or(1.0);
-            TransformationResult {
-                name: name.to_string(),
-                one_nn_error,
-                ber_estimate: cover_hart_lower_bound(one_nn_error, task.num_classes),
-                curve,
-                consumed_samples: arm.consumed_samples(),
-                simulated_cost: arm.simulated_cost(),
-                eval_pairs: snoopy_bandit::Arm::eval_pairs(arm),
-            }
-        };
-
-        // Aggregate by taking the minimum over all transformations that
-        // actually consumed data (Section IV).
-        let best_of = |results: &[TransformationResult]| {
-            results
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.consumed_samples > 0)
-                .map(|(i, r)| (i, r.ber_estimate))
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .unwrap_or((0, 1.0))
-        };
-
         let mut per_transformation: Vec<TransformationResult> =
-            arms.iter().enumerate().map(|(i, arm)| result_of(arm, zoo[i].name())).collect();
+            arms.iter().enumerate().map(|(i, arm)| result_of(arm, zoo[i].name(), task.num_classes)).collect();
         let (mut best_idx, mut ber_estimate) = best_of(&per_transformation);
 
         let cache = if finish_winner {
@@ -201,7 +244,8 @@ impl FeasibilityStudy {
                 // budget instead of its zoo-share.
                 arms[finished].set_engine(EvalEngine::parallel());
                 arms[finished].finish();
-                per_transformation[finished] = result_of(&arms[finished], zoo[finished].name());
+                per_transformation[finished] =
+                    result_of(&arms[finished], zoo[finished].name(), task.num_classes);
                 (best_idx, ber_estimate) = best_of(&per_transformation);
                 if best_idx == finished {
                     break;
@@ -216,34 +260,15 @@ impl FeasibilityStudy {
         let simulated_cost: f64 = per_transformation.iter().map(|r| r.simulated_cost).sum();
         drop(arms);
 
-        let target_error = self.config.target_error();
-        let decision = if ber_estimate <= target_error {
-            FeasibilityDecision::Realistic
-        } else {
-            FeasibilityDecision::Unrealistic
-        };
-        let projected_accuracy = 1.0 - ber_estimate;
-        let guidance = AdditionalGuidance::from_results(
-            &per_transformation,
-            best_idx,
-            target_error,
-            task.num_classes,
-            task.train.len(),
-        );
-
-        let report = StudyReport {
-            task: task.name.clone(),
-            target_accuracy: self.config.target_accuracy,
-            decision,
-            ber_estimate,
-            projected_accuracy,
-            gap: projected_accuracy - self.config.target_accuracy,
-            best_transformation: per_transformation[best_idx].name.clone(),
+        let report = assemble_report(
+            &self.config,
+            task,
             per_transformation,
-            simulated_cost_seconds: simulated_cost,
-            wall_clock_seconds: start.elapsed().as_secs_f64(),
-            guidance,
-        };
+            best_idx,
+            ber_estimate,
+            simulated_cost,
+            start.elapsed().as_secs_f64(),
+        );
         (report, cache)
     }
 }

@@ -18,8 +18,10 @@
 //! 0.9 $/GPU-hour), producing the cost-versus-cleaning traces of
 //! Figures 9, 10 and 21–27.
 
+pub mod server;
 pub mod simulate;
 pub mod strategy;
 
+pub use server::{run_server_scenario, ServerRun};
 pub use simulate::{simulate, SimulationConfig, Trace, TracePoint};
 pub use strategy::UserStrategy;

@@ -1,0 +1,113 @@
+//! The server-side view of the use case: feasibility studies as a
+//! multi-tenant service.
+//!
+//! The paper pitches feasibility studies as a cheap, repeatable check users
+//! run *before* spending on training or labelling. Operationally that means
+//! a server holding many users' tasks warm and answering repeated study
+//! requests — exactly what [`FeasibilityService`] provides. This module
+//! packages the serving scenario the benchmarks measure: `N` tenants each
+//! submitting `R` study requests, every round served concurrently on the
+//! shared worker pool, with warm per-tenant embedding caches after each
+//! tenant's first request.
+//!
+//! The scenario asserts its own correctness while it runs: every repeated
+//! request must report the same winner and BER estimate as the tenant's
+//! first (the service's determinism contract), and requests after the first
+//! must charge zero simulated inference (the warm-cache contract).
+
+use snoopy_core::{FeasibilityService, SnoopyConfig, StudyReport, StudyRequest};
+use snoopy_data::TaskDataset;
+use snoopy_embeddings::{zoo_for_task, Transformation};
+use std::time::Instant;
+
+/// Outcome of one serving scenario run.
+pub struct ServerRun {
+    /// Final report per tenant (identical to every earlier round's report).
+    pub reports: Vec<StudyReport>,
+    /// Total studies answered (`tenants × requests_per_tenant`).
+    pub total_studies: usize,
+    /// Wall-clock seconds for the whole scenario.
+    pub wall_clock_seconds: f64,
+    /// Aggregate throughput: `total_studies / wall_clock_seconds`.
+    pub studies_per_second: f64,
+    /// Progress events streamed across all rounds and tenants.
+    pub progress_events: usize,
+}
+
+/// Runs the serving scenario: every tenant submits `requests_per_tenant`
+/// study requests, one per serving round; all tenants of a round are served
+/// concurrently by one [`FeasibilityService`] (so round 1 is cold, every
+/// later round is warm from the per-tenant embedding caches).
+///
+/// # Panics
+/// Panics if a repeated request reports a different winner or BER estimate
+/// than the tenant's first, or if a warm request charges inference cost.
+pub fn run_server_scenario(
+    tasks: &[TaskDataset],
+    requests_per_tenant: usize,
+    config: SnoopyConfig,
+) -> ServerRun {
+    assert!(!tasks.is_empty() && requests_per_tenant > 0, "scenario needs tenants and requests");
+    let zoos: Vec<Vec<Box<dyn Transformation>>> = tasks.iter().map(|task| zoo_for_task(task, 7)).collect();
+    let mut service = FeasibilityService::new();
+    let mut progress_events = 0usize;
+    let mut first_round: Option<Vec<StudyReport>> = None;
+    let mut reports = Vec::new();
+    let start = Instant::now();
+    for round in 0..requests_per_tenant {
+        let requests: Vec<StudyRequest<'_>> =
+            tasks.iter().zip(&zoos).map(|(task, zoo)| StudyRequest { task, zoo, config }).collect();
+        reports = service.serve_with_progress(&requests, |_| progress_events += 1);
+        match &first_round {
+            None => first_round = Some(reports.clone()),
+            Some(first) => {
+                for (warm, cold) in reports.iter().zip(first) {
+                    assert_eq!(
+                        warm.best_transformation, cold.best_transformation,
+                        "a repeated request must report the same winner"
+                    );
+                    assert_eq!(
+                        warm.ber_estimate, cold.ber_estimate,
+                        "a repeated request must report the same BER estimate"
+                    );
+                    assert_eq!(
+                        warm.simulated_cost_seconds, 0.0,
+                        "round {round}: warm requests must charge no inference"
+                    );
+                }
+            }
+        }
+    }
+    let wall_clock_seconds = start.elapsed().as_secs_f64();
+    let total_studies = tasks.len() * requests_per_tenant;
+    ServerRun {
+        reports,
+        total_studies,
+        wall_clock_seconds,
+        studies_per_second: total_studies as f64 / wall_clock_seconds,
+        progress_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_core::FeasibilityStudy;
+    use snoopy_data::registry::{load_clean, SizeScale};
+
+    #[test]
+    fn scenario_matches_one_shot_studies_and_streams_progress() {
+        let tasks = vec![load_clean("mnist", SizeScale::Tiny, 1), load_clean("sst2", SizeScale::Tiny, 3)];
+        let config = SnoopyConfig::with_target(0.85).batch_fraction(0.25);
+        let run = run_server_scenario(&tasks, 3, config);
+        assert_eq!(run.total_studies, 6);
+        assert!(run.progress_events > 0);
+        assert!(run.studies_per_second > 0.0);
+        for (report, task) in run.reports.iter().zip(&tasks) {
+            let zoo = zoo_for_task(task, 7);
+            let solo = FeasibilityStudy::new(config).run(task, &zoo);
+            assert_eq!(report.best_transformation, solo.best_transformation);
+            assert_eq!(report.ber_estimate, solo.ber_estimate);
+        }
+    }
+}

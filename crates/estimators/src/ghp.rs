@@ -22,11 +22,14 @@ use snoopy_knn::{EvalEngine, Metric, MetricKernel, NearestHit};
 use snoopy_linalg::{DatasetView, Matrix};
 
 /// Remaining relaxation work (`frontier points × dims`) above which a Prim
-/// round runs on the parallel engine; below it a single-threaded engine
-/// avoids paying a thread-scope spawn/join (tens of microseconds) for a
-/// round whose distance arithmetic costs less than that. Re-evaluated every
-/// round, because the frontier shrinks as the tree grows.
-const PARALLEL_RELAXATION_MIN_WORK: usize = 1 << 18;
+/// round fans out across the persistent pool; below it a single-threaded
+/// engine skips the chunk hand-off. Submitting to the pool is a queue push
+/// plus a condvar wake (sub-microsecond), not a thread spawn, so the cutoff
+/// sits far lower than the old per-round `std::thread::scope` threshold —
+/// it only needs to cover the push/wake and the cache cost of splitting a
+/// tiny frontier. Re-evaluated every round, because the frontier shrinks as
+/// the tree grows.
+const PARALLEL_RELAXATION_MIN_WORK: usize = 1 << 14;
 
 /// GHP/MST-based BER estimator.
 #[derive(Debug, Clone)]

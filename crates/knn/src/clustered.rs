@@ -696,7 +696,7 @@ impl ClusteredIndex {
         }
         let chunk = n.div_ceil(threads);
         let mut stats = vec![PruneStats::default(); n.div_ceil(chunk)];
-        std::thread::scope(|scope| {
+        snoopy_pool::scope(|scope| {
             for ((t, slot), stat) in slots.chunks_mut(chunk).enumerate().zip(stats.iter_mut()) {
                 let start = t * chunk;
                 let chunk_fn = &chunk_fn;

@@ -7,7 +7,8 @@
 //! rest of the workspace relies on:
 //!
 //! 1. **Chunk parallelism.** Queries are split into contiguous chunks, one
-//!    per worker thread (`std::thread::scope`; no runtime dependency).
+//!    per worker of the persistent work-stealing pool (`snoopy_pool::scope`;
+//!    submitting a chunk is a queue push, not a thread spawn).
 //! 2. **Row blocking + tiling.** Each worker walks the training rows in
 //!    blocks of [`EvalEngine::block_rows`] rows so a block stays
 //!    cache-resident while every query of the chunk scans it, and inside a
@@ -94,6 +95,15 @@ impl TopKState {
         &self.hits
     }
 
+    /// Clears the state for reuse at capacity `k` (clamped to ≥ 1), keeping
+    /// the hit buffer's allocation — the scratch-reset of
+    /// [`EvalEngine::topk_with`].
+    #[inline]
+    pub fn reset(&mut self, k: usize) {
+        self.k = k.max(1);
+        self.hits.clear();
+    }
+
     /// Offers one candidate. Keeps the lexicographically smallest `k`
     /// `(distance, index)` pairs seen so far.
     #[inline]
@@ -131,7 +141,7 @@ impl TopKState {
 /// [`EvalEngine::topk`], incrementally from streamed batches via
 /// [`EvalEngine::update_topk`] + [`NeighborTable::from_states`], or snapshot
 /// from a grown [`crate::IncrementalTopK`] — bit-identical in every case.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NeighborTable {
     /// Neighbours stored per query: `min(k, candidate training rows)`.
     per_query: usize,
@@ -154,6 +164,23 @@ impl NeighborTable {
             hits.extend_from_slice(&s.hits);
         }
         Self { per_query, num_queries: states.len(), hits }
+    }
+
+    /// [`NeighborTable::from_states`] into an existing table, reusing its
+    /// hit buffer — the zero-alloc snapshot of [`EvalEngine::topk_with`].
+    ///
+    /// # Panics
+    /// Panics if states disagree on their hit count.
+    pub fn assign_from_states(&mut self, states: &[TopKState]) {
+        let per_query = states.first().map_or(0, |s| s.hits.len());
+        self.hits.clear();
+        self.hits.reserve(states.len() * per_query);
+        for s in states {
+            assert_eq!(s.hits.len(), per_query, "ragged top-k states cannot form a table");
+            self.hits.extend_from_slice(&s.hits);
+        }
+        self.per_query = per_query;
+        self.num_queries = states.len();
     }
 
     /// Wraps the flat k=1 layout (one [`NearestHit`] per query) as a table.
@@ -275,9 +302,13 @@ impl NeighborTable {
     }
 }
 
-/// Number of worker threads the parallel engine uses by default.
+/// Number of worker threads the parallel engine uses by default: the worker
+/// count of the current [`snoopy_pool`] pool (the installed one inside a
+/// [`snoopy_pool::ThreadPool::install`] frame, else the global pool, whose
+/// size is resolved once from `SNOOPY_POOL_WORKERS` /
+/// `available_parallelism()`).
 pub fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
+    snoopy_pool::workers()
 }
 
 /// The tile-blocked, chunk-parallel evaluation engine.
@@ -383,7 +414,7 @@ impl EvalEngine {
             return;
         }
         let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
+        snoopy_pool::scope(|scope| {
             for (t, slot) in best.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
                 scope.spawn(move || {
@@ -503,7 +534,7 @@ impl EvalEngine {
             return;
         }
         let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
+        snoopy_pool::scope(|scope| {
             for (t, slot) in states.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
                 scope.spawn(move || {
@@ -609,6 +640,44 @@ impl EvalEngine {
         NeighborTable::from_states(&states)
     }
 
+    /// [`EvalEngine::topk`] with caller-owned scratch: the per-query states,
+    /// the kernel's norm caches, and the output table all live in `scratch`
+    /// and are reused call after call, so once the scratch has warmed up to
+    /// the largest query count seen, a steady-state serving loop allocates
+    /// nothing per call. Results are bit-identical to [`EvalEngine::topk`].
+    pub fn topk_with<'s>(
+        &self,
+        scratch: &'s mut TopKScratch,
+        train: DatasetView<'_>,
+        queries: DatasetView<'_>,
+        metric: Metric,
+        k: usize,
+    ) -> &'s NeighborTable {
+        let (kernel, states, table) = scratch.prepare(metric, queries.rows(), k);
+        kernel.bind_queries(queries);
+        kernel.bind_train(train);
+        self.update_topk(queries, kernel, train, 0, states, None);
+        table.assign_from_states(states);
+        table
+    }
+
+    /// [`EvalEngine::topk_loo`] with caller-owned scratch — see
+    /// [`EvalEngine::topk_with`] for the reuse contract.
+    pub fn topk_loo_with<'s>(
+        &self,
+        scratch: &'s mut TopKScratch,
+        data: DatasetView<'_>,
+        metric: Metric,
+        k: usize,
+    ) -> &'s NeighborTable {
+        let (kernel, states, table) = scratch.prepare(metric, data.rows(), k);
+        kernel.bind_queries(data);
+        kernel.bind_train(data);
+        self.update_topk(data, kernel, data, 0, states, Some(0));
+        table.assign_from_states(states);
+        table
+    }
+
     /// Blocked, chunk-parallel accumulation of per-class Gaussian kernel
     /// sums — the KDE hot loop. For every query `q` and class `c` this
     /// returns (query-major, `num_classes` entries per query)
@@ -647,7 +716,7 @@ impl EvalEngine {
             } else {
                 let chunk = n.div_ceil(threads);
                 let kernel = &kernel;
-                std::thread::scope(|scope| {
+                snoopy_pool::scope(|scope| {
                     for (t, slot) in acc.chunks_mut(chunk * c).enumerate() {
                         let start = t * chunk;
                         scope.spawn(move || {
@@ -705,6 +774,53 @@ impl EvalEngine {
             }
             b0 = bend;
         }
+    }
+}
+
+/// Caller-owned scratch for the zero-alloc top-k entry points
+/// ([`EvalEngine::topk_with`] / [`EvalEngine::topk_loo_with`]): the
+/// per-query [`TopKState`]s, the [`MetricKernel`] with its norm caches, and
+/// the output [`NeighborTable`] are all owned here and recycled call after
+/// call — the `Reuse`-variant API idiom. A fresh scratch behaves exactly
+/// like the allocating entry points; reuse only skips the allocations.
+#[derive(Default)]
+pub struct TopKScratch {
+    kernel: Option<MetricKernel>,
+    states: Vec<TopKState>,
+    table: NeighborTable,
+}
+
+impl TopKScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The table produced by the most recent `*_with` call (empty before
+    /// any call).
+    pub fn table(&self) -> &NeighborTable {
+        &self.table
+    }
+
+    /// Resets the states to `n` queries at capacity `k`, keeps (or swaps,
+    /// on a metric change) the kernel, and hands all three buffers out.
+    fn prepare(
+        &mut self,
+        metric: Metric,
+        n: usize,
+        k: usize,
+    ) -> (&mut MetricKernel, &mut [TopKState], &mut NeighborTable) {
+        if !matches!(&self.kernel, Some(kr) if kr.metric() == metric) {
+            self.kernel = Some(MetricKernel::new(metric));
+        }
+        let kernel = self.kernel.as_mut().expect("kernel ensured above");
+        let k = k.max(1);
+        self.states.truncate(n);
+        for s in self.states.iter_mut() {
+            s.reset(k);
+        }
+        self.states.resize_with(n, || TopKState::new(k));
+        (kernel, &mut self.states, &mut self.table)
     }
 }
 

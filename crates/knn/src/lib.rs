@@ -69,7 +69,7 @@ pub mod quantized;
 
 pub use brute::BruteForceIndex;
 pub use clustered::{ClusteredIndex, EvalBackend, PruneStats, ResidentBytes};
-pub use engine::{EvalEngine, NearestHit, NeighborTable, TopKState};
+pub use engine::{EvalEngine, NearestHit, NeighborTable, TopKScratch, TopKState};
 pub use incremental::{IncrementalTopK, RepartitionPolicy};
 pub use kernel::MetricKernel;
 pub use metric::Metric;

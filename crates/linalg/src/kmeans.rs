@@ -97,14 +97,14 @@ fn assign_rows(data: DatasetView<'_>, centroids: &Matrix, threads: usize, out: &
         return assign_chunk(data, centroids, 0, out);
     }
     let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+    let mut changed = vec![0usize; out.len().div_ceil(chunk)];
+    snoopy_pool::scope(|scope| {
+        for ((t, slot), changed) in out.chunks_mut(chunk).enumerate().zip(changed.iter_mut()) {
             let start = t * chunk;
-            handles.push(scope.spawn(move || assign_chunk(data, centroids, start, slot)));
+            scope.spawn(move || *changed = assign_chunk(data, centroids, start, slot));
         }
-        handles.into_iter().map(|h| h.join().expect("assignment worker panicked")).sum()
-    })
+    });
+    changed.iter().sum()
 }
 
 /// One-shot nearest-centroid assignment of `data`'s rows against a fixed
