@@ -23,7 +23,12 @@
 //! 6. many studies are served concurrently — fair round interleaving on the
 //!    persistent worker pool, per-tenant embedding caches for warm repeat
 //!    requests, per-round progress streaming
-//!    ([`service::FeasibilityService`]).
+//!    ([`service::FeasibilityService`]),
+//! 7. deployed tasks keep the answer live: a sliding window over the
+//!    labelled stream maintains windowed BER estimates per transformation
+//!    through eviction-enabled incremental states and raises a drift alarm
+//!    when the windowed estimate departs from the study-time one
+//!    ([`sliding::SlidingWindowStudy`]).
 //!
 //! The [`theory`] module computes the regime quantities `δ_f`, `Δ_f`,
 //! `γ_{f,n}` of Section IV-B on synthetic tasks with known BER, reproducing
@@ -34,6 +39,7 @@ pub mod config;
 pub mod guidance;
 pub mod incremental;
 pub mod service;
+pub mod sliding;
 pub mod study;
 pub mod theory;
 
@@ -41,4 +47,5 @@ pub use config::SnoopyConfig;
 pub use guidance::AdditionalGuidance;
 pub use incremental::IncrementalStudy;
 pub use service::{FeasibilityService, StudyProgress, StudyRequest};
+pub use sliding::{DriftAlarm, SlidingWindowConfig, SlidingWindowReport, SlidingWindowStudy, WindowProgress};
 pub use study::{FeasibilityDecision, FeasibilityStudy, StudyReport, TransformationResult};

@@ -20,8 +20,10 @@
 
 pub mod server;
 pub mod simulate;
+pub mod sliding;
 pub mod strategy;
 
 pub use server::{run_server_scenario, ServerRun};
 pub use simulate::{simulate, SimulationConfig, Trace, TracePoint};
+pub use sliding::{run_sliding_scenario, SlidingRun};
 pub use strategy::UserStrategy;

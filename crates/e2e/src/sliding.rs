@@ -1,0 +1,104 @@
+//! The deployed-task view of the use case: sliding-window drift monitoring.
+//!
+//! A feasibility study's answer is pinned to the data it saw at study time.
+//! The deployed task keeps streaming labelled rows, and the distribution
+//! drifts — so the operational companion to the one-shot study is a monitor
+//! that keeps a windowed BER estimate live and alarms when it departs from
+//! the study-time answer ([`SlidingWindowStudy`]). This module packages the
+//! monitoring scenario the smoke tests and benchmarks drive: run the
+//! study-time baseline, stream a drift-free phase (the task's own rows, no
+//! alarm expected), then an injected concept shift (labels cycled to the
+//! next class) that the alarm must catch.
+//!
+//! The scenario asserts its own correctness while it runs: the window must
+//! actually slide (≥ 3 positions), the drift-free phase must stay quiet, and
+//! the injected shift must raise an alarm.
+
+use snoopy_core::{SlidingWindowConfig, SlidingWindowStudy, SnoopyConfig, WindowProgress};
+use snoopy_data::{Dataset, TaskDataset};
+use snoopy_embeddings::zoo_for_task;
+
+/// Outcome of one monitoring scenario run.
+pub struct SlidingRun {
+    /// The study-time aggregated BER estimate the monitor compared against.
+    pub baseline_ber: f64,
+    /// Window positions streamed across both phases.
+    pub positions: usize,
+    /// Position (1-based, within the whole stream) of the first alarm.
+    pub first_alarm_position: usize,
+    /// Windowed BER estimate at the first alarm.
+    pub alarm_ber: f64,
+    /// Total queries re-scanned by buffer-drain evictions across the run.
+    pub affected_queries: usize,
+    /// Total incremental evaluation work (query–row pairs, post-pruning).
+    pub eval_pairs: u64,
+}
+
+/// Runs the monitoring scenario on `task`: a drift-free phase streaming the
+/// task's own training rows, followed by a concept-shift phase streaming the
+/// same rows with every label cycled to the next class.
+///
+/// # Panics
+/// Panics if the window slides fewer than 3 positions, if the drift-free
+/// phase raises an alarm, or if the injected shift fails to raise one.
+pub fn run_sliding_scenario(
+    task: &TaskDataset,
+    window: SlidingWindowConfig,
+    config: SnoopyConfig,
+) -> SlidingRun {
+    let zoo = zoo_for_task(task, 7);
+    let clean_rows = task.train.len();
+
+    // Phase 1 rows are the task's own training split; phase 2 re-streams the
+    // same features under cycled labels — a pure concept shift.
+    let features = task.train.features.vstack(&task.train.features);
+    let mut labels = task.train.labels.clone();
+    labels.extend(task.train.labels.iter().map(|&y| (y + 1) % task.num_classes as u32));
+    let stream = Dataset::new_clean(features, labels);
+
+    let study = SlidingWindowStudy::new(config, window);
+    let mut events: Vec<WindowProgress> = Vec::new();
+    let report = study.run_with_progress(task, &zoo, &stream, |e| events.push(e));
+
+    assert!(report.positions >= 3, "the window must slide at least 3 positions");
+    let shift_from = clean_rows.div_ceil(window.slide);
+    // The window straddles the phase boundary for a few slides; only
+    // positions whose window is entirely pre-shift must stay quiet.
+    let quiet_until = clean_rows.saturating_sub(window.window) / window.slide;
+    assert!(
+        report.alarms.iter().all(|a| a.position > quiet_until),
+        "the drift-free phase must not alarm: {:?}",
+        report.alarms.first()
+    );
+    let first_alarm = report.alarms.first().expect("the injected label shift must raise a drift alarm");
+    assert!(
+        first_alarm.position >= shift_from.min(report.positions),
+        "the alarm must come from the shifted phase"
+    );
+    SlidingRun {
+        baseline_ber: report.baseline.ber_estimate,
+        positions: report.positions,
+        first_alarm_position: first_alarm.position,
+        alarm_ber: first_alarm.windowed_ber,
+        affected_queries: report.affected_queries,
+        eval_pairs: report.eval_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_data::registry::{load_clean, SizeScale};
+
+    #[test]
+    fn sliding_smoke_alarms_on_injected_shift() {
+        let task = load_clean("mnist", SizeScale::Tiny, 1);
+        let window = SlidingWindowConfig { window: 48, slide: 16, drift_margin: 0.12, slack: 3 };
+        let config = SnoopyConfig::with_target(0.85).batch_fraction(0.25);
+        let run = run_sliding_scenario(&task, window, config);
+        assert!(run.positions >= 3);
+        assert!(run.first_alarm_position <= run.positions);
+        assert!(run.alarm_ber > run.baseline_ber, "a label shift makes the task harder");
+        assert!(run.eval_pairs > 0);
+    }
+}

@@ -170,7 +170,7 @@ use crate::engine::{EvalEngine, NeighborTable, TopKState};
 use crate::kernel::MetricKernel;
 use crate::metric::Metric;
 use crate::quantized::{AffineQuantizer, QuantizedQuery, QuantizedShadow};
-use snoopy_linalg::kmeans::{lloyd_kmeans, partition_rows};
+use snoopy_linalg::kmeans::{lloyd_kmeans, partition_rows, RowPartition};
 use snoopy_linalg::{DatasetView, Matrix};
 
 /// Which evaluation path a distance consumer routes through.
@@ -571,6 +571,68 @@ impl ClusteredIndex {
         self.shadow.is_some()
     }
 
+    /// Removes every row whose *original* training index satisfies `evict`,
+    /// compacting the cluster-contiguous row buffers, the per-row metadata,
+    /// the int8 shadow (codes and bound bookkeeping), and dropping clusters
+    /// that become empty — so [`ClusteredIndex::resident_bytes`] shrinks
+    /// truthfully. Surviving cluster radii are recomputed from the surviving
+    /// members; `max_norm` (a global upper bound in the kernel-error term) is
+    /// kept as-is — still a valid bound for the subset, trading a sliver of
+    /// pruning power until the next full re-partition. Results stay
+    /// bit-identical to an index built cold over the surviving rows with the
+    /// same assignment. Returns the number of rows removed.
+    ///
+    /// The index may become empty; queries against an empty index admit
+    /// nothing (the sliding-window caller replaces it at that point).
+    pub fn evict_rows(&mut self, evict: impl Fn(usize) -> bool) -> usize {
+        let keep: Vec<bool> = self.original.iter().map(|&o| !evict(o)).collect();
+        if keep.iter().all(|&k| k) {
+            return 0;
+        }
+        // Compact the per-row centroid distances in the same keep order.
+        let mut kept = 0usize;
+        for (r, &k) in keep.iter().enumerate() {
+            if k {
+                self.row_center[kept] = self.row_center[r];
+                kept += 1;
+            }
+        }
+        self.row_center.truncate(kept);
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.retain_rows(&keep);
+        }
+        // Reuse the partition bookkeeping for rows / originals / offsets.
+        let mut part = RowPartition {
+            data: std::mem::replace(&mut self.data, Matrix::zeros(0, 0)),
+            offsets: std::mem::take(&mut self.offsets),
+            original: std::mem::take(&mut self.original),
+        };
+        let removed = part.retain_rows(&keep);
+        // Drop clusters that became empty, keeping centroid/radius/offset
+        // arrays aligned, and re-tighten surviving radii.
+        let groups = part.groups();
+        let keep_clusters: Vec<usize> = (0..groups).filter(|&c| part.group_len(c) > 0).collect();
+        if keep_clusters.len() != groups {
+            self.centroids = self.centroids.view().select_rows(&keep_clusters);
+            let mut offsets = Vec::with_capacity(keep_clusters.len() + 1);
+            offsets.push(0usize);
+            for &c in &keep_clusters {
+                offsets.push(offsets.last().expect("non-empty") + part.group_len(c));
+            }
+            part.offsets = offsets;
+        }
+        self.radii.clear();
+        for c in 0..part.offsets.len() - 1 {
+            let members = &self.row_center[part.offsets[c]..part.offsets[c + 1]];
+            self.radii.push(members.iter().fold(0.0f64, |r, &d| r.max(d)));
+        }
+        self.data = part.data;
+        self.offsets = part.offsets;
+        self.original = part.original;
+        self.kernel.bind_train(self.data.view());
+        removed
+    }
+
     /// The resident heap footprint of the index, bucketed by role.
     pub fn resident_bytes(&self) -> ResidentBytes {
         ResidentBytes {
@@ -602,7 +664,9 @@ impl ClusteredIndex {
         self.data.rows()
     }
 
-    /// Whether the index is empty (never true after construction).
+    /// Whether the index is empty (possible only after
+    /// [`ClusteredIndex::evict_rows`] removed every row — an empty index
+    /// admits nothing).
     pub fn is_empty(&self) -> bool {
         self.data.rows() == 0
     }

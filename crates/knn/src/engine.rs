@@ -128,6 +128,34 @@ impl TopKState {
             self.hits.pop();
         }
     }
+
+    /// Removes every hit whose global training index is below `min_index` —
+    /// the eviction primitive of the sliding-window successor state
+    /// ([`crate::IncrementalTopK::evict_oldest`]). The surviving hits keep
+    /// their ascending `(distance, index)` order.
+    ///
+    /// Returns `(removed_in_prefix, removed_total)` where `removed_in_prefix`
+    /// counts removals among the first `prefix` positions — the caller uses it
+    /// to shrink its certified-exact prefix length (see the admission-buffer
+    /// invariant on [`crate::IncrementalTopK`]).
+    pub fn evict_below(&mut self, min_index: usize, prefix: usize) -> (usize, usize) {
+        let mut removed_prefix = 0usize;
+        let mut kept = 0usize;
+        for i in 0..self.hits.len() {
+            let h = self.hits[i];
+            if h.index < min_index {
+                if i < prefix {
+                    removed_prefix += 1;
+                }
+            } else {
+                self.hits[kept] = h;
+                kept += 1;
+            }
+        }
+        let removed = self.hits.len() - kept;
+        self.hits.truncate(kept);
+        (removed_prefix, removed)
+    }
 }
 
 /// Query-major top-k results: the `per_query` nearest training rows of every
@@ -162,6 +190,22 @@ impl NeighborTable {
         for s in states {
             assert_eq!(s.hits.len(), per_query, "ragged top-k states cannot form a table");
             hits.extend_from_slice(&s.hits);
+        }
+        Self { per_query, num_queries: states.len(), hits }
+    }
+
+    /// Snapshots the first `per_query` hits of every state into a table —
+    /// the truncating variant used by eviction-enabled
+    /// [`crate::IncrementalTopK`] states, whose `k + slack` admission buffers
+    /// may be ragged beyond the certified k-prefix.
+    ///
+    /// # Panics
+    /// Panics if any state holds fewer than `per_query` hits.
+    pub fn from_state_prefixes(states: &[TopKState], per_query: usize) -> Self {
+        let mut hits = Vec::with_capacity(states.len() * per_query);
+        for s in states {
+            assert!(s.hits.len() >= per_query, "state holds fewer hits than the requested prefix");
+            hits.extend_from_slice(&s.hits[..per_query]);
         }
         Self { per_query, num_queries: states.len(), hits }
     }

@@ -10,7 +10,7 @@
 //! [`NeighborTable`] — replacing the three overlapping predecessors
 //! (`StreamedOneNn`, `IncrementalOneNn`, and per-call table builds).
 //!
-//! Two mutations, two cost classes:
+//! Three mutations, three cost classes:
 //!
 //! * **Train-row append** ([`IncrementalTopK::append`]) folds a batch of new
 //!   training rows into every query's bounded top-k state through the tiled
@@ -36,6 +36,34 @@
 //!   error ([`IncrementalTopK::knn_error`]) refresh in one `O(test)` pass —
 //!   the paper's "0.2 ms for 10 K test / 50 K training samples" real-time
 //!   feedback, now for any `k ≤` the state's capacity.
+//! * **Row eviction** ([`IncrementalTopK::evict_oldest`], opt-in via
+//!   [`IncrementalTopK::with_eviction`]) ages the oldest rows out of a
+//!   sliding window. A bounded top-k cannot pop a member without backfill,
+//!   so an eviction-enabled state keeps a **`k + slack` admission buffer**
+//!   per query and tracks, per query, the *certified-exact prefix length*
+//!   `valid` of that buffer. The invariant: the first `valid` buffer entries
+//!   are exactly the top-`valid` of the surviving window, because every row
+//!   ever refused or ejected by a full buffer was lexicographically worse
+//!   than the buffer's worst at that moment (which only improves during
+//!   appends), and eviction only removes entries. A pure append re-certifies
+//!   the whole buffer only when the pre-append buffer was untainted **and**
+//!   full (or held the entire window): a fully-certified full buffer is the
+//!   exact top-`(k + slack)` of the window, so every absent window row ranks
+//!   behind all of its members and can never climb into the refilled prefix.
+//!   After a partial eviction drain the buffer is short, and rows it refused
+//!   earlier were only ever compared against the *old full* buffer — they may
+//!   beat freshly appended rows, so the certified prefix must stay at its
+//!   pre-append length until a drain-triggered re-scan restores it. An
+//!   eviction shrinks
+//!   `valid` by the members it removed from the certified prefix. Only when
+//!   a query's certified prefix drops below `min(k, window)` — its buffer
+//!   *drained* — is that one query re-scanned against the surviving window
+//!   (pruned through the persistent window index on clustered backends):
+//!   eviction costs `O(buffers) + O(affected queries × window)`, never a
+//!   full rebuild. On clustered backends the evicted rows leave the
+//!   [`ClusteredIndex`] cluster buffers and the int8 shadow metadata in
+//!   place ([`ClusteredIndex::evict_rows`]), so `resident_bytes` shrinks
+//!   truthfully with the window.
 //!
 //! The state is bit-identical to a cold build at every point: after any
 //! sequence of appends, [`IncrementalTopK::table`] equals
@@ -43,7 +71,10 @@
 //! `tests/proptest_incremental.rs` across metrics, `k`, batch shapes,
 //! backends, and interleaved relabels), because every distance flows through
 //! the same [`MetricKernel`] expressions and the same lexicographic
-//! `(distance, index)` admission as the cold path.
+//! `(distance, index)` admission as the cold path. With eviction the same
+//! contract holds at every *window position*: the k-prefix table equals a
+//! cold fold over the surviving window at its global offset (pinned by
+//! `tests/proptest_eviction.rs`, including the buffer-drain re-scan path).
 
 use crate::clustered::{ClusteredIndex, EvalBackend, PruneStats};
 use crate::engine::{EvalEngine, NeighborTable, TopKState};
@@ -145,10 +176,38 @@ struct ClusteredAppendState {
     /// Row prune rate of the previous clustered append (drives
     /// [`RepartitionPolicy::PruneRate`]).
     last_row_prune: Option<f64>,
+    /// Global training index of `data`'s row 0 — 0 until eviction drains
+    /// the buffer's front.
+    base: usize,
+    /// Rows appended since the last full partition. The growth trigger
+    /// compares `rows_at_partition + appended_since` (the *virtual* total,
+    /// which ignores evictions) against the factor — identical to the row
+    /// count for pure-append streams, but still firing periodically under a
+    /// constant-size sliding window, where the real total never grows.
+    appended_since: usize,
+    /// Centroid-assignment distance pairs spent on Lloyd's iterations and
+    /// per-batch assignments, accumulated across re-partitions (never
+    /// reset) — the re-cluster side of the incremental cost ledger that
+    /// `folded_pairs` (kernel pairs only) does not see.
+    partition_pairs: u64,
+    /// Whether to maintain [`ClusteredAppendState::window_index`] (set when
+    /// the owner enabled eviction).
+    track_window: bool,
+    /// Persistent pruned index over the rows of the last full partition —
+    /// the structure evictions compact in place and affected-query re-scans
+    /// fold through. `None` until the first partition with `track_window`,
+    /// or after eviction emptied it.
+    window_index: Option<ClusteredIndex>,
+    /// Global training index of `window_index`'s build-local row 0.
+    index_base: usize,
+    /// Global end (exclusive) of the rows `window_index` covered at build
+    /// time; rows `[indexed_end, consumed)` are the unindexed tail a
+    /// re-scan folds exhaustively.
+    indexed_end: usize,
 }
 
 impl ClusteredAppendState {
-    fn new(nlist: usize, quantize: bool, policy: RepartitionPolicy, cols: usize) -> Self {
+    fn new(nlist: usize, quantize: bool, policy: RepartitionPolicy, cols: usize, base: usize) -> Self {
         Self {
             nlist,
             quantize,
@@ -160,6 +219,13 @@ impl ClusteredAppendState {
             repartitions: 0,
             quantizer: None,
             last_row_prune: None,
+            base,
+            appended_since: 0,
+            partition_pairs: 0,
+            track_window: false,
+            window_index: None,
+            index_base: 0,
+            indexed_end: 0,
         }
     }
 
@@ -167,13 +233,16 @@ impl ClusteredAppendState {
         self.data.len() / self.cols.max(1)
     }
 
-    /// Whether the policy calls for a fresh full partition at `total` rows.
-    fn repartition_due(&self, total: usize) -> bool {
+    /// Whether the policy calls for a fresh full partition.
+    fn repartition_due(&self) -> bool {
         if self.centroids.rows() == 0 {
             return true;
         }
         match self.policy {
-            RepartitionPolicy::Growth(factor) => total as f64 >= factor * self.rows_at_partition as f64,
+            RepartitionPolicy::Growth(factor) => {
+                let virtual_total = self.rows_at_partition + self.appended_since;
+                virtual_total as f64 >= factor * self.rows_at_partition as f64
+            }
             RepartitionPolicy::PruneRate { min_row_prune } => {
                 self.last_row_prune.is_some_and(|rate| rate < min_row_prune)
             }
@@ -191,21 +260,38 @@ impl ClusteredAppendState {
         engine: EvalEngine,
     ) -> ClusteredIndex {
         self.data.extend_from_slice(batch.data());
+        self.appended_since += batch.rows();
         let total = self.rows();
-        let assignments = if self.repartition_due(total) {
+        let assignments = if self.repartition_due() {
             let all = DatasetView::from_raw(&self.data, total, self.cols);
             let km = lloyd_kmeans(all, self.nlist, KMEANS_MAX_ITERS, KMEANS_SEED, engine.threads());
+            self.partition_pairs += (km.iterations * total * km.centroids.rows()) as u64;
             self.centroids = km.centroids;
             self.rows_at_partition = total;
+            self.appended_since = 0;
             self.repartitions += 1;
             // Re-fit the affine on the same pass — the only time the frozen
             // quantizer moves.
             self.quantizer = self.quantize.then(|| AffineQuantizer::fit(all));
+            // The eviction path keeps a persistent pruned index over the
+            // partitioned window so drained queries re-scan through
+            // triangle-inequality bounds instead of exhaustively.
+            if self.track_window {
+                let mut wi =
+                    ClusteredIndex::from_assignments(all, metric, &self.centroids, &km.assignments, engine);
+                if let Some(q) = self.quantizer.clone() {
+                    wi.quantize_with(q);
+                }
+                self.index_base = self.base;
+                self.indexed_end = self.base + total;
+                self.window_index = Some(wi);
+            }
             // The batch occupies the tail of the just-partitioned buffer, so
             // its assignments come for free (a max_iters exit may leave them
             // one update step stale — valid bounds either way).
             km.assignments[total - batch.rows()..].to_vec()
         } else {
+            self.partition_pairs += (batch.rows() * self.centroids.rows()) as u64;
             assign_to_centroids(batch, &self.centroids, engine.threads())
         };
         let mut index =
@@ -215,6 +301,39 @@ impl ClusteredAppendState {
         }
         index
     }
+
+    /// Drops every retained row with a global index below `new_start`: the
+    /// raw re-partition buffer drains from the front and the persistent
+    /// window index compacts its cluster buffers and shadow metadata in
+    /// place.
+    fn evict_front(&mut self, new_start: usize) {
+        let drop_rows = new_start.saturating_sub(self.base).min(self.rows());
+        if drop_rows > 0 {
+            self.data.drain(0..drop_rows * self.cols);
+            self.base += drop_rows;
+        }
+        if let Some(wi) = self.window_index.as_mut() {
+            let index_base = self.index_base;
+            wi.evict_rows(|orig| index_base + orig < new_start);
+            if wi.is_empty() {
+                self.window_index = None;
+            }
+        }
+    }
+}
+
+/// What one [`IncrementalTopK::evict_oldest`] call did: how many rows left
+/// the window and how many queries' admission buffers drained below
+/// `min(k, window)` and were re-scanned. The re-scan count is the cost
+/// driver — eviction is `O(buffers + affected_queries × window)`, never a
+/// rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvictReport {
+    /// Rows actually evicted (requests are clamped to the window).
+    pub rows_evicted: usize,
+    /// Queries whose certified prefix drained and were re-scanned against
+    /// the surviving window.
+    pub affected_queries: usize,
 }
 
 /// The incremental top-k successor state: one bounded per-query top-k heap
@@ -254,6 +373,21 @@ pub struct IncrementalTopK {
     /// buffer so [`IncrementalTopK::knn_error`] never scans the label
     /// arrays. Only grows; an oversized buffer cannot change a vote.
     label_bound: u32,
+    /// Whether eviction is enabled ([`IncrementalTopK::with_eviction`]).
+    eviction: bool,
+    /// Extra admission-buffer capacity per query beyond `k` — buffers hold
+    /// up to `k + slack` hits so evictions backfill from the slack tail.
+    slack: usize,
+    /// Global index of the first surviving training row; rows
+    /// `[window_start, consumed)` form the window.
+    window_start: usize,
+    /// Per-query certified-exact prefix length of the admission buffer (see
+    /// the [module docs](self) invariant). Empty unless eviction is enabled.
+    valid: Vec<usize>,
+    /// Retained copy of the surviving window's feature rows (append order,
+    /// row 0 = global row `window_start`) — the raw material of
+    /// affected-query re-scans. Empty unless eviction is enabled.
+    window: Vec<f32>,
 }
 
 impl IncrementalTopK {
@@ -284,7 +418,33 @@ impl IncrementalTopK {
             prune_stats: PruneStats::default(),
             folded_pairs: 0,
             label_bound,
+            eviction: false,
+            slack: 0,
+            window_start: 0,
+            valid: Vec::new(),
+            window: Vec::new(),
         }
+    }
+
+    /// Enables row eviction with `slack` extra admission-buffer slots per
+    /// query (buffers hold up to `k + slack` hits; larger slack absorbs more
+    /// evictions before a query's buffer drains and forces a re-scan). The
+    /// state retains a copy of the surviving window's rows, and with a
+    /// clustered backend additionally maintains a persistent pruned window
+    /// index for affected-query re-scans.
+    ///
+    /// # Panics
+    /// Panics if any rows were already appended — the window must be
+    /// retained from the first row.
+    pub fn with_eviction(mut self, slack: usize) -> Self {
+        assert_eq!(self.consumed(), 0, "enable eviction before the first append");
+        self.eviction = true;
+        self.slack = slack;
+        for s in &mut self.states {
+            s.reset(self.k + slack);
+        }
+        self.valid = vec![0; self.states.len()];
+        self
     }
 
     /// Cold full build over borrowed views — [`IncrementalTopK::new`]
@@ -334,7 +494,7 @@ impl IncrementalTopK {
     /// re-partitions. The exhaustive path retains nothing but labels and
     /// the per-query heaps.
     pub fn with_backend(mut self, backend: EvalBackend) -> Self {
-        self.backend = backend;
+        self.set_backend(backend);
         self
     }
 
@@ -344,7 +504,16 @@ impl IncrementalTopK {
     /// added to the partition — the centroids then cover only
     /// clustered-appended rows, which costs pruning power on later batches
     /// but never correctness (any assignment yields valid bounds).
+    ///
+    /// # Panics
+    /// Panics when eviction is enabled and rows were already appended: the
+    /// persistent window index requires the clustered buffer to cover the
+    /// window contiguously, which a mid-stream backend switch would break.
     pub fn set_backend(&mut self, backend: EvalBackend) {
+        assert!(
+            !self.eviction || self.consumed() == 0 || backend == self.backend,
+            "an eviction-enabled state cannot switch backends mid-stream"
+        );
         self.backend = backend;
     }
 
@@ -411,9 +580,50 @@ impl IncrementalTopK {
         self.folded_pairs
     }
 
-    /// Current (possibly cleaned) training labels, global index order.
+    /// Current (possibly cleaned) training labels, global index order
+    /// (evicted rows' labels are retained — globally indexed, never
+    /// consulted again).
     pub fn train_labels(&self) -> &[u32] {
         &self.train_labels
+    }
+
+    /// Whether [`IncrementalTopK::with_eviction`] enabled row eviction.
+    pub fn eviction_enabled(&self) -> bool {
+        self.eviction
+    }
+
+    /// Extra admission-buffer slots per query beyond `k` (0 unless eviction
+    /// is enabled).
+    pub fn slack(&self) -> usize {
+        self.slack
+    }
+
+    /// Global index of the first surviving training row — rows
+    /// `[window_start, consumed)` form the current window.
+    pub fn window_start(&self) -> usize {
+        self.window_start
+    }
+
+    /// Number of surviving training rows in the window (equals
+    /// [`IncrementalTopK::consumed`] until the first eviction).
+    pub fn window_len(&self) -> usize {
+        self.train_labels.len() - self.window_start
+    }
+
+    /// Centroid-assignment distance pairs spent on the clustered backend's
+    /// Lloyd's runs and per-batch assignments, accumulated across every
+    /// re-partition (never reset) — the re-cluster side of the incremental
+    /// cost ledger that [`IncrementalTopK::folded_pairs`] (exact kernel
+    /// pairs) does not include. 0 on the exhaustive path.
+    pub fn partition_pairs(&self) -> u64 {
+        self.clustered.as_ref().map_or(0, |s| s.partition_pairs)
+    }
+
+    /// Resident heap footprint of the persistent window index (`None` on
+    /// exhaustive backends or before the first clustered re-partition) —
+    /// how the eviction path's memory claims are measured, not asserted.
+    pub fn window_index_bytes(&self) -> Option<crate::clustered::ResidentBytes> {
+        self.clustered.as_ref().and_then(|s| s.window_index.as_ref()).map(|wi| wi.resident_bytes())
     }
 
     /// Whether a clustered append backend should handle this batch: the
@@ -429,6 +639,9 @@ impl IncrementalTopK {
     /// pruning) — and records the new 1NN error on the curve. Returns the
     /// updated error.
     ///
+    /// An empty batch is a complete no-op (no curve point, no re-partition
+    /// check, no counters) — it returns the current error unchanged.
+    ///
     /// # Panics
     /// Panics on feature/label count or dimensionality mismatches.
     pub fn append<'b>(&mut self, batch_features: impl Into<DatasetView<'b>>, batch_labels: &[u32]) -> f64 {
@@ -439,39 +652,74 @@ impl IncrementalTopK {
             self.query_features.cols(),
             "batch dimensionality differs from the query split"
         );
+        if batch.is_empty() {
+            // A degenerate batch must not push a duplicate curve point, run
+            // the growth-ratio check (a spurious re-partition), or feed a
+            // zero-row prune rate into the PruneRate trigger.
+            return self.error();
+        }
         let offset = self.train_labels.len();
-        if !batch.is_empty() {
-            if self.clustered_applies() {
-                let (nlist, quantize) = match self.backend {
-                    EvalBackend::Clustered { nlist, quantize } => (nlist, quantize),
-                    EvalBackend::Exhaustive => unreachable!("clustered_applies checked the variant"),
-                };
-                let cols = batch.cols();
-                let policy = self.policy;
-                let state = self
-                    .clustered
-                    .get_or_insert_with(|| ClusteredAppendState::new(nlist, quantize, policy, cols));
-                // Track the backend's current knobs so a set_backend retune
-                // takes effect at the next re-partition, not never.
-                state.nlist = nlist;
-                state.quantize = quantize;
-                state.policy = policy;
-                let index = state.grow_and_index(batch, self.kernel.metric(), self.engine);
-                let stats = index.update_topk(self.query_features.view(), offset, &mut self.states, None);
-                state.last_row_prune = Some(stats.row_prune_rate());
-                self.folded_pairs += stats.rows_scanned as u64;
-                self.prune_stats.merge(&stats);
-            } else {
-                self.kernel.bind_train(batch);
-                self.engine.update_topk(
-                    self.query_features.view(),
-                    &self.kernel,
-                    batch,
-                    offset,
-                    &mut self.states,
-                    None,
-                );
-                self.folded_pairs += (batch.rows() * self.query_features.rows()) as u64;
+        // A pure append re-certifies the buffer only when it was untainted
+        // (certified prefix == whole buffer) AND full — i.e. the exact
+        // top-`k + slack` of the window, whose absent rows can never climb
+        // into the refilled prefix — or held the entire window. A buffer left
+        // short by a partial eviction drain keeps its prefix length: rows it
+        // refused pre-drain were never compared against the fresh batch (see
+        // the module invariant).
+        let recertify: Vec<bool> = if self.eviction {
+            let cap = self.k + self.slack;
+            let window_before = self.train_labels.len() - self.window_start;
+            self.window.extend_from_slice(batch.data());
+            self.states
+                .iter()
+                .zip(&self.valid)
+                .map(|(s, &v)| {
+                    let len = s.hits().len();
+                    v == len && (len == cap || len == window_before)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if self.clustered_applies() {
+            let (nlist, quantize) = match self.backend {
+                EvalBackend::Clustered { nlist, quantize } => (nlist, quantize),
+                EvalBackend::Exhaustive => unreachable!("clustered_applies checked the variant"),
+            };
+            let cols = batch.cols();
+            let policy = self.policy;
+            let track_window = self.eviction;
+            let state = self
+                .clustered
+                .get_or_insert_with(|| ClusteredAppendState::new(nlist, quantize, policy, cols, offset));
+            // Track the backend's current knobs so a set_backend retune
+            // takes effect at the next re-partition, not never.
+            state.nlist = nlist;
+            state.quantize = quantize;
+            state.policy = policy;
+            state.track_window = track_window;
+            let index = state.grow_and_index(batch, self.kernel.metric(), self.engine);
+            let stats = index.update_topk(self.query_features.view(), offset, &mut self.states, None);
+            state.last_row_prune = Some(stats.row_prune_rate());
+            self.folded_pairs += stats.rows_scanned as u64;
+            self.prune_stats.merge(&stats);
+        } else {
+            self.kernel.bind_train(batch);
+            self.engine.update_topk(
+                self.query_features.view(),
+                &self.kernel,
+                batch,
+                offset,
+                &mut self.states,
+                None,
+            );
+            self.folded_pairs += (batch.rows() * self.query_features.rows()) as u64;
+        }
+        if self.eviction {
+            for (q, ok) in recertify.iter().enumerate() {
+                if *ok {
+                    self.valid[q] = self.states[q].hits().len();
+                }
             }
         }
         self.train_labels.extend_from_slice(batch_labels);
@@ -481,6 +729,97 @@ impl IncrementalTopK {
         let err = self.error();
         self.curve.push((self.train_labels.len(), err));
         err
+    }
+
+    /// Evicts the `rows` oldest surviving training rows from the window
+    /// (clamped to the window size), popping them out of every query's
+    /// admission buffer with backfill from the slack tail. Only queries
+    /// whose certified prefix drains below `min(k, window)` are re-scanned
+    /// against the surviving window — pruned through the persistent window
+    /// index on clustered backends — so the cost is `O(buffers)` plus
+    /// `O(affected queries × window scan)`, never a rebuild. On clustered
+    /// backends the evicted rows also leave the retained partition buffers,
+    /// the [`ClusteredIndex`] cluster buffers, and the int8 shadow metadata
+    /// ([`ClusteredIndex::resident_bytes`] shrinks truthfully).
+    ///
+    /// Evicted rows' labels stay in [`IncrementalTopK::train_labels`] (they
+    /// are globally indexed and never consulted again); all error reads and
+    /// [`IncrementalTopK::table`] reflect only the surviving window.
+    ///
+    /// # Panics
+    /// Panics unless [`IncrementalTopK::with_eviction`] enabled eviction.
+    pub fn evict_oldest(&mut self, rows: usize) -> EvictReport {
+        assert!(self.eviction, "call with_eviction(slack) before evicting rows");
+        let rows = rows.min(self.consumed() - self.window_start);
+        if rows == 0 {
+            return EvictReport::default();
+        }
+        let new_start = self.window_start + rows;
+        let cols = self.query_features.cols();
+        self.window.drain(0..rows * cols);
+        if let Some(state) = self.clustered.as_mut() {
+            state.evict_front(new_start);
+        }
+        let need = self.k.min(self.consumed() - new_start);
+        let mut affected = Vec::new();
+        for (q, s) in self.states.iter_mut().enumerate() {
+            let (removed_prefix, _) = s.evict_below(new_start, self.valid[q]);
+            self.valid[q] -= removed_prefix;
+            if self.valid[q] < need {
+                affected.push(q);
+            }
+        }
+        self.window_start = new_start;
+        if !affected.is_empty() {
+            self.rescan_queries(&affected);
+        }
+        EvictReport { rows_evicted: rows, affected_queries: affected.len() }
+    }
+
+    /// Rebuilds the admission buffers of the given queries from the
+    /// surviving window: a pruned fold through the persistent window index
+    /// where one exists, then an exhaustive fold of the unindexed tail. The
+    /// rebuilt buffers are exact top-`min(k + slack, window)` — certified in
+    /// full.
+    fn rescan_queries(&mut self, affected: &[usize]) {
+        let cols = self.query_features.cols();
+        let mut qdata = Vec::with_capacity(affected.len() * cols);
+        for &q in affected {
+            qdata.extend_from_slice(self.query_features.row(q));
+        }
+        let queries = DatasetView::from_raw(&qdata, affected.len(), cols);
+        let cap = self.k + self.slack;
+        let mut sub = vec![TopKState::new(cap); affected.len()];
+        // Pruned pass over the indexed part of the window.
+        let mut tail_start = self.window_start;
+        let mut index_stats: Option<PruneStats> = None;
+        if let Some(state) = self.clustered.as_ref() {
+            if let Some(wi) = state.window_index.as_ref() {
+                let stats = wi.update_topk(queries, state.index_base, &mut sub, None);
+                tail_start = state.indexed_end.max(self.window_start);
+                index_stats = Some(stats);
+            }
+        }
+        if let Some(stats) = index_stats {
+            self.folded_pairs += stats.rows_scanned as u64;
+            self.prune_stats.merge(&stats);
+        }
+        // Exhaustive pass over the unindexed tail (the whole window on
+        // exhaustive/cosine paths).
+        if tail_start < self.consumed() {
+            let lo = (tail_start - self.window_start) * cols;
+            let tail_rows = self.consumed() - tail_start;
+            let tail = DatasetView::from_raw(&self.window[lo..], tail_rows, cols);
+            let mut kernel = MetricKernel::new(self.metric());
+            kernel.bind_queries(queries);
+            kernel.bind_train(tail);
+            self.engine.update_topk(queries, &kernel, tail, tail_start, &mut sub, None);
+            self.folded_pairs += (tail_rows * affected.len()) as u64;
+        }
+        for (i, &q) in affected.iter().enumerate() {
+            self.valid[q] = sub[i].hits().len();
+            self.states[q] = std::mem::replace(&mut sub[i], TopKState::new(1));
+        }
     }
 
     /// Updates the label of a training row (e.g. after cleaning). Features
@@ -561,7 +900,11 @@ impl IncrementalTopK {
             .filter(|(s, &y)| {
                 votes.iter_mut().for_each(|v| *v = 0);
                 let hits = s.hits();
-                for hit in &hits[..k.min(hits.len())] {
+                // Clamp the vote prefix to the state's capacity `k` (an
+                // eviction slack tail is uncertified and must never vote)
+                // and to the rows actually stored — early in a stream a
+                // buffer holds fewer than `k` hits.
+                for hit in &hits[..k.min(self.k).min(hits.len())] {
                     votes[self.train_labels[hit.index] as usize] += 1;
                 }
                 let mut best = 0usize;
@@ -579,9 +922,17 @@ impl IncrementalTopK {
     /// Snapshots the state into a query-major [`NeighborTable`] — the
     /// neighbour handshake every downstream consumer (the five Bayes-error
     /// estimators included) speaks. Bit-identical to [`EvalEngine::topk`]
-    /// over the consumed rows; empty (`k() == 0`) before any append.
+    /// over the consumed rows; empty (`k() == 0`) before any append. With
+    /// eviction the snapshot is the certified `min(k, window)`-prefix of
+    /// every admission buffer — bit-identical to a cold fold over the
+    /// surviving window at its global offset.
     pub fn table(&self) -> NeighborTable {
-        NeighborTable::from_states(&self.states)
+        if self.eviction {
+            let per_query = self.k.min(self.consumed() - self.window_start);
+            NeighborTable::from_state_prefixes(&self.states, per_query)
+        } else {
+            NeighborTable::from_states(&self.states)
+        }
     }
 
     /// The nearest training index currently assigned to each query
@@ -932,6 +1283,142 @@ mod tests {
             let via_table = state.table().knn_error(k, &train_y, &test_y, 2);
             assert_eq!(state.knn_error(k, 2).to_bits(), via_table.to_bits(), "k {k}");
         }
+    }
+
+    /// Cold fold over `train[start..end)` at global offset `start` — the
+    /// reference every window position must match bit for bit.
+    fn cold_window_table(
+        train: DatasetView<'_>,
+        test_x: &Matrix,
+        metric: Metric,
+        k: usize,
+        start: usize,
+        end: usize,
+    ) -> NeighborTable {
+        let window = train.slice_rows(start, end);
+        let mut kernel = MetricKernel::new(metric);
+        kernel.bind_queries(test_x.view());
+        kernel.bind_train(window);
+        let mut states = vec![TopKState::new(k); test_x.rows()];
+        EvalEngine::parallel().update_topk(test_x.view(), &kernel, window, start, &mut states, None);
+        NeighborTable::from_states(&states)
+    }
+
+    #[test]
+    fn empty_batch_append_is_a_noop() {
+        let (train_x, train_y, test_x, test_y) = toy_task(80);
+        // Growth(1.0) re-partitions on every non-empty append — the sharpest
+        // fixture for the old spurious empty-batch re-partition.
+        let mut state = IncrementalTopK::new(test_x, test_y, Metric::SquaredEuclidean, 3)
+            .with_backend(EvalBackend::clustered(3))
+            .with_repartition_policy(RepartitionPolicy::Growth(1.0));
+        state.append(train_x.view(), &train_y);
+        let curve_len = state.curve().len();
+        let reps = state.repartitions();
+        let pairs = state.folded_pairs();
+        let stats = state.prune_stats();
+        let err = state.error();
+        let empty = Matrix::zeros(0, 2);
+        let err2 = state.append(empty.view(), &[]);
+        assert_eq!(err2.to_bits(), err.to_bits(), "an empty append returns the current error");
+        assert_eq!(state.curve().len(), curve_len, "no duplicate curve point");
+        assert_eq!(state.repartitions(), reps, "no spurious re-partition");
+        assert_eq!(state.folded_pairs(), pairs);
+        assert_eq!(state.prune_stats(), stats, "no degenerate prune-rate sample");
+        assert_eq!(state.consumed(), 80);
+    }
+
+    #[test]
+    fn knn_error_clamps_vote_prefix_to_capacity_and_consumed() {
+        let (train_x, train_y, test_x, test_y) = toy_task(40);
+        let view = train_x.view();
+        // k > consumed early in the stream: the vote covers only stored rows.
+        let mut early = IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 5);
+        early.append(view.slice_rows(0, 2), &train_y[..2]);
+        let via_table = early.table().knn_error(5, &train_y[..2], &test_y, 2);
+        assert_eq!(early.knn_error(5, 2).to_bits(), via_table.to_bits());
+        // An eviction slack tail must never vote: `k_arg > k` reads exactly
+        // the certified k-prefix, matching the table snapshot.
+        let mut state =
+            IncrementalTopK::new(test_x, test_y.clone(), Metric::SquaredEuclidean, 3).with_eviction(4);
+        state.append(view, &train_y);
+        state.evict_oldest(5);
+        let expect = state.table().knn_error(7, &train_y, &test_y, 2);
+        assert_eq!(state.knn_error(7, 2).to_bits(), expect.to_bits(), "slack tail voted");
+        assert_eq!(state.knn_error(7, 2).to_bits(), state.knn_error(3, 2).to_bits());
+    }
+
+    #[test]
+    fn eviction_matches_cold_fold_at_every_window_position() {
+        let (train_x, train_y, test_x, test_y) = toy_task(180);
+        let view = train_x.view();
+        for backend in [EvalBackend::Exhaustive, EvalBackend::clustered(3), EvalBackend::quantized(3)] {
+            // slack 0 drains buffers on almost every eviction (the re-scan
+            // path); larger slacks absorb evictions in the buffer.
+            for slack in [0usize, 2, 6] {
+                let mut state =
+                    IncrementalTopK::new(test_x.clone(), test_y.clone(), Metric::SquaredEuclidean, 3)
+                        .with_backend(backend)
+                        .with_eviction(slack);
+                let mut consumed = 0;
+                while consumed < 180 {
+                    let end = (consumed + 30).min(180);
+                    state.append(view.slice_rows(consumed, end), &train_y[consumed..end]);
+                    consumed = end;
+                    if state.window_len() > 60 {
+                        let report = state.evict_oldest(30);
+                        assert_eq!(report.rows_evicted, 30);
+                    }
+                    let start = state.window_start();
+                    let cold = cold_window_table(view, &test_x, Metric::SquaredEuclidean, 3, start, consumed);
+                    assert_eq!(
+                        state.table(),
+                        cold,
+                        "backend {} slack {slack} window [{start}, {consumed})",
+                        backend.name()
+                    );
+                    let cold_err = cold.one_nn_error(&train_y[..consumed], &test_y);
+                    assert_eq!(state.error().to_bits(), cold_err.to_bits());
+                    let cold_k3 = cold.knn_error(3, &train_y[..consumed], &test_y, 2);
+                    assert_eq!(state.knn_error(3, 2).to_bits(), cold_k3.to_bits());
+                }
+                assert!(state.window_start() > 0, "the window must actually have slid");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_shrinks_the_window_index_residency() {
+        let (train_x, train_y, test_x, test_y) = toy_task(180);
+        let mut state = IncrementalTopK::new(test_x, test_y, Metric::SquaredEuclidean, 3)
+            .with_backend(EvalBackend::quantized(3))
+            .with_eviction(2);
+        state.append(train_x.view(), &train_y);
+        let before = state.window_index_bytes().expect("first append partitions the window");
+        assert!(before.train_rows > 0 && before.quantized_codes > 0);
+        state.evict_oldest(90);
+        let after = state.window_index_bytes().expect("index survives a partial eviction");
+        assert!(after.train_rows < before.train_rows, "cluster buffers must shrink");
+        assert!(after.quantized_codes < before.quantized_codes, "shadow codes must shrink");
+        assert!(after.quantized_meta < before.quantized_meta, "shadow metadata must shrink");
+        // Drain the rest: the emptied index is dropped entirely.
+        state.evict_oldest(90);
+        assert!(state.window_index_bytes().is_none());
+        assert_eq!(state.window_len(), 0);
+        assert_eq!(state.error(), 1.0, "an empty window predicts nothing");
+        assert_eq!(state.table().k(), 0);
+        // The stream continues past a fully drained window.
+        let report = state.evict_oldest(10);
+        assert_eq!(report, EvictReport::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "with_eviction")]
+    fn evicting_without_enabling_eviction_panics() {
+        let (train_x, train_y, test_x, test_y) = toy_task(20);
+        let mut state = IncrementalTopK::new(test_x, test_y, Metric::SquaredEuclidean, 1);
+        state.append(train_x.view(), &train_y);
+        state.evict_oldest(5);
     }
 
     #[test]

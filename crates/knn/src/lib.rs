@@ -70,7 +70,7 @@ pub mod quantized;
 pub use brute::BruteForceIndex;
 pub use clustered::{ClusteredIndex, EvalBackend, PruneStats, ResidentBytes};
 pub use engine::{EvalEngine, NearestHit, NeighborTable, TopKScratch, TopKState};
-pub use incremental::{IncrementalTopK, RepartitionPolicy};
+pub use incremental::{EvictReport, IncrementalTopK, RepartitionPolicy};
 pub use kernel::MetricKernel;
 pub use metric::Metric;
 pub use quantized::AffineQuantizer;

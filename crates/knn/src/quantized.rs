@@ -274,6 +274,38 @@ impl QuantizedShadow {
         self.code_norms.len()
     }
 
+    /// Drops every row whose `keep` flag is false, compacting the int8 scan
+    /// copy and the per-row bound metadata in place — the shadow half of
+    /// [`crate::ClusteredIndex::evict_rows`]. `max_code_norm` (a global upper
+    /// bound baked into every query margin) is kept as-is: it stays a valid
+    /// bound for the surviving subset, so correctness is unaffected and only
+    /// a sliver of pruning power is ceded until the next re-partition
+    /// re-encodes the window. [`QuantizedShadow::code_bytes`] /
+    /// [`QuantizedShadow::meta_bytes`] shrink accordingly.
+    ///
+    /// # Panics
+    /// Panics if `keep.len()` differs from [`QuantizedShadow::rows`].
+    pub fn retain_rows(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.rows(), "keep mask must cover every encoded row");
+        let cols = self.cols;
+        let mut kept = 0usize;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                if kept != i {
+                    self.codes.copy_within(i * cols..(i + 1) * cols, kept * cols);
+                    self.code_norms[kept] = self.code_norms[i];
+                    self.code_abs[kept] = self.code_abs[i];
+                    self.recon_err[kept] = self.recon_err[i];
+                }
+                kept += 1;
+            }
+        }
+        self.codes.truncate(kept * cols);
+        self.code_norms.truncate(kept);
+        self.code_abs.truncate(kept);
+        self.recon_err.truncate(kept);
+    }
+
     /// The stored reconstruction radius of row `i` (an upper bound on
     /// `‖x_i − x̂_i‖`).
     #[inline]

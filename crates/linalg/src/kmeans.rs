@@ -176,6 +176,43 @@ impl RowPartition {
     pub fn group_len(&self, g: usize) -> usize {
         self.offsets[g + 1] - self.offsets[g]
     }
+
+    /// Drops every regrouped row whose `keep` flag is false, compacting the
+    /// row buffer, the original-index map, and the group offsets in place —
+    /// the partition bookkeeping behind sliding-window eviction. Groups may
+    /// become empty but are kept (callers needing dense groups compact
+    /// separately); rows keep their order, so ascending original order within
+    /// a group is preserved. Returns the number of rows removed.
+    ///
+    /// # Panics
+    /// Panics if `keep.len()` differs from the regrouped row count.
+    pub fn retain_rows(&mut self, keep: &[bool]) -> usize {
+        assert_eq!(keep.len(), self.original.len(), "one keep flag per regrouped row required");
+        let groups = self.groups();
+        let cols = self.data.cols();
+        let flat = self.data.data_mut();
+        let mut new_offsets = Vec::with_capacity(groups + 1);
+        new_offsets.push(0usize);
+        let mut kept = 0usize;
+        for g in 0..groups {
+            #[allow(clippy::needless_range_loop)] // r indexes keep, original, and the flat buffer alike
+            for r in self.offsets[g]..self.offsets[g + 1] {
+                if keep[r] {
+                    if kept != r {
+                        flat.copy_within(r * cols..(r + 1) * cols, kept * cols);
+                        self.original[kept] = self.original[r];
+                    }
+                    kept += 1;
+                }
+            }
+            new_offsets.push(kept);
+        }
+        let removed = self.original.len() - kept;
+        self.original.truncate(kept);
+        self.data.truncate_rows(kept);
+        self.offsets = new_offsets;
+        removed
+    }
 }
 
 /// Regroups `data`'s rows by `assignments` into `groups` contiguous buffers
