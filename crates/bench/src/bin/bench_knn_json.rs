@@ -17,9 +17,14 @@
 //! *drifting* append stream whose batch means walk round over round), the
 //! persistent-pool comparison (per-call latency of the old scoped-spawn
 //! fan-out vs the pool-backed engine, plus the zero-alloc scratch variant),
-//! and the multi-tenant serving comparison (studies/sec of the warm
+//! the multi-tenant serving comparison (studies/sec of the warm
 //! `FeasibilityService` at 1..N tenants vs sequential cold one-shot
-//! studies) — across a few training-set sizes. This is the workspace's
+//! studies), and the out-of-core comparison (the full feasibility study
+//! over a disk dataset 4× the resident shard budget, paged through the
+//! `ShardedIndex`, vs the fully-resident baseline — with bit-identical
+//! tables/estimates, ≥ 2 forced shard evictions, and the
+//! `budget + one shard` peak-residency contract asserted before timing)
+//! — across a few training-set sizes. This is the workspace's
 //! perf-trajectory anchor — run it before and after touching the engine.
 //!
 //! Every section asserts bit-exact parity before timing anything, the
@@ -41,7 +46,7 @@ use snoopy_knn::engine::{knn_reference, nearest_reference, EvalEngine, NeighborT
 use snoopy_knn::{
     BruteForceIndex, ClusteredIndex, EvalBackend, IncrementalTopK, Metric, MetricKernel, RepartitionPolicy,
 };
-use snoopy_linalg::{rng, DatasetView, Matrix};
+use snoopy_linalg::{rng, DatasetView, LabeledView, Matrix};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -167,6 +172,26 @@ struct ServerCase {
     serial_studies_per_s: f64,
     /// The warm multi-tenant service on the shared pool.
     served_studies_per_s: f64,
+}
+
+struct OocoreCase {
+    train_n: usize,
+    dim: usize,
+    eval_rows: usize,
+    nlist: usize,
+    /// Resident shard budget the paged study ran under (bytes).
+    budget_bytes: usize,
+    /// Raw feature payload of the whole dataset (bytes) — ≥ 4× the budget.
+    dataset_bytes: usize,
+    /// End-to-end feasibility-study throughput, shard-paged.
+    paged_qps: f64,
+    /// End-to-end feasibility-study throughput, fully resident.
+    resident_qps: f64,
+    shards_faulted: usize,
+    shards_evicted: usize,
+    bytes_faulted: usize,
+    peak_bytes: usize,
+    max_shard_bytes: usize,
 }
 
 struct KernelCase {
@@ -1100,6 +1125,105 @@ fn main() {
         });
     }
 
+    // Out-of-core: the full default-estimator feasibility study over a disk
+    // dataset whose feature payload is 4× the resident shard budget, paged
+    // through the `ShardedIndex` vs the fully-resident in-memory baseline.
+    // Parity is asserted bit for bit (table and estimates), the budget must
+    // actually bind (≥ 2 shard evictions), and peak residency must respect
+    // the `budget + one shard` contract before anything is timed. Unlike the
+    // compute-bound sections, paged throughput also depends on page-fault
+    // and gather cost — the section is tagged `io_dependent`.
+    // The 16k and 64k cases run at every scale on purpose (like the 10k
+    // incremental case): the within-2×-of-resident assertion below only has
+    // teeth at n ≥ 10 000, so even the tiny CI smoke exercises it.
+    let oocore_specs: &[(usize, usize)] = match scale {
+        snoopy_data::registry::SizeScale::Tiny => &[(2_000, 16), (16_384, 32), (65_536, 16)],
+        snoopy_data::registry::SizeScale::Standard => &[(16_384, 32), (65_536, 16), (131_072, 16)],
+        _ => &[(8_000, 16), (16_384, 32), (65_536, 16)],
+    };
+    let mut oocore_cases = Vec::new();
+    for (i, &(n, d)) in oocore_specs.iter().enumerate() {
+        let x = make_blobs(n, d, 32, 90 + i as u64);
+        let y: Vec<u32> = (0..n).map(|r| (r % 4) as u32).collect();
+        // The generated dataset lives in a scratch dir the guard removes on
+        // drop — bench and test runs leave no artifacts behind.
+        let dir = snoopy_testutil::TempDir::new("bench_oocore");
+        snoopy_data::DiskLabeledDataset::write(dir.path(), &LabeledView::from_parts(x.view(), &y, 4))
+            .expect("write out-of-core bench dataset");
+
+        let eval_rows = (n / 8).min(512);
+        let train_rows = n - eval_rows;
+        let dataset_bytes = n * d * std::mem::size_of::<f32>();
+        let budget_bytes = (train_rows * d * std::mem::size_of::<f32>()) / 4;
+        let cfg = snoopy_core::OutOfCoreConfig {
+            shard_budget_bytes: budget_bytes,
+            nlist: 32,
+            eval_rows,
+            quantize: false,
+        };
+        assert!(dataset_bytes >= 4 * budget_bytes, "the dataset must dwarf the budget");
+
+        let paged = snoopy_core::run_oocore_study(dir.path(), &cfg).expect("paged study");
+        let resident = snoopy_core::run_resident_reference(dir.path(), &cfg).expect("resident study");
+        assert_eq!(paged.table, resident.table, "paged table must be bit-identical to resident");
+        assert_eq!(paged.estimates, resident.estimates, "estimates must be bit-identical");
+        assert!(
+            paged.paging.shards_evicted >= 2,
+            "the budget must force ≥ 2 shard evictions, got {:?}",
+            paged.paging
+        );
+        let rb = paged.residency;
+        assert!(
+            rb.peak <= rb.budget + rb.max_shard,
+            "peak resident {} exceeds budget {} + largest shard {}",
+            rb.peak,
+            rb.budget,
+            rb.max_shard
+        );
+
+        let t_paged = time_median(3, || {
+            std::hint::black_box(snoopy_core::run_oocore_study(dir.path(), &cfg).expect("paged study"));
+        });
+        let t_resident = time_median(3, || {
+            std::hint::black_box(
+                snoopy_core::run_resident_reference(dir.path(), &cfg).expect("resident study"),
+            );
+        });
+        let paged_qps = eval_rows as f64 / t_paged;
+        let resident_qps = eval_rows as f64 / t_resident;
+        if n >= 10_000 {
+            assert!(
+                2.0 * paged_qps >= resident_qps,
+                "paged study ({paged_qps:.1} qps) fell more than 2x behind resident ({resident_qps:.1} qps) at n={n}"
+            );
+        }
+        println!(
+            "oocore n={n} d={d}   budget {:.1} MiB / dataset {:.1} MiB   paged {:>7.1} qps   resident {:>7.1} qps   ratio {:.2}x   ({} faults, {} evictions)",
+            budget_bytes as f64 / (1 << 20) as f64,
+            dataset_bytes as f64 / (1 << 20) as f64,
+            paged_qps,
+            resident_qps,
+            paged_qps / resident_qps,
+            paged.paging.shards_faulted,
+            paged.paging.shards_evicted,
+        );
+        oocore_cases.push(OocoreCase {
+            train_n: n,
+            dim: d,
+            eval_rows,
+            nlist: cfg.nlist,
+            budget_bytes,
+            dataset_bytes,
+            paged_qps,
+            resident_qps,
+            shards_faulted: paged.paging.shards_faulted,
+            shards_evicted: paged.paging.shards_evicted,
+            bytes_faulted: paged.paging.bytes_faulted,
+            peak_bytes: rb.peak,
+            max_shard_bytes: rb.max_shard,
+        });
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"knn_kernels\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
@@ -1142,6 +1266,10 @@ fn main() {
         json,
         "{}",
         thread_dep("pool_cases", "per-call scoped thread spawn vs persistent pool submit")
+    );
+    let _ = writeln!(
+        json,
+        "    \"oocore_cases\": {{\"compares\": \"shard-paged out-of-core study vs fully-resident study\", \"thread_dependent\": false, \"io_dependent\": true}},"
     );
     let _ = writeln!(
         json,
@@ -1327,6 +1455,29 @@ fn main() {
             c.scratch_s,
             c.spawn_s / c.pool_s,
             c.spawn_s / c.scratch_s,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"oocore_cases\": [");
+    for (i, c) in oocore_cases.iter().enumerate() {
+        let comma = if i + 1 < oocore_cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"train_n\": {}, \"dim\": {}, \"eval_rows\": {}, \"nlist\": {}, \"metric\": \"sq-euclidean\", \"budget_bytes\": {}, \"dataset_bytes\": {}, \"paged_qps\": {:.1}, \"resident_qps\": {:.1}, \"ratio\": {:.3}, \"shards_faulted\": {}, \"shards_evicted\": {}, \"bytes_faulted\": {}, \"peak_bytes\": {}, \"max_shard_bytes\": {}}}{comma}",
+            c.train_n,
+            c.dim,
+            c.eval_rows,
+            c.nlist,
+            c.budget_bytes,
+            c.dataset_bytes,
+            c.paged_qps,
+            c.resident_qps,
+            c.paged_qps / c.resident_qps,
+            c.shards_faulted,
+            c.shards_evicted,
+            c.bytes_faulted,
+            c.peak_bytes,
+            c.max_shard_bytes,
         );
     }
     let _ = writeln!(json, "  ],");

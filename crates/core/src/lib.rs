@@ -38,6 +38,7 @@ pub mod arm;
 pub mod config;
 pub mod guidance;
 pub mod incremental;
+pub mod oocore;
 pub mod service;
 pub mod sliding;
 pub mod study;
@@ -46,6 +47,7 @@ pub mod theory;
 pub use config::SnoopyConfig;
 pub use guidance::AdditionalGuidance;
 pub use incremental::IncrementalStudy;
+pub use oocore::{run_oocore_study, run_resident_reference, OutOfCoreConfig, OutOfCoreReport};
 pub use service::{FeasibilityService, StudyProgress, StudyRequest};
 pub use sliding::{DriftAlarm, SlidingWindowConfig, SlidingWindowReport, SlidingWindowStudy, WindowProgress};
 pub use study::{FeasibilityDecision, FeasibilityStudy, StudyReport, TransformationResult};

@@ -1,0 +1,206 @@
+//! Out-of-core feasibility studies: the full estimator pipeline over a
+//! dataset that lives on disk and never fully materialises in memory.
+//!
+//! The study opens a [`DiskLabeledDataset`] directory (features + labels in
+//! the versioned `snpy` format), holds out the trailing rows as the
+//! evaluation split, and computes the shared neighbour table through the
+//! shard-paged [`ShardedIndex`]: training rows stay in the memory-mapped
+//! file, clusters materialise as independently evictable shards under a
+//! configurable resident byte budget, and the triangle-inequality prune
+//! order doubles as the paging order so bound-rejected clusters are never
+//! faulted in at all. The resulting [`NeighborTable`] — and therefore every
+//! estimate derived from it — is **bit-identical** to a fully-resident run;
+//! the budget trades only time, never answers.
+
+use std::path::Path;
+
+use snoopy_data::{DiskLabeledDataset, DiskPairError};
+use snoopy_estimators::{default_estimators, estimate_all_with_table, shared_table_k};
+use snoopy_knn::Metric;
+pub use snoopy_knn::{NeighborTable, PagedResidentBytes, PagingStats, ShardedIndex};
+use snoopy_linalg::LabeledView;
+
+/// Knobs of an out-of-core study. All sizes are bytes of shard payload
+/// (gathered f32 rows + per-row metadata + optional int8 shadow).
+#[derive(Debug, Clone, Copy)]
+pub struct OutOfCoreConfig {
+    /// Resident shard budget. Peak residency is bounded by
+    /// `budget + one shard` (the shard being scanned); see
+    /// [`PagedResidentBytes`].
+    pub shard_budget_bytes: usize,
+    /// k-means cluster count — equivalently the shard count before
+    /// empty-cluster pruning.
+    pub nlist: usize,
+    /// Trailing rows held out as the evaluation split (clamped so at least
+    /// one training row remains).
+    pub eval_rows: usize,
+    /// Attach the per-shard int8 shadow: visited shards scan at about one
+    /// byte per dimension with exact f32 re-ranking (identical table).
+    pub quantize: bool,
+}
+
+impl Default for OutOfCoreConfig {
+    fn default() -> Self {
+        OutOfCoreConfig { shard_budget_bytes: 8 << 20, nlist: 16, eval_rows: 256, quantize: false }
+    }
+}
+
+/// What an out-of-core study produced, alongside the paging behaviour that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct OutOfCoreReport {
+    /// The shared neighbour table of the eval split against the training
+    /// split — bit-identical to a fully-resident computation.
+    pub table: NeighborTable,
+    /// One BER estimate per [`default_estimators`] entry, in order.
+    pub estimates: Vec<f64>,
+    /// The aggregated (minimum) BER estimate — the paper's feasibility
+    /// signal.
+    pub min_estimate: f64,
+    /// Shards faulted/evicted and bytes paged while computing the table.
+    pub paging: PagingStats,
+    /// Residency accounting: budget, peak, and largest shard.
+    pub residency: PagedResidentBytes,
+    /// Training rows scanned out of core.
+    pub train_rows: usize,
+    /// Evaluation rows.
+    pub eval_rows: usize,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Label classes.
+    pub num_classes: usize,
+}
+
+/// Runs the default-estimator feasibility study over the disk dataset at
+/// `dir`, paging training shards under `cfg.shard_budget_bytes`.
+///
+/// # Panics
+/// Panics if the dataset has fewer than two rows (no train/eval split
+/// exists).
+pub fn run_oocore_study(dir: &Path, cfg: &OutOfCoreConfig) -> Result<OutOfCoreReport, DiskPairError> {
+    let dataset = DiskLabeledDataset::open(dir)?;
+    let full = dataset.view();
+    let n = full.features().rows();
+    assert!(n >= 2, "out-of-core study needs at least one train and one eval row, got {n} total");
+    let eval_rows = cfg.eval_rows.clamp(1, n - 1);
+    let train_rows = n - eval_rows;
+
+    let train_x = full.features().slice_rows(0, train_rows);
+    let eval_x = full.features().slice_rows(train_rows, n);
+    let train = LabeledView::from_parts(train_x, &full.labels()[..train_rows], full.num_classes());
+    let eval = LabeledView::from_parts(eval_x, &full.labels()[train_rows..], full.num_classes());
+
+    let estimators = default_estimators();
+    let k = shared_table_k(&estimators).max(1);
+    let mut index = ShardedIndex::build(train_x, Metric::SquaredEuclidean, cfg.nlist, cfg.shard_budget_bytes);
+    if cfg.quantize {
+        index = index.quantize();
+    }
+    let table = index.topk(eval_x, k);
+    let estimates = estimate_all_with_table(&estimators, &table, &train, &eval, full.num_classes());
+    let min_estimate = estimates.iter().copied().fold(f64::INFINITY, f64::min);
+
+    Ok(OutOfCoreReport {
+        table,
+        estimates,
+        min_estimate,
+        paging: index.paging_stats(),
+        residency: index.resident_bytes(),
+        train_rows,
+        eval_rows,
+        dim: full.features().cols(),
+        num_classes: full.num_classes(),
+    })
+}
+
+/// The fully-resident reference for [`run_oocore_study`]: same split, same
+/// estimators, but the shared table comes from the in-memory engine. Exists
+/// so parity tests and benches state "paged == resident" in one call.
+pub fn run_resident_reference(dir: &Path, cfg: &OutOfCoreConfig) -> Result<OutOfCoreReport, DiskPairError> {
+    let dataset = DiskLabeledDataset::open(dir)?;
+    let full = dataset.view();
+    let n = full.features().rows();
+    assert!(n >= 2, "reference study needs at least one train and one eval row, got {n} total");
+    let eval_rows = cfg.eval_rows.clamp(1, n - 1);
+    let train_rows = n - eval_rows;
+
+    // Materialise both splits as owned matrices — the "everything fits"
+    // baseline the paged run is measured against.
+    let train_m = full.features().slice_rows(0, train_rows).to_matrix();
+    let eval_m = full.features().slice_rows(train_rows, n).to_matrix();
+    let train = LabeledView::from_parts(train_m.view(), &full.labels()[..train_rows], full.num_classes());
+    let eval = LabeledView::from_parts(eval_m.view(), &full.labels()[train_rows..], full.num_classes());
+
+    let estimators = default_estimators();
+    let k = shared_table_k(&estimators).max(1);
+    let table = snoopy_estimators::shared_neighbor_table(train_m.view(), eval_m.view(), k);
+    let estimates = estimate_all_with_table(&estimators, &table, &train, &eval, full.num_classes());
+    let min_estimate = estimates.iter().copied().fold(f64::INFINITY, f64::min);
+
+    Ok(OutOfCoreReport {
+        table,
+        estimates,
+        min_estimate,
+        paging: PagingStats::default(),
+        residency: PagedResidentBytes::default(),
+        train_rows,
+        eval_rows,
+        dim: full.features().cols(),
+        num_classes: full.num_classes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_data::disk::DiskLabeledDataset;
+    use snoopy_testutil::{cloud_with_ties, TempDir};
+
+    fn write_dataset(dir: &Path, seed: u64, n: usize, d: usize) {
+        let (x, y) = cloud_with_ties(seed, n, d, 4);
+        let view = LabeledView::from_parts(x.view(), &y, 4);
+        DiskLabeledDataset::write(dir, &view).expect("write dataset");
+    }
+
+    #[test]
+    fn paged_study_matches_resident_reference_bit_for_bit() {
+        let dir = TempDir::new("oocore_core");
+        write_dataset(dir.path(), 11, 400, 8);
+        // Budget ≈ a quarter of the training payload: forces real paging.
+        let cfg = OutOfCoreConfig {
+            shard_budget_bytes: (300 * 8 * 4) / 4,
+            nlist: 8,
+            eval_rows: 100,
+            quantize: false,
+        };
+        let paged = run_oocore_study(dir.path(), &cfg).expect("paged study");
+        let resident = run_resident_reference(dir.path(), &cfg).expect("resident study");
+        assert_eq!(paged.table, resident.table);
+        assert_eq!(paged.estimates, resident.estimates);
+        assert_eq!(paged.min_estimate, resident.min_estimate);
+        assert!(paged.paging.shards_evicted >= 1, "budget should force eviction: {:?}", paged.paging);
+        let rb = paged.residency;
+        assert!(rb.peak <= rb.budget + rb.max_shard, "residency contract: {rb:?}");
+    }
+
+    #[test]
+    fn quantized_paged_study_is_still_bit_identical() {
+        let dir = TempDir::new("oocore_core_q");
+        write_dataset(dir.path(), 23, 300, 6);
+        let cfg = OutOfCoreConfig { shard_budget_bytes: 4 * 1024, nlist: 6, eval_rows: 60, quantize: true };
+        let paged = run_oocore_study(dir.path(), &cfg).expect("paged study");
+        let resident = run_resident_reference(dir.path(), &cfg).expect("resident study");
+        assert_eq!(paged.table, resident.table);
+        assert_eq!(paged.estimates, resident.estimates);
+    }
+
+    #[test]
+    fn eval_rows_is_clamped_to_leave_training_data() {
+        let dir = TempDir::new("oocore_clamp");
+        write_dataset(dir.path(), 5, 20, 3);
+        let cfg = OutOfCoreConfig { eval_rows: 999, nlist: 2, ..OutOfCoreConfig::default() };
+        let report = run_oocore_study(dir.path(), &cfg).expect("study");
+        assert_eq!(report.train_rows, 1);
+        assert_eq!(report.eval_rows, 19);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod cleaning;
 pub mod dataset;
+pub mod disk;
 pub mod feature_noise;
 pub mod gaussian;
 pub mod noise;
@@ -31,5 +32,6 @@ pub mod text;
 pub mod vision;
 
 pub use dataset::{Dataset, DatasetMeta, Modality, TaskDataset};
+pub use disk::{DiskLabeledDataset, DiskPairError};
 pub use noise::{NoiseModel, TransitionMatrix};
 pub use registry::{DatasetSpec, SizeScale};

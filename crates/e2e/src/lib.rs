@@ -18,11 +18,13 @@
 //! 0.9 $/GPU-hour), producing the cost-versus-cleaning traces of
 //! Figures 9, 10 and 21–27.
 
+pub mod oocore;
 pub mod server;
 pub mod simulate;
 pub mod sliding;
 pub mod strategy;
 
+pub use oocore::{run_oocore_scenario, OocoreRun};
 pub use server::{run_server_scenario, ServerRun};
 pub use simulate::{simulate, SimulationConfig, Trace, TracePoint};
 pub use sliding::{run_sliding_scenario, SlidingRun};

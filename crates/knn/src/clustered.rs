@@ -166,6 +166,7 @@
 //! rows scanned vs pruned — which `bench_knn_json` emits into
 //! `BENCH_knn.json` as the pruning-rate regression anchor.
 
+use crate::bounds::{euclid_f64, norm_f64, PruneBounds};
 use crate::engine::{EvalEngine, NeighborTable, TopKState};
 use crate::kernel::MetricKernel;
 use crate::metric::Metric;
@@ -359,22 +360,6 @@ pub const KMEANS_SEED: u64 = 0x5e3d_c0de;
 /// power, never correctness.
 const KMEANS_MAX_ITERS: usize = 16;
 
-/// `‖a − b‖₂` accumulated in `f64` — the bound-side geometry is computed at
-/// double precision so only the `f32` kernel side needs slack.
-fn euclid_f64(a: &[f32], b: &[f32]) -> f64 {
-    let mut acc = 0.0f64;
-    for (&x, &y) in a.iter().zip(b) {
-        let d = x as f64 - y as f64;
-        acc += d * d;
-    }
-    acc.sqrt()
-}
-
-/// `‖a‖₂` accumulated in `f64` (feeds the kernel-error term of the bounds).
-fn norm_f64(a: &[f32]) -> f64 {
-    a.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt()
-}
-
 /// The exact-pruned clustered index. See the [module docs](self) for the
 /// bound derivation and exactness argument.
 #[derive(Debug, Clone)]
@@ -397,22 +382,10 @@ pub struct ClusteredIndex {
     radii: Vec<f64>,
     /// Per regrouped row: `e(x, c)` to its own centroid in `f64`.
     row_center: Vec<f64>,
-    /// Largest member norm `max_x ‖x‖` in `f64` — feeds the kernel-error
-    /// term of every bound (global, so the bound-ordered cluster scan's
-    /// early exit stays monotone in the lower bound).
-    max_norm: f64,
-    /// Kernel-error coefficient `2(d + 16)·ε_f32`: multiplied by
-    /// `(‖q‖ + max_norm)²` it upper-bounds how far below the true squared
-    /// distance the norm-trick `f32` kernel can land (see module docs).
-    err_coeff: f64,
-    /// Relative bound deflation `1 − (2d + 32)·ε_f32`, covering the `f64`
-    /// geometry side (see module docs).
-    slack: f64,
-    /// Absolute prune guard covering f32 subnormal underflow, in squared
-    /// space: the smallest normal f32. In particular `τ = 0` (a perfect hit
-    /// already admitted) disables pruning entirely, preserving the
-    /// zero-distance tie-break.
-    abs_guard: f64,
+    /// The prune-comparison constants (slack, kernel-error coefficient,
+    /// subnormal guard, global max member norm) — shared arithmetic with the
+    /// shard-paged index, see [`crate::bounds`].
+    bounds: PruneBounds,
     /// The int8 shadow copy driving the two-phase scan — `None` until
     /// [`ClusteredIndex::quantize`] (or when the overflow guard rejected
     /// the data, in which case scans stay exact-only).
@@ -524,7 +497,6 @@ impl ClusteredIndex {
         }
         let mut kernel = MetricKernel::new(metric);
         kernel.bind_train(part.data.view());
-        let d = train.cols() as f64;
         Self {
             kernel,
             data: part.data,
@@ -533,10 +505,7 @@ impl ClusteredIndex {
             centroids,
             radii,
             row_center,
-            max_norm,
-            err_coeff: 2.0 * (d + 16.0) * f32::EPSILON as f64,
-            slack: 1.0 - (2.0 * d + 32.0) * f32::EPSILON as f64,
-            abs_guard: f32::MIN_POSITIVE as f64,
+            bounds: PruneBounds::new(metric, train.cols(), max_norm),
             shadow: None,
             engine,
         }
@@ -688,11 +657,7 @@ impl ClusteredIndex {
     /// the 1NN path) maps to `∞` and never prunes.
     #[inline]
     fn tau_sq(&self, tau: f32) -> f64 {
-        let t = tau as f64;
-        match self.kernel.metric() {
-            Metric::SquaredEuclidean => t,
-            _ => t * t * (1.0 + 8.0 * f32::EPSILON as f64),
-        }
+        self.bounds.tau_sq(tau)
     }
 
     /// The per-query kernel-error margin: how far below the true squared
@@ -700,8 +665,7 @@ impl ClusteredIndex {
     /// (`qn` is the query's `f64` Euclidean norm).
     #[inline]
     fn kernel_err(&self, qn: f64) -> f64 {
-        let s = qn + self.max_norm;
-        self.err_coeff * s * s
+        self.bounds.kernel_err(qn)
     }
 
     /// Whether a Euclidean-space lower bound `lb` proves that no candidate
@@ -712,7 +676,7 @@ impl ClusteredIndex {
     /// first pruned cluster.
     #[inline]
     fn prunes(&self, lb: f64, tau_sq: f64, err: f64) -> bool {
-        lb * lb * self.slack - err > tau_sq + self.abs_guard
+        self.bounds.prunes(lb, tau_sq, err)
     }
 
     /// The [`ClusteredIndex::prunes`] inequality solved for the bound: a
@@ -723,7 +687,7 @@ impl ClusteredIndex {
     /// prunes).
     #[inline]
     fn prune_threshold(&self, tau: f32, err: f64) -> f64 {
-        ((self.tau_sq(tau) + self.abs_guard + err) / self.slack).sqrt()
+        self.bounds.prune_threshold(tau, err)
     }
 
     /// Shared per-query preamble: fills `order` with

@@ -41,6 +41,14 @@
 //!   quantization-error-widened bound selects the candidate superset, and
 //!   only survivors are re-ranked through the exact f32 kernel — a ~4×
 //!   smaller scan copy with the identical `NeighborTable`,
+//! * the shard-paged out-of-core index ([`sharded::ShardedIndex`]): the
+//!   same partition and bound arithmetic over a borrowed — typically
+//!   mmap-backed ([`snoopy_linalg::disk::DiskDataset`]) — source view, but
+//!   each cluster materialises as an independently loadable/evictable
+//!   shard under an LRU byte budget ([`sharded::PagingStats`],
+//!   [`sharded::PagedResidentBytes`]); the triangle-inequality prune order
+//!   doubles as the paging order, so rejected clusters are never faulted
+//!   in, and results stay bit-identical to the resident paths,
 //! * an exact brute-force index ([`brute::BruteForceIndex`]) whose k-NN
 //!   queries, batch evaluation, and leave-one-out error all route through
 //!   the engine (or the clustered index, per backend),
@@ -59,6 +67,7 @@
 //!   bench-tuned growth factor [`incremental::REPARTITION_GROWTH`], or a
 //!   pruning-rate trigger).
 
+pub(crate) mod bounds;
 pub mod brute;
 pub mod clustered;
 pub mod engine;
@@ -66,6 +75,7 @@ pub mod incremental;
 pub mod kernel;
 pub mod metric;
 pub mod quantized;
+pub mod sharded;
 
 pub use brute::BruteForceIndex;
 pub use clustered::{ClusteredIndex, EvalBackend, PruneStats, ResidentBytes};
@@ -74,3 +84,4 @@ pub use incremental::{EvictReport, IncrementalTopK, RepartitionPolicy};
 pub use kernel::MetricKernel;
 pub use metric::Metric;
 pub use quantized::AffineQuantizer;
+pub use sharded::{PagedResidentBytes, PagingStats, ShardedIndex};

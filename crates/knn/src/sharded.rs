@@ -1,0 +1,754 @@
+//! Shard-paged exact clustered scans over out-of-core datasets.
+//!
+//! The fully-resident [`ClusteredIndex`](crate::clustered::ClusteredIndex)
+//! copies every training row into a cluster-contiguous buffer at build time
+//! — fine when the dataset fits in RAM, a non-starter for the
+//! millions-of-rows datasets the mmap-backed
+//! [`snoopy_linalg::disk::DiskDataset`] makes addressable.
+//! [`ShardedIndex`] keeps the *same* k-means partition and the *same*
+//! triangle-inequality bound arithmetic ([`crate::bounds`]) but materialises
+//! each cluster as an independent **shard** — the gathered f32 member rows,
+//! their per-row centroid distances, the kernel norm cache, and (when
+//! quantized) the int8 shadow — that loads and evicts on demand under a
+//! configurable resident byte budget.
+//!
+//! ## Paging order *is* prune order
+//!
+//! A query sorts clusters by ascending triangle-inequality lower bound and
+//! visits them in that order, exactly like the resident index. A shard is
+//! faulted in **only when its cluster is actually visited**, so the bound
+//! doubles as the paging schedule: clusters the bound rejects are never
+//! read off disk at all, and the first unbeatable cluster ends the query
+//! before any further I/O. The cost model is therefore the resident index's
+//! prune rate translated into bytes — `PruneStats::cluster_prune_rate`
+//! bounds the fraction of the dataset a query can fault.
+//!
+//! ## Residency contract
+//!
+//! Shards are cached LRU under `budget_bytes`: after each fault the
+//! least-recently-used shards are evicted (the just-faulted shard is
+//! pinned) until the cache fits the budget again. Peak residency is
+//! therefore at most `budget + one shard`, measured — not asserted — by
+//! [`ShardedIndex::resident_bytes`] ([`PagedResidentBytes`]), with fault
+//! and eviction traffic counted in [`PagingStats`].
+//!
+//! ## Exactness
+//!
+//! Results are **bit-identical** to the resident index and the exhaustive
+//! engine: member order within a shard ascends by original row index (the
+//! same regrouping [`partition_rows`] produces), every admitted distance
+//! comes from the same [`MetricKernel`] expressions (which depend only on
+//! the pair of rows, never on which buffer holds them), and every prune
+//! decision routes through the shared [`PruneBounds`] arithmetic. Evicting
+//! and re-faulting a shard recomputes identical bytes — gathers and
+//! per-row geometry are deterministic functions of the source view.
+//!
+//! Queries run serially (`&mut self`, no worker fan-out): the paged
+//! workload is I/O-bound by construction, and a single scan stream keeps
+//! the LRU order meaningful — fan-out would make residency depend on thread
+//! interleaving.
+
+use crate::bounds::{euclid_f64, norm_f64, PruneBounds};
+use crate::clustered::{ResidentBytes, KMEANS_SEED};
+use crate::engine::{EvalEngine, NeighborTable, TopKState};
+use crate::kernel::MetricKernel;
+use crate::metric::Metric;
+use crate::quantized::{AffineQuantizer, QuantizedQuery, QuantizedShadow};
+use crate::PruneStats;
+use snoopy_linalg::kmeans::lloyd_kmeans;
+use snoopy_linalg::{DatasetView, Matrix};
+
+/// Iteration cap for the internal k-means run (mirrors the resident index).
+const KMEANS_MAX_ITERS: usize = 16;
+
+/// Paging counters accumulated by the shard cache over the index's
+/// lifetime — the out-of-core counterpart of [`PruneStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagingStats {
+    /// Shards materialised from the source view (cold faults).
+    pub shards_faulted: usize,
+    /// Shards dropped by the LRU budget.
+    pub shards_evicted: usize,
+    /// Bytes paged in across all faults.
+    pub bytes_faulted: usize,
+    /// Bytes released across all evictions.
+    pub bytes_evicted: usize,
+}
+
+/// [`ResidentBytes`] extended with the budget-vs-peak accounting of the
+/// shard cache — what [`ShardedIndex::resident_bytes`] reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagedResidentBytes {
+    /// Currently-resident footprint, bucketed like the resident index
+    /// (`train_rows`/`quantized_*` cover resident shards only; `centroids`
+    /// and `row_meta` cover the always-resident index metadata).
+    pub resident: ResidentBytes,
+    /// The configured shard-cache budget in bytes.
+    pub budget: usize,
+    /// High-water mark of resident shard bytes since build.
+    pub peak: usize,
+    /// Largest single shard faulted so far — `peak ≤ budget + max_shard`
+    /// is the cache's residency contract.
+    pub max_shard: usize,
+}
+
+/// One materialised cluster: the gathered member rows plus everything a
+/// scan needs that is derived from them. Rebuilt deterministically on every
+/// fault, so eviction never loses information.
+struct Shard {
+    /// Gathered f32 member rows, ascending by original row index.
+    rows: Matrix,
+    /// Per member row: `e(x, c)` to its own centroid in `f64`.
+    row_center: Vec<f64>,
+    /// The tile kernel with this shard's rows bound as its train side.
+    kernel: MetricKernel,
+    /// The int8 shadow (when the index is quantized and the rows pass the
+    /// overflow guard).
+    shadow: Option<QuantizedShadow>,
+    /// Resident footprint of this shard.
+    bytes: usize,
+    /// LRU clock value of the last fault or visit.
+    last_use: u64,
+}
+
+/// Gathers one cluster's shard from the source view. Deterministic: the
+/// same ids against the same view always produce the same bytes, which is
+/// what makes evict-then-refault invisible in the results.
+fn load_shard(
+    source: DatasetView<'_>,
+    metric: Metric,
+    ids: &[usize],
+    centroid: &[f32],
+    quantizer: Option<&AffineQuantizer>,
+) -> Shard {
+    let rows = source.select_rows(ids);
+    let row_center: Vec<f64> = rows.rows_iter().map(|r| euclid_f64(r, centroid)).collect();
+    let mut kernel = MetricKernel::new(metric);
+    kernel.bind_train(rows.view());
+    let shadow = quantizer.and_then(|qz| QuantizedShadow::build(rows.view(), qz.clone()));
+    let bytes = rows.rows() * rows.cols() * size_of::<f32>()
+        + row_center.len() * size_of::<f64>()
+        + kernel.train_bound() * size_of::<f32>()
+        + shadow.as_ref().map_or(0, |s| s.code_bytes() + s.meta_bytes());
+    Shard { rows, row_center, kernel, shadow, bytes, last_use: 0 }
+}
+
+/// The LRU shard cache: one slot per cluster, a resident-byte ledger, and
+/// the paging counters.
+struct ShardCache {
+    resident: Vec<Option<Shard>>,
+    resident_bytes: usize,
+    peak_resident: usize,
+    max_shard_bytes: usize,
+    budget: usize,
+    tick: u64,
+    stats: PagingStats,
+}
+
+impl ShardCache {
+    fn new(clusters: usize, budget: usize) -> Self {
+        ShardCache {
+            resident: (0..clusters).map(|_| None).collect(),
+            resident_bytes: 0,
+            peak_resident: 0,
+            max_shard_bytes: 0,
+            budget,
+            tick: 0,
+            stats: PagingStats::default(),
+        }
+    }
+
+    /// Returns cluster `c`'s shard, materialising it through `load` on a
+    /// miss and then evicting LRU shards (the fresh shard pinned) until the
+    /// cache fits the budget again.
+    fn fault(&mut self, c: usize, load: impl FnOnce() -> Shard) -> &Shard {
+        self.tick += 1;
+        if self.resident[c].is_none() {
+            // Make room first: nothing is mid-scan between faults (queries
+            // are serial), so even a previously-pinned over-budget shard is
+            // evictable now. This keeps the peak at `budget + one shard`
+            // rather than `budget + two`.
+            self.evict_over_budget(usize::MAX);
+            let shard = load();
+            self.stats.shards_faulted += 1;
+            self.stats.bytes_faulted += shard.bytes;
+            self.max_shard_bytes = self.max_shard_bytes.max(shard.bytes);
+            self.resident_bytes += shard.bytes;
+            self.peak_resident = self.peak_resident.max(self.resident_bytes);
+            self.resident[c] = Some(shard);
+            self.evict_over_budget(c);
+        }
+        let tick = self.tick;
+        let shard = self.resident[c].as_mut().expect("shard resident after fault");
+        shard.last_use = tick;
+        shard
+    }
+
+    /// Evicts least-recently-used shards (never `pin`, the shard being
+    /// scanned) until the ledger fits the budget. A single shard larger
+    /// than the whole budget stays resident alone — the `budget + one
+    /// shard` peak contract.
+    fn evict_over_budget(&mut self, pin: usize) {
+        while self.resident_bytes > self.budget {
+            let victim = self
+                .resident
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| *i != pin && s.is_some())
+                .min_by_key(|(_, s)| s.as_ref().expect("resident").last_use)
+                .map(|(i, _)| i);
+            let Some(v) = victim else { break };
+            let bytes = self.resident[v].take().expect("victim resident").bytes;
+            self.resident_bytes -= bytes;
+            self.stats.shards_evicted += 1;
+            self.stats.bytes_evicted += bytes;
+        }
+    }
+
+    /// Drops every resident shard (used when the quantizer changes so
+    /// shards re-materialise with shadows). Counted as evictions.
+    fn clear(&mut self) {
+        for slot in self.resident.iter_mut() {
+            if let Some(s) = slot.take() {
+                self.resident_bytes -= s.bytes;
+                self.stats.shards_evicted += 1;
+                self.stats.bytes_evicted += s.bytes;
+            }
+        }
+    }
+}
+
+/// The shard-paged exact clustered index over a borrowed (typically
+/// mmap-backed) source view. See the [module docs](self) for the paging and
+/// exactness contracts.
+pub struct ShardedIndex<'a> {
+    /// The source rows — on the out-of-core path, a window over a
+    /// memory-mapped [`snoopy_linalg::disk::DiskDataset`].
+    source: DatasetView<'a>,
+    metric: Metric,
+    engine: EvalEngine,
+    /// `nlist × d` centroids (empty clusters dropped) — always resident.
+    centroids: Matrix,
+    /// Per-cluster radius `r_c = max_{x ∈ c} e(x, c)` in `f64`.
+    radii: Vec<f64>,
+    /// Cluster-contiguous original row ids; cluster `c` owns
+    /// `members[offsets[c]..offsets[c + 1]]`, ascending within a cluster.
+    members: Vec<usize>,
+    offsets: Vec<usize>,
+    /// Shared prune-comparison arithmetic (see [`crate::bounds`]).
+    bounds: PruneBounds,
+    /// The frozen affine fitted over the *whole* source at
+    /// [`ShardedIndex::quantize`] time — every shard encodes against it, so
+    /// eviction and re-faulting cannot change any code.
+    quantizer: Option<AffineQuantizer>,
+    cache: ShardCache,
+}
+
+impl<'a> ShardedIndex<'a> {
+    /// Builds a shard-paged index over `source` with (at most) `nlist`
+    /// k-means clusters and an LRU shard cache of `budget_bytes`, using a
+    /// parallel default engine for the build. The build streams the source
+    /// twice (k-means plus one radii/member pass) and materialises no row
+    /// buffer — per-row residency starts at one `usize` id.
+    ///
+    /// # Panics
+    /// Panics for [`Metric::Cosine`] (not triangle-prunable) or an empty
+    /// `source`.
+    pub fn build(source: DatasetView<'a>, metric: Metric, nlist: usize, budget_bytes: usize) -> Self {
+        Self::build_with_engine(source, metric, nlist, budget_bytes, EvalEngine::parallel())
+    }
+
+    /// [`ShardedIndex::build`] with an explicit engine (the engine's thread
+    /// count drives the k-means assignment passes; queries themselves run
+    /// serially — see the [module docs](self)).
+    pub fn build_with_engine(
+        source: DatasetView<'a>,
+        metric: Metric,
+        nlist: usize,
+        budget_bytes: usize,
+        engine: EvalEngine,
+    ) -> Self {
+        assert!(crate::EvalBackend::prunable(metric), "cosine dissimilarity is not triangle-prunable");
+        assert!(!source.is_empty(), "cannot build a sharded index over an empty dataset");
+        let km = lloyd_kmeans(source, nlist, KMEANS_MAX_ITERS, KMEANS_SEED, engine.threads());
+        let k = km.centroids.rows();
+
+        // Cluster-contiguous member ids, ascending within each cluster
+        // (assignments are iterated in row order), empty clusters dropped —
+        // the same regrouping `partition_rows` produces, minus the row copy.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (row, &a) in km.assignments.iter().enumerate() {
+            groups[a].push(row);
+        }
+        let keep: Vec<usize> = (0..k).filter(|&c| !groups[c].is_empty()).collect();
+        let centroids = km.centroids.view().select_rows(&keep);
+        let mut members = Vec::with_capacity(source.rows());
+        let mut offsets = Vec::with_capacity(keep.len() + 1);
+        offsets.push(0usize);
+        for &c in &keep {
+            members.extend_from_slice(&groups[c]);
+            offsets.push(members.len());
+        }
+
+        // One streaming pass over the source: per-cluster radii plus the
+        // global max member norm of the kernel-error term. Per-row centroid
+        // distances are shard metadata — recomputed at fault, not stored.
+        let mut radii = vec![0.0f64; keep.len()];
+        let mut max_norm = 0.0f64;
+        for (c, radius) in radii.iter_mut().enumerate() {
+            let cent = centroids.row(c);
+            for &row in &members[offsets[c]..offsets[c + 1]] {
+                let r = source.row(row);
+                *radius = radius.max(euclid_f64(r, cent));
+                max_norm = max_norm.max(norm_f64(r));
+            }
+        }
+
+        let clusters = keep.len();
+        ShardedIndex {
+            source,
+            metric,
+            engine,
+            centroids,
+            radii,
+            members,
+            offsets,
+            bounds: PruneBounds::new(metric, source.cols(), max_norm),
+            quantizer: None,
+            cache: ShardCache::new(clusters, budget_bytes),
+        }
+    }
+
+    /// Attaches the int8 quantization: fits the affine over the whole
+    /// source (one streaming pass) and freezes it, so every shard —
+    /// including ones re-faulted after eviction — encodes identically.
+    /// Resident shards are dropped and re-materialise with shadows on next
+    /// visit. Results stay bit-identical (the shadow only selects re-rank
+    /// candidates); data past the overflow guard simply scans exact.
+    pub fn quantize(mut self) -> Self {
+        self.quantizer = Some(AffineQuantizer::fit(self.source));
+        self.cache.clear();
+        self
+    }
+
+    /// Whether a frozen quantizer is attached.
+    pub fn is_quantized(&self) -> bool {
+        self.quantizer.is_some()
+    }
+
+    /// Replaces the engine driving the build-time k-means passes.
+    pub fn with_engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Number of indexed source rows.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the index is empty (never — build rejects empty sources —
+    /// but the standard pair keeps clippy and callers honest).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of (non-empty) clusters = number of shards.
+    pub fn num_clusters(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The metric the index was built for.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The configured shard-cache budget in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.cache.budget
+    }
+
+    /// Cumulative paging counters since build.
+    pub fn paging_stats(&self) -> PagingStats {
+        self.cache.stats
+    }
+
+    /// The current resident footprint, the budget, and the peak — the
+    /// residency contract is `peak ≤ budget + max_shard`.
+    pub fn resident_bytes(&self) -> PagedResidentBytes {
+        let mut rb = ResidentBytes {
+            train_rows: 0,
+            quantized_codes: 0,
+            quantized_meta: self.quantizer.as_ref().map_or(0, |q| q.param_bytes()),
+            centroids: self.centroids.rows() * self.centroids.cols() * size_of::<f32>()
+                + self.radii.len() * size_of::<f64>()
+                + self.offsets.len() * size_of::<usize>(),
+            row_meta: self.members.len() * size_of::<usize>(),
+        };
+        for shard in self.cache.resident.iter().flatten() {
+            rb.train_rows += shard.rows.rows() * shard.rows.cols() * size_of::<f32>();
+            rb.quantized_codes += shard.shadow.as_ref().map_or(0, |s| s.code_bytes());
+            rb.quantized_meta += shard.shadow.as_ref().map_or(0, |s| s.meta_bytes());
+            rb.row_meta +=
+                shard.row_center.len() * size_of::<f64>() + shard.kernel.train_bound() * size_of::<f32>();
+        }
+        PagedResidentBytes {
+            resident: rb,
+            budget: self.cache.budget,
+            peak: self.cache.peak_resident,
+            max_shard: self.cache.max_shard_bytes,
+        }
+    }
+
+    /// Answers one query into `state`: clusters ordered by ascending lower
+    /// bound, shards faulted only when visited, scan stopping at the first
+    /// unbeatable cluster — the prune order is the paging order.
+    #[allow(clippy::too_many_arguments)] // the scan's full per-query context
+    fn query_into(
+        &mut self,
+        q: &[f32],
+        offset: usize,
+        skip: usize,
+        state: &mut TopKState,
+        order: &mut Vec<(f64, f64, usize)>,
+        tile: &mut [f32],
+        qtile: &mut [i32],
+        keep: &mut [bool],
+        wbuf: &mut Vec<f32>,
+        vbuf: &mut Vec<i16>,
+        stats: &mut PruneStats,
+    ) {
+        order.clear();
+        for (c, cent) in self.centroids.rows_iter().enumerate() {
+            let dqc = euclid_f64(q, cent);
+            order.push(((dqc - self.radii[c]).max(0.0), dqc, c));
+        }
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        stats.queries += 1;
+        stats.clusters_total += self.num_clusters();
+        stats.rows_total += self.members.len();
+        let qv = MetricKernel::new(self.metric).query_value(q);
+        let err = self.bounds.kernel_err(norm_f64(q));
+        let ShardedIndex { source, metric, centroids, members, offsets, bounds, quantizer, cache, .. } = self;
+        for &(lb, dqc, c) in order.iter() {
+            if state.hits().len() == state.k() {
+                let tau_sq = bounds.tau_sq(state.hits().last().expect("full state").distance);
+                // Clusters are ordered by ascending bound and τ only
+                // shrinks, so the first unbeatable cluster ends the query —
+                // and with it, the paging.
+                if bounds.prunes(lb, tau_sq, err) {
+                    break;
+                }
+            }
+            stats.clusters_visited += 1;
+            let ids = &members[offsets[c]..offsets[c + 1]];
+            let shard =
+                cache.fault(c, || load_shard(*source, *metric, ids, centroids.row(c), quantizer.as_ref()));
+            let qq = shard.shadow.as_ref().and_then(|sh| sh.prepare_query(q, wbuf, vbuf));
+            match (&shard.shadow, qq) {
+                (Some(sh), Some(qq)) => scan_shard_quantized(
+                    shard, sh, &qq, vbuf, bounds, ids, q, qv, err, offset, skip, state, qtile, keep, stats,
+                ),
+                _ => scan_shard_topk(shard, bounds, ids, q, qv, dqc, err, offset, skip, state, tile, stats),
+            }
+        }
+    }
+
+    /// Folds the indexed source rows into the running top-k state of every
+    /// query row — the paged counterpart of `ClusteredIndex::update_topk`,
+    /// same streamable fold semantics, serial by design (see the
+    /// [module docs](self)).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or `states.len() != queries.rows()`.
+    pub fn update_topk(
+        &mut self,
+        queries: DatasetView<'_>,
+        offset: usize,
+        states: &mut [TopKState],
+        exclude_self: Option<usize>,
+    ) -> PruneStats {
+        assert_eq!(queries.cols(), self.source.cols(), "query/train dimensionality mismatch");
+        assert_eq!(states.len(), queries.rows(), "one top-k state per query required");
+        let mut stats = PruneStats::default();
+        let largest =
+            (0..self.num_clusters()).map(|c| self.offsets[c + 1] - self.offsets[c]).max().unwrap_or(1);
+        let tile_len = self.engine.tile_rows().min(largest.max(1));
+        let mut order = Vec::with_capacity(self.num_clusters());
+        let mut tile = vec![0.0f32; tile_len];
+        let quantized = self.quantizer.is_some();
+        let mut qtile = vec![0i32; if quantized { tile_len } else { 0 }];
+        let mut keep = vec![false; if quantized { tile_len } else { 0 }];
+        let mut wbuf = Vec::with_capacity(if quantized { self.source.cols() } else { 0 });
+        let mut vbuf = Vec::with_capacity(if quantized { self.source.cols() } else { 0 });
+        for (qi, state) in states.iter_mut().enumerate() {
+            let skip = exclude_self.map(|b| b + qi).unwrap_or(usize::MAX);
+            self.query_into(
+                queries.row(qi),
+                offset,
+                skip,
+                state,
+                &mut order,
+                &mut tile,
+                &mut qtile,
+                &mut keep,
+                &mut wbuf,
+                &mut vbuf,
+                &mut stats,
+            );
+        }
+        stats
+    }
+
+    /// Top-k neighbour table for every query, from a cold start —
+    /// bit-identical to `EvalEngine::topk` and `ClusteredIndex::topk` on
+    /// the same data.
+    pub fn topk(&mut self, queries: DatasetView<'_>, k: usize) -> NeighborTable {
+        self.topk_with_stats(queries, k).0
+    }
+
+    /// [`ShardedIndex::topk`] plus the pruning counters (paging counters
+    /// accumulate on the index — [`ShardedIndex::paging_stats`]).
+    pub fn topk_with_stats(&mut self, queries: DatasetView<'_>, k: usize) -> (NeighborTable, PruneStats) {
+        let mut states = vec![TopKState::new(k.max(1)); queries.rows()];
+        let stats = self.update_topk(queries, 0, &mut states, None);
+        (NeighborTable::from_states(&states), stats)
+    }
+
+    /// Leave-one-out top-k table of the indexed data against itself (row
+    /// `i` of `data` must be row `i` of the source view) — bit-identical to
+    /// `EvalEngine::topk_loo`.
+    pub fn topk_loo(&mut self, data: DatasetView<'_>, k: usize) -> NeighborTable {
+        self.topk_loo_with_stats(data, k).0
+    }
+
+    /// [`ShardedIndex::topk_loo`] plus the pruning counters.
+    pub fn topk_loo_with_stats(&mut self, data: DatasetView<'_>, k: usize) -> (NeighborTable, PruneStats) {
+        let mut states = vec![TopKState::new(k.max(1)); data.rows()];
+        let stats = self.update_topk(data, 0, &mut states, Some(0));
+        (NeighborTable::from_states(&states), stats)
+    }
+}
+
+/// Scans one faulted shard into `state` — the shard-local twin of
+/// `ClusteredIndex::scan_cluster_topk`: whole tiles through the shard's
+/// tile kernel when unbroken by the per-row bound or self-exclusion, the
+/// bit-identical per-pair path otherwise.
+#[allow(clippy::too_many_arguments)] // the scan's full per-query context
+fn scan_shard_topk(
+    shard: &Shard,
+    bounds: &PruneBounds,
+    ids: &[usize],
+    q: &[f32],
+    qv: f32,
+    dqc: f64,
+    err: f64,
+    offset: usize,
+    skip: usize,
+    state: &mut TopKState,
+    tile: &mut [f32],
+    stats: &mut PruneStats,
+) {
+    let data = shard.rows.view();
+    let n = data.rows();
+    let mut r = 0usize;
+    while r < n {
+        let len = tile.len().min(n - r);
+        let mut fast = skip == usize::MAX || !ids[r..r + len].iter().any(|&o| offset + o == skip);
+        if fast && state.hits().len() == state.k() {
+            let tau_sq = bounds.tau_sq(state.hits().last().expect("full state").distance);
+            fast = !(r..r + len).any(|j| bounds.prunes((dqc - shard.row_center[j]).abs(), tau_sq, err));
+        }
+        if fast {
+            let out = &mut tile[..len];
+            shard.kernel.tile_with(q, qv, data, r, out);
+            for (j, &d) in out.iter().enumerate() {
+                state.offer(d, offset + ids[r + j]);
+            }
+            stats.rows_scanned += len;
+        } else {
+            for (j, &id) in ids.iter().enumerate().take(r + len).skip(r) {
+                let global = offset + id;
+                if global == skip {
+                    continue;
+                }
+                if state.hits().len() == state.k() {
+                    let tau_sq = bounds.tau_sq(state.hits().last().expect("full state").distance);
+                    if bounds.prunes((dqc - shard.row_center[j]).abs(), tau_sq, err) {
+                        stats.rows_pruned += 1;
+                        continue;
+                    }
+                }
+                state.offer(shard.kernel.pair_with(q, qv, data, j), global);
+                stats.rows_scanned += 1;
+            }
+        }
+        r += len;
+    }
+}
+
+/// The two-phase int8 scan of one faulted shard — the shard-local twin of
+/// `ClusteredIndex::scan_cluster_quantized`: integer dot tiles from the
+/// shard's shadow, the widened bound classifies, survivors re-rank through
+/// the exact kernel.
+#[allow(clippy::too_many_arguments)] // the scan's full per-query context
+fn scan_shard_quantized(
+    shard: &Shard,
+    shadow: &QuantizedShadow,
+    qq: &QuantizedQuery,
+    v: &[i16],
+    bounds: &PruneBounds,
+    ids: &[usize],
+    q: &[f32],
+    qv: f32,
+    err: f64,
+    offset: usize,
+    skip: usize,
+    state: &mut TopKState,
+    qtile: &mut [i32],
+    keep: &mut [bool],
+    stats: &mut PruneStats,
+) {
+    let data = shard.rows.view();
+    let n = data.rows();
+    let mut cached_tau = f32::NAN; // NaN ≠ everything → first full state recomputes
+    let mut cached_threshold = f64::INFINITY;
+    let mut r = 0usize;
+    while r < n {
+        let len = qtile.len().min(n - r);
+        let dots = &mut qtile[..len];
+        shadow.approx_dot_tile(v, r, dots);
+        stats.rows_quantized += len;
+        let threshold = if state.hits().len() == state.k() {
+            let tau = state.hits().last().expect("full state").distance;
+            if tau != cached_tau {
+                cached_tau = tau;
+                cached_threshold = bounds.prune_threshold(tau, err);
+            }
+            cached_threshold
+        } else {
+            f64::INFINITY // not full: every row survives classification
+        };
+        shadow.classify_tile(qq, threshold, r, dots, &mut keep[..len]);
+        for (j, &kept) in keep[..len].iter().enumerate() {
+            if !kept {
+                stats.rows_pruned += 1;
+                continue;
+            }
+            let row = r + j;
+            let global = offset + ids[row];
+            if global == skip {
+                continue;
+            }
+            state.offer(shard.kernel.pair_with(q, qv, data, row), global);
+            stats.rows_scanned += 1;
+        }
+        r += len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{knn_reference, knn_reference_loo};
+    use crate::ClusteredIndex;
+
+    fn blobs(n: usize, d: usize, centers: usize, seed: u64) -> Matrix {
+        snoopy_testutil::blob_cloud(seed, n, d, centers, 6.0, 0.2)
+    }
+
+    #[test]
+    fn sharded_matches_reference_under_tight_budget() {
+        let train = blobs(400, 8, 8, 1);
+        let queries = blobs(60, 8, 8, 2);
+        // A budget of roughly one shard forces eviction churn on every query.
+        let budget = 8 * 8 * 4 * 60;
+        for metric in [Metric::SquaredEuclidean, Metric::Euclidean] {
+            let mut index = ShardedIndex::build(train.view(), metric, 8, budget);
+            for k in [1usize, 3, 10, 400] {
+                let got = index.topk(queries.view(), k);
+                assert_eq!(got, knn_reference(train.view(), queries.view(), metric, k), "k {k}");
+            }
+            assert!(index.paging_stats().shards_evicted >= 2, "{:?}", index.paging_stats());
+        }
+    }
+
+    #[test]
+    fn sharded_matches_resident_clustered_bit_for_bit() {
+        let train = blobs(500, 6, 10, 11);
+        let queries = blobs(40, 6, 10, 12);
+        let resident = ClusteredIndex::build(train.view(), Metric::SquaredEuclidean, 10);
+        let mut paged = ShardedIndex::build(train.view(), Metric::SquaredEuclidean, 10, 2 * 6 * 4 * 500 / 10);
+        assert_eq!(paged.topk(queries.view(), 5), resident.topk(queries.view(), 5));
+        assert_eq!(paged.topk_loo(train.view(), 3), resident.topk_loo(train.view(), 3));
+    }
+
+    #[test]
+    fn quantized_sharded_stays_exact_and_pages() {
+        let train = blobs(600, 12, 10, 21);
+        let queries = blobs(50, 12, 10, 22);
+        let budget = 3 * (600 / 10) * 12 * 4; // ~3 shards of f32 rows
+        let mut index = ShardedIndex::build(train.view(), Metric::SquaredEuclidean, 10, budget).quantize();
+        assert!(index.is_quantized());
+        let (table, stats) = index.topk_with_stats(queries.view(), 5);
+        assert_eq!(table, knn_reference(train.view(), queries.view(), Metric::SquaredEuclidean, 5));
+        assert!(stats.rows_quantized > 0, "shards must carry shadows: {stats:?}");
+        let paging = index.paging_stats();
+        assert!(paging.shards_faulted > index.num_clusters(), "re-faults expected: {paging:?}");
+        assert!(paging.shards_evicted >= 2, "{paging:?}");
+    }
+
+    #[test]
+    fn residency_contract_peak_at_most_budget_plus_one_shard() {
+        let train = blobs(800, 10, 16, 31);
+        let queries = blobs(64, 10, 16, 32);
+        for budget in [1usize, 40 * 10 * 4, 4 * 50 * 10 * 4, usize::MAX / 2] {
+            let mut index = ShardedIndex::build(train.view(), Metric::SquaredEuclidean, 16, budget);
+            index.topk(queries.view(), 5);
+            let rb = index.resident_bytes();
+            assert!(
+                rb.peak <= rb.budget.saturating_add(rb.max_shard),
+                "peak {} budget {} max_shard {}",
+                rb.peak,
+                rb.budget,
+                rb.max_shard
+            );
+            assert!(rb.resident.train_rows + rb.resident.row_meta > 0 || rb.budget == 1);
+        }
+    }
+
+    #[test]
+    fn never_visited_clusters_are_never_faulted() {
+        // Well-separated blobs: the bound rejects most clusters, and a
+        // rejected cluster must cost zero I/O.
+        let train = blobs(600, 6, 12, 41);
+        let queries = blobs(30, 6, 12, 42);
+        let mut index = ShardedIndex::build(train.view(), Metric::SquaredEuclidean, 12, usize::MAX / 2);
+        let (_, stats) = index.topk_with_stats(queries.view(), 3);
+        let paging = index.paging_stats();
+        assert!(stats.cluster_prune_rate() > 0.5, "{stats:?}");
+        // With an unbounded budget nothing evicts, so distinct faulted
+        // shards = clusters ever visited ≤ clusters visited across queries.
+        assert_eq!(paging.shards_evicted, 0);
+        assert!(paging.shards_faulted <= index.num_clusters());
+        assert!(paging.shards_faulted < 12, "pruned clusters must stay on disk: {paging:?}");
+    }
+
+    #[test]
+    fn loo_excludes_self_and_matches_reference() {
+        let data = blobs(150, 5, 6, 51);
+        let mut index = ShardedIndex::build(data.view(), Metric::Euclidean, 6, 5 * 5 * 4 * 30);
+        let got = index.topk_loo(data.view(), 4);
+        assert_eq!(got, knn_reference_loo(data.view(), Metric::Euclidean, 4));
+        for qi in 0..got.num_queries() {
+            assert!(got.neighbors(qi).iter().all(|h| h.index != qi));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not triangle-prunable")]
+    fn cosine_sharded_panics() {
+        let data = blobs(10, 3, 2, 1);
+        let _ = ShardedIndex::build(data.view(), Metric::Cosine, 2, usize::MAX / 2);
+    }
+}

@@ -4,7 +4,8 @@
 //! feasibility-study system.
 //!
 //! The crate deliberately implements only what the rest of the workspace
-//! needs, from scratch and without unsafe code:
+//! needs, from scratch and — apart from the contained `mmap` wrapper in
+//! [`disk`] — without unsafe code:
 //!
 //! * a row-major [`Matrix`] of `f32` features with the usual constructors,
 //!   slicing, and matrix operations (`matmul`, `transpose`, covariance,
@@ -16,6 +17,11 @@
 //! * zero-copy dataset views ([`view::DatasetView`], [`view::LabeledView`])
 //!   — the shared data handshake between the dataset registry, the kNN
 //!   engine, the Bayes-error estimators, and the feasibility study,
+//! * the out-of-core backing for those views ([`disk`]): a versioned
+//!   on-disk format (row-major f32 features, u32 labels sidecar, FNV-1a
+//!   checksum) and an mmap-backed [`disk::DiskDataset`] /
+//!   [`disk::DiskLabels`] pair whose windows are indistinguishable from
+//!   in-memory matrices downstream,
 //! * Lloyd's k-means with deterministic seeding and cluster-contiguous
 //!   row-partition buffers ([`kmeans`]) — the coarse-partition substrate of
 //!   the exact pruned nearest-neighbour index in `snoopy-knn`,
@@ -32,6 +38,7 @@
 //! Everything is deterministic given a seed, which the experiment harness
 //! relies on to regenerate the paper's tables and figures reproducibly.
 
+pub mod disk;
 pub mod eigen;
 pub mod kernel;
 pub mod kmeans;
@@ -42,6 +49,7 @@ pub mod rng;
 pub mod stats;
 pub mod view;
 
+pub use disk::{DiskDataset, DiskDatasetError, DiskLabels};
 pub use kmeans::{lloyd_kmeans, partition_rows, KMeans, RowPartition};
 pub use matrix::Matrix;
 pub use pca::Pca;

@@ -250,15 +250,26 @@ fn current_ctx() -> Option<PoolCtx> {
 }
 
 /// The cached worker count the global pool is (or will be) built with:
-/// `SNOOPY_POOL_WORKERS` if set and parseable, otherwise
+/// `SNOOPY_POOL_WORKERS` if set and valid (a positive integer), otherwise
 /// `available_parallelism()`, clamped to `[1, 16]`. Resolved exactly once
-/// per process.
+/// per process. An invalid value — `0`, unparseable, empty — is **rejected
+/// with a one-time warning on stderr** and the machine-shaped default is
+/// used instead: a typo'd pin must not silently reshape every parallel
+/// consumer in the process.
 pub fn default_workers() -> usize {
     static CACHED: OnceLock<usize> = OnceLock::new();
     *CACHED.get_or_init(|| {
-        std::env::var("SNOOPY_POOL_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
+        let from_env = std::env::var("SNOOPY_POOL_WORKERS").ok().and_then(|v| match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid SNOOPY_POOL_WORKERS={v:?} \
+                         (expected an integer >= 1); using available parallelism"
+                );
+                None
+            }
+        });
+        from_env
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
             .clamp(1, 16)
     })

@@ -1,0 +1,16 @@
+//! `SNOOPY_POOL_WORKERS` validation, in its own test binary so this process
+//! resolves [`snoopy_pool::default_workers`] exactly once with the rigged
+//! environment: an invalid pin (`0` here — a plausible "disable threading"
+//! guess that would deadlock a zero-worker pool) must be rejected in favour
+//! of the machine-shaped default, not silently honoured or clamped.
+
+#[test]
+fn invalid_pool_workers_pin_falls_back_to_machine_default() {
+    std::env::set_var("SNOOPY_POOL_WORKERS", "0");
+    let n = snoopy_pool::default_workers();
+    assert!((1..=16).contains(&n), "fallback worker count {n} out of range");
+    // The rejection is cached: later reads (even after the env changes)
+    // keep the resolved fallback.
+    std::env::set_var("SNOOPY_POOL_WORKERS", "2");
+    assert_eq!(snoopy_pool::default_workers(), n);
+}

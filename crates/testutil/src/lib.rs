@@ -17,6 +17,42 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use snoopy_data::gaussian::{GaussianMixture, GaussianMixtureSpec};
 use snoopy_linalg::{rng, Matrix};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A self-cleaning scratch directory under the system temp dir — the
+/// fixture behind every disk-dataset test and bench, so `cargo test -q`
+/// leaves no artifacts behind. Each call gets a unique directory
+/// (pid + sequence number), removed recursively on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh empty scratch directory tagged `tag` (for post-mortem
+    /// readability if a crash ever strands one).
+    pub fn new(tag: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "snoopy_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir { path }
+    }
+
+    /// The scratch directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
 
 /// Random labelled point cloud: `n × d` features uniform in `[-5, 5)` and
 /// uniform labels in `0..classes`.
