@@ -20,10 +20,13 @@
 //! the multi-tenant serving comparison (studies/sec of the warm
 //! `FeasibilityService` at 1..N tenants vs sequential cold one-shot
 //! studies), and the out-of-core comparison (the full feasibility study
-//! over a disk dataset 4× the resident shard budget, paged through the
-//! `ShardedIndex`, vs the fully-resident baseline — with bit-identical
-//! tables/estimates, ≥ 2 forced shard evictions, and the
-//! `budget + one shard` peak-residency contract asserted before timing)
+//! over a disk dataset `budget_factor`× the resident shard budget, paged
+//! through the `ShardedIndex`, vs the fully-resident baseline — with
+//! bit-identical tables/estimates, ≥ 2 forced shard evictions, and the
+//! peak-residency contract asserted before timing — plus a query-phase
+//! comparison of serial paging vs the depth-4 prefetch pipeline on a
+//! prebuilt index, bit-identical by assertion and ≥ 1.2× faster at
+//! eviction-heavy cases when ≥ 2 pool workers have ≥ 2 cores to run on)
 //! — across a few training-set sizes. This is the workspace's
 //! perf-trajectory anchor — run it before and after touching the engine.
 //!
@@ -181,15 +184,33 @@ struct OocoreCase {
     nlist: usize,
     /// Resident shard budget the paged study ran under (bytes).
     budget_bytes: usize,
-    /// Raw feature payload of the whole dataset (bytes) — ≥ 4× the budget.
+    /// Raw feature payload of the whole dataset (bytes) — `budget_factor` ×
+    /// the budget.
     dataset_bytes: usize,
-    /// End-to-end feasibility-study throughput, shard-paged.
+    /// How many times over budget the dataset is (≥ 4, ≥ 8 on the largest
+    /// case).
+    budget_factor: usize,
+    /// End-to-end feasibility-study throughput, shard-paged (prefetch off —
+    /// the serial baseline PR 9 established).
     paged_qps: f64,
     /// End-to-end feasibility-study throughput, fully resident.
     resident_qps: f64,
+    /// Query-phase throughput of a prebuilt paged index, serial paging
+    /// (prefetch depth 0).
+    serial_query_qps: f64,
+    /// Query-phase throughput of the same index with the prefetch pipeline
+    /// on (`prefetch_depth` shards ahead).
+    prefetch_query_qps: f64,
+    /// Pipeline depth of the prefetch query-phase measurement.
+    prefetch_depth: usize,
     shards_faulted: usize,
     shards_evicted: usize,
     bytes_faulted: usize,
+    /// Speculative loads issued / committed / dropped across the prefetch
+    /// query-phase runs.
+    shards_prefetched: usize,
+    prefetch_committed: usize,
+    prefetch_wasted: usize,
     peak_bytes: usize,
     max_shard_bytes: usize,
 }
@@ -1126,23 +1147,33 @@ fn main() {
     }
 
     // Out-of-core: the full default-estimator feasibility study over a disk
-    // dataset whose feature payload is 4× the resident shard budget, paged
-    // through the `ShardedIndex` vs the fully-resident in-memory baseline.
-    // Parity is asserted bit for bit (table and estimates), the budget must
-    // actually bind (≥ 2 shard evictions), and peak residency must respect
-    // the `budget + one shard` contract before anything is timed. Unlike the
-    // compute-bound sections, paged throughput also depends on page-fault
-    // and gather cost — the section is tagged `io_dependent`.
+    // dataset whose feature payload is `budget_factor`× the resident shard
+    // budget, paged through the `ShardedIndex` vs the fully-resident
+    // in-memory baseline, plus a query-phase comparison of serial paging vs
+    // the prefetch pipeline on a prebuilt index (whole-study time is
+    // dominated by the k-means build, so the pipeline's win is measured on
+    // the paging+scanning loop alone). Parity is asserted bit for bit
+    // (table, estimates, and the serial-vs-prefetch tables), the budget
+    // must actually bind (≥ 2 shard evictions), and peak residency must
+    // respect the `budget + max_shard × (1 + depth)` contract before
+    // anything is timed. Paged throughput depends on page-fault and gather
+    // cost (`io_dependent`), and the prefetch comparison degenerates to
+    // serial-vs-serial without a second core (`thread_dependent`).
     // The 16k and 64k cases run at every scale on purpose (like the 10k
     // incremental case): the within-2×-of-resident assertion below only has
-    // teeth at n ≥ 10 000, so even the tiny CI smoke exercises it.
-    let oocore_specs: &[(usize, usize)] = match scale {
-        snoopy_data::registry::SizeScale::Tiny => &[(2_000, 16), (16_384, 32), (65_536, 16)],
-        snoopy_data::registry::SizeScale::Standard => &[(16_384, 32), (65_536, 16), (131_072, 16)],
-        _ => &[(8_000, 16), (16_384, 32), (65_536, 16)],
+    // teeth at n ≥ 10 000, so even the tiny CI smoke exercises it. The
+    // standard scale adds a 512k-row case at 8× over budget — the current
+    // rung toward the million-row north star.
+    let oocore_specs: &[(usize, usize, usize)] = match scale {
+        snoopy_data::registry::SizeScale::Tiny => &[(2_000, 16, 4), (16_384, 32, 4), (65_536, 16, 4)],
+        snoopy_data::registry::SizeScale::Standard => {
+            &[(16_384, 32, 4), (65_536, 16, 4), (131_072, 16, 4), (524_288, 16, 8)]
+        }
+        _ => &[(8_000, 16, 4), (16_384, 32, 4), (65_536, 16, 4)],
     };
+    const OOCORE_PREFETCH_DEPTH: usize = 4;
     let mut oocore_cases = Vec::new();
-    for (i, &(n, d)) in oocore_specs.iter().enumerate() {
+    for (i, &(n, d, budget_factor)) in oocore_specs.iter().enumerate() {
         let x = make_blobs(n, d, 32, 90 + i as u64);
         let y: Vec<u32> = (0..n).map(|r| (r % 4) as u32).collect();
         // The generated dataset lives in a scratch dir the guard removes on
@@ -1154,14 +1185,20 @@ fn main() {
         let eval_rows = (n / 8).min(512);
         let train_rows = n - eval_rows;
         let dataset_bytes = n * d * std::mem::size_of::<f32>();
-        let budget_bytes = (train_rows * d * std::mem::size_of::<f32>()) / 4;
+        let budget_bytes = (train_rows * d * std::mem::size_of::<f32>()) / budget_factor;
         let cfg = snoopy_core::OutOfCoreConfig {
             shard_budget_bytes: budget_bytes,
             nlist: 32,
             eval_rows,
             quantize: false,
+            // The whole-study timing keeps PR 9's serial-paging semantics;
+            // the pipeline is measured separately on the query phase below.
+            prefetch_depth: 0,
         };
-        assert!(dataset_bytes >= 4 * budget_bytes, "the dataset must dwarf the budget");
+        assert!(
+            dataset_bytes >= budget_factor * budget_bytes,
+            "the dataset must dwarf the budget {budget_factor}x"
+        );
 
         let paged = snoopy_core::run_oocore_study(dir.path(), &cfg).expect("paged study");
         let resident = snoopy_core::run_resident_reference(dir.path(), &cfg).expect("resident study");
@@ -1197,15 +1234,68 @@ fn main() {
                 "paged study ({paged_qps:.1} qps) fell more than 2x behind resident ({resident_qps:.1} qps) at n={n}"
             );
         }
+
+        // Query-phase pipeline comparison on one prebuilt index: same
+        // eviction-heavy budget, depth 0 vs depth 4, tables asserted
+        // bit-identical. Each timed run re-pages most of its shards (the
+        // budget is `budget_factor`× oversubscribed), so residual cache
+        // state between runs is noise, not signal.
+        let dataset = snoopy_data::DiskLabeledDataset::open(dir.path()).expect("open bench dataset");
+        let full = dataset.view();
+        let train_x = full.features().slice_rows(0, train_rows);
+        let eval_x = full.features().slice_rows(train_rows, n);
+        let kq = 8usize;
+        let mut index =
+            snoopy_knn::ShardedIndex::build(train_x, Metric::SquaredEuclidean, cfg.nlist, budget_bytes);
+        index.set_prefetch_depth(0);
+        let serial_table = index.topk(eval_x, kq); // warm-up + reference
+        let t_serial_q = time_median(3, || {
+            std::hint::black_box(index.topk(eval_x, kq));
+        });
+        index.set_prefetch_depth(OOCORE_PREFETCH_DEPTH);
+        let before = index.paging_stats();
+        let prefetch_table = index.topk(eval_x, kq); // warm-up on the pipeline
+        assert_eq!(prefetch_table, serial_table, "prefetch must not change a single bit");
+        let t_prefetch_q = time_median(3, || {
+            std::hint::black_box(index.topk(eval_x, kq));
+        });
+        let after = index.paging_stats();
+        let shards_prefetched = after.shards_prefetched - before.shards_prefetched;
+        let prefetch_committed = after.prefetch_committed - before.prefetch_committed;
+        let prefetch_wasted = after.prefetch_wasted - before.prefetch_wasted;
+        let qrb = index.resident_bytes();
+        assert!(
+            qrb.peak <= qrb.budget + (1 + OOCORE_PREFETCH_DEPTH) * qrb.max_shard,
+            "pipelined peak {} exceeds budget {} + (1 + {OOCORE_PREFETCH_DEPTH}) x largest shard {}",
+            qrb.peak,
+            qrb.budget,
+            qrb.max_shard
+        );
+        let serial_query_qps = eval_rows as f64 / t_serial_q;
+        let prefetch_query_qps = eval_rows as f64 / t_prefetch_q;
+        let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if threads >= 2 && host_cores >= 2 && n >= 32_768 {
+            assert!(
+                prefetch_query_qps >= 1.2 * serial_query_qps,
+                "prefetch query phase ({prefetch_query_qps:.1} qps) must beat serial paging \
+                 ({serial_query_qps:.1} qps) by >= 1.2x at n={n} on {threads} workers"
+            );
+        }
+
         println!(
-            "oocore n={n} d={d}   budget {:.1} MiB / dataset {:.1} MiB   paged {:>7.1} qps   resident {:>7.1} qps   ratio {:.2}x   ({} faults, {} evictions)",
+            "oocore n={n} d={d}   budget {:.1} MiB / dataset {:.1} MiB ({budget_factor}x)   paged {:>7.1} qps   resident {:>7.1} qps   ratio {:.2}x   query serial {:>7.1} qps   prefetch(x{OOCORE_PREFETCH_DEPTH}) {:>7.1} qps ({:.2}x)   ({} faults, {} evictions, {}/{} commits/wasted)",
             budget_bytes as f64 / (1 << 20) as f64,
             dataset_bytes as f64 / (1 << 20) as f64,
             paged_qps,
             resident_qps,
             paged_qps / resident_qps,
+            serial_query_qps,
+            prefetch_query_qps,
+            prefetch_query_qps / serial_query_qps,
             paged.paging.shards_faulted,
             paged.paging.shards_evicted,
+            prefetch_committed,
+            prefetch_wasted,
         );
         oocore_cases.push(OocoreCase {
             train_n: n,
@@ -1214,11 +1304,18 @@ fn main() {
             nlist: cfg.nlist,
             budget_bytes,
             dataset_bytes,
+            budget_factor,
             paged_qps,
             resident_qps,
+            serial_query_qps,
+            prefetch_query_qps,
+            prefetch_depth: OOCORE_PREFETCH_DEPTH,
             shards_faulted: paged.paging.shards_faulted,
             shards_evicted: paged.paging.shards_evicted,
             bytes_faulted: paged.paging.bytes_faulted,
+            shards_prefetched,
+            prefetch_committed,
+            prefetch_wasted,
             peak_bytes: rb.peak,
             max_shard_bytes: rb.max_shard,
         });
@@ -1269,7 +1366,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"oocore_cases\": {{\"compares\": \"shard-paged out-of-core study vs fully-resident study\", \"thread_dependent\": false, \"io_dependent\": true}},"
+        "    \"oocore_cases\": {{\"compares\": \"shard-paged out-of-core study vs fully-resident study, plus serial paging vs the prefetch pipeline on the query phase\", \"thread_dependent\": true, \"io_dependent\": true}},"
     );
     let _ = writeln!(
         json,
@@ -1463,19 +1560,27 @@ fn main() {
         let comma = if i + 1 < oocore_cases.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"train_n\": {}, \"dim\": {}, \"eval_rows\": {}, \"nlist\": {}, \"metric\": \"sq-euclidean\", \"budget_bytes\": {}, \"dataset_bytes\": {}, \"paged_qps\": {:.1}, \"resident_qps\": {:.1}, \"ratio\": {:.3}, \"shards_faulted\": {}, \"shards_evicted\": {}, \"bytes_faulted\": {}, \"peak_bytes\": {}, \"max_shard_bytes\": {}}}{comma}",
+            "    {{\"train_n\": {}, \"dim\": {}, \"eval_rows\": {}, \"nlist\": {}, \"metric\": \"sq-euclidean\", \"budget_bytes\": {}, \"dataset_bytes\": {}, \"budget_factor\": {}, \"paged_qps\": {:.1}, \"resident_qps\": {:.1}, \"ratio\": {:.3}, \"serial_query_qps\": {:.1}, \"prefetch_query_qps\": {:.1}, \"prefetch_speedup\": {:.3}, \"prefetch_depth\": {}, \"shards_faulted\": {}, \"shards_evicted\": {}, \"bytes_faulted\": {}, \"shards_prefetched\": {}, \"prefetch_committed\": {}, \"prefetch_wasted\": {}, \"peak_bytes\": {}, \"max_shard_bytes\": {}}}{comma}",
             c.train_n,
             c.dim,
             c.eval_rows,
             c.nlist,
             c.budget_bytes,
             c.dataset_bytes,
+            c.budget_factor,
             c.paged_qps,
             c.resident_qps,
             c.paged_qps / c.resident_qps,
+            c.serial_query_qps,
+            c.prefetch_query_qps,
+            c.prefetch_query_qps / c.serial_query_qps,
+            c.prefetch_depth,
             c.shards_faulted,
             c.shards_evicted,
             c.bytes_faulted,
+            c.shards_prefetched,
+            c.prefetch_committed,
+            c.prefetch_wasted,
             c.peak_bytes,
             c.max_shard_bytes,
         );

@@ -11,8 +11,19 @@
 //! faulted in at all. The resulting [`NeighborTable`] — and therefore every
 //! estimate derived from it — is **bit-identical** to a fully-resident run;
 //! the budget trades only time, never answers.
+//!
+//! Two pieces of the study run on `snoopy-pool` workers, off the scanning
+//! thread: the index's shard **prefetch pipeline**
+//! ([`OutOfCoreConfig::prefetch_depth`]) overlaps upcoming shard
+//! materialisation with the current scan, and the FNV-1a **checksum
+//! verification** of both payload files re-hashes the dataset concurrently
+//! with the study — its verdict is awaited before any result is surfaced,
+//! so a poisoned dataset fails loud
+//! ([`snoopy_linalg::disk::DiskDatasetError::ChecksumMismatch`]) instead of
+//! silently feeding corrupt rows into the estimators.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use snoopy_data::{DiskLabeledDataset, DiskPairError};
 use snoopy_estimators::{default_estimators, estimate_all_with_table, shared_table_k};
@@ -37,11 +48,22 @@ pub struct OutOfCoreConfig {
     /// Attach the per-shard int8 shadow: visited shards scan at about one
     /// byte per dimension with exact f32 re-ranking (identical table).
     pub quantize: bool,
+    /// Prefetch pipeline depth `P`: up to `P` upcoming shards materialise
+    /// on pool workers while the current one scans. 0 restores the fully
+    /// serial fault→scan loop; results are bit-identical at every depth.
+    /// Widens peak residency to `budget + max_shard × (1 + P)`.
+    pub prefetch_depth: usize,
 }
 
 impl Default for OutOfCoreConfig {
     fn default() -> Self {
-        OutOfCoreConfig { shard_budget_bytes: 8 << 20, nlist: 16, eval_rows: 256, quantize: false }
+        OutOfCoreConfig {
+            shard_budget_bytes: 8 << 20,
+            nlist: 16,
+            eval_rows: 256,
+            quantize: false,
+            prefetch_depth: 2,
+        }
     }
 }
 
@@ -72,13 +94,24 @@ pub struct OutOfCoreReport {
 }
 
 /// Runs the default-estimator feasibility study over the disk dataset at
-/// `dir`, paging training shards under `cfg.shard_budget_bytes`.
+/// `dir`, paging training shards under `cfg.shard_budget_bytes`. The FNV-1a
+/// payload checksums of both files verify on a pool worker concurrently
+/// with the study; a mismatch surfaces as
+/// [`snoopy_linalg::disk::DiskDatasetError::ChecksumMismatch`] (wrapped in
+/// [`DiskPairError::Dataset`]) before any result is returned.
 ///
 /// # Panics
 /// Panics if the dataset has fewer than two rows (no train/eval split
 /// exists).
 pub fn run_oocore_study(dir: &Path, cfg: &OutOfCoreConfig) -> Result<OutOfCoreReport, DiskPairError> {
-    let dataset = DiskLabeledDataset::open(dir)?;
+    let dataset = Arc::new(DiskLabeledDataset::open(dir)?);
+    // Integrity off the fault path: re-hashing faults every page in, so it
+    // runs concurrently with the study instead of serialising in front of
+    // it. The verdict gates the return below.
+    let verify = {
+        let dataset = Arc::clone(&dataset);
+        snoopy_pool::spawn(move || dataset.verify_checksums())
+    };
     let full = dataset.view();
     let n = full.features().rows();
     assert!(n >= 2, "out-of-core study needs at least one train and one eval row, got {n} total");
@@ -92,13 +125,18 @@ pub fn run_oocore_study(dir: &Path, cfg: &OutOfCoreConfig) -> Result<OutOfCoreRe
 
     let estimators = default_estimators();
     let k = shared_table_k(&estimators).max(1);
-    let mut index = ShardedIndex::build(train_x, Metric::SquaredEuclidean, cfg.nlist, cfg.shard_budget_bytes);
+    let mut index = ShardedIndex::build(train_x, Metric::SquaredEuclidean, cfg.nlist, cfg.shard_budget_bytes)
+        .with_prefetch_depth(cfg.prefetch_depth);
     if cfg.quantize {
         index = index.quantize();
     }
     let table = index.topk(eval_x, k);
     let estimates = estimate_all_with_table(&estimators, &table, &train, &eval, full.num_classes());
     let min_estimate = estimates.iter().copied().fold(f64::INFINITY, f64::min);
+
+    // Fail loud on a poisoned dataset before surfacing anything derived
+    // from its bytes.
+    verify.join()?;
 
     Ok(OutOfCoreReport {
         table,
@@ -171,7 +209,7 @@ mod tests {
             shard_budget_bytes: (300 * 8 * 4) / 4,
             nlist: 8,
             eval_rows: 100,
-            quantize: false,
+            ..OutOfCoreConfig::default()
         };
         let paged = run_oocore_study(dir.path(), &cfg).expect("paged study");
         let resident = run_resident_reference(dir.path(), &cfg).expect("resident study");
@@ -180,14 +218,71 @@ mod tests {
         assert_eq!(paged.min_estimate, resident.min_estimate);
         assert!(paged.paging.shards_evicted >= 1, "budget should force eviction: {:?}", paged.paging);
         let rb = paged.residency;
-        assert!(rb.peak <= rb.budget + rb.max_shard, "residency contract: {rb:?}");
+        let allowance = rb.max_shard * (1 + cfg.prefetch_depth);
+        assert!(rb.peak <= rb.budget + allowance, "residency contract: {rb:?}");
+    }
+
+    #[test]
+    fn prefetch_depths_agree_with_the_serial_study() {
+        let dir = TempDir::new("oocore_core_pf");
+        write_dataset(dir.path(), 17, 400, 8);
+        let base = OutOfCoreConfig {
+            shard_budget_bytes: (300 * 8 * 4) / 4,
+            nlist: 8,
+            eval_rows: 100,
+            ..OutOfCoreConfig::default()
+        };
+        let serial = run_oocore_study(dir.path(), &OutOfCoreConfig { prefetch_depth: 0, ..base })
+            .expect("serial study");
+        for depth in [1usize, 4] {
+            let piped = run_oocore_study(dir.path(), &OutOfCoreConfig { prefetch_depth: depth, ..base })
+                .expect("piped study");
+            assert_eq!(piped.table, serial.table, "depth {depth}");
+            assert_eq!(piped.estimates, serial.estimates, "depth {depth}");
+            assert_eq!(
+                piped.paging.shards_faulted + piped.paging.prefetch_committed,
+                serial.paging.shards_faulted,
+                "depth {depth}: {:?}",
+                piped.paging
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_loud_with_checksum_mismatch() {
+        use snoopy_linalg::disk::DiskDatasetError;
+
+        let dir = TempDir::new("oocore_poison");
+        write_dataset(dir.path(), 29, 200, 6);
+        // Flip one payload byte past the 64-byte header: the file still
+        // opens (header intact) but the background re-hash must catch it.
+        let path = dir.path().join(snoopy_data::disk::FEATURES_FILE);
+        let mut bytes = std::fs::read(&path).expect("read features");
+        bytes[64 + 5] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("rewrite features");
+        let err = run_oocore_study(dir.path(), &OutOfCoreConfig::default())
+            .expect_err("poisoned dataset must fail");
+        assert!(
+            matches!(
+                err,
+                DiskPairError::Dataset(DiskDatasetError::ChecksumMismatch { expected, actual })
+                    if expected != actual
+            ),
+            "wrong error: {err:?}"
+        );
     }
 
     #[test]
     fn quantized_paged_study_is_still_bit_identical() {
         let dir = TempDir::new("oocore_core_q");
         write_dataset(dir.path(), 23, 300, 6);
-        let cfg = OutOfCoreConfig { shard_budget_bytes: 4 * 1024, nlist: 6, eval_rows: 60, quantize: true };
+        let cfg = OutOfCoreConfig {
+            shard_budget_bytes: 4 * 1024,
+            nlist: 6,
+            eval_rows: 60,
+            quantize: true,
+            ..OutOfCoreConfig::default()
+        };
         let paged = run_oocore_study(dir.path(), &cfg).expect("paged study");
         let resident = run_resident_reference(dir.path(), &cfg).expect("resident study");
         assert_eq!(paged.table, resident.table);

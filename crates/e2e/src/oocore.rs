@@ -6,11 +6,13 @@
 //! The scenario plays the deployment story the format exists for: features
 //! and labels land on disk once, every later study memory-maps them and
 //! pages cluster shards under a byte budget a quarter of the training
-//! payload. The scenario asserts its own correctness while it runs — the
-//! budget must actually be exceeded (≥ 2 shard evictions), peak residency
-//! must respect the `budget + one shard` contract, and the paged
-//! [`snoopy_core::oocore::OutOfCoreReport`] must match the resident
-//! reference bit for bit, estimates included.
+//! payload, with the default prefetch pipeline overlapping shard
+//! materialisation with scanning. The scenario asserts its own correctness
+//! while it runs — the budget must actually be exceeded (≥ 2 shard
+//! evictions), the pipeline must land at least one prefetch commit, peak
+//! residency must respect the `budget + max_shard × (1 + prefetch_depth)`
+//! contract, and the paged [`snoopy_core::oocore::OutOfCoreReport`] must
+//! match the resident reference bit for bit, estimates included.
 
 use std::path::Path;
 
@@ -31,6 +33,14 @@ pub struct OocoreRun {
     pub shards_evicted: usize,
     /// Bytes paged in across the study.
     pub bytes_faulted: usize,
+    /// Speculative shard loads issued by the prefetch pipeline.
+    pub shards_prefetched: usize,
+    /// Prefetched shards committed at visit time (≥ 1 by assertion).
+    pub prefetch_committed: usize,
+    /// Prefetched shards dropped without a commit.
+    pub prefetch_wasted: usize,
+    /// The prefetch depth the study ran at.
+    pub prefetch_depth: usize,
     /// The resident shard budget the study ran under.
     pub budget_bytes: usize,
     /// Peak resident bytes observed (≤ budget + largest shard).
@@ -74,6 +84,7 @@ pub fn run_oocore_scenario(dir: &Path, rows: usize, seed: u64) -> OocoreRun {
         nlist: 8,
         eval_rows,
         quantize: false,
+        ..OutOfCoreConfig::default()
     };
 
     let paged = run_oocore_study(dir, &cfg).expect("paged study");
@@ -81,12 +92,19 @@ pub fn run_oocore_scenario(dir: &Path, rows: usize, seed: u64) -> OocoreRun {
     assert_eq!(paged.table, resident.table, "paged table must be bit-identical to resident");
     assert_eq!(paged.estimates, resident.estimates, "estimates must match bit for bit");
     assert!(paged.paging.shards_evicted >= 2, "the budget must force ≥ 2 evictions, got {:?}", paged.paging);
-    let rb = paged.residency;
     assert!(
-        rb.peak <= rb.budget + rb.max_shard,
-        "peak residency {} exceeds budget {} + largest shard {}",
+        paged.paging.prefetch_committed >= 1,
+        "the pipeline must land at least one prefetch commit, got {:?}",
+        paged.paging
+    );
+    let rb = paged.residency;
+    let allowance = rb.max_shard * (1 + cfg.prefetch_depth);
+    assert!(
+        rb.peak <= rb.budget + allowance,
+        "peak residency {} exceeds budget {} + (1 + {}) x largest shard {}",
         rb.peak,
         rb.budget,
+        cfg.prefetch_depth,
         rb.max_shard
     );
 
@@ -95,6 +113,10 @@ pub fn run_oocore_scenario(dir: &Path, rows: usize, seed: u64) -> OocoreRun {
         shards_faulted: paged.paging.shards_faulted,
         shards_evicted: paged.paging.shards_evicted,
         bytes_faulted: paged.paging.bytes_faulted,
+        shards_prefetched: paged.paging.shards_prefetched,
+        prefetch_committed: paged.paging.prefetch_committed,
+        prefetch_wasted: paged.paging.prefetch_wasted,
+        prefetch_depth: cfg.prefetch_depth,
         budget_bytes: rb.budget,
         peak_bytes: rb.peak,
         train_rows: paged.train_rows,
@@ -112,7 +134,14 @@ mod tests {
         let dir = TempDir::new("e2e_oocore");
         let run = run_oocore_scenario(dir.path(), 600, 42);
         assert!(run.shards_evicted >= 2);
-        assert!(run.shards_faulted >= run.shards_evicted);
+        // Every eviction victim was admitted by a demand fault or a commit.
+        assert!(run.shards_faulted + run.prefetch_committed >= run.shards_evicted);
+        assert!(run.prefetch_committed >= 1, "smoke must exercise the pipeline");
+        assert_eq!(
+            run.shards_prefetched,
+            run.prefetch_committed + run.prefetch_wasted,
+            "every speculative load ends committed or wasted"
+        );
         assert!(run.peak_bytes <= run.budget_bytes + run.bytes_faulted);
         assert!((0.0..=1.0).contains(&run.min_estimate));
         assert_eq!(run.train_rows + run.eval_rows, 600);

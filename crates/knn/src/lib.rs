@@ -48,7 +48,10 @@
 //!   shard under an LRU byte budget ([`sharded::PagingStats`],
 //!   [`sharded::PagedResidentBytes`]); the triangle-inequality prune order
 //!   doubles as the paging order, so rejected clusters are never faulted
-//!   in, and results stay bit-identical to the resident paths,
+//!   in, a configurable prefetch pipeline overlaps upcoming shard
+//!   materialisation with the current scan on `snoopy-pool` workers, and
+//!   results stay bit-identical to the resident paths at every prefetch
+//!   depth and worker count,
 //! * an exact brute-force index ([`brute::BruteForceIndex`]) whose k-NN
 //!   queries, batch evaluation, and leave-one-out error all route through
 //!   the engine (or the clustered index, per backend),

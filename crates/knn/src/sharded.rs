@@ -27,10 +27,13 @@
 //!
 //! Shards are cached LRU under `budget_bytes`: after each fault the
 //! least-recently-used shards are evicted (the just-faulted shard is
-//! pinned) until the cache fits the budget again. Peak residency is
-//! therefore at most `budget + one shard`, measured — not asserted — by
-//! [`ShardedIndex::resident_bytes`] ([`PagedResidentBytes`]), with fault
-//! and eviction traffic counted in [`PagingStats`].
+//! pinned) until the cache fits the budget again. With prefetch off, peak
+//! residency is therefore at most `budget + one shard`; with a prefetch
+//! depth of `P`, the staging area adds at most `P` uncommitted shards, so
+//! the contract becomes `peak ≤ budget + max_shard × (1 + P)` — measured by
+//! [`ShardedIndex::resident_bytes`] ([`PagedResidentBytes`]) *and*
+//! debug-asserted after every fault/commit/evict cycle, with fault,
+//! eviction, and prefetch traffic counted in [`PagingStats`].
 //!
 //! ## Exactness
 //!
@@ -43,10 +46,30 @@
 //! and re-faulting a shard recomputes identical bytes — gathers and
 //! per-row geometry are deterministic functions of the source view.
 //!
-//! Queries run serially (`&mut self`, no worker fan-out): the paged
-//! workload is I/O-bound by construction, and a single scan stream keeps
-//! the LRU order meaningful — fan-out would make residency depend on thread
-//! interleaving.
+//! ## Pipelined prefetch
+//!
+//! The visit schedule is known the moment the bounds are sorted, so the
+//! serial fault→scan→fault loop leaves free win on the table: while the
+//! scanning thread works through the current shard, `snoopy-pool` workers
+//! can already *materialise* the next few. [`ShardedIndex::set_prefetch_depth`]
+//! enables exactly that: at each visit the index tops up to `P` speculative
+//! shard loads for the next unresident clusters in bound order (skipping
+//! clusters the current τ already prunes — ascending bounds mean everything
+//! past the first pruned position is dead). A prefetched shard is
+//! bit-identical to a demand-faulted one — gather, per-row centroid
+//! distances, norm cache, and int8 encode are deterministic functions of
+//! the source view — so results cannot depend on what was speculated.
+//!
+//! All LRU decisions stay on the scanning thread: a speculative shard lives
+//! in a bounded staging area (≤ `P` entries, never charged to the cache)
+//! until its cluster is actually visited, at which point it is *committed*
+//! through the same evict→charge→evict sequence a demand fault uses, with
+//! the same LRU clock tick. The cache's residency trace is therefore
+//! identical at every prefetch depth and every worker count; a staged shard
+//! whose cluster gets pruned before its turn is dropped (counted as
+//! [`PagingStats::prefetch_wasted`]) without ever touching the cache.
+//! Queries still scan on one thread (`&mut self`) — the pipeline overlaps
+//! materialisation with scanning, it does not fan the scan out.
 
 use crate::bounds::{euclid_f64, norm_f64, PruneBounds};
 use crate::clustered::{ResidentBytes, KMEANS_SEED};
@@ -73,6 +96,17 @@ pub struct PagingStats {
     pub bytes_faulted: usize,
     /// Bytes released across all evictions.
     pub bytes_evicted: usize,
+    /// Speculative shard loads submitted to the pool by the prefetch
+    /// pipeline.
+    pub shards_prefetched: usize,
+    /// Prefetched shards whose cluster was visited: committed to the LRU
+    /// cache in place of a demand fault.
+    pub prefetch_committed: usize,
+    /// Prefetched shards dropped without a commit (cluster pruned before
+    /// its turn, or the query stream ended first).
+    pub prefetch_wasted: usize,
+    /// Bytes materialised by prefetch tasks (committed and wasted alike).
+    pub bytes_prefetched: usize,
 }
 
 /// [`ResidentBytes`] extended with the budget-vs-peak accounting of the
@@ -85,10 +119,15 @@ pub struct PagedResidentBytes {
     pub resident: ResidentBytes,
     /// The configured shard-cache budget in bytes.
     pub budget: usize,
-    /// High-water mark of resident shard bytes since build.
+    /// High-water mark of resident *plus staged* shard bytes since build.
     pub peak: usize,
-    /// Largest single shard faulted so far — `peak ≤ budget + max_shard`
-    /// is the cache's residency contract.
+    /// Bytes of materialised-but-uncommitted prefetched shards right now
+    /// (non-zero only mid-query; the staging area drains before every
+    /// `update_topk` return).
+    pub staged: usize,
+    /// Largest single shard materialised so far —
+    /// `peak ≤ budget + max_shard × (1 + prefetch_depth)` is the cache's
+    /// residency contract.
     pub max_shard: usize,
 }
 
@@ -133,14 +172,244 @@ fn load_shard(
     Shard { rows, row_center, kernel, shadow, bytes, last_use: 0 }
 }
 
+/// The borrow-erased description of one speculative [`load_shard`] call,
+/// shipped to a pool worker as a `'static` task. Everything a load reads is
+/// captured as raw parts (the quantizer is small and simply cloned).
+///
+/// # Safety
+/// `run` dereferences the captured pointers, so a job must not outlive the
+/// buffers they point into. The prefetch pipeline guarantees that
+/// structurally: every spawned job's [`snoopy_pool::JoinHandle`] is joined
+/// before `update_topk` returns (the staging area drains on exit, and a
+/// dropped handle waits), and for the whole `update_topk` call the index is
+/// exclusively borrowed — `source` outlives the index by construction
+/// (`'a`), and `members` / `centroids` are never mutated after build.
+struct PrefetchJob {
+    data: *const f32,
+    data_len: usize,
+    rows: usize,
+    cols: usize,
+    metric: Metric,
+    ids: *const usize,
+    ids_len: usize,
+    centroid: *const f32,
+    centroid_len: usize,
+    quantizer: Option<AffineQuantizer>,
+}
+
+// SAFETY: the job only carries shared read-only borrows in pointer form;
+// the data they point to (`&[f32]` / `&[usize]`) is Sync, and the liveness
+// obligation is discharged by the join-before-return rule above.
+unsafe impl Send for PrefetchJob {}
+
+impl PrefetchJob {
+    fn capture(
+        source: DatasetView<'_>,
+        metric: Metric,
+        ids: &[usize],
+        centroid: &[f32],
+        quantizer: Option<&AffineQuantizer>,
+    ) -> Self {
+        PrefetchJob {
+            data: source.data().as_ptr(),
+            data_len: source.data().len(),
+            rows: source.rows(),
+            cols: source.cols(),
+            metric,
+            ids: ids.as_ptr(),
+            ids_len: ids.len(),
+            centroid: centroid.as_ptr(),
+            centroid_len: centroid.len(),
+            quantizer: quantizer.cloned(),
+        }
+    }
+
+    /// # Safety
+    /// Every captured pointer must still be live (see the type docs).
+    unsafe fn run(&self) -> Shard {
+        let data = std::slice::from_raw_parts(self.data, self.data_len);
+        let ids = std::slice::from_raw_parts(self.ids, self.ids_len);
+        let centroid = std::slice::from_raw_parts(self.centroid, self.centroid_len);
+        let source = DatasetView::from_raw(data, self.rows, self.cols);
+        load_shard(source, self.metric, ids, centroid, self.quantizer.as_ref())
+    }
+}
+
+/// One staging-area slot: a speculative shard load that is either still in
+/// flight on a pool worker or materialised and waiting for its cluster's
+/// visit. Exactly one of the two fields is `Some`.
+struct StagedSlot {
+    cluster: usize,
+    handle: Option<snoopy_pool::JoinHandle<Shard>>,
+    shard: Option<Shard>,
+}
+
+/// The scanning thread's view of the prefetch pipeline: at most
+/// [`ShardCache::prefetch_depth`] slots, each owning one speculative load.
+/// The prefetcher never touches the LRU cache's residency — it only hands
+/// fully-materialised shards to [`ShardCache::commit`] at visit time.
+/// Spawn/drop decisions depend only on the (deterministic) visit order,
+/// residency trace, and τ evolution — never on worker timing — so the
+/// pipeline issues the same speculative loads at every worker count.
+struct Prefetcher {
+    slots: Vec<StagedSlot>,
+    /// Cluster → position in the *current* query's visit order.
+    rank: Vec<usize>,
+}
+
+impl Prefetcher {
+    fn new(clusters: usize, depth: usize) -> Self {
+        Prefetcher { slots: Vec::with_capacity(depth), rank: vec![0; clusters] }
+    }
+
+    /// Re-ranks the staging area for a new query's visit order (leftover
+    /// slots from the previous query stay — the new query may well visit
+    /// their clusters).
+    fn begin_query(&mut self, order: &[(f64, f64, usize)]) {
+        for (pos, &(_, _, c)) in order.iter().enumerate() {
+            self.rank[c] = pos;
+        }
+    }
+
+    /// Joins one slot's in-flight handle, folding the materialised bytes
+    /// into the prefetch ledgers (each spawned job passes through here
+    /// exactly once, so `bytes_prefetched` covers every speculative load).
+    fn join_handle(cache: &mut ShardCache, handle: snoopy_pool::JoinHandle<Shard>) -> Shard {
+        let shard = handle.join();
+        cache.stats.bytes_prefetched += shard.bytes;
+        cache.max_shard_bytes = cache.max_shard_bytes.max(shard.bytes);
+        shard
+    }
+
+    /// Takes the staged shard for cluster `c` if the pipeline holds one,
+    /// joining it first when still in flight (the join *helps*, so even a
+    /// one-worker pool makes progress). Returns `None` when `c` was never
+    /// prefetched — the caller demand-faults as usual.
+    fn take(&mut self, cache: &mut ShardCache, c: usize) -> Option<Shard> {
+        let i = self.slots.iter().position(|s| s.cluster == c)?;
+        let mut slot = self.slots.swap_remove(i);
+        match slot.shard.take() {
+            Some(shard) => {
+                cache.staged_bytes -= shard.bytes;
+                Some(shard)
+            }
+            None => Some(Self::join_handle(cache, slot.handle.take().expect("in-flight slot"))),
+        }
+    }
+
+    /// Drops one slot as wasted work, joining it first if still in flight
+    /// (the handle would block on drop anyway; joining keeps the byte
+    /// ledger exact).
+    fn waste_slot(cache: &mut ShardCache, mut slot: StagedSlot) {
+        match slot.shard.take() {
+            Some(shard) => cache.staged_bytes -= shard.bytes,
+            None => drop(Self::join_handle(cache, slot.handle.take().expect("in-flight slot"))),
+        }
+        cache.stats.prefetch_wasted += 1;
+    }
+
+    /// Tops the pipeline up to `depth` speculative loads for the clusters
+    /// that follow position `pos` in this query's visit order, skipping
+    /// resident and already-staged clusters and stopping at the first
+    /// position the current τ prunes (bounds ascend, so everything past it
+    /// is unreachable this query). Called *before* the current shard is
+    /// obtained and scanned — that is the overlap. Also folds finished
+    /// loads into the staged ledger and retires leftovers τ already prunes,
+    /// so stale speculation cannot starve the pipeline.
+    #[allow(clippy::too_many_arguments)] // the pipeline's full spawn context
+    fn top_up(
+        &mut self,
+        cache: &mut ShardCache,
+        order: &[(f64, f64, usize)],
+        pos: usize,
+        tau_sq: Option<f64>,
+        err: f64,
+        bounds: &PruneBounds,
+        source: DatasetView<'_>,
+        metric: Metric,
+        members: &[usize],
+        offsets: &[usize],
+        centroids: &Matrix,
+        quantizer: Option<&AffineQuantizer>,
+    ) {
+        let depth = cache.prefetch_depth;
+        if depth == 0 {
+            return;
+        }
+        // Fold finished loads into the staged ledger (non-blocking).
+        for slot in self.slots.iter_mut() {
+            if slot.shard.is_none() && slot.handle.as_ref().expect("in-flight slot").is_finished() {
+                let shard = Self::join_handle(cache, slot.handle.take().expect("in-flight slot"));
+                cache.staged_bytes += shard.bytes;
+                slot.shard = Some(shard);
+                cache.note_peak();
+            }
+        }
+        // Retire leftovers this query can no longer reach: once τ prunes a
+        // slot's position it will never be visited (ascending bounds), and
+        // holding its slot would starve nearer clusters.
+        if let Some(tau_sq) = tau_sq {
+            let mut i = 0;
+            while i < self.slots.len() {
+                // A slot whose position this query already passed cannot
+                // exist (passing it commits), so rank ≥ pos here; the
+                // current position's own slot survives because its bound
+                // was not pruned (the visit loop checked before calling).
+                let slot_pos = self.rank[self.slots[i].cluster];
+                if bounds.prunes(order[slot_pos].0, tau_sq, err) {
+                    let slot = self.slots.swap_remove(i);
+                    Self::waste_slot(cache, slot);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let mut next = pos + 1;
+        while self.slots.len() < depth && next < order.len() {
+            let (lb, _, c) = order[next];
+            next += 1;
+            if let Some(tau_sq) = tau_sq {
+                if bounds.prunes(lb, tau_sq, err) {
+                    break;
+                }
+            }
+            if cache.resident[c].is_some() || self.slots.iter().any(|s| s.cluster == c) {
+                continue;
+            }
+            let ids = &members[offsets[c]..offsets[c + 1]];
+            let job = PrefetchJob::capture(source, metric, ids, centroids.row(c), quantizer);
+            // SAFETY: joined before `update_topk` returns — see `PrefetchJob`.
+            let handle = snoopy_pool::spawn(move || unsafe { job.run() });
+            cache.stats.shards_prefetched += 1;
+            self.slots.push(StagedSlot { cluster: c, handle: Some(handle), shard: None });
+        }
+    }
+
+    /// Resolves every outstanding speculative load — called before
+    /// `update_topk` returns, which is what makes the pointer erasure in
+    /// [`PrefetchJob`] sound. Everything still staged is wasted work.
+    fn drain(&mut self, cache: &mut ShardCache) {
+        for slot in self.slots.drain(..) {
+            Self::waste_slot(cache, slot);
+        }
+        debug_assert_eq!(cache.staged_bytes, 0, "staging ledger must drain to zero");
+    }
+}
+
 /// The LRU shard cache: one slot per cluster, a resident-byte ledger, and
 /// the paging counters.
 struct ShardCache {
     resident: Vec<Option<Shard>>,
     resident_bytes: usize,
+    /// Bytes of materialised-but-uncommitted prefetched shards (staging
+    /// area ledger; never counted against `budget`).
+    staged_bytes: usize,
     peak_resident: usize,
     max_shard_bytes: usize,
     budget: usize,
+    /// Current prefetch pipeline depth `P` — bounds the staging area and
+    /// widens the residency contract to `budget + max_shard × (1 + P)`.
+    prefetch_depth: usize,
     tick: u64,
     stats: PagingStats,
 }
@@ -150,12 +419,36 @@ impl ShardCache {
         ShardCache {
             resident: (0..clusters).map(|_| None).collect(),
             resident_bytes: 0,
+            staged_bytes: 0,
             peak_resident: 0,
             max_shard_bytes: 0,
             budget,
+            prefetch_depth: 0,
             tick: 0,
             stats: PagingStats::default(),
         }
+    }
+
+    /// Folds the current resident + staged footprint into the high-water
+    /// mark and debug-asserts the residency contract: committed bytes fit
+    /// `budget + max_shard` (one pinned over-budget shard allowed) and the
+    /// staging area holds at most `P` shards' worth of bytes.
+    fn note_peak(&mut self) {
+        self.peak_resident = self.peak_resident.max(self.resident_bytes + self.staged_bytes);
+        debug_assert!(
+            self.resident_bytes <= self.budget.saturating_add(self.max_shard_bytes),
+            "committed shard bytes {} exceed budget {} + max_shard {}",
+            self.resident_bytes,
+            self.budget,
+            self.max_shard_bytes
+        );
+        debug_assert!(
+            self.staged_bytes <= self.prefetch_depth.saturating_mul(self.max_shard_bytes),
+            "staged bytes {} exceed depth {} x max_shard {}",
+            self.staged_bytes,
+            self.prefetch_depth,
+            self.max_shard_bytes
+        );
     }
 
     /// Returns cluster `c`'s shard, materialising it through `load` on a
@@ -174,12 +467,34 @@ impl ShardCache {
             self.stats.bytes_faulted += shard.bytes;
             self.max_shard_bytes = self.max_shard_bytes.max(shard.bytes);
             self.resident_bytes += shard.bytes;
-            self.peak_resident = self.peak_resident.max(self.resident_bytes);
             self.resident[c] = Some(shard);
+            self.note_peak(); // transient charge-before-evict state counts
             self.evict_over_budget(c);
+            self.note_peak();
         }
         let tick = self.tick;
         let shard = self.resident[c].as_mut().expect("shard resident after fault");
+        shard.last_use = tick;
+        shard
+    }
+
+    /// Commits a staged (prefetched) shard for cluster `c` — the visit-time
+    /// twin of a demand [`ShardCache::fault`] miss, running the *same*
+    /// evict→charge→evict sequence with the same LRU clock tick, so the
+    /// cache's residency trace is identical whether a shard arrived by
+    /// fault or by prefetch.
+    fn commit(&mut self, c: usize, shard: Shard) -> &Shard {
+        debug_assert!(self.resident[c].is_none(), "staged cluster {c} already resident");
+        self.tick += 1;
+        self.evict_over_budget(usize::MAX);
+        self.stats.prefetch_committed += 1;
+        self.resident_bytes += shard.bytes;
+        self.resident[c] = Some(shard);
+        self.note_peak(); // transient charge-before-evict state counts
+        self.evict_over_budget(c);
+        self.note_peak();
+        let tick = self.tick;
+        let shard = self.resident[c].as_mut().expect("shard resident after commit");
         shard.last_use = tick;
         shard
     }
@@ -368,13 +683,34 @@ impl<'a> ShardedIndex<'a> {
         self.cache.budget
     }
 
+    /// The current prefetch pipeline depth `P` (0 = fully serial paging).
+    pub fn prefetch_depth(&self) -> usize {
+        self.cache.prefetch_depth
+    }
+
+    /// Sets the prefetch pipeline depth: up to `depth` upcoming shards
+    /// materialise speculatively on `snoopy-pool` workers while the current
+    /// one scans (see the [module docs](self)). Depth 0 (the build default)
+    /// restores the fully serial fault→scan loop. Results are bit-identical
+    /// at every depth and worker count; peak residency is bounded by
+    /// `budget + max_shard × (1 + depth)`.
+    pub fn set_prefetch_depth(&mut self, depth: usize) {
+        self.cache.prefetch_depth = depth;
+    }
+
+    /// Builder-style [`ShardedIndex::set_prefetch_depth`].
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.set_prefetch_depth(depth);
+        self
+    }
+
     /// Cumulative paging counters since build.
     pub fn paging_stats(&self) -> PagingStats {
         self.cache.stats
     }
 
     /// The current resident footprint, the budget, and the peak — the
-    /// residency contract is `peak ≤ budget + max_shard`.
+    /// residency contract is `peak ≤ budget + max_shard × (1 + prefetch_depth)`.
     pub fn resident_bytes(&self) -> PagedResidentBytes {
         let mut rb = ResidentBytes {
             train_rows: 0,
@@ -396,13 +732,16 @@ impl<'a> ShardedIndex<'a> {
             resident: rb,
             budget: self.cache.budget,
             peak: self.cache.peak_resident,
+            staged: self.cache.staged_bytes,
             max_shard: self.cache.max_shard_bytes,
         }
     }
 
     /// Answers one query into `state`: clusters ordered by ascending lower
     /// bound, shards faulted only when visited, scan stopping at the first
-    /// unbeatable cluster — the prune order is the paging order.
+    /// unbeatable cluster — the prune order is the paging order. With a
+    /// non-zero prefetch depth, upcoming shards materialise on pool workers
+    /// (via `pf`) while this thread scans the current one.
     #[allow(clippy::too_many_arguments)] // the scan's full per-query context
     fn query_into(
         &mut self,
@@ -411,6 +750,7 @@ impl<'a> ShardedIndex<'a> {
         skip: usize,
         state: &mut TopKState,
         order: &mut Vec<(f64, f64, usize)>,
+        pf: &mut Prefetcher,
         tile: &mut [f32],
         qtile: &mut [i32],
         keep: &mut [bool],
@@ -424,15 +764,17 @@ impl<'a> ShardedIndex<'a> {
             order.push(((dqc - self.radii[c]).max(0.0), dqc, c));
         }
         order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        pf.begin_query(order);
         stats.queries += 1;
         stats.clusters_total += self.num_clusters();
         stats.rows_total += self.members.len();
         let qv = MetricKernel::new(self.metric).query_value(q);
         let err = self.bounds.kernel_err(norm_f64(q));
         let ShardedIndex { source, metric, centroids, members, offsets, bounds, quantizer, cache, .. } = self;
-        for &(lb, dqc, c) in order.iter() {
-            if state.hits().len() == state.k() {
-                let tau_sq = bounds.tau_sq(state.hits().last().expect("full state").distance);
+        for (pos, &(lb, dqc, c)) in order.iter().enumerate() {
+            let tau_sq = (state.hits().len() == state.k())
+                .then(|| bounds.tau_sq(state.hits().last().expect("full state").distance));
+            if let Some(tau_sq) = tau_sq {
                 // Clusters are ordered by ascending bound and τ only
                 // shrinks, so the first unbeatable cluster ends the query —
                 // and with it, the paging.
@@ -441,9 +783,30 @@ impl<'a> ShardedIndex<'a> {
                 }
             }
             stats.clusters_visited += 1;
+            // Top the pipeline up *before* touching this visit's shard: the
+            // workers materialise what comes next while this thread faults
+            // (if needed) and scans the current cluster.
+            pf.top_up(
+                cache,
+                order,
+                pos,
+                tau_sq,
+                err,
+                bounds,
+                *source,
+                *metric,
+                members,
+                offsets,
+                centroids,
+                quantizer.as_ref(),
+            );
             let ids = &members[offsets[c]..offsets[c + 1]];
-            let shard =
-                cache.fault(c, || load_shard(*source, *metric, ids, centroids.row(c), quantizer.as_ref()));
+            let shard = match pf.take(cache, c) {
+                Some(staged) => cache.commit(c, staged),
+                None => {
+                    cache.fault(c, || load_shard(*source, *metric, ids, centroids.row(c), quantizer.as_ref()))
+                }
+            };
             let qq = shard.shadow.as_ref().and_then(|sh| sh.prepare_query(q, wbuf, vbuf));
             match (&shard.shadow, qq) {
                 (Some(sh), Some(qq)) => scan_shard_quantized(
@@ -456,7 +819,9 @@ impl<'a> ShardedIndex<'a> {
 
     /// Folds the indexed source rows into the running top-k state of every
     /// query row — the paged counterpart of `ClusteredIndex::update_topk`,
-    /// same streamable fold semantics, serial by design (see the
+    /// same streamable fold semantics. The scan itself runs on this thread;
+    /// with a non-zero [`ShardedIndex::set_prefetch_depth`] upcoming shards
+    /// materialise concurrently on pool workers (see the
     /// [module docs](self)).
     ///
     /// # Panics
@@ -475,6 +840,7 @@ impl<'a> ShardedIndex<'a> {
             (0..self.num_clusters()).map(|c| self.offsets[c + 1] - self.offsets[c]).max().unwrap_or(1);
         let tile_len = self.engine.tile_rows().min(largest.max(1));
         let mut order = Vec::with_capacity(self.num_clusters());
+        let mut pf = Prefetcher::new(self.num_clusters(), self.cache.prefetch_depth);
         let mut tile = vec![0.0f32; tile_len];
         let quantized = self.quantizer.is_some();
         let mut qtile = vec![0i32; if quantized { tile_len } else { 0 }];
@@ -489,6 +855,7 @@ impl<'a> ShardedIndex<'a> {
                 skip,
                 state,
                 &mut order,
+                &mut pf,
                 &mut tile,
                 &mut qtile,
                 &mut keep,
@@ -497,6 +864,9 @@ impl<'a> ShardedIndex<'a> {
                 &mut stats,
             );
         }
+        // Resolve every outstanding speculative load before returning —
+        // the soundness condition of `PrefetchJob`'s pointer erasure.
+        pf.drain(&mut self.cache);
         stats
     }
 
@@ -750,5 +1120,88 @@ mod tests {
     fn cosine_sharded_panics() {
         let data = blobs(10, 3, 2, 1);
         let _ = ShardedIndex::build(data.view(), Metric::Cosine, 2, usize::MAX / 2);
+    }
+
+    #[test]
+    fn prefetch_matches_serial_bit_for_bit() {
+        let train = blobs(500, 8, 10, 61);
+        let queries = blobs(60, 8, 10, 62);
+        let budget = 2 * (500 / 10) * 8 * 4; // ~2 shards: heavy eviction churn
+        let mut serial = ShardedIndex::build(train.view(), Metric::SquaredEuclidean, 10, budget);
+        let reference = serial.topk(queries.view(), 5);
+        let serial_paging = serial.paging_stats();
+        assert!(serial_paging.shards_evicted >= 2, "{serial_paging:?}");
+        for depth in [1usize, 2, 8] {
+            let mut piped = ShardedIndex::build(train.view(), Metric::SquaredEuclidean, 10, budget)
+                .with_prefetch_depth(depth);
+            assert_eq!(piped.prefetch_depth(), depth);
+            assert_eq!(piped.topk(queries.view(), 5), reference, "depth {depth}");
+            let paging = piped.paging_stats();
+            // The LRU cache sees the same admission sequence whether a shard
+            // arrived by fault or by commit, so the eviction trace is pinned.
+            assert_eq!(paging.shards_evicted, serial_paging.shards_evicted, "depth {depth}");
+            assert_eq!(
+                paging.shards_faulted + paging.prefetch_committed,
+                serial_paging.shards_faulted,
+                "depth {depth}: every serial fault is either a fault or a commit"
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_counters_balance_and_commit() {
+        let train = blobs(600, 10, 12, 71);
+        let queries = blobs(50, 10, 12, 72);
+        let budget = 3 * (600 / 12) * 10 * 4;
+        let mut index =
+            ShardedIndex::build(train.view(), Metric::SquaredEuclidean, 12, budget).with_prefetch_depth(4);
+        let table = index.topk(queries.view(), 5);
+        assert_eq!(table, knn_reference(train.view(), queries.view(), Metric::SquaredEuclidean, 5));
+        let paging = index.paging_stats();
+        assert!(paging.prefetch_committed >= 1, "pipeline must land commits: {paging:?}");
+        assert_eq!(
+            paging.shards_prefetched,
+            paging.prefetch_committed + paging.prefetch_wasted,
+            "every speculative load ends committed or wasted: {paging:?}"
+        );
+        assert!(paging.bytes_prefetched > 0, "{paging:?}");
+        let rb = index.resident_bytes();
+        assert_eq!(rb.staged, 0, "staging drains before update_topk returns");
+    }
+
+    #[test]
+    fn prefetch_residency_contract_holds() {
+        let train = blobs(800, 10, 16, 81);
+        let queries = blobs(64, 10, 16, 82);
+        for depth in [1usize, 3] {
+            for budget in [1usize, 40 * 10 * 4, 4 * 50 * 10 * 4] {
+                let mut index = ShardedIndex::build(train.view(), Metric::SquaredEuclidean, 16, budget)
+                    .with_prefetch_depth(depth);
+                index.topk(queries.view(), 5);
+                let rb = index.resident_bytes();
+                let allowance = rb.max_shard.saturating_mul(1 + depth);
+                assert!(
+                    rb.peak <= rb.budget.saturating_add(allowance),
+                    "depth {depth}: peak {} budget {} max_shard {}",
+                    rb.peak,
+                    rb.budget,
+                    rb.max_shard
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_quantized_and_loo_stay_exact() {
+        let train = blobs(600, 12, 10, 91);
+        let queries = blobs(50, 12, 10, 92);
+        let budget = 3 * (600 / 10) * 12 * 4;
+        let mut index = ShardedIndex::build(train.view(), Metric::SquaredEuclidean, 10, budget)
+            .quantize()
+            .with_prefetch_depth(2);
+        let table = index.topk(queries.view(), 5);
+        assert_eq!(table, knn_reference(train.view(), queries.view(), Metric::SquaredEuclidean, 5));
+        let mut loo = ShardedIndex::build(train.view(), Metric::Euclidean, 10, budget).with_prefetch_depth(3);
+        assert_eq!(loo.topk_loo(train.view(), 4), knn_reference_loo(train.view(), Metric::Euclidean, 4));
     }
 }

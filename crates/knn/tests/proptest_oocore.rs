@@ -86,6 +86,71 @@ proptest! {
         }
     }
 
+    /// The prefetch pipeline is invisible in results: at every depth ×
+    /// eviction-forcing budget the pipelined scan produces the depth-0
+    /// serial scan's table bit for bit, the staging area drains, the
+    /// counters balance (every speculative load ends committed or wasted,
+    /// and faults + commits equal the serial fault count), and peak
+    /// residency honours `budget + (1 + P) × max_shard`. The in-flight
+    /// staging bound (never more than `P` shards' worth of staged bytes)
+    /// is debug-asserted inside the cache on every commit/evict cycle,
+    /// which these debug-built cases exercise on every query.
+    #[test]
+    fn prefetch_depths_are_bit_identical_to_serial(
+        seed in 0u64..500,
+        n in 60usize..160,
+        d in 2usize..7,
+        nlist in 3usize..9,
+        k in 1usize..6,
+        budget_shards in 1usize..4,
+    ) {
+        let (train, _) = cloud_with_ties(seed, n, d, 3);
+        let (queries, _) = cloud_with_ties(seed ^ 0x00c0_4e5e, 13, d, 3);
+        let dir = TempDir::new("proptest_oocore_pf");
+        let train_path = dir.path().join("train.snpy");
+        let query_path = dir.path().join("queries.snpy");
+        DiskDataset::write(&train_path, train.view()).expect("write train");
+        DiskDataset::write(&query_path, queries.view()).expect("write queries");
+        let disk_train = DiskDataset::open(&train_path).expect("open train");
+        let disk_queries = DiskDataset::open(&query_path).expect("open queries");
+
+        let shard_bytes = (n / nlist).max(1) * d * 4;
+        let budget = budget_shards * shard_bytes;
+        for metric in [Metric::SquaredEuclidean, Metric::Euclidean] {
+            let mut serial = ShardedIndex::build(disk_train.view(), metric, nlist, budget);
+            let reference = serial.topk(disk_queries.view(), k);
+            let serial_paging = serial.paging_stats();
+            for depth in [1usize, 4] {
+                let mut piped = ShardedIndex::build(disk_train.view(), metric, nlist, budget)
+                    .with_prefetch_depth(depth);
+                prop_assert_eq!(
+                    &piped.topk(disk_queries.view(), k),
+                    &reference,
+                    "metric {} depth {}", metric.name(), depth
+                );
+                let paging = piped.paging_stats();
+                prop_assert_eq!(
+                    paging.shards_faulted + paging.prefetch_committed,
+                    serial_paging.shards_faulted,
+                    "every serial fault is a fault or a commit: {:?}", paging
+                );
+                prop_assert_eq!(paging.shards_evicted, serial_paging.shards_evicted);
+                prop_assert_eq!(
+                    paging.shards_prefetched,
+                    paging.prefetch_committed + paging.prefetch_wasted,
+                    "speculative loads must balance: {:?}", paging
+                );
+                let rb = piped.resident_bytes();
+                prop_assert_eq!(rb.staged, 0, "staging must drain");
+                prop_assert!(
+                    rb.peak <= rb.budget + (1 + depth) * rb.max_shard,
+                    "depth {}: peak {} budget {} max_shard {}",
+                    depth, rb.peak, rb.budget, rb.max_shard
+                );
+            }
+        }
+    }
+
     /// The incremental state fed disk-backed batches (append + oldest-row
     /// eviction) tracks its memory-fed twin bit for bit at every step.
     #[test]

@@ -332,6 +332,17 @@ fn payload_as<T>(bytes: &[u8], count: usize) -> &[T] {
     unsafe { std::slice::from_raw_parts(payload.as_ptr() as *const T, count) }
 }
 
+/// Views a native-endian scalar slice as its raw bytes — the bulk inverse
+/// of [`payload_as`]. Writing and hashing the payload through one slice
+/// produces byte-for-byte what per-element `to_ne_bytes` loops did, while
+/// letting `write_all` and the checksum walk the buffer without a
+/// 4-bytes-at-a-time call per element.
+fn payload_bytes<T>(data: &[T]) -> &[u8] {
+    // SAFETY: T is a plain number type (f32/u32) whose every byte is
+    // initialised; the length covers exactly the slice's memory.
+    unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data)) }
+}
+
 enum F32Backing {
     #[cfg(unix)]
     Mapped(mapping::Mmap),
@@ -362,16 +373,13 @@ impl DiskDataset {
     /// Writes `data` to `path` in the format of the [module docs](self),
     /// checksum included. Overwrites an existing file.
     pub fn write(path: &Path, data: DatasetView<'_>) -> Result<(), DiskDatasetError> {
+        let payload = payload_bytes(data.data());
         let mut hash = Fnv1a::new();
-        for &x in data.data() {
-            hash.update(&x.to_ne_bytes());
-        }
+        hash.update(payload);
         let header = encode_header(data.rows() as u64, data.cols() as u64, hash.finish(), KIND_F32, 0);
         let mut out = BufWriter::new(File::create(path)?);
         out.write_all(&header)?;
-        for &x in data.data() {
-            out.write_all(&x.to_ne_bytes())?;
-        }
+        out.write_all(payload)?;
         out.flush()?;
         Ok(())
     }
@@ -426,9 +434,7 @@ impl DiskDataset {
     /// than part of [`DiskDataset::open`].
     pub fn verify_checksum(&self) -> Result<(), DiskDatasetError> {
         let mut hash = Fnv1a::new();
-        for &x in self.floats() {
-            hash.update(&x.to_ne_bytes());
-        }
+        hash.update(payload_bytes(self.floats()));
         let actual = hash.finish();
         if actual != self.checksum {
             return Err(DiskDatasetError::ChecksumMismatch { expected: self.checksum, actual });
@@ -466,17 +472,14 @@ pub struct DiskLabels {
 impl DiskLabels {
     /// Writes `labels` (with its class count) to `path`.
     pub fn write(path: &Path, labels: &[u32], num_classes: usize) -> Result<(), DiskDatasetError> {
+        let payload = payload_bytes(labels);
         let mut hash = Fnv1a::new();
-        for &y in labels {
-            hash.update(&y.to_ne_bytes());
-        }
+        hash.update(payload);
         let header =
             encode_header(labels.len() as u64, 1, hash.finish(), KIND_U32_LABELS, num_classes as u32);
         let mut out = BufWriter::new(File::create(path)?);
         out.write_all(&header)?;
-        for &y in labels {
-            out.write_all(&y.to_ne_bytes())?;
-        }
+        out.write_all(payload)?;
         out.flush()?;
         Ok(())
     }
@@ -523,9 +526,7 @@ impl DiskLabels {
     /// [`DiskDataset::verify_checksum`].
     pub fn verify_checksum(&self) -> Result<(), DiskDatasetError> {
         let mut hash = Fnv1a::new();
-        for &y in self.labels() {
-            hash.update(&y.to_ne_bytes());
-        }
+        hash.update(payload_bytes(self.labels()));
         let actual = hash.finish();
         if actual != self.checksum {
             return Err(DiskDatasetError::ChecksumMismatch { expected: self.checksum, actual });

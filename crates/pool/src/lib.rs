@@ -26,6 +26,14 @@
 //!   opening an engine scope on the same pool) can never deadlock, even on
 //!   a one-worker pool. Panics inside tasks are caught and resumed on the
 //!   scope owner, like `std::thread::scope` join does.
+//! * **Detached tasks with completion handles.** [`spawn`] submits one
+//!   `'static` task and returns a [`JoinHandle`] to its eventual result —
+//!   the primitive behind pipelined work that outlives any single scope
+//!   (shard prefetch, background checksum verification). [`JoinHandle::join`]
+//!   *helps* exactly like a waiting scope does, so joining from inside a
+//!   pool task cannot deadlock even on a one-worker pool; dropping a handle
+//!   also waits for the task (a `JoinHandle` is a completion obligation, not
+//!   a fire-and-forget token — see its docs).
 //! * **Determinism.** The pool never changes *what* is computed, only
 //!   *where*: callers split work into chunks exactly as before, each chunk
 //!   writes a disjoint `&mut` slice, and every consumer in this workspace
@@ -406,6 +414,149 @@ fn complete_scope(shared: &Arc<Shared>, state: &Arc<ScopeState>, me: Option<usiz
     }
 }
 
+/// Completion state of one detached task: the slot the worker stores the
+/// (caught) result into, plus the condvar a joiner sleeps on when the pool
+/// has nothing else runnable.
+struct TaskState<T> {
+    sync: Mutex<Option<std::thread::Result<T>>>,
+    done: Condvar,
+}
+
+/// Owner side of a detached task submitted with [`spawn`] /
+/// [`ThreadPool::spawn`].
+///
+/// A `JoinHandle` is a **completion obligation**, not a fire-and-forget
+/// token: [`JoinHandle::join`] waits for the task and returns its result
+/// (resuming the task's panic, if it panicked), and *dropping* the handle
+/// also waits for the task to finish — discarding the result and swallowing
+/// any panic payload. Wait-on-drop is what lets callers erase non-`'static`
+/// borrows into a spawned task soundly: as long as every handle is joined or
+/// dropped before the borrowed data goes away, the task can never observe a
+/// dangling reference, even while unwinding. Both `join` and the drop wait
+/// *help* — they pop and run queued pool tasks — so waiting from inside a
+/// pool task cannot deadlock, even on a one-worker pool.
+pub struct JoinHandle<T> {
+    shared: Arc<Shared>,
+    /// `Some` until the result has been claimed by [`join`] (or awaited by
+    /// drop); taking it is what disarms the drop wait.
+    state: Option<Arc<TaskState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has finished running (its result is ready to
+    /// [`join`] without waiting).
+    pub fn is_finished(&self) -> bool {
+        match &self.state {
+            Some(state) => state.sync.lock().expect("task lock poisoned").is_some(),
+            None => true,
+        }
+    }
+
+    /// Waits for the task and returns its result. If the task panicked, the
+    /// panic is resumed here. While waiting, this thread executes queued
+    /// pool tasks (the same "caller helps" rule as [`scope`]), so joining
+    /// from inside a pool task makes progress even on a one-worker pool.
+    pub fn join(mut self) -> T {
+        let state = self.state.take().expect("join handle already consumed");
+        complete_task(&self.shared, &state, help_index(&self.shared));
+        let result = state
+            .sync
+            .lock()
+            .expect("task lock poisoned")
+            .take()
+            .expect("completed task must have stored a result");
+        match result {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    }
+}
+
+impl<T> Drop for JoinHandle<T> {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            complete_task(&self.shared, &state, help_index(&self.shared));
+        }
+    }
+}
+
+/// The calling thread's worker index on `shared`'s pool, if it is one of its
+/// workers — resolved at wait time, not spawn time, because a handle may be
+/// joined on a different thread than the one that spawned it.
+fn help_index(shared: &Arc<Shared>) -> Option<usize> {
+    current_ctx().filter(|ctx| Arc::ptr_eq(&ctx.shared, shared)).and_then(|ctx| ctx.worker_index)
+}
+
+/// Waits until the detached task of `state` stored its result, executing
+/// available pool tasks in the meantime (mirrors [`complete_scope`]).
+fn complete_task<T>(shared: &Arc<Shared>, state: &TaskState<T>, me: Option<usize>) {
+    loop {
+        if state.sync.lock().expect("task lock poisoned").is_some() {
+            return;
+        }
+        if let Some(task) = shared.try_pop(me) {
+            task();
+            continue;
+        }
+        // Nothing runnable anywhere: the task is in flight on another
+        // thread. Sleep until it stores its result.
+        let mut sync = state.sync.lock().expect("task lock poisoned");
+        while sync.is_none() {
+            sync = state.done.wait(sync).expect("task lock poisoned");
+        }
+        return;
+    }
+}
+
+/// Submits one detached `'static` task to the current pool (innermost
+/// installed, else global) and returns a [`JoinHandle`] to its eventual
+/// result. Unlike [`scope`], the task's lifetime is not tied to any stack
+/// frame — it is tied to the handle (which waits on drop; see
+/// [`JoinHandle`]).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match current_ctx() {
+        Some(ctx) => spawn_on(&ctx.shared, ctx.worker_index, f),
+        None => {
+            let pool = global();
+            spawn_on(&pool.inner.shared, None, f)
+        }
+    }
+}
+
+impl ThreadPool {
+    /// [`spawn`] on this specific pool, regardless of what is installed.
+    pub fn spawn<T, F>(&self, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let me = current_ctx()
+            .filter(|ctx| Arc::ptr_eq(&ctx.shared, &self.inner.shared))
+            .and_then(|ctx| ctx.worker_index);
+        spawn_on(&self.inner.shared, me, f)
+    }
+}
+
+fn spawn_on<T, F>(shared: &Arc<Shared>, me: Option<usize>, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let state = Arc::new(TaskState { sync: Mutex::new(None), done: Condvar::new() });
+    let task_state = Arc::clone(&state);
+    let task: Task = Box::new(move || {
+        let result = catch_unwind(AssertUnwindSafe(f));
+        *task_state.sync.lock().expect("task lock poisoned") = Some(result);
+        task_state.done.notify_all();
+    });
+    shared.push(task, me);
+    JoinHandle { shared: Arc::clone(shared), state: Some(state) }
+}
+
 /// Runs two closures, potentially in parallel, and returns both results —
 /// the binary convenience over [`scope`].
 pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
@@ -523,6 +674,69 @@ mod tests {
         let b = default_workers();
         assert_eq!(a, b);
         assert!((1..=16).contains(&a));
+    }
+
+    #[test]
+    fn spawn_join_returns_the_task_result() {
+        let pool = ThreadPool::new(2);
+        let handle = pool.spawn(|| 21 * 2);
+        assert_eq!(handle.join(), 42);
+    }
+
+    #[test]
+    fn spawn_resolves_to_the_installed_pool() {
+        let pool = ThreadPool::new(2);
+        let value = pool.install(|| spawn(|| String::from("installed")).join());
+        assert_eq!(value, "installed");
+    }
+
+    #[test]
+    fn join_helps_on_a_single_worker_pool() {
+        // The outer task occupies the only worker and joins an inner detached
+        // task; without help-while-wait this deadlocks.
+        let pool = ThreadPool::new(1);
+        let outer = pool.spawn(|| spawn(|| 7usize).join() + 1);
+        assert_eq!(outer.join(), 8);
+    }
+
+    #[test]
+    fn join_resumes_the_task_panic() {
+        let pool = ThreadPool::new(2);
+        let handle = pool.spawn(|| -> usize { panic!("detached boom") });
+        let result = catch_unwind(AssertUnwindSafe(move || handle.join()));
+        assert!(result.is_err(), "the task panic must surface at join");
+    }
+
+    #[test]
+    fn dropping_a_handle_waits_for_the_task() {
+        let pool = ThreadPool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            let handle = pool.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            drop(handle);
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "drop must not return before the task finished");
+    }
+
+    #[test]
+    fn is_finished_becomes_true_after_completion() {
+        let pool = ThreadPool::new(1);
+        let gate = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let gate = Arc::clone(&gate);
+            pool.spawn(move || {
+                while gate.load(Ordering::Acquire) == 0 {
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        assert!(!handle.is_finished(), "task is gated and cannot have finished");
+        gate.store(1, Ordering::Release);
+        handle.join();
     }
 
     #[test]
